@@ -1,0 +1,30 @@
+//! Ablation: evaluating the mean cost via the closed form of Eq. (3)
+//! versus constructing the DRM and solving `(I − P′)a = w` with LU.
+//!
+//! The paper derives the closed form precisely because it makes the
+//! numerics trivial; this bench quantifies how much that derivation buys
+//! over the generic linear-algebra route as `n` grows.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use zeroconf_cost::paper;
+
+fn bench(c: &mut Criterion) {
+    let scenario = paper::figure2_scenario().expect("paper scenario builds");
+    let mut group = c.benchmark_group("mean_cost");
+    for n in [2u32, 4, 8, 16, 32] {
+        group.bench_with_input(BenchmarkId::new("closed_form", n), &n, |b, &n| {
+            b.iter(|| scenario.mean_cost(black_box(n), black_box(2.0)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("drm_lu_solve", n), &n, |b, &n| {
+            b.iter(|| {
+                scenario
+                    .mean_cost_via_drm(black_box(n), black_box(2.0))
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

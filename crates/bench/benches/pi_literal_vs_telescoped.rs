@@ -1,0 +1,33 @@
+//! Ablation: the literal conditional product of Eq. (1) versus its
+//! telescoped survival form.
+//!
+//! Besides speed, the telescoped form is the numerically sound one (the
+//! literal product destroys the defect's relative precision — see the
+//! `zeroconf-dist` crate docs); this bench records the cost side of that
+//! design decision.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use zeroconf_dist::{noanswer, DefectiveExponential};
+
+fn bench(c: &mut Criterion) {
+    let fx = DefectiveExponential::from_loss(1e-15, 10.0, 1.0).expect("valid distribution");
+    let mut group = c.benchmark_group("no_answer_probability");
+    for i in [1usize, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("telescoped", i), &i, |b, &i| {
+            b.iter(|| noanswer::no_answer_probability(&fx, black_box(i), black_box(2.0)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("literal_product", i), &i, |b, &i| {
+            b.iter(|| {
+                noanswer::no_answer_probability_literal(&fx, black_box(i), black_box(2.0))
+                    .unwrap()
+            })
+        });
+    }
+    group.bench_function("pi_sequence_n8", |b| {
+        b.iter(|| noanswer::pi_sequence(&fx, black_box(8), black_box(2.0)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Extension ablation: the uniform protocol versus tuned non-uniform
+//! listening schedules.
+//!
+//! Measures both the evaluation cost of the generalized closed form and
+//! the optimization cost of coordinate descent over the schedule space.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use zeroconf_cost::optimize::OptimizeConfig;
+use zeroconf_cost::schedule::{self, Schedule};
+use zeroconf_cost::paper;
+
+fn bench(c: &mut Criterion) {
+    let scenario = paper::figure2_scenario().expect("paper scenario builds");
+    let mut group = c.benchmark_group("schedule_eval");
+    for n in [3u32, 8, 16] {
+        let uniform = Schedule::uniform(n, 2.0).expect("valid schedule");
+        group.bench_with_input(BenchmarkId::new("uniform_eq3", n), &n, |b, &n| {
+            b.iter(|| scenario.mean_cost(black_box(n), black_box(2.0)).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("generalized_closed_form", n),
+            &uniform,
+            |b, uniform| {
+                b.iter(|| schedule::mean_cost(black_box(&scenario), black_box(uniform)).unwrap())
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("generalized_drm_solve", n),
+            &uniform,
+            |b, uniform| {
+                b.iter(|| {
+                    schedule::mean_cost_via_drm(black_box(&scenario), black_box(uniform)).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("schedule_optimize");
+    group.sample_size(10);
+    let config = OptimizeConfig {
+        r_max: 30.0,
+        grid_points: 200,
+        n_max: 12,
+        ..OptimizeConfig::default()
+    };
+    for n in [2u32, 3, 4] {
+        group.bench_with_input(BenchmarkId::new("coordinate_descent", n), &n, |b, &n| {
+            b.iter(|| schedule::optimize_schedule(black_box(&scenario), n, &config).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

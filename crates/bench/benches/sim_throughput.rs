@@ -1,0 +1,74 @@
+//! Simulator throughput: single-host protocol runs and the multi-host
+//! event-driven simulation.
+//!
+//! Establishes how many Monte-Carlo trials per second the validation
+//! experiments can afford, and how the event queue scales with host count.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zeroconf_dist::DefectiveExponential;
+use zeroconf_sim::address::AddressPool;
+use zeroconf_sim::multihost::{self, MultiHostConfig};
+use zeroconf_sim::network::Link;
+use zeroconf_sim::protocol::{run_once, ProtocolConfig};
+
+fn protocol_config(q: f64) -> ProtocolConfig {
+    ProtocolConfig::builder()
+        .probes(4)
+        .listen_period(0.5)
+        .probe_cost(1.0)
+        .error_cost(100.0)
+        .occupancy(q)
+        .reply_time(Arc::new(
+            DefectiveExponential::from_loss(0.1, 5.0, 0.1).expect("valid distribution"),
+        ))
+        .build()
+        .expect("valid config")
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_run");
+    for q in [0.015f64, 0.3, 0.8] {
+        let config = protocol_config(q);
+        group.bench_with_input(
+            BenchmarkId::new("single_host", format!("q{q}")),
+            &config,
+            |b, config| {
+                let mut rng = StdRng::seed_from_u64(1);
+                b.iter(|| run_once(black_box(config), &mut rng).unwrap())
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("multihost_run");
+    for hosts in [2u32, 8, 32] {
+        let config = MultiHostConfig {
+            fresh_hosts: hosts,
+            probes: 3,
+            listen_period: 0.5,
+            probe_cost: 1.0,
+            error_cost: 100.0,
+            link: Link::new(Arc::new(
+                DefectiveExponential::from_loss(0.05, 20.0, 0.05).expect("valid distribution"),
+            )),
+            max_attempts_per_host: 10_000,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("event_driven", hosts),
+            &config,
+            |b, config| {
+                let mut rng = StdRng::seed_from_u64(2);
+                let pool = AddressPool::with_random_occupancy(256, 64, &mut rng).unwrap();
+                b.iter(|| multihost::run_once(black_box(config), &pool, &mut rng).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Ablation: direct LU factorization versus the classical iterative
+//! methods (Jacobi, Gauss–Seidel; dense and CSR) on absorbing-chain
+//! systems of growing size.
+//!
+//! The zeroconf DRMs are tiny, but the substrate is generic; this bench
+//! shows where the crossover would sit for larger chains (e.g. the
+//! multi-host model's product state spaces).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use zeroconf_linalg::{
+    iterative::{self, IterationConfig},
+    CsrMatrix, LuDecomposition, Matrix,
+};
+
+/// Builds the `I − P′` system of a random absorbing birth–death-like
+/// chain with `n` transient states (deterministic xorshift so runs are
+/// comparable).
+fn absorbing_system(n: usize) -> (Matrix, Vec<f64>) {
+    let mut seed = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        (seed >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut a = Matrix::identity(n);
+    for i in 0..n {
+        // Each transient state: stay/step probabilities plus >= 0.1 mass
+        // leaking to absorption, keeping the system diagonally dominant.
+        let neighbors = [(i + 1) % n, (i + n - 1) % n, (i * 7 + 3) % n];
+        let mut budget = 0.9;
+        for &j in &neighbors {
+            if j == i {
+                continue;
+            }
+            let p = next() * budget * 0.5;
+            a[(i, j)] -= p;
+            budget -= p;
+        }
+    }
+    let b = vec![1.0; n];
+    (a, b)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("absorbing_solve");
+    for n in [8usize, 32, 128, 512] {
+        let (a, b) = absorbing_system(n);
+        let csr = CsrMatrix::from_dense(&a);
+        let config = IterationConfig {
+            max_iterations: 100_000,
+            tolerance: 1e-10,
+        };
+        group.bench_with_input(BenchmarkId::new("lu", n), &n, |bench, _| {
+            bench.iter(|| {
+                LuDecomposition::new(black_box(&a))
+                    .unwrap()
+                    .solve(black_box(&b))
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("gauss_seidel_dense", n), &n, |bench, _| {
+            bench.iter(|| iterative::gauss_seidel(black_box(&a), black_box(&b), config).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("gauss_seidel_csr", n), &n, |bench, _| {
+            bench.iter(|| {
+                iterative::gauss_seidel_csr(black_box(&csr), black_box(&b), config).unwrap()
+            })
+        });
+        if n <= 128 {
+            group.bench_with_input(BenchmarkId::new("jacobi", n), &n, |bench, _| {
+                bench.iter(|| iterative::jacobi(black_box(&a), black_box(&b), config).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Regenerates every figure and table of the paper.
+//!
+//! ```text
+//! cargo run --release -p zeroconf-bench --bin figures -- all
+//! cargo run --release -p zeroconf-bench --bin figures -- fig2 fig5 --out target/figures
+//! ```
+//!
+//! For each selected experiment this prints the result rows and an ASCII
+//! rendering of the figure (when there is one), and writes `<id>.csv` and
+//! `<id>.svg` plus a combined `report.txt` into the output directory
+//! (default `target/figures`).
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use zeroconf_bench::experiments;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_dir = PathBuf::from("target/figures");
+    let mut selected: Vec<String> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => match iter.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--out requires a directory argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            other => selected.push(other.to_owned()),
+        }
+    }
+    if selected.is_empty() {
+        print_usage();
+        return ExitCode::FAILURE;
+    }
+    if selected.iter().any(|s| s == "all") {
+        selected = experiments::IDS.iter().map(|s| (*s).to_owned()).collect();
+    }
+
+    if let Err(e) = fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    let mut report = String::new();
+    for id in &selected {
+        let result = match experiments::run(id) {
+            Some(r) => r,
+            None => {
+                eprintln!("unknown experiment '{id}'; known: {:?}", experiments::IDS);
+                return ExitCode::FAILURE;
+            }
+        };
+        let output = match result {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let block = output.to_report();
+        print!("{block}");
+        report.push_str(&block);
+
+        if let Some(chart) = &output.chart {
+            match zeroconf_plot::ascii::render(chart, 100, 28) {
+                Ok(text) => {
+                    println!("{text}");
+                    report.push_str(&text);
+                }
+                Err(e) => eprintln!("(ascii rendering of {id} failed: {e})"),
+            }
+            let csv_path = out_dir.join(format!("{id}.csv"));
+            match zeroconf_plot::csv::to_string(chart) {
+                Ok(csv) => {
+                    if let Err(e) = fs::write(&csv_path, csv) {
+                        eprintln!("cannot write {}: {e}", csv_path.display());
+                        return ExitCode::FAILURE;
+                    }
+                    println!("wrote {}", csv_path.display());
+                }
+                Err(e) => eprintln!("(csv of {id} failed: {e})"),
+            }
+            let svg_path = out_dir.join(format!("{id}.svg"));
+            match zeroconf_plot::svg::render(chart, 900, 600) {
+                Ok(svg) => {
+                    if let Err(e) = fs::write(&svg_path, svg) {
+                        eprintln!("cannot write {}: {e}", svg_path.display());
+                        return ExitCode::FAILURE;
+                    }
+                    println!("wrote {}", svg_path.display());
+                }
+                Err(e) => eprintln!("(svg of {id} failed: {e})"),
+            }
+        }
+        println!();
+        report.push('\n');
+    }
+    let report_path = out_dir.join("report.txt");
+    if let Err(e) = fs::write(&report_path, report) {
+        eprintln!("cannot write {}: {e}", report_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", report_path.display());
+    ExitCode::SUCCESS
+}
+
+fn print_usage() {
+    println!(
+        "usage: figures <experiment>... [--out DIR]\n\
+         experiments: all {}\n\
+         Regenerates the corresponding figure/table of the DSN 2003 paper;\n\
+         writes CSV + SVG per figure and a combined report.txt.",
+        zeroconf_bench::experiments::IDS.join(" ")
+    );
+}

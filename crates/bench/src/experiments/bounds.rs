@@ -1,0 +1,74 @@
+//! Section 4.4: the lower bound `ν` on a useful probe count.
+
+use zeroconf_cost::paper;
+
+use crate::{harness_err, ExperimentOutput, HarnessError};
+
+/// Regenerates the `ν = ⌈−log E / log(1 − l)⌉` computation: the paper's
+/// headline value (`ν = 3` for `E = 1e35`, `1 − l = 1e−15`, explaining why
+/// `C_1` and `C_2` are invisible in Figure 2) plus a sensitivity table
+/// over both parameters.
+pub fn nu() -> Result<ExperimentOutput, HarnessError> {
+    let scenario = paper::figure2_scenario().map_err(harness_err("nu"))?;
+    let headline = scenario.nu_lower_bound();
+    let mut rows = vec![format!(
+        "Figure-2 scenario (E = 1e35, 1−l = 1e−15): ν = {:?}   (paper: 3)",
+        headline
+    )];
+    rows.push("sensitivity of ν to E and the loss probability:".to_owned());
+    rows.push(format!(
+        "{:>10} {:>10} {:>10} {:>10} {:>10}",
+        "E \\ 1−l", "1e-5", "1e-10", "1e-15", "1e-20"
+    ));
+    for exp_e in [10i32, 20, 35, 50] {
+        let mut row = format!("{:>10}", format!("1e{exp_e}"));
+        for loss_exp in [5i32, 10, 15, 20] {
+            let varied = scenario
+                .with_error_cost(10f64.powi(exp_e))
+                .map_err(harness_err("nu"))?;
+            let dist = zeroconf_dist::DefectiveExponential::from_loss(
+                10f64.powi(-loss_exp),
+                10.0,
+                1.0,
+            )
+            .map_err(harness_err("nu"))?;
+            let varied = zeroconf_cost::Scenario::builder()
+                .occupancy(varied.occupancy())
+                .probe_cost(varied.probe_cost())
+                .error_cost(varied.error_cost())
+                .reply_time(std::sync::Arc::new(dist))
+                .build()
+                .map_err(harness_err("nu"))?;
+            match varied.nu_lower_bound() {
+                Some(nu) => row.push_str(&format!(" {nu:>10}")),
+                None => row.push_str(&format!(" {:>10}", "-")),
+            }
+        }
+        rows.push(row);
+    }
+    Ok(ExperimentOutput {
+        id: "nu",
+        description: "Section 4.4: minimal useful probe count ν",
+        rows,
+        chart: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_value_is_three() {
+        let out = nu().unwrap();
+        assert!(out.rows[0].contains("ν = Some(3)"), "{}", out.rows[0]);
+    }
+
+    #[test]
+    fn table_has_all_parameter_rows() {
+        let out = nu().unwrap();
+        // Header + intro + 4 data rows + headline.
+        assert!(out.rows.len() >= 7);
+        assert!(out.rows.iter().any(|r| r.contains("1e35")));
+    }
+}

@@ -1,0 +1,99 @@
+//! Section 4.5: calibrating `(E, c)` from the draft-recommended
+//! configurations.
+
+use zeroconf_cost::calibrate::{self, CalibrateConfig};
+use zeroconf_cost::optimize::OptimizeConfig;
+use zeroconf_cost::paper;
+
+use crate::{harness_err, ExperimentOutput, HarnessError};
+
+fn report(
+    id: &'static str,
+    description: &'static str,
+    base: zeroconf_cost::Scenario,
+    target_r: f64,
+    config: &CalibrateConfig,
+    paper_values: (f64, f64),
+) -> Result<ExperimentOutput, HarnessError> {
+    let calibration =
+        calibrate::calibrate(&base, 4, target_r, config).map_err(harness_err(id))?;
+    let (paper_e, paper_c) = paper_values;
+    let optimum = &calibration.verified_optimum;
+    let rows = vec![
+        format!(
+            "target: (n = 4, r = {target_r}) must be the joint cost optimum"
+        ),
+        format!(
+            "calibrated E = {:.4e}   (paper: {:.1e}, ratio {:.2})",
+            calibration.error_cost,
+            paper_e,
+            calibration.error_cost / paper_e
+        ),
+        format!(
+            "calibrated c = {:.4}      (paper: {:.2}, ratio {:.2})",
+            calibration.probe_cost,
+            paper_c,
+            calibration.probe_cost / paper_c
+        ),
+        format!(
+            "verification: joint optimum of the calibrated scenario is \
+             n = {}, r = {:.4}, cost = {:.4}",
+            optimum.n, optimum.r, optimum.cost
+        ),
+        "note: the paper derives (E, c) 'by simple numerical approximation' without".to_owned(),
+        "stating the optimality criterion; we pin the target on the n -> n+1".to_owned(),
+        "indifference boundary, which reproduces the paper's order of magnitude.".to_owned(),
+    ];
+    Ok(ExperimentOutput {
+        id,
+        description,
+        rows,
+        chart: None,
+    })
+}
+
+/// Section 4.5, unreliable link: the calibration behind
+/// `E_{r=2} = 5·10^20` and `c_{r=2} = 3.5`.
+pub fn calibration_unreliable() -> Result<ExperimentOutput, HarnessError> {
+    let base = paper::calibration_unreliable_scenario().map_err(harness_err("calib2"))?;
+    let config = CalibrateConfig {
+        optimize: OptimizeConfig {
+            r_max: 60.0,
+            grid_points: 400,
+            n_max: 16,
+            ..OptimizeConfig::default()
+        },
+        ..CalibrateConfig::default()
+    };
+    report(
+        "calib2",
+        "Section 4.5: (E, c) making (n=4, r=2) optimal on an unreliable link",
+        base,
+        2.0,
+        &config,
+        paper::CALIBRATED_UNRELIABLE,
+    )
+}
+
+/// Section 4.5, reliable link: the calibration behind
+/// `E_{r=0.2} = 10^35` and `c_{r=0.2} = 0.5`.
+pub fn calibration_reliable() -> Result<ExperimentOutput, HarnessError> {
+    let base = paper::calibration_reliable_scenario().map_err(harness_err("calib02"))?;
+    let config = CalibrateConfig {
+        optimize: OptimizeConfig {
+            r_max: 10.0,
+            grid_points: 400,
+            n_max: 16,
+            ..OptimizeConfig::default()
+        },
+        ..CalibrateConfig::default()
+    };
+    report(
+        "calib02",
+        "Section 4.5: (E, c) making (n=4, r=0.2) optimal on a reliable link",
+        base,
+        0.2,
+        &config,
+        paper::CALIBRATED_RELIABLE,
+    )
+}

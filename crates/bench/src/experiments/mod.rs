@@ -1,0 +1,85 @@
+//! One module per regenerated paper artifact.
+
+mod assessment;
+mod bounds;
+mod calibration;
+mod churn;
+mod figures;
+mod multihost;
+mod schedules;
+mod tradeoffs;
+mod validation;
+
+pub use assessment::assess;
+pub use bounds::nu;
+pub use calibration::{calibration_reliable, calibration_unreliable};
+pub use churn::churn;
+pub use figures::{fig1, fig2, fig3, fig4, fig5, fig6};
+pub use multihost::multihost;
+pub use schedules::schedules;
+pub use tradeoffs::tradeoff;
+pub use validation::validate;
+
+use crate::{ExperimentOutput, HarnessError};
+
+/// All experiment ids in presentation order.
+pub const IDS: [&str; 15] = [
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "nu",
+    "calib2",
+    "calib02",
+    "assess",
+    "validate",
+    "multihost",
+    "schedule",
+    "tradeoff",
+    "churn",
+];
+
+/// Runs one experiment by id; `None` for an unknown id.
+pub fn run(id: &str) -> Option<Result<ExperimentOutput, HarnessError>> {
+    match id {
+        "fig1" => Some(fig1()),
+        "fig2" => Some(fig2()),
+        "fig3" => Some(fig3()),
+        "fig4" => Some(fig4()),
+        "fig5" => Some(fig5()),
+        "fig6" => Some(fig6()),
+        "nu" => Some(nu()),
+        "calib2" => Some(calibration_unreliable()),
+        "calib02" => Some(calibration_reliable()),
+        "assess" => Some(assess()),
+        "validate" => Some(validate()),
+        "multihost" => Some(multihost()),
+        "schedule" => Some(schedules()),
+        "tradeoff" => Some(tradeoff()),
+        "churn" => Some(churn()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(run("fig99").is_none());
+    }
+
+    #[test]
+    fn every_listed_id_dispatches() {
+        // Only check dispatch wiring for the cheap experiments; expensive
+        // ones (calibration, assessment, validation) run in the
+        // integration tests and the figures binary.
+        for id in ["fig1", "nu"] {
+            assert!(run(id).is_some());
+        }
+        assert_eq!(IDS.len(), 15);
+    }
+}

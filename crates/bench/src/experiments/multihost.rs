@@ -1,0 +1,74 @@
+//! Extension study: several fresh hosts configuring at once.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zeroconf_dist::DefectiveExponential;
+use zeroconf_sim::multihost::{run_many, MultiHostConfig};
+use zeroconf_sim::network::Link;
+use zeroconf_plot::{Chart, Series};
+
+use crate::{harness_err, ExperimentOutput, HarnessError};
+
+/// Sweeps the number of simultaneously configuring hosts and reports
+/// collision counts, attempts and settle times — the scenario the paper
+/// leaves to its Uppaal companion study \[7\].
+pub fn multihost() -> Result<ExperimentOutput, HarnessError> {
+    let loss = 0.05;
+    let link = Link::new(Arc::new(
+        DefectiveExponential::from_loss(loss, 20.0, 0.05).map_err(harness_err("multihost"))?,
+    ));
+    let mut rows = vec![
+        format!(
+            "pool of 256 addresses, 64 pre-occupied, loss = {loss}, n = 3, r = 0.5, \
+             40 runs per point:"
+        ),
+        format!(
+            "{:>6} {:>14} {:>14} {:>14} {:>14}",
+            "hosts", "mean attempts", "mean settle s", "mean collisions", "runs w/ coll."
+        ),
+    ];
+    let mut settle_points = Vec::new();
+    let mut attempt_points = Vec::new();
+    let mut rng = StdRng::seed_from_u64(42);
+    for hosts in [1u32, 2, 4, 8, 16, 32] {
+        let config = MultiHostConfig {
+            fresh_hosts: hosts,
+            probes: 3,
+            listen_period: 0.5,
+            probe_cost: 1.0,
+            error_cost: 100.0,
+            link: link.clone(),
+            max_attempts_per_host: 10_000,
+        };
+        let summary =
+            run_many(&config, 256, 64, 40, &mut rng).map_err(harness_err("multihost"))?;
+        rows.push(format!(
+            "{:>6} {:>14.3} {:>14.3} {:>14.4} {:>14}",
+            hosts,
+            summary.attempts.mean(),
+            summary.settle_seconds.mean(),
+            summary.collisions.mean(),
+            summary.runs_with_collision
+        ));
+        settle_points.push((hosts as f64, summary.settle_seconds.mean()));
+        attempt_points.push((hosts as f64, summary.attempts.mean()));
+    }
+    let chart = Chart::new("Concurrent configuration: contention effects")
+        .x_label("simultaneously configuring hosts")
+        .y_label("mean value")
+        .with_series(
+            Series::new("settle time (s)", settle_points).map_err(harness_err("multihost"))?,
+        )
+        .with_series(
+            Series::new("attempts per host", attempt_points)
+                .map_err(harness_err("multihost"))?,
+        );
+    Ok(ExperimentOutput {
+        id: "multihost",
+        description: "extension: multi-host concurrent configuration (cf. related work [7])",
+        rows,
+        chart: Some(chart),
+    })
+}

@@ -1,0 +1,62 @@
+//! Extension study: the explicit cost/reliability Pareto frontier.
+
+use zeroconf_cost::paper;
+use zeroconf_cost::tradeoff::{self, TradeoffConfig};
+use zeroconf_plot::{Chart, Series};
+
+use crate::{harness_err, ExperimentOutput, HarnessError};
+
+/// Materializes the paper's headline trade-off ("minimal cost and maximal
+/// reliability ... cannot be achieved at the same time") as the Pareto
+/// frontier over `(n, r)`, plus reliability-budget queries.
+pub fn tradeoff() -> Result<ExperimentOutput, HarnessError> {
+    let scenario = paper::figure2_scenario().map_err(harness_err("tradeoff"))?;
+    let config = TradeoffConfig {
+        n_max: 10,
+        r_range: (0.2, 25.0),
+        r_points: 250,
+    };
+    let frontier =
+        tradeoff::pareto_frontier(&scenario, &config).map_err(harness_err("tradeoff"))?;
+    let mut rows = vec![format!(
+        "Pareto frontier over n <= {}, r in [{}, {}]: {} non-dominated configurations",
+        config.n_max, config.r_range.0, config.r_range.1, frontier.len()
+    )];
+    rows.push(format!(
+        "{:>10} {:>4} {:>9} {:>14}",
+        "cost", "n", "r", "P(collision)"
+    ));
+    // Print a readable subset: every ~10th point.
+    for point in frontier.iter().step_by((frontier.len() / 12).max(1)) {
+        rows.push(format!(
+            "{:>10.4} {:>4} {:>9.3} {:>14.3e}",
+            point.cost, point.n, point.r, point.error_probability
+        ));
+    }
+    rows.push("reliability-budget queries:".to_owned());
+    for budget in [1e-30f64, 1e-40, 1e-50, 1e-60] {
+        match tradeoff::cheapest_within_error_budget(&scenario, &config, budget) {
+            Ok(p) => rows.push(format!(
+                "  P(collision) <= {budget:.0e}: cheapest is n = {}, r = {:.3}, cost {:.4}",
+                p.n, p.r, p.cost
+            )),
+            Err(_) => rows.push(format!("  P(collision) <= {budget:.0e}: not reachable on grid")),
+        }
+    }
+
+    let points: Vec<(f64, f64)> = frontier
+        .iter()
+        .map(|p| (p.cost, p.error_probability))
+        .collect();
+    let chart = Chart::new("Cost/reliability Pareto frontier (Figure-2 scenario)")
+        .x_label("mean total cost")
+        .y_label("collision probability")
+        .log_y(true)
+        .with_series(Series::new("frontier", points).map_err(harness_err("tradeoff"))?);
+    Ok(ExperimentOutput {
+        id: "tradeoff",
+        description: "extension: Pareto frontier of (cost, collision probability)",
+        rows,
+        chart: Some(chart),
+    })
+}

@@ -1,0 +1,124 @@
+//! Internal validation: the three independent routes to the paper's
+//! quantities must agree.
+//!
+//! 1. Closed form (Eq. 3 / Eq. 4),
+//! 2. linear solve on the explicitly constructed DRM (Eq. 2 / Section 5),
+//! 3. Monte-Carlo simulation of the actual probe/listen protocol.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zeroconf_cost::{paper, Scenario};
+use zeroconf_dist::DefectiveExponential;
+use zeroconf_sim::protocol::{run_many, ProtocolConfig};
+
+use crate::{harness_err, ExperimentOutput, HarnessError};
+
+/// Number of Monte-Carlo trials for the simulation check.
+const TRIALS: u64 = 200_000;
+
+/// Runs the three-way validation and reports the observed agreement.
+pub fn validate() -> Result<ExperimentOutput, HarnessError> {
+    let mut rows = Vec::new();
+
+    // --- Closed form vs DRM solve on the paper's own (extreme) scenario.
+    let figure2 = paper::figure2_scenario().map_err(harness_err("validate"))?;
+    let mut max_cost_diff: f64 = 0.0;
+    let mut max_error_diff: f64 = 0.0;
+    for n in [1u32, 2, 3, 4, 6, 8] {
+        for r in [0.0, 0.5, 1.0, 2.0, 5.0, 10.0] {
+            let closed = figure2.mean_cost(n, r).map_err(harness_err("validate"))?;
+            let solved = figure2
+                .mean_cost_via_drm(n, r)
+                .map_err(harness_err("validate"))?;
+            max_cost_diff = max_cost_diff.max(((closed - solved) / closed).abs());
+            let closed_p = figure2
+                .error_probability(n, r)
+                .map_err(harness_err("validate"))?;
+            let solved_p = figure2
+                .error_probability_via_drm(n, r)
+                .map_err(harness_err("validate"))?;
+            let scale = closed_p.max(1e-300);
+            max_error_diff = max_error_diff.max(((closed_p - solved_p) / scale).abs());
+        }
+    }
+    rows.push(format!(
+        "Eq.(3) vs DRM linear solve, Figure-2 scenario, 36 grid points: \
+         max relative difference {max_cost_diff:.2e}"
+    ));
+    rows.push(format!(
+        "Eq.(4) vs DRM absorption solve: max relative difference {max_error_diff:.2e}"
+    ));
+
+    // --- Closed form vs protocol simulation on a moderate scenario
+    //     (collision probabilities around 1e-2 so Monte Carlo can see them).
+    let q = 0.3;
+    let c = 1.5;
+    let e = 50.0;
+    let (loss, rate, delay) = (0.2, 3.0, 0.2);
+    let (n, r) = (3u32, 0.8);
+    let scenario = Scenario::builder()
+        .occupancy(q)
+        .probe_cost(c)
+        .error_cost(e)
+        .reply_time(Arc::new(
+            DefectiveExponential::from_loss(loss, rate, delay).map_err(harness_err("validate"))?,
+        ))
+        .build()
+        .map_err(harness_err("validate"))?;
+    let exact_cost = scenario.mean_cost(n, r).map_err(harness_err("validate"))?;
+    let exact_error = scenario
+        .error_probability(n, r)
+        .map_err(harness_err("validate"))?;
+    let sim_config = ProtocolConfig::builder()
+        .probes(n)
+        .listen_period(r)
+        .probe_cost(c)
+        .error_cost(e)
+        .occupancy(q)
+        .reply_time(Arc::new(
+            DefectiveExponential::from_loss(loss, rate, delay).map_err(harness_err("validate"))?,
+        ))
+        .build()
+        .map_err(harness_err("validate"))?;
+    let mut rng = StdRng::seed_from_u64(20030625);
+    let summary = run_many(&sim_config, TRIALS, &mut rng).map_err(harness_err("validate"))?;
+    let z = (summary.cost.mean() - exact_cost) / summary.cost.standard_error();
+    let (lo, hi) = summary.collision_interval_95();
+    rows.push(format!(
+        "simulation ({TRIALS} runs, q={q}, loss={loss}, n={n}, r={r}):"
+    ));
+    rows.push(format!(
+        "  mean cost {:.4} vs Eq.(3) {:.4}  (z-score {:+.2})",
+        summary.cost.mean(),
+        exact_cost,
+        z
+    ));
+    rows.push(format!(
+        "  collision rate {:.5} in Wilson-95% [{:.5}, {:.5}] vs Eq.(4) {:.5} -> {}",
+        summary.collision_rate(),
+        lo,
+        hi,
+        exact_error,
+        if (lo..=hi).contains(&exact_error) {
+            "contained"
+        } else {
+            "OUTSIDE"
+        }
+    ));
+    rows.push(format!(
+        "  cost std-dev {:.4} vs DRM variance route {:.4}",
+        summary.cost.standard_deviation(),
+        scenario
+            .cost_standard_deviation(n, r)
+            .map_err(harness_err("validate"))?
+    ));
+
+    Ok(ExperimentOutput {
+        id: "validate",
+        description: "three-way agreement: closed forms vs DRM solve vs simulation",
+        rows,
+        chart: None,
+    })
+}

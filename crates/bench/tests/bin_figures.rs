@@ -1,0 +1,64 @@
+//! End-to-end tests of the `figures` binary.
+
+use std::process::Command;
+
+fn figures() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_figures"))
+}
+
+#[test]
+fn fig1_runs_and_writes_outputs() {
+    let dir = std::env::temp_dir().join("zeroconf-figures-test-fig1");
+    let _ = std::fs::remove_dir_all(&dir);
+    let output = figures()
+        .args(["fig1", "nu", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("probe4"));
+    assert!(stdout.contains("ν = Some(3)"));
+    assert!(dir.join("report.txt").exists());
+}
+
+#[test]
+fn fig3_writes_csv_and_svg() {
+    let dir = std::env::temp_dir().join("zeroconf-figures-test-fig3");
+    let _ = std::fs::remove_dir_all(&dir);
+    let output = figures()
+        .args(["fig3", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+    let csv = std::fs::read_to_string(dir.join("fig3.csv")).expect("csv written");
+    assert!(csv.starts_with("x,N(r)"));
+    let svg = std::fs::read_to_string(dir.join("fig3.svg")).expect("svg written");
+    assert!(svg.starts_with("<svg"));
+}
+
+#[test]
+fn unknown_experiment_fails_with_a_listing() {
+    let output = figures().arg("fig99").output().expect("binary runs");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("unknown experiment"));
+    assert!(stderr.contains("fig2"));
+}
+
+#[test]
+fn no_arguments_prints_usage_and_fails() {
+    let output = figures().output().expect("binary runs");
+    assert!(!output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("usage"));
+}
+
+#[test]
+fn help_flag_succeeds() {
+    let output = figures().arg("--help").output().expect("binary runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("Regenerates"));
+}

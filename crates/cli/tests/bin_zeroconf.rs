@@ -1,0 +1,67 @@
+//! End-to-end tests of the `zeroconf` binary.
+
+use std::process::Command;
+
+fn zeroconf() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_zeroconf"))
+}
+
+const SCENARIO: [&str; 12] = [
+    "--hosts",
+    "1000",
+    "--probe-cost",
+    "2",
+    "--error-cost",
+    "1e35",
+    "--loss",
+    "1e-15",
+    "--rate",
+    "10",
+    "--delay",
+    "1",
+];
+
+#[test]
+fn cost_command_prints_the_paper_numbers() {
+    let output = zeroconf()
+        .arg("cost")
+        .args(SCENARIO)
+        .args(["--probes", "4", "--listen", "2"])
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("16.06"), "{stdout}");
+    assert!(stdout.contains("e-50"), "{stdout}");
+}
+
+#[test]
+fn optimize_command_succeeds() {
+    let output = zeroconf()
+        .arg("optimize")
+        .args(SCENARIO)
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("joint optimum: n = 3"), "{stdout}");
+}
+
+#[test]
+fn bad_flags_fail_with_message_on_stderr() {
+    let output = zeroconf()
+        .args(["cost", "--hosts"])
+        .output()
+        .expect("binary runs");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("requires a value"), "{stderr}");
+}
+
+#[test]
+fn help_prints_usage() {
+    let output = zeroconf().arg("help").output().expect("binary runs");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("usage: zeroconf"));
+}

@@ -1,0 +1,303 @@
+//! The discrete-time Markov reward model of Section 3.1 / 4.1, built
+//! explicitly.
+//!
+//! The closed forms of Eq. (3) and Eq. (4) were derived by hand from the
+//! matrices `P_n` and `C_n`; this module constructs those matrices as an
+//! actual [`Dtmc`] and re-derives both quantities by linear solves, exactly
+//! as the paper's Eq. (2) and Section 5 prescribe. Agreement between the
+//! two routes (validated by unit, property and integration tests) is the
+//! strongest internal-correctness evidence this reproduction has.
+
+use zeroconf_dist::noanswer;
+use zeroconf_dtmc::{AbsorbingAnalysis, Dtmc, DtmcBuilder, StateId};
+
+use crate::cost::{check_n, check_r};
+use crate::{CostError, Scenario};
+
+/// The constructed model together with its named states.
+#[derive(Debug, Clone)]
+pub struct Drm {
+    /// The underlying chain (states: `start`, `probe1..probeN`, `error`,
+    /// `ok` — in that order, matching the index table in Section 4.1).
+    pub chain: Dtmc,
+    /// The initial state.
+    pub start: StateId,
+    /// The probe states `1st … nth`.
+    pub probes: Vec<StateId>,
+    /// The absorbing collision state.
+    pub error: StateId,
+    /// The absorbing success state.
+    pub ok: StateId,
+}
+
+/// Builds the DRM for `n` probes and listening period `r` (Figure 1 /
+/// Section 4.1 of the paper).
+///
+/// Transition structure:
+///
+/// - `start → probe1` with probability `q`, cost `r + c`;
+/// - `start → ok` with probability `1 − q`, cost `n(r + c)`;
+/// - `probe_i → probe_{i+1}` with probability `p_i(r)`, cost `r + c`;
+/// - `probe_i → start` with probability `1 − p_i(r)`, cost `0`;
+/// - `probe_n → error` with probability `p_n(r)`, cost `E`;
+/// - `error`, `ok` absorbing.
+///
+/// # Errors
+///
+/// - [`CostError::InvalidProbeCount`] / [`CostError::InvalidListeningPeriod`]
+///   on bad arguments.
+/// - [`CostError::Dtmc`] if chain validation fails (not expected).
+pub fn build(scenario: &Scenario, n: u32, r: f64) -> Result<Drm, CostError> {
+    check_n(n)?;
+    check_r(r)?;
+    let q = scenario.occupancy();
+    let c = scenario.probe_cost();
+    let e = scenario.error_cost();
+    let p: Vec<f64> = (1..=n as usize)
+        .map(|i| noanswer::no_answer_probability(scenario.reply_time(), i, r))
+        .collect::<Result<_, _>>()?;
+
+    let mut b = DtmcBuilder::with_capacity(n as usize + 3);
+    let start = b.add_state("start");
+    let probes: Vec<StateId> = (1..=n).map(|i| b.add_state(format!("probe{i}"))).collect();
+    let error = b.add_state("error");
+    let ok = b.add_state("ok");
+
+    b.add_transition(start, probes[0], q, r + c)?;
+    b.add_transition(start, ok, 1.0 - q, n as f64 * (r + c))?;
+    for i in 0..n as usize {
+        let next = if i + 1 < n as usize {
+            probes[i + 1]
+        } else {
+            error
+        };
+        let step_cost = if i + 1 < n as usize { r + c } else { e };
+        b.add_transition(probes[i], next, p[i], step_cost)?;
+        b.add_transition(probes[i], start, 1.0 - p[i], 0.0)?;
+    }
+    b.make_absorbing(error)?;
+    b.make_absorbing(ok)?;
+    Ok(Drm {
+        chain: b.build()?,
+        start,
+        probes,
+        error,
+        ok,
+    })
+}
+
+/// Mean total cost by solving Eq. (2) on the explicit DRM.
+///
+/// # Errors
+///
+/// Same conditions as [`build`], plus chain-analysis failures.
+pub fn mean_cost_via_drm(scenario: &Scenario, n: u32, r: f64) -> Result<f64, CostError> {
+    let drm = build(scenario, n, r)?;
+    let analysis = AbsorbingAnalysis::new(&drm.chain)?;
+    Ok(analysis.expected_total_reward(drm.start)?)
+}
+
+/// Collision probability by the absorption computation of Section 5.
+///
+/// # Errors
+///
+/// Same conditions as [`build`], plus chain-analysis failures.
+pub fn error_probability_via_drm(scenario: &Scenario, n: u32, r: f64) -> Result<f64, CostError> {
+    let drm = build(scenario, n, r)?;
+    let analysis = AbsorbingAnalysis::new(&drm.chain)?;
+    Ok(analysis.absorption_probability(drm.start, drm.error)?)
+}
+
+/// Standard deviation of the total run cost (extension beyond the paper;
+/// the DRM's reward variance, computed per
+/// [`AbsorbingAnalysis::total_reward_variance`]).
+///
+/// # Errors
+///
+/// Same conditions as [`build`], plus chain-analysis failures.
+pub fn cost_standard_deviation(scenario: &Scenario, n: u32, r: f64) -> Result<f64, CostError> {
+    let drm = build(scenario, n, r)?;
+    let analysis = AbsorbingAnalysis::new(&drm.chain)?;
+    Ok(analysis.total_reward_variance(drm.start)?.sqrt())
+}
+
+/// Expected number of protocol steps (address draws plus probe rounds)
+/// until the run resolves.
+///
+/// # Errors
+///
+/// Same conditions as [`build`], plus chain-analysis failures.
+pub fn expected_steps(scenario: &Scenario, n: u32, r: f64) -> Result<f64, CostError> {
+    let drm = build(scenario, n, r)?;
+    let analysis = AbsorbingAnalysis::new(&drm.chain)?;
+    Ok(analysis.expected_steps(drm.start)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use zeroconf_dist::DefectiveExponential;
+
+    use crate::{cost, Scenario};
+
+    use super::*;
+
+    /// A moderately lossy scenario where nothing is numerically extreme.
+    fn moderate() -> Scenario {
+        Scenario::builder()
+            .occupancy(0.3)
+            .probe_cost(1.5)
+            .error_cost(500.0)
+            .reply_time(Arc::new(
+                DefectiveExponential::new(0.8, 2.0, 0.4).unwrap(),
+            ))
+            .build()
+            .unwrap()
+    }
+
+    /// The paper's Figure 2 scenario (numerically extreme E and defect).
+    fn figure2() -> Scenario {
+        Scenario::builder()
+            .hosts(1000)
+            .unwrap()
+            .probe_cost(2.0)
+            .error_cost(1e35)
+            .reply_time(Arc::new(
+                DefectiveExponential::from_loss(1e-15, 10.0, 1.0).unwrap(),
+            ))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn structure_matches_section_4_1() {
+        let drm = build(&moderate(), 4, 1.0).unwrap();
+        let chain = &drm.chain;
+        assert_eq!(chain.num_states(), 7); // start, 4 probes, error, ok
+        assert_eq!(chain.name(drm.start).unwrap(), "start");
+        assert_eq!(chain.name(drm.probes[0]).unwrap(), "probe1");
+        assert!(chain.is_absorbing(drm.error).unwrap());
+        assert!(chain.is_absorbing(drm.ok).unwrap());
+        // start row: q to probe1 with cost r+c, 1-q to ok with cost n(r+c).
+        assert!((chain.probability(drm.start, drm.probes[0]).unwrap() - 0.3).abs() < 1e-15);
+        assert!((chain.reward(drm.start, drm.probes[0]).unwrap() - 2.5).abs() < 1e-15);
+        assert!((chain.probability(drm.start, drm.ok).unwrap() - 0.7).abs() < 1e-15);
+        assert!((chain.reward(drm.start, drm.ok).unwrap() - 10.0).abs() < 1e-15);
+        // Last probe exits to error with cost E.
+        assert!((chain.reward(drm.probes[3], drm.error).unwrap() - 500.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transition_matrix_layout_matches_paper_indexing() {
+        // Section 4.1's table: row(start) = 1, row(nth) = n+1,
+        // row(error) = n+2, row(ok) = n+3 (1-based).
+        let drm = build(&moderate(), 3, 0.5).unwrap();
+        let p = drm.chain.transition_matrix();
+        assert_eq!(p.rows(), 6);
+        // p_{1,2} = q.
+        assert!((p[(0, 1)] - 0.3).abs() < 1e-15);
+        // p_{1,n+3} = 1 − q.
+        assert!((p[(0, 5)] - 0.7).abs() < 1e-15);
+        // Absorbing rows.
+        assert_eq!(p[(4, 4)], 1.0);
+        assert_eq!(p[(5, 5)], 1.0);
+        // Every row is stochastic.
+        for r in 0..6 {
+            let sum: f64 = (0..6).map(|c| p[(r, c)]).sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn closed_form_cost_matches_linear_solve_moderate() {
+        let s = moderate();
+        for n in [1u32, 2, 3, 5, 8] {
+            for r in [0.0, 0.3, 1.0, 2.5] {
+                let closed = cost::mean_cost(&s, n, r).unwrap();
+                let solved = mean_cost_via_drm(&s, n, r).unwrap();
+                assert!(
+                    ((closed - solved) / closed).abs() < 1e-10,
+                    "n = {n}, r = {r}: closed {closed} vs solved {solved}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn closed_form_cost_matches_linear_solve_figure2() {
+        let s = figure2();
+        for (n, r) in [(3u32, 2.0), (4, 2.0), (4, 0.2), (8, 1.5)] {
+            let closed = cost::mean_cost(&s, n, r).unwrap();
+            let solved = mean_cost_via_drm(&s, n, r).unwrap();
+            assert!(
+                ((closed - solved) / closed).abs() < 1e-9,
+                "n = {n}, r = {r}: closed {closed:e} vs solved {solved:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn closed_form_error_matches_absorption_solve() {
+        let s = moderate();
+        for n in [1u32, 2, 4, 6] {
+            for r in [0.0, 0.5, 1.5] {
+                let closed = cost::error_probability(&s, n, r).unwrap();
+                let solved = error_probability_via_drm(&s, n, r).unwrap();
+                assert!(
+                    (closed - solved).abs() < 1e-12,
+                    "n = {n}, r = {r}: closed {closed} vs solved {solved}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn absorption_probabilities_sum_to_one() {
+        let drm = build(&moderate(), 4, 1.0).unwrap();
+        let analysis = AbsorbingAnalysis::new(&drm.chain).unwrap();
+        let pe = analysis.absorption_probability(drm.start, drm.error).unwrap();
+        let po = analysis.absorption_probability(drm.start, drm.ok).unwrap();
+        assert!((pe + po - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_standard_deviation_is_positive_for_risky_runs() {
+        let s = moderate();
+        let sd = cost_standard_deviation(&s, 3, 0.8).unwrap();
+        assert!(sd > 0.0);
+        // With a large penalty E and non-negligible error probability the
+        // standard deviation dwarfs the mean (rare catastrophic outcome).
+        let mean = cost::mean_cost(&s, 3, 0.8).unwrap();
+        assert!(sd > mean * 0.1, "sd {sd} vs mean {mean}");
+    }
+
+    #[test]
+    fn expected_steps_grow_with_occupancy() {
+        let lo = moderate().with_occupancy(0.05).unwrap();
+        let hi = moderate().with_occupancy(0.6).unwrap();
+        let steps_lo = expected_steps(&lo, 4, 1.0).unwrap();
+        let steps_hi = expected_steps(&hi, 4, 1.0).unwrap();
+        assert!(steps_hi > steps_lo);
+        // Lower bound: one hop from start to resolution.
+        assert!(steps_lo >= 1.0);
+    }
+
+    #[test]
+    fn invalid_arguments_are_rejected() {
+        let s = moderate();
+        assert!(build(&s, 0, 1.0).is_err());
+        assert!(build(&s, 4, -0.1).is_err());
+        assert!(mean_cost_via_drm(&s, 0, 1.0).is_err());
+        assert!(error_probability_via_drm(&s, 4, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn n_one_has_single_probe_state() {
+        let drm = build(&moderate(), 1, 1.0).unwrap();
+        assert_eq!(drm.probes.len(), 1);
+        assert_eq!(drm.chain.num_states(), 4);
+        // probe1 goes straight to error on silence.
+        assert!(drm.chain.probability(drm.probes[0], drm.error).unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,136 @@
+use std::error::Error;
+use std::fmt;
+
+use zeroconf_dist::DistError;
+use zeroconf_dtmc::DtmcError;
+use zeroconf_numopt::NumOptError;
+
+/// Errors produced by the zeroconf cost model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CostError {
+    /// A scenario parameter was outside its domain.
+    InvalidParameter {
+        /// Name of the parameter.
+        parameter: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A scenario was built without a reply-time distribution.
+    MissingReplyTime,
+    /// The probe count `n` must be at least one.
+    InvalidProbeCount {
+        /// The offending count.
+        n: u32,
+    },
+    /// The listening period `r` was negative or not finite.
+    InvalidListeningPeriod {
+        /// The offending value.
+        value: f64,
+    },
+    /// An optimization or calibration query had an empty or unusable search
+    /// range.
+    InvalidSearchRange {
+        /// Description of the problem.
+        what: &'static str,
+    },
+    /// Calibration could not find parameters realizing the requested
+    /// optimum.
+    CalibrationFailed {
+        /// Description of what went wrong.
+        what: String,
+    },
+    /// An underlying distribution computation failed.
+    Dist(DistError),
+    /// An underlying chain analysis failed.
+    Dtmc(DtmcError),
+    /// An underlying numerical solve failed.
+    NumOpt(NumOptError),
+}
+
+impl fmt::Display for CostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CostError::InvalidParameter { parameter, value } => {
+                write!(f, "invalid scenario parameter {parameter} = {value}")
+            }
+            CostError::MissingReplyTime => {
+                write!(f, "scenario has no reply-time distribution")
+            }
+            CostError::InvalidProbeCount { n } => {
+                write!(f, "probe count n = {n} must be at least 1")
+            }
+            CostError::InvalidListeningPeriod { value } => {
+                write!(f, "listening period r = {value} must be nonnegative and finite")
+            }
+            CostError::InvalidSearchRange { what } => {
+                write!(f, "invalid search range: {what}")
+            }
+            CostError::CalibrationFailed { what } => write!(f, "calibration failed: {what}"),
+            CostError::Dist(e) => write!(f, "distribution error: {e}"),
+            CostError::Dtmc(e) => write!(f, "chain analysis error: {e}"),
+            CostError::NumOpt(e) => write!(f, "numerical solver error: {e}"),
+        }
+    }
+}
+
+impl Error for CostError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CostError::Dist(e) => Some(e),
+            CostError::Dtmc(e) => Some(e),
+            CostError::NumOpt(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DistError> for CostError {
+    fn from(e: DistError) -> Self {
+        CostError::Dist(e)
+    }
+}
+
+impl From<DtmcError> for CostError {
+    fn from(e: DtmcError) -> Self {
+        CostError::Dtmc(e)
+    }
+}
+
+impl From<NumOptError> for CostError {
+    fn from(e: NumOptError) -> Self {
+        CostError::NumOpt(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = CostError::InvalidParameter {
+            parameter: "q",
+            value: 1.5,
+        };
+        assert!(e.to_string().contains('q'));
+        assert!(CostError::InvalidProbeCount { n: 0 }.to_string().contains("n = 0"));
+    }
+
+    #[test]
+    fn conversions_preserve_source() {
+        let e: CostError = DistError::EmptyInput.into();
+        assert!(Error::source(&e).is_some());
+        let e: CostError = DtmcError::EmptyChain.into();
+        assert!(Error::source(&e).is_some());
+        let e: CostError = NumOptError::InvalidInterval { lo: 1.0, hi: 0.0 }.into();
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&CostError::MissingReplyTime).is_none());
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CostError>();
+    }
+}

@@ -1,0 +1,155 @@
+//! Protocol-level metrics derived from the fundamental matrix.
+//!
+//! The paper reports only cost and reliability; a protocol engineer also
+//! wants to know *how the run feels*: how many candidate addresses a host
+//! burns through, how many probes hit the wire, how long the radio stays
+//! in its listen state. All of these are expected visit counts in the DRM
+//! (fundamental-matrix entries), so they come out of one transposed linear
+//! solve — and the discrete-event simulator verifies them empirically.
+
+use zeroconf_dtmc::AbsorbingAnalysis;
+
+use crate::{drm, CostError, Scenario};
+
+/// Expected per-run protocol quantities at a configuration `(n, r)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProtocolMetrics {
+    /// Expected number of candidate addresses drawn (visits to `start`).
+    pub expected_attempts: f64,
+    /// Expected number of ARP probes transmitted.
+    pub expected_probes: f64,
+    /// Expected total listening time in seconds, in the model's
+    /// cost-accounting convention (a full `r` is charged for every round
+    /// entered, as in the DRM rewards).
+    pub expected_listening_seconds: f64,
+    /// Probability that the run ends in an address collision (Eq. 4).
+    pub collision_probability: f64,
+}
+
+/// Computes the expected attempts/probes/listening time for `(n, r)`.
+///
+/// Derivation: let `N` be the fundamental matrix of the DRM. Visits to
+/// `start` count address draws. Each visit to probe state `i` transmits
+/// one probe; additionally the final `start → ok` transition (taken with
+/// the absorption probability into `ok`) transmits `n` probes at once.
+///
+/// # Errors
+///
+/// Same conditions as [`Scenario::mean_cost`], plus chain-analysis
+/// failures.
+pub fn protocol_metrics(scenario: &Scenario, n: u32, r: f64) -> Result<ProtocolMetrics, CostError> {
+    let model = drm::build(scenario, n, r)?;
+    let analysis = AbsorbingAnalysis::new(&model.chain)?;
+    let visits = analysis.expected_visits(model.start)?;
+    let transient = analysis.transient_states();
+    let visit_of = |state: zeroconf_dtmc::StateId| -> f64 {
+        transient
+            .iter()
+            .position(|&s| s == state)
+            .map_or(0.0, |pos| visits[pos])
+    };
+    let attempts = visit_of(model.start);
+    let probe_visits: f64 = model.probes.iter().map(|&p| visit_of(p)).sum();
+    let ok_probability = analysis.absorption_probability(model.start, model.ok)?;
+    let probes = probe_visits + n as f64 * ok_probability;
+    Ok(ProtocolMetrics {
+        expected_attempts: attempts,
+        expected_probes: probes,
+        expected_listening_seconds: probes * r,
+        collision_probability: analysis.absorption_probability(model.start, model.error)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use zeroconf_dist::DefectiveExponential;
+
+    use crate::{cost, paper};
+
+    use super::*;
+
+    fn moderate() -> Scenario {
+        Scenario::builder()
+            .occupancy(0.4)
+            .probe_cost(1.0)
+            .error_cost(0.0)
+            .reply_time(Arc::new(
+                DefectiveExponential::from_loss(0.3, 4.0, 0.05).unwrap(),
+            ))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn probes_match_the_cost_trick() {
+        // With E = 0, mean cost / (r + c) is exactly the expected probe
+        // count (every unit of cost is one probe round).
+        let scenario = moderate();
+        for (n, r) in [(1u32, 0.5), (3, 0.4), (5, 1.0)] {
+            let metrics = protocol_metrics(&scenario, n, r).unwrap();
+            let via_cost = cost::mean_cost(&scenario, n, r).unwrap() / (r + 1.0);
+            assert!(
+                (metrics.expected_probes - via_cost).abs() < 1e-10,
+                "n = {n}, r = {r}: {} vs {via_cost}",
+                metrics.expected_probes
+            );
+            assert!(
+                (metrics.expected_listening_seconds - metrics.expected_probes * r).abs()
+                    < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn attempts_follow_the_restart_probability() {
+        // Expected attempts satisfy a = 1 + q(1 − π_n)·a: each attempt
+        // restarts iff the address was occupied and some reply arrived.
+        let scenario = moderate();
+        let (n, r) = (3u32, 0.6);
+        let metrics = protocol_metrics(&scenario, n, r).unwrap();
+        let pis =
+            zeroconf_dist::noanswer::pi_sequence(scenario.reply_time(), n as usize, r).unwrap();
+        let restart = scenario.occupancy() * (1.0 - pis[n as usize]);
+        let expected = 1.0 / (1.0 - restart);
+        assert!(
+            (metrics.expected_attempts - expected).abs() < 1e-10,
+            "{} vs {expected}",
+            metrics.expected_attempts
+        );
+    }
+
+    #[test]
+    fn near_empty_network_needs_one_attempt_and_n_probes() {
+        let scenario = moderate().with_occupancy(1e-9).unwrap();
+        let metrics = protocol_metrics(&scenario, 4, 1.0).unwrap();
+        assert!((metrics.expected_attempts - 1.0).abs() < 1e-6);
+        assert!((metrics.expected_probes - 4.0).abs() < 1e-6);
+        assert!(metrics.collision_probability < 1e-6);
+    }
+
+    #[test]
+    fn figure2_draft_configuration_metrics() {
+        // At (n = 4, r = 2) on the Figure-2 scenario nearly every reply
+        // arrives in round one, so a run costs about one extra attempt per
+        // occupied draw and roughly n + q probes.
+        let scenario = paper::figure2_scenario().unwrap();
+        let metrics = protocol_metrics(&scenario, 4, 2.0).unwrap();
+        let q = scenario.occupancy();
+        assert!((metrics.expected_attempts - 1.0 / (1.0 - q)).abs() < 1e-6);
+        assert!(metrics.expected_probes > 4.0);
+        assert!(metrics.expected_probes < 4.0 + 2.0 * q / (1.0 - q) + 1e-6);
+        assert!((metrics.collision_probability
+            - cost::error_probability(&scenario, 4, 2.0).unwrap())
+        .abs()
+            < 1e-15);
+    }
+
+    #[test]
+    fn invalid_arguments_are_rejected() {
+        let scenario = moderate();
+        assert!(protocol_metrics(&scenario, 0, 1.0).is_err());
+        assert!(protocol_metrics(&scenario, 4, -1.0).is_err());
+    }
+}

@@ -1,0 +1,359 @@
+//! Optimization of the designer-controlled parameters `n` and `r`
+//! (Sections 4.2 – 4.4 of the paper).
+
+use zeroconf_numopt::{grid_refine_min, Tolerance};
+
+use crate::cost::{check_n, check_r};
+use crate::{cost, CostError, Scenario};
+
+/// Search configuration for the optimizers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimizeConfig {
+    /// Upper end of the listening-period search interval (seconds). The
+    /// optimum is interior for sensible scenarios; the default of 120 s
+    /// comfortably covers every parameter set in the paper.
+    pub r_max: f64,
+    /// Grid density of the initial coarse scan.
+    pub grid_points: usize,
+    /// Largest probe count considered by the `n`-searches.
+    pub n_max: u32,
+    /// Refinement tolerance.
+    pub tolerance: Tolerance,
+}
+
+impl Default for OptimizeConfig {
+    fn default() -> Self {
+        OptimizeConfig {
+            r_max: 120.0,
+            grid_points: 600,
+            n_max: 64,
+            tolerance: Tolerance::default(),
+        }
+    }
+}
+
+/// The cost-optimal listening period for a fixed probe count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimalListening {
+    /// The probe count the optimization was run for.
+    pub n: u32,
+    /// `r_opt^{(n)}`.
+    pub r: f64,
+    /// `C_n(r_opt)`.
+    pub cost: f64,
+}
+
+/// The joint optimum over `(n, r)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JointOptimum {
+    /// Optimal probe count `n*`.
+    pub n: u32,
+    /// Optimal listening period `r*`.
+    pub r: f64,
+    /// The minimal mean cost `C(n*, r*)`.
+    pub cost: f64,
+    /// Collision probability at the optimum.
+    pub error_probability: f64,
+    /// Per-`n` minima explored on the way (the minima of the Figure 2
+    /// curves), in increasing `n`.
+    pub per_probe_count: Vec<OptimalListening>,
+}
+
+/// `r_opt^{(n)}`: the listening period minimizing `C_n(r)` (Section 4.2).
+///
+/// Uses a coarse grid scan plus golden-section refinement —
+/// `C_n` is a descending polynomial tail glued to a rising line, so a
+/// bracketing scan is cheap insurance against the flat regions at tiny
+/// `r`.
+///
+/// # Errors
+///
+/// - [`CostError::InvalidProbeCount`] when `n == 0`.
+/// - [`CostError::InvalidSearchRange`] when the configuration is unusable.
+/// - Any evaluation failure of the cost function.
+pub fn optimal_listening(
+    scenario: &Scenario,
+    n: u32,
+    config: &OptimizeConfig,
+) -> Result<OptimalListening, CostError> {
+    check_n(n)?;
+    check_config(config)?;
+    // The closure must be infallible for the solver; validated arguments
+    // make cost evaluation total, so any residual failure becomes NaN and
+    // is caught by the solver's NaN check.
+    let objective = |r: f64| cost::mean_cost(scenario, n, r).unwrap_or(f64::NAN);
+    let min = grid_refine_min(objective, 0.0, config.r_max, config.grid_points, config.tolerance)?;
+    Ok(OptimalListening {
+        n,
+        r: min.argument,
+        cost: min.value,
+    })
+}
+
+/// `N(r)`: the probe count minimizing `C(n, r)` for a fixed listening
+/// period (Section 4.4). Ties resolve to the smallest `n`, matching the
+/// paper's `min{n | C_n(r) = inf_k C_k(r)}`.
+///
+/// # Errors
+///
+/// - [`CostError::InvalidListeningPeriod`] for bad `r`.
+/// - [`CostError::InvalidSearchRange`] when `config.n_max == 0`.
+pub fn optimal_probe_count(
+    scenario: &Scenario,
+    r: f64,
+    config: &OptimizeConfig,
+) -> Result<OptimalListening, CostError> {
+    check_r(r)?;
+    if config.n_max == 0 {
+        return Err(CostError::InvalidSearchRange {
+            what: "n_max must be at least 1",
+        });
+    }
+    let mut best: Option<OptimalListening> = None;
+    for n in 1..=config.n_max {
+        let c = cost::mean_cost(scenario, n, r)?;
+        let better = match &best {
+            None => true,
+            Some(b) => c < b.cost,
+        };
+        if better {
+            best = Some(OptimalListening { n, r, cost: c });
+        }
+    }
+    Ok(best.expect("n_max >= 1 guarantees at least one candidate"))
+}
+
+/// `C_min(r) = C(N(r), r)`: the lower envelope of all cost curves
+/// (Figure 4).
+///
+/// # Errors
+///
+/// Same conditions as [`optimal_probe_count`].
+pub fn minimal_cost_envelope(
+    scenario: &Scenario,
+    r: f64,
+    config: &OptimizeConfig,
+) -> Result<f64, CostError> {
+    Ok(optimal_probe_count(scenario, r, config)?.cost)
+}
+
+/// The joint optimum `(n*, r*) = argmin C(n, r)` (the question Section 6
+/// answers for the realistic scenario).
+///
+/// Scans `n` upward, optimizing `r` for each; stops once the per-`n`
+/// minimum has worsened for several consecutive probe counts beyond the
+/// incumbent (the postage `c` makes large `n` strictly worse, Section 4.3),
+/// or at `config.n_max`.
+///
+/// # Errors
+///
+/// Same conditions as [`optimal_listening`].
+pub fn joint_optimum(
+    scenario: &Scenario,
+    config: &OptimizeConfig,
+) -> Result<JointOptimum, CostError> {
+    check_config(config)?;
+    let mut per_probe_count = Vec::new();
+    let mut best: Option<OptimalListening> = None;
+    let mut worsening_streak = 0;
+    for n in 1..=config.n_max {
+        let candidate = optimal_listening(scenario, n, config)?;
+        per_probe_count.push(candidate);
+        match &best {
+            Some(incumbent) if candidate.cost >= incumbent.cost => {
+                worsening_streak += 1;
+                if worsening_streak >= 4 {
+                    break;
+                }
+            }
+            _ => {
+                worsening_streak = 0;
+                best = Some(candidate);
+            }
+        }
+    }
+    let best = best.expect("loop runs at least once");
+    Ok(JointOptimum {
+        n: best.n,
+        r: best.r,
+        cost: best.cost,
+        error_probability: cost::error_probability(scenario, best.n, best.r)?,
+        per_probe_count,
+    })
+}
+
+fn check_config(config: &OptimizeConfig) -> Result<(), CostError> {
+    if !config.r_max.is_finite() || config.r_max <= 0.0 {
+        return Err(CostError::InvalidSearchRange {
+            what: "r_max must be positive and finite",
+        });
+    }
+    if config.grid_points < 3 {
+        return Err(CostError::InvalidSearchRange {
+            what: "grid_points must be at least 3",
+        });
+    }
+    if config.n_max == 0 {
+        return Err(CostError::InvalidSearchRange {
+            what: "n_max must be at least 1",
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use zeroconf_dist::DefectiveExponential;
+
+    use crate::Scenario;
+
+    use super::*;
+
+    fn figure2() -> Scenario {
+        Scenario::builder()
+            .hosts(1000)
+            .unwrap()
+            .probe_cost(2.0)
+            .error_cost(1e35)
+            .reply_time(Arc::new(
+                DefectiveExponential::from_loss(1e-15, 10.0, 1.0).unwrap(),
+            ))
+            .build()
+            .unwrap()
+    }
+
+    fn config() -> OptimizeConfig {
+        OptimizeConfig {
+            r_max: 60.0,
+            grid_points: 400,
+            n_max: 16,
+            ..OptimizeConfig::default()
+        }
+    }
+
+    #[test]
+    fn optimal_r_is_interior_and_stationary() {
+        let s = figure2();
+        let opt = optimal_listening(&s, 4, &config()).unwrap();
+        assert!(opt.r > 0.0 && opt.r < 60.0);
+        // Perturbations in either direction must not improve.
+        let eps = 1e-3;
+        assert!(s.mean_cost(4, opt.r - eps).unwrap() >= opt.cost - 1e-9);
+        assert!(s.mean_cost(4, opt.r + eps).unwrap() >= opt.cost - 1e-9);
+    }
+
+    #[test]
+    fn higher_n_means_smaller_optimal_r() {
+        // Figure 2: "The higher n is chosen, the smaller r_opt".
+        let s = figure2();
+        let mut prev_r = f64::INFINITY;
+        for n in 3..=8 {
+            let opt = optimal_listening(&s, n, &config()).unwrap();
+            assert!(
+                opt.r < prev_r,
+                "n = {n}: r_opt {} should shrink (prev {prev_r})",
+                opt.r
+            );
+            prev_r = opt.r;
+        }
+    }
+
+    #[test]
+    fn minimal_costs_increase_beyond_n_three() {
+        // Figure 2: C_3(r_opt) < C_4(r_opt) < ... — postage makes extra
+        // probes a net loss once reliability is saturated.
+        let s = figure2();
+        let costs: Vec<f64> = (3..=8)
+            .map(|n| optimal_listening(&s, n, &config()).unwrap().cost)
+            .collect();
+        for w in costs.windows(2) {
+            assert!(w[0] < w[1], "{w:?}");
+        }
+    }
+
+    #[test]
+    fn joint_optimum_for_figure2_is_n_three() {
+        // ν = 3 and the minima increase beyond 3, so the joint optimum has
+        // n* = 3.
+        let s = figure2();
+        let opt = joint_optimum(&s, &config()).unwrap();
+        assert_eq!(opt.n, 3);
+        assert!(opt.cost > 0.0);
+        assert!(opt.error_probability < 1e-30);
+        assert!(opt.per_probe_count.len() >= 4);
+    }
+
+    #[test]
+    fn optimal_probe_count_steps_down_in_r() {
+        // Figure 3: N(r) is a decreasing step function.
+        let s = figure2();
+        let cfg = config();
+        let mut prev_n = u32::MAX;
+        for r in [1.5, 2.0, 3.0, 5.0, 8.0, 15.0, 30.0] {
+            let n = optimal_probe_count(&s, r, &cfg).unwrap().n;
+            assert!(n <= prev_n, "N({r}) = {n} should not exceed {prev_n}");
+            prev_n = n;
+        }
+        // And it is never below ν = 3 while the collision term matters.
+        assert!(prev_n >= 3);
+    }
+
+    #[test]
+    fn envelope_is_pointwise_minimum() {
+        let s = figure2();
+        let cfg = config();
+        for r in [2.0, 4.0, 10.0] {
+            let envelope = minimal_cost_envelope(&s, r, &cfg).unwrap();
+            for n in 1..=10 {
+                assert!(envelope <= s.mean_cost(n, r).unwrap() + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn ties_resolve_to_smallest_n() {
+        // With a free postage and no losses, more probes only waste time;
+        // several n may tie at r = 0 — N must pick the smallest.
+        let s = Scenario::builder()
+            .occupancy(0.1)
+            .probe_cost(0.0)
+            .error_cost(0.0)
+            .reply_time(Arc::new(DefectiveExponential::new(1.0, 5.0, 0.1).unwrap()))
+            .build()
+            .unwrap();
+        let pick = optimal_probe_count(&s, 0.0, &config()).unwrap();
+        assert_eq!(pick.n, 1);
+    }
+
+    #[test]
+    fn config_validation() {
+        let s = figure2();
+        let bad_r = OptimizeConfig {
+            r_max: 0.0,
+            ..OptimizeConfig::default()
+        };
+        assert!(optimal_listening(&s, 4, &bad_r).is_err());
+        let bad_grid = OptimizeConfig {
+            grid_points: 2,
+            ..OptimizeConfig::default()
+        };
+        assert!(joint_optimum(&s, &bad_grid).is_err());
+        let bad_n = OptimizeConfig {
+            n_max: 0,
+            ..OptimizeConfig::default()
+        };
+        assert!(optimal_probe_count(&s, 1.0, &bad_n).is_err());
+        assert!(optimal_listening(&s, 0, &config()).is_err());
+        assert!(optimal_probe_count(&s, -1.0, &config()).is_err());
+    }
+
+    #[test]
+    fn default_config_is_usable() {
+        let cfg = OptimizeConfig::default();
+        assert!(cfg.r_max > 0.0);
+        assert!(cfg.grid_points >= 3);
+        assert!(cfg.n_max >= 1);
+    }
+}

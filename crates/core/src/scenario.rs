@@ -1,0 +1,419 @@
+//! The application-specific parameters of the cost model.
+
+use std::fmt;
+use std::sync::Arc;
+
+use zeroconf_dist::ReplyTimeDistribution;
+
+use crate::{cost, drm, CostError, ADDRESS_SPACE_SIZE};
+
+/// The application-specific side of the model: everything the protocol
+/// designer can *not* choose (Section 4.2 of the paper).
+///
+/// A scenario fixes
+///
+/// - `q` — probability that a randomly selected address is already in use
+///   (`q = m / 65024` for `m` configured hosts),
+/// - `c` — the network "postage" charged per ARP probe,
+/// - `E` — the cost of erroneously accepting an address in use,
+/// - `F_X` — the (defective) distribution of probe-reply times.
+///
+/// The designer-controlled parameters `n` (probe count) and `r` (listening
+/// period) are arguments of the queries instead, so one scenario value
+/// serves a whole parameter study.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use zeroconf_cost::Scenario;
+/// use zeroconf_dist::DefectiveExponential;
+///
+/// # fn main() -> Result<(), zeroconf_cost::CostError> {
+/// let scenario = Scenario::builder()
+///     .hosts(1000)?
+///     .probe_cost(2.0)
+///     .error_cost(1e35)
+///     .reply_time(Arc::new(DefectiveExponential::from_loss(1e-15, 10.0, 1.0)?))
+///     .build()?;
+/// assert!(scenario.mean_cost(4, 2.0)? > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct Scenario {
+    occupancy: f64,
+    probe_cost: f64,
+    error_cost: f64,
+    reply_time: Arc<dyn ReplyTimeDistribution>,
+}
+
+impl fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Scenario")
+            .field("occupancy", &self.occupancy)
+            .field("probe_cost", &self.probe_cost)
+            .field("error_cost", &self.error_cost)
+            .field("reply_time", &self.reply_time)
+            .finish()
+    }
+}
+
+impl Scenario {
+    /// Starts building a scenario.
+    pub fn builder() -> ScenarioBuilder {
+        ScenarioBuilder::default()
+    }
+
+    /// The address-occupancy probability `q`.
+    pub fn occupancy(&self) -> f64 {
+        self.occupancy
+    }
+
+    /// The per-probe postage `c`.
+    pub fn probe_cost(&self) -> f64 {
+        self.probe_cost
+    }
+
+    /// The collision cost `E`.
+    pub fn error_cost(&self) -> f64 {
+        self.error_cost
+    }
+
+    /// The reply-time distribution `F_X`.
+    pub fn reply_time(&self) -> &Arc<dyn ReplyTimeDistribution> {
+        &self.reply_time
+    }
+
+    /// Returns a copy with a different collision cost `E` (used heavily by
+    /// the Section 4.5 calibration).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CostError::InvalidParameter`] for a negative or non-finite
+    /// cost.
+    pub fn with_error_cost(&self, error_cost: f64) -> Result<Scenario, CostError> {
+        check_nonnegative("error_cost", error_cost)?;
+        Ok(Scenario {
+            error_cost,
+            ..self.clone()
+        })
+    }
+
+    /// Returns a copy with a different probe postage `c`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CostError::InvalidParameter`] for a negative or non-finite
+    /// cost.
+    pub fn with_probe_cost(&self, probe_cost: f64) -> Result<Scenario, CostError> {
+        check_nonnegative("probe_cost", probe_cost)?;
+        Ok(Scenario {
+            probe_cost,
+            ..self.clone()
+        })
+    }
+
+    /// Returns a copy with a different occupancy probability `q`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CostError::InvalidParameter`] unless `q ∈ (0, 1)`.
+    pub fn with_occupancy(&self, occupancy: f64) -> Result<Scenario, CostError> {
+        check_occupancy(occupancy)?;
+        Ok(Scenario {
+            occupancy,
+            ..self.clone()
+        })
+    }
+
+    /// Mean total cost `C(n, r)` of a protocol run — Eq. (3) of the paper.
+    ///
+    /// # Errors
+    ///
+    /// - [`CostError::InvalidProbeCount`] when `n == 0`.
+    /// - [`CostError::InvalidListeningPeriod`] for negative/non-finite `r`.
+    pub fn mean_cost(&self, n: u32, r: f64) -> Result<f64, CostError> {
+        cost::mean_cost(self, n, r)
+    }
+
+    /// Collision probability `E(n, r)` — Eq. (4) of the paper.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Scenario::mean_cost`].
+    pub fn error_probability(&self, n: u32, r: f64) -> Result<f64, CostError> {
+        cost::error_probability(self, n, r)
+    }
+
+    /// Protocol reliability: `1 − E(n, r)` (Section 5).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Scenario::mean_cost`].
+    pub fn reliability(&self, n: u32, r: f64) -> Result<f64, CostError> {
+        Ok(1.0 - self.error_probability(n, r)?)
+    }
+
+    /// The asymptote `A_n(r)` the cost approaches for large `r`
+    /// (Section 4.2).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Scenario::mean_cost`].
+    pub fn asymptote(&self, n: u32, r: f64) -> Result<f64, CostError> {
+        cost::asymptote(self, n, r)
+    }
+
+    /// Lower bound `ν = ⌈−log E / log(1 − l)⌉` on a useful probe count
+    /// (Section 4.4); `None` when the link never loses replies (the bound
+    /// degenerates).
+    pub fn nu_lower_bound(&self) -> Option<u32> {
+        cost::nu_lower_bound(self)
+    }
+
+    /// Mean total cost computed by building the DRM of Section 4.1 and
+    /// solving the linear system of Eq. (2) — the cross-check for Eq. (3).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Scenario::mean_cost`], plus any chain-analysis
+    /// failure.
+    pub fn mean_cost_via_drm(&self, n: u32, r: f64) -> Result<f64, CostError> {
+        drm::mean_cost_via_drm(self, n, r)
+    }
+
+    /// Collision probability via the DRM absorption analysis (Section 5) —
+    /// the cross-check for Eq. (4).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Scenario::mean_cost_via_drm`].
+    pub fn error_probability_via_drm(&self, n: u32, r: f64) -> Result<f64, CostError> {
+        drm::error_probability_via_drm(self, n, r)
+    }
+
+    /// Standard deviation of the total cost of a run (an extension beyond
+    /// the paper, computed on the DRM).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Scenario::mean_cost_via_drm`].
+    pub fn cost_standard_deviation(&self, n: u32, r: f64) -> Result<f64, CostError> {
+        drm::cost_standard_deviation(self, n, r)
+    }
+}
+
+/// Builder for [`Scenario`].
+#[derive(Debug, Default, Clone)]
+pub struct ScenarioBuilder {
+    occupancy: Option<f64>,
+    probe_cost: Option<f64>,
+    error_cost: Option<f64>,
+    reply_time: Option<Arc<dyn ReplyTimeDistribution>>,
+}
+
+impl ScenarioBuilder {
+    /// Creates an empty builder (equivalent to [`Scenario::builder`]).
+    pub fn new() -> Self {
+        ScenarioBuilder::default()
+    }
+
+    /// Sets the occupancy probability `q` directly.
+    pub fn occupancy(mut self, q: f64) -> Self {
+        self.occupancy = Some(q);
+        self
+    }
+
+    /// Sets `q = hosts / 65024`, the paper's own parameterization ("we
+    /// assume that 1000 hosts are already connected").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CostError::InvalidParameter`] when `hosts` is zero or not
+    /// smaller than the address-space size.
+    pub fn hosts(mut self, hosts: u32) -> Result<Self, CostError> {
+        if hosts == 0 || hosts >= ADDRESS_SPACE_SIZE {
+            return Err(CostError::InvalidParameter {
+                parameter: "hosts",
+                value: hosts as f64,
+            });
+        }
+        self.occupancy = Some(hosts as f64 / ADDRESS_SPACE_SIZE as f64);
+        Ok(self)
+    }
+
+    /// Sets the per-probe postage `c`.
+    pub fn probe_cost(mut self, c: f64) -> Self {
+        self.probe_cost = Some(c);
+        self
+    }
+
+    /// Sets the collision cost `E`.
+    pub fn error_cost(mut self, e: f64) -> Self {
+        self.error_cost = Some(e);
+        self
+    }
+
+    /// Sets the reply-time distribution `F_X`.
+    pub fn reply_time(mut self, dist: Arc<dyn ReplyTimeDistribution>) -> Self {
+        self.reply_time = Some(dist);
+        self
+    }
+
+    /// Validates and builds the scenario.
+    ///
+    /// # Errors
+    ///
+    /// - [`CostError::MissingReplyTime`] when no distribution was set.
+    /// - [`CostError::InvalidParameter`] when `q ∉ (0, 1)` or a cost is
+    ///   negative/non-finite (all three numeric parameters must be set).
+    pub fn build(self) -> Result<Scenario, CostError> {
+        let occupancy = self.occupancy.ok_or(CostError::InvalidParameter {
+            parameter: "occupancy",
+            value: f64::NAN,
+        })?;
+        check_occupancy(occupancy)?;
+        let probe_cost = self.probe_cost.ok_or(CostError::InvalidParameter {
+            parameter: "probe_cost",
+            value: f64::NAN,
+        })?;
+        check_nonnegative("probe_cost", probe_cost)?;
+        let error_cost = self.error_cost.ok_or(CostError::InvalidParameter {
+            parameter: "error_cost",
+            value: f64::NAN,
+        })?;
+        check_nonnegative("error_cost", error_cost)?;
+        let reply_time = self.reply_time.ok_or(CostError::MissingReplyTime)?;
+        Ok(Scenario {
+            occupancy,
+            probe_cost,
+            error_cost,
+            reply_time,
+        })
+    }
+}
+
+fn check_occupancy(q: f64) -> Result<(), CostError> {
+    if !q.is_finite() || q <= 0.0 || q >= 1.0 {
+        Err(CostError::InvalidParameter {
+            parameter: "occupancy",
+            value: q,
+        })
+    } else {
+        Ok(())
+    }
+}
+
+fn check_nonnegative(parameter: &'static str, value: f64) -> Result<(), CostError> {
+    if !value.is_finite() || value < 0.0 {
+        Err(CostError::InvalidParameter { parameter, value })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use zeroconf_dist::DefectiveExponential;
+
+    use super::*;
+
+    fn dist() -> Arc<dyn ReplyTimeDistribution> {
+        Arc::new(DefectiveExponential::from_loss(1e-5, 10.0, 1.0).unwrap())
+    }
+
+    #[test]
+    fn builder_requires_all_fields() {
+        assert!(matches!(
+            Scenario::builder().build(),
+            Err(CostError::InvalidParameter { parameter: "occupancy", .. })
+        ));
+        assert!(matches!(
+            Scenario::builder().occupancy(0.1).build(),
+            Err(CostError::InvalidParameter { parameter: "probe_cost", .. })
+        ));
+        assert!(matches!(
+            Scenario::builder().occupancy(0.1).probe_cost(1.0).build(),
+            Err(CostError::InvalidParameter { parameter: "error_cost", .. })
+        ));
+        assert!(matches!(
+            Scenario::builder()
+                .occupancy(0.1)
+                .probe_cost(1.0)
+                .error_cost(1.0)
+                .build(),
+            Err(CostError::MissingReplyTime)
+        ));
+    }
+
+    #[test]
+    fn builder_validates_domains() {
+        let b = || {
+            Scenario::builder()
+                .probe_cost(1.0)
+                .error_cost(1.0)
+                .reply_time(dist())
+        };
+        assert!(b().occupancy(0.0).build().is_err());
+        assert!(b().occupancy(1.0).build().is_err());
+        assert!(b().occupancy(-0.1).build().is_err());
+        assert!(b().occupancy(0.5).probe_cost(-1.0).build().is_err());
+        assert!(b().occupancy(0.5).error_cost(f64::NAN).build().is_err());
+        assert!(b().occupancy(0.5).build().is_ok());
+    }
+
+    #[test]
+    fn hosts_sets_paper_occupancy() {
+        let s = Scenario::builder()
+            .hosts(1000)
+            .unwrap()
+            .probe_cost(2.0)
+            .error_cost(1e35)
+            .reply_time(dist())
+            .build()
+            .unwrap();
+        assert!((s.occupancy() - 1000.0 / 65024.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn hosts_rejects_degenerate_counts() {
+        assert!(Scenario::builder().hosts(0).is_err());
+        assert!(Scenario::builder().hosts(ADDRESS_SPACE_SIZE).is_err());
+        assert!(Scenario::builder().hosts(ADDRESS_SPACE_SIZE - 1).is_ok());
+    }
+
+    #[test]
+    fn with_methods_create_modified_copies() {
+        let s = Scenario::builder()
+            .occupancy(0.1)
+            .probe_cost(2.0)
+            .error_cost(100.0)
+            .reply_time(dist())
+            .build()
+            .unwrap();
+        let s2 = s.with_error_cost(200.0).unwrap();
+        assert_eq!(s2.error_cost(), 200.0);
+        assert_eq!(s.error_cost(), 100.0);
+        let s3 = s.with_probe_cost(3.0).unwrap();
+        assert_eq!(s3.probe_cost(), 3.0);
+        let s4 = s.with_occupancy(0.2).unwrap();
+        assert_eq!(s4.occupancy(), 0.2);
+        assert!(s.with_error_cost(-1.0).is_err());
+        assert!(s.with_occupancy(2.0).is_err());
+    }
+
+    #[test]
+    fn debug_shows_parameters() {
+        let s = Scenario::builder()
+            .occupancy(0.25)
+            .probe_cost(2.0)
+            .error_cost(5.0)
+            .reply_time(dist())
+            .build()
+            .unwrap();
+        let text = format!("{s:?}");
+        assert!(text.contains("0.25"));
+        assert!(text.contains("probe_cost"));
+    }
+}

@@ -1,0 +1,174 @@
+//! Sensitivity analysis: how strongly the model's outputs react to the
+//! application-specific parameters (the "standard exercise" of
+//! Section 4.2, which the paper defers and this reproduction carries out).
+
+use crate::{cost, CostError, Scenario};
+
+/// One sweep sample: a parameter value with the model outputs at that
+/// value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// The swept parameter's value.
+    pub parameter: f64,
+    /// Mean total cost `C(n, r)` at this value.
+    pub cost: f64,
+    /// Collision probability `E(n, r)` at this value.
+    pub error_probability: f64,
+}
+
+/// Which scenario parameter a sweep or elasticity varies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parameter {
+    /// The occupancy probability `q`.
+    Occupancy,
+    /// The per-probe postage `c`.
+    ProbeCost,
+    /// The collision cost `E`.
+    ErrorCost,
+}
+
+/// Sweeps one parameter over the given values at fixed `(n, r)`.
+///
+/// # Errors
+///
+/// Propagates validation failures for any individual value (e.g. `q ≥ 1`).
+pub fn sweep(
+    scenario: &Scenario,
+    parameter: Parameter,
+    values: &[f64],
+    n: u32,
+    r: f64,
+) -> Result<Vec<SweepPoint>, CostError> {
+    values
+        .iter()
+        .map(|&v| {
+            let varied = apply(scenario, parameter, v)?;
+            Ok(SweepPoint {
+                parameter: v,
+                cost: cost::mean_cost(&varied, n, r)?,
+                error_probability: cost::error_probability(&varied, n, r)?,
+            })
+        })
+        .collect()
+}
+
+/// Elasticity `(∂C/∂p) · (p/C)` of the mean cost with respect to a
+/// parameter, estimated by a central finite difference with relative step
+/// `h` (e.g. `1e-4`). An elasticity of 1 means "1 % more parameter, 1 %
+/// more cost".
+///
+/// # Errors
+///
+/// - [`CostError::InvalidParameter`] when the perturbed parameter leaves
+///   its domain or `h` is not in `(0, 0.5)`.
+/// - Propagated evaluation failures.
+pub fn cost_elasticity(
+    scenario: &Scenario,
+    parameter: Parameter,
+    n: u32,
+    r: f64,
+    h: f64,
+) -> Result<f64, CostError> {
+    if !h.is_finite() || h <= 0.0 || h >= 0.5 {
+        return Err(CostError::InvalidParameter {
+            parameter: "relative step h",
+            value: h,
+        });
+    }
+    let p0 = current(scenario, parameter);
+    let up = apply(scenario, parameter, p0 * (1.0 + h))?;
+    let down = apply(scenario, parameter, p0 * (1.0 - h))?;
+    let c0 = cost::mean_cost(scenario, n, r)?;
+    let c_up = cost::mean_cost(&up, n, r)?;
+    let c_down = cost::mean_cost(&down, n, r)?;
+    Ok((c_up - c_down) / (2.0 * h * p0) * (p0 / c0))
+}
+
+fn current(scenario: &Scenario, parameter: Parameter) -> f64 {
+    match parameter {
+        Parameter::Occupancy => scenario.occupancy(),
+        Parameter::ProbeCost => scenario.probe_cost(),
+        Parameter::ErrorCost => scenario.error_cost(),
+    }
+}
+
+fn apply(scenario: &Scenario, parameter: Parameter, value: f64) -> Result<Scenario, CostError> {
+    match parameter {
+        Parameter::Occupancy => scenario.with_occupancy(value),
+        Parameter::ProbeCost => scenario.with_probe_cost(value),
+        Parameter::ErrorCost => scenario.with_error_cost(value),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use zeroconf_dist::DefectiveExponential;
+
+    use crate::Scenario;
+
+    use super::*;
+
+    fn base() -> Scenario {
+        Scenario::builder()
+            .occupancy(0.05)
+            .probe_cost(2.0)
+            .error_cost(1e10)
+            .reply_time(Arc::new(
+                DefectiveExponential::from_loss(1e-4, 10.0, 1.0).unwrap(),
+            ))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn sweep_returns_one_point_per_value() {
+        let points = sweep(&base(), Parameter::Occupancy, &[0.01, 0.1, 0.3], 4, 2.0).unwrap();
+        assert_eq!(points.len(), 3);
+        // Cost and risk both grow with occupancy.
+        assert!(points[0].cost < points[2].cost);
+        assert!(points[0].error_probability < points[2].error_probability);
+    }
+
+    #[test]
+    fn sweep_propagates_domain_errors() {
+        assert!(sweep(&base(), Parameter::Occupancy, &[1.5], 4, 2.0).is_err());
+    }
+
+    #[test]
+    fn probe_cost_elasticity_is_positive_and_below_one() {
+        // c enters (r + c) additively, so doubling c less than doubles the
+        // cost at r = 2.
+        let e = cost_elasticity(&base(), Parameter::ProbeCost, 4, 2.0, 1e-4).unwrap();
+        assert!(e > 0.0 && e < 1.0, "elasticity {e}");
+    }
+
+    #[test]
+    fn error_cost_elasticity_vanishes_when_collisions_are_impossible() {
+        // At generous r with a nearly lossless link the collision term is
+        // astronomically small: E has no influence.
+        let e = cost_elasticity(&base(), Parameter::ErrorCost, 4, 4.0, 1e-4).unwrap();
+        assert!(e.abs() < 1e-6, "elasticity {e}");
+    }
+
+    #[test]
+    fn error_cost_elasticity_saturates_at_one_when_collisions_dominate() {
+        // At r = 0 the cost is c·n + qE ≈ qE: elasticity ≈ 1.
+        let e = cost_elasticity(&base(), Parameter::ErrorCost, 4, 0.0, 1e-4).unwrap();
+        assert!((e - 1.0).abs() < 1e-3, "elasticity {e}");
+    }
+
+    #[test]
+    fn step_size_is_validated() {
+        assert!(cost_elasticity(&base(), Parameter::Occupancy, 4, 2.0, 0.0).is_err());
+        assert!(cost_elasticity(&base(), Parameter::Occupancy, 4, 2.0, 0.9).is_err());
+        assert!(cost_elasticity(&base(), Parameter::Occupancy, 4, 2.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn occupancy_elasticity_is_positive() {
+        let e = cost_elasticity(&base(), Parameter::Occupancy, 4, 2.0, 1e-4).unwrap();
+        assert!(e > 0.0);
+    }
+}

@@ -1,0 +1,218 @@
+//! The cost/reliability trade-off, made explicit.
+//!
+//! The paper's headline conclusion is that "minimal cost and maximal
+//! reliability are qualities that cannot be achieved at the same time"
+//! (compare its Figures 4 and 6). This module turns that observation into
+//! an artifact: the *Pareto frontier* of configurations `(n, r)` under the
+//! two objectives (mean cost, collision probability). A configuration is
+//! Pareto-optimal when no other configuration is at least as good in both
+//! objectives and strictly better in one; the frontier is exactly the menu
+//! of rational designs a manufacturer can pick from.
+
+use crate::cost;
+use crate::{CostError, Scenario};
+
+/// One Pareto-optimal configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParetoPoint {
+    /// Probe count.
+    pub n: u32,
+    /// Listening period.
+    pub r: f64,
+    /// Mean total cost at `(n, r)`.
+    pub cost: f64,
+    /// Collision probability at `(n, r)`.
+    pub error_probability: f64,
+}
+
+/// Search grid for the frontier computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TradeoffConfig {
+    /// Largest probe count considered.
+    pub n_max: u32,
+    /// Listening-period range `[r_min, r_max]`.
+    pub r_range: (f64, f64),
+    /// Number of grid points across the range.
+    pub r_points: usize,
+}
+
+impl Default for TradeoffConfig {
+    fn default() -> Self {
+        TradeoffConfig {
+            n_max: 10,
+            r_range: (0.1, 30.0),
+            r_points: 300,
+        }
+    }
+}
+
+/// Computes the Pareto frontier of `(cost, collision probability)` over
+/// the configuration grid, sorted by increasing cost (and therefore
+/// decreasing collision probability).
+///
+/// # Errors
+///
+/// - [`CostError::InvalidSearchRange`] for a degenerate grid.
+/// - Propagated evaluation failures.
+pub fn pareto_frontier(
+    scenario: &Scenario,
+    config: &TradeoffConfig,
+) -> Result<Vec<ParetoPoint>, CostError> {
+    let (r_lo, r_hi) = config.r_range;
+    if config.n_max == 0 || config.r_points < 2 || !(r_lo < r_hi) || !r_lo.is_finite() {
+        return Err(CostError::InvalidSearchRange {
+            what: "tradeoff grid needs n_max >= 1, r_points >= 2 and an ordered finite r range",
+        });
+    }
+    let mut candidates = Vec::with_capacity(config.n_max as usize * config.r_points);
+    for n in 1..=config.n_max {
+        for k in 0..config.r_points {
+            let r = r_lo + (r_hi - r_lo) * k as f64 / (config.r_points - 1) as f64;
+            candidates.push(ParetoPoint {
+                n,
+                r,
+                cost: cost::mean_cost(scenario, n, r)?,
+                error_probability: cost::error_probability(scenario, n, r)?,
+            });
+        }
+    }
+    // Sort by cost, then sweep keeping strictly improving reliability.
+    candidates.sort_by(|a, b| {
+        a.cost
+            .partial_cmp(&b.cost)
+            .expect("costs are finite")
+            .then(
+                a.error_probability
+                    .partial_cmp(&b.error_probability)
+                    .expect("probabilities are finite"),
+            )
+    });
+    let mut frontier: Vec<ParetoPoint> = Vec::new();
+    let mut best_error = f64::INFINITY;
+    for point in candidates {
+        if point.error_probability < best_error {
+            best_error = point.error_probability;
+            frontier.push(point);
+        }
+    }
+    Ok(frontier)
+}
+
+/// The cheapest configuration on the frontier whose collision probability
+/// is at most `max_error` — the "reliability budget" query a manufacturer
+/// actually asks.
+///
+/// # Errors
+///
+/// Same conditions as [`pareto_frontier`]; returns
+/// [`CostError::InvalidSearchRange`] when no grid point meets the budget.
+pub fn cheapest_within_error_budget(
+    scenario: &Scenario,
+    config: &TradeoffConfig,
+    max_error: f64,
+) -> Result<ParetoPoint, CostError> {
+    let frontier = pareto_frontier(scenario, config)?;
+    frontier
+        .into_iter()
+        .find(|p| p.error_probability <= max_error)
+        .ok_or(CostError::InvalidSearchRange {
+            what: "no configuration on the grid meets the error budget",
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::paper;
+
+    use super::*;
+
+    fn config() -> TradeoffConfig {
+        TradeoffConfig {
+            n_max: 8,
+            r_range: (0.2, 20.0),
+            r_points: 120,
+        }
+    }
+
+    #[test]
+    fn frontier_is_monotone_in_both_objectives() {
+        let scenario = paper::figure2_scenario().unwrap();
+        let frontier = pareto_frontier(&scenario, &config()).unwrap();
+        assert!(frontier.len() > 5, "frontier has {} points", frontier.len());
+        for pair in frontier.windows(2) {
+            assert!(pair[0].cost <= pair[1].cost);
+            assert!(pair[0].error_probability > pair[1].error_probability);
+        }
+    }
+
+    #[test]
+    fn frontier_contains_no_dominated_point() {
+        let scenario = paper::figure2_scenario().unwrap();
+        let frontier = pareto_frontier(&scenario, &config()).unwrap();
+        for (i, a) in frontier.iter().enumerate() {
+            for (j, b) in frontier.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let dominates = b.cost <= a.cost
+                    && b.error_probability <= a.error_probability
+                    && (b.cost < a.cost || b.error_probability < a.error_probability);
+                assert!(!dominates, "{b:?} dominates {a:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cheapest_point_approximates_the_joint_optimum() {
+        let scenario = paper::figure2_scenario().unwrap();
+        let frontier = pareto_frontier(&scenario, &config()).unwrap();
+        let cheapest = frontier.first().unwrap();
+        // The grid's cheapest point must be near the refined joint optimum
+        // (n = 3, cost ≈ 12.6).
+        assert_eq!(cheapest.n, 3);
+        assert!((cheapest.cost - 12.6).abs() < 0.5, "{cheapest:?}");
+    }
+
+    #[test]
+    fn headline_tradeoff_more_reliability_costs_more() {
+        // Crossing from 1e−40 to 1e−60 collision probability must cost
+        // strictly more.
+        let scenario = paper::figure2_scenario().unwrap();
+        let cfg = config();
+        let loose = cheapest_within_error_budget(&scenario, &cfg, 1e-40).unwrap();
+        let tight = cheapest_within_error_budget(&scenario, &cfg, 1e-60).unwrap();
+        assert!(tight.cost > loose.cost);
+        assert!(tight.error_probability <= 1e-60);
+    }
+
+    #[test]
+    fn impossible_budget_is_reported() {
+        let scenario = paper::figure2_scenario().unwrap();
+        let result = cheapest_within_error_budget(&scenario, &config(), 1e-300);
+        assert!(matches!(
+            result,
+            Err(CostError::InvalidSearchRange { .. })
+        ));
+    }
+
+    #[test]
+    fn degenerate_grids_are_rejected() {
+        let scenario = paper::figure2_scenario().unwrap();
+        for bad in [
+            TradeoffConfig {
+                n_max: 0,
+                ..config()
+            },
+            TradeoffConfig {
+                r_points: 1,
+                ..config()
+            },
+            TradeoffConfig {
+                r_range: (5.0, 1.0),
+                ..config()
+            },
+        ] {
+            assert!(pareto_frontier(&scenario, &bad).is_err());
+        }
+    }
+}

@@ -1,0 +1,115 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or evaluating reply-time
+/// distributions.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DistError {
+    /// The total reply mass `l` was outside `[0, 1]`.
+    InvalidMass {
+        /// The offending value.
+        value: f64,
+    },
+    /// A rate or scale parameter was not strictly positive and finite.
+    InvalidRate {
+        /// Name of the parameter.
+        parameter: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A delay/shift parameter was negative or not finite.
+    InvalidDelay {
+        /// The offending value.
+        value: f64,
+    },
+    /// An interval `[lo, hi]` was empty or unordered.
+    InvalidInterval {
+        /// Lower bound supplied.
+        lo: f64,
+        /// Upper bound supplied.
+        hi: f64,
+    },
+    /// A mixture weight was negative or not finite, or all weights were
+    /// zero.
+    InvalidWeight {
+        /// Index of the offending component (or 0 for "all zero").
+        component: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A mixture or empirical distribution was given no components/samples.
+    EmptyInput,
+    /// An empirical sample was negative or not finite.
+    InvalidSample {
+        /// Index of the offending sample.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A query argument (time or probe index) was invalid.
+    InvalidQuery {
+        /// Description of what was wrong.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::InvalidMass { value } => {
+                write!(f, "reply mass {value} is outside [0, 1]")
+            }
+            DistError::InvalidRate { parameter, value } => {
+                write!(f, "{parameter} must be positive and finite, got {value}")
+            }
+            DistError::InvalidDelay { value } => {
+                write!(f, "delay must be nonnegative and finite, got {value}")
+            }
+            DistError::InvalidInterval { lo, hi } => {
+                write!(f, "interval [{lo}, {hi}] is empty or unordered")
+            }
+            DistError::InvalidWeight { component, value } => {
+                write!(f, "invalid mixture weight {value} at component {component}")
+            }
+            DistError::EmptyInput => write!(f, "no components or samples supplied"),
+            DistError::InvalidSample { index, value } => {
+                write!(f, "invalid sample {value} at index {index}")
+            }
+            DistError::InvalidQuery { what, value } => {
+                write!(f, "invalid query: {what} (got {value})")
+            }
+        }
+    }
+}
+
+impl Error for DistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(DistError::InvalidMass { value: 1.5 }
+            .to_string()
+            .contains("1.5"));
+        assert!(DistError::InvalidRate {
+            parameter: "lambda",
+            value: -1.0
+        }
+        .to_string()
+        .contains("lambda"));
+        assert!(DistError::InvalidInterval { lo: 2.0, hi: 1.0 }
+            .to_string()
+            .contains("[2, 1]"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DistError>();
+    }
+}

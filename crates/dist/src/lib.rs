@@ -1,0 +1,66 @@
+//! Defective reply-time distributions for the zeroconf cost model.
+//!
+//! Section 3.2 of the paper describes the time `X` between sending an ARP
+//! probe and receiving the reply by a *defective* distribution: a
+//! monotonically increasing function `D(t)` with
+//! `lim_{t→∞} D(t) = l < 1`, where `1 − l` is the probability that the
+//! reply *never* arrives (probe lost, replying host busy, reply lost). The
+//! paper instantiates `D` as a shifted exponential
+//! ([`DefectiveExponential`]) but explicitly notes that `F_X` "should be
+//! based on measurements"; this crate therefore provides a family of
+//! alternatives behind one trait, [`ReplyTimeDistribution`]:
+//!
+//! - [`DefectiveExponential`] — the paper's `F_X(t) = l(1 − e^{−λ(t−d)})`,
+//! - [`DefectiveUniform`] — replies spread evenly over a delay window,
+//! - [`DefectiveWeibull`] — heavier or lighter tails than exponential,
+//! - [`DefectiveDeterministic`] — a fixed round-trip time,
+//! - [`Mixture`] — convex combinations (e.g. fast wired + slow wireless),
+//! - [`Empirical`] — the measured-data case, built from samples.
+//!
+//! The module [`noanswer`] turns any such distribution into the no-answer
+//! probabilities `p_i(r)` of Eq. (1) and their running products `π_i(r)`
+//! used by the cost (Eq. 3) and reliability (Eq. 4) formulas.
+//!
+//! # Numerical note
+//!
+//! For the paper's parameters (`1 − l` as small as `1e−15`) the survival
+//! probability `1 − F_X(t)` suffers catastrophic cancellation when computed
+//! literally, while the figures require relative accuracy of quantities as
+//! small as `1e−54`. Implementations therefore provide
+//! [`ReplyTimeDistribution::survival`] *directly* (e.g.
+//! `(1−l) + l·e^{−λ(t−d)}` for the exponential), and all downstream
+//! formulas consume survivals rather than CDFs. The ablation benchmark
+//! `pi_literal_vs_telescoped` quantifies the difference.
+//!
+//! # Examples
+//!
+//! ```
+//! use zeroconf_dist::{DefectiveExponential, ReplyTimeDistribution};
+//!
+//! # fn main() -> Result<(), zeroconf_dist::DistError> {
+//! // The paper's Figure 2 distribution: d = 1, λ = 10, 1 − l = 1e−15.
+//! let fx = DefectiveExponential::new(1.0 - 1e-15, 10.0, 1.0)?;
+//! assert_eq!(fx.cdf(0.5), 0.0); // before the round-trip delay
+//! assert!(fx.survival(100.0) > 0.0); // the defect never vanishes
+//! # Ok(())
+//! # }
+//! ```
+
+mod deterministic;
+mod empirical;
+mod error;
+mod exponential;
+mod mixture;
+pub mod noanswer;
+mod traits;
+mod uniform;
+mod weibull;
+
+pub use deterministic::DefectiveDeterministic;
+pub use empirical::Empirical;
+pub use error::DistError;
+pub use exponential::DefectiveExponential;
+pub use mixture::Mixture;
+pub use traits::ReplyTimeDistribution;
+pub use uniform::DefectiveUniform;
+pub use weibull::DefectiveWeibull;

@@ -1,0 +1,160 @@
+//! The reply-time distribution trait.
+
+use std::fmt;
+
+use rand::RngCore;
+
+/// A possibly *defective* distribution of the time between sending an ARP
+/// probe and receiving its reply.
+///
+/// Defective means the total mass may be less than one:
+/// [`ReplyTimeDistribution::mass`] returns
+/// `l = lim_{t→∞} Pr{reply arrives and X ≤ t}` and `1 − l` is the
+/// probability the reply never arrives (Section 3.2 of the paper).
+///
+/// # Contract
+///
+/// Implementations must guarantee, for all `0 ≤ s ≤ t`:
+///
+/// - `0 ≤ cdf(t) ≤ mass() ≤ 1` and `cdf(s) ≤ cdf(t)` (monotone),
+/// - `survival(t) = 1 − cdf(t)` mathematically, but computed *directly* to
+///   preserve relative accuracy when `cdf(t)` is close to one (see the
+///   crate-level numerical note),
+/// - `sample` returns `None` with probability `1 − mass()` and otherwise a
+///   time distributed according to the normalized CDF `cdf(t)/mass()`.
+///
+/// The trait is object safe; models hold `Arc<dyn ReplyTimeDistribution>`.
+pub trait ReplyTimeDistribution: fmt::Debug + Send + Sync {
+    /// Total probability `l` that a reply ever arrives.
+    fn mass(&self) -> f64;
+
+    /// The defect `1 − l`: probability that the reply never arrives.
+    ///
+    /// The default computes `1 − mass()`, which is exact in IEEE arithmetic
+    /// for `mass ≥ 0.5` (Sterbenz) but loses the *parameterized* defect
+    /// when a caller conceptually supplies `1 − 1e−15`: the subtraction
+    /// rounds before this method ever runs. Distributions parameterized by
+    /// their loss probability (e.g.
+    /// [`DefectiveExponential::from_loss`](crate::DefectiveExponential::from_loss))
+    /// therefore store the defect and override this method to return it
+    /// exactly.
+    fn defect(&self) -> f64 {
+        1.0 - self.mass()
+    }
+
+    /// Defective CDF: probability that a reply arrives *and* arrives within
+    /// `t` seconds. Queries at negative `t` return zero.
+    fn cdf(&self, t: f64) -> f64;
+
+    /// Survival `1 − cdf(t)`, computed without cancellation.
+    fn survival(&self, t: f64) -> f64;
+
+    /// Draws a reply time; `None` means the reply is lost forever.
+    fn sample(&self, rng: &mut dyn RngCore) -> Option<f64>;
+
+    /// Mean reply time conditional on the reply arriving, when finite and
+    /// cheaply available (used for reporting, never for the analysis).
+    fn mean_given_reply(&self) -> Option<f64>;
+
+    /// Probability that a reply arrives in `(s, t]`, for `s ≤ t`; computed
+    /// from survivals for accuracy.
+    fn interval_probability(&self, s: f64, t: f64) -> f64 {
+        (self.survival(s) - self.survival(t)).max(0.0)
+    }
+
+    /// The `p`-quantile of the reply time *conditional on the reply
+    /// arriving*: the smallest `t` with `cdf(t)/mass() ≥ p`. Returns
+    /// `None` for `p ∉ [0, 1]`, for a zero-mass distribution, or when the
+    /// implementation has no closed form (the default).
+    ///
+    /// Used for reporting ("95 % of replies arrive within …"), which is
+    /// how a protocol designer would justify a listening period from
+    /// measurements.
+    fn quantile_given_reply(&self, p: f64) -> Option<f64> {
+        let _ = p;
+        None
+    }
+}
+
+impl<T: ReplyTimeDistribution + ?Sized> ReplyTimeDistribution for &T {
+    fn mass(&self) -> f64 {
+        (**self).mass()
+    }
+    fn defect(&self) -> f64 {
+        (**self).defect()
+    }
+    fn cdf(&self, t: f64) -> f64 {
+        (**self).cdf(t)
+    }
+    fn survival(&self, t: f64) -> f64 {
+        (**self).survival(t)
+    }
+    fn sample(&self, rng: &mut dyn RngCore) -> Option<f64> {
+        (**self).sample(rng)
+    }
+    fn mean_given_reply(&self) -> Option<f64> {
+        (**self).mean_given_reply()
+    }
+    fn quantile_given_reply(&self, p: f64) -> Option<f64> {
+        (**self).quantile_given_reply(p)
+    }
+}
+
+impl<T: ReplyTimeDistribution + ?Sized> ReplyTimeDistribution for std::sync::Arc<T> {
+    fn mass(&self) -> f64 {
+        (**self).mass()
+    }
+    fn defect(&self) -> f64 {
+        (**self).defect()
+    }
+    fn cdf(&self, t: f64) -> f64 {
+        (**self).cdf(t)
+    }
+    fn survival(&self, t: f64) -> f64 {
+        (**self).survival(t)
+    }
+    fn sample(&self, rng: &mut dyn RngCore) -> Option<f64> {
+        (**self).sample(rng)
+    }
+    fn mean_given_reply(&self) -> Option<f64> {
+        (**self).mean_given_reply()
+    }
+    fn quantile_given_reply(&self, p: f64) -> Option<f64> {
+        (**self).quantile_given_reply(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use crate::DefectiveDeterministic;
+
+    use super::*;
+
+    #[test]
+    fn trait_is_object_safe() {
+        let d = DefectiveDeterministic::new(0.9, 1.0).unwrap();
+        let obj: &dyn ReplyTimeDistribution = &d;
+        assert_eq!(obj.mass(), 0.9);
+    }
+
+    #[test]
+    fn blanket_impls_delegate() {
+        let d = DefectiveDeterministic::new(0.5, 2.0).unwrap();
+        let by_ref: &DefectiveDeterministic = &d;
+        assert_eq!(ReplyTimeDistribution::mass(&by_ref), 0.5);
+        let arc: Arc<dyn ReplyTimeDistribution> = Arc::new(d);
+        assert_eq!(arc.cdf(3.0), 0.5);
+        assert_eq!(arc.survival(3.0), 0.5);
+        assert_eq!(arc.mean_given_reply(), Some(2.0));
+    }
+
+    #[test]
+    fn interval_probability_from_survivals() {
+        let d = DefectiveDeterministic::new(1.0, 1.5).unwrap();
+        assert_eq!(d.interval_probability(1.0, 2.0), 1.0);
+        assert_eq!(d.interval_probability(2.0, 3.0), 0.0);
+        assert_eq!(d.interval_probability(0.0, 1.0), 0.0);
+    }
+}

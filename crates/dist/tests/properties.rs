@@ -1,0 +1,146 @@
+//! Property-based tests for the reply-time distributions and Eq. (1).
+
+use proptest::prelude::*;
+use zeroconf_dist::{
+    noanswer, DefectiveExponential, DefectiveUniform, DefectiveWeibull, ReplyTimeDistribution,
+};
+
+fn exponential() -> impl Strategy<Value = DefectiveExponential> {
+    (0.0f64..=1.0, 0.1f64..50.0, 0.0f64..5.0)
+        .prop_map(|(mass, rate, delay)| DefectiveExponential::new(mass, rate, delay).unwrap())
+}
+
+fn weibull() -> impl Strategy<Value = DefectiveWeibull> {
+    (0.0f64..=1.0, 0.3f64..4.0, 0.05f64..5.0, 0.0f64..3.0)
+        .prop_map(|(m, k, s, d)| DefectiveWeibull::new(m, k, s, d).unwrap())
+}
+
+fn uniform() -> impl Strategy<Value = DefectiveUniform> {
+    (0.0f64..=1.0, 0.0f64..3.0, 0.01f64..4.0)
+        .prop_map(|(m, lo, width)| DefectiveUniform::new(m, lo, lo + width).unwrap())
+}
+
+/// Shared contract checks for any distribution.
+fn check_contract<D: ReplyTimeDistribution>(d: &D, times: &[f64]) -> Result<(), TestCaseError> {
+    let mut prev_cdf = 0.0;
+    for &t in times {
+        let c = d.cdf(t);
+        let s = d.survival(t);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&c), "cdf {c} at {t}");
+        prop_assert!(c <= d.mass() + 1e-12, "cdf beyond mass at {t}");
+        prop_assert!(c + 1e-12 >= prev_cdf, "cdf not monotone at {t}");
+        // CDF and survival complement to within absolute precision.
+        prop_assert!((c + s - 1.0).abs() < 1e-9, "c + s = {} at {t}", c + s);
+        prev_cdf = c;
+    }
+    prop_assert!(d.defect() >= -1e-15 && d.defect() <= 1.0 + 1e-15);
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn exponential_satisfies_contract(d in exponential()) {
+        let times: Vec<f64> = (0..40).map(|k| k as f64 * 0.25).collect();
+        check_contract(&d, &times)?;
+    }
+
+    #[test]
+    fn weibull_satisfies_contract(d in weibull()) {
+        let times: Vec<f64> = (0..40).map(|k| k as f64 * 0.25).collect();
+        check_contract(&d, &times)?;
+    }
+
+    #[test]
+    fn uniform_satisfies_contract(d in uniform()) {
+        let times: Vec<f64> = (0..40).map(|k| k as f64 * 0.25).collect();
+        check_contract(&d, &times)?;
+    }
+
+    #[test]
+    fn no_answer_probability_is_monotone_in_probe_count(
+        d in exponential(),
+        r in 0.01f64..5.0,
+    ) {
+        // More probes sent means more chances a reply arrived: p_i ≥ p_{i+1}
+        // cannot hold in general for p (conditional), but π must decrease.
+        let pis = noanswer::pi_sequence(&d, 8, r).unwrap();
+        for w in pis.windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-15);
+        }
+    }
+
+    #[test]
+    fn pi_is_product_of_survivals(d in exponential(), r in 0.01f64..5.0) {
+        let pis = noanswer::pi_sequence(&d, 6, r).unwrap();
+        for i in 0..=6usize {
+            let product: f64 = (1..=i).map(|j| d.survival(j as f64 * r)).product();
+            prop_assert!(
+                (pis[i] - product).abs() <= 1e-12 * (1.0 + product),
+                "i = {i}: {} vs {}",
+                pis[i],
+                product
+            );
+        }
+    }
+
+    #[test]
+    fn literal_matches_telescoped_where_conditioning_is_valid(
+        d in exponential(),
+        r in 0.01f64..5.0,
+        i in 0usize..8,
+    ) {
+        let telescoped = noanswer::no_answer_probability(&d, i, r).unwrap();
+        let literal = noanswer::no_answer_probability_literal(&d, i, r).unwrap();
+        // Literal form degrades when the CDF saturates; compare with an
+        // absolute tolerance scaled by where we are.
+        prop_assert!(
+            (telescoped - literal).abs() < 1e-8,
+            "i = {i}, r = {r}: {telescoped} vs {literal}"
+        );
+    }
+
+    #[test]
+    fn pi_bounded_by_defect_power_below(d in exponential(), r in 0.1f64..10.0) {
+        // π_i(r) ≥ (1 − l)^i always: the defect is the floor of every
+        // survival factor.
+        let pis = noanswer::pi_sequence(&d, 5, r).unwrap();
+        for (i, &p) in pis.iter().enumerate() {
+            prop_assert!(p >= noanswer::pi_limit(&d, i) * (1.0 - 1e-12));
+        }
+    }
+
+    #[test]
+    fn sampled_defect_matches_mass(mass in 0.1f64..0.9) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let d = DefectiveExponential::new(mass, 5.0, 0.1).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let lost = (0..n).filter(|_| d.sample(&mut rng).is_none()).count();
+        let loss_rate = lost as f64 / n as f64;
+        prop_assert!(
+            (loss_rate - d.defect()).abs() < 0.02,
+            "loss {loss_rate} vs defect {}",
+            d.defect()
+        );
+    }
+
+    #[test]
+    fn empirical_cdf_converges_to_source(mass in 0.3f64..1.0) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let source = DefectiveExponential::new(mass, 2.0, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let observations: Vec<Option<f64>> =
+            (0..30_000).map(|_| source.sample(&mut rng)).collect();
+        let empirical = zeroconf_dist::Empirical::from_observations(observations).unwrap();
+        for t in [0.5, 1.0, 2.0, 4.0] {
+            prop_assert!(
+                (empirical.cdf(t) - source.cdf(t)).abs() < 0.02,
+                "t = {t}: {} vs {}",
+                empirical.cdf(t),
+                source.cdf(t)
+            );
+        }
+    }
+}

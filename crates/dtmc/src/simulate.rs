@@ -1,0 +1,276 @@
+//! Monte-Carlo simulation of chain paths.
+//!
+//! Sampling paths through the DRM provides an independent check of the
+//! closed-form results and a fallback for models too large to solve
+//! directly. The zeroconf validation experiment (`figures validate`)
+//! compares these estimates against Eq. (3)/(4).
+
+use rand::Rng;
+
+use crate::{Dtmc, DtmcError, StateId};
+
+/// Outcome of a single simulated path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathOutcome {
+    /// State in which the path ended (absorbing, or wherever it stood when
+    /// the step bound was hit).
+    pub final_state: StateId,
+    /// Number of transitions taken.
+    pub steps: usize,
+    /// Sum of the rewards on the taken transitions.
+    pub total_reward: f64,
+    /// True when the path ended in an absorbing state.
+    pub absorbed: bool,
+}
+
+/// Aggregated results of many simulated paths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulationSummary {
+    /// Number of paths sampled.
+    pub paths: usize,
+    /// Mean of the per-path total rewards.
+    pub mean_reward: f64,
+    /// Unbiased sample variance of the per-path total rewards.
+    pub reward_variance: f64,
+    /// Mean number of steps per path.
+    pub mean_steps: f64,
+    /// Fraction of paths that ended in each state (indexed by state id).
+    pub final_state_frequency: Vec<f64>,
+    /// Number of paths cut off by the step bound before absorption.
+    pub truncated: usize,
+}
+
+/// Samples a single path from `start` until an absorbing state is entered
+/// or `max_steps` transitions have been taken.
+///
+/// # Errors
+///
+/// Returns [`DtmcError::UnknownState`] for an out-of-range start state.
+pub fn sample_path<R: Rng + ?Sized>(
+    chain: &Dtmc,
+    start: StateId,
+    max_steps: usize,
+    rng: &mut R,
+) -> Result<PathOutcome, DtmcError> {
+    chain.check_state(start)?;
+    let mut state = start;
+    let mut total_reward = 0.0;
+    let mut steps = 0;
+    while steps < max_steps {
+        if chain.is_absorbing(state)? {
+            return Ok(PathOutcome {
+                final_state: state,
+                steps,
+                total_reward,
+                absorbed: true,
+            });
+        }
+        let transitions = chain.transitions_from(state)?;
+        let mut u: f64 = rng.gen();
+        let mut chosen = *transitions
+            .last()
+            .expect("validated chain rows are non-empty");
+        for t in transitions {
+            if u < t.probability {
+                chosen = *t;
+                break;
+            }
+            u -= t.probability;
+        }
+        total_reward += chosen.reward;
+        state = chosen.to;
+        steps += 1;
+    }
+    let absorbed = chain.is_absorbing(state)?;
+    Ok(PathOutcome {
+        final_state: state,
+        steps,
+        total_reward,
+        absorbed,
+    })
+}
+
+/// Samples `paths` independent paths and aggregates them.
+///
+/// # Errors
+///
+/// Returns [`DtmcError::UnknownState`] for an out-of-range start state and
+/// [`DtmcError::EmptyChain`] when `paths == 0`.
+pub fn run<R: Rng + ?Sized>(
+    chain: &Dtmc,
+    start: StateId,
+    paths: usize,
+    max_steps: usize,
+    rng: &mut R,
+) -> Result<SimulationSummary, DtmcError> {
+    if paths == 0 {
+        return Err(DtmcError::EmptyChain);
+    }
+    chain.check_state(start)?;
+    let mut mean = 0.0;
+    let mut m2 = 0.0;
+    let mut steps_sum = 0usize;
+    let mut truncated = 0usize;
+    let mut final_counts = vec![0usize; chain.num_states()];
+    for k in 0..paths {
+        let outcome = sample_path(chain, start, max_steps, rng)?;
+        // Welford's online mean/variance update.
+        let delta = outcome.total_reward - mean;
+        mean += delta / (k as f64 + 1.0);
+        m2 += delta * (outcome.total_reward - mean);
+        steps_sum += outcome.steps;
+        if !outcome.absorbed {
+            truncated += 1;
+        }
+        final_counts[outcome.final_state.index()] += 1;
+    }
+    let reward_variance = if paths > 1 {
+        m2 / (paths as f64 - 1.0)
+    } else {
+        0.0
+    };
+    Ok(SimulationSummary {
+        paths,
+        mean_reward: mean,
+        reward_variance,
+        mean_steps: steps_sum as f64 / paths as f64,
+        final_state_frequency: final_counts
+            .into_iter()
+            .map(|c| c as f64 / paths as f64)
+            .collect(),
+        truncated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use crate::{AbsorbingAnalysis, DtmcBuilder};
+
+    use super::*;
+
+    fn biased_coin() -> (Dtmc, StateId, StateId, StateId) {
+        let mut b = DtmcBuilder::new();
+        let s = b.add_state("s");
+        let ok = b.add_state("ok");
+        let err = b.add_state("err");
+        b.add_transition(s, s, 0.2, 1.0).unwrap();
+        b.add_transition(s, ok, 0.6, 0.5).unwrap();
+        b.add_transition(s, err, 0.2, 3.0).unwrap();
+        b.make_absorbing(ok).unwrap();
+        b.make_absorbing(err).unwrap();
+        (b.build().unwrap(), s, ok, err)
+    }
+
+    #[test]
+    fn single_path_terminates_and_accumulates() {
+        let (c, s, ..) = biased_coin();
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = sample_path(&c, s, 10_000, &mut rng).unwrap();
+        assert!(p.absorbed);
+        assert!(p.total_reward >= 0.5);
+    }
+
+    #[test]
+    fn deterministic_path_outcome_is_exact() {
+        let mut b = DtmcBuilder::new();
+        let a = b.add_state("a");
+        let z = b.add_state("z");
+        b.add_transition(a, z, 1.0, 2.5).unwrap();
+        b.make_absorbing(z).unwrap();
+        let c = b.build().unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let p = sample_path(&c, a, 100, &mut rng).unwrap();
+        assert_eq!(p.final_state, z);
+        assert_eq!(p.steps, 1);
+        assert_eq!(p.total_reward, 2.5);
+    }
+
+    #[test]
+    fn summary_agrees_with_analytic_mean() {
+        let (c, s, ..) = biased_coin();
+        let analysis = AbsorbingAnalysis::new(&c).unwrap();
+        let exact = analysis.expected_total_reward(s).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let summary = run(&c, s, 60_000, 10_000, &mut rng).unwrap();
+        // Standard error is roughly sqrt(var/n); allow five sigma.
+        let se = (summary.reward_variance / summary.paths as f64).sqrt();
+        assert!(
+            (summary.mean_reward - exact).abs() < 5.0 * se + 1e-9,
+            "mean {} vs exact {} (se {})",
+            summary.mean_reward,
+            exact,
+            se
+        );
+        assert_eq!(summary.truncated, 0);
+    }
+
+    #[test]
+    fn summary_variance_agrees_with_analytic_variance() {
+        let (c, s, ..) = biased_coin();
+        let analysis = AbsorbingAnalysis::new(&c).unwrap();
+        let exact_var = analysis.total_reward_variance(s).unwrap();
+        let mut rng = StdRng::seed_from_u64(43);
+        let summary = run(&c, s, 60_000, 10_000, &mut rng).unwrap();
+        assert!(
+            (summary.reward_variance - exact_var).abs() / exact_var < 0.1,
+            "var {} vs exact {}",
+            summary.reward_variance,
+            exact_var
+        );
+    }
+
+    #[test]
+    fn final_state_frequencies_match_absorption_probabilities() {
+        let (c, s, ok, err) = biased_coin();
+        let analysis = AbsorbingAnalysis::new(&c).unwrap();
+        let p_ok = analysis.absorption_probability(s, ok).unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let summary = run(&c, s, 40_000, 10_000, &mut rng).unwrap();
+        assert!((summary.final_state_frequency[ok.index()] - p_ok).abs() < 0.01);
+        assert!(
+            (summary.final_state_frequency[err.index()] - (1.0 - p_ok)).abs() < 0.01
+        );
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        let mut b = DtmcBuilder::new();
+        let s = b.add_state("s");
+        let t = b.add_state("t");
+        b.add_transition(s, s, 0.999999, 0.0).unwrap();
+        b.add_transition(s, t, 0.000001, 0.0).unwrap();
+        b.make_absorbing(t).unwrap();
+        let c = b.build().unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let summary = run(&c, s, 50, 10, &mut rng).unwrap();
+        assert!(summary.truncated > 0);
+    }
+
+    #[test]
+    fn zero_paths_is_an_error() {
+        let (c, s, ..) = biased_coin();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(run(&c, s, 0, 10, &mut rng).is_err());
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let (c, s, ..) = biased_coin();
+        let a = run(&c, s, 1000, 1000, &mut StdRng::seed_from_u64(123)).unwrap();
+        let b = run(&c, s, 1000, 1000, &mut StdRng::seed_from_u64(123)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn starting_at_absorbing_state_is_a_zero_path() {
+        let (c, _, ok, _) = biased_coin();
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = sample_path(&c, ok, 100, &mut rng).unwrap();
+        assert_eq!(p.steps, 0);
+        assert_eq!(p.total_reward, 0.0);
+        assert!(p.absorbed);
+    }
+}

@@ -1,0 +1,168 @@
+//! Stationary distributions of irreducible chains.
+//!
+//! Not needed for the absorbing zeroconf DRMs themselves, but part of a
+//! complete chain-analysis substrate: the multi-host simulator's background
+//! traffic models and the ablation benchmarks use it.
+
+use zeroconf_linalg::LuDecomposition;
+
+use crate::{classify, Dtmc, DtmcError};
+
+/// Computes the stationary distribution `π` with `π P = π`, `Σ π = 1` by a
+/// direct linear solve.
+///
+/// The singular system `(Pᵀ − I) π = 0` is made nonsingular by replacing
+/// the last equation with the normalization constraint.
+///
+/// # Errors
+///
+/// - [`DtmcError::NotIrreducible`] if the chain is not a single strongly
+///   connected component (the stationary distribution would not be unique).
+/// - [`DtmcError::Linalg`] if the solve fails.
+///
+/// # Examples
+///
+/// ```
+/// use zeroconf_dtmc::{stationary, DtmcBuilder};
+///
+/// # fn main() -> Result<(), zeroconf_dtmc::DtmcError> {
+/// let mut b = DtmcBuilder::new();
+/// let a = b.add_state("a");
+/// let z = b.add_state("z");
+/// b.add_transition(a, a, 0.5, 0.0)?;
+/// b.add_transition(a, z, 0.5, 0.0)?;
+/// b.add_transition(z, a, 1.0, 0.0)?;
+/// let chain = b.build()?;
+/// let pi = stationary::distribution(&chain)?;
+/// assert!((pi[a.index()] - 2.0 / 3.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn distribution(chain: &Dtmc) -> Result<Vec<f64>, DtmcError> {
+    let components = classify::strongly_connected_components(chain);
+    if components.len() != 1 {
+        return Err(DtmcError::NotIrreducible);
+    }
+    let n = chain.num_states();
+    if n == 1 {
+        return Ok(vec![1.0]);
+    }
+    let p = chain.transition_matrix();
+    // Build A = Pᵀ − I, then overwrite the last row with 1s (normalization).
+    let mut a = p.transpose();
+    for i in 0..n {
+        a[(i, i)] -= 1.0;
+    }
+    for j in 0..n {
+        a[(n - 1, j)] = 1.0;
+    }
+    let mut b = vec![0.0; n];
+    b[n - 1] = 1.0;
+    let pi = LuDecomposition::new(&a)?.solve(&b)?;
+    Ok(pi)
+}
+
+/// Long-run average reward per step for an irreducible chain:
+/// `Σ_i π_i · w_i` with `w_i` the expected one-step reward of state `i`.
+///
+/// # Errors
+///
+/// Same conditions as [`distribution`].
+pub fn long_run_reward_rate(chain: &Dtmc) -> Result<f64, DtmcError> {
+    let pi = distribution(chain)?;
+    let w = chain.expected_step_rewards();
+    Ok(pi.iter().zip(&w).map(|(p, r)| p * r).sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::DtmcBuilder;
+
+    use super::*;
+
+    #[test]
+    fn two_state_stationary_matches_hand_computation() {
+        let mut b = DtmcBuilder::new();
+        let a = b.add_state("a");
+        let z = b.add_state("z");
+        b.add_transition(a, z, 0.3, 0.0).unwrap();
+        b.add_transition(a, a, 0.7, 0.0).unwrap();
+        b.add_transition(z, a, 0.4, 0.0).unwrap();
+        b.add_transition(z, z, 0.6, 0.0).unwrap();
+        let c = b.build().unwrap();
+        let pi = distribution(&c).unwrap();
+        // Balance: pi_a * 0.3 = pi_z * 0.4 => pi_a/pi_z = 4/3.
+        assert!((pi[a.index()] - 4.0 / 7.0).abs() < 1e-12);
+        assert!((pi[z.index()] - 3.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stationary_is_invariant_under_p() {
+        let mut b = DtmcBuilder::new();
+        let s0 = b.add_state("0");
+        let s1 = b.add_state("1");
+        let s2 = b.add_state("2");
+        b.add_transition(s0, s1, 0.9, 0.0).unwrap();
+        b.add_transition(s0, s2, 0.1, 0.0).unwrap();
+        b.add_transition(s1, s2, 0.5, 0.0).unwrap();
+        b.add_transition(s1, s0, 0.5, 0.0).unwrap();
+        b.add_transition(s2, s0, 1.0, 0.0).unwrap();
+        let c = b.build().unwrap();
+        let pi = distribution(&c).unwrap();
+        let p = c.transition_matrix();
+        // pi P = pi  <=>  Pᵀ pi = pi.
+        let mapped = p.transpose().matvec(&pi).unwrap();
+        for (l, r) in mapped.iter().zip(&pi) {
+            assert!((l - r).abs() < 1e-12);
+        }
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_for_symmetric_cycle() {
+        let mut b = DtmcBuilder::new();
+        let states: Vec<_> = (0..4).map(|i| b.add_state(format!("s{i}"))).collect();
+        for i in 0..4 {
+            b.add_transition(states[i], states[(i + 1) % 4], 1.0, 1.0)
+                .unwrap();
+        }
+        let c = b.build().unwrap();
+        let pi = distribution(&c).unwrap();
+        for p in &pi {
+            assert!((p - 0.25).abs() < 1e-12);
+        }
+        assert!((long_run_reward_rate(&c).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reducible_chain_is_rejected() {
+        let mut b = DtmcBuilder::new();
+        let s = b.add_state("s");
+        let t = b.add_state("t");
+        b.add_transition(s, t, 1.0, 0.0).unwrap();
+        b.make_absorbing(t).unwrap();
+        let c = b.build().unwrap();
+        assert!(matches!(distribution(&c), Err(DtmcError::NotIrreducible)));
+    }
+
+    #[test]
+    fn single_state_chain_is_trivially_stationary() {
+        let mut b = DtmcBuilder::new();
+        let s = b.add_state("s");
+        b.make_absorbing(s).unwrap();
+        let c = b.build().unwrap();
+        assert_eq!(distribution(&c).unwrap(), vec![1.0]);
+    }
+
+    #[test]
+    fn long_run_reward_weights_by_occupancy() {
+        let mut b = DtmcBuilder::new();
+        let a = b.add_state("a");
+        let z = b.add_state("z");
+        // Symmetric swap; reward 2 only when leaving a.
+        b.add_transition(a, z, 1.0, 2.0).unwrap();
+        b.add_transition(z, a, 1.0, 0.0).unwrap();
+        let c = b.build().unwrap();
+        assert!((long_run_reward_rate(&c).unwrap() - 1.0).abs() < 1e-12);
+    }
+}

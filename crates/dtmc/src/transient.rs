@@ -1,0 +1,253 @@
+//! Finite-horizon (transient) analysis: k-step state distributions and
+//! accumulated rewards over a bounded number of steps.
+
+use crate::{Dtmc, DtmcError, StateId};
+
+/// State-occupancy distribution after exactly `steps` steps, starting from
+/// the point distribution on `start`.
+///
+/// # Errors
+///
+/// Returns [`DtmcError::UnknownState`] for an out-of-range start state.
+///
+/// # Examples
+///
+/// ```
+/// use zeroconf_dtmc::{transient, DtmcBuilder};
+///
+/// # fn main() -> Result<(), zeroconf_dtmc::DtmcError> {
+/// let mut b = DtmcBuilder::new();
+/// let a = b.add_state("a");
+/// let z = b.add_state("z");
+/// b.add_transition(a, z, 1.0, 0.0)?;
+/// b.make_absorbing(z)?;
+/// let chain = b.build()?;
+/// let dist = transient::distribution_after(&chain, a, 1)?;
+/// assert_eq!(dist[z.index()], 1.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn distribution_after(
+    chain: &Dtmc,
+    start: StateId,
+    steps: usize,
+) -> Result<Vec<f64>, DtmcError> {
+    chain.check_state(start)?;
+    let mut dist = vec![0.0; chain.num_states()];
+    dist[start.index()] = 1.0;
+    let mut next = vec![0.0; chain.num_states()];
+    for _ in 0..steps {
+        next.iter_mut().for_each(|v| *v = 0.0);
+        for s in chain.states() {
+            let mass = dist[s.index()];
+            if mass == 0.0 {
+                continue;
+            }
+            for t in chain.transitions_from(s)? {
+                next[t.to.index()] += mass * t.probability;
+            }
+        }
+        std::mem::swap(&mut dist, &mut next);
+    }
+    Ok(dist)
+}
+
+/// Probability of being in `target` after exactly `steps` steps from
+/// `start`.
+///
+/// # Errors
+///
+/// Returns [`DtmcError::UnknownState`] for out-of-range ids.
+pub fn step_probability(
+    chain: &Dtmc,
+    start: StateId,
+    target: StateId,
+    steps: usize,
+) -> Result<f64, DtmcError> {
+    chain.check_state(target)?;
+    let dist = distribution_after(chain, start, steps)?;
+    Ok(dist[target.index()])
+}
+
+/// Expected reward accumulated over the first `steps` transitions, starting
+/// from `start`.
+///
+/// Unlike
+/// [`AbsorbingAnalysis::expected_total_reward`](crate::AbsorbingAnalysis::expected_total_reward)
+/// this is well defined
+/// for any chain, including non-absorbing ones.
+///
+/// # Errors
+///
+/// Returns [`DtmcError::UnknownState`] for an out-of-range start state.
+pub fn expected_reward_within(
+    chain: &Dtmc,
+    start: StateId,
+    steps: usize,
+) -> Result<f64, DtmcError> {
+    chain.check_state(start)?;
+    let step_rewards = chain.expected_step_rewards();
+    let mut dist = vec![0.0; chain.num_states()];
+    dist[start.index()] = 1.0;
+    let mut total = 0.0;
+    let mut next = vec![0.0; chain.num_states()];
+    for _ in 0..steps {
+        // Reward expected on this transition, then advance the distribution.
+        total += dist
+            .iter()
+            .zip(&step_rewards)
+            .map(|(m, w)| m * w)
+            .sum::<f64>();
+        next.iter_mut().for_each(|v| *v = 0.0);
+        for s in chain.states() {
+            let mass = dist[s.index()];
+            if mass == 0.0 {
+                continue;
+            }
+            for t in chain.transitions_from(s)? {
+                next[t.to.index()] += mass * t.probability;
+            }
+        }
+        std::mem::swap(&mut dist, &mut next);
+    }
+    Ok(total)
+}
+
+/// Probability of having been absorbed in `target` within (at most)
+/// `steps` steps: the cumulative counterpart of [`step_probability`] for an
+/// absorbing target.
+///
+/// # Errors
+///
+/// Returns [`DtmcError::UnknownState`] for out-of-range ids and
+/// [`DtmcError::StateNotTransient`] when `target` is not absorbing.
+pub fn absorbed_within(
+    chain: &Dtmc,
+    start: StateId,
+    target: StateId,
+    steps: usize,
+) -> Result<f64, DtmcError> {
+    if !chain.is_absorbing(target)? {
+        return Err(DtmcError::StateNotTransient {
+            state: target.index(),
+        });
+    }
+    // For an absorbing target, being there after k steps means having been
+    // absorbed at some earlier step, so the k-step probability is already
+    // cumulative.
+    step_probability(chain, start, target, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::DtmcBuilder;
+
+    use super::*;
+
+    fn coin_path() -> (Dtmc, StateId, StateId, StateId) {
+        // s --1/2--> ok, s --1/2--> s (reward 1 per retry)
+        let mut b = DtmcBuilder::new();
+        let s = b.add_state("s");
+        let ok = b.add_state("ok");
+        let err = b.add_state("err");
+        b.add_transition(s, s, 0.25, 1.0).unwrap();
+        b.add_transition(s, ok, 0.5, 0.0).unwrap();
+        b.add_transition(s, err, 0.25, 2.0).unwrap();
+        b.make_absorbing(ok).unwrap();
+        b.make_absorbing(err).unwrap();
+        (b.build().unwrap(), s, ok, err)
+    }
+
+    #[test]
+    fn zero_steps_is_point_mass() {
+        let (c, s, ..) = coin_path();
+        let d = distribution_after(&c, s, 0).unwrap();
+        assert_eq!(d[s.index()], 1.0);
+        assert_eq!(d.iter().sum::<f64>(), 1.0);
+    }
+
+    #[test]
+    fn one_step_matches_transition_row() {
+        let (c, s, ok, err) = coin_path();
+        let d = distribution_after(&c, s, 1).unwrap();
+        assert!((d[s.index()] - 0.25).abs() < 1e-15);
+        assert!((d[ok.index()] - 0.5).abs() < 1e-15);
+        assert!((d[err.index()] - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn distribution_stays_normalized() {
+        let (c, s, ..) = coin_path();
+        for k in 0..20 {
+            let d = distribution_after(&c, s, k).unwrap();
+            assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12, "step {k}");
+        }
+    }
+
+    #[test]
+    fn long_horizon_converges_to_absorption_probabilities() {
+        let (c, s, ok, err) = coin_path();
+        let d = distribution_after(&c, s, 200).unwrap();
+        // P(ok) = 0.5 / 0.75, P(err) = 0.25 / 0.75.
+        assert!((d[ok.index()] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((d[err.index()] - 1.0 / 3.0).abs() < 1e-12);
+        assert!(d[s.index()] < 1e-20);
+    }
+
+    #[test]
+    fn step_probability_reads_single_entry() {
+        let (c, s, ok, _) = coin_path();
+        let p = step_probability(&c, s, ok, 1).unwrap();
+        assert!((p - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn finite_horizon_reward_approaches_total_reward() {
+        let (c, s, ..) = coin_path();
+        // Expected total reward: retries contribute 0.25*1 per visit to s,
+        // the error exit contributes 0.25*2; visits to s have mean 1/0.75.
+        let per_visit = 0.25 * 1.0 + 0.25 * 2.0;
+        let expected_total = per_visit / 0.75;
+        let within = expected_reward_within(&c, s, 500).unwrap();
+        assert!((within - expected_total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finite_horizon_reward_is_monotone() {
+        let (c, s, ..) = coin_path();
+        let mut prev = 0.0;
+        for k in 1..10 {
+            let now = expected_reward_within(&c, s, k).unwrap();
+            assert!(now >= prev);
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn absorbed_within_is_cumulative() {
+        let (c, s, ok, _) = coin_path();
+        let mut prev = 0.0;
+        for k in 0..30 {
+            let now = absorbed_within(&c, s, ok, k).unwrap();
+            assert!(now + 1e-15 >= prev, "not monotone at step {k}");
+            prev = now;
+        }
+        assert!((prev - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn absorbed_within_rejects_transient_target() {
+        let (c, s, ..) = coin_path();
+        assert!(matches!(
+            absorbed_within(&c, s, s, 5),
+            Err(DtmcError::StateNotTransient { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_start_is_rejected() {
+        let (c, ..) = coin_path();
+        assert!(distribution_after(&c, StateId(42), 1).is_err());
+        assert!(expected_reward_within(&c, StateId(42), 1).is_err());
+    }
+}

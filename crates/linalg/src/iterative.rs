@@ -1,0 +1,398 @@
+//! Classical iterative methods: Jacobi, Gauss–Seidel and power iteration.
+//!
+//! These are the textbook alternatives (Stewart, *Numerical Solution of
+//! Markov Chains*) to direct LU factorization for the linear systems that
+//! arise in absorbing-chain analysis. For the tiny zeroconf DRMs LU is
+//! always fine; the iterative solvers exist so the ablation benchmarks can
+//! compare the approaches on larger synthetic chains.
+
+use crate::{CsrMatrix, LinalgError, Matrix};
+
+/// Stopping criteria shared by the iterative methods.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationConfig {
+    /// Maximum number of sweeps before giving up.
+    pub max_iterations: usize,
+    /// Convergence tolerance on the `l∞` residual (or iterate difference for
+    /// the power method).
+    pub tolerance: f64,
+}
+
+impl Default for IterationConfig {
+    fn default() -> Self {
+        IterationConfig {
+            max_iterations: 10_000,
+            tolerance: 1e-12,
+        }
+    }
+}
+
+/// Result of a converged iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationOutcome {
+    /// The computed solution (or eigenvector for the power method).
+    pub solution: Vec<f64>,
+    /// Sweeps actually performed.
+    pub iterations: usize,
+    /// Final residual (`l∞` norm).
+    pub residual: f64,
+}
+
+/// Solves `A x = b` by Jacobi iteration on a dense matrix.
+///
+/// Converges for strictly diagonally dominant systems, which covers the
+/// `(I − P′)` systems of absorbing chains whenever every transient state has
+/// positive one-step absorption probability mass.
+///
+/// # Errors
+///
+/// - [`LinalgError::NotSquare`] / [`LinalgError::DimensionMismatch`] on shape
+///   violations.
+/// - [`LinalgError::Singular`] if a diagonal entry vanishes.
+/// - [`LinalgError::NotConverged`] if the tolerance is not met in time.
+pub fn jacobi(a: &Matrix, b: &[f64], config: IterationConfig) -> Result<IterationOutcome, LinalgError> {
+    check_system(a, b)?;
+    let n = b.len();
+    for k in 0..n {
+        if a[(k, k)] == 0.0 {
+            return Err(LinalgError::Singular { pivot: k });
+        }
+    }
+    let mut x = vec![0.0; n];
+    let mut next = vec![0.0; n];
+    for iter in 1..=config.max_iterations {
+        for r in 0..n {
+            let mut acc = b[r];
+            for (c, &v) in a.row(r).iter().enumerate() {
+                if c != r {
+                    acc -= v * x[c];
+                }
+            }
+            next[r] = acc / a[(r, r)];
+        }
+        std::mem::swap(&mut x, &mut next);
+        let res = residual_inf(a, &x, b)?;
+        if res <= config.tolerance {
+            return Ok(IterationOutcome {
+                solution: x,
+                iterations: iter,
+                residual: res,
+            });
+        }
+    }
+    Err(LinalgError::NotConverged {
+        iterations: config.max_iterations,
+        residual: residual_inf(a, &x, b)?,
+    })
+}
+
+/// Solves `A x = b` by Gauss–Seidel iteration on a dense matrix.
+///
+/// # Errors
+///
+/// Same conditions as [`jacobi`].
+pub fn gauss_seidel(
+    a: &Matrix,
+    b: &[f64],
+    config: IterationConfig,
+) -> Result<IterationOutcome, LinalgError> {
+    check_system(a, b)?;
+    let n = b.len();
+    for k in 0..n {
+        if a[(k, k)] == 0.0 {
+            return Err(LinalgError::Singular { pivot: k });
+        }
+    }
+    let mut x = vec![0.0; n];
+    for iter in 1..=config.max_iterations {
+        for r in 0..n {
+            let mut acc = b[r];
+            for (c, &v) in a.row(r).iter().enumerate() {
+                if c != r {
+                    acc -= v * x[c];
+                }
+            }
+            x[r] = acc / a[(r, r)];
+        }
+        let res = residual_inf(a, &x, b)?;
+        if res <= config.tolerance {
+            return Ok(IterationOutcome {
+                solution: x,
+                iterations: iter,
+                residual: res,
+            });
+        }
+    }
+    Err(LinalgError::NotConverged {
+        iterations: config.max_iterations,
+        residual: residual_inf(a, &x, b)?,
+    })
+}
+
+/// Gauss–Seidel on a sparse CSR system.
+///
+/// # Errors
+///
+/// Same conditions as [`jacobi`].
+pub fn gauss_seidel_csr(
+    a: &CsrMatrix,
+    b: &[f64],
+    config: IterationConfig,
+) -> Result<IterationOutcome, LinalgError> {
+    if a.rows() != a.cols() {
+        return Err(LinalgError::NotSquare {
+            shape: (a.rows(), a.cols()),
+        });
+    }
+    if b.len() != a.rows() {
+        return Err(LinalgError::DimensionMismatch {
+            operation: "gauss_seidel_csr",
+            left: (a.rows(), a.cols()),
+            right: (b.len(), 1),
+        });
+    }
+    let n = b.len();
+    let mut diag = vec![0.0; n];
+    for r in 0..n {
+        diag[r] = a.get(r, r)?;
+        if diag[r] == 0.0 {
+            return Err(LinalgError::Singular { pivot: r });
+        }
+    }
+    let mut x = vec![0.0; n];
+    for iter in 1..=config.max_iterations {
+        for r in 0..n {
+            let mut acc = b[r];
+            for (c, v) in a.row_entries(r) {
+                if c != r {
+                    acc -= v * x[c];
+                }
+            }
+            x[r] = acc / diag[r];
+        }
+        let ax = a.matvec(&x)?;
+        let res = ax
+            .iter()
+            .zip(b)
+            .fold(0.0f64, |m, (l, r)| m.max((l - r).abs()));
+        if res <= config.tolerance {
+            return Ok(IterationOutcome {
+                solution: x,
+                iterations: iter,
+                residual: res,
+            });
+        }
+    }
+    let ax = a.matvec(&x)?;
+    Err(LinalgError::NotConverged {
+        iterations: config.max_iterations,
+        residual: ax
+            .iter()
+            .zip(b)
+            .fold(0.0f64, |m, (l, r)| m.max((l - r).abs())),
+    })
+}
+
+/// Power iteration for the dominant eigenpair of a dense matrix.
+///
+/// Returns the eigenvalue estimate together with the (l2-normalized)
+/// eigenvector in [`IterationOutcome::solution`]; the eigenvalue is the
+/// Rayleigh quotient at the final iterate and is returned separately.
+///
+/// # Errors
+///
+/// - [`LinalgError::NotSquare`] on rectangular input.
+/// - [`LinalgError::NotConverged`] if iterates keep moving.
+pub fn power_iteration(
+    a: &Matrix,
+    config: IterationConfig,
+) -> Result<(f64, IterationOutcome), LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { shape: a.shape() });
+    }
+    let n = a.rows();
+    let mut x = vec![1.0 / (n as f64).sqrt(); n];
+    let mut eigenvalue = 0.0;
+    for iter in 1..=config.max_iterations {
+        let mut y = a.matvec(&x)?;
+        let norm = crate::vector::norm_l2(&y);
+        if norm == 0.0 {
+            // A maps the iterate to zero: eigenvalue 0 with the current
+            // vector is exact.
+            return Ok((
+                0.0,
+                IterationOutcome {
+                    solution: x,
+                    iterations: iter,
+                    residual: 0.0,
+                },
+            ));
+        }
+        crate::vector::scale(1.0 / norm, &mut y);
+        // Fix an orientation so convergence can be detected for negative
+        // eigenvalues too.
+        if let Some(first_nonzero) = y.iter().find(|v| v.abs() > 0.0) {
+            if *first_nonzero < 0.0 {
+                crate::vector::scale(-1.0, &mut y);
+            }
+        }
+        let diff = crate::vector::max_abs_diff(&x, &y)?;
+        x = y;
+        let ax = a.matvec(&x)?;
+        eigenvalue = crate::vector::dot(&x, &ax)?;
+        if diff <= config.tolerance {
+            let mut residual_vec = ax;
+            crate::vector::axpy(-eigenvalue, &x, &mut residual_vec)?;
+            return Ok((
+                eigenvalue,
+                IterationOutcome {
+                    solution: x,
+                    iterations: iter,
+                    residual: crate::vector::norm_inf(&residual_vec),
+                },
+            ));
+        }
+    }
+    Err(LinalgError::NotConverged {
+        iterations: config.max_iterations,
+        residual: eigenvalue,
+    })
+}
+
+fn residual_inf(a: &Matrix, x: &[f64], b: &[f64]) -> Result<f64, LinalgError> {
+    let ax = a.matvec(x)?;
+    Ok(ax
+        .iter()
+        .zip(b)
+        .fold(0.0f64, |m, (l, r)| m.max((l - r).abs())))
+}
+
+fn check_system(a: &Matrix, b: &[f64]) -> Result<(), LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { shape: a.shape() });
+    }
+    if b.len() != a.rows() {
+        return Err(LinalgError::DimensionMismatch {
+            operation: "iterative_solve",
+            left: a.shape(),
+            right: (b.len(), 1),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Triplet;
+
+    fn dominant_system() -> (Matrix, Vec<f64>, Vec<f64>) {
+        let a = Matrix::from_rows(&[
+            &[4.0, 1.0, 0.0],
+            &[1.0, 5.0, 2.0],
+            &[0.0, 2.0, 6.0],
+        ])
+        .unwrap();
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true).unwrap();
+        (a, b, x_true)
+    }
+
+    #[test]
+    fn jacobi_converges_on_dominant_system() {
+        let (a, b, x_true) = dominant_system();
+        let out = jacobi(&a, &b, IterationConfig::default()).unwrap();
+        for (g, w) in out.solution.iter().zip(&x_true) {
+            assert!((g - w).abs() < 1e-9);
+        }
+        assert!(out.iterations > 0);
+        assert!(out.residual <= 1e-12);
+    }
+
+    #[test]
+    fn gauss_seidel_converges_faster_than_jacobi() {
+        let (a, b, _) = dominant_system();
+        let j = jacobi(&a, &b, IterationConfig::default()).unwrap();
+        let gs = gauss_seidel(&a, &b, IterationConfig::default()).unwrap();
+        assert!(gs.iterations <= j.iterations);
+    }
+
+    #[test]
+    fn gauss_seidel_csr_matches_dense() {
+        let (a, b, _) = dominant_system();
+        let sparse = CsrMatrix::from_dense(&a);
+        let dense = gauss_seidel(&a, &b, IterationConfig::default()).unwrap();
+        let csr = gauss_seidel_csr(&sparse, &b, IterationConfig::default()).unwrap();
+        for (l, r) in dense.solution.iter().zip(&csr.solution) {
+            assert!((l - r).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn jacobi_reports_non_convergence() {
+        // Not diagonally dominant; Jacobi diverges.
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 1.0]]).unwrap();
+        let out = jacobi(
+            &a,
+            &[1.0, 1.0],
+            IterationConfig {
+                max_iterations: 50,
+                tolerance: 1e-12,
+            },
+        );
+        assert!(matches!(out, Err(LinalgError::NotConverged { .. })));
+    }
+
+    #[test]
+    fn zero_diagonal_is_singular() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 1.0]]).unwrap();
+        assert!(matches!(
+            jacobi(&a, &[1.0, 1.0], IterationConfig::default()),
+            Err(LinalgError::Singular { pivot: 0 })
+        ));
+        assert!(matches!(
+            gauss_seidel(&a, &[1.0, 1.0], IterationConfig::default()),
+            Err(LinalgError::Singular { pivot: 0 })
+        ));
+    }
+
+    #[test]
+    fn shape_violations_are_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(jacobi(&a, &[1.0, 1.0], IterationConfig::default()).is_err());
+        let sq = Matrix::identity(2);
+        assert!(gauss_seidel(&sq, &[1.0], IterationConfig::default()).is_err());
+        let csr = CsrMatrix::from_triplets(2, 2, &[Triplet::new(0, 0, 1.0)]).unwrap();
+        assert!(gauss_seidel_csr(&csr, &[1.0], IterationConfig::default()).is_err());
+    }
+
+    #[test]
+    fn power_iteration_finds_dominant_eigenvalue() {
+        let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 0.5]]).unwrap();
+        let (lambda, out) = power_iteration(&a, IterationConfig::default()).unwrap();
+        assert!((lambda - 2.0).abs() < 1e-9);
+        // Eigenvector should align with e1.
+        assert!(out.solution[0].abs() > 0.999);
+        assert!(out.solution[1].abs() < 1e-6);
+    }
+
+    #[test]
+    fn power_iteration_on_stochastic_matrix_gives_unit_eigenvalue() {
+        // Column-stochastic matrix: dominant eigenvalue 1.
+        let a = Matrix::from_rows(&[&[0.9, 0.2], &[0.1, 0.8]]).unwrap();
+        let (lambda, _) = power_iteration(&a, IterationConfig::default()).unwrap();
+        assert!((lambda - 1.0).abs() < 1e-8, "lambda = {lambda}");
+    }
+
+    #[test]
+    fn power_iteration_rejects_rectangular() {
+        assert!(power_iteration(&Matrix::zeros(2, 3), IterationConfig::default()).is_err());
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = IterationConfig::default();
+        assert!(c.max_iterations >= 1000);
+        assert!(c.tolerance > 0.0 && c.tolerance < 1e-6);
+    }
+}

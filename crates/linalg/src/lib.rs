@@ -1,0 +1,49 @@
+//! Dense and sparse linear algebra for absorbing Markov-chain analysis.
+//!
+//! The DSN 2003 zeroconf cost paper reduces both its measures of interest —
+//! the mean total cost (Eq. 3) and the collision probability (Eq. 4) — to
+//! linear systems over the transient part of an absorbing discrete-time
+//! Markov chain, citing Stewart's *Introduction to the Numerical Solution of
+//! Markov Chains*. This crate provides the numerical substrate for that
+//! reduction:
+//!
+//! - [`Matrix`]: dense row-major matrices with the usual algebra,
+//! - [`LuDecomposition`]: LU factorization with partial pivoting, used to
+//!   solve `(I − P′)x = b` systems exactly (up to floating point),
+//! - [`CsrMatrix`]: compressed sparse row storage for large, sparse chains,
+//! - [`iterative`]: Jacobi, Gauss–Seidel and power iteration as alternatives
+//!   to direct factorization (these are the classical Stewart methods),
+//! - [`vector`]: small helpers over `&[f64]` slices.
+//!
+//! # Examples
+//!
+//! Solve a linear system with LU:
+//!
+//! ```
+//! use zeroconf_linalg::{Matrix, LuDecomposition};
+//!
+//! # fn main() -> Result<(), zeroconf_linalg::LinalgError> {
+//! let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]])?;
+//! let lu = LuDecomposition::new(&a)?;
+//! let x = lu.solve(&[1.0, 2.0])?;
+//! assert!((4.0 * x[0] + x[1] - 1.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+pub mod iterative;
+mod lu;
+mod matrix;
+mod sparse;
+pub mod vector;
+
+pub use error::LinalgError;
+pub use iterative::{IterationConfig, IterationOutcome};
+pub use lu::LuDecomposition;
+pub use matrix::Matrix;
+pub use sparse::{CsrMatrix, Triplet};
+
+/// Default absolute tolerance used by the approximate comparisons in this
+/// crate's tests and by convergence checks that do not specify their own.
+pub const DEFAULT_TOLERANCE: f64 = 1e-10;

@@ -1,0 +1,390 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! Transition matrices of the zeroconf DRM family are extremely sparse (each
+//! state has at most two successors), so the iterative solvers operate on
+//! CSR storage. Dense [`Matrix`](crate::Matrix) remains the representation
+//! of choice for direct factorization.
+
+use crate::{LinalgError, Matrix};
+
+/// A single `(row, col, value)` entry used to assemble a [`CsrMatrix`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triplet {
+    /// Row index.
+    pub row: usize,
+    /// Column index.
+    pub col: usize,
+    /// Entry value.
+    pub value: f64,
+}
+
+impl Triplet {
+    /// Convenience constructor.
+    pub fn new(row: usize, col: usize, value: f64) -> Self {
+        Triplet { row, col, value }
+    }
+}
+
+/// A sparse matrix in compressed sparse row format.
+///
+/// # Examples
+///
+/// ```
+/// use zeroconf_linalg::{CsrMatrix, Triplet};
+///
+/// # fn main() -> Result<(), zeroconf_linalg::LinalgError> {
+/// let m = CsrMatrix::from_triplets(
+///     2,
+///     2,
+///     &[Triplet::new(0, 1, 2.0), Triplet::new(1, 0, 3.0)],
+/// )?;
+/// assert_eq!(m.matvec(&[1.0, 1.0])?, vec![2.0, 3.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    /// Index into `col_indices`/`values` where each row starts; length
+    /// `rows + 1`.
+    row_offsets: Vec<usize>,
+    col_indices: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Assembles a CSR matrix from (possibly unsorted, possibly duplicated)
+    /// triplets. Duplicate `(row, col)` entries are summed; explicit zeros
+    /// are dropped.
+    ///
+    /// # Errors
+    ///
+    /// - [`LinalgError::Empty`] if either dimension is zero.
+    /// - [`LinalgError::IndexOutOfBounds`] if a triplet lies outside the
+    ///   requested shape.
+    /// - [`LinalgError::NonFiniteEntry`] if a value is NaN or infinite.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[Triplet],
+    ) -> Result<Self, LinalgError> {
+        if rows == 0 || cols == 0 {
+            return Err(LinalgError::Empty);
+        }
+        for t in triplets {
+            if t.row >= rows || t.col >= cols {
+                return Err(LinalgError::IndexOutOfBounds {
+                    index: (t.row, t.col),
+                    shape: (rows, cols),
+                });
+            }
+            if !t.value.is_finite() {
+                return Err(LinalgError::NonFiniteEntry {
+                    row: t.row,
+                    col: t.col,
+                });
+            }
+        }
+        let mut sorted: Vec<Triplet> = triplets.to_vec();
+        sorted.sort_by(|a, b| (a.row, a.col).cmp(&(b.row, b.col)));
+
+        // Merge duplicates, then drop entries that are (or cancelled to) zero.
+        let mut kept: Vec<(usize, usize, f64)> = Vec::with_capacity(sorted.len());
+        for t in sorted {
+            if let Some(last) = kept.last_mut() {
+                if last.0 == t.row && last.1 == t.col {
+                    last.2 += t.value;
+                    continue;
+                }
+            }
+            kept.push((t.row, t.col, t.value));
+        }
+        kept.retain(|&(_, _, v)| v != 0.0);
+
+        let mut counts = vec![0usize; rows];
+        for &(r, _, _) in &kept {
+            counts[r] += 1;
+        }
+        let mut offsets = vec![0usize; rows + 1];
+        for r in 0..rows {
+            offsets[r + 1] = offsets[r] + counts[r];
+        }
+        let col_indices: Vec<usize> = kept.iter().map(|&(_, c, _)| c).collect();
+        let values: Vec<f64> = kept.iter().map(|&(_, _, v)| v).collect();
+
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            row_offsets: offsets,
+            col_indices,
+            values,
+        })
+    }
+
+    /// Converts a dense matrix, dropping zero entries.
+    pub fn from_dense(m: &Matrix) -> Self {
+        let mut triplets = Vec::new();
+        for r in 0..m.rows() {
+            for (c, &v) in m.row(r).iter().enumerate() {
+                if v != 0.0 {
+                    triplets.push(Triplet::new(r, c, v));
+                }
+            }
+        }
+        // Shape is non-empty because Matrix cannot be empty; values are the
+        // matrix's own entries. `expect` documents that invariant.
+        CsrMatrix::from_triplets(m.rows(), m.cols(), &triplets)
+            .expect("dense matrix always yields valid triplets")
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (structurally nonzero) entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterates over the `(col, value)` pairs of one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.rows()`.
+    pub fn row_entries(&self, row: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        assert!(row < self.rows, "row {row} out of bounds for {}", self.rows);
+        let start = self.row_offsets[row];
+        let end = self.row_offsets[row + 1];
+        self.col_indices[start..end]
+            .iter()
+            .zip(&self.values[start..end])
+            .map(|(&c, &v)| (c, v))
+    }
+
+    /// Value at `(row, col)`, zero when the entry is not stored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::IndexOutOfBounds`] outside the matrix shape.
+    pub fn get(&self, row: usize, col: usize) -> Result<f64, LinalgError> {
+        if row >= self.rows || col >= self.cols {
+            return Err(LinalgError::IndexOutOfBounds {
+                index: (row, col),
+                shape: (self.rows, self.cols),
+            });
+        }
+        Ok(self
+            .row_entries(row)
+            .find(|&(c, _)| c == col)
+            .map_or(0.0, |(_, v)| v))
+    }
+
+    /// Sparse matrix–vector product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if x.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "csr_matvec",
+                left: (self.rows, self.cols),
+                right: (x.len(), 1),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|r| self.row_entries(r).map(|(c, v)| v * x[c]).sum())
+            .collect())
+    }
+
+    /// Transposed-matrix–vector product `Aᵀ x` without materializing `Aᵀ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `x.len() != rows`.
+    pub fn matvec_transposed(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if x.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "csr_matvec_transposed",
+                left: (self.cols, self.rows),
+                right: (x.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let xr = x[r];
+            if xr == 0.0 {
+                continue;
+            }
+            for (c, v) in self.row_entries(r) {
+                out[c] += v * xr;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Densifies the matrix.
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in self.row_entries(r) {
+                m[(r, c)] = v;
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        CsrMatrix::from_triplets(
+            3,
+            3,
+            &[
+                Triplet::new(0, 0, 1.0),
+                Triplet::new(0, 2, 2.0),
+                Triplet::new(2, 1, 3.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn nnz_counts_stored_entries() {
+        assert_eq!(sample().nnz(), 3);
+    }
+
+    #[test]
+    fn get_returns_stored_and_implicit_zero() {
+        let m = sample();
+        assert_eq!(m.get(0, 2).unwrap(), 2.0);
+        assert_eq!(m.get(1, 1).unwrap(), 0.0);
+        assert!(m.get(3, 0).is_err());
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let m = CsrMatrix::from_triplets(
+            1,
+            1,
+            &[Triplet::new(0, 0, 1.5), Triplet::new(0, 0, 2.5)],
+        )
+        .unwrap();
+        assert_eq!(m.get(0, 0).unwrap(), 4.0);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn explicit_zeros_are_dropped() {
+        let m = CsrMatrix::from_triplets(2, 2, &[Triplet::new(0, 0, 0.0)]).unwrap();
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn cancelling_duplicates_are_dropped() {
+        let m = CsrMatrix::from_triplets(
+            1,
+            1,
+            &[Triplet::new(0, 0, 2.0), Triplet::new(0, 0, -2.0)],
+        )
+        .unwrap();
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.get(0, 0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_triplets() {
+        assert!(matches!(
+            CsrMatrix::from_triplets(2, 2, &[Triplet::new(2, 0, 1.0)]),
+            Err(LinalgError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_finite_values() {
+        assert!(matches!(
+            CsrMatrix::from_triplets(1, 1, &[Triplet::new(0, 0, f64::NAN)]),
+            Err(LinalgError::NonFiniteEntry { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_shape() {
+        assert_eq!(
+            CsrMatrix::from_triplets(0, 3, &[]).unwrap_err(),
+            LinalgError::Empty
+        );
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let m = sample();
+        let dense = m.to_dense();
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(m.matvec(&x).unwrap(), dense.matvec(&x).unwrap());
+    }
+
+    #[test]
+    fn matvec_transposed_matches_dense_transpose() {
+        let m = sample();
+        let dense_t = m.to_dense().transpose();
+        let x = [1.0, -1.0, 0.5];
+        let got = m.matvec_transposed(&x).unwrap();
+        let want = dense_t.matvec(&x).unwrap();
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn matvec_checks_dimension() {
+        assert!(sample().matvec(&[1.0]).is_err());
+        assert!(sample().matvec_transposed(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn from_dense_round_trip() {
+        let dense = Matrix::from_rows(&[&[0.0, 5.0], &[7.0, 0.0]]).unwrap();
+        let sparse = CsrMatrix::from_dense(&dense);
+        assert_eq!(sparse.nnz(), 2);
+        assert_eq!(sparse.to_dense(), dense);
+    }
+
+    #[test]
+    fn row_entries_are_sorted_by_column() {
+        let m = CsrMatrix::from_triplets(
+            1,
+            4,
+            &[
+                Triplet::new(0, 3, 1.0),
+                Triplet::new(0, 1, 2.0),
+                Triplet::new(0, 2, 3.0),
+            ],
+        )
+        .unwrap();
+        let cols: Vec<usize> = m.row_entries(0).map(|(c, _)| c).collect();
+        assert_eq!(cols, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn unsorted_triplets_assemble_correctly() {
+        let m = CsrMatrix::from_triplets(
+            2,
+            2,
+            &[Triplet::new(1, 1, 4.0), Triplet::new(0, 0, 1.0)],
+        )
+        .unwrap();
+        assert_eq!(m.get(0, 0).unwrap(), 1.0);
+        assert_eq!(m.get(1, 1).unwrap(), 4.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Small vector helpers over `&[f64]` slices.
+//!
+//! The chain analyses in `zeroconf-dtmc` work with plain `Vec<f64>` state
+//! vectors; these free functions provide the handful of BLAS-level-1
+//! operations they need without introducing a vector newtype.
+
+use crate::LinalgError;
+
+/// Dot product of two equal-length slices.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DimensionMismatch`] if the slices differ in length.
+///
+/// ```
+/// let d = zeroconf_linalg::vector::dot(&[1.0, 2.0], &[3.0, 4.0]).unwrap();
+/// assert_eq!(d, 11.0);
+/// ```
+pub fn dot(x: &[f64], y: &[f64]) -> Result<f64, LinalgError> {
+    check_same_len("dot", x, y)?;
+    Ok(x.iter().zip(y).map(|(a, b)| a * b).sum())
+}
+
+/// In-place `y += alpha * x` (the BLAS `axpy` operation).
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DimensionMismatch`] if the slices differ in length.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) -> Result<(), LinalgError> {
+    check_same_len("axpy", x, y)?;
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+    Ok(())
+}
+
+/// Scales every element of `x` in place by `alpha`.
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// Sum of absolute values (the `l1` norm).
+pub fn norm_l1(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// Euclidean (`l2`) norm.
+pub fn norm_l2(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+/// Maximum absolute value (the `l∞` norm). Returns 0 for an empty slice.
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0, |acc, v| acc.max(v.abs()))
+}
+
+/// Largest absolute componentwise difference between two slices.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DimensionMismatch`] if the slices differ in length.
+pub fn max_abs_diff(x: &[f64], y: &[f64]) -> Result<f64, LinalgError> {
+    check_same_len("max_abs_diff", x, y)?;
+    Ok(x.iter()
+        .zip(y)
+        .fold(0.0, |acc, (a, b)| acc.max((a - b).abs())))
+}
+
+/// Componentwise sum `x + y` as a new vector.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DimensionMismatch`] if the slices differ in length.
+pub fn add(x: &[f64], y: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    check_same_len("add", x, y)?;
+    Ok(x.iter().zip(y).map(|(a, b)| a + b).collect())
+}
+
+/// Componentwise difference `x − y` as a new vector.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DimensionMismatch`] if the slices differ in length.
+pub fn sub(x: &[f64], y: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    check_same_len("sub", x, y)?;
+    Ok(x.iter().zip(y).map(|(a, b)| a - b).collect())
+}
+
+/// True when all entries are finite (neither NaN nor infinite).
+pub fn all_finite(x: &[f64]) -> bool {
+    x.iter().all(|v| v.is_finite())
+}
+
+fn check_same_len(operation: &'static str, x: &[f64], y: &[f64]) -> Result<(), LinalgError> {
+    if x.len() == y.len() {
+        Ok(())
+    } else {
+        Err(LinalgError::DimensionMismatch {
+            operation,
+            left: (1, x.len()),
+            right: (1, y.len()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_of_orthogonal_vectors_is_zero() {
+        assert_eq!(dot(&[1.0, 0.0], &[0.0, 5.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn dot_rejects_mismatched_lengths() {
+        assert!(matches!(
+            dot(&[1.0], &[1.0, 2.0]),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0, 1.0];
+        axpy(2.0, &[1.0, 2.0, 3.0], &mut y).unwrap();
+        assert_eq!(y, vec![3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut x = vec![1.0, -2.0];
+        scale(-3.0, &mut x);
+        assert_eq!(x, vec![-3.0, 6.0]);
+    }
+
+    #[test]
+    fn norms_of_standard_vector() {
+        let x = [3.0, -4.0];
+        assert_eq!(norm_l1(&x), 7.0);
+        assert_eq!(norm_l2(&x), 5.0);
+        assert_eq!(norm_inf(&x), 4.0);
+    }
+
+    #[test]
+    fn norm_inf_of_empty_is_zero() {
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    fn max_abs_diff_finds_largest_gap() {
+        let d = max_abs_diff(&[1.0, 2.0, 3.0], &[1.0, 5.0, 3.5]).unwrap();
+        assert_eq!(d, 3.0);
+    }
+
+    #[test]
+    fn add_and_sub_are_inverse() {
+        let x = [1.0, 2.0];
+        let y = [0.5, -0.5];
+        let s = add(&x, &y).unwrap();
+        let back = sub(&s, &y).unwrap();
+        assert_eq!(back, x.to_vec());
+    }
+
+    #[test]
+    fn all_finite_detects_nan_and_inf() {
+        assert!(all_finite(&[0.0, 1.0]));
+        assert!(!all_finite(&[f64::NAN]));
+        assert!(!all_finite(&[f64::INFINITY]));
+    }
+}

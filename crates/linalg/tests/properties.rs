@@ -1,0 +1,144 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use proptest::prelude::*;
+use zeroconf_linalg::{
+    iterative::{self, IterationConfig},
+    CsrMatrix, LuDecomposition, Matrix, Triplet,
+};
+
+/// Strategy: an `n × n` strictly diagonally dominant matrix with entries in
+/// `[-1, 1]` off the diagonal. These are always nonsingular and keep both LU
+/// and the iterative solvers well behaved, mirroring the `(I − P′)` systems
+/// the Markov analyses produce.
+fn dominant_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-1.0f64..1.0, n * n).prop_map(move |vals| {
+        let mut m = Matrix::zeros(n, n);
+        for r in 0..n {
+            let mut off = 0.0;
+            for c in 0..n {
+                if r != c {
+                    let v = vals[r * n + c];
+                    m[(r, c)] = v;
+                    off += v.abs();
+                }
+            }
+            m[(r, r)] = off + 1.0 + vals[r * n + r].abs();
+        }
+        m
+    })
+}
+
+fn vector(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-10.0f64..10.0, n)
+}
+
+proptest! {
+    #[test]
+    fn lu_solve_has_small_residual(a in dominant_matrix(6), b in vector(6)) {
+        let lu = LuDecomposition::new(&a).unwrap();
+        let x = lu.solve(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for (l, r) in ax.iter().zip(&b) {
+            prop_assert!((l - r).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn lu_inverse_is_two_sided(a in dominant_matrix(5)) {
+        let inv = LuDecomposition::new(&a).unwrap().inverse().unwrap();
+        let left = inv.matmul(&a).unwrap();
+        let right = a.matmul(&inv).unwrap();
+        let id = Matrix::identity(5);
+        prop_assert!(left.approx_eq(&id, 1e-8).unwrap());
+        prop_assert!(right.approx_eq(&id, 1e-8).unwrap());
+    }
+
+    #[test]
+    fn determinant_of_product_is_product_of_determinants(
+        a in dominant_matrix(4),
+        b in dominant_matrix(4),
+    ) {
+        let da = LuDecomposition::new(&a).unwrap().determinant();
+        let db = LuDecomposition::new(&b).unwrap().determinant();
+        let dab = LuDecomposition::new(&a.matmul(&b).unwrap()).unwrap().determinant();
+        // Relative comparison: determinants of dominant matrices are >= 1.
+        prop_assert!(((dab - da * db) / (da * db)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn gauss_seidel_agrees_with_lu(a in dominant_matrix(5), b in vector(5)) {
+        let lu_x = LuDecomposition::new(&a).unwrap().solve(&b).unwrap();
+        let gs = iterative::gauss_seidel(&a, &b, IterationConfig::default()).unwrap();
+        for (l, r) in lu_x.iter().zip(&gs.solution) {
+            prop_assert!((l - r).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn jacobi_agrees_with_lu(a in dominant_matrix(4), b in vector(4)) {
+        let lu_x = LuDecomposition::new(&a).unwrap().solve(&b).unwrap();
+        let j = iterative::jacobi(&a, &b, IterationConfig::default()).unwrap();
+        for (l, r) in lu_x.iter().zip(&j.solution) {
+            prop_assert!((l - r).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive(a in dominant_matrix(5)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matmul_is_associative(
+        a in dominant_matrix(3),
+        b in dominant_matrix(3),
+        c in dominant_matrix(3),
+    ) {
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        // Dominant 3x3 entries are O(10); products are O(1e3).
+        prop_assert!(left.approx_eq(&right, 1e-7 * (1.0 + left.norm_inf())).unwrap());
+    }
+
+    #[test]
+    fn csr_round_trip_preserves_matrix(a in dominant_matrix(6)) {
+        let sparse = CsrMatrix::from_dense(&a);
+        prop_assert_eq!(sparse.to_dense(), a);
+    }
+
+    #[test]
+    fn csr_matvec_matches_dense(a in dominant_matrix(6), x in vector(6)) {
+        let sparse = CsrMatrix::from_dense(&a);
+        let dense_y = a.matvec(&x).unwrap();
+        let sparse_y = sparse.matvec(&x).unwrap();
+        for (l, r) in dense_y.iter().zip(&sparse_y) {
+            prop_assert!((l - r).abs() < 1e-9 * (1.0 + l.abs()));
+        }
+    }
+
+    #[test]
+    fn csr_transposed_matvec_matches_dense(a in dominant_matrix(5), x in vector(5)) {
+        let sparse = CsrMatrix::from_dense(&a);
+        let want = a.transpose().matvec(&x).unwrap();
+        let got = sparse.matvec_transposed(&x).unwrap();
+        for (l, r) in want.iter().zip(&got) {
+            prop_assert!((l - r).abs() < 1e-9 * (1.0 + l.abs()));
+        }
+    }
+
+    #[test]
+    fn triplet_order_is_irrelevant(
+        mut entries in prop::collection::vec((0usize..4, 0usize..4, -5.0f64..5.0), 0..20)
+    ) {
+        let forward: Vec<Triplet> =
+            entries.iter().map(|&(r, c, v)| Triplet::new(r, c, v)).collect();
+        entries.reverse();
+        let backward: Vec<Triplet> =
+            entries.iter().map(|&(r, c, v)| Triplet::new(r, c, v)).collect();
+        let a = CsrMatrix::from_triplets(4, 4, &forward).unwrap();
+        let b = CsrMatrix::from_triplets(4, 4, &backward).unwrap();
+        // Equality up to floating point: summation order of duplicates may
+        // differ, so compare densified entries with a tolerance.
+        prop_assert!(a.to_dense().approx_eq(&b.to_dense(), 1e-12).unwrap());
+    }
+}

@@ -1,0 +1,91 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the scalar solvers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NumOptError {
+    /// The search interval was empty, unordered or not finite.
+    InvalidInterval {
+        /// Lower bound supplied.
+        lo: f64,
+        /// Upper bound supplied.
+        hi: f64,
+    },
+    /// A root-finding bracket does not actually bracket a sign change.
+    NoSignChange {
+        /// Function value at the lower bound.
+        f_lo: f64,
+        /// Function value at the upper bound.
+        f_hi: f64,
+    },
+    /// The objective returned NaN at the given point.
+    ObjectiveNaN {
+        /// Argument at which the objective was NaN.
+        at: f64,
+    },
+    /// The iteration cap was reached before convergence.
+    MaxIterations {
+        /// The cap that was hit.
+        limit: usize,
+        /// Best argument found so far.
+        best: f64,
+    },
+    /// A configuration parameter (grid size, tolerance) was unusable.
+    InvalidConfiguration {
+        /// Description of the problem.
+        what: &'static str,
+    },
+    /// Monotone inversion could not expand a bracket containing the target.
+    TargetNotBracketed {
+        /// The requested target value.
+        target: f64,
+    },
+}
+
+impl fmt::Display for NumOptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumOptError::InvalidInterval { lo, hi } => {
+                write!(f, "invalid search interval [{lo}, {hi}]")
+            }
+            NumOptError::NoSignChange { f_lo, f_hi } => write!(
+                f,
+                "bracket endpoints have the same sign: f(lo) = {f_lo}, f(hi) = {f_hi}"
+            ),
+            NumOptError::ObjectiveNaN { at } => {
+                write!(f, "objective returned NaN at x = {at}")
+            }
+            NumOptError::MaxIterations { limit, best } => {
+                write!(f, "no convergence within {limit} iterations (best x = {best})")
+            }
+            NumOptError::InvalidConfiguration { what } => {
+                write!(f, "invalid configuration: {what}")
+            }
+            NumOptError::TargetNotBracketed { target } => {
+                write!(f, "could not bracket target value {target}")
+            }
+        }
+    }
+}
+
+impl Error for NumOptError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(NumOptError::InvalidInterval { lo: 1.0, hi: 0.0 }
+            .to_string()
+            .contains("[1, 0]"));
+        assert!(NumOptError::ObjectiveNaN { at: 2.5 }.to_string().contains("2.5"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NumOptError>();
+    }
+}

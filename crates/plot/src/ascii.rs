@@ -1,0 +1,290 @@
+//! ASCII chart rendering.
+//!
+//! Renders a [`Chart`] as monospaced text: series drawn with distinct
+//! glyphs over a bordered canvas, a y-axis with tick labels (scientific
+//! notation on log axes) and a legend. The point is *verifiability*: the
+//! regenerated figures can be eyeballed in a terminal or embedded in
+//! EXPERIMENTS.md next to the paper's description, without any plotting
+//! toolchain.
+
+use crate::scale::Scale;
+use crate::{Chart, PlotError};
+
+/// Glyphs assigned to series in order.
+const GLYPHS: [char; 10] = ['*', '+', 'o', 'x', '#', '@', '%', '&', '~', '='];
+
+/// Renders the chart onto a `width × height` character canvas (plot area;
+/// axis labels add a margin around it).
+///
+/// Series points are mapped through the chart's scales (linear x; linear
+/// or log10 y per [`Chart::is_log_y`]) and adjacent points of one series
+/// are connected by linear interpolation in canvas space. On a log y-axis,
+/// points with `y ≤ 0` are skipped rather than failing the render.
+///
+/// # Errors
+///
+/// - [`PlotError::EmptyChart`] with no series.
+/// - [`PlotError::CanvasTooSmall`] below 16×4.
+/// - [`PlotError::LogOfNonPositive`] when a log axis range degenerates.
+pub fn render(chart: &Chart, width: usize, height: usize) -> Result<String, PlotError> {
+    if width < 16 || height < 4 {
+        return Err(PlotError::CanvasTooSmall { width, height });
+    }
+    let y_scale = if chart.is_log_y() {
+        Scale::Log10
+    } else {
+        Scale::Linear
+    };
+    let (x_lo, x_hi) = chart.x_range()?;
+    let (mut y_lo, mut y_hi) = if chart.is_log_y() {
+        positive_y_range(chart)?
+    } else {
+        chart.y_range()?
+    };
+    if y_lo == y_hi {
+        // Flat data: widen symmetrically so the line sits mid-canvas.
+        let pad = if y_lo == 0.0 { 1.0 } else { y_lo.abs() * 0.1 };
+        y_lo -= pad;
+        y_hi += pad;
+        if chart.is_log_y() {
+            y_lo = y_lo.max(f64::MIN_POSITIVE);
+        }
+    }
+
+    let mut canvas = vec![vec![' '; width]; height];
+    for (series_index, series) in chart.series().iter().enumerate() {
+        let glyph = GLYPHS[series_index % GLYPHS.len()];
+        let mut previous: Option<(usize, usize)> = None;
+        for &(x, y) in series.points() {
+            if chart.is_log_y() && y <= 0.0 {
+                previous = None;
+                continue;
+            }
+            let cx = to_column(x, x_lo, x_hi, width);
+            let cy = to_row(y, y_lo, y_hi, height, y_scale)?;
+            if let Some((px, py)) = previous {
+                draw_segment(&mut canvas, px, py, cx, cy, glyph);
+            } else {
+                canvas[cy][cx] = glyph;
+            }
+            previous = Some((cx, cy));
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(chart.title());
+    out.push('\n');
+    if !chart.y_label_text().is_empty() {
+        out.push_str(chart.y_label_text());
+        out.push('\n');
+    }
+    // Y tick labels on selected rows.
+    let label_width = 11;
+    for (row, line) in canvas.iter().enumerate() {
+        let label = if row == 0 {
+            format_tick(y_hi)
+        } else if row == height - 1 {
+            format_tick(y_lo)
+        } else if row == height / 2 {
+            let mid = y_scale.ticks(y_lo, y_hi, 3)?[1];
+            format_tick(mid)
+        } else {
+            String::new()
+        };
+        out.push_str(&format!("{label:>label_width$} |"));
+        out.extend(line.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>label_width$} +{}\n",
+        "",
+        "-".repeat(width)
+    ));
+    out.push_str(&format!(
+        "{:>label_width$}  {:<w$.4}{:>w2$.4}\n",
+        "",
+        x_lo,
+        x_hi,
+        w = width / 2,
+        w2 = width - width / 2,
+    ));
+    if !chart.x_label_text().is_empty() {
+        out.push_str(&format!("{:>label_width$}  {}\n", "", chart.x_label_text()));
+    }
+    // Legend.
+    for (i, series) in chart.series().iter().enumerate() {
+        out.push_str(&format!(
+            "{:>label_width$}  {} {}\n",
+            "",
+            GLYPHS[i % GLYPHS.len()],
+            series.name()
+        ));
+    }
+    Ok(out)
+}
+
+fn positive_y_range(chart: &Chart) -> Result<(f64, f64), PlotError> {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for series in chart.series() {
+        for &(_, y) in series.points() {
+            if y > 0.0 {
+                lo = lo.min(y);
+                hi = hi.max(y);
+            }
+        }
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        return Err(PlotError::LogOfNonPositive { value: 0.0 });
+    }
+    Ok((lo, hi))
+}
+
+fn to_column(x: f64, lo: f64, hi: f64, width: usize) -> usize {
+    let t = Scale::Linear
+        .normalize(x, lo, hi)
+        .expect("linear normalize is total");
+    ((t * (width - 1) as f64).round() as usize).min(width - 1)
+}
+
+fn to_row(y: f64, lo: f64, hi: f64, height: usize, scale: Scale) -> Result<usize, PlotError> {
+    let t = scale.normalize(y, lo, hi)?;
+    // Row 0 is the top of the canvas.
+    Ok(((1.0 - t) * (height - 1) as f64).round() as usize)
+}
+
+fn draw_segment(canvas: &mut [Vec<char>], x0: usize, y0: usize, x1: usize, y1: usize, glyph: char) {
+    // Bresenham-style interpolation, coarse is fine for ASCII.
+    let steps = (x1 as i64 - x0 as i64)
+        .abs()
+        .max((y1 as i64 - y0 as i64).abs())
+        .max(1);
+    for s in 0..=steps {
+        let t = s as f64 / steps as f64;
+        let x = (x0 as f64 + t * (x1 as f64 - x0 as f64)).round() as usize;
+        let y = (y0 as f64 + t * (y1 as f64 - y0 as f64)).round() as usize;
+        canvas[y][x] = glyph;
+    }
+}
+
+fn format_tick(value: f64) -> String {
+    if value == 0.0 {
+        "0".to_owned()
+    } else if value.abs() >= 1e4 || value.abs() < 1e-2 {
+        format!("{value:.2e}")
+    } else {
+        format!("{value:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Series;
+
+    use super::*;
+
+    fn chart() -> Chart {
+        Chart::new("test chart")
+            .x_label("r")
+            .y_label("cost")
+            .with_series(
+                Series::new("up", vec![(0.0, 0.0), (5.0, 5.0)]).unwrap(),
+            )
+            .with_series(
+                Series::new("down", vec![(0.0, 5.0), (5.0, 0.0)]).unwrap(),
+            )
+    }
+
+    #[test]
+    fn render_contains_title_labels_and_legend() {
+        let text = render(&chart(), 40, 10).unwrap();
+        assert!(text.contains("test chart"));
+        assert!(text.contains("cost"));
+        assert!(text.contains('r'));
+        assert!(text.contains("* up"));
+        assert!(text.contains("+ down"));
+    }
+
+    #[test]
+    fn lines_are_drawn_with_distinct_glyphs() {
+        let text = render(&chart(), 40, 10).unwrap();
+        assert!(text.matches('*').count() > 5);
+        assert!(text.matches('+').count() > 5);
+    }
+
+    #[test]
+    fn rising_series_touches_opposite_corners() {
+        let only_up = Chart::new("up")
+            .with_series(Series::new("up", vec![(0.0, 0.0), (5.0, 5.0)]).unwrap());
+        let text = render(&only_up, 30, 8).unwrap();
+        let rows: Vec<&str> = text
+            .lines()
+            .filter(|l| l.contains('|'))
+            .collect();
+        // First canvas row (max y) has the glyph near the right edge;
+        // last canvas row near the left edge.
+        let first = rows.first().unwrap();
+        let last = rows.last().unwrap();
+        assert!(first.rfind('*').unwrap() > last.rfind('*').unwrap());
+    }
+
+    #[test]
+    fn log_axis_skips_non_positive_points() {
+        let c = Chart::new("log")
+            .log_y(true)
+            .with_series(
+                Series::new("p", vec![(0.0, 0.0), (1.0, 1e-10), (2.0, 1e-5)]).unwrap(),
+            );
+        let text = render(&c, 30, 8).unwrap();
+        assert!(text.contains("1.00e-5") || text.contains("1e-5") || text.contains("e-5"));
+    }
+
+    #[test]
+    fn log_axis_with_all_non_positive_fails() {
+        let c = Chart::new("log")
+            .log_y(true)
+            .with_series(Series::new("p", vec![(0.0, 0.0)]).unwrap());
+        assert!(matches!(
+            render(&c, 30, 8),
+            Err(PlotError::LogOfNonPositive { .. })
+        ));
+    }
+
+    #[test]
+    fn flat_series_renders_mid_canvas() {
+        let c = Chart::new("flat")
+            .with_series(Series::new("k", vec![(0.0, 2.0), (1.0, 2.0)]).unwrap());
+        let text = render(&c, 30, 9).unwrap();
+        let rows: Vec<&str> = text.lines().filter(|l| l.contains('|')).collect();
+        let hit_row = rows.iter().position(|l| l.contains('*')).unwrap();
+        assert!(hit_row > 1 && hit_row < rows.len() - 2, "row {hit_row}");
+    }
+
+    #[test]
+    fn canvas_size_is_validated() {
+        assert!(matches!(
+            render(&chart(), 5, 10),
+            Err(PlotError::CanvasTooSmall { .. })
+        ));
+        assert!(matches!(
+            render(&chart(), 40, 2),
+            Err(PlotError::CanvasTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_chart_is_rejected() {
+        assert!(matches!(
+            render(&Chart::new("e"), 30, 8),
+            Err(PlotError::EmptyChart)
+        ));
+    }
+
+    #[test]
+    fn tick_formatting() {
+        assert_eq!(format_tick(0.0), "0");
+        assert_eq!(format_tick(1.5), "1.500");
+        assert!(format_tick(1e-30).contains('e'));
+        assert!(format_tick(1e12).contains('e'));
+    }
+}

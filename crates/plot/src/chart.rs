@@ -1,0 +1,266 @@
+//! The shared chart representation.
+
+use crate::PlotError;
+
+/// One named line of `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    name: String,
+    points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series, validating that it is non-empty and finite.
+    ///
+    /// # Errors
+    ///
+    /// - [`PlotError::EmptySeries`] for an empty point list.
+    /// - [`PlotError::NonFinitePoint`] for NaN/infinite coordinates.
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Result<Self, PlotError> {
+        let name = name.into();
+        if points.is_empty() {
+            return Err(PlotError::EmptySeries { name });
+        }
+        for (index, &(x, y)) in points.iter().enumerate() {
+            if !x.is_finite() || !y.is_finite() {
+                return Err(PlotError::NonFinitePoint {
+                    series: name,
+                    index,
+                });
+            }
+        }
+        Ok(Series { name, points })
+    }
+
+    /// Builds a series by sampling a function over `count` evenly spaced
+    /// points of `[lo, hi]`; points where `f` returns non-finite values
+    /// are skipped (useful for off-scale regions like the paper's `C_1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlotError::EmptySeries`] if every sample was non-finite
+    /// or `count == 0`.
+    pub fn sample(
+        name: impl Into<String>,
+        lo: f64,
+        hi: f64,
+        count: usize,
+        mut f: impl FnMut(f64) -> f64,
+    ) -> Result<Self, PlotError> {
+        let name = name.into();
+        let mut points = Vec::with_capacity(count);
+        if count > 0 {
+            let step = if count > 1 { (hi - lo) / (count - 1) as f64 } else { 0.0 };
+            for k in 0..count {
+                let x = lo + k as f64 * step;
+                let y = f(x);
+                if x.is_finite() && y.is_finite() {
+                    points.push((x, y));
+                }
+            }
+        }
+        if points.is_empty() {
+            return Err(PlotError::EmptySeries { name });
+        }
+        Ok(Series { name, points })
+    }
+
+    /// The series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Smallest and largest x.
+    pub fn x_range(&self) -> (f64, f64) {
+        self.points
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(x, _)| {
+                (lo.min(x), hi.max(x))
+            })
+    }
+
+    /// Smallest and largest y.
+    pub fn y_range(&self) -> (f64, f64) {
+        self.points
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(_, y)| {
+                (lo.min(y), hi.max(y))
+            })
+    }
+}
+
+/// A titled, labelled collection of series sharing one coordinate system.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Chart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    log_y: bool,
+    series: Vec<Series>,
+}
+
+impl Chart {
+    /// Creates an empty chart with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        Chart {
+            title: title.into(),
+            ..Chart::default()
+        }
+    }
+
+    /// Sets the x-axis label.
+    pub fn x_label(mut self, label: impl Into<String>) -> Self {
+        self.x_label = label.into();
+        self
+    }
+
+    /// Sets the y-axis label.
+    pub fn y_label(mut self, label: impl Into<String>) -> Self {
+        self.y_label = label.into();
+        self
+    }
+
+    /// Switches the y-axis to log10 (Figures 5 and 6 use this).
+    pub fn log_y(mut self, log: bool) -> Self {
+        self.log_y = log;
+        self
+    }
+
+    /// Adds a series.
+    pub fn with_series(mut self, series: Series) -> Self {
+        self.series.push(series);
+        self
+    }
+
+    /// The chart title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The x-axis label.
+    pub fn x_label_text(&self) -> &str {
+        &self.x_label
+    }
+
+    /// The y-axis label.
+    pub fn y_label_text(&self) -> &str {
+        &self.y_label
+    }
+
+    /// Whether the y-axis is log-scaled.
+    pub fn is_log_y(&self) -> bool {
+        self.log_y
+    }
+
+    /// The series.
+    pub fn series(&self) -> &[Series] {
+        &self.series
+    }
+
+    /// Combined x-range over all series.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlotError::EmptyChart`] with no series.
+    pub fn x_range(&self) -> Result<(f64, f64), PlotError> {
+        self.combined(Series::x_range)
+    }
+
+    /// Combined y-range over all series.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlotError::EmptyChart`] with no series.
+    pub fn y_range(&self) -> Result<(f64, f64), PlotError> {
+        self.combined(Series::y_range)
+    }
+
+    fn combined(&self, f: impl Fn(&Series) -> (f64, f64)) -> Result<(f64, f64), PlotError> {
+        if self.series.is_empty() {
+            return Err(PlotError::EmptyChart);
+        }
+        Ok(self
+            .series
+            .iter()
+            .map(f)
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), (a, b)| {
+                (lo.min(a), hi.max(b))
+            }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_validates_input() {
+        assert!(matches!(
+            Series::new("s", vec![]),
+            Err(PlotError::EmptySeries { .. })
+        ));
+        assert!(matches!(
+            Series::new("s", vec![(0.0, f64::NAN)]),
+            Err(PlotError::NonFinitePoint { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn series_ranges() {
+        let s = Series::new("s", vec![(1.0, 5.0), (3.0, -2.0), (2.0, 0.0)]).unwrap();
+        assert_eq!(s.x_range(), (1.0, 3.0));
+        assert_eq!(s.y_range(), (-2.0, 5.0));
+    }
+
+    #[test]
+    fn sample_spans_interval() {
+        let s = Series::sample("f", 0.0, 2.0, 5, |x| x * x).unwrap();
+        assert_eq!(s.points().len(), 5);
+        assert_eq!(s.points()[0], (0.0, 0.0));
+        assert_eq!(s.points()[4], (2.0, 4.0));
+    }
+
+    #[test]
+    fn sample_skips_non_finite_values() {
+        let s = Series::sample("partial", -1.0, 1.0, 21, |x| x.ln()).unwrap();
+        // Only positive x yields finite ln.
+        assert!(s.points().iter().all(|&(x, _)| x > 0.0));
+        assert!(!s.points().is_empty());
+    }
+
+    #[test]
+    fn sample_of_nothing_is_an_error() {
+        assert!(Series::sample("nan", 0.0, 1.0, 5, |_| f64::NAN).is_err());
+        assert!(Series::sample("empty", 0.0, 1.0, 0, |x| x).is_err());
+    }
+
+    #[test]
+    fn chart_accumulates_series_and_ranges() {
+        let chart = Chart::new("t")
+            .x_label("x")
+            .y_label("y")
+            .log_y(true)
+            .with_series(Series::new("a", vec![(0.0, 1.0), (1.0, 10.0)]).unwrap())
+            .with_series(Series::new("b", vec![(2.0, 0.1)]).unwrap());
+        assert_eq!(chart.series().len(), 2);
+        assert_eq!(chart.x_range().unwrap(), (0.0, 2.0));
+        assert_eq!(chart.y_range().unwrap(), (0.1, 10.0));
+        assert!(chart.is_log_y());
+        assert_eq!(chart.title(), "t");
+        assert_eq!(chart.x_label_text(), "x");
+        assert_eq!(chart.y_label_text(), "y");
+    }
+
+    #[test]
+    fn empty_chart_has_no_range() {
+        assert!(matches!(
+            Chart::new("t").x_range(),
+            Err(PlotError::EmptyChart)
+        ));
+    }
+}

@@ -1,0 +1,93 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or rendering charts.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PlotError {
+    /// A series contained no points.
+    EmptySeries {
+        /// Name of the offending series.
+        name: String,
+    },
+    /// A chart had no series to render.
+    EmptyChart,
+    /// A point coordinate was NaN or infinite.
+    NonFinitePoint {
+        /// Name of the offending series.
+        series: String,
+        /// Index of the offending point.
+        index: usize,
+    },
+    /// A log-scaled axis received a non-positive value.
+    LogOfNonPositive {
+        /// The offending value.
+        value: f64,
+    },
+    /// Requested render dimensions are too small to draw anything.
+    CanvasTooSmall {
+        /// Requested width.
+        width: usize,
+        /// Requested height.
+        height: usize,
+    },
+    /// Writing the output failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for PlotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlotError::EmptySeries { name } => write!(f, "series '{name}' has no points"),
+            PlotError::EmptyChart => write!(f, "chart has no series"),
+            PlotError::NonFinitePoint { series, index } => {
+                write!(f, "non-finite point at index {index} of series '{series}'")
+            }
+            PlotError::LogOfNonPositive { value } => {
+                write!(f, "log scale cannot represent value {value}")
+            }
+            PlotError::CanvasTooSmall { width, height } => {
+                write!(f, "canvas {width}x{height} is too small")
+            }
+            PlotError::Io(e) => write!(f, "output failed: {e}"),
+        }
+    }
+}
+
+impl Error for PlotError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PlotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PlotError {
+    fn from(e: std::io::Error) -> Self {
+        PlotError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = PlotError::EmptySeries {
+            name: "C_4".to_owned(),
+        };
+        assert!(e.to_string().contains("C_4"));
+        assert!(PlotError::LogOfNonPositive { value: -1.0 }
+            .to_string()
+            .contains("-1"));
+    }
+
+    #[test]
+    fn io_errors_convert_with_source() {
+        let e: PlotError = std::io::Error::new(std::io::ErrorKind::Other, "boom").into();
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&PlotError::EmptyChart).is_none());
+    }
+}

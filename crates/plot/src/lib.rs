@@ -1,0 +1,41 @@
+//! Figure output for the zeroconf reproduction.
+//!
+//! The paper produced its plots in Maple; this reproduction regenerates
+//! every figure as
+//!
+//! - a **CSV file** ([`csv`]) for external plotting tools,
+//! - an **ASCII chart** ([`ascii`]) so the figure's shape is verifiable in
+//!   a terminal and in test logs (including the log-scale y-axes of
+//!   Figures 5 and 6), and
+//! - a minimal **SVG** ([`svg`]) rendering with axes and polylines, no
+//!   external dependencies.
+//!
+//! Data flows through one shared representation, [`Series`] grouped in a
+//! [`Chart`], with axis transforms handled by [`scale::Scale`].
+//!
+//! # Examples
+//!
+//! ```
+//! use zeroconf_plot::{Chart, Series};
+//!
+//! # fn main() -> Result<(), zeroconf_plot::PlotError> {
+//! let series = Series::new("C_4", vec![(0.0, 5.0), (1.0, 3.0), (2.0, 4.0)])?;
+//! let chart = Chart::new("mean cost")
+//!     .x_label("r (seconds)")
+//!     .y_label("cost")
+//!     .with_series(series);
+//! let text = zeroconf_plot::ascii::render(&chart, 40, 12)?;
+//! assert!(text.contains("C_4"));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ascii;
+mod chart;
+pub mod csv;
+mod error;
+pub mod scale;
+pub mod svg;
+
+pub use chart::{Chart, Series};
+pub use error::PlotError;

@@ -1,0 +1,138 @@
+//! Axis scales: linear and log10 transforms from data space to canvas
+//! coordinates.
+
+use crate::PlotError;
+
+/// An axis transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Identity mapping.
+    Linear,
+    /// Base-10 logarithmic mapping (for the probability axes of Figures 5
+    /// and 6, which span twenty orders of magnitude).
+    Log10,
+}
+
+impl Scale {
+    /// Applies the transform to a data value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlotError::LogOfNonPositive`] on `Log10` for values
+    /// `≤ 0`.
+    pub fn apply(self, value: f64) -> Result<f64, PlotError> {
+        match self {
+            Scale::Linear => Ok(value),
+            Scale::Log10 => {
+                if value <= 0.0 {
+                    Err(PlotError::LogOfNonPositive { value })
+                } else {
+                    Ok(value.log10())
+                }
+            }
+        }
+    }
+
+    /// Maps `value` into `[0, 1]` given the data range `(lo, hi)` (both in
+    /// data space). Degenerate ranges map everything to 0.5.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Scale::apply`], for the value or the bounds.
+    pub fn normalize(self, value: f64, lo: f64, hi: f64) -> Result<f64, PlotError> {
+        let (v, l, h) = (self.apply(value)?, self.apply(lo)?, self.apply(hi)?);
+        if (h - l).abs() < f64::EPSILON * (1.0 + h.abs() + l.abs()) {
+            return Ok(0.5);
+        }
+        Ok(((v - l) / (h - l)).clamp(0.0, 1.0))
+    }
+
+    /// Produces `count` tick values spanning `[lo, hi]`, evenly spaced in
+    /// the transformed space (so log axes get decade-ish ticks).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Scale::apply`].
+    pub fn ticks(self, lo: f64, hi: f64, count: usize) -> Result<Vec<f64>, PlotError> {
+        if count == 0 {
+            return Ok(Vec::new());
+        }
+        if count == 1 {
+            return Ok(vec![lo]);
+        }
+        let l = self.apply(lo)?;
+        let h = self.apply(hi)?;
+        let step = (h - l) / (count - 1) as f64;
+        Ok((0..count)
+            .map(|k| {
+                let t = l + k as f64 * step;
+                match self {
+                    Scale::Linear => t,
+                    Scale::Log10 => 10f64.powf(t),
+                }
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_is_identity() {
+        assert_eq!(Scale::Linear.apply(3.5).unwrap(), 3.5);
+        assert_eq!(Scale::Linear.apply(-2.0).unwrap(), -2.0);
+    }
+
+    #[test]
+    fn log_rejects_non_positive() {
+        assert!(Scale::Log10.apply(0.0).is_err());
+        assert!(Scale::Log10.apply(-1.0).is_err());
+        assert_eq!(Scale::Log10.apply(100.0).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn normalize_maps_endpoints() {
+        assert_eq!(Scale::Linear.normalize(0.0, 0.0, 10.0).unwrap(), 0.0);
+        assert_eq!(Scale::Linear.normalize(10.0, 0.0, 10.0).unwrap(), 1.0);
+        assert_eq!(Scale::Linear.normalize(5.0, 0.0, 10.0).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn normalize_log_is_even_in_decades() {
+        let mid = Scale::Log10.normalize(1e-10, 1e-15, 1e-5).unwrap();
+        assert!((mid - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_clamps_out_of_range() {
+        assert_eq!(Scale::Linear.normalize(20.0, 0.0, 10.0).unwrap(), 1.0);
+        assert_eq!(Scale::Linear.normalize(-5.0, 0.0, 10.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn degenerate_range_centers() {
+        assert_eq!(Scale::Linear.normalize(1.0, 1.0, 1.0).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn linear_ticks_are_even() {
+        let t = Scale::Linear.ticks(0.0, 10.0, 6).unwrap();
+        assert_eq!(t, vec![0.0, 2.0, 4.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn log_ticks_are_decades() {
+        let t = Scale::Log10.ticks(1.0, 1e4, 5).unwrap();
+        for (tick, expected) in t.iter().zip([1.0, 10.0, 100.0, 1e3, 1e4]) {
+            assert!((tick / expected - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn tick_edge_counts() {
+        assert!(Scale::Linear.ticks(0.0, 1.0, 0).unwrap().is_empty());
+        assert_eq!(Scale::Linear.ticks(3.0, 9.0, 1).unwrap(), vec![3.0]);
+    }
+}

@@ -1,0 +1,253 @@
+//! Minimal SVG rendering: axes, polylines, legend. No dependencies.
+
+use std::fmt::Write as _;
+
+use crate::scale::Scale;
+use crate::{Chart, PlotError};
+
+/// Stroke colors assigned to series in order.
+const COLORS: [&str; 8] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+];
+
+const MARGIN: f64 = 60.0;
+
+/// Renders the chart as a standalone SVG document of the given pixel
+/// size.
+///
+/// # Errors
+///
+/// - [`PlotError::EmptyChart`] with no series.
+/// - [`PlotError::CanvasTooSmall`] below 200×150 pixels.
+/// - [`PlotError::LogOfNonPositive`] when a log y-axis has no positive
+///   data.
+pub fn render(chart: &Chart, width: u32, height: u32) -> Result<String, PlotError> {
+    if width < 200 || height < 150 {
+        return Err(PlotError::CanvasTooSmall {
+            width: width as usize,
+            height: height as usize,
+        });
+    }
+    let y_scale = if chart.is_log_y() {
+        Scale::Log10
+    } else {
+        Scale::Linear
+    };
+    let (x_lo, x_hi) = chart.x_range()?;
+    let (y_lo, y_hi) = if chart.is_log_y() {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for series in chart.series() {
+            for &(_, y) in series.points() {
+                if y > 0.0 {
+                    lo = lo.min(y);
+                    hi = hi.max(y);
+                }
+            }
+        }
+        if !lo.is_finite() {
+            return Err(PlotError::LogOfNonPositive { value: 0.0 });
+        }
+        (lo, hi)
+    } else {
+        chart.y_range()?
+    };
+
+    let plot_w = width as f64 - 2.0 * MARGIN;
+    let plot_h = height as f64 - 2.0 * MARGIN;
+    let to_px = |x: f64, y: f64| -> Result<(f64, f64), PlotError> {
+        let tx = Scale::Linear.normalize(x, x_lo, x_hi)?;
+        let ty = y_scale.normalize(y, y_lo, y_hi)?;
+        Ok((MARGIN + tx * plot_w, MARGIN + (1.0 - ty) * plot_h))
+    };
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}">"#
+    );
+    let _ = write!(
+        svg,
+        r#"<rect width="{width}" height="{height}" fill="white"/>"#
+    );
+    // Title and axis labels.
+    let _ = write!(
+        svg,
+        r#"<text x="{}" y="24" text-anchor="middle" font-family="monospace" font-size="16">{}</text>"#,
+        width as f64 / 2.0,
+        escape(chart.title())
+    );
+    let _ = write!(
+        svg,
+        r#"<text x="{}" y="{}" text-anchor="middle" font-family="monospace" font-size="12">{}</text>"#,
+        width as f64 / 2.0,
+        height as f64 - 12.0,
+        escape(chart.x_label_text())
+    );
+    let _ = write!(
+        svg,
+        r#"<text x="16" y="{}" text-anchor="middle" font-family="monospace" font-size="12" transform="rotate(-90 16 {})">{}</text>"#,
+        height as f64 / 2.0,
+        height as f64 / 2.0,
+        escape(chart.y_label_text())
+    );
+    // Axes.
+    let _ = write!(
+        svg,
+        r#"<line x1="{m}" y1="{b}" x2="{r}" y2="{b}" stroke="black"/><line x1="{m}" y1="{t}" x2="{m}" y2="{b}" stroke="black"/>"#,
+        m = MARGIN,
+        t = MARGIN,
+        r = width as f64 - MARGIN,
+        b = height as f64 - MARGIN,
+    );
+    // Ticks (5 per axis).
+    for tick in Scale::Linear.ticks(x_lo, x_hi, 5)? {
+        let (px, _) = to_px(tick, y_lo)?;
+        let _ = write!(
+            svg,
+            r#"<line x1="{px}" y1="{b}" x2="{px}" y2="{b2}" stroke="black"/><text x="{px}" y="{ty}" text-anchor="middle" font-family="monospace" font-size="10">{label}</text>"#,
+            b = height as f64 - MARGIN,
+            b2 = height as f64 - MARGIN + 5.0,
+            ty = height as f64 - MARGIN + 18.0,
+            label = format_tick(tick),
+        );
+    }
+    for tick in y_scale.ticks(y_lo, y_hi, 5)? {
+        let (_, py) = to_px(x_lo, tick)?;
+        let _ = write!(
+            svg,
+            r#"<line x1="{m2}" y1="{py}" x2="{m}" y2="{py}" stroke="black"/><text x="{tx}" y="{py}" text-anchor="end" font-family="monospace" font-size="10">{label}</text>"#,
+            m = MARGIN,
+            m2 = MARGIN - 5.0,
+            tx = MARGIN - 8.0,
+            label = format_tick(tick),
+        );
+    }
+    // Series.
+    for (i, series) in chart.series().iter().enumerate() {
+        let color = COLORS[i % COLORS.len()];
+        let mut path = String::new();
+        for &(x, y) in series.points() {
+            if chart.is_log_y() && y <= 0.0 {
+                continue;
+            }
+            let (px, py) = to_px(x, y)?;
+            if path.is_empty() {
+                let _ = write!(path, "M{px:.2},{py:.2}");
+            } else {
+                let _ = write!(path, " L{px:.2},{py:.2}");
+            }
+        }
+        let _ = write!(
+            svg,
+            r#"<path d="{path}" fill="none" stroke="{color}" stroke-width="1.5"/>"#
+        );
+        // Legend entry.
+        let ly = MARGIN + 16.0 * i as f64;
+        let _ = write!(
+            svg,
+            r#"<line x1="{lx}" y1="{ly}" x2="{lx2}" y2="{ly}" stroke="{color}" stroke-width="2"/><text x="{tx}" y="{ty}" font-family="monospace" font-size="11">{name}</text>"#,
+            lx = width as f64 - MARGIN + 6.0,
+            lx2 = width as f64 - MARGIN + 22.0,
+            tx = width as f64 - MARGIN + 26.0,
+            ty = ly + 4.0,
+            name = escape(series.name()),
+        );
+    }
+    svg.push_str("</svg>");
+    Ok(svg)
+}
+
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+fn format_tick(value: f64) -> String {
+    if value == 0.0 {
+        "0".to_owned()
+    } else if value.abs() >= 1e4 || value.abs() < 1e-2 {
+        format!("{value:.1e}")
+    } else {
+        format!("{value:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Chart, Series};
+
+    use super::*;
+
+    fn chart() -> Chart {
+        Chart::new("svg test")
+            .x_label("r")
+            .y_label("cost")
+            .with_series(Series::new("a", vec![(0.0, 1.0), (2.0, 3.0)]).unwrap())
+    }
+
+    #[test]
+    fn output_is_wellformed_svg() {
+        let svg = render(&chart(), 640, 480).unwrap();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("<path"));
+        assert!(svg.contains("svg test"));
+    }
+
+    #[test]
+    fn series_names_and_labels_appear() {
+        let svg = render(&chart(), 640, 480).unwrap();
+        assert!(svg.contains(">a</text>"));
+        assert!(svg.contains(">cost</text>"));
+        assert!(svg.contains(">r</text>"));
+    }
+
+    #[test]
+    fn xml_special_characters_are_escaped() {
+        let c = Chart::new("a < b & c")
+            .with_series(Series::new("x<y", vec![(0.0, 1.0)]).unwrap());
+        let svg = render(&c, 640, 480).unwrap();
+        assert!(svg.contains("a &lt; b &amp; c"));
+        assert!(svg.contains("x&lt;y"));
+        assert!(!svg.contains("a < b"));
+    }
+
+    #[test]
+    fn log_axis_renders_tiny_probabilities() {
+        let c = Chart::new("log")
+            .log_y(true)
+            .with_series(
+                Series::new("p", vec![(1.0, 1e-54), (2.0, 1e-35)]).unwrap(),
+            );
+        let svg = render(&c, 640, 480).unwrap();
+        assert!(svg.contains("e-54") || svg.contains("e-35"));
+    }
+
+    #[test]
+    fn too_small_canvas_is_rejected() {
+        assert!(matches!(
+            render(&chart(), 100, 480),
+            Err(PlotError::CanvasTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_chart_is_rejected() {
+        assert!(matches!(
+            render(&Chart::new("t"), 640, 480),
+            Err(PlotError::EmptyChart)
+        ));
+    }
+
+    #[test]
+    fn each_series_gets_a_distinct_color() {
+        let c = Chart::new("two")
+            .with_series(Series::new("a", vec![(0.0, 1.0), (1.0, 2.0)]).unwrap())
+            .with_series(Series::new("b", vec![(0.0, 2.0), (1.0, 1.0)]).unwrap());
+        let svg = render(&c, 640, 480).unwrap();
+        assert!(svg.contains(COLORS[0]));
+        assert!(svg.contains(COLORS[1]));
+    }
+}

@@ -1,0 +1,110 @@
+use std::error::Error;
+use std::fmt;
+
+use zeroconf_dist::DistError;
+
+/// Errors produced by the protocol simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A configuration parameter was outside its domain.
+    InvalidConfig {
+        /// Name of the parameter.
+        parameter: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A required configuration field was never set.
+    MissingConfig {
+        /// Name of the missing field.
+        field: &'static str,
+    },
+    /// The address pool cannot satisfy the request (e.g. more occupied
+    /// addresses than the pool holds).
+    AddressSpaceExhausted {
+        /// Requested number of addresses.
+        requested: u32,
+        /// Pool capacity.
+        capacity: u32,
+    },
+    /// Zero trials or hosts were requested.
+    NothingToSimulate,
+    /// A single run exceeded its safety bound without resolving.
+    RunDidNotResolve {
+        /// The bound that was hit.
+        max_attempts: u32,
+    },
+    /// An underlying distribution computation failed.
+    Dist(DistError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { parameter, value } => {
+                write!(f, "invalid simulation parameter {parameter} = {value}")
+            }
+            SimError::MissingConfig { field } => {
+                write!(f, "missing simulation configuration field: {field}")
+            }
+            SimError::AddressSpaceExhausted {
+                requested,
+                capacity,
+            } => write!(
+                f,
+                "cannot occupy {requested} addresses in a pool of {capacity}"
+            ),
+            SimError::NothingToSimulate => write!(f, "zero trials or hosts requested"),
+            SimError::RunDidNotResolve { max_attempts } => {
+                write!(f, "run did not resolve within {max_attempts} attempts")
+            }
+            SimError::Dist(e) => write!(f, "distribution error: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Dist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DistError> for SimError {
+    fn from(e: DistError) -> Self {
+        SimError::Dist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(SimError::MissingConfig { field: "probes" }
+            .to_string()
+            .contains("probes"));
+        assert!(SimError::AddressSpaceExhausted {
+            requested: 10,
+            capacity: 5
+        }
+        .to_string()
+        .contains("10"));
+    }
+
+    #[test]
+    fn dist_errors_convert_with_source() {
+        let e: SimError = DistError::EmptyInput.into();
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&SimError::NothingToSimulate).is_none());
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

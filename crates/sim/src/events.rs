@@ -1,0 +1,213 @@
+//! A deterministic discrete-event queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::SimTime;
+
+/// A scheduled event: payload `E` due at a given time.
+///
+/// Events at equal times are delivered in scheduling order (FIFO), which
+/// keeps multi-host simulations deterministic under a fixed seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scheduled<E> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// The event payload.
+    pub event: E,
+}
+
+/// A min-heap of events ordered by `(time, insertion sequence)`.
+///
+/// # Examples
+///
+/// ```
+/// use zeroconf_sim::events::EventQueue;
+/// use zeroconf_sim::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::new(2.0).unwrap(), "late");
+/// q.schedule(SimTime::new(1.0).unwrap(), "early");
+/// assert_eq!(q.pop().unwrap().event, "early");
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    sequence: u64,
+    now: SimTime,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    at: SimTime,
+    sequence: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.sequence == other.sequence
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.sequence).cmp(&(other.at, other.sequence))
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            sequence: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current simulation time: the timestamp of the last popped event
+    /// (zero initially).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// Scheduling in the past is allowed (the event fires "immediately",
+    /// still after already-due events) — broadcast deliveries with zero
+    /// delay rely on this.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let entry = Entry {
+            at,
+            sequence: self.sequence,
+            event,
+        };
+        self.sequence += 1;
+        self.heap.push(Reverse(entry));
+    }
+
+    /// Schedules `event` at `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimTime, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    /// Events scheduled "in the past" do not move the clock backwards.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        self.heap.pop().map(|Reverse(entry)| {
+            self.now = self.now.max(entry.at);
+            Scheduled {
+                at: entry.at,
+                event: entry.event,
+            }
+        })
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(seconds: f64) -> SimTime {
+        SimTime::new(seconds).unwrap()
+    }
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(3.0), 'c');
+        q.schedule(t(1.0), 'a');
+        q.schedule(t(2.0), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn simultaneous_events_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(1.0), 1);
+        q.schedule(t(1.0), 2);
+        q.schedule(t(1.0), 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.schedule(t(5.0), ());
+        q.pop();
+        assert_eq!(q.now(), t(5.0));
+    }
+
+    #[test]
+    fn clock_does_not_move_backwards() {
+        let mut q = EventQueue::new();
+        q.schedule(t(5.0), "future");
+        q.pop();
+        q.schedule(t(1.0), "past");
+        let e = q.pop().unwrap();
+        assert_eq!(e.event, "past");
+        assert_eq!(e.at, t(1.0));
+        assert_eq!(q.now(), t(5.0));
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(t(2.0), "first");
+        q.pop();
+        q.schedule_in(t(1.5), "second");
+        assert_eq!(q.peek_time(), Some(t(3.5)));
+    }
+
+    #[test]
+    fn len_and_is_empty_track_content() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(t(1.0), ());
+        q.schedule(t(2.0), ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn empty_queue_pops_none() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.pop().is_none());
+        assert!(q.peek_time().is_none());
+    }
+}

@@ -1,0 +1,69 @@
+//! Discrete-event simulation of the IPv4 zeroconf initialization protocol.
+//!
+//! The analytical model of `zeroconf-cost` abstracts the network into the
+//! no-answer probabilities `p_i(r)`. This crate simulates the *protocol
+//! itself* — probes sent at times `0, r, 2r, …`, replies drawn from a
+//! defective reply-time distribution, restarts on replies, acceptance
+//! after `n` silent rounds — and thereby provides an independent check of
+//! Eq. (3) and Eq. (4): because Eq. (1) telescopes to a product of
+//! per-probe survivals, a simulation with independent per-probe reply
+//! delays follows *exactly* the same law as the paper's Markov chain (see
+//! `zeroconf_dist::noanswer`). The `figures validate` experiment and the
+//! integration tests exploit this.
+//!
+//! Beyond validation, the simulator covers what the analytical model
+//! deliberately leaves out:
+//!
+//! - the Internet-Draft's **rate limiting** (after 10 conflicts a host must
+//!   back off to one address per minute) and **no-retry of failed
+//!   addresses**, both acknowledged as abstractions in Section 3.1;
+//! - **multi-host** concurrent configuration ([`multihost`]), where several
+//!   fresh hosts race for addresses and can conflict with each other — the
+//!   scenario the paper defers to its Uppaal-based companion work \[7\].
+//!
+//! # Architecture
+//!
+//! - [`protocol`] — the single-host state machine and its Monte-Carlo
+//!   runner, cost-accounted identically to the DRM;
+//! - [`events`] — a deterministic discrete-event queue (time plus sequence
+//!   number, so simultaneous events resolve in insertion order);
+//! - [`address`] — the 65024-address pool with occupancy tracking;
+//! - [`network`] — broadcast link with per-recipient loss and delay;
+//! - [`multihost`] — the concurrent-configuration simulation;
+//! - [`stats`] — Welford accumulators and confidence intervals.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use rand::SeedableRng;
+//! use zeroconf_dist::DefectiveExponential;
+//! use zeroconf_sim::protocol::{ProtocolConfig, run_many};
+//!
+//! # fn main() -> Result<(), zeroconf_sim::SimError> {
+//! let config = ProtocolConfig::builder()
+//!     .probes(4)
+//!     .listen_period(2.0)
+//!     .probe_cost(2.0)
+//!     .error_cost(1e4)
+//!     .occupancy(0.3)
+//!     .reply_time(Arc::new(DefectiveExponential::new(0.9, 10.0, 1.0)?))
+//!     .build()?;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let summary = run_many(&config, 1000, &mut rng)?;
+//! assert!(summary.cost.mean() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod address;
+mod error;
+pub mod events;
+pub mod multihost;
+pub mod network;
+pub mod protocol;
+pub mod stats;
+mod time;
+
+pub use error::SimError;
+pub use time::SimTime;

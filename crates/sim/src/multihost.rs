@@ -1,0 +1,857 @@
+//! Concurrent configuration of several fresh hosts.
+//!
+//! The paper's model covers a *single* fresh host against a static
+//! network and points to the Uppaal-based companion study for "what
+//! happens in a setting in which multiple hosts simultaneously request an
+//! IP address" (Section 1, related work). This module simulates that
+//! setting with the event queue:
+//!
+//! - every fresh host runs the probe/listen state machine concurrently,
+//! - a probe for an address owned by a *configured* host (pre-existing or
+//!   freshly configured) draws a reply delay from `F_X` (or none — the
+//!   defect covers loss),
+//! - probes are also *broadcast to other probing hosts*: per the draft, a
+//!   host that sees a rival's probe for its own candidate treats it as a
+//!   conflict and restarts — this is how simultaneous claims on the same
+//!   address are usually resolved before anyone configures,
+//! - a host that completes `n` silent rounds configures; if its address is
+//!   in fact owned by someone else, that is an address collision.
+//!
+//! Cost accounting per host matches the DRM rewards exactly as in
+//! [`protocol`](crate::protocol).
+
+use rand::Rng;
+
+use crate::address::AddressPool;
+use crate::events::EventQueue;
+use crate::network::Link;
+use crate::stats::RunningStats;
+use crate::{SimError, SimTime};
+
+/// Configuration of a multi-host simulation.
+#[derive(Debug, Clone)]
+pub struct MultiHostConfig {
+    /// Number of fresh hosts configuring simultaneously.
+    pub fresh_hosts: u32,
+    /// Probe count `n` per attempt.
+    pub probes: u32,
+    /// Listening period `r` (seconds).
+    pub listen_period: f64,
+    /// Per-probe postage `c`.
+    pub probe_cost: f64,
+    /// Collision cost `E`.
+    pub error_cost: f64,
+    /// The shared broadcast link.
+    pub link: Link,
+    /// Address attempts allowed per host before the run is aborted.
+    pub max_attempts_per_host: u32,
+}
+
+impl MultiHostConfig {
+    fn validate(&self) -> Result<(), SimError> {
+        if self.fresh_hosts == 0 {
+            return Err(SimError::NothingToSimulate);
+        }
+        if self.probes == 0 {
+            return Err(SimError::InvalidConfig {
+                parameter: "probes",
+                value: 0.0,
+            });
+        }
+        if !self.listen_period.is_finite() || self.listen_period <= 0.0 {
+            return Err(SimError::InvalidConfig {
+                parameter: "listen_period",
+                value: self.listen_period,
+            });
+        }
+        for (name, v) in [
+            ("probe_cost", self.probe_cost),
+            ("error_cost", self.error_cost),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(SimError::InvalidConfig {
+                    parameter: name,
+                    value: v,
+                });
+            }
+        }
+        if self.max_attempts_per_host == 0 {
+            return Err(SimError::InvalidConfig {
+                parameter: "max_attempts_per_host",
+                value: 0.0,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Final state of one fresh host.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostResult {
+    /// The address the host settled on.
+    pub address: u32,
+    /// True when that address is also owned by a pre-configured host or
+    /// another fresh host — a real collision on the link.
+    pub collided: bool,
+    /// Candidate addresses tried.
+    pub attempts: u32,
+    /// DRM-style accumulated cost.
+    pub total_cost: f64,
+    /// Time from simulation start to configuration.
+    pub configured_at: SimTime,
+}
+
+/// Outcome of one multi-host run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiHostOutcome {
+    /// Per-host results, indexed by fresh-host id.
+    pub hosts: Vec<HostResult>,
+    /// Number of fresh hosts whose final address collides.
+    pub collisions: u32,
+    /// The latest configuration time (network fully settled).
+    pub settled_at: SimTime,
+}
+
+/// Aggregate over many runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiHostSummary {
+    /// Runs simulated.
+    pub trials: u64,
+    /// Per-run collision counts.
+    pub collisions: RunningStats,
+    /// Per-host cost statistics pooled over all runs.
+    pub cost: RunningStats,
+    /// Per-host attempt statistics pooled over all runs.
+    pub attempts: RunningStats,
+    /// Per-run settle-time statistics.
+    pub settle_seconds: RunningStats,
+    /// Runs in which at least one collision happened.
+    pub runs_with_collision: u64,
+}
+
+/// A background-churn model: while fresh hosts are still configuring,
+/// already-configured bystander hosts join and leave the link with
+/// exponential inter-event times. This deliberately violates the paper's
+/// Section 3.1 assumption that "other devices are neither added nor
+/// removed from the network" — the churn experiments measure how much
+/// that abstraction costs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Churn {
+    /// Rate (events per second) of new bystander hosts occupying a free
+    /// address.
+    pub arrival_rate: f64,
+    /// Rate (events per second) of existing bystanders releasing theirs.
+    pub departure_rate: f64,
+}
+
+impl Churn {
+    fn validate(&self) -> Result<(), SimError> {
+        for (name, v) in [
+            ("arrival_rate", self.arrival_rate),
+            ("departure_rate", self.departure_rate),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(SimError::InvalidConfig {
+                    parameter: name,
+                    value: v,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn next_gap<R: Rng>(rate: f64, rng: &mut R) -> Option<SimTime> {
+        if rate <= 0.0 {
+            return None;
+        }
+        let u: f64 = rng.gen();
+        SimTime::new(-(-u).ln_1p() / rate)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    Probing { candidate: u32, rounds_paid: u32 },
+    Configured { address: u32 },
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// Host sends probe number `round` (1-based) of its current attempt.
+    ProbeSend { host: u32, attempt: u32, round: u32 },
+    /// The final listening period of the attempt ended silently.
+    RoundsComplete { host: u32, attempt: u32 },
+    /// A reply to one of the host's probes arrives.
+    Reply { host: u32, attempt: u32 },
+    /// Another probing host's probe for `candidate` reaches this host.
+    RivalProbeSeen { host: u32, attempt: u32, candidate: u32 },
+    /// A churned bystander host joins the link.
+    ChurnArrival,
+    /// A churned bystander host leaves the link.
+    ChurnDeparture,
+}
+
+struct HostState {
+    phase: Phase,
+    attempt: u32,
+    attempts_used: u32,
+    total_cost: f64,
+    configured_at: SimTime,
+}
+
+/// Runs one multi-host simulation on the given pool (pre-occupied entries
+/// model the `m` existing hosts).
+///
+/// # Errors
+///
+/// - Validation errors from the configuration.
+/// - [`SimError::RunDidNotResolve`] when a host exhausts its attempt
+///   budget (e.g. a saturated pool).
+pub fn run_once<R: Rng>(
+    config: &MultiHostConfig,
+    pool: &AddressPool,
+    rng: &mut R,
+) -> Result<MultiHostOutcome, SimError> {
+    run_once_with_churn(config, pool, None, rng)
+}
+
+/// Like [`run_once`], but with background churn: bystander hosts keep
+/// joining and leaving while the fresh hosts configure.
+///
+/// # Errors
+///
+/// Same conditions as [`run_once`], plus validation of the churn rates.
+pub fn run_once_with_churn<R: Rng>(
+    config: &MultiHostConfig,
+    pool: &AddressPool,
+    churn: Option<&Churn>,
+    rng: &mut R,
+) -> Result<MultiHostOutcome, SimError> {
+    config.validate()?;
+    if let Some(churn) = churn {
+        churn.validate()?;
+    }
+    let mut pool = pool.clone();
+    let n = config.probes;
+    let r = config.listen_period;
+    let round_cost = r + config.probe_cost;
+    let hosts_count = config.fresh_hosts as usize;
+
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    let mut hosts: Vec<HostState> = Vec::with_capacity(hosts_count);
+
+    for host in 0..hosts_count as u32 {
+        let candidate = pool.random_candidate(rng);
+        hosts.push(HostState {
+            phase: Phase::Probing {
+                candidate,
+                rounds_paid: 0,
+            },
+            attempt: 0,
+            attempts_used: 1,
+            total_cost: 0.0,
+            configured_at: SimTime::ZERO,
+        });
+        queue.schedule(
+            SimTime::ZERO,
+            Event::ProbeSend {
+                host,
+                attempt: 0,
+                round: 1,
+            },
+        );
+    }
+    if let Some(churn) = churn {
+        if let Some(gap) = Churn::next_gap(churn.arrival_rate, rng) {
+            queue.schedule(gap, Event::ChurnArrival);
+        }
+        if let Some(gap) = Churn::next_gap(churn.departure_rate, rng) {
+            queue.schedule(gap, Event::ChurnDeparture);
+        }
+    }
+
+    while let Some(scheduled) = queue.pop() {
+        let now = scheduled.at;
+        match scheduled.event {
+            Event::ProbeSend {
+                host,
+                attempt,
+                round,
+            } => {
+                let (candidate, current_attempt) = match &mut hosts[host as usize] {
+                    HostState {
+                        phase: Phase::Probing {
+                            candidate,
+                            rounds_paid,
+                        },
+                        attempt: a,
+                        ..
+                    } if *a == attempt => {
+                        *rounds_paid = round;
+                        (*candidate, *a)
+                    }
+                    _ => continue, // stale event from an abandoned attempt
+                };
+                hosts[host as usize].total_cost += round_cost;
+
+                // A configured owner (pre-existing or fresh) may reply.
+                let owner_exists = pool.is_occupied(candidate)
+                    || hosts.iter().enumerate().any(|(other, h)| {
+                        other != host as usize
+                            && matches!(h.phase, Phase::Configured { address } if address == candidate)
+                    });
+                if owner_exists {
+                    if let Some(delay) = config.link.sample_reply_delay(rng) {
+                        queue.schedule(
+                            now + delay,
+                            Event::Reply {
+                                host,
+                                attempt: current_attempt,
+                            },
+                        );
+                    }
+                }
+
+                // Broadcast to rival probing hosts.
+                for other in 0..hosts_count as u32 {
+                    if other == host {
+                        continue;
+                    }
+                    if let Phase::Probing { .. } = hosts[other as usize].phase {
+                        if config.link.probe_delivered(rng) {
+                            queue.schedule(
+                                now + config.link.probe_delay(),
+                                Event::RivalProbeSeen {
+                                    host: other,
+                                    attempt: hosts[other as usize].attempt,
+                                    candidate,
+                                },
+                            );
+                        }
+                    }
+                }
+
+                // Schedule the rest of this attempt.
+                let next_time = now + SimTime::new(r).expect("validated r");
+                if round < n {
+                    queue.schedule(
+                        next_time,
+                        Event::ProbeSend {
+                            host,
+                            attempt: current_attempt,
+                            round: round + 1,
+                        },
+                    );
+                } else {
+                    queue.schedule(
+                        next_time,
+                        Event::RoundsComplete {
+                            host,
+                            attempt: current_attempt,
+                        },
+                    );
+                }
+            }
+            Event::RoundsComplete { host, attempt } => {
+                let state = &mut hosts[host as usize];
+                if state.attempt != attempt {
+                    continue;
+                }
+                if let Phase::Probing { candidate, .. } = state.phase {
+                    state.phase = Phase::Configured { address: candidate };
+                    state.configured_at = now;
+                }
+            }
+            Event::Reply { host, attempt } => {
+                restart_host(
+                    &mut hosts,
+                    host,
+                    attempt,
+                    None,
+                    &pool,
+                    config,
+                    &mut queue,
+                    now,
+                    rng,
+                )?;
+            }
+            Event::RivalProbeSeen {
+                host,
+                attempt,
+                candidate,
+            } => {
+                restart_host(
+                    &mut hosts,
+                    host,
+                    attempt,
+                    Some(candidate),
+                    &pool,
+                    config,
+                    &mut queue,
+                    now,
+                    rng,
+                )?;
+            }
+            Event::ChurnArrival => {
+                if let Some(address) = pool.random_free(rng) {
+                    pool.occupy(address)?;
+                }
+                // Keep churning only while someone is still configuring;
+                // otherwise let the queue drain.
+                if hosts.iter().any(|h| matches!(h.phase, Phase::Probing { .. })) {
+                    if let Some(churn) = churn {
+                        if let Some(gap) = Churn::next_gap(churn.arrival_rate, rng) {
+                            queue.schedule(now + gap, Event::ChurnArrival);
+                        }
+                    }
+                }
+            }
+            Event::ChurnDeparture => {
+                if let Some(address) = pool.random_occupied(rng) {
+                    pool.release(address)?;
+                }
+                if hosts.iter().any(|h| matches!(h.phase, Phase::Probing { .. })) {
+                    if let Some(churn) = churn {
+                        if let Some(gap) = Churn::next_gap(churn.departure_rate, rng) {
+                            queue.schedule(now + gap, Event::ChurnDeparture);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Everyone is configured (or the queue drained); assess collisions.
+    let mut results = Vec::with_capacity(hosts_count);
+    let mut collisions = 0;
+    let mut settled_at = SimTime::ZERO;
+    for (i, state) in hosts.iter().enumerate() {
+        let address = match state.phase {
+            Phase::Configured { address } => address,
+            Phase::Probing { .. } => {
+                return Err(SimError::RunDidNotResolve {
+                    max_attempts: config.max_attempts_per_host,
+                })
+            }
+        };
+        let collided = pool.is_occupied(address)
+            || hosts.iter().enumerate().any(|(other, h)| {
+                other != i && matches!(h.phase, Phase::Configured { address: a } if a == address)
+            });
+        let mut total_cost = state.total_cost;
+        if collided {
+            total_cost += config.error_cost;
+        }
+        if collided {
+            collisions += 1;
+        }
+        settled_at = settled_at.max(state.configured_at);
+        results.push(HostResult {
+            address,
+            collided,
+            attempts: state.attempts_used,
+            total_cost,
+            configured_at: state.configured_at,
+        });
+    }
+    Ok(MultiHostOutcome {
+        hosts: results,
+        collisions,
+        settled_at,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn restart_host<R: Rng>(
+    hosts: &mut [HostState],
+    host: u32,
+    attempt: u32,
+    only_if_candidate: Option<u32>,
+    pool: &AddressPool,
+    config: &MultiHostConfig,
+    queue: &mut EventQueue<Event>,
+    now: SimTime,
+    rng: &mut R,
+) -> Result<(), SimError> {
+    let state = &mut hosts[host as usize];
+    if state.attempt != attempt {
+        return Ok(()); // stale
+    }
+    let current_candidate = match state.phase {
+        Phase::Probing { candidate, .. } => candidate,
+        Phase::Configured { .. } => return Ok(()),
+    };
+    if let Some(required) = only_if_candidate {
+        if required != current_candidate {
+            return Ok(()); // rival probed a different address
+        }
+    }
+    if state.attempts_used >= config.max_attempts_per_host {
+        return Err(SimError::RunDidNotResolve {
+            max_attempts: config.max_attempts_per_host,
+        });
+    }
+    state.attempt += 1;
+    state.attempts_used += 1;
+    let candidate = pool.random_candidate(rng);
+    state.phase = Phase::Probing {
+        candidate,
+        rounds_paid: 0,
+    };
+    queue.schedule(
+        now,
+        Event::ProbeSend {
+            host,
+            attempt: state.attempt,
+            round: 1,
+        },
+    );
+    Ok(())
+}
+
+/// Runs `trials` independent multi-host simulations, regenerating the
+/// random pre-occupancy each run.
+///
+/// # Errors
+///
+/// - [`SimError::NothingToSimulate`] when `trials == 0`.
+/// - Pool-construction and per-run errors.
+pub fn run_many<R: Rng>(
+    config: &MultiHostConfig,
+    pool_size: u32,
+    pre_occupied: u32,
+    trials: u64,
+    rng: &mut R,
+) -> Result<MultiHostSummary, SimError> {
+    if trials == 0 {
+        return Err(SimError::NothingToSimulate);
+    }
+    let mut collisions = RunningStats::new();
+    let mut cost = RunningStats::new();
+    let mut attempts = RunningStats::new();
+    let mut settle = RunningStats::new();
+    let mut runs_with_collision = 0;
+    for _ in 0..trials {
+        let pool = AddressPool::with_random_occupancy(pool_size, pre_occupied, rng)?;
+        let outcome = run_once(config, &pool, rng)?;
+        collisions.push(outcome.collisions as f64);
+        if outcome.collisions > 0 {
+            runs_with_collision += 1;
+        }
+        for host in &outcome.hosts {
+            cost.push(host.total_cost);
+            attempts.push(host.attempts as f64);
+        }
+        settle.push(outcome.settled_at.seconds());
+    }
+    Ok(MultiHostSummary {
+        trials,
+        collisions,
+        cost,
+        attempts,
+        settle_seconds: settle,
+        runs_with_collision,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use zeroconf_dist::DefectiveExponential;
+
+    use super::*;
+
+    fn link(loss: f64) -> Link {
+        Link::new(Arc::new(
+            DefectiveExponential::from_loss(loss, 20.0, 0.05).unwrap(),
+        ))
+    }
+
+    fn config(fresh: u32, loss: f64) -> MultiHostConfig {
+        MultiHostConfig {
+            fresh_hosts: fresh,
+            probes: 3,
+            listen_period: 0.5,
+            probe_cost: 1.0,
+            error_cost: 100.0,
+            link: link(loss),
+            max_attempts_per_host: 1000,
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pool = AddressPool::new(100).unwrap();
+        for bad in [
+            MultiHostConfig {
+                fresh_hosts: 0,
+                ..config(1, 0.0)
+            },
+            MultiHostConfig {
+                probes: 0,
+                ..config(1, 0.0)
+            },
+            MultiHostConfig {
+                listen_period: 0.0,
+                ..config(1, 0.0)
+            },
+            MultiHostConfig {
+                max_attempts_per_host: 0,
+                ..config(1, 0.0)
+            },
+        ] {
+            assert!(run_once(&bad, &pool, &mut rng).is_err());
+        }
+    }
+
+    #[test]
+    fn lone_host_on_empty_network_configures_cleanly() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pool = AddressPool::new(1000).unwrap();
+        let cfg = config(1, 0.0);
+        let out = run_once(&cfg, &pool, &mut rng).unwrap();
+        assert_eq!(out.collisions, 0);
+        assert_eq!(out.hosts.len(), 1);
+        assert_eq!(out.hosts[0].attempts, 1);
+        // n rounds of (r + c).
+        assert!((out.hosts[0].total_cost - 3.0 * 1.5).abs() < 1e-12);
+        assert!((out.settled_at.seconds() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn many_hosts_large_pool_no_collisions_with_reliable_link() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pool = AddressPool::new(65024).unwrap();
+        let cfg = config(10, 0.0);
+        let out = run_once(&cfg, &pool, &mut rng).unwrap();
+        assert_eq!(out.collisions, 0);
+        // All final addresses distinct.
+        let mut addrs: Vec<u32> = out.hosts.iter().map(|h| h.address).collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        assert_eq!(addrs.len(), 10);
+    }
+
+    #[test]
+    fn occupied_address_with_reliable_replies_forces_retry() {
+        let mut rng = StdRng::seed_from_u64(4);
+        // Tiny pool, half occupied: hosts must bounce off the owners.
+        let mut pool = AddressPool::new(16).unwrap();
+        for a in 0..8 {
+            pool.occupy(a).unwrap();
+        }
+        let cfg = config(2, 0.0);
+        let out = run_once(&cfg, &pool, &mut rng).unwrap();
+        assert_eq!(out.collisions, 0);
+        for h in &out.hosts {
+            assert!(!pool.is_occupied(h.address));
+        }
+    }
+
+    #[test]
+    fn total_probe_blackout_on_tiny_pool_yields_collisions() {
+        // Replies never arrive and rival probes are never seen: every host
+        // accepts its first candidate. With a pool of 2 and 3 hosts at
+        // least two must collide.
+        let mut rng = StdRng::seed_from_u64(5);
+        let pool = AddressPool::new(2).unwrap();
+        let cfg = MultiHostConfig {
+            fresh_hosts: 3,
+            link: link(1.0).with_probe_loss(1.0).unwrap(),
+            ..config(3, 1.0)
+        };
+        let out = run_once(&cfg, &pool, &mut rng).unwrap();
+        assert!(out.collisions >= 2, "collisions = {}", out.collisions);
+        // Colliding hosts were charged the error cost.
+        for h in out.hosts.iter().filter(|h| h.collided) {
+            assert!(h.total_cost >= 100.0);
+        }
+    }
+
+    #[test]
+    fn rival_probe_detection_prevents_most_simultaneous_collisions() {
+        // Same tiny pool, but probes are broadcast reliably: hosts racing
+        // for the same address see each other and back off.
+        let mut rng = StdRng::seed_from_u64(6);
+        let cfg = MultiHostConfig {
+            fresh_hosts: 2,
+            link: link(0.0),
+            max_attempts_per_host: 10_000,
+            ..config(2, 0.0)
+        };
+        let mut collision_runs = 0;
+        for _ in 0..50 {
+            let pool = AddressPool::new(4).unwrap();
+            let out = run_once(&cfg, &pool, &mut rng).unwrap();
+            if out.collisions > 0 {
+                collision_runs += 1;
+            }
+        }
+        assert_eq!(collision_runs, 0);
+    }
+
+    #[test]
+    fn exhausted_attempts_error_out() {
+        let mut rng = StdRng::seed_from_u64(7);
+        // One-address pool, already occupied, perfectly replying owner:
+        // the fresh host can never settle.
+        let mut pool = AddressPool::new(1).unwrap();
+        pool.occupy(0).unwrap();
+        let cfg = MultiHostConfig {
+            max_attempts_per_host: 25,
+            ..config(1, 0.0)
+        };
+        let result = run_once(&cfg, &pool, &mut rng);
+        assert!(matches!(result, Err(SimError::RunDidNotResolve { .. })));
+    }
+
+    #[test]
+    fn run_many_aggregates() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let cfg = config(3, 0.1);
+        let summary = run_many(&cfg, 256, 32, 40, &mut rng).unwrap();
+        assert_eq!(summary.trials, 40);
+        assert_eq!(summary.cost.count(), 120);
+        assert!(summary.settle_seconds.mean() >= 1.5 - 1e-12);
+        assert!(summary.collisions.mean() >= 0.0);
+    }
+
+    #[test]
+    fn run_many_rejects_zero_trials() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(matches!(
+            run_many(&config(2, 0.1), 64, 8, 0, &mut rng),
+            Err(SimError::NothingToSimulate)
+        ));
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let cfg = config(4, 0.2);
+        let a = run_many(&cfg, 128, 16, 20, &mut StdRng::seed_from_u64(10)).unwrap();
+        let b = run_many(&cfg, 128, 16, 20, &mut StdRng::seed_from_u64(10)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_contention_means_more_attempts() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let cfg = config(2, 0.0);
+        let sparse = run_many(&cfg, 1024, 8, 30, &mut rng).unwrap();
+        let crowded = run_many(&cfg, 64, 56, 30, &mut rng).unwrap();
+        assert!(
+            crowded.attempts.mean() > sparse.attempts.mean(),
+            "crowded {} vs sparse {}",
+            crowded.attempts.mean(),
+            sparse.attempts.mean()
+        );
+    }
+}
+
+#[cfg(test)]
+mod churn_tests {
+    use std::sync::Arc;
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use zeroconf_dist::DefectiveExponential;
+
+    use super::*;
+
+    fn config() -> MultiHostConfig {
+        MultiHostConfig {
+            fresh_hosts: 2,
+            probes: 3,
+            listen_period: 0.5,
+            probe_cost: 1.0,
+            error_cost: 100.0,
+            link: Link::new(Arc::new(
+                DefectiveExponential::from_loss(0.05, 20.0, 0.05).unwrap(),
+            )),
+            max_attempts_per_host: 10_000,
+        }
+    }
+
+    #[test]
+    fn churn_rates_are_validated() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pool = AddressPool::new(64).unwrap();
+        let bad = Churn {
+            arrival_rate: -1.0,
+            departure_rate: 0.0,
+        };
+        assert!(run_once_with_churn(&config(), &pool, Some(&bad), &mut rng).is_err());
+        let nan = Churn {
+            arrival_rate: f64::NAN,
+            departure_rate: 0.0,
+        };
+        assert!(run_once_with_churn(&config(), &pool, Some(&nan), &mut rng).is_err());
+    }
+
+    #[test]
+    fn zero_rate_churn_matches_the_static_run() {
+        let pool = {
+            let mut rng = StdRng::seed_from_u64(2);
+            AddressPool::with_random_occupancy(128, 32, &mut rng).unwrap()
+        };
+        let churn = Churn {
+            arrival_rate: 0.0,
+            departure_rate: 0.0,
+        };
+        let static_run = run_once(&config(), &pool, &mut StdRng::seed_from_u64(3)).unwrap();
+        let churn_run =
+            run_once_with_churn(&config(), &pool, Some(&churn), &mut StdRng::seed_from_u64(3))
+                .unwrap();
+        assert_eq!(static_run, churn_run);
+    }
+
+    #[test]
+    fn churned_runs_terminate_and_stay_sane() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let churn = Churn {
+            arrival_rate: 2.0,
+            departure_rate: 2.0,
+        };
+        for _ in 0..20 {
+            let pool = AddressPool::with_random_occupancy(128, 32, &mut rng).unwrap();
+            let outcome =
+                run_once_with_churn(&config(), &pool, Some(&churn), &mut rng).unwrap();
+            assert_eq!(outcome.hosts.len(), 2);
+            for h in &outcome.hosts {
+                assert!(h.attempts >= 1);
+                assert!(h.total_cost > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_arrivals_on_a_tiny_pool_raise_contention() {
+        // With aggressive arrivals into a small pool, fresh hosts should
+        // need more attempts on average than on the static network.
+        let mut rng = StdRng::seed_from_u64(5);
+        // Net inflow, but bounded: departures keep the pool from
+        // saturating so every run still resolves.
+        let churn = Churn {
+            arrival_rate: 6.0,
+            departure_rate: 3.0,
+        };
+        let mut static_attempts = 0.0;
+        let mut churned_attempts = 0.0;
+        let trials = 60;
+        for _ in 0..trials {
+            let pool = AddressPool::with_random_occupancy(24, 6, &mut rng).unwrap();
+            let s = run_once(&config(), &pool, &mut rng).unwrap();
+            static_attempts += s.hosts.iter().map(|h| h.attempts as f64).sum::<f64>();
+            let c = run_once_with_churn(&config(), &pool, Some(&churn), &mut rng).unwrap();
+            churned_attempts += c.hosts.iter().map(|h| h.attempts as f64).sum::<f64>();
+        }
+        assert!(
+            churned_attempts > static_attempts,
+            "churned {churned_attempts} vs static {static_attempts}"
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! The broadcast link: reply delays and per-recipient packet loss.
+
+use std::sync::Arc;
+
+use rand::Rng;
+use zeroconf_dist::ReplyTimeDistribution;
+
+use crate::{SimError, SimTime};
+
+/// The link model used by both simulators.
+///
+/// For the single-host validation runs everything the model knows about
+/// the network is the defective reply-time distribution `F_X`: a reply to
+/// a probe arrives after `X ~ F_X`, or never (covering probe loss, busy
+/// responder and reply loss together, exactly as Section 3.2 folds them
+/// into one distribution). The multi-host simulator additionally needs a
+/// loss probability and delay for *probe* deliveries between concurrently
+/// configuring hosts; these default to the distribution's own defect and
+/// a zero-delay broadcast, and can be overridden.
+#[derive(Debug, Clone)]
+pub struct Link {
+    reply_time: Arc<dyn ReplyTimeDistribution>,
+    probe_loss: f64,
+    probe_delay: f64,
+}
+
+impl Link {
+    /// Creates a link from a reply-time distribution, with probe-delivery
+    /// loss equal to the distribution's defect and zero probe delay.
+    pub fn new(reply_time: Arc<dyn ReplyTimeDistribution>) -> Self {
+        let probe_loss = reply_time.defect();
+        Link {
+            reply_time,
+            probe_loss,
+            probe_delay: 0.0,
+        }
+    }
+
+    /// Overrides the probe-delivery loss probability (multi-host only).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] unless `loss ∈ [0, 1]`.
+    pub fn with_probe_loss(mut self, loss: f64) -> Result<Self, SimError> {
+        if !loss.is_finite() || !(0.0..=1.0).contains(&loss) {
+            return Err(SimError::InvalidConfig {
+                parameter: "probe_loss",
+                value: loss,
+            });
+        }
+        self.probe_loss = loss;
+        Ok(self)
+    }
+
+    /// Overrides the probe broadcast delay in seconds (multi-host only).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for a negative or non-finite
+    /// delay.
+    pub fn with_probe_delay(mut self, delay: f64) -> Result<Self, SimError> {
+        if !delay.is_finite() || delay < 0.0 {
+            return Err(SimError::InvalidConfig {
+                parameter: "probe_delay",
+                value: delay,
+            });
+        }
+        self.probe_delay = delay;
+        Ok(self)
+    }
+
+    /// The reply-time distribution.
+    pub fn reply_time(&self) -> &Arc<dyn ReplyTimeDistribution> {
+        &self.reply_time
+    }
+
+    /// Draws the end-to-end reply delay for one probe, `None` when the
+    /// reply never arrives.
+    pub fn sample_reply_delay<R: Rng>(&self, rng: &mut R) -> Option<SimTime> {
+        self.reply_time
+            .sample(rng)
+            .and_then(SimTime::new)
+    }
+
+    /// Decides whether a probe broadcast reaches one particular recipient.
+    pub fn probe_delivered<R: Rng>(&self, rng: &mut R) -> bool {
+        rng.gen::<f64>() >= self.probe_loss
+    }
+
+    /// The probe broadcast delay.
+    pub fn probe_delay(&self) -> SimTime {
+        SimTime::new(self.probe_delay).expect("validated at construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use zeroconf_dist::DefectiveExponential;
+
+    use super::*;
+
+    fn link(loss: f64) -> Link {
+        Link::new(Arc::new(
+            DefectiveExponential::from_loss(loss, 10.0, 0.5).unwrap(),
+        ))
+    }
+
+    #[test]
+    fn probe_loss_defaults_to_reply_defect() {
+        let l = link(0.25);
+        let mut rng = StdRng::seed_from_u64(6);
+        let delivered = (0..20_000).filter(|_| l.probe_delivered(&mut rng)).count();
+        let rate = delivered as f64 / 20_000.0;
+        assert!((rate - 0.75).abs() < 0.01, "delivery rate {rate}");
+    }
+
+    #[test]
+    fn reply_delays_respect_round_trip_floor() {
+        let l = link(0.1);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            if let Some(delay) = l.sample_reply_delay(&mut rng) {
+                assert!(delay.seconds() >= 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn overrides_are_validated() {
+        assert!(link(0.1).with_probe_loss(1.5).is_err());
+        assert!(link(0.1).with_probe_loss(f64::NAN).is_err());
+        assert!(link(0.1).with_probe_delay(-1.0).is_err());
+        let l = link(0.1)
+            .with_probe_loss(0.0)
+            .unwrap()
+            .with_probe_delay(0.25)
+            .unwrap();
+        assert_eq!(l.probe_delay().seconds(), 0.25);
+        let mut rng = StdRng::seed_from_u64(8);
+        assert!((0..100).all(|_| l.probe_delivered(&mut rng)));
+    }
+
+    #[test]
+    fn lossless_link_always_replies() {
+        let l = link(0.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!((0..1000).all(|_| l.sample_reply_delay(&mut rng).is_some()));
+    }
+}

@@ -1,0 +1,827 @@
+//! The single-host initialization protocol and its Monte-Carlo runner.
+//!
+//! One *run* reproduces the paper's model scope: a single fresh host
+//! configures against a static network. The cost accounting matches the
+//! DRM transition rewards exactly — `r + c` for every probe round entered,
+//! `E` on a collision, `n(r + c)` for probing a free address — so the
+//! sample mean over many runs is an unbiased estimator of Eq. (3) and the
+//! collision frequency estimates Eq. (4).
+//!
+//! Two protocol details the paper's model abstracts away (its Section 3.1
+//! explicitly lists them) are available as options:
+//!
+//! - [`ProtocolConfigBuilder::rate_limit`] — the draft's requirement that
+//!   a host which has seen more than 10 conflicts slows down to one
+//!   address acquisition per minute;
+//! - [`ProtocolConfigBuilder::pool`] with
+//!   [`ProtocolConfigBuilder::avoid_retrying_failed`] — a host may
+//!   remember and avoid addresses that failed before (this requires a
+//!   concrete address pool rather than the abstract occupancy `q`).
+
+use std::sync::Arc;
+
+use rand::Rng;
+use zeroconf_dist::ReplyTimeDistribution;
+
+use crate::address::AddressPool;
+use crate::stats::{wilson_interval_95, RunningStats};
+use crate::{SimError, SimTime};
+
+/// How candidate addresses are modelled.
+#[derive(Debug, Clone)]
+enum AddressModel {
+    /// Abstract occupancy probability `q` (the paper's model).
+    Occupancy(f64),
+    /// A concrete pool; enables the avoid-retry protocol detail.
+    Pool(AddressPool),
+}
+
+/// Configuration of a single-host simulation.
+#[derive(Debug, Clone)]
+pub struct ProtocolConfig {
+    probes: u32,
+    listen_period: f64,
+    probe_cost: f64,
+    error_cost: f64,
+    address_model: AddressModel,
+    reply_time: Arc<dyn ReplyTimeDistribution>,
+    max_attempts: u32,
+    rate_limit_after: Option<u32>,
+    rate_limit_interval: f64,
+    avoid_retry: bool,
+}
+
+impl ProtocolConfig {
+    /// Starts building a configuration.
+    pub fn builder() -> ProtocolConfigBuilder {
+        ProtocolConfigBuilder::default()
+    }
+
+    /// The probe count `n`.
+    pub fn probes(&self) -> u32 {
+        self.probes
+    }
+
+    /// The listening period `r`.
+    pub fn listen_period(&self) -> f64 {
+        self.listen_period
+    }
+}
+
+/// Builder for [`ProtocolConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct ProtocolConfigBuilder {
+    probes: Option<u32>,
+    listen_period: Option<f64>,
+    probe_cost: Option<f64>,
+    error_cost: Option<f64>,
+    occupancy: Option<f64>,
+    pool: Option<AddressPool>,
+    reply_time: Option<Arc<dyn ReplyTimeDistribution>>,
+    max_attempts: u32,
+    rate_limit_after: Option<u32>,
+    rate_limit_interval: f64,
+    avoid_retry: bool,
+}
+
+impl ProtocolConfigBuilder {
+    /// Sets the probe count `n`.
+    pub fn probes(mut self, n: u32) -> Self {
+        self.probes = Some(n);
+        self
+    }
+
+    /// Sets the listening period `r` in seconds.
+    pub fn listen_period(mut self, r: f64) -> Self {
+        self.listen_period = Some(r);
+        self
+    }
+
+    /// Sets the per-probe postage `c`.
+    pub fn probe_cost(mut self, c: f64) -> Self {
+        self.probe_cost = Some(c);
+        self
+    }
+
+    /// Sets the collision cost `E`.
+    pub fn error_cost(mut self, e: f64) -> Self {
+        self.error_cost = Some(e);
+        self
+    }
+
+    /// Uses the abstract occupancy probability `q` (mutually exclusive
+    /// with [`ProtocolConfigBuilder::pool`]; the later call wins).
+    pub fn occupancy(mut self, q: f64) -> Self {
+        self.occupancy = Some(q);
+        self.pool = None;
+        self
+    }
+
+    /// Uses a concrete address pool.
+    pub fn pool(mut self, pool: AddressPool) -> Self {
+        self.pool = Some(pool);
+        self.occupancy = None;
+        self
+    }
+
+    /// Sets the reply-time distribution `F_X`.
+    pub fn reply_time(mut self, dist: Arc<dyn ReplyTimeDistribution>) -> Self {
+        self.reply_time = Some(dist);
+        self
+    }
+
+    /// Safety bound on address attempts per run (default 1 000 000).
+    pub fn max_attempts(mut self, bound: u32) -> Self {
+        self.max_attempts = bound;
+        self
+    }
+
+    /// Enables the draft's rate limiting: after `conflicts` conflicts,
+    /// wait `interval_seconds` before each further attempt.
+    pub fn rate_limit(mut self, conflicts: u32, interval_seconds: f64) -> Self {
+        self.rate_limit_after = Some(conflicts);
+        self.rate_limit_interval = interval_seconds;
+        self
+    }
+
+    /// Never retry an address that failed before (requires a pool).
+    pub fn avoid_retrying_failed(mut self, avoid: bool) -> Self {
+        self.avoid_retry = avoid;
+        self
+    }
+
+    /// Validates and builds the configuration.
+    ///
+    /// # Errors
+    ///
+    /// - [`SimError::MissingConfig`] for unset required fields.
+    /// - [`SimError::InvalidConfig`] for out-of-domain values, including
+    ///   `avoid_retrying_failed` without a pool.
+    pub fn build(self) -> Result<ProtocolConfig, SimError> {
+        let probes = self.probes.ok_or(SimError::MissingConfig { field: "probes" })?;
+        if probes == 0 {
+            return Err(SimError::InvalidConfig {
+                parameter: "probes",
+                value: 0.0,
+            });
+        }
+        let listen_period = self
+            .listen_period
+            .ok_or(SimError::MissingConfig {
+                field: "listen_period",
+            })?;
+        if !listen_period.is_finite() || listen_period < 0.0 {
+            return Err(SimError::InvalidConfig {
+                parameter: "listen_period",
+                value: listen_period,
+            });
+        }
+        let probe_cost = self.probe_cost.ok_or(SimError::MissingConfig {
+            field: "probe_cost",
+        })?;
+        if !probe_cost.is_finite() || probe_cost < 0.0 {
+            return Err(SimError::InvalidConfig {
+                parameter: "probe_cost",
+                value: probe_cost,
+            });
+        }
+        let error_cost = self.error_cost.ok_or(SimError::MissingConfig {
+            field: "error_cost",
+        })?;
+        if !error_cost.is_finite() || error_cost < 0.0 {
+            return Err(SimError::InvalidConfig {
+                parameter: "error_cost",
+                value: error_cost,
+            });
+        }
+        let address_model = match (self.pool, self.occupancy) {
+            (Some(pool), _) => AddressModel::Pool(pool),
+            (None, Some(q)) => {
+                if !q.is_finite() || !(0.0..1.0).contains(&q) {
+                    return Err(SimError::InvalidConfig {
+                        parameter: "occupancy",
+                        value: q,
+                    });
+                }
+                AddressModel::Occupancy(q)
+            }
+            (None, None) => {
+                return Err(SimError::MissingConfig {
+                    field: "occupancy or pool",
+                })
+            }
+        };
+        if self.avoid_retry && !matches!(address_model, AddressModel::Pool(_)) {
+            return Err(SimError::InvalidConfig {
+                parameter: "avoid_retrying_failed requires a pool",
+                value: 1.0,
+            });
+        }
+        if self.rate_limit_after.is_some()
+            && (!self.rate_limit_interval.is_finite() || self.rate_limit_interval < 0.0)
+        {
+            return Err(SimError::InvalidConfig {
+                parameter: "rate_limit_interval",
+                value: self.rate_limit_interval,
+            });
+        }
+        let reply_time = self
+            .reply_time
+            .ok_or(SimError::MissingConfig { field: "reply_time" })?;
+        Ok(ProtocolConfig {
+            probes,
+            listen_period,
+            probe_cost,
+            error_cost,
+            address_model,
+            reply_time,
+            max_attempts: if self.max_attempts == 0 {
+                1_000_000
+            } else {
+                self.max_attempts
+            },
+            rate_limit_after: self.rate_limit_after,
+            rate_limit_interval: self.rate_limit_interval,
+            avoid_retry: self.avoid_retry,
+        })
+    }
+}
+
+/// Outcome of a single protocol run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunOutcome {
+    /// True when the host accepted an address already in use.
+    pub collided: bool,
+    /// Total cost, accounted exactly like the DRM rewards.
+    pub total_cost: f64,
+    /// Number of candidate addresses tried.
+    pub attempts: u32,
+    /// Total probes transmitted.
+    pub probes_sent: u32,
+    /// Wall-clock protocol time (listening periods actually spent, reply
+    /// waits, plus any rate-limit back-off; unlike cost, a round cut short
+    /// by a reply contributes only the elapsed fraction).
+    pub elapsed: SimTime,
+}
+
+/// Aggregate over many runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// Number of runs.
+    pub trials: u64,
+    /// Statistics of the per-run total cost (mean estimates Eq. 3).
+    pub cost: RunningStats,
+    /// Statistics of probes sent per run.
+    pub probes_sent: RunningStats,
+    /// Statistics of address attempts per run.
+    pub attempts: RunningStats,
+    /// Statistics of per-run elapsed protocol time.
+    pub elapsed_seconds: RunningStats,
+    /// Number of runs that ended in an address collision.
+    pub collisions: u64,
+}
+
+impl RunSummary {
+    /// Point estimate of the collision probability (estimates Eq. 4).
+    pub fn collision_rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.collisions as f64 / self.trials as f64
+        }
+    }
+
+    /// Wilson 95 % interval for the collision probability.
+    pub fn collision_interval_95(&self) -> (f64, f64) {
+        wilson_interval_95(self.collisions, self.trials)
+    }
+}
+
+/// Simulates one protocol run.
+///
+/// # Errors
+///
+/// Returns [`SimError::RunDidNotResolve`] when the safety bound on
+/// attempts is exceeded (practically impossible for sane parameters).
+pub fn run_once<R: Rng>(
+    config: &ProtocolConfig,
+    rng: &mut R,
+) -> Result<RunOutcome, SimError> {
+    let n = config.probes;
+    let r = config.listen_period;
+    let round_cost = r + config.probe_cost;
+    let mut pool = match &config.address_model {
+        AddressModel::Pool(p) => Some(p.clone()),
+        AddressModel::Occupancy(_) => None,
+    };
+    let mut failed: Vec<u32> = Vec::new();
+
+    let mut total_cost = 0.0;
+    let mut probes_sent = 0u32;
+    let mut elapsed = 0.0f64;
+    let mut conflicts = 0u32;
+
+    for attempt in 1..=config.max_attempts {
+        // Draft rate limiting: beyond the conflict threshold, each new
+        // attempt is delayed. The delay costs the user time but is not a
+        // DRM reward (the model predates this mechanism), so it only
+        // extends `elapsed`.
+        if let Some(threshold) = config.rate_limit_after {
+            if conflicts >= threshold {
+                elapsed += config.rate_limit_interval;
+            }
+        }
+
+        let occupied = match (&mut pool, &config.address_model) {
+            (Some(p), _) => {
+                let candidate = loop {
+                    let candidate = p.random_candidate(rng);
+                    if !config.avoid_retry || !failed.contains(&candidate) {
+                        break candidate;
+                    }
+                    // All addresses failed: give up through the safety
+                    // bound rather than spinning forever.
+                    if failed.len() as u32 >= p.size() {
+                        break candidate;
+                    }
+                };
+                if config.avoid_retry {
+                    failed.push(candidate);
+                }
+                p.is_occupied(candidate)
+            }
+            (None, AddressModel::Occupancy(q)) => rng.gen::<f64>() < *q,
+            (None, AddressModel::Pool(_)) => unreachable!("pool cloned above"),
+        };
+
+        if !occupied {
+            // Free address: n silent rounds, then configure.
+            total_cost += n as f64 * round_cost;
+            probes_sent += n;
+            elapsed += n as f64 * r;
+            return Ok(RunOutcome {
+                collided: false,
+                total_cost,
+                attempts: attempt,
+                probes_sent,
+                elapsed: SimTime::new(elapsed).expect("elapsed stays finite"),
+            });
+        }
+
+        // Occupied: probe j goes out at (j−1)·r; its reply (if ever)
+        // arrives at (j−1)·r + X_j with X_j ~ F_X independent.
+        let mut earliest_reply = f64::INFINITY;
+        for j in 0..n {
+            if let Some(x) = config.reply_time.sample(rng) {
+                earliest_reply = earliest_reply.min(j as f64 * r + x);
+            }
+        }
+        let deadline = n as f64 * r;
+        if earliest_reply < deadline && r > 0.0 {
+            // Reply in round k = ⌊t/r⌋ + 1: k rounds entered and paid.
+            let k = ((earliest_reply / r).floor() as u32 + 1).min(n);
+            total_cost += k as f64 * round_cost;
+            probes_sent += k;
+            elapsed += earliest_reply;
+            conflicts += 1;
+            continue;
+        }
+        if r == 0.0 && earliest_reply <= 0.0 {
+            // Degenerate zero-length rounds with an instantaneous reply.
+            total_cost += round_cost;
+            probes_sent += 1;
+            conflicts += 1;
+            continue;
+        }
+
+        // All n rounds silent: the host accepts the occupied address.
+        total_cost += n as f64 * round_cost + config.error_cost;
+        probes_sent += n;
+        elapsed += deadline;
+        return Ok(RunOutcome {
+            collided: true,
+            total_cost,
+            attempts: attempt,
+            probes_sent,
+            elapsed: SimTime::new(elapsed).expect("elapsed stays finite"),
+        });
+    }
+    Err(SimError::RunDidNotResolve {
+        max_attempts: config.max_attempts,
+    })
+}
+
+/// Runs `trials` independent simulations and aggregates them.
+///
+/// # Errors
+///
+/// - [`SimError::NothingToSimulate`] when `trials == 0`.
+/// - Any error from [`run_once`].
+pub fn run_many<R: Rng>(
+    config: &ProtocolConfig,
+    trials: u64,
+    rng: &mut R,
+) -> Result<RunSummary, SimError> {
+    if trials == 0 {
+        return Err(SimError::NothingToSimulate);
+    }
+    let mut cost = RunningStats::new();
+    let mut probes = RunningStats::new();
+    let mut attempts = RunningStats::new();
+    let mut elapsed = RunningStats::new();
+    let mut collisions = 0u64;
+    for _ in 0..trials {
+        let outcome = run_once(config, rng)?;
+        cost.push(outcome.total_cost);
+        probes.push(outcome.probes_sent as f64);
+        attempts.push(outcome.attempts as f64);
+        elapsed.push(outcome.elapsed.seconds());
+        if outcome.collided {
+            collisions += 1;
+        }
+    }
+    Ok(RunSummary {
+        trials,
+        cost,
+        probes_sent: probes,
+        attempts,
+        elapsed_seconds: elapsed,
+        collisions,
+    })
+}
+
+/// Empirical distribution of the user-perceived configuration latency
+/// (and per-run cost) over many simulated runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyProfile {
+    /// Elapsed protocol seconds per run.
+    pub elapsed_seconds: crate::stats::Quantiles,
+    /// Total cost per run.
+    pub cost: crate::stats::Quantiles,
+    /// Runs simulated.
+    pub trials: u64,
+}
+
+/// Collects full latency/cost distributions over `trials` runs — the
+/// percentile view (median, P95, P99) the mean-based model cannot give.
+///
+/// # Errors
+///
+/// Same conditions as [`run_many`].
+pub fn latency_profile<R: Rng>(
+    config: &ProtocolConfig,
+    trials: u64,
+    rng: &mut R,
+) -> Result<LatencyProfile, SimError> {
+    if trials == 0 {
+        return Err(SimError::NothingToSimulate);
+    }
+    let mut elapsed = crate::stats::Quantiles::new();
+    let mut cost = crate::stats::Quantiles::new();
+    for _ in 0..trials {
+        let outcome = run_once(config, rng)?;
+        elapsed.push(outcome.elapsed.seconds());
+        cost.push(outcome.total_cost);
+    }
+    Ok(LatencyProfile {
+        elapsed_seconds: elapsed,
+        cost,
+        trials,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use zeroconf_dist::DefectiveExponential;
+
+    use super::*;
+
+    fn dist(loss: f64) -> Arc<dyn ReplyTimeDistribution> {
+        Arc::new(DefectiveExponential::from_loss(loss, 3.0, 0.2).unwrap())
+    }
+
+    fn config(n: u32, r: f64, q: f64, loss: f64) -> ProtocolConfig {
+        ProtocolConfig::builder()
+            .probes(n)
+            .listen_period(r)
+            .probe_cost(1.5)
+            .error_cost(50.0)
+            .occupancy(q)
+            .reply_time(dist(loss))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_requires_fields_and_domains() {
+        assert!(matches!(
+            ProtocolConfig::builder().build(),
+            Err(SimError::MissingConfig { field: "probes" })
+        ));
+        assert!(ProtocolConfig::builder()
+            .probes(0)
+            .listen_period(1.0)
+            .probe_cost(1.0)
+            .error_cost(1.0)
+            .occupancy(0.1)
+            .reply_time(dist(0.1))
+            .build()
+            .is_err());
+        assert!(ProtocolConfig::builder()
+            .probes(4)
+            .listen_period(-1.0)
+            .probe_cost(1.0)
+            .error_cost(1.0)
+            .occupancy(0.1)
+            .reply_time(dist(0.1))
+            .build()
+            .is_err());
+        assert!(ProtocolConfig::builder()
+            .probes(4)
+            .listen_period(1.0)
+            .probe_cost(1.0)
+            .error_cost(1.0)
+            .occupancy(1.0)
+            .reply_time(dist(0.1))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn avoid_retry_requires_pool() {
+        let err = ProtocolConfig::builder()
+            .probes(4)
+            .listen_period(1.0)
+            .probe_cost(1.0)
+            .error_cost(1.0)
+            .occupancy(0.1)
+            .avoid_retrying_failed(true)
+            .reply_time(dist(0.1))
+            .build();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn free_address_run_has_deterministic_cost() {
+        // q = 0 is not allowed as occupancy... use a pool with nothing
+        // occupied instead.
+        let pool = crate::address::AddressPool::new(64).unwrap();
+        let cfg = ProtocolConfig::builder()
+            .probes(3)
+            .listen_period(2.0)
+            .probe_cost(1.0)
+            .error_cost(100.0)
+            .pool(pool)
+            .reply_time(dist(0.1))
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = run_once(&cfg, &mut rng).unwrap();
+        assert!(!out.collided);
+        assert_eq!(out.attempts, 1);
+        assert_eq!(out.probes_sent, 3);
+        assert_eq!(out.total_cost, 3.0 * 3.0); // n(r + c) = 3 * 3
+        assert_eq!(out.elapsed.seconds(), 6.0);
+    }
+
+    #[test]
+    fn zero_listening_always_collides_on_occupied() {
+        // r = 0: replies (delayed at least d = 0.2 s) can never arrive in
+        // time, so occupied addresses always slip through.
+        let cfg = config(4, 0.0, 0.9, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let summary = run_many(&cfg, 2000, &mut rng).unwrap();
+        // Collision rate should be ≈ q = 0.9 (every occupied pick is
+        // accepted; free picks succeed).
+        assert!((summary.collision_rate() - 0.9).abs() < 0.03);
+    }
+
+    #[test]
+    fn lossless_link_with_long_listening_never_collides() {
+        let cfg = config(2, 5.0, 0.5, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let summary = run_many(&cfg, 2000, &mut rng).unwrap();
+        assert_eq!(summary.collisions, 0);
+        // Each run probes at least n = 2 times.
+        assert!(summary.probes_sent.min() >= 2.0);
+    }
+
+    #[test]
+    fn collision_rate_matches_occupancy_and_loss() {
+        // Fully lossy link: every occupied candidate survives all rounds.
+        // Collision probability = q / (q + (1-q)) ... every attempt
+        // resolves: occupied -> collision, free -> ok. So rate = q.
+        let cfg = config(3, 1.0, 0.4, 1.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let summary = run_many(&cfg, 4000, &mut rng).unwrap();
+        assert!((summary.collision_rate() - 0.4).abs() < 0.02);
+        // Exactly one attempt per run in this regime.
+        assert_eq!(summary.attempts.max(), 1.0);
+    }
+
+    #[test]
+    fn rate_limiting_extends_elapsed_time_only() {
+        let base = config(2, 0.5, 0.8, 1.0);
+        let mut limited = ProtocolConfig::builder()
+            .probes(2)
+            .listen_period(0.5)
+            .probe_cost(1.5)
+            .error_cost(50.0)
+            .occupancy(0.8)
+            .reply_time(dist(1.0))
+            .rate_limit(0, 60.0)
+            .build()
+            .unwrap();
+        let mut rng_a = StdRng::seed_from_u64(5);
+        let mut rng_b = StdRng::seed_from_u64(5);
+        let a = run_once(&base, &mut rng_a).unwrap();
+        let b = run_once(&mut limited, &mut rng_b).unwrap();
+        assert_eq!(a.total_cost, b.total_cost);
+        assert!(b.elapsed.seconds() >= a.elapsed.seconds() + 60.0 - 1e-9);
+    }
+
+    #[test]
+    fn avoid_retry_never_repeats_candidates() {
+        let mut rng = StdRng::seed_from_u64(6);
+        // Small pool, everything occupied, lossless: every attempt fails
+        // fast; with avoid_retry each address is tried at most once until
+        // the pool is exhausted.
+        let pool =
+            crate::address::AddressPool::with_random_occupancy(8, 8, &mut rng).unwrap();
+        let cfg = ProtocolConfig::builder()
+            .probes(1)
+            .listen_period(2.0)
+            .probe_cost(0.5)
+            .error_cost(10.0)
+            .pool(pool)
+            .avoid_retrying_failed(true)
+            .reply_time(dist(0.0))
+            .max_attempts(50)
+            .build()
+            .unwrap();
+        // The run cannot succeed (all addresses occupied, replies always
+        // arrive), so it keeps drawing; the safety bound must fire.
+        let result = run_once(&cfg, &mut rng);
+        assert!(matches!(result, Err(SimError::RunDidNotResolve { .. })));
+    }
+
+    #[test]
+    fn summary_aggregates_are_consistent() {
+        let cfg = config(3, 0.8, 0.3, 0.2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let summary = run_many(&cfg, 5000, &mut rng).unwrap();
+        assert_eq!(summary.trials, 5000);
+        assert_eq!(summary.cost.count(), 5000);
+        assert!(summary.cost.mean() > 0.0);
+        assert!(summary.attempts.mean() >= 1.0);
+        let (lo, hi) = summary.collision_interval_95();
+        let rate = summary.collision_rate();
+        assert!(lo <= rate && rate <= hi);
+    }
+
+    #[test]
+    fn zero_trials_is_rejected() {
+        let cfg = config(3, 0.8, 0.3, 0.2);
+        let mut rng = StdRng::seed_from_u64(8);
+        assert!(matches!(
+            run_many(&cfg, 0, &mut rng),
+            Err(SimError::NothingToSimulate)
+        ));
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let cfg = config(4, 1.0, 0.5, 0.3);
+        let a = run_many(&cfg, 500, &mut StdRng::seed_from_u64(11)).unwrap();
+        let b = run_many(&cfg, 500, &mut StdRng::seed_from_u64(11)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mean_cost_matches_analytical_model() {
+        // The headline validation: simulator vs Eq. (3) on moderate
+        // parameters (also exercised end-to-end by `figures validate`).
+        let cfg = config(3, 0.8, 0.3, 0.2);
+        let scenario = zeroconf_cost::Scenario::builder()
+            .occupancy(0.3)
+            .probe_cost(1.5)
+            .error_cost(50.0)
+            .reply_time(Arc::new(
+                DefectiveExponential::from_loss(0.2, 3.0, 0.2).unwrap(),
+            ))
+            .build()
+            .unwrap();
+        let exact = scenario.mean_cost(3, 0.8).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let summary = run_many(&cfg, 120_000, &mut rng).unwrap();
+        let se = summary.cost.standard_error();
+        assert!(
+            (summary.cost.mean() - exact).abs() < 5.0 * se,
+            "simulated {} vs exact {} (se {se})",
+            summary.cost.mean(),
+            exact
+        );
+    }
+
+    #[test]
+    fn collision_rate_matches_analytical_model() {
+        let cfg = config(2, 0.6, 0.4, 0.5);
+        let scenario = zeroconf_cost::Scenario::builder()
+            .occupancy(0.4)
+            .probe_cost(1.5)
+            .error_cost(50.0)
+            .reply_time(Arc::new(
+                DefectiveExponential::from_loss(0.5, 3.0, 0.2).unwrap(),
+            ))
+            .build()
+            .unwrap();
+        let exact = scenario.error_probability(2, 0.6).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let summary = run_many(&cfg, 80_000, &mut rng).unwrap();
+        let (lo, hi) = summary.collision_interval_95();
+        assert!(
+            lo <= exact && exact <= hi,
+            "exact {exact} outside [{lo}, {hi}]"
+        );
+    }
+}
+
+#[cfg(test)]
+mod latency_tests {
+    use std::sync::Arc;
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use zeroconf_dist::DefectiveExponential;
+
+    use super::*;
+
+    #[test]
+    fn latency_profile_percentiles_are_ordered() {
+        let config = ProtocolConfig::builder()
+            .probes(3)
+            .listen_period(0.5)
+            .probe_cost(1.0)
+            .error_cost(25.0)
+            .occupancy(0.4)
+            .reply_time(Arc::new(
+                DefectiveExponential::from_loss(0.2, 4.0, 0.1).unwrap(),
+            ))
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(55);
+        let mut profile = latency_profile(&config, 20_000, &mut rng).unwrap();
+        let median = profile.elapsed_seconds.median().unwrap();
+        let p95 = profile.elapsed_seconds.p95().unwrap();
+        let p99 = profile.elapsed_seconds.p99().unwrap();
+        assert!(median <= p95 && p95 <= p99);
+        // Every run listens at least one partial round; the free-address
+        // fast path takes the full n·r = 1.5 s.
+        assert!(p99 >= 1.5);
+        assert_eq!(profile.trials, 20_000);
+    }
+
+    #[test]
+    fn latency_profile_rejects_zero_trials() {
+        let config = ProtocolConfig::builder()
+            .probes(1)
+            .listen_period(0.1)
+            .probe_cost(0.1)
+            .error_cost(1.0)
+            .occupancy(0.1)
+            .reply_time(Arc::new(
+                DefectiveExponential::from_loss(0.1, 4.0, 0.05).unwrap(),
+            ))
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(56);
+        assert!(matches!(
+            latency_profile(&config, 0, &mut rng),
+            Err(SimError::NothingToSimulate)
+        ));
+    }
+
+    #[test]
+    fn cost_median_is_at_most_mean_for_heavy_tailed_runs() {
+        // The collision penalty creates a right-skewed cost distribution:
+        // median strictly below the mean.
+        let config = ProtocolConfig::builder()
+            .probes(2)
+            .listen_period(0.3)
+            .probe_cost(0.5)
+            .error_cost(500.0)
+            .occupancy(0.3)
+            .reply_time(Arc::new(
+                DefectiveExponential::from_loss(0.5, 4.0, 0.1).unwrap(),
+            ))
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(57);
+        let mut profile = latency_profile(&config, 30_000, &mut rng).unwrap();
+        let mut rng2 = StdRng::seed_from_u64(57);
+        let summary = run_many(&config, 30_000, &mut rng2).unwrap();
+        assert!(profile.cost.median().unwrap() < summary.cost.mean());
+    }
+}

@@ -1,0 +1,126 @@
+//! Simulation time: a totally ordered, validated wrapper around seconds.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A point in simulated time, in seconds since simulation start.
+///
+/// `SimTime` maintains the invariant of being finite and nonnegative,
+/// which makes it totally ordered (`Ord`) and therefore usable as a
+/// priority in the event queue — something a raw `f64` cannot offer.
+///
+/// # Examples
+///
+/// ```
+/// use zeroconf_sim::SimTime;
+///
+/// let t = SimTime::new(1.5).unwrap() + SimTime::new(0.5).unwrap();
+/// assert_eq!(t.seconds(), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a time point; `None` for negative, NaN or infinite input.
+    pub fn new(seconds: f64) -> Option<SimTime> {
+        if seconds.is_finite() && seconds >= 0.0 {
+            Some(SimTime(seconds))
+        } else {
+            None
+        }
+    }
+
+    /// The wrapped seconds value.
+    pub fn seconds(self) -> f64 {
+        self.0
+    }
+
+    /// Saturating subtraction: `max(self − other, 0)`.
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime((self.0 - other.0).max(0.0))
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Invariant: both values are finite, so partial_cmp never fails.
+        self.0
+            .partial_cmp(&other.0)
+            .expect("SimTime values are always finite")
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+
+    fn add(self, other: SimTime) -> SimTime {
+        SimTime(self.0 + other.0)
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+
+    /// # Panics
+    ///
+    /// Panics (in debug builds) when the result would be negative; use
+    /// [`SimTime::saturating_sub`] when clamping is intended.
+    fn sub(self, other: SimTime) -> SimTime {
+        debug_assert!(self.0 >= other.0, "SimTime subtraction went negative");
+        SimTime((self.0 - other.0).max(0.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(SimTime::new(0.0).is_some());
+        assert!(SimTime::new(1e9).is_some());
+        assert!(SimTime::new(-0.1).is_none());
+        assert!(SimTime::new(f64::NAN).is_none());
+        assert!(SimTime::new(f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::new(1.0).unwrap();
+        let b = SimTime::new(2.0).unwrap();
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn arithmetic_works() {
+        let a = SimTime::new(3.0).unwrap();
+        let b = SimTime::new(1.0).unwrap();
+        assert_eq!((a + b).seconds(), 4.0);
+        assert_eq!((a - b).seconds(), 2.0);
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        assert_eq!(SimTime::new(1.25).unwrap().to_string(), "1.250000s");
+    }
+}

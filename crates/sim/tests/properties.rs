@@ -1,0 +1,156 @@
+//! Property-based tests of the protocol simulator's accounting
+//! invariants: whatever the parameters, every run outcome must satisfy
+//! exact bookkeeping identities.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zeroconf_dist::DefectiveExponential;
+use zeroconf_sim::protocol::{run_once, run_many, ProtocolConfig};
+
+#[derive(Debug, Clone)]
+struct Params {
+    n: u32,
+    r: f64,
+    c: f64,
+    e: f64,
+    q: f64,
+    loss: f64,
+    rate: f64,
+    delay: f64,
+    seed: u64,
+}
+
+fn params() -> impl Strategy<Value = Params> {
+    (
+        1u32..6,
+        0.0f64..3.0,
+        0.0f64..4.0,
+        0.0f64..200.0,
+        0.01f64..0.9,
+        0.0f64..1.0,
+        0.5f64..20.0,
+        0.0f64..1.0,
+        0u64..1_000_000,
+    )
+        .prop_map(|(n, r, c, e, q, loss, rate, delay, seed)| Params {
+            n,
+            r,
+            c,
+            e,
+            q,
+            loss,
+            rate,
+            delay,
+            seed,
+        })
+}
+
+fn config(p: &Params) -> ProtocolConfig {
+    ProtocolConfig::builder()
+        .probes(p.n)
+        .listen_period(p.r)
+        .probe_cost(p.c)
+        .error_cost(p.e)
+        .occupancy(p.q)
+        .reply_time(Arc::new(
+            DefectiveExponential::from_loss(p.loss, p.rate, p.delay).expect("valid params"),
+        ))
+        .build()
+        .expect("valid config")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cost_identity_holds_exactly(p in params()) {
+        // The DRM reward accounting implies, for every single run:
+        //   total_cost = (r + c) · probes_sent + E · [collided]
+        let cfg = config(&p);
+        let mut rng = StdRng::seed_from_u64(p.seed);
+        let out = run_once(&cfg, &mut rng).unwrap();
+        let reconstructed =
+            (p.r + p.c) * out.probes_sent as f64 + if out.collided { p.e } else { 0.0 };
+        prop_assert!(
+            (out.total_cost - reconstructed).abs() < 1e-9 * (1.0 + reconstructed),
+            "cost {} vs reconstruction {}",
+            out.total_cost,
+            reconstructed
+        );
+    }
+
+    #[test]
+    fn elapsed_never_exceeds_paid_listening(p in params()) {
+        // Replies can cut a round short, so wall-clock listening is at
+        // most the fully-charged r per probe round.
+        let cfg = config(&p);
+        let mut rng = StdRng::seed_from_u64(p.seed);
+        let out = run_once(&cfg, &mut rng).unwrap();
+        prop_assert!(
+            out.elapsed.seconds() <= p.r * out.probes_sent as f64 + 1e-9,
+            "elapsed {} vs max {}",
+            out.elapsed.seconds(),
+            p.r * out.probes_sent as f64
+        );
+    }
+
+    #[test]
+    fn successful_runs_end_with_a_full_silent_window(p in params()) {
+        let cfg = config(&p);
+        let mut rng = StdRng::seed_from_u64(p.seed);
+        let out = run_once(&cfg, &mut rng).unwrap();
+        // Whatever happened before, the final (accepting) attempt always
+        // transmits exactly n probes; hence probes_sent >= n and
+        // probes_sent ≡ counts per attempt.
+        prop_assert!(out.probes_sent >= p.n);
+        prop_assert!(out.attempts >= 1);
+        // Each non-final attempt sends at least one probe and at most n.
+        prop_assert!(out.probes_sent <= out.attempts * p.n);
+    }
+
+    #[test]
+    fn aggregate_mean_matches_identity_in_expectation(p in params()) {
+        // Summed over many runs, mean cost must equal
+        // (r + c)·E[probes] + E·P(collision) by linearity.
+        let cfg = config(&p);
+        let mut rng = StdRng::seed_from_u64(p.seed);
+        let summary = run_many(&cfg, 400, &mut rng).unwrap();
+        let lhs = summary.cost.mean();
+        let rhs = (p.r + p.c) * summary.probes_sent.mean()
+            + p.e * summary.collision_rate();
+        prop_assert!(
+            (lhs - rhs).abs() < 1e-6 * (1.0 + rhs.abs()),
+            "mean {} vs identity {}",
+            lhs,
+            rhs
+        );
+    }
+
+    #[test]
+    fn lossless_long_listen_never_collides(
+        n in 1u32..5,
+        q in 0.01f64..0.9,
+        seed in 0u64..100_000,
+    ) {
+        // Replies always arrive (loss 0) within delay + tail; a listening
+        // period comfortably longer than the delay makes collisions
+        // impossible in a static network.
+        let cfg = ProtocolConfig::builder()
+            .probes(n)
+            .listen_period(50.0)
+            .probe_cost(1.0)
+            .error_cost(100.0)
+            .occupancy(q)
+            .reply_time(Arc::new(
+                DefectiveExponential::from_loss(0.0, 10.0, 0.1).unwrap(),
+            ))
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let summary = run_many(&cfg, 200, &mut rng).unwrap();
+        prop_assert_eq!(summary.collisions, 0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Section 4.5 as a program: which costs justify the draft's parameters?
+//!
+//! ```text
+//! cargo run --release --example calibration
+//! ```
+//!
+//! The Internet-Draft fixes `n = 4` and `r ∈ {2, 0.2}` without a stated
+//! cost rationale. The paper asks the inverse question: *if* those values
+//! are cost-optimal under pessimistic network assumptions, what must the
+//! collision cost `E` and the probe postage `c` be? This example runs that
+//! calibration and compares with the paper's reported values.
+
+use zeroconf_repro::cost::calibrate::{self, CalibrateConfig};
+use zeroconf_repro::cost::optimize::OptimizeConfig;
+use zeroconf_repro::cost::paper;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Calibrating (E, c) so the draft-recommended configuration is optimal");
+    println!("=====================================================================");
+
+    // Unreliable (wireless) case: r = 2, worst-case link (loss 1e-5,
+    // round-trip 1 s).
+    let unreliable = paper::calibration_unreliable_scenario()?;
+    let config = CalibrateConfig {
+        optimize: OptimizeConfig {
+            r_max: 60.0,
+            grid_points: 400,
+            n_max: 16,
+            ..OptimizeConfig::default()
+        },
+        ..CalibrateConfig::default()
+    };
+    let result = calibrate::calibrate(&unreliable, 4, 2.0, &config)?;
+    let (paper_e, paper_c) = paper::CALIBRATED_UNRELIABLE;
+    println!("\nUnreliable link, target (n = 4, r = 2):");
+    println!(
+        "  E = {:.3e}   (paper: {paper_e:.1e})\n  c = {:.3}       (paper: {paper_c})",
+        result.error_cost, result.probe_cost
+    );
+    println!(
+        "  check: joint optimum of calibrated scenario = (n = {}, r = {:.3})",
+        result.verified_optimum.n, result.verified_optimum.r
+    );
+
+    // Reliable (wired) case: r = 0.2, better link (loss 1e-10,
+    // round-trip 0.1 s).
+    let reliable = paper::calibration_reliable_scenario()?;
+    let config = CalibrateConfig {
+        optimize: OptimizeConfig {
+            r_max: 10.0,
+            grid_points: 400,
+            n_max: 16,
+            ..OptimizeConfig::default()
+        },
+        ..CalibrateConfig::default()
+    };
+    let result = calibrate::calibrate(&reliable, 4, 0.2, &config)?;
+    let (paper_e, paper_c) = paper::CALIBRATED_RELIABLE;
+    println!("\nReliable link, target (n = 4, r = 0.2):");
+    println!(
+        "  E = {:.3e}   (paper: {paper_e:.1e})\n  c = {:.3}       (paper: {paper_c})",
+        result.error_cost, result.probe_cost
+    );
+    println!(
+        "  check: joint optimum of calibrated scenario = (n = {}, r = {:.3})",
+        result.verified_optimum.n, result.verified_optimum.r
+    );
+
+    // How sensitive is the calibrated E to the target r? (The inner
+    // inversion alone, with the paper's own postage.)
+    println!("\nCalibrated E as a function of the target listening period (c = 3.5):");
+    let with_paper_postage = unreliable.with_probe_cost(3.5)?;
+    println!("{:>8} {:>14}", "r (s)", "E");
+    for target_r in [1.0, 1.5, 2.0, 2.5, 3.0] {
+        let e = calibrate::calibrate_error_cost(&with_paper_postage, 4, target_r, &config)?;
+        println!("{target_r:>8.1} {e:>14.3e}");
+    }
+    println!(
+        "\nReading: every extra half-second of patience the designer asks of the user\n\
+         corresponds to roughly two orders of magnitude in the implied collision cost."
+    );
+    Ok(())
+}

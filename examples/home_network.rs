@@ -1,0 +1,86 @@
+//! Scenario study: a consumer-electronics home network.
+//!
+//! ```text
+//! cargo run --release --example home_network
+//! ```
+//!
+//! The paper's motivation is the self-configuring home network: DVD
+//! players, TV sets and microwaves joining a wired link. This example
+//! plays the role of the manufacturer: given a *reliable, fast* home
+//! link, how should the firmware set `n` and `r`, and how does the answer
+//! react to how crowded the network is?
+
+use std::sync::Arc;
+
+use zeroconf_repro::cost::optimize::{self, OptimizeConfig};
+use zeroconf_repro::cost::sensitivity::{self, Parameter};
+use zeroconf_repro::cost::Scenario;
+use zeroconf_repro::dist::DefectiveExponential;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A switched home ethernet: sub-millisecond round trips, loss around
+    // 1e-9, replies within ~1 ms of the round-trip floor.
+    let link = Arc::new(DefectiveExponential::from_loss(1e-9, 1000.0, 0.0005)?);
+
+    // Collision cost as calibrated from the draft's worst case
+    // (Section 4.5); postage modest on a wired link.
+    let base = Scenario::builder()
+        .hosts(20)? // a well-equipped household
+        .probe_cost(0.5)
+        .error_cost(5e20)
+        .reply_time(link)
+        .build()?;
+
+    let config = OptimizeConfig {
+        r_max: 20.0,
+        grid_points: 600,
+        n_max: 16,
+        ..OptimizeConfig::default()
+    };
+
+    println!("Home network: 20 appliances, reliable wired link");
+    println!("------------------------------------------------");
+    let optimum = optimize::joint_optimum(&base, &config)?;
+    println!(
+        "optimal firmware setting: n = {}, r = {:.3} s  (total wait {:.2} s)",
+        optimum.n,
+        optimum.r,
+        optimum.n as f64 * optimum.r
+    );
+    println!(
+        "collision probability at the optimum: {:.3e}",
+        optimum.error_probability
+    );
+    println!(
+        "draft default (n = 4, r = 0.2): cost {:.4} vs optimal {:.4}",
+        base.mean_cost(4, 0.2)?,
+        optimum.cost
+    );
+
+    // How does the optimum move as the household fills up?
+    println!("\nCrowding the link (occupancy sweep):");
+    println!(
+        "{:>8} {:>6} {:>10} {:>12} {:>14}",
+        "hosts", "n*", "r* (s)", "cost", "P(collision)"
+    );
+    for hosts in [5u32, 20, 100, 1000, 10_000] {
+        let crowded = base.with_occupancy(hosts as f64 / 65024.0)?;
+        let opt = optimize::joint_optimum(&crowded, &config)?;
+        println!(
+            "{hosts:>8} {:>6} {:>10.3} {:>12.4} {:>14.3e}",
+            opt.n, opt.r, opt.cost, opt.error_probability
+        );
+    }
+
+    // Elasticities at the draft configuration: what moves the cost?
+    println!("\nCost elasticities at (n = 4, r = 0.2):");
+    for (name, parameter) in [
+        ("occupancy q", Parameter::Occupancy),
+        ("postage c", Parameter::ProbeCost),
+        ("collision cost E", Parameter::ErrorCost),
+    ] {
+        let elasticity = sensitivity::cost_elasticity(&base, parameter, 4, 0.2, 1e-4)?;
+        println!("  {name:<18} {elasticity:+.4}  (1% change -> {elasticity:.2}% cost change)");
+    }
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Beyond the paper: tuning per-round listening periods.
+//!
+//! ```text
+//! cargo run --release --example schedule_tuning
+//! ```
+//!
+//! The protocol in the Internet-Draft listens for the same `r` after every
+//! probe. The paper's introduction asks whether variations exist that
+//! "behave equivalently except that configuration takes less time" — this
+//! example answers with the schedule extension: per-round periods
+//! `r_1 … r_n`, same Markov model, optimized by coordinate descent.
+
+use zeroconf_repro::cost::optimize::OptimizeConfig;
+use zeroconf_repro::cost::schedule::{self, Schedule};
+use zeroconf_repro::cost::paper;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = paper::figure2_scenario()?;
+    let config = OptimizeConfig {
+        r_max: 30.0,
+        grid_points: 400,
+        n_max: 12,
+        ..OptimizeConfig::default()
+    };
+
+    println!("Tuning listening schedules for the paper's Figure-2 scenario");
+    println!("=============================================================");
+    println!(
+        "{:>3} {:>12} {:>12} {:>8} {:>10} {:>26}",
+        "n", "uniform C", "tuned C", "saving", "wait (s)", "tuned schedule"
+    );
+    for n in 2..=6u32 {
+        let optimum = schedule::optimize_schedule(&scenario, n, &config)?;
+        let periods: Vec<String> = optimum
+            .schedule
+            .periods()
+            .iter()
+            .map(|r| format!("{r:.2}"))
+            .collect();
+        println!(
+            "{n:>3} {:>12.4} {:>12.4} {:>7.1}% {:>10.2} {:>26}",
+            optimum.uniform_cost,
+            optimum.cost,
+            100.0 * (1.0 - optimum.cost / optimum.uniform_cost),
+            optimum.schedule.total_listening(),
+            periods.join("/"),
+        );
+    }
+
+    // Why does the tuned schedule win? Compare the no-answer products of
+    // a uniform and a back-loaded schedule with the same total wait.
+    println!("\nWhy back-loading wins (same 6 s total wait, n = 3):");
+    let uniform = Schedule::uniform(3, 2.0)?;
+    let tuned = Schedule::new(vec![0.5, 1.5, 4.0])?;
+    for (name, s) in [("uniform 2/2/2", &uniform), ("back-loaded 0.5/1.5/4", &tuned)] {
+        let pis = schedule::pi_sequence(scenario.reply_time(), s);
+        println!(
+            "  {name:<22} π_3 = {:.3e}  -> collision probability {:.3e}",
+            pis[3],
+            schedule::error_probability(&scenario, s)?
+        );
+    }
+    println!(
+        "\nFiring probes early gives every reply the rest of the run to arrive;\n\
+         the final long window listens for all of them at once."
+    );
+    Ok(())
+}

@@ -1,0 +1,116 @@
+//! Integration: the Section 4.5 calibration reproduces the paper's
+//! reported cost parameters to within the slack its under-specified
+//! criterion allows.
+
+use zeroconf_repro::cost::calibrate::{self, CalibrateConfig};
+use zeroconf_repro::cost::optimize::OptimizeConfig;
+use zeroconf_repro::cost::paper;
+use zeroconf_repro::numopt::Tolerance;
+
+fn config(r_max: f64) -> CalibrateConfig {
+    CalibrateConfig {
+        optimize: OptimizeConfig {
+            r_max,
+            grid_points: 300,
+            n_max: 12,
+            ..OptimizeConfig::default()
+        },
+        tolerance: Tolerance {
+            x_abs: 1e-4,
+            x_rel: 1e-7,
+            max_iterations: 150,
+        },
+        ..CalibrateConfig::default()
+    }
+}
+
+#[test]
+fn unreliable_link_calibration_matches_paper_order_of_magnitude() {
+    // Paper: E_{r=2} = 5e20, c_{r=2} = 3.5.
+    let base = paper::calibration_unreliable_scenario().unwrap();
+    let result = calibrate::calibrate(&base, 4, 2.0, &config(50.0)).unwrap();
+    assert!(
+        result.error_cost > 1e20 && result.error_cost < 2e21,
+        "E = {:e}, paper 5e20",
+        result.error_cost
+    );
+    assert!(
+        result.probe_cost > 1.5 && result.probe_cost < 7.0,
+        "c = {}, paper 3.5",
+        result.probe_cost
+    );
+    // The calibrated scenario's joint optimum sits on the 4 <-> 5
+    // boundary by construction.
+    assert!(
+        result.verified_optimum.n == 4 || result.verified_optimum.n == 5,
+        "verified n = {}",
+        result.verified_optimum.n
+    );
+    // And n = 4's own optimum is at the target r with matching cost.
+    let own = zeroconf_repro::cost::optimize::optimal_listening(
+        &result.scenario,
+        4,
+        &config(50.0).optimize,
+    )
+    .unwrap();
+    assert!((own.r - 2.0).abs() < 0.02, "r_opt(4) = {}", own.r);
+    assert!(
+        ((own.cost - result.verified_optimum.cost) / own.cost).abs() < 1e-3,
+        "boundary costs differ: {} vs {}",
+        own.cost,
+        result.verified_optimum.cost
+    );
+}
+
+#[test]
+fn reliable_link_calibration_matches_paper_order_of_magnitude() {
+    // Paper: E_{r=0.2} = 1e35, c_{r=0.2} = 0.5.
+    let base = paper::calibration_reliable_scenario().unwrap();
+    let result = calibrate::calibrate(&base, 4, 0.2, &config(8.0)).unwrap();
+    assert!(
+        result.error_cost > 1e34 && result.error_cost < 1e36,
+        "E = {:e}, paper 1e35",
+        result.error_cost
+    );
+    assert!(
+        result.probe_cost > 0.1 && result.probe_cost < 1.5,
+        "c = {}, paper 0.5",
+        result.probe_cost
+    );
+}
+
+#[test]
+fn calibrated_error_cost_is_monotone_in_target_listening_period() {
+    let base = paper::calibration_unreliable_scenario()
+        .unwrap()
+        .with_probe_cost(3.5)
+        .unwrap();
+    let cfg = config(50.0);
+    let mut previous = 0.0;
+    for target in [1.0, 1.5, 2.0, 2.5] {
+        let e = calibrate::calibrate_error_cost(&base, 4, target, &cfg).unwrap();
+        assert!(
+            e > previous,
+            "E({target}) = {e:e} should exceed E at the previous target"
+        );
+        previous = e;
+    }
+}
+
+#[test]
+fn stationarity_holds_at_the_calibrated_error_cost() {
+    let base = paper::calibration_unreliable_scenario()
+        .unwrap()
+        .with_probe_cost(3.5)
+        .unwrap();
+    let cfg = config(50.0);
+    let e = calibrate::calibrate_error_cost(&base, 4, 2.0, &cfg).unwrap();
+    let calibrated = base.with_error_cost(e).unwrap();
+    // C_4 around r = 2 must be locally flat-bottomed at 2.
+    let at = |r: f64| calibrated.mean_cost(4, r).unwrap();
+    let c2 = at(2.0);
+    assert!(at(1.9) > c2 - 1e-6);
+    assert!(at(2.1) > c2 - 1e-6);
+    assert!(at(1.5) > c2);
+    assert!(at(2.5) > c2);
+}

@@ -1,0 +1,86 @@
+//! Integration: every regeneration experiment runs, produces rows, and
+//! its figure (when present) renders to CSV, ASCII and SVG.
+
+use zeroconf_bench::experiments;
+
+/// The cheap experiments run in full here; the expensive ones (nested
+/// calibration, 200k-trial validation) are exercised by the figures
+/// binary and their own integration tests.
+const SMOKE_IDS: [&str; 9] = [
+    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "nu", "multihost", "tradeoff",
+];
+
+#[test]
+fn all_smoke_experiments_produce_output() {
+    for id in SMOKE_IDS {
+        let output = experiments::run(id)
+            .unwrap_or_else(|| panic!("experiment {id} is not wired up"))
+            .unwrap_or_else(|e| panic!("experiment {id} failed: {e}"));
+        assert_eq!(output.id, id);
+        assert!(!output.rows.is_empty(), "{id} produced no rows");
+        assert!(!output.description.is_empty());
+        let report = output.to_report();
+        assert!(report.contains(id));
+    }
+}
+
+#[test]
+fn figures_render_in_all_three_formats() {
+    for id in ["fig2", "fig3", "fig5", "fig6"] {
+        let output = experiments::run(id).unwrap().unwrap();
+        let chart = output
+            .chart
+            .unwrap_or_else(|| panic!("{id} should carry a chart"));
+        let ascii = zeroconf_repro::plot::ascii::render(&chart, 80, 20)
+            .unwrap_or_else(|e| panic!("{id} ascii failed: {e}"));
+        assert!(ascii.lines().count() > 15);
+        let csv = zeroconf_repro::plot::csv::to_string(&chart)
+            .unwrap_or_else(|e| panic!("{id} csv failed: {e}"));
+        assert!(csv.starts_with("x,"));
+        assert!(csv.lines().count() > 100, "{id} csv too small");
+        let svg = zeroconf_repro::plot::svg::render(&chart, 800, 600)
+            .unwrap_or_else(|e| panic!("{id} svg failed: {e}"));
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("<path"));
+    }
+}
+
+#[test]
+fn figure5_and_6_are_log_scaled() {
+    for id in ["fig5", "fig6"] {
+        let output = experiments::run(id).unwrap().unwrap();
+        assert!(output.chart.unwrap().is_log_y(), "{id} must be log-scale");
+    }
+}
+
+#[test]
+fn figure2_reports_the_paper_ordering_of_minima() {
+    let output = experiments::run("fig2").unwrap().unwrap();
+    // The rows contain the per-n minima table; parse the costs back out
+    // and verify C_3 < C_4 < ... < C_8.
+    let costs: Vec<f64> = output
+        .rows
+        .iter()
+        .filter_map(|row| {
+            let fields: Vec<&str> = row.split_whitespace().collect();
+            if fields.len() == 3 {
+                let n: u32 = fields[0].parse().ok()?;
+                if (3..=8).contains(&n) {
+                    return fields[2].parse().ok();
+                }
+            }
+            None
+        })
+        .collect();
+    assert_eq!(costs.len(), 6, "rows: {:?}", output.rows);
+    for pair in costs.windows(2) {
+        assert!(pair[0] < pair[1], "{costs:?}");
+    }
+}
+
+#[test]
+fn nu_experiment_reports_three() {
+    let output = experiments::run("nu").unwrap().unwrap();
+    assert!(output.rows[0].contains("3"));
+    assert!(output.rows[0].contains("paper"));
+}

@@ -1,0 +1,150 @@
+//! Integration: the closed forms of Eq. (3)/(4) must agree with linear
+//! solves on the explicitly constructed Markov reward model, across both
+//! moderate and numerically extreme scenarios.
+
+use std::sync::Arc;
+
+use zeroconf_repro::cost::{paper, Scenario};
+use zeroconf_repro::dist::{
+    DefectiveDeterministic, DefectiveExponential, DefectiveUniform, DefectiveWeibull,
+    ReplyTimeDistribution,
+};
+
+fn scenarios() -> Vec<(&'static str, Scenario)> {
+    let mut out: Vec<(&'static str, Scenario)> = Vec::new();
+    out.push(("figure2 (extreme)", paper::figure2_scenario().unwrap()));
+    out.push(("section6", paper::section6_scenario().unwrap()));
+    let builders: Vec<(&'static str, Arc<dyn ReplyTimeDistribution>)> = vec![
+        (
+            "moderate exponential",
+            Arc::new(DefectiveExponential::new(0.8, 2.0, 0.4).unwrap()),
+        ),
+        (
+            "uniform window",
+            Arc::new(DefectiveUniform::new(0.9, 0.2, 1.5).unwrap()),
+        ),
+        (
+            "weibull",
+            Arc::new(DefectiveWeibull::new(0.7, 1.7, 0.6, 0.1).unwrap()),
+        ),
+        (
+            "deterministic rtt",
+            Arc::new(DefectiveDeterministic::new(0.95, 0.7).unwrap()),
+        ),
+    ];
+    for (name, dist) in builders {
+        out.push((
+            name,
+            Scenario::builder()
+                .occupancy(0.25)
+                .probe_cost(1.0)
+                .error_cost(200.0)
+                .reply_time(dist)
+                .build()
+                .unwrap(),
+        ));
+    }
+    out
+}
+
+#[test]
+fn mean_cost_closed_form_matches_linear_solve_everywhere() {
+    for (name, scenario) in scenarios() {
+        for n in [1u32, 2, 3, 4, 7, 12] {
+            for r in [0.0, 0.3, 0.7, 1.0, 2.0, 5.0, 20.0] {
+                let closed = scenario.mean_cost(n, r).unwrap();
+                let solved = scenario.mean_cost_via_drm(n, r).unwrap();
+                let scale = closed.abs().max(1e-12);
+                assert!(
+                    ((closed - solved) / scale).abs() < 1e-9,
+                    "{name}: n = {n}, r = {r}: closed {closed:e} vs solved {solved:e}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn error_probability_closed_form_matches_absorption_solve_everywhere() {
+    for (name, scenario) in scenarios() {
+        for n in [1u32, 2, 4, 8] {
+            for r in [0.0, 0.5, 1.5, 4.0] {
+                let closed = scenario.error_probability(n, r).unwrap();
+                let solved = scenario.error_probability_via_drm(n, r).unwrap();
+                // Absolute agreement for probabilities; relative when they
+                // are representably positive.
+                assert!(
+                    (closed - solved).abs() < 1e-12,
+                    "{name}: n = {n}, r = {r}: {closed:e} vs {solved:e}"
+                );
+                if closed > 1e-250 {
+                    assert!(
+                        ((closed - solved) / closed).abs() < 1e-9,
+                        "{name}: n = {n}, r = {r}: rel diff too large"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn reliability_complements_error_probability() {
+    let scenario = paper::figure2_scenario().unwrap();
+    for n in [1u32, 4, 8] {
+        for r in [0.0, 1.0, 3.0] {
+            let e = scenario.error_probability(n, r).unwrap();
+            let rel = scenario.reliability(n, r).unwrap();
+            assert!((e + rel - 1.0).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn drm_cost_variance_is_consistent_with_direct_two_state_reasoning() {
+    // A scenario where the run is a single Bernoulli trial: occupied
+    // candidates always collide (no replies ever), free candidates cost a
+    // deterministic amount. Then the total-cost variance has a hand
+    // formula.
+    let q = 0.3;
+    let n = 2u32;
+    let r = 1.0;
+    let c = 1.0;
+    let e = 50.0;
+    let scenario = Scenario::builder()
+        .occupancy(q)
+        .probe_cost(c)
+        .error_cost(e)
+        .reply_time(Arc::new(DefectiveExponential::new(0.0, 1.0, 0.1).unwrap()))
+        .build()
+        .unwrap();
+    let free_cost = n as f64 * (r + c);
+    let collide_cost = n as f64 * (r + c) + e;
+    let mean = q * collide_cost + (1.0 - q) * free_cost;
+    let second = q * collide_cost * collide_cost + (1.0 - q) * free_cost * free_cost;
+    let variance = second - mean * mean;
+    assert!((scenario.mean_cost(n, r).unwrap() - mean).abs() < 1e-10);
+    let sd = scenario.cost_standard_deviation(n, r).unwrap();
+    assert!(
+        (sd - variance.sqrt()).abs() < 1e-8,
+        "sd {sd} vs {}",
+        variance.sqrt()
+    );
+}
+
+#[test]
+fn expected_steps_have_closed_form_in_blackout_regime() {
+    // With replies never arriving, every attempt is one start-transition
+    // plus n probe rounds, and exactly one attempt happens.
+    let scenario = Scenario::builder()
+        .occupancy(0.5)
+        .probe_cost(1.0)
+        .error_cost(10.0)
+        .reply_time(Arc::new(DefectiveExponential::new(0.0, 1.0, 0.1).unwrap()))
+        .build()
+        .unwrap();
+    // Occupied: start -> probe1..4 -> error = 1 + 4 steps; free: start ->
+    // ok = 1 step. Expectation: 0.5 * 5 + 0.5 * 1 = 3.
+    let steps = zeroconf_repro::cost::drm::expected_steps(&scenario, 4, 1.0).unwrap();
+    assert!((steps - 3.0).abs() < 1e-10, "steps {steps}");
+}

@@ -1,0 +1,136 @@
+//! Integration: the multi-host simulator degenerates to the single-host
+//! model when only one fresh host is present, and behaves sanely under
+//! contention.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zeroconf_repro::cost::Scenario;
+use zeroconf_repro::dist::DefectiveExponential;
+use zeroconf_repro::sim::address::AddressPool;
+use zeroconf_repro::sim::multihost::{self, MultiHostConfig};
+use zeroconf_repro::sim::network::Link;
+
+fn reply_time(loss: f64) -> Arc<DefectiveExponential> {
+    Arc::new(DefectiveExponential::from_loss(loss, 4.0, 0.1).unwrap())
+}
+
+#[test]
+fn single_fresh_host_matches_the_analytical_model() {
+    // One fresh host, static pre-configured population: exactly the
+    // paper's setting. Mean cost per run must estimate Eq. (3).
+    let loss = 0.25;
+    let (n, r, c, e) = (3u32, 0.5, 1.0, 40.0);
+    let pool_size = 200u32;
+    let occupied = 60u32;
+    let q = occupied as f64 / pool_size as f64;
+
+    let scenario = Scenario::builder()
+        .occupancy(q)
+        .probe_cost(c)
+        .error_cost(e)
+        .reply_time(reply_time(loss))
+        .build()
+        .unwrap();
+    let exact = scenario.mean_cost(n, r).unwrap();
+    let exact_collision = scenario.error_probability(n, r).unwrap();
+
+    let config = MultiHostConfig {
+        fresh_hosts: 1,
+        probes: n,
+        listen_period: r,
+        probe_cost: c,
+        error_cost: e,
+        link: Link::new(reply_time(loss)),
+        max_attempts_per_host: 100_000,
+    };
+    let mut rng = StdRng::seed_from_u64(31);
+    let trials = 30_000;
+    let summary = multihost::run_many(&config, pool_size, occupied, trials, &mut rng).unwrap();
+    let relative = ((summary.cost.mean() - exact) / exact).abs();
+    assert!(
+        relative < 0.05,
+        "multi-host(1) mean cost {} vs Eq.(3) {exact}",
+        summary.cost.mean()
+    );
+    let collision_rate = summary.runs_with_collision as f64 / trials as f64;
+    assert!(
+        (collision_rate - exact_collision).abs() < 0.01,
+        "collision rate {collision_rate} vs Eq.(4) {exact_collision}"
+    );
+}
+
+#[test]
+fn contention_monotonically_raises_settle_time() {
+    let mut rng = StdRng::seed_from_u64(32);
+    let mut previous = 0.0;
+    for hosts in [1u32, 8, 32] {
+        let config = MultiHostConfig {
+            fresh_hosts: hosts,
+            probes: 3,
+            listen_period: 0.5,
+            probe_cost: 1.0,
+            error_cost: 100.0,
+            link: Link::new(reply_time(0.05)),
+            max_attempts_per_host: 10_000,
+        };
+        let summary = multihost::run_many(&config, 128, 32, 60, &mut rng).unwrap();
+        assert!(
+            summary.settle_seconds.mean() >= previous,
+            "settle time should not shrink with contention"
+        );
+        previous = summary.settle_seconds.mean();
+    }
+}
+
+#[test]
+fn reliable_probe_broadcast_eliminates_fresh_fresh_collisions() {
+    // Even on an absurdly small pool, hosts that reliably see each other's
+    // probes never end up sharing an address.
+    let mut rng = StdRng::seed_from_u64(33);
+    for _ in 0..30 {
+        let pool = AddressPool::new(4).unwrap();
+        let config = MultiHostConfig {
+            fresh_hosts: 3,
+            probes: 2,
+            listen_period: 0.4,
+            probe_cost: 0.5,
+            error_cost: 10.0,
+            link: Link::new(reply_time(0.0)),
+            max_attempts_per_host: 100_000,
+        };
+        let outcome = multihost::run_once(&config, &pool, &mut rng).unwrap();
+        assert_eq!(outcome.collisions, 0);
+        let mut addresses: Vec<u32> = outcome.hosts.iter().map(|h| h.address).collect();
+        addresses.sort_unstable();
+        addresses.dedup();
+        assert_eq!(addresses.len(), 3);
+    }
+}
+
+#[test]
+fn blackout_probes_on_saturated_pool_collide_with_owners() {
+    // Replies and probe broadcasts all lost: every fresh host accepts its
+    // first candidate. On a fully pre-occupied pool all of them collide.
+    let mut rng = StdRng::seed_from_u64(34);
+    let mut pool = AddressPool::new(32).unwrap();
+    for a in 0..32 {
+        pool.occupy(a).unwrap();
+    }
+    let config = MultiHostConfig {
+        fresh_hosts: 5,
+        probes: 3,
+        listen_period: 0.5,
+        probe_cost: 1.0,
+        error_cost: 100.0,
+        link: Link::new(reply_time(1.0)).with_probe_loss(1.0).unwrap(),
+        max_attempts_per_host: 10,
+    };
+    let outcome = multihost::run_once(&config, &pool, &mut rng).unwrap();
+    assert_eq!(outcome.collisions, 5);
+    for host in &outcome.hosts {
+        assert!(host.collided);
+        assert_eq!(host.attempts, 1);
+    }
+}

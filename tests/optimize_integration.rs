@@ -1,0 +1,153 @@
+//! Integration: the qualitative claims of Figures 2 – 4 and Section 6 hold
+//! end-to-end through the optimizer.
+
+use zeroconf_repro::cost::optimize::{self, OptimizeConfig};
+use zeroconf_repro::cost::paper;
+
+fn config() -> OptimizeConfig {
+    OptimizeConfig {
+        r_max: 60.0,
+        grid_points: 400,
+        n_max: 16,
+        ..OptimizeConfig::default()
+    }
+}
+
+#[test]
+fn figure2_minima_shrink_in_r_and_grow_in_cost() {
+    // "The higher n is chosen, the smaller r_opt. However,
+    // C_3(r_opt) < C_4(r_opt) < ... < C_8(r_opt)".
+    let scenario = paper::figure2_scenario().unwrap();
+    let cfg = config();
+    let optima: Vec<_> = (3..=8u32)
+        .map(|n| optimize::optimal_listening(&scenario, n, &cfg).unwrap())
+        .collect();
+    for pair in optima.windows(2) {
+        assert!(
+            pair[1].r < pair[0].r,
+            "r_opt should shrink: {:?} -> {:?}",
+            pair[0],
+            pair[1]
+        );
+        assert!(
+            pair[1].cost > pair[0].cost,
+            "minimal cost should grow: {:?} -> {:?}",
+            pair[0],
+            pair[1]
+        );
+    }
+}
+
+#[test]
+fn figure3_optimal_n_is_a_decreasing_step_function_bounded_by_nu() {
+    let scenario = paper::figure2_scenario().unwrap();
+    let cfg = config();
+    let nu = scenario.nu_lower_bound().unwrap();
+    let mut previous = u32::MAX;
+    for k in 0..60 {
+        let r = 0.5 + k as f64 * 0.33;
+        let n = optimize::optimal_probe_count(&scenario, r, &cfg).unwrap().n;
+        assert!(n <= previous, "N({r}) = {n} rose above {previous}");
+        assert!(n >= nu, "N({r}) = {n} fell below ν = {nu}");
+        previous = n;
+    }
+}
+
+#[test]
+fn figure4_envelope_is_the_pointwise_minimum_and_has_one_global_dip() {
+    let scenario = paper::figure2_scenario().unwrap();
+    let cfg = config();
+    let rs: Vec<f64> = (0..80).map(|k| 0.5 + k as f64 * 0.25).collect();
+    let envelope: Vec<f64> = rs
+        .iter()
+        .map(|&r| optimize::minimal_cost_envelope(&scenario, r, &cfg).unwrap())
+        .collect();
+    // Pointwise minimality against a few fixed n.
+    for (&r, &env) in rs.iter().zip(&envelope) {
+        for n in [3u32, 4, 6] {
+            assert!(env <= scenario.mean_cost(n, r).unwrap() + 1e-9);
+        }
+    }
+    // Global dip at the joint optimum's r. The coarse 0.25-step sweep
+    // cannot beat the refined optimum, and must come close to it.
+    let joint = optimize::joint_optimum(&scenario, &cfg).unwrap();
+    let min_env = envelope.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(min_env >= joint.cost - 1e-9);
+    assert!(
+        (min_env - joint.cost) / joint.cost < 0.05,
+        "envelope min {min_env} vs joint optimum {0}",
+        joint.cost
+    );
+}
+
+#[test]
+fn figure2_joint_optimum_is_three_probes() {
+    let scenario = paper::figure2_scenario().unwrap();
+    let joint = optimize::joint_optimum(&scenario, &config()).unwrap();
+    assert_eq!(joint.n, 3);
+    assert!(joint.r > 1.5 && joint.r < 3.0, "r* = {}", joint.r);
+}
+
+#[test]
+fn section6_reproduces_paper_numbers() {
+    // n = 2, r ≈ 1.75, E(2, 1.75) ≈ 4e−22, total wait ≈ 3.5 s.
+    let scenario = paper::section6_scenario().unwrap();
+    let cfg = OptimizeConfig {
+        r_max: 30.0,
+        grid_points: 800,
+        n_max: 12,
+        ..OptimizeConfig::default()
+    };
+    let joint = optimize::joint_optimum(&scenario, &cfg).unwrap();
+    assert_eq!(joint.n, 2, "paper reports n = 2");
+    assert!(
+        (joint.r - 1.75).abs() < 0.05,
+        "paper reports r ≈ 1.75, got {}",
+        joint.r
+    );
+    assert!(
+        joint.error_probability > 1e-22 && joint.error_probability < 1e-21,
+        "paper reports ≈ 4e−22, got {:e}",
+        joint.error_probability
+    );
+    let wait = joint.n as f64 * joint.r;
+    assert!(
+        (wait - 3.5).abs() < 0.1,
+        "paper reports ≈ 3.5 s wait, got {wait}"
+    );
+}
+
+#[test]
+fn cost_and_reliability_optima_disagree() {
+    // The paper's headline: "minimal cost and maximal reliability are
+    // qualities that cannot be achieved at the same time". Concretely, at
+    // the cost optimum, increasing r strictly improves reliability — so
+    // the reliability optimum lies elsewhere.
+    let scenario = paper::figure2_scenario().unwrap();
+    let joint = optimize::joint_optimum(&scenario, &config()).unwrap();
+    let at_optimum = scenario.error_probability(joint.n, joint.r).unwrap();
+    let longer = scenario.error_probability(joint.n, joint.r + 1.0).unwrap();
+    assert!(
+        longer < at_optimum,
+        "error probability should keep dropping past the cost optimum"
+    );
+    // And the cost is strictly worse there.
+    assert!(scenario.mean_cost(joint.n, joint.r + 1.0).unwrap() > joint.cost);
+}
+
+#[test]
+fn error_probability_band_of_figure6_holds() {
+    // "the error is bounded and stays roughly within [1e−35, 1e−54]" for
+    // cost-optimal n over the plotted r-range.
+    let scenario = paper::figure2_scenario().unwrap();
+    let cfg = config();
+    for k in 0..40 {
+        let r = 1.0 + k as f64 * 0.45;
+        let n = optimize::optimal_probe_count(&scenario, r, &cfg).unwrap().n;
+        let p = scenario.error_probability(n, r).unwrap();
+        assert!(
+            p < 1e-30 && p > 1e-60,
+            "E(N({r}), {r}) = {p:e} outside the paper's band"
+        );
+    }
+}

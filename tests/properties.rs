@@ -1,0 +1,148 @@
+//! Cross-crate property tests: invariants of the cost model that must hold
+//! for *any* admissible scenario, not just the paper's parameter sets.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use zeroconf_repro::cost::Scenario;
+use zeroconf_repro::dist::DefectiveExponential;
+
+/// Strategy: an arbitrary admissible scenario with an exponential reply
+/// time (the paper's family), away from degenerate corners.
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (
+        0.001f64..0.9,    // q
+        0.0f64..10.0,     // c
+        0.0f64..1e12,     // E
+        0.0f64..0.999,    // loss probability
+        0.2f64..50.0,     // rate λ
+        0.0f64..3.0,      // delay d
+    )
+        .prop_map(|(q, c, e, loss, rate, delay)| {
+            Scenario::builder()
+                .occupancy(q)
+                .probe_cost(c)
+                .error_cost(e)
+                .reply_time(Arc::new(
+                    DefectiveExponential::from_loss(loss, rate, delay).unwrap(),
+                ))
+                .build()
+                .unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cost_is_positive_and_finite(s in scenario(), n in 1u32..10, r in 0.0f64..30.0) {
+        let cost = s.mean_cost(n, r).unwrap();
+        prop_assert!(cost.is_finite());
+        prop_assert!(cost >= 0.0);
+    }
+
+    #[test]
+    fn error_probability_is_a_probability(
+        s in scenario(),
+        n in 1u32..10,
+        r in 0.0f64..30.0,
+    ) {
+        let p = s.error_probability(n, r).unwrap();
+        prop_assert!((0.0..=1.0).contains(&p));
+        // Eq. (4) is also bounded by q / (1 - q(1 - π)) <= q / (1-q)... and
+        // by q itself at r = 0; in general it can never exceed q/(q + (1-q))
+        // normalized — check the loose bound p <= q / (1 - q).
+        prop_assert!(p <= s.occupancy() / (1.0 - s.occupancy()) + 1e-12);
+    }
+
+    #[test]
+    fn error_probability_decreases_in_n_and_r(
+        s in scenario(),
+        n in 1u32..8,
+        r in 0.1f64..10.0,
+    ) {
+        let base = s.error_probability(n, r).unwrap();
+        let more_probes = s.error_probability(n + 1, r).unwrap();
+        let longer_listen = s.error_probability(n, r * 1.5).unwrap();
+        prop_assert!(more_probes <= base + 1e-15);
+        prop_assert!(longer_listen <= base + 1e-15);
+    }
+
+    #[test]
+    fn cost_is_monotone_in_error_cost(
+        s in scenario(),
+        n in 1u32..8,
+        r in 0.0f64..10.0,
+        factor in 1.1f64..100.0,
+    ) {
+        let cheap = s.mean_cost(n, r).unwrap();
+        let pricey = s
+            .with_error_cost(s.error_cost() * factor + 1.0)
+            .unwrap()
+            .mean_cost(n, r)
+            .unwrap();
+        prop_assert!(pricey >= cheap - 1e-9 * cheap.abs());
+    }
+
+    #[test]
+    fn cost_is_monotone_in_probe_cost(
+        s in scenario(),
+        n in 1u32..8,
+        r in 0.0f64..10.0,
+        extra in 0.1f64..10.0,
+    ) {
+        let base = s.mean_cost(n, r).unwrap();
+        let pricier = s
+            .with_probe_cost(s.probe_cost() + extra)
+            .unwrap()
+            .mean_cost(n, r)
+            .unwrap();
+        prop_assert!(pricier >= base);
+    }
+
+    #[test]
+    fn closed_form_matches_drm_for_random_scenarios(
+        s in scenario(),
+        n in 1u32..8,
+        r in 0.0f64..10.0,
+    ) {
+        let closed = s.mean_cost(n, r).unwrap();
+        let solved = s.mean_cost_via_drm(n, r).unwrap();
+        let scale = closed.abs().max(1.0);
+        // The linear-solve route loses a few digits when a huge error cost
+        // multiplies a vanishing path probability; 1e-6 relative is still
+        // far beyond plot-reading precision.
+        prop_assert!(
+            ((closed - solved) / scale).abs() < 1e-6,
+            "closed {closed} vs solved {solved}"
+        );
+        let closed_p = s.error_probability(n, r).unwrap();
+        let solved_p = s.error_probability_via_drm(n, r).unwrap();
+        prop_assert!((closed_p - solved_p).abs() < 1e-10);
+    }
+
+    #[test]
+    fn asymptote_dominates_cost_from_below_at_large_r(s in scenario(), n in 1u32..6) {
+        // For r far beyond the reply window the cost approaches A_n(r)
+        // from above (the remaining collision term is nonnegative).
+        let r = 200.0;
+        let cost = s.mean_cost(n, r).unwrap();
+        let asym = s.asymptote(n, r).unwrap();
+        prop_assert!(cost >= asym * (1.0 - 1e-9), "cost {cost} vs asymptote {asym}");
+    }
+
+    #[test]
+    fn cost_at_zero_listening_collapses(s in scenario(), n in 1u32..10) {
+        let direct = s.mean_cost(n, 0.0).unwrap();
+        let collapsed = s.probe_cost() * n as f64 + s.occupancy() * s.error_cost();
+        let scale = collapsed.abs().max(1.0);
+        prop_assert!(((direct - collapsed) / scale).abs() < 1e-9);
+    }
+
+    #[test]
+    fn variance_is_nonnegative(s in scenario(), n in 1u32..6, r in 0.0f64..5.0) {
+        let sd = s.cost_standard_deviation(n, r).unwrap();
+        prop_assert!(sd >= 0.0);
+        prop_assert!(sd.is_finite());
+    }
+}

@@ -1,0 +1,159 @@
+//! Integration: the non-uniform schedule extension agrees with the
+//! uniform model where they overlap, with the DRM solver everywhere, and
+//! with the protocol simulator run under the same schedule semantics.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use zeroconf_repro::cost::optimize::OptimizeConfig;
+use zeroconf_repro::cost::schedule::{self, Schedule};
+use zeroconf_repro::cost::{paper, Scenario};
+use zeroconf_repro::dist::{DefectiveExponential, ReplyTimeDistribution};
+
+fn moderate() -> (Scenario, Arc<dyn ReplyTimeDistribution>) {
+    let dist: Arc<dyn ReplyTimeDistribution> =
+        Arc::new(DefectiveExponential::from_loss(0.25, 3.0, 0.2).unwrap());
+    let scenario = Scenario::builder()
+        .occupancy(0.35)
+        .probe_cost(1.2)
+        .error_cost(60.0)
+        .reply_time(dist.clone())
+        .build()
+        .unwrap();
+    (scenario, dist)
+}
+
+/// Direct Monte-Carlo of the schedule semantics: probe `j` at `T_{j-1}`,
+/// reply delays i.i.d. from the distribution, restart on any reply within
+/// the windows, collide after `n` silent rounds.
+fn simulate_schedule(
+    scenario: &Scenario,
+    sched: &Schedule,
+    trials: u64,
+    rng: &mut StdRng,
+) -> (f64, f64) {
+    let sends = sched.probe_times();
+    let ends = sched.round_ends();
+    let deadline = *ends.last().unwrap();
+    let c = scenario.probe_cost();
+    let e = scenario.error_cost();
+    let q = scenario.occupancy();
+    let dist = scenario.reply_time();
+    let mut total_cost = 0.0;
+    let mut collisions = 0u64;
+    for _ in 0..trials {
+        let mut run_cost = 0.0;
+        loop {
+            if rng.gen::<f64>() >= q {
+                // Free address: all rounds paid.
+                run_cost += sched
+                    .periods()
+                    .iter()
+                    .map(|&r| r + c)
+                    .sum::<f64>();
+                break;
+            }
+            // Occupied: earliest reply over independent per-probe delays.
+            let mut earliest = f64::INFINITY;
+            for &send in &sends {
+                if let Some(x) = dist.sample(rng) {
+                    earliest = earliest.min(send + x);
+                }
+            }
+            if earliest < deadline {
+                // Reply lands in round k: rounds 1..=k paid, restart.
+                let k = ends.iter().position(|&end| earliest < end).unwrap();
+                run_cost += sched.periods()[..=k]
+                    .iter()
+                    .map(|&r| r + c)
+                    .sum::<f64>();
+                continue;
+            }
+            run_cost += sched
+                .periods()
+                .iter()
+                .map(|&r| r + c)
+                .sum::<f64>()
+                + e;
+            collisions += 1;
+            break;
+        }
+        total_cost += run_cost;
+    }
+    (total_cost / trials as f64, collisions as f64 / trials as f64)
+}
+
+#[test]
+fn schedule_closed_form_matches_its_own_simulation() {
+    let (scenario, _) = moderate();
+    let sched = Schedule::new(vec![0.3, 0.8, 1.6]).unwrap();
+    let exact = schedule::mean_cost(&scenario, &sched).unwrap();
+    let exact_collision = schedule::error_probability(&scenario, &sched).unwrap();
+    let mut rng = StdRng::seed_from_u64(404);
+    let (sim_cost, sim_collision) = simulate_schedule(&scenario, &sched, 150_000, &mut rng);
+    assert!(
+        ((sim_cost - exact) / exact).abs() < 0.02,
+        "sim {sim_cost} vs exact {exact}"
+    );
+    assert!(
+        (sim_collision - exact_collision).abs() < 0.005,
+        "sim {sim_collision} vs exact {exact_collision}"
+    );
+}
+
+#[test]
+fn uniform_schedule_is_a_special_case_everywhere() {
+    let (scenario, _) = moderate();
+    for (n, r) in [(1u32, 0.8), (3, 0.5), (6, 1.1)] {
+        let sched = Schedule::uniform(n, r).unwrap();
+        let general = schedule::mean_cost(&scenario, &sched).unwrap();
+        let classic = scenario.mean_cost(n, r).unwrap();
+        assert!(((general - classic) / classic).abs() < 1e-12);
+        let general_drm = schedule::mean_cost_via_drm(&scenario, &sched).unwrap();
+        assert!(((general_drm - classic) / classic).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn tuned_schedule_dominates_uniform_on_both_paper_scenarios() {
+    let config = OptimizeConfig {
+        r_max: 30.0,
+        grid_points: 250,
+        n_max: 12,
+        ..OptimizeConfig::default()
+    };
+    for scenario in [
+        paper::figure2_scenario().unwrap(),
+        paper::section6_scenario().unwrap(),
+    ] {
+        let optimum = schedule::optimize_schedule(&scenario, 3, &config).unwrap();
+        assert!(optimum.cost <= optimum.uniform_cost + 1e-9);
+        // The extension's headline: strictly better on these scenarios.
+        assert!(
+            optimum.cost < optimum.uniform_cost * 0.999,
+            "no strict improvement: {} vs {}",
+            optimum.cost,
+            optimum.uniform_cost
+        );
+    }
+}
+
+#[test]
+fn permuting_a_schedule_changes_nothing_but_the_pi_path() {
+    // Total listening and probe count are permutation-invariant; the cost
+    // is not (ordering matters). Check both facts.
+    let (scenario, _) = moderate();
+    let ascending = Schedule::new(vec![0.2, 0.8, 2.0]).unwrap();
+    let descending = Schedule::new(vec![2.0, 0.8, 0.2]).unwrap();
+    assert_eq!(ascending.total_listening(), descending.total_listening());
+    let up = schedule::mean_cost(&scenario, &ascending).unwrap();
+    let down = schedule::mean_cost(&scenario, &descending).unwrap();
+    assert!(
+        (up - down).abs() > 1e-6,
+        "ordering should matter: {up} vs {down}"
+    );
+    // And the ascending (back-loaded) variant is the better one.
+    assert!(up < down);
+}
