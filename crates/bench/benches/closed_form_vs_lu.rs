@@ -5,7 +5,7 @@
 //! numerics trivial; this bench quantifies how much that derivation buys
 //! over the generic linear-algebra route as `n` grows.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use zeroconf_bench::harness::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use zeroconf_cost::paper;
 
 fn bench(c: &mut Criterion) {

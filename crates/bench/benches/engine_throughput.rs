@@ -1,0 +1,119 @@
+//! Throughput of the batched landscape-evaluation engine.
+//!
+//! Times one 200 × 200 `(n, r)` sweep of the Figure-2 scenario four ways —
+//! single-threaded vs the full worker pool, cache-cold vs cache-warm — and
+//! writes the measurements to `BENCH_engine.json` at the repository root
+//! for machine consumption, alongside the human-readable summary on
+//! stdout. Uses a custom `main` on top of [`zeroconf_bench::harness`]
+//! rather than the Criterion-shaped macros, because the cold/warm split
+//! needs explicit control over engine lifetimes.
+
+use std::path::Path;
+
+use zeroconf_bench::harness::{format_nanos, measure, BenchRecord};
+use zeroconf_cost::paper;
+use zeroconf_engine::{Engine, EngineConfig, GridSpec, SweepRequest};
+
+/// Grid size: 200 probe counts × 200 listening periods = 40 000 cells.
+const N_MAX: u32 = 200;
+const R_POINTS: usize = 200;
+const SAMPLES: usize = 7;
+
+fn sweep() -> SweepRequest {
+    let scenario = paper::figure2_scenario().expect("paper scenario is valid");
+    SweepRequest::new(scenario, GridSpec::linspace(N_MAX, 0.1, 30.0, R_POINTS))
+}
+
+fn config(workers: usize) -> EngineConfig {
+    EngineConfig {
+        workers,
+        // Room for every r column, so the warm runs never evict.
+        cache_tables: R_POINTS.next_power_of_two(),
+    }
+}
+
+/// Cache-cold sweep: a fresh engine per iteration, so every π-table is
+/// computed. Pool spawn cost is included — it is part of the cold path.
+fn cold(threads: usize, request: &SweepRequest) -> BenchRecord {
+    measure(&format!("engine/cold/threads={threads}"), SAMPLES, || {
+        let engine = Engine::new(config(threads));
+        engine.evaluate(request).expect("sweep evaluates")
+    })
+}
+
+/// Cache-warm sweep: one long-lived engine, primed once, so every π-table
+/// is served from the cache and only Eq. (3)/(4) arithmetic remains.
+fn warm(threads: usize, request: &SweepRequest) -> BenchRecord {
+    let engine = Engine::new(config(threads));
+    engine.evaluate(request).expect("priming sweep evaluates");
+    measure(&format!("engine/warm/threads={threads}"), SAMPLES, || {
+        engine.evaluate(request).expect("sweep evaluates")
+    })
+}
+
+fn record_json(record: &BenchRecord, threads: usize, cache: &str) -> String {
+    format!(
+        "{{\"id\":{:?},\"cache\":{:?},\"threads\":{},\"n_max\":{},\"r_points\":{},\
+         \"median_ns\":{},\"min_ns\":{},\"mean_ns\":{},\"samples\":{},\"iters_per_sample\":{}}}",
+        record.id,
+        cache,
+        threads,
+        N_MAX,
+        R_POINTS,
+        record.median_ns,
+        record.min_ns,
+        record.mean_ns,
+        record.samples,
+        record.iters_per_sample
+    )
+}
+
+fn main() {
+    let request = sweep();
+    let pool = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .max(2);
+    println!(
+        "engine throughput on a {N_MAX} x {R_POINTS} grid ({} cells):",
+        request.grid.cells()
+    );
+    let runs = [
+        (cold(1, &request), 1, "cold"),
+        (cold(pool, &request), pool, "cold"),
+        (warm(1, &request), 1, "warm"),
+        (warm(pool, &request), pool, "warm"),
+    ];
+    for (record, _, _) in &runs {
+        println!(
+            "  {:<28} median {:>10}/sweep (min {}, {} samples)",
+            record.id,
+            format_nanos(record.median_ns),
+            format_nanos(record.min_ns),
+            record.samples
+        );
+    }
+    let speedup = |single: &BenchRecord, multi: &BenchRecord| single.median_ns / multi.median_ns;
+    println!(
+        "  cold speedup at {pool} threads: {:.2}x, warm: {:.2}x",
+        speedup(&runs[0].0, &runs[1].0),
+        speedup(&runs[2].0, &runs[3].0)
+    );
+    if std::thread::available_parallelism().map_or(true, |p| p.get() < 2) {
+        println!(
+            "  note: host exposes a single CPU, so the {pool}-thread runs can only \
+             measure pool overhead, not speedup"
+        );
+    }
+
+    let lines: Vec<String> = runs
+        .iter()
+        .map(|(record, threads, cache)| record_json(record, *threads, cache))
+        .collect();
+    let json = format!("[\n  {}\n]\n", lines.join(",\n  "));
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_engine.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("  wrote {}", path.display()),
+        Err(e) => eprintln!("  could not write {}: {e}", path.display()),
+    }
+}

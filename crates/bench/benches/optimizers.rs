@@ -5,7 +5,7 @@
 //! numbers reflect the reproduction's actual workload (one such
 //! minimization per `(n, E, c)` probe inside the Section 4.5 calibration).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use zeroconf_bench::harness::{black_box, criterion_group, criterion_main, Criterion};
 use zeroconf_cost::paper;
 use zeroconf_numopt::{brent_min, golden_section_min, grid_refine_min, Tolerance};
 
@@ -16,7 +16,9 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("r_opt_of_c4");
     group.bench_function("golden_section", |b| {
-        b.iter(|| golden_section_min(objective, black_box(0.0), black_box(60.0), tolerance).unwrap())
+        b.iter(|| {
+            golden_section_min(objective, black_box(0.0), black_box(60.0), tolerance).unwrap()
+        })
     });
     group.bench_function("brent", |b| {
         b.iter(|| brent_min(objective, black_box(0.0), black_box(60.0), tolerance).unwrap())

@@ -6,7 +6,7 @@
 //! `zeroconf-dist` crate docs); this bench records the cost side of that
 //! design decision.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use zeroconf_bench::harness::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use zeroconf_dist::{noanswer, DefectiveExponential};
 
 fn bench(c: &mut Criterion) {
@@ -18,8 +18,7 @@ fn bench(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("literal_product", i), &i, |b, &i| {
             b.iter(|| {
-                noanswer::no_answer_probability_literal(&fx, black_box(i), black_box(2.0))
-                    .unwrap()
+                noanswer::no_answer_probability_literal(&fx, black_box(i), black_box(2.0)).unwrap()
             })
         });
     }

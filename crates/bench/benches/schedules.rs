@@ -4,10 +4,10 @@
 //! Measures both the evaluation cost of the generalized closed form and
 //! the optimization cost of coordinate descent over the schedule space.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use zeroconf_bench::harness::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use zeroconf_cost::optimize::OptimizeConfig;
-use zeroconf_cost::schedule::{self, Schedule};
 use zeroconf_cost::paper;
+use zeroconf_cost::schedule::{self, Schedule};
 
 fn bench(c: &mut Criterion) {
     let scenario = paper::figure2_scenario().expect("paper scenario builds");

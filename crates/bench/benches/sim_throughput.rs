@@ -6,10 +6,10 @@
 
 use std::sync::Arc;
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use zeroconf_bench::harness::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use zeroconf_dist::DefectiveExponential;
+use zeroconf_rng::rngs::StdRng;
+use zeroconf_rng::SeedableRng;
 use zeroconf_sim::address::AddressPool;
 use zeroconf_sim::multihost::{self, MultiHostConfig};
 use zeroconf_sim::network::Link;

@@ -6,7 +6,7 @@
 //! shows where the crossover would sit for larger chains (e.g. the
 //! multi-host model's product state spaces).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use zeroconf_bench::harness::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use zeroconf_linalg::{
     iterative::{self, IterationConfig},
     CsrMatrix, LuDecomposition, Matrix,

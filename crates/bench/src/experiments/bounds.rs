@@ -26,12 +26,9 @@ pub fn nu() -> Result<ExperimentOutput, HarnessError> {
             let varied = scenario
                 .with_error_cost(10f64.powi(exp_e))
                 .map_err(harness_err("nu"))?;
-            let dist = zeroconf_dist::DefectiveExponential::from_loss(
-                10f64.powi(-loss_exp),
-                10.0,
-                1.0,
-            )
-            .map_err(harness_err("nu"))?;
+            let dist =
+                zeroconf_dist::DefectiveExponential::from_loss(10f64.powi(-loss_exp), 10.0, 1.0)
+                    .map_err(harness_err("nu"))?;
             let varied = zeroconf_cost::Scenario::builder()
                 .occupancy(varied.occupancy())
                 .probe_cost(varied.probe_cost())

@@ -15,14 +15,11 @@ fn report(
     config: &CalibrateConfig,
     paper_values: (f64, f64),
 ) -> Result<ExperimentOutput, HarnessError> {
-    let calibration =
-        calibrate::calibrate(&base, 4, target_r, config).map_err(harness_err(id))?;
+    let calibration = calibrate::calibrate(&base, 4, target_r, config).map_err(harness_err(id))?;
     let (paper_e, paper_c) = paper_values;
     let optimum = &calibration.verified_optimum;
     let rows = vec![
-        format!(
-            "target: (n = 4, r = {target_r}) must be the joint cost optimum"
-        ),
+        format!("target: (n = 4, r = {target_r}) must be the joint cost optimum"),
         format!(
             "calibrated E = {:.4e}   (paper: {:.1e}, ratio {:.2})",
             calibration.error_cost,

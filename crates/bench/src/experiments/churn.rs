@@ -2,9 +2,9 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use zeroconf_dist::DefectiveExponential;
+use zeroconf_rng::rngs::StdRng;
+use zeroconf_rng::SeedableRng;
 use zeroconf_sim::address::AddressPool;
 use zeroconf_sim::multihost::{run_once_with_churn, Churn, MultiHostConfig};
 use zeroconf_sim::network::Link;
@@ -53,9 +53,7 @@ pub fn churn() -> Result<ExperimentOutput, HarnessError> {
             "single host, pool {pool_size} with {occupied} occupied (q = {q:.3}), \
              loss = {loss}, n = {n}, r = {r}; 4000 runs per point"
         ),
-        format!(
-            "static model predicts: cost {model_cost:.4}, P(collision) {model_collision:.5}"
-        ),
+        format!("static model predicts: cost {model_cost:.4}, P(collision) {model_collision:.5}"),
         format!(
             "{:>16} {:>12} {:>14} {:>12}",
             "churn (ev/s)", "mean cost", "P(collision)", "cost drift"

@@ -2,8 +2,10 @@
 
 use zeroconf_cost::optimize::{self, OptimizeConfig};
 use zeroconf_cost::{drm, paper, Scenario};
+use zeroconf_engine::{Engine, EngineConfig, GridSpec, Metric, SweepRequest, SweepResponse};
 use zeroconf_plot::{Chart, Series};
 
+use super::sample_grid;
 use crate::{harness_err, ExperimentOutput, HarnessError};
 
 /// Listening-period range shared by Figures 2 – 6.
@@ -29,6 +31,26 @@ fn optimize_config() -> OptimizeConfig {
     }
 }
 
+/// The cells of one probe count `n` from an `r`-major sweep response, in
+/// grid order.
+fn cells_for_n(
+    response: &SweepResponse,
+    n: u32,
+) -> impl Iterator<Item = &zeroconf_engine::Cell> + '_ {
+    response.cells.iter().filter(move |cell| cell.n == n)
+}
+
+/// One observability row summarizing what the engine did for a figure.
+fn engine_row(response: &SweepResponse) -> String {
+    format!(
+        "engine: {} cells on {} threads, {} π-tables computed, {} served from cache",
+        response.stats.cells,
+        response.stats.workers,
+        response.stats.cache_misses,
+        response.stats.cache_hits
+    )
+}
+
 /// Figure 1: the structure of the DRM family — regenerated as a full
 /// state/transition dump of the constructed chain for `n = 4`.
 pub fn fig1() -> Result<ExperimentOutput, HarnessError> {
@@ -50,28 +72,44 @@ pub fn fig1() -> Result<ExperimentOutput, HarnessError> {
 }
 
 /// Figure 2: the cost curves `C_1(r) … C_8(r)`.
+///
+/// All 8 × [`SAMPLES`] grid cells come from a single batched engine sweep;
+/// per-curve clipping and the paper's "invisible" off-scale curves are
+/// applied to the returned cells.
 pub fn fig2() -> Result<ExperimentOutput, HarnessError> {
     let scenario = figure2_scenario()?;
+    let engine = Engine::new(EngineConfig::default());
+    let request = SweepRequest {
+        scenario: scenario.clone(),
+        grid: GridSpec {
+            n_max: 8,
+            r_values: sample_grid(R_LO, R_HI, SAMPLES),
+        },
+        metrics: vec![Metric::MeanCost],
+    };
+    let response = engine.evaluate(&request).map_err(harness_err("fig2"))?;
     let mut chart = Chart::new("Figure 2: cost functions C_n(r)")
         .x_label("listening period r (s)")
         .y_label("mean total cost");
     for n in 1..=8u32 {
-        let series = Series::sample(format!("C_{n}"), R_LO, R_HI, SAMPLES, |r| {
-            match scenario.mean_cost(n, r) {
-                Ok(c) if c <= FIG2_Y_CAP => c,
-                // Off-scale (the paper's invisible n = 1, 2) or invalid.
-                _ => f64::NAN,
-            }
-        });
-        match series {
-            Ok(s) => chart = chart.with_series(s),
+        let points: Vec<(f64, f64)> = cells_for_n(&response, n)
+            .filter_map(|cell| {
+                let cost = cell.mean_cost?;
+                // Off-scale cells (the paper's invisible n = 1, 2) are
+                // skipped, exactly as Series::sample skipped them.
+                (cost.is_finite() && cost <= FIG2_Y_CAP).then_some((cell.r, cost))
+            })
+            .collect();
+        if points.is_empty() {
             // Entirely off-scale curves simply do not appear — like the
             // paper's C_1.
-            Err(zeroconf_plot::PlotError::EmptySeries { .. }) => {}
-            Err(e) => return Err(harness_err("fig2")(e)),
+            continue;
         }
+        chart =
+            chart.with_series(Series::new(format!("C_{n}"), points).map_err(harness_err("fig2"))?);
     }
     let mut rows = vec![
+        engine_row(&response),
         "per-n minima (cf. Figure 2: minima rise again beyond n = 3):".to_owned(),
         format!("{:>3} {:>12} {:>18}", "n", "r_opt", "C_n(r_opt)"),
     ];
@@ -97,8 +135,8 @@ pub fn fig3() -> Result<ExperimentOutput, HarnessError> {
     let mut previous: Option<u32> = None;
     for k in 0..SAMPLES {
         let r = 0.2 + (R_HI - 0.2) * k as f64 / (SAMPLES - 1) as f64;
-        let best = optimize::optimal_probe_count(&scenario, r, &cfg)
-            .map_err(harness_err("fig3"))?;
+        let best =
+            optimize::optimal_probe_count(&scenario, r, &cfg).map_err(harness_err("fig3"))?;
         points.push((r, best.n as f64));
         if let Some(prev) = previous {
             if prev != best.n {
@@ -131,8 +169,8 @@ pub fn fig4() -> Result<ExperimentOutput, HarnessError> {
     let mut best = (f64::INFINITY, 0.0);
     for k in 0..SAMPLES {
         let r = 0.2 + (R_HI - 0.2) * k as f64 / (SAMPLES - 1) as f64;
-        let envelope = optimize::minimal_cost_envelope(&scenario, r, &cfg)
-            .map_err(harness_err("fig4"))?;
+        let envelope =
+            optimize::minimal_cost_envelope(&scenario, r, &cfg).map_err(harness_err("fig4"))?;
         points.push((r, envelope));
         if envelope < best.0 {
             best = (envelope, r);
@@ -144,7 +182,10 @@ pub fn fig4() -> Result<ExperimentOutput, HarnessError> {
         .with_series(Series::new("C_min", points).map_err(harness_err("fig4"))?);
     let joint = optimize::joint_optimum(&scenario, &cfg).map_err(harness_err("fig4"))?;
     let rows = vec![
-        format!("grid minimum of the envelope: C_min ≈ {:.4} at r ≈ {:.3}", best.0, best.1),
+        format!(
+            "grid minimum of the envelope: C_min ≈ {:.4} at r ≈ {:.3}",
+            best.0, best.1
+        ),
         format!(
             "joint optimum (refined): n* = {}, r* = {:.4}, C = {:.4}",
             joint.n, joint.r, joint.cost
@@ -159,35 +200,54 @@ pub fn fig4() -> Result<ExperimentOutput, HarnessError> {
 }
 
 /// Figure 5: the collision probability `E(n, r)` on a log axis.
+///
+/// One engine sweep supplies all eight curves.
 pub fn fig5() -> Result<ExperimentOutput, HarnessError> {
     let scenario = figure2_scenario()?;
+    let engine = Engine::new(EngineConfig::default());
+    let request = SweepRequest {
+        scenario: scenario.clone(),
+        grid: GridSpec {
+            n_max: 8,
+            r_values: sample_grid(0.05, R_HI, SAMPLES),
+        },
+        metrics: vec![Metric::ErrorProbability],
+    };
+    let response = engine.evaluate(&request).map_err(harness_err("fig5"))?;
     let mut chart = Chart::new("Figure 5: probability to reach state error")
         .x_label("listening period r (s)")
         .y_label("E(n, r)")
         .log_y(true);
     for n in 1..=8u32 {
-        let series = Series::sample(format!("E_{n}"), 0.05, R_HI, SAMPLES, |r| {
-            scenario.error_probability(n, r).unwrap_or(f64::NAN)
-        })
-        .map_err(harness_err("fig5"))?;
+        let points: Vec<(f64, f64)> = cells_for_n(&response, n)
+            .filter_map(|cell| Some((cell.r, cell.error_probability?)))
+            .collect();
+        let series = Series::new(format!("E_{n}"), points).map_err(harness_err("fig5"))?;
         chart = chart.with_series(series);
     }
     let mut rows = vec![
+        engine_row(&response),
         "collision probabilities at the draft configuration:".to_owned(),
         format!(
             "E(4, 2.0)  = {:.4e}",
-            scenario.error_probability(4, 2.0).map_err(harness_err("fig5"))?
+            scenario
+                .error_probability(4, 2.0)
+                .map_err(harness_err("fig5"))?
         ),
         format!(
             "E(4, 0.2)  = {:.4e}",
-            scenario.error_probability(4, 0.2).map_err(harness_err("fig5"))?
+            scenario
+                .error_probability(4, 0.2)
+                .map_err(harness_err("fig5"))?
         ),
     ];
     rows.push("per-n probabilities at r = 2:".to_owned());
     for n in 1..=8u32 {
         rows.push(format!(
             "  E({n}, 2.0) = {:.4e}",
-            scenario.error_probability(n, 2.0).map_err(harness_err("fig5"))?
+            scenario
+                .error_probability(n, 2.0)
+                .map_err(harness_err("fig5"))?
         ));
     }
     Ok(ExperimentOutput {
@@ -200,22 +260,41 @@ pub fn fig5() -> Result<ExperimentOutput, HarnessError> {
 
 /// Figure 6: `E(N(r), r)` — the collision probability when `n` is always
 /// chosen cost-optimally.
+///
+/// A single engine sweep up to the optimizer's `n_max` serves both the
+/// sawtooth main curve (one lookup per cost-optimal `N(r)`) and the
+/// fixed-`n` overlay curves; only the `N(r)` search itself stays with the
+/// optimizer.
 pub fn fig6() -> Result<ExperimentOutput, HarnessError> {
     let scenario = figure2_scenario()?;
     let cfg = optimize_config();
+    let engine = Engine::new(EngineConfig::default());
+    let r_values = sample_grid(0.4, R_HI, SAMPLES);
+    let request = SweepRequest {
+        scenario: scenario.clone(),
+        grid: GridSpec {
+            n_max: cfg.n_max,
+            r_values,
+        },
+        metrics: vec![Metric::ErrorProbability],
+    };
+    let response = engine.evaluate(&request).map_err(harness_err("fig6"))?;
+    let error_at = |k: usize, n: u32| -> Result<f64, HarnessError> {
+        // Cells are r-major: all of n = 1..=n_max for r_k, then r_{k+1}.
+        let cell = &response.cells[k * cfg.n_max as usize + (n - 1) as usize];
+        cell.error_probability
+            .ok_or_else(|| harness_err("fig6")("sweep omitted the error metric"))
+    };
     let mut points = Vec::with_capacity(SAMPLES);
     let mut lo = f64::INFINITY;
     let mut hi: f64 = 0.0;
     let mut local_maxima: Vec<(f64, f64)> = Vec::new();
     let mut window: Vec<(f64, f64)> = Vec::new();
-    for k in 0..SAMPLES {
-        let r = 0.4 + (R_HI - 0.4) * k as f64 / (SAMPLES - 1) as f64;
+    for (k, &r) in request.grid.r_values.iter().enumerate() {
         let n = optimize::optimal_probe_count(&scenario, r, &cfg)
             .map_err(harness_err("fig6"))?
             .n;
-        let p = scenario
-            .error_probability(n, r)
-            .map_err(harness_err("fig6"))?;
+        let p = error_at(k, n)?;
         points.push((r, p));
         lo = lo.min(p);
         hi = hi.max(p);
@@ -234,16 +313,19 @@ pub fn fig6() -> Result<ExperimentOutput, HarnessError> {
         .with_series(Series::new("E(N(r),r)", points).map_err(harness_err("fig6"))?);
     // Overlay the fixed-n curves as in the paper's Figure 6.
     for n in [3u32, 4, 6, 8] {
-        let series = Series::sample(format!("E_{n}"), 0.4, R_HI, SAMPLES, |r| {
-            scenario.error_probability(n, r).unwrap_or(f64::NAN)
-        })
-        .map_err(harness_err("fig6"))?;
+        let overlay: Vec<(f64, f64)> = cells_for_n(&response, n)
+            .filter_map(|cell| Some((cell.r, cell.error_probability?)))
+            .collect();
+        let series = Series::new(format!("E_{n}"), overlay).map_err(harness_err("fig6"))?;
         chart = chart.with_series(series);
     }
-    let mut rows = vec![format!(
-        "E(N(r), r) spans [{lo:.3e}, {hi:.3e}] over r in [0.4, {R_HI}] \
-         (paper: roughly within [1e-54, 1e-35])"
-    )];
+    let mut rows = vec![
+        engine_row(&response),
+        format!(
+            "E(N(r), r) spans [{lo:.3e}, {hi:.3e}] over r in [0.4, {R_HI}] \
+             (paper: roughly within [1e-54, 1e-35])"
+        ),
+    ];
     rows.push("sawtooth local maxima (each corresponds to a step of N(r)):".to_owned());
     for (r, p) in local_maxima.iter().take(12) {
         rows.push(format!("  r ≈ {r:.3}: E = {p:.3e}"));

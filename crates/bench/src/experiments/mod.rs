@@ -22,6 +22,19 @@ pub use validation::validate;
 
 use crate::{ExperimentOutput, HarnessError};
 
+/// The `x = lo + k·step` sampling grid used by both `Series::sample` and
+/// `grid_refine_min`'s scan, extracted so engine sweeps evaluate exactly
+/// the floats those consumers would — the precondition for bit-identical
+/// routing through the batched engine.
+pub(crate) fn sample_grid(lo: f64, hi: f64, count: usize) -> Vec<f64> {
+    let step = if count > 1 {
+        (hi - lo) / (count - 1) as f64
+    } else {
+        0.0
+    };
+    (0..count).map(|k| lo + k as f64 * step).collect()
+}
+
 /// All experiment ids in presentation order.
 pub const IDS: [&str; 15] = [
     "fig1",

@@ -2,12 +2,12 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use zeroconf_dist::DefectiveExponential;
+use zeroconf_plot::{Chart, Series};
+use zeroconf_rng::rngs::StdRng;
+use zeroconf_rng::SeedableRng;
 use zeroconf_sim::multihost::{run_many, MultiHostConfig};
 use zeroconf_sim::network::Link;
-use zeroconf_plot::{Chart, Series};
 
 use crate::{harness_err, ExperimentOutput, HarnessError};
 
@@ -42,8 +42,7 @@ pub fn multihost() -> Result<ExperimentOutput, HarnessError> {
             link: link.clone(),
             max_attempts_per_host: 10_000,
         };
-        let summary =
-            run_many(&config, 256, 64, 40, &mut rng).map_err(harness_err("multihost"))?;
+        let summary = run_many(&config, 256, 64, 40, &mut rng).map_err(harness_err("multihost"))?;
         rows.push(format!(
             "{:>6} {:>14.3} {:>14.3} {:>14.4} {:>14}",
             hosts,
@@ -62,8 +61,7 @@ pub fn multihost() -> Result<ExperimentOutput, HarnessError> {
             Series::new("settle time (s)", settle_points).map_err(harness_err("multihost"))?,
         )
         .with_series(
-            Series::new("attempts per host", attempt_points)
-                .map_err(harness_err("multihost"))?,
+            Series::new("attempts per host", attempt_points).map_err(harness_err("multihost"))?,
         );
     Ok(ExperimentOutput {
         id: "multihost",

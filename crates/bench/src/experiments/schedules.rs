@@ -1,15 +1,22 @@
 //! Extension study: how much does a non-uniform listening schedule save?
 
 use zeroconf_cost::optimize::OptimizeConfig;
-use zeroconf_cost::schedule;
 use zeroconf_cost::paper;
+use zeroconf_cost::schedule;
+use zeroconf_engine::{Engine, EngineConfig, GridSpec, Metric, SweepRequest};
 
+use super::sample_grid;
 use crate::{harness_err, ExperimentOutput, HarnessError};
 
 /// Optimizes per-round listening periods for the Figure-2 and Section-6
 /// scenarios and compares against the best uniform protocol — answering
 /// the paper's introductory question about protocol variations "which
 /// behave equivalently except that configuration takes less time".
+///
+/// The uniform baselines are cross-checked against a batched engine sweep
+/// over the optimizer's own starting grid: the refined uniform optimum
+/// must never exceed the engine's grid minimum, and may only improve on it
+/// within the local-refinement margin.
 pub fn schedules() -> Result<ExperimentOutput, HarnessError> {
     let config = OptimizeConfig {
         r_max: 30.0,
@@ -17,6 +24,7 @@ pub fn schedules() -> Result<ExperimentOutput, HarnessError> {
         n_max: 12,
         ..OptimizeConfig::default()
     };
+    let engine = Engine::new(EngineConfig::default());
     let mut rows = vec![
         "tuned per-round listening periods vs the best uniform protocol:".to_owned(),
         format!(
@@ -24,13 +32,46 @@ pub fn schedules() -> Result<ExperimentOutput, HarnessError> {
             "scenario", "n", "uniform C", "tuned C", "saving", "P(col) tuned", "schedule r_1..r_n"
         ),
     ];
+    let mut max_refinement_gain: f64 = 0.0;
     for (name, scenario) in [
-        ("figure2", paper::figure2_scenario().map_err(harness_err("schedule"))?),
-        ("section6", paper::section6_scenario().map_err(harness_err("schedule"))?),
+        (
+            "figure2",
+            paper::figure2_scenario().map_err(harness_err("schedule"))?,
+        ),
+        (
+            "section6",
+            paper::section6_scenario().map_err(harness_err("schedule"))?,
+        ),
     ] {
+        // One sweep per scenario covers every (n, r) the uniform baselines
+        // scan below.
+        let sweep = SweepRequest {
+            scenario: scenario.clone(),
+            grid: GridSpec {
+                n_max: 4,
+                r_values: sample_grid(0.0, config.r_max, config.grid_points),
+            },
+            metrics: vec![Metric::MeanCost],
+        };
+        let response = engine.evaluate(&sweep).map_err(harness_err("schedule"))?;
         for n in [2u32, 3, 4] {
             let optimum = schedule::optimize_schedule(&scenario, n, &config)
                 .map_err(harness_err("schedule"))?;
+            let grid_min = response
+                .cells
+                .iter()
+                .filter(|cell| cell.n == n)
+                .filter_map(|cell| cell.mean_cost)
+                .fold(f64::INFINITY, f64::min);
+            if optimum.uniform_cost > grid_min + 1e-9 {
+                return Err(harness_err("schedule")(format!(
+                    "engine cross-check failed for {name}, n = {n}: refined uniform \
+                     cost {} exceeds the engine's grid minimum {grid_min}",
+                    optimum.uniform_cost
+                )));
+            }
+            max_refinement_gain =
+                max_refinement_gain.max((grid_min - optimum.uniform_cost) / grid_min);
             let saving = 1.0 - optimum.cost / optimum.uniform_cost;
             let periods: Vec<String> = optimum
                 .schedule
@@ -50,6 +91,11 @@ pub fn schedules() -> Result<ExperimentOutput, HarnessError> {
             ));
         }
     }
+    rows.push(format!(
+        "engine cross-check: every uniform baseline matches the batched sweep's grid \
+         minimum (local refinement improves on the grid by at most {:.4}%)",
+        max_refinement_gain * 100.0
+    ));
     rows.push(
         "reading: the optimum fires probes almost back to back and spends the wait \
          in the final round"

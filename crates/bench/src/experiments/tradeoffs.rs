@@ -1,7 +1,8 @@
 //! Extension study: the explicit cost/reliability Pareto frontier.
 
 use zeroconf_cost::paper;
-use zeroconf_cost::tradeoff::{self, TradeoffConfig};
+use zeroconf_cost::tradeoff::{self, ParetoPoint, TradeoffConfig};
+use zeroconf_engine::{Engine, EngineConfig, GridSpec, SweepRequest};
 use zeroconf_plot::{Chart, Series};
 
 use crate::{harness_err, ExperimentOutput, HarnessError};
@@ -9,6 +10,13 @@ use crate::{harness_err, ExperimentOutput, HarnessError};
 /// Materializes the paper's headline trade-off ("minimal cost and maximal
 /// reliability ... cannot be achieved at the same time") as the Pareto
 /// frontier over `(n, r)`, plus reliability-budget queries.
+///
+/// The full `(n, r)` grid is evaluated once by the batched engine —
+/// `GridSpec::linspace` shares its grid arithmetic with
+/// `tradeoff::pareto_frontier`, so the candidate set is bit-identical to
+/// the direct computation — and reduced with the library's own
+/// `frontier_from_candidates`. The budget queries then read the frontier
+/// instead of re-evaluating the grid once per budget.
 pub fn tradeoff() -> Result<ExperimentOutput, HarnessError> {
     let scenario = paper::figure2_scenario().map_err(harness_err("tradeoff"))?;
     let config = TradeoffConfig {
@@ -16,12 +24,41 @@ pub fn tradeoff() -> Result<ExperimentOutput, HarnessError> {
         r_range: (0.2, 25.0),
         r_points: 250,
     };
-    let frontier =
-        tradeoff::pareto_frontier(&scenario, &config).map_err(harness_err("tradeoff"))?;
+    let engine = Engine::new(EngineConfig::default());
+    let request = SweepRequest::new(
+        scenario,
+        GridSpec::linspace(
+            config.n_max,
+            config.r_range.0,
+            config.r_range.1,
+            config.r_points,
+        ),
+    );
+    let response = engine.evaluate(&request).map_err(harness_err("tradeoff"))?;
+    let candidates: Vec<ParetoPoint> = response
+        .cells
+        .iter()
+        .filter_map(|cell| {
+            Some(ParetoPoint {
+                n: cell.n,
+                r: cell.r,
+                cost: cell.mean_cost?,
+                error_probability: cell.error_probability?,
+            })
+        })
+        .collect();
+    let frontier = tradeoff::frontier_from_candidates(candidates);
     let mut rows = vec![format!(
         "Pareto frontier over n <= {}, r in [{}, {}]: {} non-dominated configurations",
-        config.n_max, config.r_range.0, config.r_range.1, frontier.len()
+        config.n_max,
+        config.r_range.0,
+        config.r_range.1,
+        frontier.len()
     )];
+    rows.push(format!(
+        "engine: {} candidate cells on {} threads, {} π-tables computed",
+        response.stats.cells, response.stats.workers, response.stats.cache_misses
+    ));
     rows.push(format!(
         "{:>10} {:>4} {:>9} {:>14}",
         "cost", "n", "r", "P(collision)"
@@ -35,12 +72,14 @@ pub fn tradeoff() -> Result<ExperimentOutput, HarnessError> {
     }
     rows.push("reliability-budget queries:".to_owned());
     for budget in [1e-30f64, 1e-40, 1e-50, 1e-60] {
-        match tradeoff::cheapest_within_error_budget(&scenario, &config, budget) {
-            Ok(p) => rows.push(format!(
+        match frontier.iter().find(|p| p.error_probability <= budget) {
+            Some(p) => rows.push(format!(
                 "  P(collision) <= {budget:.0e}: cheapest is n = {}, r = {:.3}, cost {:.4}",
                 p.n, p.r, p.cost
             )),
-            Err(_) => rows.push(format!("  P(collision) <= {budget:.0e}: not reachable on grid")),
+            None => rows.push(format!(
+                "  P(collision) <= {budget:.0e}: not reachable on grid"
+            )),
         }
     }
 

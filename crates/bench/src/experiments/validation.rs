@@ -7,10 +7,10 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use zeroconf_cost::{paper, Scenario};
 use zeroconf_dist::DefectiveExponential;
+use zeroconf_rng::rngs::StdRng;
+use zeroconf_rng::SeedableRng;
 use zeroconf_sim::protocol::{run_many, ProtocolConfig};
 
 use crate::{harness_err, ExperimentOutput, HarnessError};

@@ -10,6 +10,7 @@
 //! zeroconf frontier  <scenario flags> [--budget 1e-40]
 //! zeroconf calibrate <network flags> --target-probes 4 --target-listen 2
 //! zeroconf simulate  <scenario flags> --probes 4 --listen 2 --trials 100000 --seed 7
+//! zeroconf engine    [--workers N] [--cache N] [--stats]   # JSON-lines on stdin/stdout
 //! ```
 //!
 //! All commands share the scenario flags (`--hosts` or `--occupancy`,
@@ -19,14 +20,14 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use zeroconf_cost::calibrate::{self, CalibrateConfig};
 use zeroconf_cost::metrics;
 use zeroconf_cost::optimize::{self, OptimizeConfig};
 use zeroconf_cost::tradeoff::{self, TradeoffConfig};
 use zeroconf_cost::Scenario;
 use zeroconf_dist::DefectiveExponential;
+use zeroconf_rng::rngs::StdRng;
+use zeroconf_rng::SeedableRng;
 use zeroconf_sim::protocol::{self, ProtocolConfig};
 
 /// A fatal CLI error with a user-facing message.
@@ -139,18 +140,100 @@ fn scenario_from(flags: &Flags) -> Result<Scenario, CliError> {
 /// Returns [`CliError`] with a user-facing message for unknown commands,
 /// malformed flags or failing computations.
 pub fn run(args: &[String]) -> Result<String, CliError> {
-    let (command, rest) = args
-        .split_first()
-        .ok_or_else(|| err(usage()))?;
+    let (command, rest) = args.split_first().ok_or_else(|| err(usage()))?;
     match command.as_str() {
         "cost" => cmd_cost(&Flags::parse(rest)?),
         "optimize" => cmd_optimize(&Flags::parse(rest)?),
         "frontier" => cmd_frontier(&Flags::parse(rest)?),
         "calibrate" => cmd_calibrate(&Flags::parse(rest)?),
         "simulate" => cmd_simulate(&Flags::parse(rest)?),
+        "engine" => cmd_engine(rest),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(err(format!("unknown command '{other}'\n{}", usage()))),
     }
+}
+
+/// Options of the `engine` subcommand.
+#[derive(Debug, Clone, Copy)]
+struct EngineOptions {
+    workers: usize,
+    cache_tables: usize,
+    emit_stats: bool,
+}
+
+fn engine_options(args: &[String]) -> Result<EngineOptions, CliError> {
+    // `--stats` is a bare switch; strip it before the value-flag parser.
+    let mut emit_stats = false;
+    let positional: Vec<String> = args
+        .iter()
+        .filter(|a| {
+            if a.as_str() == "--stats" {
+                emit_stats = true;
+                false
+            } else {
+                true
+            }
+        })
+        .cloned()
+        .collect();
+    let flags = Flags::parse(&positional)?;
+    let unknown = flags.unknown_flags(&["workers", "cache"]);
+    if !unknown.is_empty() {
+        return Err(err(format!("unknown flags: {}", unknown.join(", "))));
+    }
+    let defaults = zeroconf_engine::EngineConfig::default();
+    Ok(EngineOptions {
+        workers: flags
+            .number("workers")?
+            .map_or(defaults.workers, |w| w as usize),
+        cache_tables: flags
+            .number("cache")?
+            .map_or(defaults.cache_tables, |c| c as usize),
+        emit_stats,
+    })
+}
+
+/// Runs a JSON-lines engine session over `input`, one response line per
+/// request line (see [`zeroconf_engine::wire`] for the schema). Factored
+/// off the stdin path so tests can drive it with strings.
+///
+/// # Errors
+///
+/// Returns [`CliError`] only for malformed *flags*; malformed request
+/// lines become `{"error": …}` response lines and never end the session.
+pub fn engine_process(input: &str, args: &[String]) -> Result<String, CliError> {
+    let options = engine_options(args)?;
+    let engine = zeroconf_engine::Engine::new(zeroconf_engine::EngineConfig {
+        workers: options.workers.max(1),
+        cache_tables: options.cache_tables.max(1),
+    });
+    let mut session = zeroconf_engine::wire::Session::new(engine);
+    let mut out = String::new();
+    for line in input.lines() {
+        if let Some(response) = session.handle_line(line) {
+            out.push_str(&response);
+            out.push('\n');
+        }
+    }
+    if options.emit_stats {
+        out.push_str(&session.stats_line());
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+fn cmd_engine(args: &[String]) -> Result<String, CliError> {
+    // Validate flags before consuming stdin so flag errors are immediate.
+    engine_options(args)?;
+    let mut input = String::new();
+    std::io::Read::read_to_string(&mut std::io::stdin(), &mut input)
+        .map_err(|e| err(format!("reading stdin: {e}")))?;
+    let mut out = engine_process(&input, args)?;
+    // `main` prints with a trailing newline of its own.
+    if out.ends_with('\n') {
+        out.pop();
+    }
+    Ok(out)
 }
 
 /// The usage text.
@@ -162,6 +245,7 @@ pub fn usage() -> String {
      \u{20}  frontier   print the cost/reliability Pareto frontier\n\
      \u{20}  calibrate  solve for (E, c) making a target (n, r) optimal\n\
      \u{20}  simulate   Monte-Carlo protocol runs with latency percentiles\n\
+     \u{20}  engine     batched JSON-lines grid evaluation on stdin/stdout\n\
      scenario flags (all commands):\n\
      \u{20}  --hosts N | --occupancy Q, --probe-cost C, --error-cost E,\n\
      \u{20}  --loss P, --rate LAMBDA, --delay D\n\
@@ -171,6 +255,7 @@ pub fn usage() -> String {
      \u{20}  frontier: [--budget P] [--n-max N]\n\
      \u{20}  calibrate: --target-probes N --target-listen R\n\
      \u{20}  optimize: [--n-max N] [--r-max R]\n\
+     \u{20}  engine: [--workers N] [--cache TABLES] [--stats]\n\
      example:\n\
      \u{20}  zeroconf optimize --hosts 1000 --probe-cost 2 --error-cost 1e35 \\\n\
      \u{20}           --loss 1e-15 --rate 10 --delay 1"
@@ -193,9 +278,7 @@ fn cmd_cost(flags: &Flags) -> Result<String, CliError> {
     let scenario = scenario_from(flags)?;
     let n = flags.require("probes")? as u32;
     let r = flags.require("listen")?;
-    let cost = scenario
-        .mean_cost(n, r)
-        .map_err(|e| err(e.to_string()))?;
+    let cost = scenario.mean_cost(n, r).map_err(|e| err(e.to_string()))?;
     let risk = scenario
         .error_probability(n, r)
         .map_err(|e| err(e.to_string()))?;
@@ -253,8 +336,7 @@ fn cmd_frontier(flags: &Flags) -> Result<String, CliError> {
         n_max: flags.number("n-max")?.unwrap_or(10.0) as u32,
         ..TradeoffConfig::default()
     };
-    let frontier =
-        tradeoff::pareto_frontier(&scenario, &config).map_err(|e| err(e.to_string()))?;
+    let frontier = tradeoff::pareto_frontier(&scenario, &config).map_err(|e| err(e.to_string()))?;
     let mut out = format!(
         "{} Pareto-optimal configurations (cost ascending):\n{:>12} {:>4} {:>9} {:>14}\n",
         frontier.len(),
@@ -306,8 +388,7 @@ fn cmd_calibrate(flags: &Flags) -> Result<String, CliError> {
         },
         ..CalibrateConfig::default()
     };
-    let result =
-        calibrate::calibrate(&scenario, n, r, &config).map_err(|e| err(e.to_string()))?;
+    let result = calibrate::calibrate(&scenario, n, r, &config).map_err(|e| err(e.to_string()))?;
     Ok(format!(
         "costs making (n = {n}, r = {r}) the joint optimum:\n\
          collision cost E = {:.6e}\n\
@@ -337,12 +418,9 @@ fn cmd_simulate(flags: &Flags) -> Result<String, CliError> {
     let mut rng = StdRng::seed_from_u64(seed);
     let summary = protocol::run_many(&config, trials, &mut rng).map_err(|e| err(e.to_string()))?;
     let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
-    let mut profile =
-        protocol::latency_profile(&config, trials.min(100_000), &mut rng)
-            .map_err(|e| err(e.to_string()))?;
-    let exact = scenario
-        .mean_cost(n, r)
+    let mut profile = protocol::latency_profile(&config, trials.min(100_000), &mut rng)
         .map_err(|e| err(e.to_string()))?;
+    let exact = scenario.mean_cost(n, r).map_err(|e| err(e.to_string()))?;
     let (lo, hi) = summary.collision_interval_95();
     Ok(format!(
         "{trials} simulated runs (seed {seed}):\n\
@@ -421,11 +499,11 @@ mod tests {
 
     #[test]
     fn simulate_command_reports_percentiles() {
-        let out = run(&args(&format!(
+        let out = run(&args(
             "simulate --occupancy 0.3 --probe-cost 1.5 --error-cost 50 \
              --loss 0.2 --rate 3 --delay 0.2 --probes 3 --listen 0.8 \
-             --trials 20000 --seed 5"
-        )))
+             --trials 20000 --seed 5",
+        ))
         .unwrap();
         assert!(out.contains("latency p95"), "{out}");
         assert!(out.contains("mean cost"), "{out}");
@@ -441,12 +519,60 @@ mod tests {
         assert!(out.contains("e20"), "{out}");
     }
 
+    const ENGINE_SWEEP: &str = "{\"id\":\"s1\",\"scenario\":{\"hosts\":1000,\"probe_cost\":2.0,\
+        \"error_cost\":1e35,\"reply_time\":{\"kind\":\"exponential\",\"loss\":1e-15,\
+        \"rate\":10.0,\"delay\":1.0}},\"grid\":{\"n_max\":4,\"r\":[1.0,2.0,3.0]}}";
+
+    #[test]
+    fn engine_session_answers_sweeps_and_rescores() {
+        let input = format!(
+            "{ENGINE_SWEEP}\n{{\"id\":\"s2\",\"rescore\":{{\"of\":\"s1\",\"error_cost\":1e30}}}}\n"
+        );
+        let out = engine_process(&input, &args("--workers 2 --stats")).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3, "{out}");
+        assert!(lines[0].contains("\"id\":\"s1\""), "{}", lines[0]);
+        assert!(lines[0].contains("\"cache_misses\":3"), "{}", lines[0]);
+        assert!(lines[1].contains("\"cache_misses\":0"), "{}", lines[1]);
+        assert!(lines[2].contains("\"requests\":2"), "{}", lines[2]);
+        assert!(lines[2].contains("cells_per_worker"), "{}", lines[2]);
+    }
+
+    #[test]
+    fn engine_bad_lines_become_error_responses() {
+        let out = engine_process("garbage\n", &[]).unwrap();
+        assert!(out.contains("\"error\""), "{out}");
+    }
+
+    #[test]
+    fn engine_rejects_unknown_flags() {
+        let e = engine_process("", &args("--bogus 1")).unwrap_err();
+        assert!(e.0.contains("--bogus"), "{}", e.0);
+    }
+
+    #[test]
+    fn engine_matches_cost_command_numbers() {
+        // The wire mean_cost for (n = 4, r = 2) must round to the 16.06…
+        // the `cost` command prints for the same paper scenario.
+        let out = engine_process(ENGINE_SWEEP, &args("--workers 1")).unwrap();
+        let direct = run(&args(&format!("cost {SCENARIO} --probes 4 --listen 2"))).unwrap();
+        assert!(direct.contains("16.06"), "{direct}");
+        assert!(
+            out.contains("\"n\":4,\"r\":2.0,\"mean_cost\":16.06"),
+            "{out}"
+        );
+    }
+
     #[test]
     fn missing_required_flags_are_reported() {
         let e = run(&args("cost --hosts 1000")).unwrap_err();
         assert!(e.0.contains("missing required flag"), "{}", e.0);
         let e = run(&args(&format!("cost {SCENARIO}"))).unwrap_err();
-        assert!(e.0.contains("--probes") || e.0.contains("probes"), "{}", e.0);
+        assert!(
+            e.0.contains("--probes") || e.0.contains("probes"),
+            "{}",
+            e.0
+        );
     }
 
     #[test]

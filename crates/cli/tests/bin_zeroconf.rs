@@ -1,6 +1,7 @@
 //! End-to-end tests of the `zeroconf` binary.
 
-use std::process::Command;
+use std::io::Write;
+use std::process::{Command, Stdio};
 
 fn zeroconf() -> Command {
     Command::new(env!("CARGO_BIN_EXE_zeroconf"))
@@ -45,6 +46,42 @@ fn optimize_command_succeeds() {
     assert!(output.status.success());
     let stdout = String::from_utf8_lossy(&output.stdout);
     assert!(stdout.contains("joint optimum: n = 3"), "{stdout}");
+}
+
+#[test]
+fn engine_subcommand_serves_json_lines_end_to_end() {
+    let mut child = zeroconf()
+        .args(["engine", "--workers", "2", "--stats"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    let request = concat!(
+        "{\"id\":\"fig2\",\"scenario\":{\"hosts\":1000,\"probe_cost\":2.0,\"error_cost\":1e35,",
+        "\"reply_time\":{\"kind\":\"exponential\",\"loss\":1e-15,\"rate\":10.0,\"delay\":1.0}},",
+        "\"grid\":{\"n_max\":8,\"r_min\":0.1,\"r_max\":30.0,\"r_points\":50}}\n",
+        "{\"id\":\"cheap\",\"rescore\":{\"of\":\"fig2\",\"error_cost\":1e20}}\n",
+    );
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(request.as_bytes())
+        .expect("write requests");
+    let output = child.wait_with_output().expect("binary exits");
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3, "{stdout}");
+    assert!(lines[0].contains("\"id\":\"fig2\""), "{}", lines[0]);
+    assert!(lines[0].contains("\"cache_misses\":50"), "{}", lines[0]);
+    assert!(
+        lines[1].contains("\"cache_misses\":0"),
+        "rescore must be served from cache: {}",
+        lines[1]
+    );
+    assert!(lines[2].contains("\"requests\":2"), "{}", lines[2]);
 }
 
 #[test]

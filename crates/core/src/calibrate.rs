@@ -147,13 +147,12 @@ pub fn calibrate(
         result.unwrap_or(f64::NAN)
     };
 
-    let root = invert_monotone(imbalance, 0.0, c_lo, c_hi, true, config.tolerance).map_err(
-        |e| CostError::CalibrationFailed {
-            what: format!(
-                "no postage c in {c_lo}..{c_hi} balances n = {n} against n + 1: {e}"
-            ),
-        },
-    )?;
+    let root =
+        invert_monotone(imbalance, 0.0, c_lo, c_hi, true, config.tolerance).map_err(|e| {
+            CostError::CalibrationFailed {
+                what: format!("no postage c in {c_lo}..{c_hi} balances n = {n} against n + 1: {e}"),
+            }
+        })?;
     let probe_cost = root.argument;
     let with_c = scenario.with_probe_cost(probe_cost)?;
     let error_cost = calibrate_error_cost(&with_c, n, r, config)?;
@@ -200,12 +199,8 @@ mod tests {
             .unwrap();
         let cfg = quick_config();
         let e = calibrate_error_cost(&s, 4, 2.0, &cfg).unwrap();
-        let check = optimize::optimal_listening(
-            &s.with_error_cost(e).unwrap(),
-            4,
-            &cfg.optimize,
-        )
-        .unwrap();
+        let check =
+            optimize::optimal_listening(&s.with_error_cost(e).unwrap(), 4, &cfg.optimize).unwrap();
         assert!(
             (check.r - 2.0).abs() < 0.01,
             "calibrated E = {e:e} gives r_opt = {}",

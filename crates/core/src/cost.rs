@@ -47,10 +47,56 @@ pub fn mean_cost(scenario: &Scenario, n: u32, r: f64) -> Result<f64, CostError> 
 pub fn cost_components(scenario: &Scenario, n: u32, r: f64) -> Result<CostComponents, CostError> {
     check_n(n)?;
     check_r(r)?;
+    let pis = noanswer::pi_sequence(scenario.reply_time(), n as usize, r)?;
+    cost_components_from_pis(scenario, n, r, &pis)
+}
+
+/// The π-table `[π_0(r), …, π_{n_max}(r)]` for `scenario`'s reply-time
+/// distribution — the shared input of the `*_from_pis` evaluators below.
+///
+/// The table depends only on the reply-time distribution and `r`, never on
+/// `q`, `E` or `c`, so one table serves every probe count `n ≤ n_max` *and*
+/// every re-evaluation under changed economic parameters. Because `π` is a
+/// running prefix product, a table computed for a larger `n_max` is
+/// bit-identical on its shared prefix with a shorter one; slicing a cached
+/// table therefore reproduces the direct [`mean_cost`] floats exactly.
+///
+/// # Errors
+///
+/// Returns [`CostError::InvalidListeningPeriod`] for negative or
+/// non-finite `r`.
+pub fn pi_table(scenario: &Scenario, n_max: u32, r: f64) -> Result<Vec<f64>, CostError> {
+    check_r(r)?;
+    Ok(noanswer::pi_sequence(
+        scenario.reply_time(),
+        n_max as usize,
+        r,
+    )?)
+}
+
+/// [`cost_components`] evaluated against a caller-supplied π-table (from
+/// [`pi_table`], possibly cached and longer than `n + 1`).
+///
+/// This is the *single* implementation of the Eq. (3) arithmetic — the
+/// direct entry points delegate here — so evaluating through a cache is
+/// bit-identical to evaluating directly.
+///
+/// # Errors
+///
+/// Same conditions as [`mean_cost`], plus [`CostError::PiTableTooShort`]
+/// when `pis` has fewer than `n + 1` entries.
+pub fn cost_components_from_pis(
+    scenario: &Scenario,
+    n: u32,
+    r: f64,
+    pis: &[f64],
+) -> Result<CostComponents, CostError> {
+    check_n(n)?;
+    check_r(r)?;
+    check_table(n, pis)?;
     let q = scenario.occupancy();
     let c = scenario.probe_cost();
     let e = scenario.error_cost();
-    let pis = noanswer::pi_sequence(scenario.reply_time(), n as usize, r)?;
     let pi_n = pis[n as usize];
     let pi_prefix_sum: f64 = pis[..n as usize].iter().sum();
 
@@ -58,8 +104,7 @@ pub fn cost_components(scenario: &Scenario, n: u32, r: f64) -> Result<CostCompon
     let occupied_address_probing = (r + c) * q * pi_prefix_sum;
     let collision_penalty = q * e * pi_n;
     let denominator = 1.0 - q * (1.0 - pi_n);
-    let total = (free_address_probing + occupied_address_probing + collision_penalty)
-        / denominator;
+    let total = (free_address_probing + occupied_address_probing + collision_penalty) / denominator;
     Ok(CostComponents {
         free_address_probing,
         occupied_address_probing,
@@ -67,6 +112,20 @@ pub fn cost_components(scenario: &Scenario, n: u32, r: f64) -> Result<CostCompon
         denominator,
         total,
     })
+}
+
+/// [`mean_cost`] evaluated against a caller-supplied π-table.
+///
+/// # Errors
+///
+/// Same conditions as [`cost_components_from_pis`].
+pub fn mean_cost_from_pis(
+    scenario: &Scenario,
+    n: u32,
+    r: f64,
+    pis: &[f64],
+) -> Result<f64, CostError> {
+    Ok(cost_components_from_pis(scenario, n, r, pis)?.total)
 }
 
 /// Collision probability `E(n, r)` — Eq. (4):
@@ -83,8 +142,28 @@ pub fn cost_components(scenario: &Scenario, n: u32, r: f64) -> Result<CostCompon
 pub fn error_probability(scenario: &Scenario, n: u32, r: f64) -> Result<f64, CostError> {
     check_n(n)?;
     check_r(r)?;
+    let pis = noanswer::pi_sequence(scenario.reply_time(), n as usize, r)?;
+    error_probability_from_pis(scenario, n, &pis)
+}
+
+/// [`error_probability`] evaluated against a caller-supplied π-table.
+///
+/// Eq. (4) needs only `q` and `π_n(r)`, so `r` itself does not appear.
+///
+/// # Errors
+///
+/// [`CostError::InvalidProbeCount`] when `n == 0`,
+/// [`CostError::PiTableTooShort`] when `pis` has fewer than `n + 1`
+/// entries.
+pub fn error_probability_from_pis(
+    scenario: &Scenario,
+    n: u32,
+    pis: &[f64],
+) -> Result<f64, CostError> {
+    check_n(n)?;
+    check_table(n, pis)?;
     let q = scenario.occupancy();
-    let pi_n = noanswer::pi(scenario.reply_time(), n as usize, r)?;
+    let pi_n = pis[n as usize];
     Ok(q * pi_n / (1.0 - q * (1.0 - pi_n)))
 }
 
@@ -170,6 +249,18 @@ pub(crate) fn check_r(r: f64) -> Result<(), CostError> {
     }
 }
 
+fn check_table(n: u32, pis: &[f64]) -> Result<(), CostError> {
+    let needed = n as usize + 1;
+    if pis.len() < needed {
+        Err(CostError::PiTableTooShort {
+            needed,
+            len: pis.len(),
+        })
+    } else {
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use std::sync::Arc;
@@ -249,10 +340,9 @@ mod tests {
     fn components_sum_to_total() {
         let s = figure2();
         let comp = cost_components(&s, 4, 2.0).unwrap();
-        let reassembled = (comp.free_address_probing
-            + comp.occupied_address_probing
-            + comp.collision_penalty)
-            / comp.denominator;
+        let reassembled =
+            (comp.free_address_probing + comp.occupied_address_probing + comp.collision_penalty)
+                / comp.denominator;
         assert!((reassembled - comp.total).abs() < 1e-12 * comp.total.abs());
         assert!(comp.denominator > 0.0 && comp.denominator <= 1.0);
     }
@@ -319,6 +409,45 @@ mod tests {
         // Cheap errors: any n works.
         let cheap = s.with_error_cost(0.5).unwrap();
         assert_eq!(nu_lower_bound(&cheap), Some(0));
+    }
+
+    #[test]
+    fn from_pis_with_oversized_table_is_bit_identical() {
+        // An engine caches one π-table per r, long enough for every n in
+        // the sweep; slicing it must reproduce the direct floats exactly.
+        let s = figure2();
+        let n_max = 10;
+        for r in [0.0, 0.3, 2.0, 17.5] {
+            let table = pi_table(&s, n_max, r).unwrap();
+            for n in 1..=n_max {
+                let direct = mean_cost(&s, n, r).unwrap();
+                let via_table = mean_cost_from_pis(&s, n, r, &table).unwrap();
+                assert_eq!(direct.to_bits(), via_table.to_bits(), "n = {n}, r = {r}");
+                let direct_e = error_probability(&s, n, r).unwrap();
+                let via_table_e = error_probability_from_pis(&s, n, &table).unwrap();
+                assert_eq!(
+                    direct_e.to_bits(),
+                    via_table_e.to_bits(),
+                    "n = {n}, r = {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn from_pis_rejects_short_tables() {
+        let s = figure2();
+        let table = pi_table(&s, 2, 1.0).unwrap();
+        assert!(matches!(
+            mean_cost_from_pis(&s, 5, 1.0, &table),
+            Err(CostError::PiTableTooShort { needed: 6, len: 3 })
+        ));
+        assert!(matches!(
+            error_probability_from_pis(&s, 3, &table),
+            Err(CostError::PiTableTooShort { .. })
+        ));
+        // Exactly n + 1 entries is enough.
+        assert!(mean_cost_from_pis(&s, 2, 1.0, &table).is_ok());
     }
 
     #[test]

@@ -149,9 +149,7 @@ mod tests {
             .occupancy(0.3)
             .probe_cost(1.5)
             .error_cost(500.0)
-            .reply_time(Arc::new(
-                DefectiveExponential::new(0.8, 2.0, 0.4).unwrap(),
-            ))
+            .reply_time(Arc::new(DefectiveExponential::new(0.8, 2.0, 0.4).unwrap()))
             .build()
             .unwrap()
     }
@@ -256,7 +254,9 @@ mod tests {
     fn absorption_probabilities_sum_to_one() {
         let drm = build(&moderate(), 4, 1.0).unwrap();
         let analysis = AbsorbingAnalysis::new(&drm.chain).unwrap();
-        let pe = analysis.absorption_probability(drm.start, drm.error).unwrap();
+        let pe = analysis
+            .absorption_probability(drm.start, drm.error)
+            .unwrap();
         let po = analysis.absorption_probability(drm.start, drm.ok).unwrap();
         assert!((pe + po - 1.0).abs() < 1e-12);
     }

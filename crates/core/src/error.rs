@@ -28,6 +28,13 @@ pub enum CostError {
         /// The offending value.
         value: f64,
     },
+    /// A caller-supplied π-table had fewer than `n + 1` entries.
+    PiTableTooShort {
+        /// Entries needed (`n + 1`).
+        needed: usize,
+        /// Entries supplied.
+        len: usize,
+    },
     /// An optimization or calibration query had an empty or unusable search
     /// range.
     InvalidSearchRange {
@@ -61,7 +68,13 @@ impl fmt::Display for CostError {
                 write!(f, "probe count n = {n} must be at least 1")
             }
             CostError::InvalidListeningPeriod { value } => {
-                write!(f, "listening period r = {value} must be nonnegative and finite")
+                write!(
+                    f,
+                    "listening period r = {value} must be nonnegative and finite"
+                )
+            }
+            CostError::PiTableTooShort { needed, len } => {
+                write!(f, "pi table has {len} entries but n requires {needed}")
             }
             CostError::InvalidSearchRange { what } => {
                 write!(f, "invalid search range: {what}")
@@ -114,7 +127,9 @@ mod tests {
             value: 1.5,
         };
         assert!(e.to_string().contains('q'));
-        assert!(CostError::InvalidProbeCount { n: 0 }.to_string().contains("n = 0"));
+        assert!(CostError::InvalidProbeCount { n: 0 }
+            .to_string()
+            .contains("n = 0"));
     }
 
     #[test]

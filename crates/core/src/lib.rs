@@ -55,8 +55,8 @@ mod error;
 pub mod metrics;
 pub mod optimize;
 pub mod paper;
-pub mod schedule;
 mod scenario;
+pub mod schedule;
 pub mod sensitivity;
 pub mod tradeoff;
 

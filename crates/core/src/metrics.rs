@@ -96,8 +96,7 @@ mod tests {
                 metrics.expected_probes
             );
             assert!(
-                (metrics.expected_listening_seconds - metrics.expected_probes * r).abs()
-                    < 1e-12
+                (metrics.expected_listening_seconds - metrics.expected_probes * r).abs() < 1e-12
             );
         }
     }
@@ -140,10 +139,11 @@ mod tests {
         assert!((metrics.expected_attempts - 1.0 / (1.0 - q)).abs() < 1e-6);
         assert!(metrics.expected_probes > 4.0);
         assert!(metrics.expected_probes < 4.0 + 2.0 * q / (1.0 - q) + 1e-6);
-        assert!((metrics.collision_probability
-            - cost::error_probability(&scenario, 4, 2.0).unwrap())
-        .abs()
-            < 1e-15);
+        assert!(
+            (metrics.collision_probability - cost::error_probability(&scenario, 4, 2.0).unwrap())
+                .abs()
+                < 1e-15
+        );
     }
 
     #[test]

@@ -82,7 +82,13 @@ pub fn optimal_listening(
     // make cost evaluation total, so any residual failure becomes NaN and
     // is caught by the solver's NaN check.
     let objective = |r: f64| cost::mean_cost(scenario, n, r).unwrap_or(f64::NAN);
-    let min = grid_refine_min(objective, 0.0, config.r_max, config.grid_points, config.tolerance)?;
+    let min = grid_refine_min(
+        objective,
+        0.0,
+        config.r_max,
+        config.grid_points,
+        config.tolerance,
+    )?;
     Ok(OptimalListening {
         n,
         r: min.argument,

@@ -19,12 +19,12 @@ pub const HOSTS: u32 = 1000;
 /// Never fails in practice; the signature is fallible because it composes
 /// validated constructors.
 pub fn figure2_scenario() -> Result<Scenario, CostError> {
-    Ok(Scenario::builder()
+    Scenario::builder()
         .hosts(HOSTS)?
         .probe_cost(2.0)
         .error_cost(1e35)
         .reply_time(Arc::new(DefectiveExponential::from_loss(1e-15, 10.0, 1.0)?))
-        .build()?)
+        .build()
 }
 
 /// The Section 4.5 *unreliable-link* calibration setting (used to derive
@@ -37,12 +37,12 @@ pub fn figure2_scenario() -> Result<Scenario, CostError> {
 ///
 /// Never fails in practice (validated constructors).
 pub fn calibration_unreliable_scenario() -> Result<Scenario, CostError> {
-    Ok(Scenario::builder()
+    Scenario::builder()
         .hosts(HOSTS)?
         .probe_cost(1.0)
         .error_cost(1.0)
         .reply_time(Arc::new(DefectiveExponential::from_loss(1e-5, 10.0, 1.0)?))
-        .build()?)
+        .build()
 }
 
 /// The Section 4.5 *reliable-link* calibration setting (for `E_{r=0.2}`
@@ -52,14 +52,14 @@ pub fn calibration_unreliable_scenario() -> Result<Scenario, CostError> {
 ///
 /// Never fails in practice (validated constructors).
 pub fn calibration_reliable_scenario() -> Result<Scenario, CostError> {
-    Ok(Scenario::builder()
+    Scenario::builder()
         .hosts(HOSTS)?
         .probe_cost(1.0)
         .error_cost(1.0)
         .reply_time(Arc::new(DefectiveExponential::from_loss(
             1e-10, 100.0, 0.1,
         )?))
-        .build()?)
+        .build()
 }
 
 /// The Section 6 assessment scenario: the calibrated worst-case costs
@@ -72,14 +72,14 @@ pub fn calibration_reliable_scenario() -> Result<Scenario, CostError> {
 ///
 /// Never fails in practice (validated constructors).
 pub fn section6_scenario() -> Result<Scenario, CostError> {
-    Ok(Scenario::builder()
+    Scenario::builder()
         .hosts(HOSTS)?
         .probe_cost(3.5)
         .error_cost(5e20)
         .reply_time(Arc::new(DefectiveExponential::from_loss(
             1e-12, 10.0, 0.001,
         )?))
-        .build()?)
+        .build()
 }
 
 /// The paper's calibrated costs for the unreliable-link setting

@@ -327,15 +327,24 @@ mod tests {
     fn builder_requires_all_fields() {
         assert!(matches!(
             Scenario::builder().build(),
-            Err(CostError::InvalidParameter { parameter: "occupancy", .. })
+            Err(CostError::InvalidParameter {
+                parameter: "occupancy",
+                ..
+            })
         ));
         assert!(matches!(
             Scenario::builder().occupancy(0.1).build(),
-            Err(CostError::InvalidParameter { parameter: "probe_cost", .. })
+            Err(CostError::InvalidParameter {
+                parameter: "probe_cost",
+                ..
+            })
         ));
         assert!(matches!(
             Scenario::builder().occupancy(0.1).probe_cost(1.0).build(),
-            Err(CostError::InvalidParameter { parameter: "error_cost", .. })
+            Err(CostError::InvalidParameter {
+                parameter: "error_cost",
+                ..
+            })
         ));
         assert!(matches!(
             Scenario::builder()

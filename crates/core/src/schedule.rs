@@ -145,8 +145,8 @@ pub fn mean_cost(scenario: &Scenario, schedule: &Schedule) -> Result<f64, CostEr
     let pis = pi_sequence(scenario.reply_time(), schedule);
     let n = schedule.periods().len();
     let mut probing = 0.0;
-    for i in 0..n {
-        probing += (schedule.periods()[i] + c) * ((1.0 - q) + q * pis[i]);
+    for (period, pi) in schedule.periods().iter().zip(&pis) {
+        probing += (period + c) * ((1.0 - q) + q * pi);
     }
     let pi_n = pis[n];
     Ok((probing + q * e * pi_n) / (1.0 - q * (1.0 - pi_n)))
@@ -275,10 +275,9 @@ pub fn optimize_schedule(
             let objective = |r: f64| {
                 let mut candidate = periods.clone();
                 candidate[i] = r;
-                match Schedule::new(candidate).and_then(|s| mean_cost(scenario, &s)) {
-                    Ok(c) => c,
-                    Err(_) => f64::NAN,
-                }
+                Schedule::new(candidate)
+                    .and_then(|s| mean_cost(scenario, &s))
+                    .unwrap_or(f64::NAN)
             };
             let minimum = golden_section_min(objective, 0.0, config.r_max, tolerance)?;
             if minimum.value < best {
@@ -320,9 +319,7 @@ mod tests {
             .occupancy(0.3)
             .probe_cost(1.5)
             .error_cost(500.0)
-            .reply_time(Arc::new(
-                DefectiveExponential::new(0.8, 2.0, 0.4).unwrap(),
-            ))
+            .reply_time(Arc::new(DefectiveExponential::new(0.8, 2.0, 0.4).unwrap()))
             .build()
             .unwrap()
     }

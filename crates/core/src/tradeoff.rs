@@ -59,7 +59,11 @@ pub fn pareto_frontier(
     config: &TradeoffConfig,
 ) -> Result<Vec<ParetoPoint>, CostError> {
     let (r_lo, r_hi) = config.r_range;
-    if config.n_max == 0 || config.r_points < 2 || !(r_lo < r_hi) || !r_lo.is_finite() {
+    if config.n_max == 0
+        || config.r_points < 2
+        || r_lo.partial_cmp(&r_hi) != Some(std::cmp::Ordering::Less)
+        || !r_lo.is_finite()
+    {
         return Err(CostError::InvalidSearchRange {
             what: "tradeoff grid needs n_max >= 1, r_points >= 2 and an ordered finite r range",
         });
@@ -76,16 +80,24 @@ pub fn pareto_frontier(
             });
         }
     }
-    // Sort by cost, then sweep keeping strictly improving reliability.
+    Ok(frontier_from_candidates(candidates))
+}
+
+/// Reduces an arbitrary set of evaluated configurations to its Pareto
+/// frontier, sorted by increasing cost (ties broken by reliability) and
+/// swept keeping strictly improving collision probability.
+///
+/// This is the reduction step behind [`pareto_frontier`], exposed so
+/// callers that evaluate the grid elsewhere — the batched evaluation
+/// engine in particular — can reuse the exact same dominance logic.
+#[must_use]
+pub fn frontier_from_candidates(mut candidates: Vec<ParetoPoint>) -> Vec<ParetoPoint> {
     candidates.sort_by(|a, b| {
-        a.cost
-            .partial_cmp(&b.cost)
-            .expect("costs are finite")
-            .then(
-                a.error_probability
-                    .partial_cmp(&b.error_probability)
-                    .expect("probabilities are finite"),
-            )
+        a.cost.partial_cmp(&b.cost).expect("costs are finite").then(
+            a.error_probability
+                .partial_cmp(&b.error_probability)
+                .expect("probabilities are finite"),
+        )
     });
     let mut frontier: Vec<ParetoPoint> = Vec::new();
     let mut best_error = f64::INFINITY;
@@ -95,7 +107,7 @@ pub fn pareto_frontier(
             frontier.push(point);
         }
     }
-    Ok(frontier)
+    frontier
 }
 
 /// The cheapest configuration on the frontier whose collision probability
@@ -189,10 +201,7 @@ mod tests {
     fn impossible_budget_is_reported() {
         let scenario = paper::figure2_scenario().unwrap();
         let result = cheapest_within_error_budget(&scenario, &config(), 1e-300);
-        assert!(matches!(
-            result,
-            Err(CostError::InvalidSearchRange { .. })
-        ));
+        assert!(matches!(result, Err(CostError::InvalidSearchRange { .. })));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Point-mass (fixed round-trip time) reply distribution.
 
-use rand::RngCore;
+use zeroconf_rng::RngCore;
 
 use crate::{DistError, ReplyTimeDistribution};
 
@@ -57,6 +57,13 @@ impl ReplyTimeDistribution for DefectiveDeterministic {
         self.mass
     }
 
+    fn fingerprint(&self) -> u64 {
+        crate::Fingerprint::new("deterministic")
+            .with_f64(self.mass)
+            .with_f64(self.delay)
+            .finish()
+    }
+
     fn cdf(&self, t: f64) -> f64 {
         if t >= self.delay {
             self.mass
@@ -74,7 +81,7 @@ impl ReplyTimeDistribution for DefectiveDeterministic {
     }
 
     fn sample(&self, rng: &mut dyn RngCore) -> Option<f64> {
-        let u: f64 = rand::Rng::gen(rng);
+        let u: f64 = zeroconf_rng::Rng::gen(rng);
         if u < self.mass {
             Some(self.delay)
         } else {
@@ -96,8 +103,8 @@ impl ReplyTimeDistribution for DefectiveDeterministic {
 
 #[cfg(test)]
 mod tests {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use zeroconf_rng::rngs::StdRng;
+    use zeroconf_rng::SeedableRng;
 
     use super::*;
 

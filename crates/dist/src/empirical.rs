@@ -1,6 +1,6 @@
 //! Empirical reply-time distributions built from measured samples.
 
-use rand::RngCore;
+use zeroconf_rng::RngCore;
 
 use crate::{DistError, ReplyTimeDistribution};
 
@@ -85,8 +85,7 @@ impl Empirical {
         if self.times.is_empty() {
             return Ok(None);
         }
-        let idx = ((q * (self.times.len() - 1) as f64).round() as usize)
-            .min(self.times.len() - 1);
+        let idx = ((q * (self.times.len() - 1) as f64).round() as usize).min(self.times.len() - 1);
         Ok(Some(self.times[idx]))
     }
 }
@@ -94,6 +93,16 @@ impl Empirical {
 impl ReplyTimeDistribution for Empirical {
     fn mass(&self) -> f64 {
         self.times.len() as f64 / self.total as f64
+    }
+
+    fn fingerprint(&self) -> u64 {
+        self.times
+            .iter()
+            .fold(
+                crate::Fingerprint::new("empirical").with_u64(self.total as u64),
+                |h, t| h.with_f64(*t),
+            )
+            .finish()
     }
 
     fn cdf(&self, t: f64) -> f64 {
@@ -108,7 +117,7 @@ impl ReplyTimeDistribution for Empirical {
     }
 
     fn sample(&self, rng: &mut dyn RngCore) -> Option<f64> {
-        let idx = rand::Rng::gen_range(rng, 0..self.total);
+        let idx = zeroconf_rng::Rng::gen_range(rng, 0..self.total);
         self.times.get(idx).copied()
     }
 
@@ -127,14 +136,13 @@ impl ReplyTimeDistribution for Empirical {
 
 #[cfg(test)]
 mod tests {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use zeroconf_rng::rngs::StdRng;
+    use zeroconf_rng::SeedableRng;
 
     use super::*;
 
     fn sample() -> Empirical {
-        Empirical::from_observations(vec![Some(0.1), Some(0.3), None, Some(0.3), None])
-            .unwrap()
+        Empirical::from_observations(vec![Some(0.1), Some(0.3), None, Some(0.3), None]).unwrap()
     }
 
     #[test]

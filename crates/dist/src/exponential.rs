@@ -1,6 +1,6 @@
 //! The paper's shifted defective exponential distribution.
 
-use rand::RngCore;
+use zeroconf_rng::RngCore;
 
 use crate::{DistError, ReplyTimeDistribution};
 
@@ -102,6 +102,14 @@ impl ReplyTimeDistribution for DefectiveExponential {
         1.0 - self.loss
     }
 
+    fn fingerprint(&self) -> u64 {
+        crate::Fingerprint::new("exponential")
+            .with_f64(self.loss)
+            .with_f64(self.rate)
+            .with_f64(self.delay)
+            .finish()
+    }
+
     fn defect(&self) -> f64 {
         self.loss
     }
@@ -127,12 +135,12 @@ impl ReplyTimeDistribution for DefectiveExponential {
     }
 
     fn sample(&self, rng: &mut dyn RngCore) -> Option<f64> {
-        let u = rand::Rng::gen::<f64>(rng);
+        let u = zeroconf_rng::Rng::gen::<f64>(rng);
         if u < self.loss {
             return None;
         }
         // Inverse transform on the normalized exponential.
-        let v: f64 = rand::Rng::gen(rng);
+        let v: f64 = zeroconf_rng::Rng::gen(rng);
         // ln_1p(-v) = ln(1 - v) without cancellation; v < 1 almost surely.
         Some(self.delay - (-v).ln_1p() / self.rate)
     }
@@ -155,8 +163,8 @@ impl ReplyTimeDistribution for DefectiveExponential {
 
 #[cfg(test)]
 mod tests {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use zeroconf_rng::rngs::StdRng;
+    use zeroconf_rng::SeedableRng;
 
     use super::*;
 

@@ -61,6 +61,6 @@ pub use empirical::Empirical;
 pub use error::DistError;
 pub use exponential::DefectiveExponential;
 pub use mixture::Mixture;
-pub use traits::ReplyTimeDistribution;
+pub use traits::{Fingerprint, ReplyTimeDistribution};
 pub use uniform::DefectiveUniform;
 pub use weibull::DefectiveWeibull;

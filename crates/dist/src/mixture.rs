@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use rand::RngCore;
+use zeroconf_rng::RngCore;
 
 use crate::{DistError, ReplyTimeDistribution};
 
@@ -42,9 +42,7 @@ impl Mixture {
     /// - [`DistError::EmptyInput`] for an empty component list.
     /// - [`DistError::InvalidWeight`] for a negative/non-finite weight or
     ///   when all weights are zero.
-    pub fn new(
-        components: Vec<(f64, Arc<dyn ReplyTimeDistribution>)>,
-    ) -> Result<Self, DistError> {
+    pub fn new(components: Vec<(f64, Arc<dyn ReplyTimeDistribution>)>) -> Result<Self, DistError> {
         if components.is_empty() {
             return Err(DistError::EmptyInput);
         }
@@ -84,10 +82,16 @@ impl Mixture {
 
 impl ReplyTimeDistribution for Mixture {
     fn mass(&self) -> f64 {
+        self.components.iter().map(|(w, c)| w * c.mass()).sum()
+    }
+
+    fn fingerprint(&self) -> u64 {
         self.components
             .iter()
-            .map(|(w, c)| w * c.mass())
-            .sum()
+            .fold(crate::Fingerprint::new("mixture"), |h, (w, c)| {
+                h.with_f64(*w).with_u64(c.fingerprint())
+            })
+            .finish()
     }
 
     fn cdf(&self, t: f64) -> f64 {
@@ -95,14 +99,11 @@ impl ReplyTimeDistribution for Mixture {
     }
 
     fn survival(&self, t: f64) -> f64 {
-        self.components
-            .iter()
-            .map(|(w, c)| w * c.survival(t))
-            .sum()
+        self.components.iter().map(|(w, c)| w * c.survival(t)).sum()
     }
 
     fn sample(&self, rng: &mut dyn RngCore) -> Option<f64> {
-        let mut u: f64 = rand::Rng::gen(rng);
+        let mut u: f64 = zeroconf_rng::Rng::gen(rng);
         let last = self.components.len() - 1;
         for (i, (w, c)) in self.components.iter().enumerate() {
             if u < *w || i == last {
@@ -136,8 +137,8 @@ impl ReplyTimeDistribution for Mixture {
 
 #[cfg(test)]
 mod tests {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use zeroconf_rng::rngs::StdRng;
+    use zeroconf_rng::SeedableRng;
 
     use crate::{DefectiveDeterministic, DefectiveExponential};
 
@@ -215,7 +216,7 @@ mod tests {
         let n = 40_000;
         for _ in 0..n {
             match m.sample(&mut rng) {
-                Some(t) if t == 1.0 => at_one += 1,
+                Some(1.0) => at_one += 1,
                 Some(t) => assert_eq!(t, 3.0),
                 None => panic!("no loss in this mixture"),
             }

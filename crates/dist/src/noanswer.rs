@@ -147,11 +147,7 @@ pub fn pi_sequence<D: ReplyTimeDistribution + ?Sized>(
 /// # Errors
 ///
 /// Returns [`DistError::InvalidQuery`] for a non-finite or negative `r`.
-pub fn pi<D: ReplyTimeDistribution + ?Sized>(
-    dist: &D,
-    n: usize,
-    r: f64,
-) -> Result<f64, DistError> {
+pub fn pi<D: ReplyTimeDistribution + ?Sized>(dist: &D, n: usize, r: f64) -> Result<f64, DistError> {
     Ok(*pi_sequence(dist, n, r)?
         .last()
         .expect("pi_sequence returns n + 1 >= 1 entries"))
@@ -277,12 +273,9 @@ mod tests {
         let n = 6;
         let pis = pi_sequence(&fx, n, r).unwrap();
         use crate::ReplyTimeDistribution;
-        for i in 0..=n {
+        for (i, pi) in pis.iter().enumerate() {
             let product: f64 = (1..=i).map(|j| fx.survival(j as f64 * r)).product();
-            assert!(
-                (pis[i] - product).abs() < 1e-14 * (1.0 + product),
-                "i = {i}"
-            );
+            assert!((pi - product).abs() < 1e-14 * (1.0 + product), "i = {i}");
         }
     }
 

@@ -2,7 +2,65 @@
 
 use std::fmt;
 
-use rand::RngCore;
+use zeroconf_rng::RngCore;
+
+/// An FNV-1a accumulator for building
+/// [`ReplyTimeDistribution::fingerprint`] values.
+///
+/// The fingerprint identifies a distribution *by value*: two instances with
+/// the same type tag and the same parameters produce the same 64-bit hash,
+/// which is what lets caches key π-tables on `(fingerprint, r)` and share
+/// them across scenarios that differ only in `q`, `E` or `c`. Collisions
+/// are possible in principle (it is a 64-bit hash), astronomically unlikely
+/// in practice, and only ever turn a cache hit into a wrong answer if two
+/// *different* parameterizations collide — the usual trade accepted for
+/// content-addressed caching.
+#[derive(Debug, Clone, Copy)]
+pub struct Fingerprint(u64);
+
+impl Fingerprint {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Starts a fingerprint for the distribution family named `tag`.
+    #[must_use]
+    pub fn new(tag: &str) -> Self {
+        let mut h = Fingerprint(Self::OFFSET);
+        for byte in tag.as_bytes() {
+            h.mix(u64::from(*byte));
+        }
+        h
+    }
+
+    /// Folds a parameter value in by its IEEE bit pattern (`-0.0` is
+    /// canonicalized to `0.0` so equal parameters hash equally).
+    #[must_use]
+    pub fn with_f64(mut self, x: f64) -> Self {
+        let canonical = if x == 0.0 { 0.0f64 } else { x };
+        self.mix(canonical.to_bits());
+        self
+    }
+
+    /// Folds an integer parameter (a count, a sub-fingerprint) in.
+    #[must_use]
+    pub fn with_u64(mut self, x: u64) -> Self {
+        self.mix(x);
+        self
+    }
+
+    /// The accumulated 64-bit fingerprint.
+    #[must_use]
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+
+    fn mix(&mut self, word: u64) {
+        for shift in [0u32, 8, 16, 24, 32, 40, 48, 56] {
+            self.0 ^= (word >> shift) & 0xff;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+}
 
 /// A possibly *defective* distribution of the time between sending an ARP
 /// probe and receiving its reply.
@@ -74,6 +132,12 @@ pub trait ReplyTimeDistribution: fmt::Debug + Send + Sync {
         let _ = p;
         None
     }
+
+    /// A stable 64-bit value-identity hash: equal type and parameters give
+    /// equal fingerprints. Build it with [`Fingerprint`]. Used by caches
+    /// that key derived quantities (π-tables) on the distribution alone,
+    /// so it must cover every parameter that influences `cdf`/`survival`.
+    fn fingerprint(&self) -> u64;
 }
 
 impl<T: ReplyTimeDistribution + ?Sized> ReplyTimeDistribution for &T {
@@ -98,6 +162,9 @@ impl<T: ReplyTimeDistribution + ?Sized> ReplyTimeDistribution for &T {
     fn quantile_given_reply(&self, p: f64) -> Option<f64> {
         (**self).quantile_given_reply(p)
     }
+    fn fingerprint(&self) -> u64 {
+        (**self).fingerprint()
+    }
 }
 
 impl<T: ReplyTimeDistribution + ?Sized> ReplyTimeDistribution for std::sync::Arc<T> {
@@ -121,6 +188,9 @@ impl<T: ReplyTimeDistribution + ?Sized> ReplyTimeDistribution for std::sync::Arc
     }
     fn quantile_given_reply(&self, p: f64) -> Option<f64> {
         (**self).quantile_given_reply(p)
+    }
+    fn fingerprint(&self) -> u64 {
+        (**self).fingerprint()
     }
 }
 
@@ -148,6 +218,40 @@ mod tests {
         assert_eq!(arc.cdf(3.0), 0.5);
         assert_eq!(arc.survival(3.0), 0.5);
         assert_eq!(arc.mean_given_reply(), Some(2.0));
+    }
+
+    #[test]
+    fn fingerprint_is_value_identity() {
+        let a = DefectiveDeterministic::new(0.9, 1.0).unwrap();
+        let b = DefectiveDeterministic::new(0.9, 1.0).unwrap();
+        let c = DefectiveDeterministic::new(0.9, 2.0).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        // Forwarders fingerprint like the value they wrap.
+        let arc: Arc<dyn ReplyTimeDistribution> = Arc::new(b);
+        assert_eq!(arc.fingerprint(), a.fingerprint());
+        assert_eq!(ReplyTimeDistribution::fingerprint(&&a), a.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_families_and_swapped_parameters() {
+        use crate::{DefectiveExponential, DefectiveUniform};
+        // Same leading parameters, different family tags.
+        let det = DefectiveDeterministic::new(0.5, 1.0).unwrap();
+        let uni = DefectiveUniform::new(0.5, 1.0, 2.0).unwrap();
+        assert_ne!(det.fingerprint(), uni.fingerprint());
+        // Swapping two parameter slots must change the hash (order matters).
+        let e1 = DefectiveExponential::new(0.9, 10.0, 1.0).unwrap();
+        let e2 = DefectiveExponential::new(0.9, 1.0, 10.0).unwrap();
+        assert_ne!(e1.fingerprint(), e2.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_canonicalizes_negative_zero() {
+        let h1 = Fingerprint::new("t").with_f64(0.0).finish();
+        let h2 = Fingerprint::new("t").with_f64(-0.0).finish();
+        assert_eq!(h1, h2);
+        assert_ne!(h1, Fingerprint::new("t").with_f64(1.0).finish());
     }
 
     #[test]

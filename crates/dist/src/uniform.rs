@@ -1,6 +1,6 @@
 //! Uniform-window reply distribution.
 
-use rand::RngCore;
+use zeroconf_rng::RngCore;
 
 use crate::{DistError, ReplyTimeDistribution};
 
@@ -64,6 +64,14 @@ impl ReplyTimeDistribution for DefectiveUniform {
         self.mass
     }
 
+    fn fingerprint(&self) -> u64 {
+        crate::Fingerprint::new("uniform")
+            .with_f64(self.mass)
+            .with_f64(self.lo)
+            .with_f64(self.hi)
+            .finish()
+    }
+
     fn cdf(&self, t: f64) -> f64 {
         if t < self.lo {
             0.0
@@ -86,11 +94,11 @@ impl ReplyTimeDistribution for DefectiveUniform {
     }
 
     fn sample(&self, rng: &mut dyn RngCore) -> Option<f64> {
-        let u: f64 = rand::Rng::gen(rng);
+        let u: f64 = zeroconf_rng::Rng::gen(rng);
         if u >= self.mass {
             return None;
         }
-        let v: f64 = rand::Rng::gen(rng);
+        let v: f64 = zeroconf_rng::Rng::gen(rng);
         Some(self.lo + v * (self.hi - self.lo))
     }
 
@@ -108,8 +116,8 @@ impl ReplyTimeDistribution for DefectiveUniform {
 
 #[cfg(test)]
 mod tests {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use zeroconf_rng::rngs::StdRng;
+    use zeroconf_rng::SeedableRng;
 
     use super::*;
 

@@ -1,6 +1,6 @@
 //! Shifted defective Weibull reply distribution.
 
-use rand::RngCore;
+use zeroconf_rng::RngCore;
 
 use crate::{DistError, ReplyTimeDistribution};
 
@@ -81,6 +81,15 @@ impl ReplyTimeDistribution for DefectiveWeibull {
         self.mass
     }
 
+    fn fingerprint(&self) -> u64 {
+        crate::Fingerprint::new("weibull")
+            .with_f64(self.mass)
+            .with_f64(self.shape)
+            .with_f64(self.scale)
+            .with_f64(self.delay)
+            .finish()
+    }
+
     fn cdf(&self, t: f64) -> f64 {
         if t < self.delay {
             0.0
@@ -98,11 +107,11 @@ impl ReplyTimeDistribution for DefectiveWeibull {
     }
 
     fn sample(&self, rng: &mut dyn RngCore) -> Option<f64> {
-        let u: f64 = rand::Rng::gen(rng);
+        let u: f64 = zeroconf_rng::Rng::gen(rng);
         if u >= self.mass {
             return None;
         }
-        let v: f64 = rand::Rng::gen(rng);
+        let v: f64 = zeroconf_rng::Rng::gen(rng);
         // Inverse transform: t = d + scale * (−ln(1−v))^{1/shape}.
         Some(self.delay + self.scale * (-(-v).ln_1p()).powf(1.0 / self.shape))
     }
@@ -130,8 +139,8 @@ impl ReplyTimeDistribution for DefectiveWeibull {
 
 #[cfg(test)]
 mod tests {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use zeroconf_rng::rngs::StdRng;
+    use zeroconf_rng::SeedableRng;
 
     use crate::DefectiveExponential;
 

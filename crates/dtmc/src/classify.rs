@@ -88,12 +88,7 @@ pub fn strongly_connected_components(chain: &Dtmc) -> Vec<Vec<StateId>> {
     // Iterative Tarjan to avoid recursion-depth limits on long chains.
     let n = chain.num_states();
     let adjacency: Vec<Vec<usize>> = (0..n)
-        .map(|s| {
-            chain.transitions[s]
-                .iter()
-                .map(|t| t.to.index())
-                .collect()
-        })
+        .map(|s| chain.transitions[s].iter().map(|t| t.to.index()).collect())
         .collect();
 
     let mut index = vec![usize::MAX; n];

@@ -102,10 +102,9 @@ impl fmt::Display for DtmcError {
             }
             DtmcError::EmptyChain => write!(f, "chain has no states"),
             DtmcError::NoAbsorbingStates => write!(f, "chain has no absorbing states"),
-            DtmcError::AbsorptionUnreachable { state, name } => write!(
-                f,
-                "state {state} ({name}) cannot reach any absorbing state"
-            ),
+            DtmcError::AbsorptionUnreachable { state, name } => {
+                write!(f, "state {state} ({name}) cannot reach any absorbing state")
+            }
             DtmcError::StateNotTransient { state } => {
                 write!(f, "state {state} is not transient")
             }

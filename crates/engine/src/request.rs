@@ -1,0 +1,300 @@
+//! Request and response types of the evaluation engine.
+
+use zeroconf_cost::{CostError, Scenario};
+
+use crate::EngineError;
+
+/// A metric the engine can evaluate per grid cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// Mean total cost `C(n, r)` — Eq. (3).
+    MeanCost,
+    /// Collision probability `E(n, r)` — Eq. (4).
+    ErrorProbability,
+}
+
+/// The `(n, r)` grid of one sweep: every probe count `1..=n_max` crossed
+/// with every listening period in `r_values`.
+///
+/// The `r` grid is a list of explicit values, not a range description, so
+/// the caller controls the exact floats — a prerequisite for bit-identical
+/// agreement with direct evaluation over the same grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridSpec {
+    /// Largest probe count; the grid covers `n = 1..=n_max`.
+    pub n_max: u32,
+    /// The listening periods to evaluate, in output order.
+    pub r_values: Vec<f64>,
+}
+
+impl GridSpec {
+    /// An evenly spaced `r` grid of `points >= 2` values across
+    /// `[r_lo, r_hi]`, using the same `r_lo + (r_hi − r_lo)·k/(points−1)`
+    /// arithmetic as the tradeoff module so shared grids share floats.
+    #[must_use]
+    pub fn linspace(n_max: u32, r_lo: f64, r_hi: f64, points: usize) -> GridSpec {
+        let r_values = (0..points)
+            .map(|k| {
+                if points < 2 {
+                    r_lo
+                } else {
+                    r_lo + (r_hi - r_lo) * k as f64 / (points - 1) as f64
+                }
+            })
+            .collect();
+        GridSpec { n_max, r_values }
+    }
+
+    /// Number of `(n, r)` cells on the grid.
+    #[must_use]
+    pub fn cells(&self) -> usize {
+        self.n_max as usize * self.r_values.len()
+    }
+}
+
+/// One grid sweep: a scenario, a grid and the metrics to evaluate.
+#[derive(Debug, Clone)]
+pub struct SweepRequest {
+    /// The scenario under evaluation.
+    pub scenario: Scenario,
+    /// The `(n, r)` grid.
+    pub grid: GridSpec,
+    /// Which metrics to compute per cell (at least one).
+    pub metrics: Vec<Metric>,
+}
+
+impl SweepRequest {
+    /// A sweep over `grid` computing both metrics.
+    #[must_use]
+    pub fn new(scenario: Scenario, grid: GridSpec) -> SweepRequest {
+        SweepRequest {
+            scenario,
+            grid,
+            metrics: vec![Metric::MeanCost, Metric::ErrorProbability],
+        }
+    }
+
+    /// Validates grid shape and metric selection.
+    pub(crate) fn validate(&self) -> Result<(), EngineError> {
+        if self.grid.n_max == 0 {
+            return Err(EngineError::InvalidRequest {
+                what: "grid needs n_max >= 1".to_owned(),
+            });
+        }
+        if self.grid.r_values.is_empty() {
+            return Err(EngineError::InvalidRequest {
+                what: "grid needs at least one r value".to_owned(),
+            });
+        }
+        if let Some(bad) = self
+            .grid
+            .r_values
+            .iter()
+            .find(|r| !r.is_finite() || **r < 0.0)
+        {
+            return Err(EngineError::InvalidRequest {
+                what: format!("r = {bad} must be nonnegative and finite"),
+            });
+        }
+        if self.metrics.is_empty() {
+            return Err(EngineError::InvalidRequest {
+                what: "at least one metric must be requested".to_owned(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Whether `metric` was requested.
+    #[must_use]
+    pub fn wants(&self, metric: Metric) -> bool {
+        self.metrics.contains(&metric)
+    }
+}
+
+/// A change to the economic scenario parameters — the inputs Eq. (3)/(4)
+/// consume *besides* the π-table. Applying a delta never changes the
+/// reply-time distribution, so every π-table cached for the base request
+/// stays valid and a warm re-evaluation recomputes no π at all.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RescoreDelta {
+    /// New occupancy `q`, if changed.
+    pub occupancy: Option<f64>,
+    /// New probe cost `c`, if changed.
+    pub probe_cost: Option<f64>,
+    /// New error cost `E`, if changed.
+    pub error_cost: Option<f64>,
+}
+
+impl RescoreDelta {
+    /// Applies the delta to `scenario`, validating each changed parameter.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CostError::InvalidParameter`] from the scenario
+    /// mutators.
+    pub fn apply(&self, scenario: &Scenario) -> Result<Scenario, CostError> {
+        let mut out = scenario.clone();
+        if let Some(q) = self.occupancy {
+            out = out.with_occupancy(q)?;
+        }
+        if let Some(c) = self.probe_cost {
+            out = out.with_probe_cost(c)?;
+        }
+        if let Some(e) = self.error_cost {
+            out = out.with_error_cost(e)?;
+        }
+        Ok(out)
+    }
+
+    /// Whether the delta changes anything at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        *self == RescoreDelta::default()
+    }
+}
+
+/// One evaluated grid cell. Metric fields are `None` when the metric was
+/// not requested.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cell {
+    /// Probe count.
+    pub n: u32,
+    /// Listening period.
+    pub r: f64,
+    /// `C(n, r)` when requested.
+    pub mean_cost: Option<f64>,
+    /// `E(n, r)` when requested.
+    pub error_probability: Option<f64>,
+}
+
+/// Counters for one evaluated request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Wall-clock time of the sweep in nanoseconds.
+    pub wall_nanos: u128,
+    /// π-table cache hits during the sweep.
+    pub cache_hits: u64,
+    /// π-table cache misses (tables computed) during the sweep.
+    pub cache_misses: u64,
+    /// Cells evaluated.
+    pub cells: u64,
+    /// Threads that participated (pool workers plus the caller).
+    pub workers: usize,
+}
+
+/// The evaluated grid, in deterministic `r`-major order: for each `r` in
+/// request order, cells for `n = 1..=n_max`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResponse {
+    /// The evaluated cells.
+    pub cells: Vec<Cell>,
+    /// Work counters for this request.
+    pub stats: BatchStats,
+}
+
+/// Cumulative engine-lifetime observability counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Requests served.
+    pub requests: u64,
+    /// Cells evaluated across all requests.
+    pub cells: u64,
+    /// π-table cache hits across all requests.
+    pub cache_hits: u64,
+    /// π-table cache misses across all requests.
+    pub cache_misses: u64,
+    /// π-tables currently resident in the cache.
+    pub cache_len: usize,
+    /// Cells evaluated by each thread (index 0 is the calling thread,
+    /// `1..` the pool workers) — the load-balance picture.
+    pub cells_per_worker: Vec<u64>,
+    /// Total wall-clock nanoseconds spent inside `evaluate`.
+    pub wall_nanos: u128,
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use zeroconf_dist::DefectiveExponential;
+
+    use super::*;
+
+    fn scenario() -> Scenario {
+        Scenario::builder()
+            .occupancy(0.5)
+            .probe_cost(2.0)
+            .error_cost(1e6)
+            .reply_time(Arc::new(
+                DefectiveExponential::from_loss(1e-3, 10.0, 1.0).unwrap(),
+            ))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn linspace_matches_tradeoff_grid_arithmetic() {
+        let g = GridSpec::linspace(4, 0.1, 30.0, 300);
+        assert_eq!(g.r_values.len(), 300);
+        assert_eq!(g.r_values[0], 0.1);
+        // The endpoint carries the formula's rounding, exactly as the
+        // tradeoff module computes it — bit-compatibility is the contract,
+        // not endpoint exactness.
+        assert_eq!(
+            g.r_values[299].to_bits(),
+            (0.1f64 + (30.0 - 0.1) * 299.0 / 299.0).to_bits()
+        );
+        let k = 137;
+        assert_eq!(
+            g.r_values[k].to_bits(),
+            (0.1 + (30.0 - 0.1) * k as f64 / 299.0).to_bits()
+        );
+        assert_eq!(g.cells(), 1200);
+    }
+
+    #[test]
+    fn degenerate_linspace_collapses_to_lo() {
+        assert_eq!(GridSpec::linspace(2, 1.5, 9.0, 1).r_values, vec![1.5]);
+        assert!(GridSpec::linspace(2, 1.5, 9.0, 0).r_values.is_empty());
+    }
+
+    #[test]
+    fn validation_rejects_bad_grids() {
+        let s = scenario();
+        let ok = SweepRequest::new(s.clone(), GridSpec::linspace(3, 0.5, 2.0, 4));
+        assert!(ok.validate().is_ok());
+        let mut bad = ok.clone();
+        bad.grid.n_max = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = ok.clone();
+        bad.grid.r_values.clear();
+        assert!(bad.validate().is_err());
+        let mut bad = ok.clone();
+        bad.grid.r_values[1] = -1.0;
+        assert!(bad.validate().is_err());
+        let mut bad = ok.clone();
+        bad.metrics.clear();
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn rescore_delta_applies_only_changed_fields() {
+        let s = scenario();
+        let delta = RescoreDelta {
+            error_cost: Some(1e9),
+            ..RescoreDelta::default()
+        };
+        let rescored = delta.apply(&s).unwrap();
+        assert_eq!(rescored.error_cost(), 1e9);
+        assert_eq!(rescored.occupancy(), s.occupancy());
+        assert_eq!(rescored.probe_cost(), s.probe_cost());
+        assert!(RescoreDelta::default().is_empty());
+        assert!(!delta.is_empty());
+        // Invalid values are rejected by the scenario mutators.
+        let bad = RescoreDelta {
+            occupancy: Some(1.5),
+            ..RescoreDelta::default()
+        };
+        assert!(bad.apply(&s).is_err());
+    }
+}

@@ -1,0 +1,753 @@
+//! The JSON-lines wire protocol of the `zeroconf engine` subcommand.
+//!
+//! One request per input line, one response per output line. A sweep:
+//!
+//! ```json
+//! {"id":"s1",
+//!  "scenario":{"q":0.000975,"probe_cost":2.0,"error_cost":1e35,
+//!              "reply_time":{"kind":"exponential","loss":1e-15,"rate":10.0,"delay":1.0}},
+//!  "grid":{"n_max":8,"r_min":0.1,"r_max":30.0,"r_points":300},
+//!  "metrics":["mean_cost","error_probability"]}
+//! ```
+//!
+//! `scenario.hosts` may replace `q` (occupancy `1/hosts`, the paper's
+//! convention), `grid.r` may list explicit values instead of the
+//! `r_min`/`r_max`/`r_points` linspace, and `metrics` defaults to both. A
+//! rescore references an earlier sweep by id and changes only economics:
+//!
+//! ```json
+//! {"id":"s2","rescore":{"of":"s1","error_cost":1e30}}
+//! ```
+//!
+//! Responses carry the cells in `r`-major order plus per-request counters
+//! (`{"id":"s1","cells":[{"n":1,"r":0.1,"mean_cost":…,"error_probability":…},…],
+//! "stats":{"wall_ns":…,"cache_hits":…,"cache_misses":…,"cells":…,"workers":…}}`);
+//! failures come back as `{"id":…,"error":"…"}` without ending the
+//! session. Reply-time kinds on the wire: `deterministic` (mass, delay),
+//! `exponential` (loss *or* mass, rate, delay), `uniform` (mass, lo, hi),
+//! `weibull` (mass, shape, scale, delay) and `mixture` (components of
+//! `{"weight":…,"dist":{…}}`). The library API accepts any
+//! [`ReplyTimeDistribution`]; the wire is limited to these constructors.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use zeroconf_cost::Scenario;
+use zeroconf_dist::{
+    DefectiveDeterministic, DefectiveExponential, DefectiveUniform, DefectiveWeibull, Mixture,
+    ReplyTimeDistribution,
+};
+
+use crate::{Engine, GridSpec, Metric, RescoreDelta, SweepRequest, SweepResponse};
+
+/// A wire-protocol failure: parse errors and semantic errors, rendered
+/// into the `error` response field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn err(message: impl Into<String>) -> WireError {
+    WireError {
+        message: message.into(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value model, parser and writer (the workspace builds fully
+// offline, so no serde).
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. Objects preserve key order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (always an `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on an object.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn num(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    fn str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document (trailing whitespace allowed).
+///
+/// # Errors
+///
+/// Returns a [`WireError`] describing the first syntax problem.
+pub fn parse_json(input: &str) -> Result<Json, WireError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(err(format!("trailing input at byte {pos}")));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, WireError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(err("unexpected end of input")),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    word: &str,
+    value: Json,
+) -> Result<Json, WireError> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(err(format!("expected `{word}` at byte {pos}", pos = *pos)))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, WireError> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("numeric bytes are ASCII");
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| err(format!("invalid number `{text}` at byte {start}")))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, WireError> {
+    debug_assert_eq!(bytes[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(err("unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| err("truncated \\u escape"))?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|_| err("bad \\u escape"))?,
+                            16,
+                        )
+                        .map_err(|_| err("bad \\u escape"))?;
+                        out.push(char::from_u32(code).ok_or_else(|| err("bad \\u code point"))?);
+                        *pos += 4;
+                    }
+                    _ => return Err(err("bad escape sequence")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte sequences pass
+                // through unchanged).
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| err("invalid UTF-8 in string"))?;
+                let ch = rest.chars().next().expect("non-empty remainder");
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, WireError> {
+    *pos += 1; // consume '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(err("expected `,` or `]` in array")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, WireError> {
+    *pos += 1; // consume '{'
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(err("expected string key in object"));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(err("expected `:` after object key"));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        members.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            _ => return Err(err("expected `,` or `}` in object")),
+        }
+    }
+}
+
+/// Writes `x` so that parsing it back yields the identical float (Rust's
+/// shortest-roundtrip formatting; integral values get a `.0`).
+fn write_f64(x: f64) -> String {
+    format!("{x:?}")
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Request decoding
+// ---------------------------------------------------------------------------
+
+/// A decoded request line.
+#[derive(Debug, Clone)]
+pub enum WireRequest {
+    /// A full sweep.
+    Sweep {
+        /// Caller-chosen id echoed in the response and referencable by
+        /// later rescores.
+        id: String,
+        /// The decoded sweep.
+        request: SweepRequest,
+    },
+    /// A rescore of an earlier sweep's grid under changed economics.
+    Rescore {
+        /// Id of this request.
+        id: String,
+        /// Id of the base sweep.
+        of: String,
+        /// The economic changes.
+        delta: RescoreDelta,
+    },
+}
+
+fn field_f64(obj: &Json, key: &str) -> Result<f64, WireError> {
+    obj.get(key)
+        .and_then(Json::num)
+        .ok_or_else(|| err(format!("missing numeric field `{key}`")))
+}
+
+fn decode_reply_time(value: &Json) -> Result<Arc<dyn ReplyTimeDistribution>, WireError> {
+    let kind = value
+        .get("kind")
+        .and_then(Json::str)
+        .ok_or_else(|| err("reply_time needs a string `kind`"))?;
+    let dist: Arc<dyn ReplyTimeDistribution> = match kind {
+        "deterministic" => Arc::new(
+            DefectiveDeterministic::new(field_f64(value, "mass")?, field_f64(value, "delay")?)
+                .map_err(|e| err(e.to_string()))?,
+        ),
+        "exponential" => {
+            let rate = field_f64(value, "rate")?;
+            let delay = field_f64(value, "delay")?;
+            let dist = if let Some(loss) = value.get("loss").and_then(Json::num) {
+                DefectiveExponential::from_loss(loss, rate, delay)
+            } else {
+                DefectiveExponential::new(field_f64(value, "mass")?, rate, delay)
+            };
+            Arc::new(dist.map_err(|e| err(e.to_string()))?)
+        }
+        "uniform" => Arc::new(
+            DefectiveUniform::new(
+                field_f64(value, "mass")?,
+                field_f64(value, "lo")?,
+                field_f64(value, "hi")?,
+            )
+            .map_err(|e| err(e.to_string()))?,
+        ),
+        "weibull" => Arc::new(
+            DefectiveWeibull::new(
+                field_f64(value, "mass")?,
+                field_f64(value, "shape")?,
+                field_f64(value, "scale")?,
+                field_f64(value, "delay")?,
+            )
+            .map_err(|e| err(e.to_string()))?,
+        ),
+        "mixture" => {
+            let Some(Json::Arr(items)) = value.get("components") else {
+                return Err(err("mixture needs a `components` array"));
+            };
+            let mut components = Vec::with_capacity(items.len());
+            for item in items {
+                let weight = field_f64(item, "weight")?;
+                let dist = item
+                    .get("dist")
+                    .ok_or_else(|| err("mixture component needs `dist`"))?;
+                components.push((weight, decode_reply_time(dist)?));
+            }
+            Arc::new(Mixture::new(components).map_err(|e| err(e.to_string()))?)
+        }
+        other => return Err(err(format!("unknown reply_time kind `{other}`"))),
+    };
+    Ok(dist)
+}
+
+fn decode_scenario(value: &Json) -> Result<Scenario, WireError> {
+    let mut builder = Scenario::builder()
+        .probe_cost(field_f64(value, "probe_cost")?)
+        .error_cost(field_f64(value, "error_cost")?)
+        .reply_time(decode_reply_time(
+            value
+                .get("reply_time")
+                .ok_or_else(|| err("scenario needs `reply_time`"))?,
+        )?);
+    if let Some(hosts) = value.get("hosts").and_then(Json::num) {
+        builder = builder
+            .hosts(hosts as u32)
+            .map_err(|e| err(e.to_string()))?;
+    } else {
+        builder = builder.occupancy(field_f64(value, "q")?);
+    }
+    builder.build().map_err(|e| err(e.to_string()))
+}
+
+fn decode_grid(value: &Json) -> Result<GridSpec, WireError> {
+    let n_max = field_f64(value, "n_max")? as u32;
+    if let Some(Json::Arr(items)) = value.get("r") {
+        let r_values = items
+            .iter()
+            .map(|v| v.num().ok_or_else(|| err("grid `r` must be numeric")))
+            .collect::<Result<Vec<f64>, WireError>>()?;
+        return Ok(GridSpec { n_max, r_values });
+    }
+    let lo = field_f64(value, "r_min")?;
+    let hi = field_f64(value, "r_max")?;
+    let points = field_f64(value, "r_points")? as usize;
+    Ok(GridSpec::linspace(n_max, lo, hi, points))
+}
+
+fn decode_metrics(value: Option<&Json>) -> Result<Vec<Metric>, WireError> {
+    let Some(value) = value else {
+        return Ok(vec![Metric::MeanCost, Metric::ErrorProbability]);
+    };
+    let Json::Arr(items) = value else {
+        return Err(err("`metrics` must be an array"));
+    };
+    items
+        .iter()
+        .map(|item| match item.str() {
+            Some("mean_cost") => Ok(Metric::MeanCost),
+            Some("error_probability") => Ok(Metric::ErrorProbability),
+            other => Err(err(format!("unknown metric {other:?}"))),
+        })
+        .collect()
+}
+
+/// Decodes one request line.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] for syntax or schema problems.
+pub fn parse_request_line(line: &str) -> Result<WireRequest, WireError> {
+    let value = parse_json(line)?;
+    let id = value
+        .get("id")
+        .and_then(Json::str)
+        .ok_or_else(|| err("request needs a string `id`"))?
+        .to_owned();
+    if let Some(rescore) = value.get("rescore") {
+        let of = rescore
+            .get("of")
+            .and_then(Json::str)
+            .ok_or_else(|| err("rescore needs the base sweep's id in `of`"))?
+            .to_owned();
+        let delta = RescoreDelta {
+            occupancy: rescore.get("q").and_then(Json::num),
+            probe_cost: rescore.get("probe_cost").and_then(Json::num),
+            error_cost: rescore.get("error_cost").and_then(Json::num),
+        };
+        return Ok(WireRequest::Rescore { id, of, delta });
+    }
+    let scenario = decode_scenario(
+        value
+            .get("scenario")
+            .ok_or_else(|| err("request needs `scenario`"))?,
+    )?;
+    let grid = decode_grid(
+        value
+            .get("grid")
+            .ok_or_else(|| err("request needs `grid`"))?,
+    )?;
+    let metrics = decode_metrics(value.get("metrics"))?;
+    Ok(WireRequest::Sweep {
+        id,
+        request: SweepRequest {
+            scenario,
+            grid,
+            metrics,
+        },
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Response encoding
+// ---------------------------------------------------------------------------
+
+/// Encodes a successful response line.
+#[must_use]
+pub fn response_line(id: &str, response: &SweepResponse) -> String {
+    let mut out = String::with_capacity(64 + response.cells.len() * 64);
+    out.push_str("{\"id\":\"");
+    out.push_str(&escape(id));
+    out.push_str("\",\"cells\":[");
+    for (i, cell) in response.cells.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{{\"n\":{},\"r\":{}", cell.n, write_f64(cell.r)));
+        if let Some(c) = cell.mean_cost {
+            out.push_str(&format!(",\"mean_cost\":{}", write_f64(c)));
+        }
+        if let Some(e) = cell.error_probability {
+            out.push_str(&format!(",\"error_probability\":{}", write_f64(e)));
+        }
+        out.push('}');
+    }
+    let s = &response.stats;
+    out.push_str(&format!(
+        "],\"stats\":{{\"wall_ns\":{},\"cache_hits\":{},\"cache_misses\":{},\"cells\":{},\"workers\":{}}}}}",
+        s.wall_nanos, s.cache_hits, s.cache_misses, s.cells, s.workers
+    ));
+    out
+}
+
+/// Encodes a failure response line.
+#[must_use]
+pub fn error_line(id: &str, message: &str) -> String {
+    format!(
+        "{{\"id\":\"{}\",\"error\":\"{}\"}}",
+        escape(id),
+        escape(message)
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Session: the CLI's request loop, engine-owning and id-remembering
+// ---------------------------------------------------------------------------
+
+/// A stateful JSON-lines session: owns the engine and remembers each
+/// sweep by id so later `rescore` lines can reference it. One session per
+/// CLI invocation; also usable directly in tests.
+pub struct Session {
+    engine: Engine,
+    sweeps: HashMap<String, SweepRequest>,
+}
+
+impl Session {
+    /// Starts a session around `engine`.
+    #[must_use]
+    pub fn new(engine: Engine) -> Session {
+        Session {
+            engine,
+            sweeps: HashMap::new(),
+        }
+    }
+
+    /// Handles one input line, returning exactly one response line
+    /// (success or `error`). Blank lines return `None`.
+    pub fn handle_line(&mut self, line: &str) -> Option<String> {
+        let line = line.trim();
+        if line.is_empty() {
+            return None;
+        }
+        Some(match parse_request_line(line) {
+            Err(e) => error_line("", &e.message),
+            Ok(WireRequest::Sweep { id, request }) => match self.engine.evaluate(&request) {
+                Ok(response) => {
+                    self.sweeps.insert(id.clone(), request);
+                    response_line(&id, &response)
+                }
+                Err(e) => error_line(&id, &e.to_string()),
+            },
+            Ok(WireRequest::Rescore { id, of, delta }) => {
+                let Some(base) = self.sweeps.get(&of).cloned() else {
+                    return Some(error_line(&id, &format!("no sweep with id `{of}`")));
+                };
+                match self.engine.rescore(&base, &delta) {
+                    Ok((rescored, response)) => {
+                        self.sweeps.insert(id.clone(), rescored);
+                        response_line(&id, &response)
+                    }
+                    Err(e) => error_line(&id, &e.to_string()),
+                }
+            }
+        })
+    }
+
+    /// The engine's cumulative counters (for `--stats` reporting).
+    #[must_use]
+    pub fn stats(&self) -> crate::EngineStats {
+        self.engine.stats()
+    }
+
+    /// Renders the engine stats as one JSON line.
+    #[must_use]
+    pub fn stats_line(&self) -> String {
+        let s = self.stats();
+        let per_worker = s
+            .cells_per_worker
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<String>>()
+            .join(",");
+        format!(
+            "{{\"stats\":{{\"requests\":{},\"cells\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_len\":{},\"cells_per_worker\":[{}],\"wall_ns\":{}}}}}",
+            s.requests, s.cells, s.cache_hits, s.cache_misses, s.cache_len, per_worker, s.wall_nanos
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::EngineConfig;
+
+    use super::*;
+
+    fn sweep_line(id: &str) -> String {
+        format!(
+            "{{\"id\":\"{id}\",\"scenario\":{{\"q\":0.5,\"probe_cost\":2.0,\"error_cost\":1e6,\
+             \"reply_time\":{{\"kind\":\"exponential\",\"loss\":1e-6,\"rate\":10.0,\"delay\":1.0}}}},\
+             \"grid\":{{\"n_max\":3,\"r\":[0.5,1.0,2.0]}}}}"
+        )
+    }
+
+    #[test]
+    fn json_roundtrip_basics() {
+        let v = parse_json(r#"{"a":[1,2.5,-3e2],"b":"x\"y","c":true,"d":null}"#).unwrap();
+        assert_eq!(
+            v.get("a").unwrap(),
+            &Json::Arr(vec![Json::Num(1.0), Json::Num(2.5), Json::Num(-300.0)])
+        );
+        assert_eq!(v.get("b").and_then(Json::str), Some("x\"y"));
+        assert_eq!(v.get("c"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("d"), Some(&Json::Null));
+        assert!(parse_json("{\"a\":}").is_err());
+        assert!(parse_json("[1,2] trailing").is_err());
+    }
+
+    #[test]
+    fn float_writer_roundtrips() {
+        for x in [1.0, 0.1, 1e35, 1e-15, 12.600000000000001, f64::MIN_POSITIVE] {
+            let text = write_f64(x);
+            let back: f64 = match parse_json(&text).unwrap() {
+                Json::Num(v) => v,
+                other => panic!("parsed {other:?}"),
+            };
+            assert_eq!(back.to_bits(), x.to_bits(), "{text}");
+        }
+    }
+
+    #[test]
+    fn sweep_request_decodes() {
+        let parsed = parse_request_line(&sweep_line("s1")).unwrap();
+        let WireRequest::Sweep { id, request } = parsed else {
+            panic!("expected sweep");
+        };
+        assert_eq!(id, "s1");
+        assert_eq!(request.grid.n_max, 3);
+        assert_eq!(request.grid.r_values, vec![0.5, 1.0, 2.0]);
+        assert_eq!(request.metrics.len(), 2, "metrics default to both");
+        assert_eq!(request.scenario.occupancy(), 0.5);
+    }
+
+    #[test]
+    fn linspace_grid_and_hosts_decode() {
+        let line = "{\"id\":\"x\",\"scenario\":{\"hosts\":1000,\"probe_cost\":2.0,\
+                    \"error_cost\":1e35,\"reply_time\":{\"kind\":\"deterministic\",\
+                    \"mass\":0.9,\"delay\":1.0}},\
+                    \"grid\":{\"n_max\":4,\"r_min\":0.1,\"r_max\":30.0,\"r_points\":300},\
+                    \"metrics\":[\"mean_cost\"]}";
+        let WireRequest::Sweep { request, .. } = parse_request_line(line).unwrap() else {
+            panic!("expected sweep");
+        };
+        assert_eq!(request.grid.r_values.len(), 300);
+        // hosts uses the paper's q = hosts / 65024 parameterization.
+        assert_eq!(request.scenario.occupancy(), 1000.0 / 65024.0);
+        assert_eq!(request.metrics, vec![Metric::MeanCost]);
+    }
+
+    #[test]
+    fn mixture_reply_time_decodes() {
+        let line = "{\"id\":\"m\",\"scenario\":{\"q\":0.1,\"probe_cost\":1.0,\"error_cost\":10.0,\
+            \"reply_time\":{\"kind\":\"mixture\",\"components\":[\
+              {\"weight\":0.6,\"dist\":{\"kind\":\"deterministic\",\"mass\":1.0,\"delay\":0.5}},\
+              {\"weight\":0.4,\"dist\":{\"kind\":\"uniform\",\"mass\":0.9,\"lo\":0.0,\"hi\":2.0}}]}},\
+            \"grid\":{\"n_max\":2,\"r\":[1.0]}}";
+        let WireRequest::Sweep { request, .. } = parse_request_line(line).unwrap() else {
+            panic!("expected sweep");
+        };
+        assert!((request.scenario.reply_time().mass() - (0.6 + 0.4 * 0.9)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn session_answers_sweep_then_miss_free_rescore() {
+        let mut session = Session::new(Engine::new(EngineConfig {
+            workers: 2,
+            cache_tables: 64,
+        }));
+        let first = session.handle_line(&sweep_line("s1")).unwrap();
+        assert!(first.contains("\"id\":\"s1\""), "{first}");
+        assert!(first.contains("\"cache_misses\":3"), "{first}");
+        let rescore =
+            "{\"id\":\"s2\",\"rescore\":{\"of\":\"s1\",\"error_cost\":1e9,\"probe_cost\":3.0}}";
+        let second = session.handle_line(rescore).unwrap();
+        assert!(second.contains("\"id\":\"s2\""), "{second}");
+        assert!(second.contains("\"cache_misses\":0"), "{second}");
+        assert!(second.contains("\"cache_hits\":3"), "{second}");
+        // Chained rescore off the rescored request.
+        let third = session
+            .handle_line("{\"id\":\"s3\",\"rescore\":{\"of\":\"s2\",\"q\":0.25}}")
+            .unwrap();
+        assert!(third.contains("\"cache_misses\":0"), "{third}");
+        let stats = session.stats_line();
+        assert!(stats.contains("\"requests\":3"), "{stats}");
+    }
+
+    #[test]
+    fn session_reports_errors_without_dying() {
+        let mut session = Session::new(Engine::new(EngineConfig {
+            workers: 1,
+            cache_tables: 8,
+        }));
+        assert!(session.handle_line("   ").is_none());
+        let bad = session.handle_line("not json").unwrap();
+        assert!(bad.contains("\"error\""), "{bad}");
+        let unknown = session
+            .handle_line("{\"id\":\"r\",\"rescore\":{\"of\":\"ghost\"}}")
+            .unwrap();
+        assert!(unknown.contains("no sweep with id"), "{unknown}");
+        // The session still works afterwards.
+        assert!(session
+            .handle_line(&sweep_line("ok"))
+            .unwrap()
+            .contains("\"cells\""));
+    }
+
+    #[test]
+    fn response_line_parses_back_with_exact_floats() {
+        let mut session = Session::new(Engine::new(EngineConfig {
+            workers: 1,
+            cache_tables: 8,
+        }));
+        let line = session.handle_line(&sweep_line("s1")).unwrap();
+        let parsed = parse_json(&line).unwrap();
+        let Some(Json::Arr(cells)) = parsed.get("cells") else {
+            panic!("no cells in {line}");
+        };
+        assert_eq!(cells.len(), 9);
+        // Spot-check cell 0 against a direct evaluation.
+        let WireRequest::Sweep { request, .. } = parse_request_line(&sweep_line("s1")).unwrap()
+        else {
+            panic!("expected sweep");
+        };
+        let direct = zeroconf_cost::cost::mean_cost(&request.scenario, 1, 0.5).unwrap();
+        let wire = cells[0].get("mean_cost").and_then(Json::num).unwrap();
+        assert_eq!(direct.to_bits(), wire.to_bits());
+    }
+}

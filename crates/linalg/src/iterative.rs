@@ -50,7 +50,11 @@ pub struct IterationOutcome {
 ///   violations.
 /// - [`LinalgError::Singular`] if a diagonal entry vanishes.
 /// - [`LinalgError::NotConverged`] if the tolerance is not met in time.
-pub fn jacobi(a: &Matrix, b: &[f64], config: IterationConfig) -> Result<IterationOutcome, LinalgError> {
+pub fn jacobi(
+    a: &Matrix,
+    b: &[f64],
+    config: IterationConfig,
+) -> Result<IterationOutcome, LinalgError> {
     check_system(a, b)?;
     let n = b.len();
     for k in 0..n {
@@ -153,9 +157,9 @@ pub fn gauss_seidel_csr(
     }
     let n = b.len();
     let mut diag = vec![0.0; n];
-    for r in 0..n {
-        diag[r] = a.get(r, r)?;
-        if diag[r] == 0.0 {
+    for (r, d) in diag.iter_mut().enumerate() {
+        *d = a.get(r, r)?;
+        if *d == 0.0 {
             return Err(LinalgError::Singular { pivot: r });
         }
     }
@@ -287,12 +291,7 @@ mod tests {
     use crate::Triplet;
 
     fn dominant_system() -> (Matrix, Vec<f64>, Vec<f64>) {
-        let a = Matrix::from_rows(&[
-            &[4.0, 1.0, 0.0],
-            &[1.0, 5.0, 2.0],
-            &[0.0, 2.0, 6.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.0], &[1.0, 5.0, 2.0], &[0.0, 2.0, 6.0]]).unwrap();
         let x_true = vec![1.0, -2.0, 0.5];
         let b = a.matvec(&x_true).unwrap();
         (a, b, x_true)

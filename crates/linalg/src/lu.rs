@@ -139,15 +139,15 @@ impl LuDecomposition {
         let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
         for r in 1..n {
             let mut acc = x[r];
-            for c in 0..r {
-                acc -= self.factors[(r, c)] * x[c];
+            for (c, &xc) in x.iter().enumerate().take(r) {
+                acc -= self.factors[(r, c)] * xc;
             }
             x[r] = acc;
         }
         for r in (0..n).rev() {
             let mut acc = x[r];
-            for c in (r + 1)..n {
-                acc -= self.factors[(r, c)] * x[c];
+            for (c, &xc) in x.iter().enumerate().skip(r + 1) {
+                acc -= self.factors[(r, c)] * xc;
             }
             x[r] = acc / self.factors[(r, r)];
         }
@@ -206,16 +206,16 @@ impl LuDecomposition {
         let mut y = b.to_vec();
         for r in 0..n {
             let mut acc = y[r];
-            for c in 0..r {
-                acc -= self.factors[(c, r)] * y[c];
+            for (c, &yc) in y.iter().enumerate().take(r) {
+                acc -= self.factors[(c, r)] * yc;
             }
             y[r] = acc / self.factors[(r, r)];
         }
         // Back substitution with Lᵀ (upper triangular, unit diagonal).
         for r in (0..n).rev() {
             let mut acc = y[r];
-            for c in (r + 1)..n {
-                acc -= self.factors[(c, r)] * y[c];
+            for (c, &yc) in y.iter().enumerate().skip(r + 1) {
+                acc -= self.factors[(c, r)] * yc;
             }
             y[r] = acc;
         }
@@ -326,12 +326,7 @@ mod tests {
 
     #[test]
     fn inverse_times_original_is_identity() {
-        let a = Matrix::from_rows(&[
-            &[2.0, 1.0, 0.0],
-            &[1.0, 3.0, 1.0],
-            &[0.0, 1.0, 4.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[2.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 4.0]]).unwrap();
         let inv = LuDecomposition::new(&a).unwrap().inverse().unwrap();
         let prod = a.matmul(&inv).unwrap();
         assert!(prod.approx_eq(&Matrix::identity(3), 1e-10).unwrap());
@@ -366,20 +361,21 @@ mod tests {
 
     #[test]
     fn transposed_solve_matches_explicit_transpose() {
-        let a = Matrix::from_rows(&[
-            &[0.0, 2.0, 1.0],
-            &[3.0, 1.0, 0.5],
-            &[1.0, 0.0, 4.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[0.0, 2.0, 1.0], &[3.0, 1.0, 0.5], &[1.0, 0.0, 4.0]]).unwrap();
         let b = [1.0, -2.0, 3.0];
-        let via_factors = LuDecomposition::new(&a).unwrap().solve_transposed(&b).unwrap();
+        let via_factors = LuDecomposition::new(&a)
+            .unwrap()
+            .solve_transposed(&b)
+            .unwrap();
         let via_transpose = LuDecomposition::new(&a.transpose())
             .unwrap()
             .solve(&b)
             .unwrap();
         for (l, r) in via_factors.iter().zip(&via_transpose) {
-            assert!((l - r).abs() < 1e-12, "{via_factors:?} vs {via_transpose:?}");
+            assert!(
+                (l - r).abs() < 1e-12,
+                "{via_factors:?} vs {via_transpose:?}"
+            );
         }
         // And the residual of the transposed system is tiny.
         let atx = a.transpose().matvec(&via_factors).unwrap();

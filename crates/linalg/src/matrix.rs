@@ -173,7 +173,9 @@ impl Matrix {
     /// Panics if `col >= self.cols()`.
     pub fn col(&self, col: usize) -> Vec<f64> {
         assert!(col < self.cols, "col {col} out of bounds for {}", self.cols);
-        (0..self.rows).map(|r| self.data[r * self.cols + col]).collect()
+        (0..self.rows)
+            .map(|r| self.data[r * self.cols + col])
+            .collect()
     }
 
     /// The underlying row-major data slice.
@@ -243,13 +245,7 @@ impl Matrix {
             });
         }
         Ok((0..self.rows)
-            .map(|r| {
-                self.row(r)
-                    .iter()
-                    .zip(x)
-                    .map(|(a, b)| a * b)
-                    .sum::<f64>()
-            })
+            .map(|r| self.row(r).iter().zip(x).map(|(a, b)| a * b).sum::<f64>())
             .collect())
     }
 
@@ -551,12 +547,7 @@ mod tests {
 
     #[test]
     fn submatrix_extracts_block() {
-        let m = Matrix::from_rows(&[
-            &[1.0, 2.0, 3.0],
-            &[4.0, 5.0, 6.0],
-            &[7.0, 8.0, 9.0],
-        ])
-        .unwrap();
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 9.0]]).unwrap();
         let s = m.submatrix(&[0, 2], &[1, 2]).unwrap();
         assert_eq!(s, Matrix::from_rows(&[&[2.0, 3.0], &[8.0, 9.0]]).unwrap());
         assert!(m.submatrix(&[3], &[0]).is_err());

@@ -87,7 +87,7 @@ impl CsrMatrix {
             }
         }
         let mut sorted: Vec<Triplet> = triplets.to_vec();
-        sorted.sort_by(|a, b| (a.row, a.col).cmp(&(b.row, b.col)));
+        sorted.sort_by_key(|t| (t.row, t.col));
 
         // Merge duplicates, then drop entries that are (or cancelled to) zero.
         let mut kept: Vec<(usize, usize, f64)> = Vec::with_capacity(sorted.len());
@@ -218,8 +218,7 @@ impl CsrMatrix {
             });
         }
         let mut out = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            let xr = x[r];
+        for (r, &xr) in x.iter().enumerate() {
             if xr == 0.0 {
                 continue;
             }
@@ -274,12 +273,8 @@ mod tests {
 
     #[test]
     fn duplicates_are_summed() {
-        let m = CsrMatrix::from_triplets(
-            1,
-            1,
-            &[Triplet::new(0, 0, 1.5), Triplet::new(0, 0, 2.5)],
-        )
-        .unwrap();
+        let m = CsrMatrix::from_triplets(1, 1, &[Triplet::new(0, 0, 1.5), Triplet::new(0, 0, 2.5)])
+            .unwrap();
         assert_eq!(m.get(0, 0).unwrap(), 4.0);
         assert_eq!(m.nnz(), 1);
     }
@@ -292,12 +287,9 @@ mod tests {
 
     #[test]
     fn cancelling_duplicates_are_dropped() {
-        let m = CsrMatrix::from_triplets(
-            1,
-            1,
-            &[Triplet::new(0, 0, 2.0), Triplet::new(0, 0, -2.0)],
-        )
-        .unwrap();
+        let m =
+            CsrMatrix::from_triplets(1, 1, &[Triplet::new(0, 0, 2.0), Triplet::new(0, 0, -2.0)])
+                .unwrap();
         assert_eq!(m.nnz(), 0);
         assert_eq!(m.get(0, 0).unwrap(), 0.0);
     }
@@ -378,12 +370,8 @@ mod tests {
 
     #[test]
     fn unsorted_triplets_assemble_correctly() {
-        let m = CsrMatrix::from_triplets(
-            2,
-            2,
-            &[Triplet::new(1, 1, 4.0), Triplet::new(0, 0, 1.0)],
-        )
-        .unwrap();
+        let m = CsrMatrix::from_triplets(2, 2, &[Triplet::new(1, 1, 4.0), Triplet::new(0, 0, 1.0)])
+            .unwrap();
         assert_eq!(m.get(0, 0).unwrap(), 1.0);
         assert_eq!(m.get(1, 1).unwrap(), 4.0);
     }

@@ -57,7 +57,10 @@ impl fmt::Display for NumOptError {
                 write!(f, "objective returned NaN at x = {at}")
             }
             NumOptError::MaxIterations { limit, best } => {
-                write!(f, "no convergence within {limit} iterations (best x = {best})")
+                write!(
+                    f,
+                    "no convergence within {limit} iterations (best x = {best})"
+                )
             }
             NumOptError::InvalidConfiguration { what } => {
                 write!(f, "invalid configuration: {what}")
@@ -80,7 +83,9 @@ mod tests {
         assert!(NumOptError::InvalidInterval { lo: 1.0, hi: 0.0 }
             .to_string()
             .contains("[1, 0]"));
-        assert!(NumOptError::ObjectiveNaN { at: 2.5 }.to_string().contains("2.5"));
+        assert!(NumOptError::ObjectiveNaN { at: 2.5 }
+            .to_string()
+            .contains("2.5"));
     }
 
     #[test]

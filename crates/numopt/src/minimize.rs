@@ -280,8 +280,13 @@ mod tests {
 
     #[test]
     fn golden_finds_parabola_vertex() {
-        let m = golden_section_min(|x| (x - 3.5) * (x - 3.5) + 2.0, 0.0, 10.0, Tolerance::default())
-            .unwrap();
+        let m = golden_section_min(
+            |x| (x - 3.5) * (x - 3.5) + 2.0,
+            0.0,
+            10.0,
+            Tolerance::default(),
+        )
+        .unwrap();
         assert!((m.argument - 3.5).abs() < 1e-6);
         assert!((m.value - 2.0).abs() < 1e-10);
     }

@@ -62,6 +62,9 @@ pub fn bisect_root(
     if fa.signum() == fb.signum() {
         return Err(NumOptError::NoSignChange { f_lo: fa, f_hi: fb });
     }
+    // `evaluations` counts f-calls, not iterations; the two bracket
+    // evaluations above keep the counts distinct.
+    #[allow(clippy::explicit_counter_loop)]
     for _ in 0..tolerance.max_iterations {
         let mid = 0.5 * (a + b);
         let fm = checked(&mut f, mid)?;
@@ -131,6 +134,8 @@ pub fn brent_root(
     let mut mflag = true;
     let mut d = a;
 
+    // As in `bisect_root`: `evaluations` counts f-calls, not iterations.
+    #[allow(clippy::explicit_counter_loop)]
     for _ in 0..tolerance.max_iterations {
         if fb == 0.0 || (b - a).abs() <= tolerance.at(b) {
             return Ok(Root {
@@ -325,8 +330,8 @@ mod tests {
     #[test]
     fn invert_increasing_exponential() {
         // Solve e^x = 10 with an initial guess far from the answer.
-        let r = invert_monotone(|x: f64| x.exp(), 10.0, 0.0, 0.5, true, Tolerance::default())
-            .unwrap();
+        let r =
+            invert_monotone(|x: f64| x.exp(), 10.0, 0.0, 0.5, true, Tolerance::default()).unwrap();
         assert!((r.argument - 10f64.ln()).abs() < 1e-8);
     }
 

@@ -95,11 +95,7 @@ pub fn render(chart: &Chart, width: usize, height: usize) -> Result<String, Plot
         out.extend(line.iter());
         out.push('\n');
     }
-    out.push_str(&format!(
-        "{:>label_width$} +{}\n",
-        "",
-        "-".repeat(width)
-    ));
+    out.push_str(&format!("{:>label_width$} +{}\n", "", "-".repeat(width)));
     out.push_str(&format!(
         "{:>label_width$}  {:<w$.4}{:>w2$.4}\n",
         "",
@@ -187,12 +183,8 @@ mod tests {
         Chart::new("test chart")
             .x_label("r")
             .y_label("cost")
-            .with_series(
-                Series::new("up", vec![(0.0, 0.0), (5.0, 5.0)]).unwrap(),
-            )
-            .with_series(
-                Series::new("down", vec![(0.0, 5.0), (5.0, 0.0)]).unwrap(),
-            )
+            .with_series(Series::new("up", vec![(0.0, 0.0), (5.0, 5.0)]).unwrap())
+            .with_series(Series::new("down", vec![(0.0, 5.0), (5.0, 0.0)]).unwrap())
     }
 
     #[test]
@@ -214,13 +206,10 @@ mod tests {
 
     #[test]
     fn rising_series_touches_opposite_corners() {
-        let only_up = Chart::new("up")
-            .with_series(Series::new("up", vec![(0.0, 0.0), (5.0, 5.0)]).unwrap());
+        let only_up =
+            Chart::new("up").with_series(Series::new("up", vec![(0.0, 0.0), (5.0, 5.0)]).unwrap());
         let text = render(&only_up, 30, 8).unwrap();
-        let rows: Vec<&str> = text
-            .lines()
-            .filter(|l| l.contains('|'))
-            .collect();
+        let rows: Vec<&str> = text.lines().filter(|l| l.contains('|')).collect();
         // First canvas row (max y) has the glyph near the right edge;
         // last canvas row near the left edge.
         let first = rows.first().unwrap();
@@ -232,9 +221,7 @@ mod tests {
     fn log_axis_skips_non_positive_points() {
         let c = Chart::new("log")
             .log_y(true)
-            .with_series(
-                Series::new("p", vec![(0.0, 0.0), (1.0, 1e-10), (2.0, 1e-5)]).unwrap(),
-            );
+            .with_series(Series::new("p", vec![(0.0, 0.0), (1.0, 1e-10), (2.0, 1e-5)]).unwrap());
         let text = render(&c, 30, 8).unwrap();
         assert!(text.contains("1.00e-5") || text.contains("1e-5") || text.contains("e-5"));
     }
@@ -252,8 +239,8 @@ mod tests {
 
     #[test]
     fn flat_series_renders_mid_canvas() {
-        let c = Chart::new("flat")
-            .with_series(Series::new("k", vec![(0.0, 2.0), (1.0, 2.0)]).unwrap());
+        let c =
+            Chart::new("flat").with_series(Series::new("k", vec![(0.0, 2.0), (1.0, 2.0)]).unwrap());
         let text = render(&c, 30, 9).unwrap();
         let rows: Vec<&str> = text.lines().filter(|l| l.contains('|')).collect();
         let hit_row = rows.iter().position(|l| l.contains('*')).unwrap();

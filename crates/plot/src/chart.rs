@@ -50,7 +50,11 @@ impl Series {
         let name = name.into();
         let mut points = Vec::with_capacity(count);
         if count > 0 {
-            let step = if count > 1 { (hi - lo) / (count - 1) as f64 } else { 0.0 };
+            let step = if count > 1 {
+                (hi - lo) / (count - 1) as f64
+            } else {
+                0.0
+            };
             for k in 0..count {
                 let x = lo + k as f64 * step;
                 let y = f(x);

@@ -86,7 +86,7 @@ mod tests {
 
     #[test]
     fn io_errors_convert_with_source() {
-        let e: PlotError = std::io::Error::new(std::io::ErrorKind::Other, "boom").into();
+        let e: PlotError = std::io::Error::other("boom").into();
         assert!(Error::source(&e).is_some());
         assert!(Error::source(&PlotError::EmptyChart).is_none());
     }

@@ -206,8 +206,7 @@ mod tests {
 
     #[test]
     fn xml_special_characters_are_escaped() {
-        let c = Chart::new("a < b & c")
-            .with_series(Series::new("x<y", vec![(0.0, 1.0)]).unwrap());
+        let c = Chart::new("a < b & c").with_series(Series::new("x<y", vec![(0.0, 1.0)]).unwrap());
         let svg = render(&c, 640, 480).unwrap();
         assert!(svg.contains("a &lt; b &amp; c"));
         assert!(svg.contains("x&lt;y"));
@@ -218,9 +217,7 @@ mod tests {
     fn log_axis_renders_tiny_probabilities() {
         let c = Chart::new("log")
             .log_y(true)
-            .with_series(
-                Series::new("p", vec![(1.0, 1e-54), (2.0, 1e-35)]).unwrap(),
-            );
+            .with_series(Series::new("p", vec![(1.0, 1e-54), (2.0, 1e-35)]).unwrap());
         let svg = render(&c, 640, 480).unwrap();
         assert!(svg.contains("e-54") || svg.contains("e-35"));
     }

@@ -2,7 +2,7 @@
 
 use std::collections::HashSet;
 
-use rand::Rng;
+use zeroconf_rng::Rng;
 
 use crate::SimError;
 
@@ -17,11 +17,11 @@ pub const LINK_LOCAL_POOL_SIZE: u32 = 65024;
 /// # Examples
 ///
 /// ```
-/// use rand::SeedableRng;
+/// use zeroconf_rng::SeedableRng;
 /// use zeroconf_sim::address::AddressPool;
 ///
 /// # fn main() -> Result<(), zeroconf_sim::SimError> {
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let mut rng = zeroconf_rng::rngs::StdRng::seed_from_u64(3);
 /// let pool = AddressPool::with_random_occupancy(100, 30, &mut rng)?;
 /// assert_eq!(pool.occupied_count(), 30);
 /// # Ok(())
@@ -168,8 +168,8 @@ impl AddressPool {
 
 #[cfg(test)]
 mod tests {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use zeroconf_rng::rngs::StdRng;
+    use zeroconf_rng::SeedableRng;
 
     use super::*;
 

@@ -36,7 +36,7 @@
 //!
 //! ```
 //! use std::sync::Arc;
-//! use rand::SeedableRng;
+//! use zeroconf_rng::SeedableRng;
 //! use zeroconf_dist::DefectiveExponential;
 //! use zeroconf_sim::protocol::{ProtocolConfig, run_many};
 //!
@@ -49,7 +49,7 @@
 //!     .occupancy(0.3)
 //!     .reply_time(Arc::new(DefectiveExponential::new(0.9, 10.0, 1.0)?))
 //!     .build()?;
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut rng = zeroconf_rng::rngs::StdRng::seed_from_u64(1);
 //! let summary = run_many(&config, 1000, &mut rng)?;
 //! assert!(summary.cost.mean() > 0.0);
 //! # Ok(())

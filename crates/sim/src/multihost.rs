@@ -20,7 +20,7 @@
 //! Cost accounting per host matches the DRM rewards exactly as in
 //! [`protocol`](crate::protocol).
 
-use rand::Rng;
+use zeroconf_rng::Rng;
 
 use crate::address::AddressPool;
 use crate::events::EventQueue;
@@ -184,7 +184,11 @@ enum Event {
     /// A reply to one of the host's probes arrives.
     Reply { host: u32, attempt: u32 },
     /// Another probing host's probe for `candidate` reaches this host.
-    RivalProbeSeen { host: u32, attempt: u32, candidate: u32 },
+    RivalProbeSeen {
+        host: u32,
+        attempt: u32,
+        candidate: u32,
+    },
     /// A churned bystander host joins the link.
     ChurnArrival,
     /// A churned bystander host leaves the link.
@@ -280,10 +284,11 @@ pub fn run_once_with_churn<R: Rng>(
             } => {
                 let (candidate, current_attempt) = match &mut hosts[host as usize] {
                     HostState {
-                        phase: Phase::Probing {
-                            candidate,
-                            rounds_paid,
-                        },
+                        phase:
+                            Phase::Probing {
+                                candidate,
+                                rounds_paid,
+                            },
                         attempt: a,
                         ..
                     } if *a == attempt => {
@@ -364,15 +369,7 @@ pub fn run_once_with_churn<R: Rng>(
             }
             Event::Reply { host, attempt } => {
                 restart_host(
-                    &mut hosts,
-                    host,
-                    attempt,
-                    None,
-                    &pool,
-                    config,
-                    &mut queue,
-                    now,
-                    rng,
+                    &mut hosts, host, attempt, None, &pool, config, &mut queue, now, rng,
                 )?;
             }
             Event::RivalProbeSeen {
@@ -398,7 +395,10 @@ pub fn run_once_with_churn<R: Rng>(
                 }
                 // Keep churning only while someone is still configuring;
                 // otherwise let the queue drain.
-                if hosts.iter().any(|h| matches!(h.phase, Phase::Probing { .. })) {
+                if hosts
+                    .iter()
+                    .any(|h| matches!(h.phase, Phase::Probing { .. }))
+                {
                     if let Some(churn) = churn {
                         if let Some(gap) = Churn::next_gap(churn.arrival_rate, rng) {
                             queue.schedule(now + gap, Event::ChurnArrival);
@@ -410,7 +410,10 @@ pub fn run_once_with_churn<R: Rng>(
                 if let Some(address) = pool.random_occupied(rng) {
                     pool.release(address)?;
                 }
-                if hosts.iter().any(|h| matches!(h.phase, Phase::Probing { .. })) {
+                if hosts
+                    .iter()
+                    .any(|h| matches!(h.phase, Phase::Probing { .. }))
+                {
                     if let Some(churn) = churn {
                         if let Some(gap) = Churn::next_gap(churn.departure_rate, rng) {
                             queue.schedule(now + gap, Event::ChurnDeparture);
@@ -558,9 +561,9 @@ pub fn run_many<R: Rng>(
 mod tests {
     use std::sync::Arc;
 
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use zeroconf_dist::DefectiveExponential;
+    use zeroconf_rng::rngs::StdRng;
+    use zeroconf_rng::SeedableRng;
 
     use super::*;
 
@@ -756,9 +759,9 @@ mod tests {
 mod churn_tests {
     use std::sync::Arc;
 
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use zeroconf_dist::DefectiveExponential;
+    use zeroconf_rng::rngs::StdRng;
+    use zeroconf_rng::SeedableRng;
 
     use super::*;
 
@@ -803,9 +806,13 @@ mod churn_tests {
             departure_rate: 0.0,
         };
         let static_run = run_once(&config(), &pool, &mut StdRng::seed_from_u64(3)).unwrap();
-        let churn_run =
-            run_once_with_churn(&config(), &pool, Some(&churn), &mut StdRng::seed_from_u64(3))
-                .unwrap();
+        let churn_run = run_once_with_churn(
+            &config(),
+            &pool,
+            Some(&churn),
+            &mut StdRng::seed_from_u64(3),
+        )
+        .unwrap();
         assert_eq!(static_run, churn_run);
     }
 
@@ -818,8 +825,7 @@ mod churn_tests {
         };
         for _ in 0..20 {
             let pool = AddressPool::with_random_occupancy(128, 32, &mut rng).unwrap();
-            let outcome =
-                run_once_with_churn(&config(), &pool, Some(&churn), &mut rng).unwrap();
+            let outcome = run_once_with_churn(&config(), &pool, Some(&churn), &mut rng).unwrap();
             assert_eq!(outcome.hosts.len(), 2);
             for h in &outcome.hosts {
                 assert!(h.attempts >= 1);

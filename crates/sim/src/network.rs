@@ -2,8 +2,8 @@
 
 use std::sync::Arc;
 
-use rand::Rng;
 use zeroconf_dist::ReplyTimeDistribution;
+use zeroconf_rng::Rng;
 
 use crate::{SimError, SimTime};
 
@@ -77,9 +77,7 @@ impl Link {
     /// Draws the end-to-end reply delay for one probe, `None` when the
     /// reply never arrives.
     pub fn sample_reply_delay<R: Rng>(&self, rng: &mut R) -> Option<SimTime> {
-        self.reply_time
-            .sample(rng)
-            .and_then(SimTime::new)
+        self.reply_time.sample(rng).and_then(SimTime::new)
     }
 
     /// Decides whether a probe broadcast reaches one particular recipient.
@@ -95,9 +93,9 @@ impl Link {
 
 #[cfg(test)]
 mod tests {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use zeroconf_dist::DefectiveExponential;
+    use zeroconf_rng::rngs::StdRng;
+    use zeroconf_rng::SeedableRng;
 
     use super::*;
 

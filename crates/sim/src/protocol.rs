@@ -20,8 +20,8 @@
 
 use std::sync::Arc;
 
-use rand::Rng;
 use zeroconf_dist::ReplyTimeDistribution;
+use zeroconf_rng::Rng;
 
 use crate::address::AddressPool;
 use crate::stats::{wilson_interval_95, RunningStats};
@@ -158,18 +158,18 @@ impl ProtocolConfigBuilder {
     /// - [`SimError::InvalidConfig`] for out-of-domain values, including
     ///   `avoid_retrying_failed` without a pool.
     pub fn build(self) -> Result<ProtocolConfig, SimError> {
-        let probes = self.probes.ok_or(SimError::MissingConfig { field: "probes" })?;
+        let probes = self
+            .probes
+            .ok_or(SimError::MissingConfig { field: "probes" })?;
         if probes == 0 {
             return Err(SimError::InvalidConfig {
                 parameter: "probes",
                 value: 0.0,
             });
         }
-        let listen_period = self
-            .listen_period
-            .ok_or(SimError::MissingConfig {
-                field: "listen_period",
-            })?;
+        let listen_period = self.listen_period.ok_or(SimError::MissingConfig {
+            field: "listen_period",
+        })?;
         if !listen_period.is_finite() || listen_period < 0.0 {
             return Err(SimError::InvalidConfig {
                 parameter: "listen_period",
@@ -225,9 +225,9 @@ impl ProtocolConfigBuilder {
                 value: self.rate_limit_interval,
             });
         }
-        let reply_time = self
-            .reply_time
-            .ok_or(SimError::MissingConfig { field: "reply_time" })?;
+        let reply_time = self.reply_time.ok_or(SimError::MissingConfig {
+            field: "reply_time",
+        })?;
         Ok(ProtocolConfig {
             probes,
             listen_period,
@@ -303,10 +303,7 @@ impl RunSummary {
 ///
 /// Returns [`SimError::RunDidNotResolve`] when the safety bound on
 /// attempts is exceeded (practically impossible for sane parameters).
-pub fn run_once<R: Rng>(
-    config: &ProtocolConfig,
-    rng: &mut R,
-) -> Result<RunOutcome, SimError> {
+pub fn run_once<R: Rng>(config: &ProtocolConfig, rng: &mut R) -> Result<RunOutcome, SimError> {
     let n = config.probes;
     let r = config.listen_period;
     let round_cost = r + config.probe_cost;
@@ -492,9 +489,9 @@ pub fn latency_profile<R: Rng>(
 
 #[cfg(test)]
 mod tests {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use zeroconf_dist::DefectiveExponential;
+    use zeroconf_rng::rngs::StdRng;
+    use zeroconf_rng::SeedableRng;
 
     use super::*;
 
@@ -624,7 +621,7 @@ mod tests {
     #[test]
     fn rate_limiting_extends_elapsed_time_only() {
         let base = config(2, 0.5, 0.8, 1.0);
-        let mut limited = ProtocolConfig::builder()
+        let limited = ProtocolConfig::builder()
             .probes(2)
             .listen_period(0.5)
             .probe_cost(1.5)
@@ -637,7 +634,7 @@ mod tests {
         let mut rng_a = StdRng::seed_from_u64(5);
         let mut rng_b = StdRng::seed_from_u64(5);
         let a = run_once(&base, &mut rng_a).unwrap();
-        let b = run_once(&mut limited, &mut rng_b).unwrap();
+        let b = run_once(&limited, &mut rng_b).unwrap();
         assert_eq!(a.total_cost, b.total_cost);
         assert!(b.elapsed.seconds() >= a.elapsed.seconds() + 60.0 - 1e-9);
     }
@@ -648,8 +645,7 @@ mod tests {
         // Small pool, everything occupied, lossless: every attempt fails
         // fast; with avoid_retry each address is tried at most once until
         // the pool is exhausted.
-        let pool =
-            crate::address::AddressPool::with_random_occupancy(8, 8, &mut rng).unwrap();
+        let pool = crate::address::AddressPool::with_random_occupancy(8, 8, &mut rng).unwrap();
         let cfg = ProtocolConfig::builder()
             .probes(1)
             .listen_period(2.0)
@@ -752,9 +748,9 @@ mod tests {
 mod latency_tests {
     use std::sync::Arc;
 
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
     use zeroconf_dist::DefectiveExponential;
+    use zeroconf_rng::rngs::StdRng;
+    use zeroconf_rng::SeedableRng;
 
     use super::*;
 

@@ -297,8 +297,8 @@ impl Quantiles {
                 .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
             self.sorted = true;
         }
-        let idx = ((q * (self.samples.len() - 1) as f64).round() as usize)
-            .min(self.samples.len() - 1);
+        let idx =
+            ((q * (self.samples.len() - 1) as f64).round() as usize).min(self.samples.len() - 1);
         Some(self.samples[idx])
     }
 

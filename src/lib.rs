@@ -14,11 +14,16 @@
 //!   transition rewards, used to validate the closed forms.
 //! - [`dist`] (`zeroconf-dist`) — defective reply-time distributions and the
 //!   no-answer probabilities of Eq. 1.
+//! - [`engine`] (`zeroconf-engine`) — a batched, cached, multi-threaded
+//!   evaluation engine for whole `(n, r)` landscapes, with a JSON-lines
+//!   wire protocol behind the `zeroconf engine` subcommand.
 //! - [`sim`] (`zeroconf-sim`) — a discrete-event simulator of the actual
 //!   probe/listen protocol, for model validation and multi-host scenarios.
 //! - [`linalg`] (`zeroconf-linalg`) — dense/sparse linear algebra.
 //! - [`numopt`] (`zeroconf-numopt`) — scalar minimization/root finding.
 //! - [`plot`] (`zeroconf-plot`) — CSV/ASCII/SVG figure output.
+//! - [`rng`] (`zeroconf-rng`) — vendored xoshiro256++ randomness, keeping
+//!   the simulator hermetic.
 //!
 //! # Quickstart
 //!
@@ -37,7 +42,9 @@
 pub use zeroconf_cost as cost;
 pub use zeroconf_dist as dist;
 pub use zeroconf_dtmc as dtmc;
+pub use zeroconf_engine as engine;
 pub use zeroconf_linalg as linalg;
 pub use zeroconf_numopt as numopt;
 pub use zeroconf_plot as plot;
+pub use zeroconf_rng as rng;
 pub use zeroconf_sim as sim;

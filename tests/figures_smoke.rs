@@ -7,7 +7,15 @@ use zeroconf_bench::experiments;
 /// calibration, 200k-trial validation) are exercised by the figures
 /// binary and their own integration tests.
 const SMOKE_IDS: [&str; 9] = [
-    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "nu", "multihost", "tradeoff",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "nu",
+    "multihost",
+    "tradeoff",
 ];
 
 #[test]

@@ -4,11 +4,11 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use zeroconf_repro::cost::Scenario;
 use zeroconf_repro::dist::{DefectiveExponential, DefectiveUniform, ReplyTimeDistribution};
 use zeroconf_repro::sim::protocol::{run_many, ProtocolConfig};
+use zeroconf_rng::rngs::StdRng;
+use zeroconf_rng::SeedableRng;
 
 struct Case {
     name: &'static str,
@@ -174,16 +174,14 @@ fn protocol_metrics_match_simulation() {
     let mut rng = StdRng::seed_from_u64(81);
     let summary = run_many(&config, 120_000, &mut rng).unwrap();
     assert!(
-        ((summary.attempts.mean() - metrics.expected_attempts) / metrics.expected_attempts)
-            .abs()
+        ((summary.attempts.mean() - metrics.expected_attempts) / metrics.expected_attempts).abs()
             < 0.01,
         "attempts: sim {} vs model {}",
         summary.attempts.mean(),
         metrics.expected_attempts
     );
     assert!(
-        ((summary.probes_sent.mean() - metrics.expected_probes) / metrics.expected_probes)
-            .abs()
+        ((summary.probes_sent.mean() - metrics.expected_probes) / metrics.expected_probes).abs()
             < 0.01,
         "probes: sim {} vs model {}",
         summary.probes_sent.mean(),

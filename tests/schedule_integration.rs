@@ -4,13 +4,13 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
 use zeroconf_repro::cost::optimize::OptimizeConfig;
 use zeroconf_repro::cost::schedule::{self, Schedule};
 use zeroconf_repro::cost::{paper, Scenario};
 use zeroconf_repro::dist::{DefectiveExponential, ReplyTimeDistribution};
+use zeroconf_rng::rngs::StdRng;
+use zeroconf_rng::Rng;
+use zeroconf_rng::SeedableRng;
 
 fn moderate() -> (Scenario, Arc<dyn ReplyTimeDistribution>) {
     let dist: Arc<dyn ReplyTimeDistribution> =
@@ -48,11 +48,7 @@ fn simulate_schedule(
         loop {
             if rng.gen::<f64>() >= q {
                 // Free address: all rounds paid.
-                run_cost += sched
-                    .periods()
-                    .iter()
-                    .map(|&r| r + c)
-                    .sum::<f64>();
+                run_cost += sched.periods().iter().map(|&r| r + c).sum::<f64>();
                 break;
             }
             // Occupied: earliest reply over independent per-probe delays.
@@ -65,24 +61,19 @@ fn simulate_schedule(
             if earliest < deadline {
                 // Reply lands in round k: rounds 1..=k paid, restart.
                 let k = ends.iter().position(|&end| earliest < end).unwrap();
-                run_cost += sched.periods()[..=k]
-                    .iter()
-                    .map(|&r| r + c)
-                    .sum::<f64>();
+                run_cost += sched.periods()[..=k].iter().map(|&r| r + c).sum::<f64>();
                 continue;
             }
-            run_cost += sched
-                .periods()
-                .iter()
-                .map(|&r| r + c)
-                .sum::<f64>()
-                + e;
+            run_cost += sched.periods().iter().map(|&r| r + c).sum::<f64>() + e;
             collisions += 1;
             break;
         }
         total_cost += run_cost;
     }
-    (total_cost / trials as f64, collisions as f64 / trials as f64)
+    (
+        total_cost / trials as f64,
+        collisions as f64 / trials as f64,
+    )
 }
 
 #[test]
