@@ -20,4 +20,24 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> engine session smoke test (pipelined, 3 requests)"
+cargo build --release -p zeroconf-cli
+SMOKE_OUT="$(printf '%s\n' \
+  '{"v":1,"id":"a","scenario":{"q":0.5,"probe_cost":2.0,"error_cost":1e6,"reply_time":{"kind":"exponential","loss":1e-6,"rate":10.0,"delay":1.0}},"grid":{"n_max":4,"r":[1.0,2.0]}}' \
+  '{"v":1,"id":"b","rescore":{"of":"a","error_cost":1e9}}' \
+  '{"v":1,"id":"c","scenario":{"q":0.5,"probe_cost":2.0,"error_cost":1e6,"reply_time":{"kind":"exponential","loss":1e-6,"rate":10.0,"delay":1.0}},"grid":{"n_max":2,"r":[3.0]}}' \
+  | ./target/release/zeroconf engine --inflight 3 --stats)"
+for id in a b c; do
+  if [[ "$(grep -c "\"id\":\"$id\"" <<<"$SMOKE_OUT")" != 1 ]]; then
+    echo "ci: engine smoke test missed response for id '$id'" >&2
+    echo "$SMOKE_OUT" >&2
+    exit 1
+  fi
+done
+grep -q '"pipeline":{"depth":3' <<<"$SMOKE_OUT" || {
+  echo "ci: engine smoke test stats line lacks the pipeline block" >&2
+  echo "$SMOKE_OUT" >&2
+  exit 1
+}
+
 echo "ci: all gates passed"

@@ -1,18 +1,21 @@
 //! Throughput of the batched landscape-evaluation engine.
 //!
 //! Times one 200 × 200 `(n, r)` sweep of the Figure-2 scenario four ways —
-//! single-threaded vs the full worker pool, cache-cold vs cache-warm — and
-//! writes the measurements to `BENCH_engine.json` at the repository root
-//! for machine consumption, alongside the human-readable summary on
-//! stdout. Uses a custom `main` on top of [`zeroconf_bench::harness`]
-//! rather than the Criterion-shaped macros, because the cold/warm split
-//! needs explicit control over engine lifetimes.
+//! single-threaded vs the full worker pool, cache-cold vs cache-warm — plus
+//! a 16-request session dispatched serially vs through the pipelined
+//! front-end, and writes the measurements to `BENCH_engine.json` at the
+//! repository root for machine consumption, alongside the human-readable
+//! summary on stdout. Uses a custom `main` on top of
+//! [`zeroconf_bench::harness`] rather than the Criterion-shaped macros,
+//! because the cold/warm split needs explicit control over engine
+//! lifetimes.
 
 use std::path::Path;
+use std::sync::Arc;
 
 use zeroconf_bench::harness::{format_nanos, measure, BenchRecord};
 use zeroconf_cost::paper;
-use zeroconf_engine::{Engine, EngineConfig, GridSpec, SweepRequest};
+use zeroconf_engine::{Engine, EngineConfig, GridSpec, Pipeline, PipelineConfig, SweepRequest};
 
 /// Grid size: 200 probe counts × 200 listening periods = 40 000 cells.
 const N_MAX: u32 = 200;
@@ -51,15 +54,76 @@ fn warm(threads: usize, request: &SweepRequest) -> BenchRecord {
     })
 }
 
-fn record_json(record: &BenchRecord, threads: usize, cache: &str) -> String {
+/// Session shape for the pipelined-vs-serial comparison: 16 moderate
+/// sweeps with staggered r-grids (no π-table aliasing between requests).
+const SESSION_REQUESTS: usize = 16;
+const SESSION_N_MAX: u32 = 32;
+const SESSION_R_POINTS: usize = 40;
+
+fn session_requests() -> Vec<SweepRequest> {
+    let scenario = paper::figure2_scenario().expect("paper scenario is valid");
+    (0..SESSION_REQUESTS)
+        .map(|k| {
+            let lo = 0.1 + 0.013 * k as f64;
+            SweepRequest::new(
+                scenario.clone(),
+                GridSpec::linspace(SESSION_N_MAX, lo, 30.0, SESSION_R_POINTS),
+            )
+        })
+        .collect()
+}
+
+/// Baseline session: the requests evaluated one at a time on a fresh
+/// engine — the old blocking `Session` dispatch pattern.
+fn serial_session(threads: usize, requests: &[SweepRequest]) -> BenchRecord {
+    measure("engine/session/serial", SAMPLES, || {
+        let engine = Engine::new(config(threads));
+        requests
+            .iter()
+            .map(|request| {
+                engine
+                    .evaluate(request)
+                    .expect("sweep evaluates")
+                    .cells
+                    .len()
+            })
+            .sum::<usize>()
+    })
+}
+
+/// The same requests streamed through a `Pipeline` with `depth` in
+/// flight, drained at the end. On a multi-core host the overlap wins; on
+/// a single-CPU host this measures pure pipelining overhead.
+fn pipelined_session(threads: usize, depth: usize, requests: &[SweepRequest]) -> BenchRecord {
+    measure(
+        &format!("engine/session/pipelined/depth={depth}"),
+        SAMPLES,
+        || {
+            let engine = Arc::new(Engine::new(config(threads)));
+            let mut pipeline = Pipeline::new(engine, PipelineConfig::with_depth(depth));
+            for request in requests {
+                pipeline.submit(request.clone()).expect("sweep submits");
+            }
+            pipeline.drain().len()
+        },
+    )
+}
+
+fn record_json(
+    record: &BenchRecord,
+    threads: usize,
+    cache: &str,
+    n_max: u32,
+    r_points: usize,
+) -> String {
     format!(
         "{{\"id\":{:?},\"cache\":{:?},\"threads\":{},\"n_max\":{},\"r_points\":{},\
          \"median_ns\":{},\"min_ns\":{},\"mean_ns\":{},\"samples\":{},\"iters_per_sample\":{}}}",
         record.id,
         cache,
         threads,
-        N_MAX,
-        R_POINTS,
+        n_max,
+        r_points,
         record.median_ns,
         record.min_ns,
         record.mean_ns,
@@ -78,15 +142,21 @@ fn main() {
         "engine throughput on a {N_MAX} x {R_POINTS} grid ({} cells):",
         request.grid.cells()
     );
-    let runs = [
+    let grid_runs = [
         (cold(1, &request), 1, "cold"),
         (cold(pool, &request), pool, "cold"),
         (warm(1, &request), 1, "warm"),
         (warm(pool, &request), pool, "warm"),
     ];
-    for (record, _, _) in &runs {
+    let requests = session_requests();
+    let depth = SESSION_REQUESTS.min(4);
+    let session_runs = [
+        (serial_session(1, &requests), 1, "cold"),
+        (pipelined_session(1, depth, &requests), 1, "cold"),
+    ];
+    for (record, _, _) in grid_runs.iter().chain(&session_runs) {
         println!(
-            "  {:<28} median {:>10}/sweep (min {}, {} samples)",
+            "  {:<32} median {:>10}/run (min {}, {} samples)",
             record.id,
             format_nanos(record.median_ns),
             format_nanos(record.min_ns),
@@ -96,20 +166,28 @@ fn main() {
     let speedup = |single: &BenchRecord, multi: &BenchRecord| single.median_ns / multi.median_ns;
     println!(
         "  cold speedup at {pool} threads: {:.2}x, warm: {:.2}x",
-        speedup(&runs[0].0, &runs[1].0),
-        speedup(&runs[2].0, &runs[3].0)
+        speedup(&grid_runs[0].0, &grid_runs[1].0),
+        speedup(&grid_runs[2].0, &grid_runs[3].0)
+    );
+    println!(
+        "  pipelined session (depth {depth}) vs serial: {:.2}x over {} requests",
+        speedup(&session_runs[0].0, &session_runs[1].0),
+        SESSION_REQUESTS
     );
     if std::thread::available_parallelism().map_or(true, |p| p.get() < 2) {
         println!(
-            "  note: host exposes a single CPU, so the {pool}-thread runs can only \
-             measure pool overhead, not speedup"
+            "  note: host exposes a single CPU, so the {pool}-thread and pipelined \
+             runs can only measure dispatch overhead, not speedup"
         );
     }
 
-    let lines: Vec<String> = runs
+    let mut lines: Vec<String> = grid_runs
         .iter()
-        .map(|(record, threads, cache)| record_json(record, *threads, cache))
+        .map(|(record, threads, cache)| record_json(record, *threads, cache, N_MAX, R_POINTS))
         .collect();
+    lines.extend(session_runs.iter().map(|(record, threads, cache)| {
+        record_json(record, *threads, cache, SESSION_N_MAX, SESSION_R_POINTS)
+    }));
     let json = format!("[\n  {}\n]\n", lines.join(",\n  "));
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_engine.json");
     match std::fs::write(&path, json) {

@@ -10,7 +10,7 @@
 //! zeroconf frontier  <scenario flags> [--budget 1e-40]
 //! zeroconf calibrate <network flags> --target-probes 4 --target-listen 2
 //! zeroconf simulate  <scenario flags> --probes 4 --listen 2 --trials 100000 --seed 7
-//! zeroconf engine    [--workers N] [--cache N] [--stats]   # JSON-lines on stdin/stdout
+//! zeroconf engine    [--workers N] [--cache N] [--inflight N] [--stats]   # JSON-lines on stdin/stdout
 //! ```
 //!
 //! All commands share the scenario flags (`--hosts` or `--occupancy`,
@@ -158,6 +158,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
 struct EngineOptions {
     workers: usize,
     cache_tables: usize,
+    inflight: usize,
     emit_stats: bool,
 }
 
@@ -177,7 +178,7 @@ fn engine_options(args: &[String]) -> Result<EngineOptions, CliError> {
         .cloned()
         .collect();
     let flags = Flags::parse(&positional)?;
-    let unknown = flags.unknown_flags(&["workers", "cache"]);
+    let unknown = flags.unknown_flags(&["workers", "cache", "inflight"]);
     if !unknown.is_empty() {
         return Err(err(format!("unknown flags: {}", unknown.join(", "))));
     }
@@ -189,6 +190,7 @@ fn engine_options(args: &[String]) -> Result<EngineOptions, CliError> {
         cache_tables: flags
             .number("cache")?
             .map_or(defaults.cache_tables, |c| c as usize),
+        inflight: flags.number("inflight")?.map_or(1, |n| n as usize),
         emit_stats,
     })
 }
@@ -196,6 +198,10 @@ fn engine_options(args: &[String]) -> Result<EngineOptions, CliError> {
 /// Runs a JSON-lines engine session over `input`, one response line per
 /// request line (see [`zeroconf_engine::wire`] for the schema). Factored
 /// off the stdin path so tests can drive it with strings.
+///
+/// With `--inflight 1` (the default) responses come back in input order,
+/// one per line. With `--inflight N > 1` up to `N` requests are pipelined
+/// and responses arrive in **completion order**, keyed by their `id`.
 ///
 /// # Errors
 ///
@@ -207,17 +213,39 @@ pub fn engine_process(input: &str, args: &[String]) -> Result<String, CliError> 
         workers: options.workers.max(1),
         cache_tables: options.cache_tables.max(1),
     });
-    let mut session = zeroconf_engine::wire::Session::new(engine);
     let mut out = String::new();
-    for line in input.lines() {
-        if let Some(response) = session.handle_line(line) {
-            out.push_str(&response);
+    let push = |lines: Vec<String>, out: &mut String| {
+        for line in lines {
+            out.push_str(&line);
             out.push('\n');
         }
-    }
-    if options.emit_stats {
-        out.push_str(&session.stats_line());
-        out.push('\n');
+    };
+    if options.inflight > 1 {
+        let mut session = zeroconf_engine::wire::PipelinedSession::new(
+            engine,
+            zeroconf_engine::PipelineConfig::with_depth(options.inflight),
+        );
+        for line in input.lines() {
+            push(session.submit_line(line), &mut out);
+            push(session.poll_responses(), &mut out);
+        }
+        push(session.drain(), &mut out);
+        if options.emit_stats {
+            out.push_str(&session.stats_line());
+            out.push('\n');
+        }
+    } else {
+        let mut session = zeroconf_engine::wire::Session::new(engine);
+        for line in input.lines() {
+            if let Some(response) = session.handle_line(line) {
+                out.push_str(&response);
+                out.push('\n');
+            }
+        }
+        if options.emit_stats {
+            out.push_str(&session.stats_line());
+            out.push('\n');
+        }
     }
     Ok(out)
 }
@@ -255,7 +283,7 @@ pub fn usage() -> String {
      \u{20}  frontier: [--budget P] [--n-max N]\n\
      \u{20}  calibrate: --target-probes N --target-listen R\n\
      \u{20}  optimize: [--n-max N] [--r-max R]\n\
-     \u{20}  engine: [--workers N] [--cache TABLES] [--stats]\n\
+     \u{20}  engine: [--workers N] [--cache TABLES] [--inflight N] [--stats]\n\
      example:\n\
      \u{20}  zeroconf optimize --hosts 1000 --probe-cost 2 --error-cost 1e35 \\\n\
      \u{20}           --loss 1e-15 --rate 10 --delay 1"
@@ -536,6 +564,55 @@ mod tests {
         assert!(lines[1].contains("\"cache_misses\":0"), "{}", lines[1]);
         assert!(lines[2].contains("\"requests\":2"), "{}", lines[2]);
         assert!(lines[2].contains("cells_per_worker"), "{}", lines[2]);
+    }
+
+    #[test]
+    fn engine_pipelined_session_answers_every_id() {
+        // Three sweeps through the pipelined path: every id answered
+        // exactly once, stats carries the pipeline latency block.
+        let input = format!(
+            "{}\n{}\n{}\n",
+            ENGINE_SWEEP,
+            ENGINE_SWEEP.replace("\"id\":\"s1\"", "\"id\":\"s2\""),
+            ENGINE_SWEEP.replace("\"id\":\"s1\"", "\"id\":\"s3\""),
+        );
+        let out = engine_process(&input, &args("--workers 2 --inflight 3 --stats")).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4, "{out}");
+        for id in ["s1", "s2", "s3"] {
+            let matching: Vec<&&str> = lines
+                .iter()
+                .filter(|l| l.contains(&format!("\"id\":\"{id}\"")))
+                .collect();
+            assert_eq!(matching.len(), 1, "one response for {id}: {out}");
+            assert!(matching[0].contains("\"cells\""), "{}", matching[0]);
+        }
+        let stats = lines[3];
+        assert!(stats.contains("\"pipeline\":{\"depth\":3"), "{stats}");
+        assert!(stats.contains("\"submitted\":3"), "{stats}");
+        assert!(stats.contains("service_ns_total"), "{stats}");
+    }
+
+    #[test]
+    fn engine_pipelined_path_matches_blocking_path() {
+        // The pipelined codec must not change a single byte of a
+        // response body — only the measured wall time may differ.
+        fn blank_wall_ns(out: &str) -> String {
+            let mut out = out.to_owned();
+            let mut from = 0;
+            while let Some(hit) = out[from..].find("\"wall_ns\":") {
+                let digits = from + hit + "\"wall_ns\":".len();
+                let end = out[digits..]
+                    .find(|c: char| !c.is_ascii_digit())
+                    .map_or(out.len(), |k| digits + k);
+                out.replace_range(digits..end, "_");
+                from = digits;
+            }
+            out
+        }
+        let serial = engine_process(ENGINE_SWEEP, &args("--workers 1")).unwrap();
+        let pipelined = engine_process(ENGINE_SWEEP, &args("--workers 1 --inflight 4")).unwrap();
+        assert_eq!(blank_wall_ns(&serial), blank_wall_ns(&pipelined));
     }
 
     #[test]

@@ -48,19 +48,23 @@
 //! ```
 
 mod cache;
+pub mod pipeline;
 mod pool;
 mod request;
 pub mod wire;
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use zeroconf_cost::CostError;
 
+pub use pipeline::{Completion, Pipeline, PipelineConfig, PipelineStats, RequestId};
 pub use request::{
-    BatchStats, Cell, EngineStats, GridSpec, Metric, RescoreDelta, SweepRequest, SweepResponse,
+    BatchStats, Cell, EngineStats, GridSpec, Metric, RescoreDelta, SweepRequest,
+    SweepRequestBuilder, SweepResponse,
 };
+pub use wire::WireError;
 
 use cache::SharedCache;
 use pool::{Job, WorkerPool};
@@ -87,6 +91,12 @@ impl Default for EngineConfig {
 }
 
 /// Errors from the engine.
+///
+/// This is the single error surface of the crate: wire-protocol failures
+/// ([`WireError`]) and cost-model failures ([`CostError`]) both convert
+/// into it, so [`wire::Session`], [`wire::PipelinedSession`] and
+/// [`Pipeline`] all return one type and the wire encoder stringifies an
+/// error exactly once.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum EngineError {
@@ -97,6 +107,10 @@ pub enum EngineError {
     },
     /// An underlying cost-model evaluation failed.
     Cost(CostError),
+    /// A wire-protocol line failed to parse or decode.
+    Wire(wire::WireError),
+    /// The request was cancelled before it finished evaluating.
+    Cancelled,
 }
 
 impl std::fmt::Display for EngineError {
@@ -104,6 +118,8 @@ impl std::fmt::Display for EngineError {
         match self {
             EngineError::InvalidRequest { what } => write!(f, "invalid request: {what}"),
             EngineError::Cost(e) => write!(f, "evaluation failed: {e}"),
+            EngineError::Wire(e) => write!(f, "{e}"),
+            EngineError::Cancelled => write!(f, "request cancelled"),
         }
     }
 }
@@ -112,7 +128,8 @@ impl std::error::Error for EngineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             EngineError::Cost(e) => Some(e),
-            EngineError::InvalidRequest { .. } => None,
+            EngineError::Wire(e) => Some(e),
+            EngineError::InvalidRequest { .. } | EngineError::Cancelled => None,
         }
     }
 }
@@ -120,6 +137,39 @@ impl std::error::Error for EngineError {
 impl From<CostError> for EngineError {
     fn from(e: CostError) -> Self {
         EngineError::Cost(e)
+    }
+}
+
+impl From<wire::WireError> for EngineError {
+    fn from(e: wire::WireError) -> Self {
+        EngineError::Wire(e)
+    }
+}
+
+/// A shareable cancellation flag for one in-flight request.
+///
+/// Cloning shares the flag. [`CancelToken::cancel`] is sticky: once set,
+/// every participant evaluating the request bails out at the next `r`
+/// boundary and the request completes with [`EngineError::Cancelled`].
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    #[must_use]
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
     }
 }
 
@@ -174,9 +224,30 @@ impl Engine {
     /// [`EngineError::InvalidRequest`] for malformed grids and propagated
     /// [`EngineError::Cost`] evaluation failures.
     pub fn evaluate(&self, request: &SweepRequest) -> Result<SweepResponse, EngineError> {
+        self.evaluate_cancellable(request, &CancelToken::new())
+    }
+
+    /// Like [`Engine::evaluate`], but observing `cancel`: if the token is
+    /// cancelled before or during the sweep, evaluation stops at the next
+    /// `r` boundary and the call returns [`EngineError::Cancelled`]. The
+    /// [`Pipeline`] uses this to abort in-flight requests.
+    ///
+    /// # Errors
+    ///
+    /// The [`Engine::evaluate`] conditions plus [`EngineError::Cancelled`].
+    pub fn evaluate_cancellable(
+        &self,
+        request: &SweepRequest,
+        cancel: &CancelToken,
+    ) -> Result<SweepResponse, EngineError> {
         request.validate()?;
         let start = Instant::now();
-        let job = Arc::new(Job::new(request, Arc::clone(&self.cache), self.workers()));
+        let job = Arc::new(Job::new(
+            request,
+            Arc::clone(&self.cache),
+            self.workers(),
+            cancel.clone(),
+        ));
         self.pool.broadcast(&job);
         job.run(0);
         let per_r = job.wait()?;

@@ -19,7 +19,7 @@ use zeroconf_dist::ReplyTimeDistribution;
 
 use crate::cache::SharedCache;
 use crate::request::{Cell, Metric, SweepRequest};
-use crate::EngineError;
+use crate::{CancelToken, EngineError};
 
 /// How many chunks each participant should get on average; more than one
 /// so uneven cells rebalance, not so many that cursor traffic dominates.
@@ -45,6 +45,10 @@ pub(crate) struct Job {
     /// `r` indices not yet finished; the caller waits for zero.
     pending: Mutex<usize>,
     done: Condvar,
+    /// Cooperative cancellation, checked at every `r` boundary. A
+    /// cancelled job still drains its work list (each claimed index is
+    /// marked done without evaluating) so the latch always releases.
+    cancel: CancelToken,
     /// Cells evaluated per participant (0 = caller, `1..` = pool workers).
     cells_by_worker: Vec<AtomicU64>,
     /// Cache hits/misses charged to this job alone.
@@ -57,7 +61,12 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 impl Job {
-    pub(crate) fn new(request: &SweepRequest, cache: Arc<SharedCache>, participants: usize) -> Job {
+    pub(crate) fn new(
+        request: &SweepRequest,
+        cache: Arc<SharedCache>,
+        participants: usize,
+        cancel: CancelToken,
+    ) -> Job {
         let r_count = request.grid.r_values.len();
         Job {
             scenario: request.scenario.clone(),
@@ -73,6 +82,7 @@ impl Job {
             failure: Mutex::new(None),
             pending: Mutex::new(r_count),
             done: Condvar::new(),
+            cancel,
             cells_by_worker: (0..participants).map(|_| AtomicU64::new(0)).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -89,11 +99,15 @@ impl Job {
             }
             let end = (start + self.chunk).min(self.r_values.len());
             for index in start..end {
-                match self.evaluate_r(self.r_values[index], worker) {
-                    Ok(cells) => lock(&self.results)[index] = Some(cells),
-                    Err(e) => {
-                        let mut failure = lock(&self.failure);
-                        failure.get_or_insert(e);
+                if self.cancel.is_cancelled() {
+                    lock(&self.failure).get_or_insert(EngineError::Cancelled);
+                } else {
+                    match self.evaluate_r(self.r_values[index], worker) {
+                        Ok(cells) => lock(&self.results)[index] = Some(cells),
+                        Err(e) => {
+                            let mut failure = lock(&self.failure);
+                            failure.get_or_insert(e);
+                        }
                     }
                 }
                 let mut pending = lock(&self.pending);

@@ -65,17 +65,36 @@ pub struct SweepRequest {
 
 impl SweepRequest {
     /// A sweep over `grid` computing both metrics.
+    ///
+    /// This is a thin shim over [`SweepRequest::builder`] kept for
+    /// compatibility; it performs **no** validation (problems surface at
+    /// [`crate::Engine::evaluate`] time). Prefer the builder — and avoid
+    /// poking the public fields directly — so malformed grids are rejected
+    /// at construction.
     #[must_use]
     pub fn new(scenario: Scenario, grid: GridSpec) -> SweepRequest {
-        SweepRequest {
-            scenario,
-            grid,
-            metrics: vec![Metric::MeanCost, Metric::ErrorProbability],
-        }
+        SweepRequestBuilder::new()
+            .scenario(scenario)
+            .grid(grid)
+            .into_unvalidated()
+    }
+
+    /// Starts a [`SweepRequestBuilder`] — the recommended way to construct
+    /// a request. `build()` validates the grid bounds and metric
+    /// selection.
+    #[must_use]
+    pub fn builder() -> SweepRequestBuilder {
+        SweepRequestBuilder::new()
     }
 
     /// Validates grid shape and metric selection.
-    pub(crate) fn validate(&self) -> Result<(), EngineError> {
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidRequest`] naming the first problem: a zero
+    /// `n_max`, an empty or non-finite/negative `r` grid, or an empty
+    /// metric list.
+    pub fn validate(&self) -> Result<(), EngineError> {
         if self.grid.n_max == 0 {
             return Err(EngineError::InvalidRequest {
                 what: "grid needs n_max >= 1".to_owned(),
@@ -108,6 +127,119 @@ impl SweepRequest {
     #[must_use]
     pub fn wants(&self, metric: Metric) -> bool {
         self.metrics.contains(&metric)
+    }
+}
+
+/// Builder-first construction of a [`SweepRequest`].
+///
+/// Unlike field-poking a `SweepRequest` (discouraged) or
+/// [`SweepRequest::new`] (unvalidated shim), [`SweepRequestBuilder::build`]
+/// validates the grid bounds and metric selection, so a malformed request
+/// is rejected before it ever reaches an engine or a pipeline queue.
+///
+/// ```
+/// use zeroconf_engine::{Metric, SweepRequest};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let scenario = zeroconf_cost::paper::figure2_scenario()?;
+/// let request = SweepRequest::builder()
+///     .scenario(scenario)
+///     .linspace(8, 0.1, 30.0, 60)
+///     .metric(Metric::MeanCost)
+///     .build()?;
+/// assert_eq!(request.grid.cells(), 8 * 60);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SweepRequestBuilder {
+    scenario: Option<Scenario>,
+    grid: Option<GridSpec>,
+    metrics: Vec<Metric>,
+}
+
+impl SweepRequestBuilder {
+    /// An empty builder; [`SweepRequest::builder`] is the usual entry.
+    #[must_use]
+    pub fn new() -> SweepRequestBuilder {
+        SweepRequestBuilder::default()
+    }
+
+    /// Sets the scenario under evaluation (required).
+    #[must_use]
+    pub fn scenario(mut self, scenario: Scenario) -> SweepRequestBuilder {
+        self.scenario = Some(scenario);
+        self
+    }
+
+    /// Sets the `(n, r)` grid (required, unless [`Self::linspace`] is
+    /// used).
+    #[must_use]
+    pub fn grid(mut self, grid: GridSpec) -> SweepRequestBuilder {
+        self.grid = Some(grid);
+        self
+    }
+
+    /// Convenience for [`Self::grid`] with an evenly spaced `r` range —
+    /// `GridSpec::linspace(n_max, r_lo, r_hi, points)`.
+    #[must_use]
+    pub fn linspace(self, n_max: u32, r_lo: f64, r_hi: f64, points: usize) -> SweepRequestBuilder {
+        self.grid(GridSpec::linspace(n_max, r_lo, r_hi, points))
+    }
+
+    /// Adds one metric to evaluate per cell. Duplicates are ignored. When
+    /// no metric is named, `build()` defaults to both.
+    #[must_use]
+    pub fn metric(mut self, metric: Metric) -> SweepRequestBuilder {
+        if !self.metrics.contains(&metric) {
+            self.metrics.push(metric);
+        }
+        self
+    }
+
+    /// Replaces the metric selection wholesale.
+    #[must_use]
+    pub fn metrics(mut self, metrics: impl IntoIterator<Item = Metric>) -> SweepRequestBuilder {
+        self.metrics = metrics.into_iter().collect();
+        self
+    }
+
+    /// Builds and validates the request.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidRequest`] when the scenario or grid is
+    /// missing, or when [`SweepRequest::validate`] rejects the grid or
+    /// metric selection.
+    pub fn build(self) -> Result<SweepRequest, EngineError> {
+        if self.scenario.is_none() {
+            return Err(EngineError::InvalidRequest {
+                what: "builder needs a scenario".to_owned(),
+            });
+        }
+        if self.grid.is_none() {
+            return Err(EngineError::InvalidRequest {
+                what: "builder needs a grid".to_owned(),
+            });
+        }
+        let request = self.into_unvalidated();
+        request.validate()?;
+        Ok(request)
+    }
+
+    /// The shared assembly step behind `build()` and the unvalidated
+    /// [`SweepRequest::new`] shim. Missing parts become zero-size
+    /// placeholders that `validate()` rejects.
+    fn into_unvalidated(self) -> SweepRequest {
+        let metrics = if self.metrics.is_empty() {
+            vec![Metric::MeanCost, Metric::ErrorProbability]
+        } else {
+            self.metrics
+        };
+        SweepRequest {
+            scenario: self.scenario.expect("scenario set by every caller"),
+            grid: self.grid.expect("grid set by every caller"),
+            metrics,
+        }
     }
 }
 

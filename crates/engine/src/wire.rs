@@ -3,33 +3,49 @@
 //! One request per input line, one response per output line. A sweep:
 //!
 //! ```json
-//! {"id":"s1",
+//! {"v":1,"id":"s1",
 //!  "scenario":{"q":0.000975,"probe_cost":2.0,"error_cost":1e35,
 //!              "reply_time":{"kind":"exponential","loss":1e-15,"rate":10.0,"delay":1.0}},
 //!  "grid":{"n_max":8,"r_min":0.1,"r_max":30.0,"r_points":300},
 //!  "metrics":["mean_cost","error_probability"]}
 //! ```
 //!
+//! The protocol is versioned: requests may carry `"v"` (defaulting to
+//! [`WIRE_VERSION`] when absent), responses always do, and an unknown
+//! version is answered with a structured error line instead of a guess.
 //! `scenario.hosts` may replace `q` (occupancy `1/hosts`, the paper's
 //! convention), `grid.r` may list explicit values instead of the
 //! `r_min`/`r_max`/`r_points` linspace, and `metrics` defaults to both. A
-//! rescore references an earlier sweep by id and changes only economics:
+//! rescore references an earlier sweep by id and changes only economics,
+//! and a cancel withdraws an in-flight request by id:
 //!
 //! ```json
-//! {"id":"s2","rescore":{"of":"s1","error_cost":1e30}}
+//! {"v":1,"id":"s2","rescore":{"of":"s1","error_cost":1e30}}
+//! {"v":1,"id":"c1","cancel":"s2"}
 //! ```
 //!
 //! Responses carry the cells in `r`-major order plus per-request counters
-//! (`{"id":"s1","cells":[{"n":1,"r":0.1,"mean_cost":…,"error_probability":…},…],
+//! (`{"v":1,"id":"s1","cells":[{"n":1,"r":0.1,"mean_cost":…,"error_probability":…},…],
 //! "stats":{"wall_ns":…,"cache_hits":…,"cache_misses":…,"cells":…,"workers":…}}`);
-//! failures come back as `{"id":…,"error":"…"}` without ending the
+//! failures come back as `{"v":1,"id":…,"error":"…"}` without ending the
 //! session. Reply-time kinds on the wire: `deterministic` (mass, delay),
 //! `exponential` (loss *or* mass, rate, delay), `uniform` (mass, lo, hi),
 //! `weibull` (mass, shape, scale, delay) and `mixture` (components of
 //! `{"weight":…,"dist":{…}}`). The library API accepts any
 //! [`ReplyTimeDistribution`]; the wire is limited to these constructors.
+//!
+//! Two session front-ends speak the protocol:
+//!
+//! - [`PipelinedSession`] — the real one: a thin codec over
+//!   [`Pipeline`](crate::Pipeline), keeping several requests in flight
+//!   and emitting responses in **completion order** (out of order with
+//!   respect to the input when a short sweep overtakes a long one).
+//!   Rescores of a still-in-flight base are held back and dispatched the
+//!   moment the base completes.
+//! - [`Session`] — the historical blocking API, now a depth-1 shim over
+//!   the same pipeline: one line in, one line out, in order.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use zeroconf_cost::Scenario;
@@ -38,7 +54,13 @@ use zeroconf_dist::{
     ReplyTimeDistribution,
 };
 
-use crate::{Engine, GridSpec, Metric, RescoreDelta, SweepRequest, SweepResponse};
+use crate::pipeline::{Completion, Pipeline, PipelineConfig, PipelineStats, RequestId};
+use crate::{Engine, EngineError, GridSpec, Metric, RescoreDelta, SweepRequest, SweepResponse};
+
+/// The wire-protocol version this build speaks. Requests without a `"v"`
+/// field are treated as this version; any other value is rejected with a
+/// structured error line.
+pub const WIRE_VERSION: u64 = 1;
 
 /// A wire-protocol failure: parse errors and semantic errors, rendered
 /// into the `error` response field.
@@ -324,6 +346,13 @@ pub enum WireRequest {
         /// The economic changes.
         delta: RescoreDelta,
     },
+    /// Cancellation of an in-flight request.
+    Cancel {
+        /// Id of this request (echoed in the acknowledgement).
+        id: String,
+        /// Id of the request to cancel.
+        of: String,
+    },
 }
 
 fn field_f64(obj: &Json, key: &str) -> Result<f64, WireError> {
@@ -439,18 +468,41 @@ fn decode_metrics(value: Option<&Json>) -> Result<Vec<Metric>, WireError> {
         .collect()
 }
 
-/// Decodes one request line.
+/// Checks the request's protocol version field: absent means
+/// [`WIRE_VERSION`]; anything else must match it exactly.
 ///
 /// # Errors
 ///
-/// Returns a [`WireError`] for syntax or schema problems.
-pub fn parse_request_line(line: &str) -> Result<WireRequest, WireError> {
-    let value = parse_json(line)?;
+/// Returns a [`WireError`] naming the unsupported version.
+pub fn check_version(value: &Json) -> Result<(), WireError> {
+    match value.get("v") {
+        None => Ok(()),
+        Some(Json::Num(v)) if *v == WIRE_VERSION as f64 => Ok(()),
+        Some(Json::Num(v)) => Err(err(format!(
+            "unsupported protocol version {v}; this build speaks v{WIRE_VERSION}"
+        ))),
+        Some(_) => Err(err("`v` must be a number")),
+    }
+}
+
+/// Decodes one parsed request object (version already checked).
+///
+/// # Errors
+///
+/// Returns a [`WireError`] for schema problems.
+pub fn decode_request(value: &Json) -> Result<WireRequest, WireError> {
     let id = value
         .get("id")
         .and_then(Json::str)
         .ok_or_else(|| err("request needs a string `id`"))?
         .to_owned();
+    if let Some(cancel) = value.get("cancel") {
+        let of = cancel
+            .str()
+            .ok_or_else(|| err("cancel needs the target request's id as a string"))?
+            .to_owned();
+        return Ok(WireRequest::Cancel { id, of });
+    }
     if let Some(rescore) = value.get("rescore") {
         let of = rescore
             .get("of")
@@ -485,6 +537,17 @@ pub fn parse_request_line(line: &str) -> Result<WireRequest, WireError> {
     })
 }
 
+/// Decodes one request line: parse, version check, schema decode.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] for syntax, version or schema problems.
+pub fn parse_request_line(line: &str) -> Result<WireRequest, WireError> {
+    let value = parse_json(line)?;
+    check_version(&value)?;
+    decode_request(&value)
+}
+
 // ---------------------------------------------------------------------------
 // Response encoding
 // ---------------------------------------------------------------------------
@@ -493,7 +556,7 @@ pub fn parse_request_line(line: &str) -> Result<WireRequest, WireError> {
 #[must_use]
 pub fn response_line(id: &str, response: &SweepResponse) -> String {
     let mut out = String::with_capacity(64 + response.cells.len() * 64);
-    out.push_str("{\"id\":\"");
+    out.push_str("{\"v\":1,\"id\":\"");
     out.push_str(&escape(id));
     out.push_str("\",\"cells\":[");
     for (i, cell) in response.cells.iter().enumerate() {
@@ -517,79 +580,161 @@ pub fn response_line(id: &str, response: &SweepResponse) -> String {
     out
 }
 
-/// Encodes a failure response line.
+/// Encodes a failure response line. Takes the unified [`EngineError`] so
+/// every failure path — parse, validation, evaluation, cancellation —
+/// stringifies exactly once, here.
 #[must_use]
-pub fn error_line(id: &str, message: &str) -> String {
+pub fn error_line(id: &str, error: &EngineError) -> String {
     format!(
-        "{{\"id\":\"{}\",\"error\":\"{}\"}}",
+        "{{\"v\":1,\"id\":\"{}\",\"error\":\"{}\"}}",
         escape(id),
-        escape(message)
+        escape(&error.to_string())
     )
 }
 
-// ---------------------------------------------------------------------------
-// Session: the CLI's request loop, engine-owning and id-remembering
-// ---------------------------------------------------------------------------
-
-/// A stateful JSON-lines session: owns the engine and remembers each
-/// sweep by id so later `rescore` lines can reference it. One session per
-/// CLI invocation; also usable directly in tests.
-pub struct Session {
-    engine: Engine,
-    sweeps: HashMap<String, SweepRequest>,
+/// Encodes the acknowledgement of a `cancel` request: `id` is the cancel
+/// request's own id, `of` the request it withdrew.
+#[must_use]
+pub fn cancel_line(id: &str, of: &str) -> String {
+    format!(
+        "{{\"v\":1,\"id\":\"{}\",\"cancelled\":\"{}\"}}",
+        escape(id),
+        escape(of)
+    )
 }
 
-impl Session {
-    /// Starts a session around `engine`.
+fn invalid(what: impl Into<String>) -> EngineError {
+    EngineError::InvalidRequest { what: what.into() }
+}
+
+// ---------------------------------------------------------------------------
+// Sessions: JSON-lines codecs over the pipeline
+// ---------------------------------------------------------------------------
+
+/// One wire request currently inside the pipeline.
+struct InFlight {
+    wire_id: String,
+    request: SweepRequest,
+}
+
+/// A pipelined JSON-lines session: a thin codec over
+/// [`Pipeline`](crate::Pipeline).
+///
+/// [`PipelinedSession::submit_line`] decodes one input line and enqueues
+/// it (blocking only when the pipeline's depth bound is reached —
+/// backpressure); [`PipelinedSession::poll_responses`] encodes whatever
+/// has completed so far; [`PipelinedSession::drain`] blocks until every
+/// in-flight request is answered. Responses therefore come back in
+/// **completion order**, keyed by the caller's `id` field, not in input
+/// order.
+///
+/// Rescore lines whose base sweep is still in flight are *held back* and
+/// submitted automatically the moment the base completes, so a pipelined
+/// client may stream `sweep s1` / `rescore s2 of s1` back-to-back without
+/// waiting. Every non-empty input line produces exactly one output line,
+/// pipelined or not.
+pub struct PipelinedSession {
+    pipeline: Pipeline,
+    /// Completed sweeps by wire id, referencable by later rescores.
+    sweeps: HashMap<String, SweepRequest>,
+    /// Requests inside the pipeline, keyed by pipeline id.
+    in_flight: HashMap<RequestId, InFlight>,
+    /// Live wire id → pipeline id (for `cancel` lines).
+    by_wire_id: HashMap<String, RequestId>,
+    /// Rescores waiting for their base to complete: base wire id → list
+    /// of (rescore wire id, delta).
+    waiting: HashMap<String, Vec<(String, RescoreDelta)>>,
+    /// Wire ids submitted or waiting whose response has not been emitted.
+    pending_ids: HashSet<String>,
+}
+
+impl PipelinedSession {
+    /// Starts a pipelined session around `engine`.
     #[must_use]
-    pub fn new(engine: Engine) -> Session {
-        Session {
-            engine,
+    pub fn new(engine: Engine, config: PipelineConfig) -> PipelinedSession {
+        PipelinedSession {
+            pipeline: Pipeline::new(Arc::new(engine), config),
             sweeps: HashMap::new(),
+            in_flight: HashMap::new(),
+            by_wire_id: HashMap::new(),
+            waiting: HashMap::new(),
+            pending_ids: HashSet::new(),
         }
     }
 
-    /// Handles one input line, returning exactly one response line
-    /// (success or `error`). Blank lines return `None`.
-    pub fn handle_line(&mut self, line: &str) -> Option<String> {
+    /// Decodes and enqueues one input line. Returns the response lines
+    /// that are ready *immediately* — parse/validation errors and cancel
+    /// acknowledgements; sweep and rescore answers arrive later via
+    /// [`PipelinedSession::poll_responses`] / [`PipelinedSession::drain`].
+    /// Blank lines produce nothing. Blocks when the pipeline is at its
+    /// depth bound.
+    pub fn submit_line(&mut self, line: &str) -> Vec<String> {
         let line = line.trim();
         if line.is_empty() {
-            return None;
+            return Vec::new();
         }
-        Some(match parse_request_line(line) {
-            Err(e) => error_line("", &e.message),
-            Ok(WireRequest::Sweep { id, request }) => match self.engine.evaluate(&request) {
-                Ok(response) => {
-                    self.sweeps.insert(id.clone(), request);
-                    response_line(&id, &response)
-                }
-                Err(e) => error_line(&id, &e.to_string()),
-            },
-            Ok(WireRequest::Rescore { id, of, delta }) => {
-                let Some(base) = self.sweeps.get(&of).cloned() else {
-                    return Some(error_line(&id, &format!("no sweep with id `{of}`")));
-                };
-                match self.engine.rescore(&base, &delta) {
-                    Ok((rescored, response)) => {
-                        self.sweeps.insert(id.clone(), rescored);
-                        response_line(&id, &response)
-                    }
-                    Err(e) => error_line(&id, &e.to_string()),
-                }
-            }
-        })
+        let value = match parse_json(line) {
+            Ok(value) => value,
+            Err(e) => return vec![error_line("", &e.into())],
+        };
+        let id = value
+            .get("id")
+            .and_then(Json::str)
+            .unwrap_or_default()
+            .to_owned();
+        if let Err(e) = check_version(&value) {
+            return vec![error_line(&id, &e.into())];
+        }
+        match decode_request(&value) {
+            Err(e) => vec![error_line(&id, &e.into())],
+            Ok(WireRequest::Sweep { id, request }) => self.submit_sweep(id, request),
+            Ok(WireRequest::Rescore { id, of, delta }) => self.submit_rescore(id, &of, delta),
+            Ok(WireRequest::Cancel { id, of }) => self.submit_cancel(&id, &of),
+        }
+    }
+
+    /// Encodes every completion that is ready right now, without
+    /// blocking. May also dispatch rescores that were waiting on a newly
+    /// completed base.
+    pub fn poll_responses(&mut self) -> Vec<String> {
+        let completions = self.pipeline.poll_completions();
+        let mut out = Vec::new();
+        for completion in completions {
+            out.extend(self.finish(completion));
+        }
+        out
+    }
+
+    /// Blocks until every in-flight and held-back request is answered,
+    /// returning the response lines in completion order.
+    pub fn drain(&mut self) -> Vec<String> {
+        let mut out = Vec::new();
+        while let Some(completion) = self.pipeline.next_completion() {
+            out.extend(self.finish(completion));
+        }
+        debug_assert!(self.waiting.is_empty(), "no rescore left behind");
+        debug_assert!(self.pending_ids.is_empty(), "every id answered");
+        out
     }
 
     /// The engine's cumulative counters (for `--stats` reporting).
     #[must_use]
     pub fn stats(&self) -> crate::EngineStats {
-        self.engine.stats()
+        self.pipeline.engine().stats()
     }
 
-    /// Renders the engine stats as one JSON line.
+    /// The pipeline's cumulative counters, including per-request latency
+    /// aggregates.
+    #[must_use]
+    pub fn pipeline_stats(&self) -> PipelineStats {
+        self.pipeline.stats()
+    }
+
+    /// Renders the engine and pipeline stats as one JSON line.
     #[must_use]
     pub fn stats_line(&self) -> String {
         let s = self.stats();
+        let p = self.pipeline_stats();
         let per_worker = s
             .cells_per_worker
             .iter()
@@ -597,9 +742,200 @@ impl Session {
             .collect::<Vec<String>>()
             .join(",");
         format!(
-            "{{\"stats\":{{\"requests\":{},\"cells\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_len\":{},\"cells_per_worker\":[{}],\"wall_ns\":{}}}}}",
-            s.requests, s.cells, s.cache_hits, s.cache_misses, s.cache_len, per_worker, s.wall_nanos
+            "{{\"v\":1,\"stats\":{{\"requests\":{},\"cells\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_len\":{},\"cells_per_worker\":[{}],\"wall_ns\":{},\
+             \"pipeline\":{{\"depth\":{},\"submitted\":{},\"completed\":{},\"cancelled\":{},\"failed\":{},\
+             \"queue_ns_total\":{},\"queue_ns_max\":{},\"service_ns_total\":{},\"service_ns_max\":{}}}}}}}",
+            s.requests,
+            s.cells,
+            s.cache_hits,
+            s.cache_misses,
+            s.cache_len,
+            per_worker,
+            s.wall_nanos,
+            self.pipeline.depth(),
+            p.submitted,
+            p.completed,
+            p.cancelled,
+            p.failed,
+            p.queue_nanos_total,
+            p.queue_nanos_max,
+            p.service_nanos_total,
+            p.service_nanos_max,
         )
+    }
+
+    /// Submits one decoded sweep; an immediate error line when the
+    /// pipeline rejects it.
+    fn submit_sweep(&mut self, wire_id: String, request: SweepRequest) -> Vec<String> {
+        match self.pipeline.submit(request.clone()) {
+            Ok(pipeline_id) => {
+                self.pending_ids.insert(wire_id.clone());
+                self.by_wire_id.insert(wire_id.clone(), pipeline_id);
+                self.in_flight
+                    .insert(pipeline_id, InFlight { wire_id, request });
+                Vec::new()
+            }
+            Err(e) => {
+                let mut out = vec![error_line(&wire_id, &e)];
+                out.extend(self.fail_dependents(&wire_id));
+                out
+            }
+        }
+    }
+
+    /// Routes one rescore: straight into the pipeline when the base has
+    /// completed, held back when the base is pending, an error otherwise.
+    fn submit_rescore(&mut self, wire_id: String, of: &str, delta: RescoreDelta) -> Vec<String> {
+        if let Some(base) = self.sweeps.get(of) {
+            return match delta.apply(&base.scenario) {
+                Ok(scenario) => {
+                    let request = SweepRequest {
+                        scenario,
+                        grid: base.grid.clone(),
+                        metrics: base.metrics.clone(),
+                    };
+                    self.submit_sweep(wire_id, request)
+                }
+                Err(e) => vec![error_line(&wire_id, &e.into())],
+            };
+        }
+        if self.pending_ids.contains(of) {
+            self.pending_ids.insert(wire_id.clone());
+            self.waiting
+                .entry(of.to_owned())
+                .or_default()
+                .push((wire_id, delta));
+            return Vec::new();
+        }
+        vec![error_line(
+            &wire_id,
+            &invalid(format!("no sweep with id `{of}`")),
+        )]
+    }
+
+    /// Handles one cancel line: flags an in-flight target, or withdraws a
+    /// held-back rescore outright.
+    fn submit_cancel(&mut self, wire_id: &str, of: &str) -> Vec<String> {
+        if let Some(pipeline_id) = self.by_wire_id.get(of) {
+            // In the pipeline: the cancelled completion arrives (and is
+            // encoded) through the normal completion path.
+            self.pipeline.cancel(*pipeline_id);
+            return vec![cancel_line(wire_id, of)];
+        }
+        // A held-back rescore never reached the pipeline; answer for it
+        // here and fail anything chained on it.
+        let held = self
+            .waiting
+            .values_mut()
+            .any(|deps| deps.iter().any(|(id, _)| id == of));
+        if held {
+            for deps in self.waiting.values_mut() {
+                deps.retain(|(id, _)| id != of);
+            }
+            self.waiting.retain(|_, deps| !deps.is_empty());
+            self.pending_ids.remove(of);
+            let mut out = vec![
+                cancel_line(wire_id, of),
+                error_line(of, &EngineError::Cancelled),
+            ];
+            out.extend(self.fail_dependents(of));
+            return out;
+        }
+        vec![error_line(
+            wire_id,
+            &invalid(format!("no in-flight request with id `{of}`")),
+        )]
+    }
+
+    /// Encodes one completion and dispatches any rescores that were
+    /// waiting on it.
+    fn finish(&mut self, completion: Completion) -> Vec<String> {
+        let Some(InFlight { wire_id, request }) = self.in_flight.remove(&completion.id) else {
+            debug_assert!(false, "completion for unknown pipeline id");
+            return Vec::new();
+        };
+        self.by_wire_id.remove(&wire_id);
+        self.pending_ids.remove(&wire_id);
+        match completion.result {
+            Ok(response) => {
+                let mut out = vec![response_line(&wire_id, &response)];
+                self.sweeps.insert(wire_id.clone(), request);
+                for (rescore_id, delta) in self.waiting.remove(&wire_id).unwrap_or_default() {
+                    self.pending_ids.remove(&rescore_id);
+                    out.extend(self.submit_rescore(rescore_id, &wire_id, delta));
+                }
+                out
+            }
+            Err(e) => {
+                let mut out = vec![error_line(&wire_id, &e)];
+                out.extend(self.fail_dependents(&wire_id));
+                out
+            }
+        }
+    }
+
+    /// Answers (with an error) every rescore waiting on `base`, and
+    /// transitively everything waiting on those.
+    fn fail_dependents(&mut self, base: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut stack = vec![base.to_owned()];
+        while let Some(failed) = stack.pop() {
+            for (rescore_id, _) in self.waiting.remove(&failed).unwrap_or_default() {
+                self.pending_ids.remove(&rescore_id);
+                out.push(error_line(
+                    &rescore_id,
+                    &invalid(format!("base sweep `{failed}` did not complete")),
+                ));
+                stack.push(rescore_id);
+            }
+        }
+        out
+    }
+}
+
+/// The historical blocking JSON-lines session, kept as a **depth-1 shim**
+/// over [`PipelinedSession`]: one request in flight at a time, one
+/// response line per input line, in input order. New code that wants
+/// concurrency should hold a `PipelinedSession` (or a raw
+/// [`Pipeline`](crate::Pipeline)) instead.
+pub struct Session {
+    inner: PipelinedSession,
+}
+
+impl Session {
+    /// Starts a blocking session around `engine`.
+    #[must_use]
+    pub fn new(engine: Engine) -> Session {
+        Session {
+            inner: PipelinedSession::new(
+                engine,
+                PipelineConfig {
+                    depth: 1,
+                    executors: 1,
+                },
+            ),
+        }
+    }
+
+    /// Handles one input line, returning exactly one response line
+    /// (success or `error`). Blank lines return `None`.
+    pub fn handle_line(&mut self, line: &str) -> Option<String> {
+        let mut lines = self.inner.submit_line(line);
+        lines.extend(self.inner.drain());
+        debug_assert!(lines.len() <= 1, "depth-1 shim answers one line at a time");
+        lines.into_iter().next()
+    }
+
+    /// The engine's cumulative counters (for `--stats` reporting).
+    #[must_use]
+    pub fn stats(&self) -> crate::EngineStats {
+        self.inner.stats()
+    }
+
+    /// Renders the engine stats as one JSON line.
+    #[must_use]
+    pub fn stats_line(&self) -> String {
+        self.inner.stats_line()
     }
 }
 
