@@ -40,4 +40,32 @@ grep -q '"pipeline":{"depth":3' <<<"$SMOKE_OUT" || {
   exit 1
 }
 
+echo "==> engine throughput bench smoke (--samples 2)"
+# A 2-sample run keeps the gate fast; ZEROCONF_BENCH_THREADS pins the
+# pool so the smoke is deterministic across hosts. The smoke writes to
+# its own path — the committed BENCH_engine.json stays untouched.
+# Absolute path: cargo runs the bench with the package dir as cwd.
+SMOKE_BENCH="$PWD/target/BENCH_engine.smoke.json"
+ZEROCONF_BENCH_THREADS="${ZEROCONF_BENCH_THREADS:-2}" \
+  cargo bench -q -p zeroconf-bench --bench engine_throughput -- \
+  --samples 2 --out "$SMOKE_BENCH"
+# BENCH_engine.json (the full-sample report) is generated, not committed;
+# validate it too when a prior `cargo bench` left one behind.
+BENCH_REPORTS=("$SMOKE_BENCH")
+[[ -f BENCH_engine.json ]] && BENCH_REPORTS+=(BENCH_engine.json)
+python3 - "${BENCH_REPORTS[@]}" <<'PY'
+import json, sys
+for path in sys.argv[1:]:
+    with open(path) as f:
+        rows = json.load(f)
+    ids = {row["id"] for row in rows}
+    for needed in ("kernel/single-pass/columns", "kernel/legacy-per-n/columns"):
+        if needed not in ids:
+            sys.exit(f"ci: {path} is missing the '{needed}' row")
+    for row in rows:
+        if row.get("cells_per_sec", 0) <= 0:
+            sys.exit(f"ci: {path} row {row['id']} lacks a positive cells_per_sec")
+print("ci: bench reports validated:", ", ".join(sys.argv[1:]))
+PY
+
 echo "ci: all gates passed"

@@ -2,25 +2,38 @@
 //!
 //! Times one 200 × 200 `(n, r)` sweep of the Figure-2 scenario four ways —
 //! single-threaded vs the full worker pool, cache-cold vs cache-warm — plus
-//! a 16-request session dispatched serially vs through the pipelined
-//! front-end, and writes the measurements to `BENCH_engine.json` at the
-//! repository root for machine consumption, alongside the human-readable
-//! summary on stdout. Uses a custom `main` on top of
-//! [`zeroconf_bench::harness`] rather than the Criterion-shaped macros,
-//! because the cold/warm split needs explicit control over engine
-//! lifetimes.
+//! a kernel-vs-legacy column microbenchmark (the single-pass
+//! [`zeroconf_cost::kernel::ColumnKernel`] against the per-`n`
+//! `*_from_pis` closed forms over the same precomputed π-tables) and a
+//! 16-request session dispatched serially vs through the pipelined
+//! front-end. Measurements go to `BENCH_engine.json` at the repository
+//! root for machine consumption, alongside the human-readable summary on
+//! stdout. Uses a custom `main` on top of [`zeroconf_bench::harness`]
+//! rather than the Criterion-shaped macros, because the cold/warm split
+//! needs explicit control over engine lifetimes.
+//!
+//! Knobs:
+//!
+//! * `--samples N` — timed samples per benchmark (default 7). `--samples 2`
+//!   is the CI smoke setting.
+//! * `--out PATH` — where to write the JSON report (default
+//!   `BENCH_engine.json` at the repository root).
+//! * `ZEROCONF_BENCH_THREADS=K` — cap the "full pool" thread count instead
+//!   of taking `available_parallelism`.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use zeroconf_bench::harness::{format_nanos, measure, BenchRecord};
-use zeroconf_cost::paper;
+use zeroconf_bench::harness::{black_box, format_nanos, measure, BenchRecord};
+use zeroconf_cost::kernel::ColumnKernel;
+use zeroconf_cost::{cost, paper};
 use zeroconf_engine::{Engine, EngineConfig, GridSpec, Pipeline, PipelineConfig, SweepRequest};
 
 /// Grid size: 200 probe counts × 200 listening periods = 40 000 cells.
 const N_MAX: u32 = 200;
 const R_POINTS: usize = 200;
-const SAMPLES: usize = 7;
+const DEFAULT_SAMPLES: usize = 7;
+const GRID_CELLS: usize = N_MAX as usize * R_POINTS;
 
 fn sweep() -> SweepRequest {
     let scenario = paper::figure2_scenario().expect("paper scenario is valid");
@@ -32,13 +45,14 @@ fn config(workers: usize) -> EngineConfig {
         workers,
         // Room for every r column, so the warm runs never evict.
         cache_tables: R_POINTS.next_power_of_two(),
+        cache_dir: None,
     }
 }
 
 /// Cache-cold sweep: a fresh engine per iteration, so every π-table is
 /// computed. Pool spawn cost is included — it is part of the cold path.
-fn cold(threads: usize, request: &SweepRequest) -> BenchRecord {
-    measure(&format!("engine/cold/threads={threads}"), SAMPLES, || {
+fn cold(threads: usize, samples: usize, request: &SweepRequest) -> BenchRecord {
+    measure(&format!("engine/cold/threads={threads}"), samples, || {
         let engine = Engine::new(config(threads));
         engine.evaluate(request).expect("sweep evaluates")
     })
@@ -46,11 +60,58 @@ fn cold(threads: usize, request: &SweepRequest) -> BenchRecord {
 
 /// Cache-warm sweep: one long-lived engine, primed once, so every π-table
 /// is served from the cache and only Eq. (3)/(4) arithmetic remains.
-fn warm(threads: usize, request: &SweepRequest) -> BenchRecord {
+fn warm(threads: usize, samples: usize, request: &SweepRequest) -> BenchRecord {
     let engine = Engine::new(config(threads));
     engine.evaluate(request).expect("priming sweep evaluates");
-    measure(&format!("engine/warm/threads={threads}"), SAMPLES, || {
+    measure(&format!("engine/warm/threads={threads}"), samples, || {
         engine.evaluate(request).expect("sweep evaluates")
+    })
+}
+
+/// Single-pass column kernel over precomputed π-tables: the O(n_max) path
+/// the engine actually runs once tables are cached.
+fn kernel_columns(samples: usize, request: &SweepRequest) -> BenchRecord {
+    let kernel = ColumnKernel::new(&request.scenario);
+    let tables: Vec<Vec<f64>> = request
+        .grid
+        .r_values
+        .iter()
+        .map(|&r| cost::pi_table(&request.scenario, N_MAX, r).expect("pi table computes"))
+        .collect();
+    let mut costs = vec![0.0f64; N_MAX as usize];
+    let mut errors = vec![0.0f64; N_MAX as usize];
+    measure("kernel/single-pass/columns", samples, move || {
+        for (r, pis) in request.grid.r_values.iter().zip(&tables) {
+            kernel
+                .evaluate(N_MAX, *r, pis, Some(&mut costs), Some(&mut errors))
+                .expect("kernel evaluates");
+        }
+        black_box((costs.last().copied(), errors.last().copied()))
+    })
+}
+
+/// Legacy per-`n` path over the same precomputed π-tables: each cell pays
+/// an O(n) prefix sum inside `mean_cost_from_pis`, so a column is O(n²).
+fn legacy_columns(samples: usize, request: &SweepRequest) -> BenchRecord {
+    let tables: Vec<Vec<f64>> = request
+        .grid
+        .r_values
+        .iter()
+        .map(|&r| cost::pi_table(&request.scenario, N_MAX, r).expect("pi table computes"))
+        .collect();
+    let mut costs = vec![0.0f64; N_MAX as usize];
+    let mut errors = vec![0.0f64; N_MAX as usize];
+    measure("kernel/legacy-per-n/columns", samples, move || {
+        for (r, pis) in request.grid.r_values.iter().zip(&tables) {
+            for n in 1..=N_MAX {
+                costs[n as usize - 1] = cost::mean_cost_from_pis(&request.scenario, n, *r, pis)
+                    .expect("cost evaluates");
+                errors[n as usize - 1] =
+                    cost::error_probability_from_pis(&request.scenario, n, pis)
+                        .expect("error evaluates");
+            }
+        }
+        black_box((costs.last().copied(), errors.last().copied()))
     })
 }
 
@@ -75,29 +136,39 @@ fn session_requests() -> Vec<SweepRequest> {
 
 /// Baseline session: the requests evaluated one at a time on a fresh
 /// engine — the old blocking `Session` dispatch pattern.
-fn serial_session(threads: usize, requests: &[SweepRequest]) -> BenchRecord {
-    measure("engine/session/serial", SAMPLES, || {
-        let engine = Engine::new(config(threads));
-        requests
-            .iter()
-            .map(|request| {
-                engine
-                    .evaluate(request)
-                    .expect("sweep evaluates")
-                    .cells
-                    .len()
-            })
-            .sum::<usize>()
-    })
+fn serial_session(threads: usize, samples: usize, requests: &[SweepRequest]) -> BenchRecord {
+    measure(
+        &format!("engine/session/serial/threads={threads}"),
+        samples,
+        || {
+            let engine = Engine::new(config(threads));
+            requests
+                .iter()
+                .map(|request| {
+                    engine
+                        .evaluate(request)
+                        .expect("sweep evaluates")
+                        .landscape
+                        .len()
+                })
+                .sum::<usize>()
+        },
+    )
 }
 
 /// The same requests streamed through a `Pipeline` with `depth` in
 /// flight, drained at the end. On a multi-core host the overlap wins; on
-/// a single-CPU host this measures pure pipelining overhead.
-fn pipelined_session(threads: usize, depth: usize, requests: &[SweepRequest]) -> BenchRecord {
+/// a single-CPU host this measures pure pipelining overhead, and is
+/// expected to come out *slower* than the serial dispatch.
+fn pipelined_session(
+    threads: usize,
+    depth: usize,
+    samples: usize,
+    requests: &[SweepRequest],
+) -> BenchRecord {
     measure(
-        &format!("engine/session/pipelined/depth={depth}"),
-        SAMPLES,
+        &format!("engine/session/pipelined/depth={depth}/threads={threads}"),
+        samples,
         || {
             let engine = Arc::new(Engine::new(config(threads)));
             let mut pipeline = Pipeline::new(engine, PipelineConfig::with_depth(depth));
@@ -109,16 +180,26 @@ fn pipelined_session(threads: usize, depth: usize, requests: &[SweepRequest]) ->
     )
 }
 
+/// One JSON report row. `cells` is the number of `(n, r)` evaluations a
+/// single iteration performs, so `cells_per_sec = cells / median`.
 fn record_json(
     record: &BenchRecord,
     threads: usize,
     cache: &str,
     n_max: u32,
     r_points: usize,
+    cells: usize,
+    note: Option<&str>,
 ) -> String {
+    let cells_per_sec = cells as f64 * 1e9 / record.median_ns;
+    let note_field = match note {
+        Some(note) => format!(",\"note\":{note:?}"),
+        None => String::new(),
+    };
     format!(
         "{{\"id\":{:?},\"cache\":{:?},\"threads\":{},\"n_max\":{},\"r_points\":{},\
-         \"median_ns\":{},\"min_ns\":{},\"mean_ns\":{},\"samples\":{},\"iters_per_sample\":{}}}",
+         \"median_ns\":{},\"min_ns\":{},\"mean_ns\":{},\"cells_per_sec\":{:.1},\
+         \"samples\":{},\"iters_per_sample\":{}{}}}",
         record.id,
         cache,
         threads,
@@ -127,36 +208,104 @@ fn record_json(
         record.median_ns,
         record.min_ns,
         record.mean_ns,
+        cells_per_sec,
         record.samples,
-        record.iters_per_sample
+        record.iters_per_sample,
+        note_field
     )
 }
 
-fn main() {
-    let request = sweep();
-    let pool = std::thread::available_parallelism()
+struct Options {
+    samples: usize,
+    out: PathBuf,
+}
+
+fn parse_options() -> Options {
+    let mut samples = DEFAULT_SAMPLES;
+    let mut out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_engine.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--samples" => {
+                let value = args.next().expect("--samples takes a count");
+                samples = value.parse().expect("--samples takes an integer");
+            }
+            "--out" => {
+                out = PathBuf::from(args.next().expect("--out takes a path"));
+            }
+            // `cargo bench` forwards its own flags (e.g. `--bench`); ignore
+            // anything we do not recognise rather than failing the run.
+            _ => {}
+        }
+    }
+    Options { samples, out }
+}
+
+fn pool_threads() -> usize {
+    if let Ok(value) = std::env::var("ZEROCONF_BENCH_THREADS") {
+        if let Ok(parsed) = value.parse::<usize>() {
+            return parsed.max(1);
+        }
+        eprintln!("ignoring non-numeric ZEROCONF_BENCH_THREADS={value:?}");
+    }
+    std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(4)
-        .max(2);
+        .max(2)
+}
+
+fn main() {
+    let options = parse_options();
+    let samples = options.samples;
+    let request = sweep();
+    let pool = pool_threads();
+    let single_cpu = std::thread::available_parallelism().map_or(true, |p| p.get() < 2);
     println!(
-        "engine throughput on a {N_MAX} x {R_POINTS} grid ({} cells):",
+        "engine throughput on a {N_MAX} x {R_POINTS} grid ({} cells, {samples} samples):",
         request.grid.cells()
     );
     let grid_runs = [
-        (cold(1, &request), 1, "cold"),
-        (cold(pool, &request), pool, "cold"),
-        (warm(1, &request), 1, "warm"),
-        (warm(pool, &request), pool, "warm"),
+        (cold(1, samples, &request), 1, "cold"),
+        (cold(pool, samples, &request), pool, "cold"),
+        (warm(1, samples, &request), 1, "warm"),
+        (warm(pool, samples, &request), pool, "warm"),
+    ];
+    let kernel_runs = [
+        (kernel_columns(samples, &request), 1, "warm"),
+        (legacy_columns(samples, &request), 1, "warm"),
     ];
     let requests = session_requests();
+    let session_cells = SESSION_REQUESTS * SESSION_N_MAX as usize * SESSION_R_POINTS;
     let depth = SESSION_REQUESTS.min(4);
+    let pipelined_note = if single_cpu {
+        Some(
+            "single-CPU host: pipelining only adds dispatch overhead here, \
+             so slower-than-serial is the expected result",
+        )
+    } else {
+        None
+    };
     let session_runs = [
-        (serial_session(1, &requests), 1, "cold"),
-        (pipelined_session(1, depth, &requests), 1, "cold"),
+        (serial_session(1, samples, &requests), 1, "cold", None),
+        (
+            pipelined_session(1, depth, samples, &requests),
+            1,
+            "cold",
+            pipelined_note,
+        ),
     ];
-    for (record, _, _) in grid_runs.iter().chain(&session_runs) {
+    for (record, _, _) in grid_runs.iter().chain(&kernel_runs) {
         println!(
-            "  {:<32} median {:>10}/run (min {}, {} samples)",
+            "  {:<36} median {:>10}/run (min {}, {} samples)",
+            record.id,
+            format_nanos(record.median_ns),
+            format_nanos(record.min_ns),
+            record.samples
+        );
+    }
+    for (record, _, _, _) in &session_runs {
+        println!(
+            "  {:<36} median {:>10}/run (min {}, {} samples)",
             record.id,
             format_nanos(record.median_ns),
             format_nanos(record.min_ns),
@@ -170,11 +319,15 @@ fn main() {
         speedup(&grid_runs[2].0, &grid_runs[3].0)
     );
     println!(
+        "  single-pass kernel vs legacy per-n columns: {:.2}x",
+        speedup(&kernel_runs[1].0, &kernel_runs[0].0)
+    );
+    println!(
         "  pipelined session (depth {depth}) vs serial: {:.2}x over {} requests",
         speedup(&session_runs[0].0, &session_runs[1].0),
         SESSION_REQUESTS
     );
-    if std::thread::available_parallelism().map_or(true, |p| p.get() < 2) {
+    if single_cpu {
         println!(
             "  note: host exposes a single CPU, so the {pool}-thread and pipelined \
              runs can only measure dispatch overhead, not speedup"
@@ -183,15 +336,25 @@ fn main() {
 
     let mut lines: Vec<String> = grid_runs
         .iter()
-        .map(|(record, threads, cache)| record_json(record, *threads, cache, N_MAX, R_POINTS))
+        .chain(&kernel_runs)
+        .map(|(record, threads, cache)| {
+            record_json(record, *threads, cache, N_MAX, R_POINTS, GRID_CELLS, None)
+        })
         .collect();
-    lines.extend(session_runs.iter().map(|(record, threads, cache)| {
-        record_json(record, *threads, cache, SESSION_N_MAX, SESSION_R_POINTS)
+    lines.extend(session_runs.iter().map(|(record, threads, cache, note)| {
+        record_json(
+            record,
+            *threads,
+            cache,
+            SESSION_N_MAX,
+            SESSION_R_POINTS,
+            session_cells,
+            *note,
+        )
     }));
     let json = format!("[\n  {}\n]\n", lines.join(",\n  "));
-    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_engine.json");
-    match std::fs::write(&path, json) {
-        Ok(()) => println!("  wrote {}", path.display()),
-        Err(e) => eprintln!("  could not write {}: {e}", path.display()),
+    match std::fs::write(&options.out, json) {
+        Ok(()) => println!("  wrote {}", options.out.display()),
+        Err(e) => eprintln!("  could not write {}: {e}", options.out.display()),
     }
 }

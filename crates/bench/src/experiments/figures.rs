@@ -32,12 +32,12 @@ fn optimize_config() -> OptimizeConfig {
 }
 
 /// The cells of one probe count `n` from an `r`-major sweep response, in
-/// grid order.
+/// grid order, materialized lazily from the flat landscape buffers.
 fn cells_for_n(
     response: &SweepResponse,
     n: u32,
-) -> impl Iterator<Item = &zeroconf_engine::Cell> + '_ {
-    response.cells.iter().filter(move |cell| cell.n == n)
+) -> impl Iterator<Item = zeroconf_engine::Cell> + '_ {
+    response.landscape.iter().filter(move |cell| cell.n == n)
 }
 
 /// One observability row summarizing what the engine did for a figure.
@@ -280,9 +280,10 @@ pub fn fig6() -> Result<ExperimentOutput, HarnessError> {
     };
     let response = engine.evaluate(&request).map_err(harness_err("fig6"))?;
     let error_at = |k: usize, n: u32| -> Result<f64, HarnessError> {
-        // Cells are r-major: all of n = 1..=n_max for r_k, then r_{k+1}.
-        let cell = &response.cells[k * cfg.n_max as usize + (n - 1) as usize];
-        cell.error_probability
+        // O(1) lookup into the flat r-major error buffer.
+        response
+            .landscape
+            .error_at(k, n)
             .ok_or_else(|| harness_err("fig6")("sweep omitted the error metric"))
     };
     let mut points = Vec::with_capacity(SAMPLES);

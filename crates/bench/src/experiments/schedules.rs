@@ -58,7 +58,7 @@ pub fn schedules() -> Result<ExperimentOutput, HarnessError> {
             let optimum = schedule::optimize_schedule(&scenario, n, &config)
                 .map_err(harness_err("schedule"))?;
             let grid_min = response
-                .cells
+                .landscape
                 .iter()
                 .filter(|cell| cell.n == n)
                 .filter_map(|cell| cell.mean_cost)

@@ -36,7 +36,7 @@ pub fn tradeoff() -> Result<ExperimentOutput, HarnessError> {
     );
     let response = engine.evaluate(&request).map_err(harness_err("tradeoff"))?;
     let candidates: Vec<ParetoPoint> = response
-        .cells
+        .landscape
         .iter()
         .filter_map(|cell| {
             Some(ParetoPoint {

@@ -10,7 +10,8 @@
 //! zeroconf frontier  <scenario flags> [--budget 1e-40]
 //! zeroconf calibrate <network flags> --target-probes 4 --target-listen 2
 //! zeroconf simulate  <scenario flags> --probes 4 --listen 2 --trials 100000 --seed 7
-//! zeroconf engine    [--workers N] [--cache N] [--inflight N] [--stats]   # JSON-lines on stdin/stdout
+//! zeroconf engine    [--workers N] [--cache N] [--cache-dir PATH] [--inflight N] [--stats]
+//!                    # JSON-lines on stdin/stdout
 //! ```
 //!
 //! All commands share the scenario flags (`--hosts` or `--occupancy`,
@@ -154,10 +155,11 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
 }
 
 /// Options of the `engine` subcommand.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct EngineOptions {
     workers: usize,
     cache_tables: usize,
+    cache_dir: Option<std::path::PathBuf>,
     inflight: usize,
     emit_stats: bool,
 }
@@ -178,7 +180,7 @@ fn engine_options(args: &[String]) -> Result<EngineOptions, CliError> {
         .cloned()
         .collect();
     let flags = Flags::parse(&positional)?;
-    let unknown = flags.unknown_flags(&["workers", "cache", "inflight"]);
+    let unknown = flags.unknown_flags(&["workers", "cache", "cache-dir", "inflight"]);
     if !unknown.is_empty() {
         return Err(err(format!("unknown flags: {}", unknown.join(", "))));
     }
@@ -190,6 +192,7 @@ fn engine_options(args: &[String]) -> Result<EngineOptions, CliError> {
         cache_tables: flags
             .number("cache")?
             .map_or(defaults.cache_tables, |c| c as usize),
+        cache_dir: flags.get("cache-dir").map(std::path::PathBuf::from),
         inflight: flags.number("inflight")?.map_or(1, |n| n as usize),
         emit_stats,
     })
@@ -212,6 +215,7 @@ pub fn engine_process(input: &str, args: &[String]) -> Result<String, CliError> 
     let engine = zeroconf_engine::Engine::new(zeroconf_engine::EngineConfig {
         workers: options.workers.max(1),
         cache_tables: options.cache_tables.max(1),
+        cache_dir: options.cache_dir.clone(),
     });
     let mut out = String::new();
     let push = |lines: Vec<String>, out: &mut String| {
@@ -283,7 +287,7 @@ pub fn usage() -> String {
      \u{20}  frontier: [--budget P] [--n-max N]\n\
      \u{20}  calibrate: --target-probes N --target-listen R\n\
      \u{20}  optimize: [--n-max N] [--r-max R]\n\
-     \u{20}  engine: [--workers N] [--cache TABLES] [--inflight N] [--stats]\n\
+     \u{20}  engine: [--workers N] [--cache TABLES] [--cache-dir PATH] [--inflight N] [--stats]\n\
      example:\n\
      \u{20}  zeroconf optimize --hosts 1000 --probe-cost 2 --error-cost 1e35 \\\n\
      \u{20}           --loss 1e-15 --rate 10 --delay 1"
@@ -613,6 +617,32 @@ mod tests {
         let serial = engine_process(ENGINE_SWEEP, &args("--workers 1")).unwrap();
         let pipelined = engine_process(ENGINE_SWEEP, &args("--workers 1 --inflight 4")).unwrap();
         assert_eq!(blank_wall_ns(&serial), blank_wall_ns(&pipelined));
+    }
+
+    #[test]
+    fn engine_cache_dir_persists_tables_across_processes() {
+        // Two separate engine sessions pointed at one spill directory:
+        // the second must serve every π-table from disk, so its sweep
+        // reports zero cache misses and byte-identical cell payloads.
+        let dir =
+            std::env::temp_dir().join(format!("zeroconf-cli-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let flags = args(&format!("--workers 1 --cache-dir {}", dir.display()));
+        let cold = engine_process(ENGINE_SWEEP, &flags).unwrap();
+        assert!(cold.contains("\"cache_misses\":3"), "{cold}");
+        let warm = engine_process(ENGINE_SWEEP, &flags).unwrap();
+        assert!(warm.contains("\"cache_misses\":0"), "{warm}");
+        assert!(warm.contains("\"cache_hits\":3"), "{warm}");
+        let body = |out: &str| {
+            let cells = out.split("\"cells\":").nth(1).expect("response has cells");
+            cells
+                .split("],\"stats\"")
+                .next()
+                .expect("cells precede stats")
+                .to_owned()
+        };
+        assert_eq!(body(&cold), body(&warm));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

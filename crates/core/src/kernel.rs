@@ -1,0 +1,292 @@
+//! The single-pass column kernel behind landscape sweeps.
+//!
+//! Every consumer of the closed forms evaluates them over *columns*: all
+//! probe counts `n = 1..=n_max` at one listening period `r`. Evaluated
+//! per cell through [`cost::mean_cost_from_pis`], each `n` re-sums the π
+//! prefix `Σ_{i<n} π_i(r)` from scratch — `O(n_max²)` floating-point
+//! additions per column. [`ColumnKernel`] walks the column once instead:
+//! it threads a *running* prefix sum down the column and hoists every
+//! scenario-constant factor (`q`, `1 − q`, `q·E`, and the per-column
+//! `r + c`, `(r + c)·q`) out of the loop, emitting `C(n, r)` and
+//! `E(n, r)` for the whole column in `O(n_max)` — a ~`n_max/2`-fold
+//! arithmetic reduction (100× at the paper's `n_max = 200` grids).
+//!
+//! # Bit-identity
+//!
+//! The kernel is **bit-identical** to the per-`n` evaluators, not merely
+//! close, because it performs the *same float operations in the same
+//! order*:
+//!
+//! - `pis[..n].iter().sum::<f64>()` folds left-to-right from `0.0`:
+//!   `((0.0 + π_0) + π_1) + … + π_{n−1}`. The kernel's running sum starts
+//!   at `0.0` and adds `π_{n−1}` on the step that evaluates `n`, so after
+//!   that step it holds exactly the same chain of additions — IEEE-754
+//!   operations are deterministic, so the bits agree for every `n`.
+//! - Each hoisted product mirrors the left-associated grouping of the
+//!   per-`n` arithmetic: `(r+c)·q·Σ` is `((r+c)·q)·Σ` in both paths, and
+//!   `q·E·π_n` is `(q·E)·π_n`, so factoring `(r+c)·q` and `q·E` out of
+//!   the loop changes no intermediate value.
+//!
+//! The golden tests (and the `zeroconf_proptest`-gated property suite)
+//! assert this with [`f64::to_bits`] comparisons across scenarios, grids
+//! including `r = 0` and subnormal-adjacent `r`, and `n_max` up to 256.
+
+use crate::cost::{self, check_n, check_r};
+use crate::{CostError, Scenario};
+
+/// A reusable evaluator for one scenario's Eq. (3)/(4) columns.
+///
+/// Construction hoists the scenario-constant factors; [`ColumnKernel::evaluate`]
+/// then walks one `r` column in a single pass, writing results straight
+/// into caller-provided slices (no per-cell allocation).
+///
+/// ```
+/// use zeroconf_cost::{cost, kernel::ColumnKernel, paper};
+///
+/// # fn main() -> Result<(), zeroconf_cost::CostError> {
+/// let scenario = paper::figure2_scenario()?;
+/// let kernel = ColumnKernel::new(&scenario);
+/// let (n_max, r) = (8, 2.0);
+/// let pis = cost::pi_table(&scenario, n_max, r)?;
+/// let mut costs = vec![0.0; n_max as usize];
+/// let mut errors = vec![0.0; n_max as usize];
+/// kernel.evaluate(n_max, r, &pis, Some(&mut costs), Some(&mut errors))?;
+/// // Bit-identical to the per-n closed forms:
+/// assert_eq!(
+///     costs[3].to_bits(),
+///     cost::mean_cost(&scenario, 4, r)?.to_bits()
+/// );
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColumnKernel {
+    /// Occupancy `q`.
+    q: f64,
+    /// `1 − q`, the free-address weight of Eq. (3)'s numerator.
+    one_minus_q: f64,
+    /// `q·E`, the collision-penalty factor.
+    q_error_cost: f64,
+    /// Probe postage `c` (joins `r` per column as `r + c`).
+    probe_cost: f64,
+}
+
+impl ColumnKernel {
+    /// Hoists the scenario constants `q`, `1 − q`, `q·E` and `c`.
+    #[must_use]
+    pub fn new(scenario: &Scenario) -> ColumnKernel {
+        let q = scenario.occupancy();
+        ColumnKernel {
+            q,
+            one_minus_q: 1.0 - q,
+            q_error_cost: q * scenario.error_cost(),
+            probe_cost: scenario.probe_cost(),
+        }
+    }
+
+    /// Evaluates one `r` column in a single pass, writing `C(n, r)` into
+    /// `costs[n − 1]` and `E(n, r)` into `errors[n − 1]` for
+    /// `n = 1..=n_max`. Either output may be `None` when the metric is
+    /// not wanted; provided slices must have exactly `n_max` entries.
+    ///
+    /// `pis` is the π-table `[π_0(r), …]` from [`cost::pi_table`] (it may
+    /// be longer than `n_max + 1`, e.g. a cached table for a larger grid).
+    ///
+    /// # Errors
+    ///
+    /// - [`CostError::InvalidProbeCount`] when `n_max == 0`.
+    /// - [`CostError::InvalidListeningPeriod`] for negative/non-finite `r`.
+    /// - [`CostError::PiTableTooShort`] when `pis` has fewer than
+    ///   `n_max + 1` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a provided output slice is not exactly `n_max` long —
+    /// a caller-side sizing bug, not a data-dependent condition.
+    pub fn evaluate(
+        &self,
+        n_max: u32,
+        r: f64,
+        pis: &[f64],
+        mut costs: Option<&mut [f64]>,
+        mut errors: Option<&mut [f64]>,
+    ) -> Result<(), CostError> {
+        check_n(n_max)?;
+        check_r(r)?;
+        let n_max = n_max as usize;
+        if pis.len() < n_max + 1 {
+            return Err(CostError::PiTableTooShort {
+                needed: n_max + 1,
+                len: pis.len(),
+            });
+        }
+        if let Some(costs) = costs.as_deref() {
+            assert_eq!(costs.len(), n_max, "cost slice must hold one f64 per n");
+        }
+        if let Some(errors) = errors.as_deref() {
+            assert_eq!(errors.len(), n_max, "error slice must hold one f64 per n");
+        }
+
+        // Per-column constants of Eq. (3): `r + c` and `(r + c)·q`,
+        // grouped exactly as the per-n path groups them.
+        let r_plus_c = r + self.probe_cost;
+        let r_plus_c_q = r_plus_c * self.q;
+        // Running Σ_{i<n} π_i(r); starts at 0.0 like `iter().sum()`.
+        let mut pi_prefix_sum = 0.0f64;
+        for n in 1..=n_max {
+            pi_prefix_sum += pis[n - 1];
+            let pi_n = pis[n];
+            let denominator = 1.0 - self.q * (1.0 - pi_n);
+            if let Some(costs) = costs.as_deref_mut() {
+                let free_address_probing = r_plus_c * n as f64 * self.one_minus_q;
+                let occupied_address_probing = r_plus_c_q * pi_prefix_sum;
+                let collision_penalty = self.q_error_cost * pi_n;
+                costs[n - 1] =
+                    (free_address_probing + occupied_address_probing + collision_penalty)
+                        / denominator;
+            }
+            if let Some(errors) = errors.as_deref_mut() {
+                errors[n - 1] = self.q * pi_n / denominator;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Convenience wrapper: computes the π-table for `(scenario, r)` and runs
+/// the kernel over it, allocating fresh output buffers. The engine's hot
+/// path uses [`ColumnKernel::evaluate`] against cached tables and
+/// preallocated buffers instead; this entry serves tests, benches and
+/// one-off column evaluations.
+///
+/// # Errors
+///
+/// Same conditions as [`ColumnKernel::evaluate`].
+pub fn evaluate_column(
+    scenario: &Scenario,
+    n_max: u32,
+    r: f64,
+) -> Result<(Vec<f64>, Vec<f64>), CostError> {
+    let pis = cost::pi_table(scenario, n_max, r)?;
+    let mut costs = vec![0.0; n_max as usize];
+    let mut errors = vec![0.0; n_max as usize];
+    ColumnKernel::new(scenario).evaluate(n_max, r, &pis, Some(&mut costs), Some(&mut errors))?;
+    Ok((costs, errors))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use zeroconf_dist::DefectiveExponential;
+
+    use super::*;
+
+    fn figure2() -> Scenario {
+        Scenario::builder()
+            .hosts(1000)
+            .unwrap()
+            .probe_cost(2.0)
+            .error_cost(1e35)
+            .reply_time(Arc::new(
+                DefectiveExponential::from_loss(1e-15, 10.0, 1.0).unwrap(),
+            ))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn kernel_is_bit_identical_to_per_n_closed_forms() {
+        let s = figure2();
+        let n_max = 40;
+        for r in [0.0, 1e-12, 0.1, 2.0, 17.5, 500.0] {
+            let (costs, errors) = evaluate_column(&s, n_max, r).unwrap();
+            for n in 1..=n_max {
+                let direct_cost = cost::mean_cost(&s, n, r).unwrap();
+                let direct_error = cost::error_probability(&s, n, r).unwrap();
+                assert_eq!(
+                    costs[n as usize - 1].to_bits(),
+                    direct_cost.to_bits(),
+                    "C(n = {n}, r = {r})"
+                );
+                assert_eq!(
+                    errors[n as usize - 1].to_bits(),
+                    direct_error.to_bits(),
+                    "E(n = {n}, r = {r})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_matches_from_pis_against_an_oversized_cached_table() {
+        // The engine hands the kernel tables cached for larger grids;
+        // evaluating a shorter column against them must not change bits.
+        let s = figure2();
+        let table = cost::pi_table(&s, 64, 3.0).unwrap();
+        let n_max = 10;
+        let mut costs = vec![0.0; n_max as usize];
+        let mut errors = vec![0.0; n_max as usize];
+        ColumnKernel::new(&s)
+            .evaluate(n_max, 3.0, &table, Some(&mut costs), Some(&mut errors))
+            .unwrap();
+        for n in 1..=n_max {
+            let via_table = cost::mean_cost_from_pis(&s, n, 3.0, &table).unwrap();
+            assert_eq!(costs[n as usize - 1].to_bits(), via_table.to_bits());
+            let via_table_e = cost::error_probability_from_pis(&s, n, &table).unwrap();
+            assert_eq!(errors[n as usize - 1].to_bits(), via_table_e.to_bits());
+        }
+    }
+
+    #[test]
+    fn single_metric_evaluation_leaves_the_other_buffer_untouched() {
+        let s = figure2();
+        let pis = cost::pi_table(&s, 4, 2.0).unwrap();
+        let kernel = ColumnKernel::new(&s);
+        let mut costs = vec![-1.0; 4];
+        kernel
+            .evaluate(4, 2.0, &pis, Some(&mut costs), None)
+            .unwrap();
+        assert_eq!(
+            costs[3].to_bits(),
+            cost::mean_cost(&s, 4, 2.0).unwrap().to_bits()
+        );
+        let mut errors = vec![-1.0; 4];
+        kernel
+            .evaluate(4, 2.0, &pis, None, Some(&mut errors))
+            .unwrap();
+        assert_eq!(
+            errors[3].to_bits(),
+            cost::error_probability(&s, 4, 2.0).unwrap().to_bits()
+        );
+    }
+
+    #[test]
+    fn invalid_arguments_are_rejected() {
+        let s = figure2();
+        let kernel = ColumnKernel::new(&s);
+        let pis = cost::pi_table(&s, 4, 1.0).unwrap();
+        assert!(matches!(
+            kernel.evaluate(0, 1.0, &pis, None, None),
+            Err(CostError::InvalidProbeCount { n: 0 })
+        ));
+        assert!(matches!(
+            kernel.evaluate(4, -1.0, &pis, None, None),
+            Err(CostError::InvalidListeningPeriod { .. })
+        ));
+        assert!(matches!(
+            kernel.evaluate(8, 1.0, &pis, None, None),
+            Err(CostError::PiTableTooShort { needed: 9, len: 5 })
+        ));
+        assert!(evaluate_column(&s, 3, f64::NAN).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "cost slice must hold one f64 per n")]
+    fn wrongly_sized_output_slice_panics() {
+        let s = figure2();
+        let pis = cost::pi_table(&s, 4, 1.0).unwrap();
+        let mut costs = vec![0.0; 3];
+        let _ = ColumnKernel::new(&s).evaluate(4, 1.0, &pis, Some(&mut costs), None);
+    }
+}

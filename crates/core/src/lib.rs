@@ -52,6 +52,7 @@ pub mod calibrate;
 pub mod cost;
 pub mod drm;
 mod error;
+pub mod kernel;
 pub mod metrics;
 pub mod optimize;
 pub mod paper;

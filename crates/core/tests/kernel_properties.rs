@@ -1,0 +1,112 @@
+// Property tests built on the external `proptest` crate, which is not
+// resolvable in the hermetic (offline) build. Compile them in with
+//     RUSTFLAGS="--cfg zeroconf_proptest" cargo test
+// after adding `proptest` to this package's dev-dependencies.
+#![cfg(zeroconf_proptest)]
+//! Property-based bit-identity of the single-pass column kernel.
+//!
+//! The O(n_max) [`ColumnKernel`] claims to reproduce the per-`n`
+//! `mean_cost_from_pis` / `error_probability_from_pis` closed forms
+//! *float for float* — same operations, same association order, no
+//! tolerance. These properties stress that claim across random
+//! scenarios, `n_max ∈ 1..=256`, and r grids that include the `r = 0`
+//! boundary and subnormal-adjacent values.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use zeroconf_cost::kernel::ColumnKernel;
+use zeroconf_cost::{cost, Scenario};
+use zeroconf_dist::DefectiveExponential;
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    // Occupancy strictly inside (0, 1); costs non-negative and finite;
+    // reply-time loss/rate/delay across the regimes the paper sweeps.
+    (
+        1e-6f64..=0.999,
+        0.0f64..100.0,
+        0.0f64..1e36,
+        0.0f64..=0.5,
+        0.1f64..50.0,
+        0.0f64..5.0,
+    )
+        .prop_map(|(q, c, e, loss, rate, delay)| {
+            let dist = DefectiveExponential::from_loss(loss, rate, delay).unwrap();
+            Scenario::builder()
+                .occupancy(q)
+                .probe_cost(c)
+                .error_cost(e)
+                .reply_time(Arc::new(dist))
+                .build()
+                .unwrap()
+        })
+}
+
+fn listening_period() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        // The r = 0 boundary and subnormal-adjacent values: the kernel
+        // must take the same denormal-handling path as the closed form.
+        Just(0.0f64),
+        Just(f64::MIN_POSITIVE),
+        Just(f64::MIN_POSITIVE * 4.0),
+        Just(5e-324f64),
+        1e-12f64..1e-6,
+        0.0f64..60.0,
+        60.0f64..1e4,
+    ]
+}
+
+proptest! {
+    #[test]
+    fn kernel_matches_per_n_closed_forms_bitwise(
+        scenario in scenario(),
+        n_max in 1u32..=256,
+        r in listening_period(),
+    ) {
+        let pis = cost::pi_table(&scenario, n_max, r).unwrap();
+        let kernel = ColumnKernel::new(&scenario);
+        let mut costs = vec![0.0f64; n_max as usize];
+        let mut errors = vec![0.0f64; n_max as usize];
+        kernel
+            .evaluate(n_max, r, &pis, Some(&mut costs), Some(&mut errors))
+            .unwrap();
+        for n in 1..=n_max {
+            let direct_cost = cost::mean_cost_from_pis(&scenario, n, r, &pis).unwrap();
+            let direct_error = cost::error_probability_from_pis(&scenario, n, &pis).unwrap();
+            prop_assert_eq!(
+                costs[n as usize - 1].to_bits(),
+                direct_cost.to_bits(),
+                "C(n = {}, r = {}) diverges: kernel {} vs direct {}",
+                n, r, costs[n as usize - 1], direct_cost
+            );
+            prop_assert_eq!(
+                errors[n as usize - 1].to_bits(),
+                direct_error.to_bits(),
+                "E(n = {}, r = {}) diverges: kernel {} vs direct {}",
+                n, r, errors[n as usize - 1], direct_error
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_accepts_oversized_cached_tables(
+        scenario in scenario(),
+        n_max in 1u32..=128,
+        extra in 0u32..=64,
+        r in listening_period(),
+    ) {
+        // A cached π-table computed for a larger sweep must evaluate the
+        // smaller column to the same bits as an exact-size table: the
+        // prefix sum only ever reads the first n_max + 1 entries.
+        let exact = cost::pi_table(&scenario, n_max, r).unwrap();
+        let oversized = cost::pi_table(&scenario, n_max + extra, r).unwrap();
+        let kernel = ColumnKernel::new(&scenario);
+        let mut from_exact = vec![0.0f64; n_max as usize];
+        let mut from_oversized = vec![0.0f64; n_max as usize];
+        kernel.evaluate(n_max, r, &exact, Some(&mut from_exact), None).unwrap();
+        kernel.evaluate(n_max, r, &oversized, Some(&mut from_oversized), None).unwrap();
+        for (a, b) in from_exact.iter().zip(&from_oversized) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

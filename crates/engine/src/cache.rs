@@ -1,4 +1,4 @@
-//! The bounded π-table cache.
+//! The bounded π-table cache, with optional cross-process persistence.
 //!
 //! Eq. (1)'s running products `π_0(r) … π_{n_max}(r)` depend only on the
 //! reply-time distribution and `r` — not on the economic parameters `q`,
@@ -7,8 +7,15 @@
 //! grid under changed economics. The cache keys tables on
 //! `(distribution fingerprint, r bit pattern)` and keeps at most
 //! `capacity` tables, evicting the least recently used.
+//!
+//! With a spill directory configured, computed tables are additionally
+//! persisted as `(fingerprint, r_bits)`-named files so a later *process*
+//! re-walking the same grid skips the π recomputation too. Disk traffic
+//! is strictly best effort: unreadable, truncated or corrupt files are
+//! ordinary misses and failed writes lose nothing but the spill.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -63,7 +70,18 @@ impl PiCache {
     fn insert(&mut self, key: (u64, u64), table: Arc<Vec<f64>>) {
         self.clock += 1;
         let stamp = self.clock;
-        self.entries.insert(key, Entry { table, stamp });
+        if let Some(existing) = self.entries.get_mut(&key) {
+            // Longest wins: computes race outside the lock, and a raced
+            // recompute for a smaller n_max must not clobber a longer
+            // resident table (π is prefix-stable, so the longer table
+            // serves every need the shorter one does).
+            if table.len() > existing.table.len() {
+                existing.table = table;
+            }
+            existing.stamp = stamp;
+        } else {
+            self.entries.insert(key, Entry { table, stamp });
+        }
         while self.entries.len() > self.capacity {
             let oldest = self
                 .entries
@@ -80,18 +98,102 @@ impl PiCache {
     }
 }
 
+/// On-disk spill format: `"ZCPITAB1"` magic, little-endian `u64` entry
+/// count, then that many little-endian `f64`s. Tables are bit-exact
+/// across processes because the bytes *are* the `f64` bit patterns.
+mod disk {
+    use std::fs;
+    use std::io::Read;
+    use std::path::{Path, PathBuf};
+
+    const MAGIC: &[u8; 8] = b"ZCPITAB1";
+    const HEADER: usize = 16;
+
+    pub(super) fn table_path(dir: &Path, fingerprint: u64, r_bits: u64) -> PathBuf {
+        dir.join(format!("pi-{fingerprint:016x}-{r_bits:016x}.tbl"))
+    }
+
+    /// Loads a spilled table covering at least `n_max + 1` entries.
+    /// Absent, truncated, corrupt and too-short files are all `None` —
+    /// a miss, never an error.
+    pub(super) fn load(path: &Path, n_max: u32) -> Option<Vec<f64>> {
+        let bytes = fs::read(path).ok()?;
+        if bytes.len() < HEADER || &bytes[..8] != MAGIC {
+            return None;
+        }
+        let count = u64::from_le_bytes(bytes[8..16].try_into().ok()?);
+        let count = usize::try_from(count).ok()?;
+        if count <= n_max as usize || bytes.len() != HEADER + count.checked_mul(8)? {
+            return None;
+        }
+        Some(
+            bytes[HEADER..]
+                .chunks_exact(8)
+                .map(|chunk| f64::from_le_bytes(chunk.try_into().expect("exact chunks")))
+                .collect(),
+        )
+    }
+
+    /// Spills `table`, best effort. Longest wins here too: a valid
+    /// resident file covering at least as many entries is left alone, and
+    /// the write goes through a same-directory temp file plus rename so a
+    /// concurrent reader never sees a partial table.
+    pub(super) fn store(path: &Path, table: &[f64]) {
+        if stored_len(path).is_some_and(|existing| existing >= table.len()) {
+            return;
+        }
+        let mut bytes = Vec::with_capacity(HEADER + table.len() * 8);
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&(table.len() as u64).to_le_bytes());
+        for value in table {
+            bytes.extend_from_slice(&value.to_le_bytes());
+        }
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(format!(".tmp.{}", std::process::id()));
+        let tmp = PathBuf::from(tmp);
+        if fs::write(&tmp, &bytes).is_ok() && fs::rename(&tmp, path).is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+    }
+
+    /// Entry count of a *valid* resident file; `None` for anything
+    /// malformed so a broken file never suppresses a spill.
+    fn stored_len(path: &Path) -> Option<usize> {
+        let mut file = fs::File::open(path).ok()?;
+        let mut header = [0u8; HEADER];
+        file.read_exact(&mut header).ok()?;
+        if &header[..8] != MAGIC {
+            return None;
+        }
+        let count = usize::try_from(u64::from_le_bytes(
+            header[8..16].try_into().expect("sized header"),
+        ))
+        .ok()?;
+        let expected = (HEADER).checked_add(count.checked_mul(8)?)? as u64;
+        (file.metadata().ok()?.len() == expected).then_some(count)
+    }
+}
+
 /// The cache plus its lifetime hit/miss counters, shared between the
 /// engine front-end and the worker threads.
 pub(crate) struct SharedCache {
     inner: Mutex<PiCache>,
+    /// Spill directory for cross-process persistence; `None` disables it.
+    dir: Option<PathBuf>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
 impl SharedCache {
-    pub(crate) fn new(capacity: usize) -> SharedCache {
+    pub(crate) fn new(capacity: usize, dir: Option<PathBuf>) -> SharedCache {
+        if let Some(dir) = &dir {
+            // Best effort, like all spill IO: an uncreatable directory
+            // just means every disk probe misses.
+            let _ = std::fs::create_dir_all(dir);
+        }
         SharedCache {
             inner: Mutex::new(PiCache::new(capacity)),
+            dir,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -105,12 +207,14 @@ impl SharedCache {
 
     /// Fetches the table for `(fingerprint, r)` covering `n_max`, or
     /// computes and caches it. Returns the table and whether it was a hit.
+    /// A table served from the spill directory counts as a hit — no π was
+    /// recomputed.
     ///
     /// The compute runs *outside* the lock so a slow table never
     /// serializes other workers; if two threads race on the same key the
-    /// table is computed twice and inserted twice — wasteful but
-    /// correct, and impossible within one sweep (each `r` belongs to one
-    /// work chunk).
+    /// table is computed twice and inserted twice — wasteful but correct
+    /// (insert keeps the longer table), and impossible within one sweep
+    /// (each `r` belongs to one work chunk).
     pub(crate) fn get_or_compute<E>(
         &self,
         fingerprint: u64,
@@ -123,8 +227,19 @@ impl SharedCache {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok((table, true));
         }
+        if let Some(dir) = &self.dir {
+            if let Some(table) = disk::load(&disk::table_path(dir, key.0, key.1), n_max) {
+                let table = Arc::new(table);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.lock().insert(key, Arc::clone(&table));
+                return Ok((table, true));
+            }
+        }
         let table = Arc::new(compute()?);
         self.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(dir) = &self.dir {
+            disk::store(&disk::table_path(dir, key.0, key.1), &table);
+        }
         self.lock().insert(key, Arc::clone(&table));
         Ok((table, false))
     }
@@ -144,15 +259,27 @@ impl SharedCache {
 
 #[cfg(test)]
 mod tests {
+    use std::sync::atomic::AtomicU64;
+
     use super::*;
 
     fn table(n: usize) -> Result<Vec<f64>, ()> {
         Ok((0..=n).map(|i| 1.0 / (i + 1) as f64).collect())
     }
 
+    /// A fresh scratch directory per test, under the platform temp dir.
+    fn scratch(label: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "zeroconf-cache-test-{}-{label}-{unique}",
+            std::process::id()
+        ))
+    }
+
     #[test]
     fn second_lookup_hits() {
-        let cache = SharedCache::new(8);
+        let cache = SharedCache::new(8, None);
         let (t1, hit1) = cache.get_or_compute(7, 2.0, 4, || table(4)).unwrap();
         let (t2, hit2) = cache.get_or_compute(7, 2.0, 4, || table(4)).unwrap();
         assert!(!hit1);
@@ -164,7 +291,7 @@ mod tests {
 
     #[test]
     fn different_r_or_fingerprint_misses() {
-        let cache = SharedCache::new(8);
+        let cache = SharedCache::new(8, None);
         cache.get_or_compute(7, 2.0, 4, || table(4)).unwrap();
         let (_, hit) = cache.get_or_compute(7, 3.0, 4, || table(4)).unwrap();
         assert!(!hit);
@@ -174,7 +301,7 @@ mod tests {
 
     #[test]
     fn short_table_is_a_miss_and_longer_replaces_it() {
-        let cache = SharedCache::new(8);
+        let cache = SharedCache::new(8, None);
         cache.get_or_compute(1, 1.0, 4, || table(4)).unwrap();
         // Needs n = 9, resident table only covers 4: recompute.
         let (t, hit) = cache.get_or_compute(1, 1.0, 9, || table(9)).unwrap();
@@ -188,8 +315,26 @@ mod tests {
     }
 
     #[test]
+    fn raced_shorter_insert_keeps_the_longer_table() {
+        // Regression: two threads racing the same key used to let the
+        // shorter compute clobber the longer one, silently degrading
+        // later lookups to misses. Replay the race's insert order.
+        let mut cache = PiCache::new(8);
+        let key = (1, r_key(1.0));
+        cache.insert(key, Arc::new(table(9).unwrap()));
+        cache.insert(key, Arc::new(table(4).unwrap()));
+        let resident = cache.lookup(key, 9).expect("longer table survived");
+        assert_eq!(resident.len(), 10);
+        // The raced insert still refreshed recency, and a genuinely
+        // longer insert still replaces.
+        cache.insert(key, Arc::new(table(12).unwrap()));
+        assert_eq!(cache.lookup(key, 12).unwrap().len(), 13);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
     fn eviction_drops_least_recently_used() {
-        let cache = SharedCache::new(2);
+        let cache = SharedCache::new(2, None);
         cache.get_or_compute(1, 1.0, 2, || table(2)).unwrap();
         cache.get_or_compute(2, 1.0, 2, || table(2)).unwrap();
         // Touch key 1 so key 2 is the LRU.
@@ -210,11 +355,101 @@ mod tests {
 
     #[test]
     fn compute_errors_propagate_and_cache_nothing() {
-        let cache = SharedCache::new(4);
+        let cache = SharedCache::new(4, None);
         let r: Result<(Arc<Vec<f64>>, bool), &str> =
             cache.get_or_compute(5, 1.0, 2, || Err("boom"));
         assert_eq!(r.unwrap_err(), "boom");
         assert_eq!(cache.len(), 0);
         assert_eq!(cache.misses(), 0);
+    }
+
+    #[test]
+    fn spilled_table_survives_a_cache_rebuild() {
+        let dir = scratch("spill");
+        let reference = Arc::new(table(4).unwrap());
+        {
+            let cache = SharedCache::new(8, Some(dir.clone()));
+            let (_, hit) = cache.get_or_compute(7, 2.0, 4, || table(4)).unwrap();
+            assert!(!hit);
+        }
+        // A fresh cache (new process, in spirit) loads from disk: a hit,
+        // with bit-identical floats and no compute.
+        let cache = SharedCache::new(8, Some(dir.clone()));
+        let (t, hit) = cache
+            .get_or_compute(7, 2.0, 4, || -> Result<Vec<f64>, ()> {
+                panic!("disk hit must not recompute")
+            })
+            .unwrap();
+        assert!(hit);
+        assert_eq!(t.len(), reference.len());
+        for (a, b) in t.iter().zip(reference.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_and_truncated_spills_are_misses() {
+        let dir = scratch("corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let key_r = r_key(2.0);
+        let path = dir.join(format!("pi-{:016x}-{key_r:016x}.tbl", 7u64));
+        for bytes in [
+            b"garbage!".to_vec(),                       // bad magic
+            b"ZCPITAB1\x05\0\0\0\0\0\0\0\x01".to_vec(), // truncated body
+            Vec::new(),                                 // empty file
+        ] {
+            std::fs::write(&path, &bytes).unwrap();
+            let cache = SharedCache::new(8, Some(dir.clone()));
+            let (t, hit) = cache.get_or_compute(7, 2.0, 4, || table(4)).unwrap();
+            assert!(!hit, "malformed spill must be a miss: {bytes:?}");
+            assert_eq!(t.len(), 5);
+        }
+        // The last recompute replaced the corrupt file with a valid one.
+        let cache = SharedCache::new(8, Some(dir.clone()));
+        let (_, hit) = cache.get_or_compute(7, 2.0, 4, || table(4)).unwrap();
+        assert!(hit);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn too_short_spill_is_recomputed_and_upgraded() {
+        let dir = scratch("upgrade");
+        {
+            let cache = SharedCache::new(8, Some(dir.clone()));
+            cache.get_or_compute(7, 2.0, 4, || table(4)).unwrap();
+        }
+        // A bigger sweep can't use the 5-entry spill: recompute, and the
+        // longer table replaces the file.
+        {
+            let cache = SharedCache::new(8, Some(dir.clone()));
+            let (t, hit) = cache.get_or_compute(7, 2.0, 9, || table(9)).unwrap();
+            assert!(!hit);
+            assert_eq!(t.len(), 10);
+        }
+        // A later *small* sweep must still find the long table — the
+        // shorter spill never clobbers it (longest wins on disk too).
+        {
+            let cache = SharedCache::new(8, Some(dir.clone()));
+            let (t, hit) = cache.get_or_compute(7, 2.0, 4, || table(4)).unwrap();
+            assert!(hit);
+            assert_eq!(t.len(), 10, "disk kept the longer table");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unusable_spill_directory_degrades_to_memory_only() {
+        // A path that cannot be a directory (it's a file) must not error.
+        let dir = scratch("notadir");
+        std::fs::write(&dir, b"occupied").unwrap();
+        let cache = SharedCache::new(8, Some(dir.clone()));
+        let (_, hit) = cache.get_or_compute(7, 2.0, 4, || table(4)).unwrap();
+        assert!(!hit);
+        let (_, hit) = cache.get_or_compute(7, 2.0, 4, || table(4)).unwrap();
+        assert!(hit, "memory cache still works");
+        let _ = std::fs::remove_file(&dir);
     }
 }

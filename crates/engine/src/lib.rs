@@ -11,7 +11,10 @@
 //!
 //! - **Batched**: a [`SweepRequest`] names a scenario, an `(n, r)` grid
 //!   and the metrics wanted; [`Engine::evaluate`] answers with every cell
-//!   in deterministic `r`-major order.
+//!   in deterministic `r`-major order, stored as flat structure-of-arrays
+//!   [`Landscape`] buffers (one `f64` slab per metric) that each worker
+//!   fills through a single-pass O(n_max) column kernel
+//!   ([`zeroconf_cost::kernel::ColumnKernel`]).
 //! - **Cached**: the only expensive part of a cell is the π-table of
 //!   Eq. (1), and that table depends *only* on the reply-time distribution
 //!   and `r`. The engine memoizes tables keyed on
@@ -24,9 +27,10 @@
 //!
 //! Results are **bit-identical** to calling
 //! [`zeroconf_cost::cost::mean_cost`] /
-//! [`zeroconf_cost::cost::error_probability`] directly: the engine slices
-//! cached π-tables through the same `*_from_pis` arithmetic the direct
-//! entry points delegate to, and a π prefix product is prefix-stable, so
+//! [`zeroconf_cost::cost::error_probability`] directly: the column kernel
+//! performs the exact float operations of the `*_from_pis` evaluators in
+//! the exact order (its running prefix sum replays `iter().sum()`'s
+//! left-to-right fold), and a π prefix product is prefix-stable, so
 //! caching longer tables changes no float. The golden tests assert this
 //! with [`f64::to_bits`] comparisons.
 //!
@@ -40,7 +44,7 @@
 //! let engine = Engine::new(EngineConfig::default());
 //! let request = SweepRequest::new(scenario, GridSpec::linspace(8, 0.1, 30.0, 60));
 //! let response = engine.evaluate(&request)?;
-//! assert_eq!(response.cells.len(), 8 * 60);
+//! assert_eq!(response.landscape.len(), 8 * 60);
 //! // Every r shares one cached π-table across its 8 probe counts.
 //! assert_eq!(response.stats.cache_misses, 60);
 //! # Ok(())
@@ -53,6 +57,7 @@ mod pool;
 mod request;
 pub mod wire;
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -61,7 +66,7 @@ use zeroconf_cost::CostError;
 
 pub use pipeline::{Completion, Pipeline, PipelineConfig, PipelineStats, RequestId};
 pub use request::{
-    BatchStats, Cell, EngineStats, GridSpec, Metric, RescoreDelta, SweepRequest,
+    BatchStats, Cell, EngineStats, GridSpec, Landscape, Metric, RescoreDelta, SweepRequest,
     SweepRequestBuilder, SweepResponse,
 };
 pub use wire::WireError;
@@ -70,13 +75,19 @@ use cache::SharedCache;
 use pool::{Job, WorkerPool};
 
 /// Engine construction parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Total threads evaluating a sweep, including the calling thread;
     /// `workers = 1` means fully synchronous in-caller evaluation.
     pub workers: usize,
     /// Maximum number of π-tables kept resident.
     pub cache_tables: usize,
+    /// Directory for cross-process π-table persistence. When set, cache
+    /// misses first look for a spilled table file and computed tables are
+    /// spilled back (best effort — IO problems and corrupt files are
+    /// silently treated as misses, never as errors). `None` disables
+    /// persistence.
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Default for EngineConfig {
@@ -86,6 +97,7 @@ impl Default for EngineConfig {
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(4),
             cache_tables: 1024,
+            cache_dir: None,
         }
     }
 }
@@ -201,7 +213,7 @@ impl Engine {
         let workers = config.workers.max(1);
         Engine {
             pool: WorkerPool::new(workers - 1),
-            cache: Arc::new(SharedCache::new(config.cache_tables)),
+            cache: Arc::new(SharedCache::new(config.cache_tables, config.cache_dir)),
             requests: AtomicU64::new(0),
             cells: AtomicU64::new(0),
             wall_nanos: Mutex::new(0),
@@ -250,12 +262,14 @@ impl Engine {
         ));
         self.pool.broadcast(&job);
         job.run(0);
-        let per_r = job.wait()?;
+        let (costs, errors) = job.wait()?;
+        let landscape = Landscape::new(
+            request.grid.n_max,
+            request.grid.r_values.clone(),
+            costs,
+            errors,
+        );
 
-        let mut cells = Vec::with_capacity(request.grid.cells());
-        for r_cells in per_r {
-            cells.extend(r_cells);
-        }
         let wall_nanos = start.elapsed().as_nanos();
         let by_worker = job.cells_per_worker();
         for (total, done) in self.cells_per_worker.iter().zip(&by_worker) {
@@ -265,13 +279,13 @@ impl Engine {
             wall_nanos,
             cache_hits: job.hits.load(Ordering::Relaxed),
             cache_misses: job.misses.load(Ordering::Relaxed),
-            cells: cells.len() as u64,
+            cells: landscape.len() as u64,
             workers: self.workers(),
         };
         self.requests.fetch_add(1, Ordering::Relaxed);
         self.cells.fetch_add(stats.cells, Ordering::Relaxed);
         *self.wall_nanos.lock().unwrap_or_else(|e| e.into_inner()) += wall_nanos;
-        Ok(SweepResponse { cells, stats })
+        Ok(SweepResponse { landscape, stats })
     }
 
     /// Evaluates a batch of sweeps in order, sharing the cache across all
@@ -356,6 +370,7 @@ mod tests {
         Engine::new(EngineConfig {
             workers,
             cache_tables: 64,
+            cache_dir: None,
         })
     }
 
@@ -364,17 +379,17 @@ mod tests {
         let e = engine(1);
         let req = SweepRequest::new(scenario(), GridSpec::linspace(3, 0.5, 2.0, 4));
         let resp = e.evaluate(&req).unwrap();
-        assert_eq!(resp.cells.len(), 12);
+        assert_eq!(resp.landscape.len(), 12);
         let mut expected = Vec::new();
         for r in &req.grid.r_values {
             for n in 1..=3 {
                 expected.push((n, *r));
             }
         }
-        let got: Vec<(u32, f64)> = resp.cells.iter().map(|c| (c.n, c.r)).collect();
+        let got: Vec<(u32, f64)> = resp.landscape.iter().map(|c| (c.n, c.r)).collect();
         assert_eq!(got, expected);
         assert!(resp
-            .cells
+            .landscape
             .iter()
             .all(|c| c.mean_cost.is_some() && c.error_probability.is_some()));
     }
@@ -389,7 +404,7 @@ mod tests {
         let warm = e.evaluate(&req).unwrap();
         assert_eq!(warm.stats.cache_misses, 0);
         assert_eq!(warm.stats.cache_hits, 5);
-        assert_eq!(cold.cells, warm.cells);
+        assert_eq!(cold.landscape, warm.landscape);
     }
 
     #[test]
@@ -398,8 +413,10 @@ mod tests {
         let mut req = SweepRequest::new(scenario(), GridSpec::linspace(2, 0.5, 1.0, 2));
         req.metrics = vec![Metric::MeanCost];
         let resp = e.evaluate(&req).unwrap();
+        assert!(resp.landscape.costs().is_some());
+        assert!(resp.landscape.errors().is_none());
         assert!(resp
-            .cells
+            .landscape
             .iter()
             .all(|c| c.mean_cost.is_some() && c.error_probability.is_none()));
     }
@@ -409,8 +426,8 @@ mod tests {
         let req = SweepRequest::new(scenario(), GridSpec::linspace(8, 0.1, 20.0, 97));
         let single = engine(1).evaluate(&req).unwrap();
         let multi = engine(4).evaluate(&req).unwrap();
-        assert_eq!(single.cells.len(), multi.cells.len());
-        for (a, b) in single.cells.iter().zip(&multi.cells) {
+        assert_eq!(single.landscape.len(), multi.landscape.len());
+        for (a, b) in single.landscape.iter().zip(multi.landscape.iter()) {
             assert_eq!(a.n, b.n);
             assert_eq!(a.r.to_bits(), b.r.to_bits());
             assert_eq!(
@@ -444,8 +461,8 @@ mod tests {
         assert_eq!(rescored_req.scenario.error_cost(), 1e9);
         // And the numbers actually moved.
         assert_ne!(
-            base.cells[0].mean_cost.unwrap(),
-            rescored.cells[0].mean_cost.unwrap()
+            base.landscape.cell(0).mean_cost.unwrap(),
+            rescored.landscape.cell(0).mean_cost.unwrap()
         );
     }
 

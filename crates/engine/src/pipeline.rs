@@ -476,6 +476,7 @@ mod tests {
         let engine = Arc::new(Engine::new(EngineConfig {
             workers: 1,
             cache_tables: 64,
+            cache_dir: None,
         }));
         Pipeline::new(engine, PipelineConfig::with_depth(depth))
     }
@@ -495,7 +496,7 @@ mod tests {
         assert_eq!(p.in_flight(), 0);
         for completion in &done {
             let response = completion.result.as_ref().unwrap();
-            assert!(!response.cells.is_empty());
+            assert!(!response.landscape.is_empty());
         }
         let stats = p.stats();
         assert_eq!(stats.submitted, 2);

@@ -1,44 +1,126 @@
 //! The persistent worker pool and the per-sweep job it executes.
 //!
 //! One sweep becomes one [`Job`]: the `r` grid is the work list, and the
-//! unit of work is a single `r` (one π-table lookup plus `n_max` cell
-//! evaluations). Workers claim *chunks* of consecutive `r` indices from a
-//! shared atomic cursor — self-scheduling ("work-stealing from a common
-//! pile"), so a worker that lands on cheap cells simply comes back for
-//! more instead of idling behind a static partition. The calling thread
-//! participates as worker 0, so an engine configured with one worker runs
-//! entirely in the caller with no cross-thread traffic.
+//! unit of work is a single `r` (one π-table lookup plus one
+//! [`ColumnKernel`] pass over `n = 1..=n_max`). Workers claim *chunks* of
+//! consecutive `r` indices from a shared atomic cursor — self-scheduling
+//! ("work-stealing from a common pile"), so a worker that lands on cheap
+//! cells simply comes back for more instead of idling behind a static
+//! partition. The calling thread participates as worker 0, so an engine
+//! configured with one worker runs entirely in the caller with no
+//! cross-thread traffic.
+//!
+//! Results land in preallocated flat structure-of-arrays buffers
+//! ([`SoaBuffer`], one `f64` slab per requested metric, `r`-major): each
+//! claimed `r` index owns the disjoint column
+//! `[index·n_max, (index+1)·n_max)` of every buffer, the kernel writes it
+//! by slice index with no per-cell allocation, and the completion latch is
+//! decremented once per claimed *chunk* rather than once per `r` index.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::mem::ManuallyDrop;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
+use zeroconf_cost::kernel::ColumnKernel;
 use zeroconf_cost::{cost, Scenario};
 use zeroconf_dist::ReplyTimeDistribution;
 
 use crate::cache::SharedCache;
-use crate::request::{Cell, Metric, SweepRequest};
+use crate::request::{Metric, SweepRequest};
 use crate::{CancelToken, EngineError};
 
 /// How many chunks each participant should get on average; more than one
 /// so uneven cells rebalance, not so many that cursor traffic dominates.
 const CHUNKS_PER_WORKER: usize = 4;
 
-/// One sweep's shared state: inputs, the claim cursor, result slots and
-/// the completion latch.
+/// The filled metric buffers a finished job hands back: `(costs, errors)`,
+/// `r`-major, `None` per unrequested metric.
+pub(crate) type MetricBuffers = (Option<Vec<f64>>, Option<Vec<f64>>);
+
+/// A preallocated flat `f64` slab written concurrently through disjoint
+/// column slices, then taken back as a `Vec<f64>` when the job completes.
+///
+/// The backing `Vec` is leaked at construction (only its raw parts are
+/// kept), so handing out a `&mut [f64]` column never touches a Rust
+/// reference to the whole buffer — concurrent writers hold aliases-free
+/// slices derived straight from the base pointer. Synchronization is the
+/// job's claim cursor (each index claimed exactly once) plus the
+/// completion latch (all writes happen-before the caller's `take`).
+struct SoaBuffer {
+    base: *mut f64,
+    len: usize,
+    capacity: usize,
+    taken: AtomicBool,
+}
+
+// SAFETY: the raw pointer is only dereferenced through `column` (disjoint
+// ranges, enforced by the job's claim cursor) and `take`/`Drop` (after the
+// latch), so cross-thread sharing never produces an aliased write.
+unsafe impl Send for SoaBuffer {}
+unsafe impl Sync for SoaBuffer {}
+
+impl SoaBuffer {
+    fn new(len: usize) -> SoaBuffer {
+        let mut slab = ManuallyDrop::new(vec![0.0f64; len]);
+        SoaBuffer {
+            base: slab.as_mut_ptr(),
+            len,
+            capacity: slab.capacity(),
+            taken: AtomicBool::new(false),
+        }
+    }
+
+    /// The mutable column `[start, start + len)`.
+    ///
+    /// # Safety
+    ///
+    /// The range must be in bounds and claimed by exactly one live caller
+    /// — the job guarantees both by handing each `r` index to exactly one
+    /// worker via the atomic cursor.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn column(&self, start: usize, len: usize) -> &mut [f64] {
+        debug_assert!(start + len <= self.len, "column outside the buffer");
+        std::slice::from_raw_parts_mut(self.base.add(start), len)
+    }
+
+    /// Reassembles the slab into an owned `Vec<f64>`. Must only be called
+    /// after the completion latch released (no writer can touch the slab
+    /// again), and at most once.
+    fn take(&self) -> Vec<f64> {
+        let already = self.taken.swap(true, Ordering::AcqRel);
+        assert!(!already, "SoA buffer taken twice");
+        // SAFETY: parts came from a leaked Vec<f64>; `taken` ensures
+        // exactly one reassembly, and Drop skips freeing afterwards.
+        unsafe { Vec::from_raw_parts(self.base, self.len, self.capacity) }
+    }
+}
+
+impl Drop for SoaBuffer {
+    fn drop(&mut self) {
+        if !*self.taken.get_mut() {
+            // SAFETY: never taken, so the leaked Vec is still ours to free.
+            drop(unsafe { Vec::from_raw_parts(self.base, self.len, self.capacity) });
+        }
+    }
+}
+
+/// One sweep's shared state: inputs, the claim cursor, the flat result
+/// buffers and the completion latch.
 pub(crate) struct Job {
     scenario: Scenario,
+    kernel: ColumnKernel,
     fingerprint: u64,
     n_max: u32,
-    want_cost: bool,
-    want_error: bool,
     r_values: Vec<f64>,
     chunk: usize,
     cursor: AtomicUsize,
     cache: Arc<SharedCache>,
-    /// One slot per `r` index, filled by whichever worker claims it.
-    results: Mutex<Vec<Option<Vec<Cell>>>>,
+    /// Flat `r`-major metric buffers; `None` when the metric was not
+    /// requested. Each claimed `r` index writes its own disjoint column.
+    costs: Option<SoaBuffer>,
+    errors: Option<SoaBuffer>,
     /// First evaluation error, if any; the sweep still drains so the
     /// latch always releases.
     failure: Mutex<Option<EngineError>>,
@@ -68,17 +150,22 @@ impl Job {
         cancel: CancelToken,
     ) -> Job {
         let r_count = request.grid.r_values.len();
+        let cells = r_count * request.grid.n_max as usize;
         Job {
             scenario: request.scenario.clone(),
+            kernel: ColumnKernel::new(&request.scenario),
             fingerprint: request.scenario.reply_time().fingerprint(),
             n_max: request.grid.n_max,
-            want_cost: request.wants(Metric::MeanCost),
-            want_error: request.wants(Metric::ErrorProbability),
             r_values: request.grid.r_values.clone(),
             chunk: (r_count / (participants * CHUNKS_PER_WORKER)).max(1),
             cursor: AtomicUsize::new(0),
             cache,
-            results: Mutex::new(vec![None; r_count]),
+            costs: request
+                .wants(Metric::MeanCost)
+                .then(|| SoaBuffer::new(cells)),
+            errors: request
+                .wants(Metric::ErrorProbability)
+                .then(|| SoaBuffer::new(cells)),
             failure: Mutex::new(None),
             pending: Mutex::new(r_count),
             done: Condvar::new(),
@@ -101,28 +188,24 @@ impl Job {
             for index in start..end {
                 if self.cancel.is_cancelled() {
                     lock(&self.failure).get_or_insert(EngineError::Cancelled);
-                } else {
-                    match self.evaluate_r(self.r_values[index], worker) {
-                        Ok(cells) => lock(&self.results)[index] = Some(cells),
-                        Err(e) => {
-                            let mut failure = lock(&self.failure);
-                            failure.get_or_insert(e);
-                        }
-                    }
+                } else if let Err(e) = self.evaluate_r(index, worker) {
+                    lock(&self.failure).get_or_insert(e);
                 }
-                let mut pending = lock(&self.pending);
-                *pending -= 1;
-                if *pending == 0 {
-                    self.done.notify_all();
-                }
+            }
+            // One latch update per claimed chunk, not per r index.
+            let mut pending = lock(&self.pending);
+            *pending -= end - start;
+            if *pending == 0 {
+                self.done.notify_all();
             }
         }
     }
 
-    /// All cells at one `r`: one cache round-trip, then `n = 1..=n_max`
-    /// against the shared table via the `*_from_pis` evaluators — the
-    /// exact arithmetic of the direct closed-form calls.
-    fn evaluate_r(&self, r: f64, worker: usize) -> Result<Vec<Cell>, EngineError> {
+    /// All cells at one `r`: one cache round-trip, then a single
+    /// [`ColumnKernel`] pass writing the column's slices of the flat
+    /// buffers — bit-identical to the per-`n` `*_from_pis` arithmetic.
+    fn evaluate_r(&self, index: usize, worker: usize) -> Result<(), EngineError> {
+        let r = self.r_values[index];
         let (table, hit) = self
             .cache
             .get_or_compute(self.fingerprint, r, self.n_max, || {
@@ -133,32 +216,28 @@ impl Job {
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
         }
-        let mut cells = Vec::with_capacity(self.n_max as usize);
-        for n in 1..=self.n_max {
-            let mean_cost = if self.want_cost {
-                Some(cost::mean_cost_from_pis(&self.scenario, n, r, &table)?)
-            } else {
-                None
-            };
-            let error_probability = if self.want_error {
-                Some(cost::error_probability_from_pis(&self.scenario, n, &table)?)
-            } else {
-                None
-            };
-            cells.push(Cell {
-                n,
-                r,
-                mean_cost,
-                error_probability,
-            });
-        }
+        let n_max = self.n_max as usize;
+        let column = index * n_max;
+        // SAFETY: `index` was claimed by exactly one worker via the atomic
+        // cursor, so these column slices are unaliased; `index` is within
+        // the r grid, so the columns are in bounds.
+        let costs = self
+            .costs
+            .as_ref()
+            .map(|b| unsafe { b.column(column, n_max) });
+        let errors = self
+            .errors
+            .as_ref()
+            .map(|b| unsafe { b.column(column, n_max) });
+        self.kernel.evaluate(self.n_max, r, &table, costs, errors)?;
         self.cells_by_worker[worker].fetch_add(self.n_max as u64, Ordering::Relaxed);
-        Ok(cells)
+        Ok(())
     }
 
-    /// Blocks until every `r` slot is finished, then hands back the
-    /// per-`r` cell lists (request order) or the first failure.
-    pub(crate) fn wait(&self) -> Result<Vec<Vec<Cell>>, EngineError> {
+    /// Blocks until every `r` index is finished, then hands back the
+    /// filled metric buffers (`r`-major; `None` per unrequested metric)
+    /// or the first failure.
+    pub(crate) fn wait(&self) -> Result<MetricBuffers, EngineError> {
         let mut pending = lock(&self.pending);
         while *pending > 0 {
             pending = self.done.wait(pending).unwrap_or_else(|e| e.into_inner());
@@ -167,11 +246,10 @@ impl Job {
         if let Some(e) = lock(&self.failure).take() {
             return Err(e);
         }
-        let mut slots = lock(&self.results);
-        Ok(slots
-            .iter_mut()
-            .map(|slot| slot.take().expect("all slots filled when pending hits 0"))
-            .collect())
+        Ok((
+            self.costs.as_ref().map(SoaBuffer::take),
+            self.errors.as_ref().map(SoaBuffer::take),
+        ))
     }
 
     pub(crate) fn cells_per_worker(&self) -> Vec<u64> {
@@ -234,5 +312,41 @@ impl Drop for WorkerPool {
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soa_buffer_round_trips_column_writes() {
+        let buffer = SoaBuffer::new(6);
+        // SAFETY: disjoint, in-bounds columns on one thread.
+        unsafe {
+            buffer.column(0, 3).copy_from_slice(&[1.0, 2.0, 3.0]);
+            buffer.column(3, 3).copy_from_slice(&[4.0, 5.0, 6.0]);
+        }
+        assert_eq!(buffer.take(), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "taken twice")]
+    fn soa_buffer_rejects_double_take() {
+        let buffer = SoaBuffer::new(2);
+        let _first = buffer.take();
+        let _second = buffer.take();
+    }
+
+    #[test]
+    fn dropping_an_untaken_buffer_frees_it() {
+        // Exercised for the error path; leak detectors (and miri) would
+        // flag a double free or leak here.
+        let buffer = SoaBuffer::new(128);
+        drop(buffer);
+        let buffer = SoaBuffer::new(128);
+        let owned = buffer.take();
+        drop(buffer);
+        assert_eq!(owned.len(), 128);
     }
 }

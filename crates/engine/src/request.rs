@@ -287,6 +287,10 @@ impl RescoreDelta {
 
 /// One evaluated grid cell. Metric fields are `None` when the metric was
 /// not requested.
+///
+/// `Cell` is the *presentation* shape: the engine stores results in the
+/// flat structure-of-arrays [`Landscape`] and materializes `Cell`s only at
+/// consumption boundaries ([`Landscape::iter`], the wire encoder).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Cell {
     /// Probe count.
@@ -297,6 +301,160 @@ pub struct Cell {
     pub mean_cost: Option<f64>,
     /// `E(n, r)` when requested.
     pub error_probability: Option<f64>,
+}
+
+/// The evaluated grid as flat structure-of-arrays buffers.
+///
+/// Layout is `r`-major: the value for `(r_index, n)` lives at
+/// `r_index · n_max + (n − 1)` of each metric buffer. The column kernel
+/// writes whole `r`-columns straight into these buffers — one contiguous
+/// `f64` slab per metric, no per-cell struct, no per-cell `Option`
+/// discriminants — and consumers either index the slabs directly
+/// ([`Landscape::cost_at`] / [`Landscape::error_at`], `O(1)`) or
+/// materialize [`Cell`]s on the fly ([`Landscape::iter`]).
+///
+/// A metric buffer is `None` iff the metric was not requested; a present
+/// buffer always holds exactly `r_values.len() · n_max` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Landscape {
+    n_max: u32,
+    r_values: Vec<f64>,
+    costs: Option<Vec<f64>>,
+    errors: Option<Vec<f64>>,
+}
+
+impl Landscape {
+    /// Assembles a landscape from kernel-written buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a provided buffer's length is not
+    /// `r_values.len() · n_max` — an engine-internal sizing bug.
+    pub(crate) fn new(
+        n_max: u32,
+        r_values: Vec<f64>,
+        costs: Option<Vec<f64>>,
+        errors: Option<Vec<f64>>,
+    ) -> Landscape {
+        let cells = r_values.len() * n_max as usize;
+        if let Some(costs) = &costs {
+            assert_eq!(costs.len(), cells, "cost buffer covers the grid");
+        }
+        if let Some(errors) = &errors {
+            assert_eq!(errors.len(), cells, "error buffer covers the grid");
+        }
+        Landscape {
+            n_max,
+            r_values,
+            costs,
+            errors,
+        }
+    }
+
+    /// Largest probe count; rows cover `n = 1..=n_max`.
+    #[must_use]
+    pub fn n_max(&self) -> u32 {
+        self.n_max
+    }
+
+    /// The listening periods, in request order.
+    #[must_use]
+    pub fn r_values(&self) -> &[f64] {
+        &self.r_values
+    }
+
+    /// Number of `(n, r)` cells on the grid.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.r_values.len() * self.n_max as usize
+    }
+
+    /// Whether the grid has no cells.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The flat `C(n, r)` buffer (`r`-major), if the metric was requested.
+    #[must_use]
+    pub fn costs(&self) -> Option<&[f64]> {
+        self.costs.as_deref()
+    }
+
+    /// The flat `E(n, r)` buffer (`r`-major), if the metric was requested.
+    #[must_use]
+    pub fn errors(&self) -> Option<&[f64]> {
+        self.errors.as_deref()
+    }
+
+    /// `C(n, r_values[r_index])`, or `None` when the metric was not
+    /// requested.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r_index` or `n` is outside the grid.
+    #[must_use]
+    pub fn cost_at(&self, r_index: usize, n: u32) -> Option<f64> {
+        self.costs.as_ref().map(|c| c[self.flat_index(r_index, n)])
+    }
+
+    /// `E(n, r_values[r_index])`, or `None` when the metric was not
+    /// requested.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r_index` or `n` is outside the grid.
+    #[must_use]
+    pub fn error_at(&self, r_index: usize, n: u32) -> Option<f64> {
+        self.errors.as_ref().map(|e| e[self.flat_index(r_index, n)])
+    }
+
+    /// The [`Cell`] at flat index `index` (`r`-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= len()`.
+    #[must_use]
+    pub fn cell(&self, index: usize) -> Cell {
+        assert!(index < self.len(), "cell index {index} outside the grid");
+        let n_max = self.n_max as usize;
+        Cell {
+            n: (index % n_max) as u32 + 1,
+            r: self.r_values[index / n_max],
+            mean_cost: self.costs.as_ref().map(|c| c[index]),
+            error_probability: self.errors.as_ref().map(|e| e[index]),
+        }
+    }
+
+    /// Materializes [`Cell`]s lazily, in deterministic `r`-major order:
+    /// for each `r` in request order, `n = 1..=n_max`.
+    pub fn iter(&self) -> impl Iterator<Item = Cell> + '_ {
+        (0..self.len()).map(|index| self.cell(index))
+    }
+
+    /// Materializes the whole grid as a `Vec<Cell>` — the legacy
+    /// array-of-structs shape, for callers that want owned cells.
+    #[must_use]
+    pub fn cells(&self) -> Vec<Cell> {
+        self.iter().collect()
+    }
+
+    fn flat_index(&self, r_index: usize, n: u32) -> usize {
+        assert!(
+            r_index < self.r_values.len() && (1..=self.n_max).contains(&n),
+            "(r_index = {r_index}, n = {n}) outside the grid"
+        );
+        r_index * self.n_max as usize + (n as usize - 1)
+    }
+}
+
+impl<'a> IntoIterator for &'a Landscape {
+    type Item = Cell;
+    type IntoIter = Box<dyn Iterator<Item = Cell> + 'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
 }
 
 /// Counters for one evaluated request.
@@ -314,14 +472,26 @@ pub struct BatchStats {
     pub workers: usize,
 }
 
-/// The evaluated grid, in deterministic `r`-major order: for each `r` in
-/// request order, cells for `n = 1..=n_max`.
+/// The evaluated grid plus its work counters.
+///
+/// Results live in the flat SoA [`Landscape`]; `r`-major [`Cell`] views
+/// are materialized on demand via [`SweepResponse::cells`] or
+/// [`Landscape::iter`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepResponse {
-    /// The evaluated cells.
-    pub cells: Vec<Cell>,
+    /// The evaluated grid, as flat metric buffers.
+    pub landscape: Landscape,
     /// Work counters for this request.
     pub stats: BatchStats,
+}
+
+impl SweepResponse {
+    /// The grid as owned [`Cell`]s in deterministic `r`-major order: for
+    /// each `r` in request order, `n = 1..=n_max`.
+    #[must_use]
+    pub fn cells(&self) -> Vec<Cell> {
+        self.landscape.cells()
+    }
 }
 
 /// Cumulative engine-lifetime observability counters.
@@ -407,6 +577,50 @@ mod tests {
         let mut bad = ok.clone();
         bad.metrics.clear();
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn landscape_indexes_r_major_and_materializes_cells() {
+        let landscape = Landscape::new(
+            2,
+            vec![0.5, 1.0, 1.5],
+            Some(vec![10.0, 20.0, 30.0, 40.0, 50.0, 60.0]),
+            None,
+        );
+        assert_eq!(landscape.len(), 6);
+        assert!(!landscape.is_empty());
+        assert_eq!(landscape.n_max(), 2);
+        assert_eq!(landscape.r_values(), &[0.5, 1.0, 1.5]);
+        assert_eq!(landscape.cost_at(1, 2), Some(40.0));
+        assert_eq!(landscape.error_at(1, 2), None);
+        let cells = landscape.cells();
+        assert_eq!(cells.len(), 6);
+        assert_eq!(
+            (cells[3].n, cells[3].r, cells[3].mean_cost),
+            (2, 1.0, Some(40.0))
+        );
+        assert!(cells.iter().all(|c| c.error_probability.is_none()));
+        // Cells stream in r-major order: n cycles fastest.
+        let order: Vec<(u32, f64)> = landscape.iter().map(|c| (c.n, c.r)).collect();
+        assert_eq!(
+            order,
+            vec![(1, 0.5), (2, 0.5), (1, 1.0), (2, 1.0), (1, 1.5), (2, 1.5)]
+        );
+        // &Landscape iterates like .iter().
+        assert_eq!((&landscape).into_iter().count(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the grid")]
+    fn landscape_rejects_out_of_grid_lookup() {
+        let landscape = Landscape::new(2, vec![1.0], Some(vec![1.0, 2.0]), None);
+        let _ = landscape.cost_at(0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cost buffer covers the grid")]
+    fn landscape_rejects_wrongly_sized_buffers() {
+        let _ = Landscape::new(2, vec![1.0], Some(vec![1.0]), None);
     }
 
     #[test]

@@ -552,14 +552,17 @@ pub fn parse_request_line(line: &str) -> Result<WireRequest, WireError> {
 // Response encoding
 // ---------------------------------------------------------------------------
 
-/// Encodes a successful response line.
+/// Encodes a successful response line. The wire keeps the per-cell
+/// object shape; `Cell`s are materialized lazily from the response's flat
+/// [`Landscape`](crate::Landscape) buffers right here, at the
+/// serialization boundary.
 #[must_use]
 pub fn response_line(id: &str, response: &SweepResponse) -> String {
-    let mut out = String::with_capacity(64 + response.cells.len() * 64);
+    let mut out = String::with_capacity(64 + response.landscape.len() * 64);
     out.push_str("{\"v\":1,\"id\":\"");
     out.push_str(&escape(id));
     out.push_str("\",\"cells\":[");
-    for (i, cell) in response.cells.iter().enumerate() {
+    for (i, cell) in response.landscape.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
@@ -796,7 +799,14 @@ impl PipelinedSession {
                     };
                     self.submit_sweep(wire_id, request)
                 }
-                Err(e) => vec![error_line(&wire_id, &e.into())],
+                Err(e) => {
+                    // A delta that fails at dispatch time must still fail
+                    // everything chained on this rescore, or held-back
+                    // dependents are stranded forever.
+                    let mut out = vec![error_line(&wire_id, &e.into())];
+                    out.extend(self.fail_dependents(&wire_id));
+                    out
+                }
             };
         }
         if self.pending_ids.contains(of) {
@@ -1026,6 +1036,7 @@ mod tests {
         let mut session = Session::new(Engine::new(EngineConfig {
             workers: 2,
             cache_tables: 64,
+            cache_dir: None,
         }));
         let first = session.handle_line(&sweep_line("s1")).unwrap();
         assert!(first.contains("\"id\":\"s1\""), "{first}");
@@ -1050,6 +1061,7 @@ mod tests {
         let mut session = Session::new(Engine::new(EngineConfig {
             workers: 1,
             cache_tables: 8,
+            cache_dir: None,
         }));
         assert!(session.handle_line("   ").is_none());
         let bad = session.handle_line("not json").unwrap();
@@ -1070,6 +1082,7 @@ mod tests {
         let mut session = Session::new(Engine::new(EngineConfig {
             workers: 1,
             cache_tables: 8,
+            cache_dir: None,
         }));
         let line = session.handle_line(&sweep_line("s1")).unwrap();
         let parsed = parse_json(&line).unwrap();

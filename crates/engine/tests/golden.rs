@@ -11,8 +11,8 @@ fn figure2_grid() -> GridSpec {
 
 fn assert_bit_identical(engine: &Engine, request: &SweepRequest) {
     let response = engine.evaluate(request).unwrap();
-    assert_eq!(response.cells.len(), request.grid.cells());
-    for cell in &response.cells {
+    assert_eq!(response.landscape.len(), request.grid.cells());
+    for cell in response.landscape.iter() {
         let direct_cost = cost::mean_cost(&request.scenario, cell.n, cell.r).unwrap();
         let direct_error = cost::error_probability(&request.scenario, cell.n, cell.r).unwrap();
         assert_eq!(
@@ -38,6 +38,7 @@ fn cold_cache_matches_direct_evaluation_bitwise() {
     let engine = Engine::new(EngineConfig {
         workers: 1,
         cache_tables: 256,
+        cache_dir: None,
     });
     let request = SweepRequest::new(scenario, figure2_grid());
     assert_bit_identical(&engine, &request);
@@ -52,6 +53,7 @@ fn warm_cache_matches_direct_evaluation_bitwise() {
     let engine = Engine::new(EngineConfig {
         workers: 2,
         cache_tables: 256,
+        cache_dir: None,
     });
     let request = SweepRequest::new(scenario, figure2_grid());
     // First pass fills the cache; the second serves entirely from it.
@@ -68,6 +70,7 @@ fn multi_threaded_sweep_matches_direct_evaluation_bitwise() {
     let engine = Engine::new(EngineConfig {
         workers: 4,
         cache_tables: 256,
+        cache_dir: None,
     });
     let request = SweepRequest::new(scenario, figure2_grid());
     assert_bit_identical(&engine, &request);
@@ -79,6 +82,7 @@ fn rescore_is_bit_identical_and_recomputes_no_pi() {
     let engine = Engine::new(EngineConfig {
         workers: 2,
         cache_tables: 256,
+        cache_dir: None,
     });
     let base = SweepRequest::new(scenario, figure2_grid());
     engine.evaluate(&base).unwrap();
@@ -94,7 +98,7 @@ fn rescore_is_bit_identical_and_recomputes_no_pi() {
         "a q/E/c rescore must perform zero pi recomputations"
     );
     assert_eq!(response.stats.cache_hits, 120);
-    for cell in &response.cells {
+    for cell in response.landscape.iter() {
         let direct = cost::mean_cost(&rescored_request.scenario, cell.n, cell.r).unwrap();
         assert_eq!(cell.mean_cost.unwrap().to_bits(), direct.to_bits());
         let direct_e = cost::error_probability(&rescored_request.scenario, cell.n, cell.r).unwrap();
@@ -113,6 +117,7 @@ fn tiny_cache_still_gives_exact_results() {
     let engine = Engine::new(EngineConfig {
         workers: 3,
         cache_tables: 4,
+        cache_dir: None,
     });
     let request = SweepRequest::new(scenario, figure2_grid());
     assert_bit_identical(&engine, &request);

@@ -28,6 +28,7 @@ fn engine(workers: usize) -> Arc<Engine> {
     Arc::new(Engine::new(EngineConfig {
         workers,
         cache_tables: 4096,
+        cache_dir: None,
     }))
 }
 
@@ -85,8 +86,12 @@ fn pipelined_payloads_are_bit_identical_to_direct_evaluation() {
     for ((completion, id), direct_response) in completions.iter().zip(&ids).zip(&direct) {
         assert_eq!(completion.id, *id, "submission order is id order");
         let response = completion.result.as_ref().unwrap();
-        assert_eq!(response.cells.len(), direct_response.cells.len());
-        for (cell, direct_cell) in response.cells.iter().zip(&direct_response.cells) {
+        assert_eq!(response.landscape.len(), direct_response.landscape.len());
+        for (cell, direct_cell) in response
+            .landscape
+            .iter()
+            .zip(direct_response.landscape.iter())
+        {
             assert_eq!(cell.n, direct_cell.n);
             assert_eq!(cell.r.to_bits(), direct_cell.r.to_bits());
             assert_eq!(
@@ -120,6 +125,7 @@ fn pipelined_wire_lines_are_bit_identical_to_direct_encoding() {
         Engine::new(EngineConfig {
             workers: 2,
             cache_tables: 64,
+            cache_dir: None,
         }),
         PipelineConfig::with_depth(3),
     );
@@ -183,6 +189,7 @@ fn pipelined_session_emits_responses_in_completion_order() {
         Engine::new(EngineConfig {
             workers: 2,
             cache_tables: 4096,
+            cache_dir: None,
         }),
         PipelineConfig::with_depth(5),
     );
@@ -272,6 +279,7 @@ fn wire_cancel_withdraws_an_in_flight_request() {
         Engine::new(EngineConfig {
             workers: 1,
             cache_tables: 4096,
+            cache_dir: None,
         }),
         PipelineConfig {
             depth: 3,
@@ -346,6 +354,7 @@ fn pipelined_session_drain_answers_every_wire_id() {
         Engine::new(EngineConfig {
             workers: 2,
             cache_tables: 4096,
+            cache_dir: None,
         }),
         PipelineConfig::with_depth(4),
     );
@@ -396,6 +405,7 @@ fn blocking_session_still_answers_line_for_line() {
     let mut session = Session::new(Engine::new(EngineConfig {
         workers: 1,
         cache_tables: 16,
+        cache_dir: None,
     }));
     let sweep = "{\"v\":1,\"id\":\"a\",\"scenario\":{\"q\":0.5,\"probe_cost\":2.0,\
         \"error_cost\":1e6,\"reply_time\":{\"kind\":\"exponential\",\"loss\":1e-6,\
@@ -415,6 +425,7 @@ fn unknown_protocol_version_is_a_structured_error() {
     let mut session = Session::new(Engine::new(EngineConfig {
         workers: 1,
         cache_tables: 16,
+        cache_dir: None,
     }));
     let line = "{\"v\":2,\"id\":\"x\",\"scenario\":{\"q\":0.5,\"probe_cost\":2.0,\
         \"error_cost\":1e6,\"reply_time\":{\"kind\":\"exponential\",\"loss\":1e-6,\

@@ -10,6 +10,7 @@ fn chained_rescore_on_invalid_held_rescore_is_answered() {
         Engine::new(EngineConfig {
             workers: 1,
             cache_tables: 4096,
+            cache_dir: None,
         }),
         PipelineConfig {
             depth: 3,
@@ -24,9 +25,9 @@ fn chained_rescore_on_invalid_held_rescore_is_answered() {
     // s2: held back (base in flight), with an INVALID delta (q = 5.0).
     out.extend(session.submit_line("{\"id\":\"s2\",\"rescore\":{\"of\":\"s1\",\"q\":5.0}}"));
     // s3: held back waiting on s2.
-    out.extend(session.submit_line(
-        "{\"id\":\"s3\",\"rescore\":{\"of\":\"s2\",\"error_cost\":1e9}}",
-    ));
+    out.extend(
+        session.submit_line("{\"id\":\"s3\",\"rescore\":{\"of\":\"s2\",\"error_cost\":1e9}}"),
+    );
     out.extend(session.drain());
     // Every non-empty input line must produce exactly one output line.
     assert_eq!(out.len(), 3, "{out:?}");

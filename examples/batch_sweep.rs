@@ -40,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let best = response
-        .cells
+        .landscape
         .iter()
         .filter(|c| c.mean_cost.is_some_and(f64::is_finite))
         .min_by(|a, b| a.mean_cost.partial_cmp(&b.mean_cost).expect("finite costs"))
@@ -62,7 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let (_, rescored) = engine.rescore(&request, &delta)?;
     let best = rescored
-        .cells
+        .landscape
         .iter()
         .filter(|c| c.mean_cost.is_some_and(f64::is_finite))
         .min_by(|a, b| a.mean_cost.partial_cmp(&b.mean_cost).expect("finite costs"))
@@ -105,7 +105,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "pipelined {}: {} cells (queued {:.2} ms, evaluated {:.2} ms)",
             done.id,
-            response.cells.len(),
+            response.landscape.len(),
             done.queue_nanos as f64 / 1e6,
             done.service_nanos as f64 / 1e6
         );
