@@ -40,6 +40,34 @@ grep -q '"pipeline":{"depth":3' <<<"$SMOKE_OUT" || {
   exit 1
 }
 
+echo "==> engine session smoke test (--mmap spill tier)"
+# Same request twice against a spill directory with the mmap tier on:
+# the second process must answer identically while serving its π-tables
+# from read-only mappings of the first process's spill files.
+MMAP_DIR="$PWD/target/ci-mmap-spills"
+rm -rf "$MMAP_DIR"
+MMAP_REQ='{"v":1,"id":"m","scenario":{"q":0.5,"probe_cost":2.0,"error_cost":1e6,"reply_time":{"kind":"exponential","loss":1e-6,"rate":10.0,"delay":1.0}},"grid":{"n_max":8,"r":[0.5,1.0,2.0]}}'
+MMAP_COLD="$(printf '%s\n' "$MMAP_REQ" | ./target/release/zeroconf engine --cache-dir "$MMAP_DIR" --mmap)"
+MMAP_WARM="$(printf '%s\n' "$MMAP_REQ" | ./target/release/zeroconf engine --cache-dir "$MMAP_DIR" --mmap)"
+# The stats block (wall time, hit/miss counters) legitimately differs
+# between the runs; the landscape cells must not.
+strip_stats() { sed 's/,"stats":{[^}]*}//' <<<"$1"; }
+if [[ "$(strip_stats "$MMAP_COLD")" != "$(strip_stats "$MMAP_WARM")" ]]; then
+  echo "ci: --mmap warm run diverged from the cold run" >&2
+  printf 'cold: %s\nwarm: %s\n' "$MMAP_COLD" "$MMAP_WARM" >&2
+  exit 1
+fi
+grep -q '"cache_misses":0' <<<"$MMAP_WARM" || {
+  echo "ci: --mmap warm run recomputed tables instead of serving spills" >&2
+  echo "$MMAP_WARM" >&2
+  exit 1
+}
+if ! ls "$MMAP_DIR"/pi-*.tbl >/dev/null 2>&1; then
+  echo "ci: --mmap run left no spill files in $MMAP_DIR" >&2
+  exit 1
+fi
+rm -rf "$MMAP_DIR"
+
 echo "==> engine throughput bench smoke (--samples 2)"
 # A 2-sample run keeps the gate fast; ZEROCONF_BENCH_THREADS pins the
 # pool so the smoke is deterministic across hosts. The smoke writes to
@@ -59,12 +87,40 @@ for path in sys.argv[1:]:
     with open(path) as f:
         rows = json.load(f)
     ids = {row["id"] for row in rows}
-    for needed in ("kernel/single-pass/columns", "kernel/legacy-per-n/columns"):
+    for needed in (
+        "kernel/single-pass/columns",
+        "kernel/legacy-per-n/columns",
+        "kernel/block/columns",
+        "engine/warm-mmap/threads=1",
+    ):
         if needed not in ids:
             sys.exit(f"ci: {path} is missing the '{needed}' row")
     for row in rows:
         if row.get("cells_per_sec", 0) <= 0:
             sys.exit(f"ci: {path} row {row['id']} lacks a positive cells_per_sec")
+    # Small-sweep cutoff regression check: with the adaptive scheduler a
+    # warm re-sweep must not get *slower* when the pool has threads. A
+    # 2-sample smoke is noisy, so gate loosely (>= 0.75x) and only when
+    # both rows are present (ZEROCONF_BENCH_THREADS=1 emits no pool row).
+    by_id = {}
+    for row in rows:
+        by_id.setdefault(row["id"], row)
+    warm1 = by_id.get("engine/warm/threads=1")
+    warm_pool = next(
+        (
+            row
+            for row_id, row in by_id.items()
+            if row_id.startswith("engine/warm/threads=") and row is not warm1
+        ),
+        None,
+    )
+    if warm1 and warm_pool:
+        ratio = warm_pool["cells_per_sec"] / warm1["cells_per_sec"]
+        if ratio < 0.75:
+            sys.exit(
+                f"ci: {path} warm pool throughput regressed to {ratio:.2f}x "
+                "of single-threaded (small-sweep cutoff broken?)"
+            )
 print("ci: bench reports validated:", ", ".join(sys.argv[1:]))
 PY
 

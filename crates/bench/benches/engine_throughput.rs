@@ -25,7 +25,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use zeroconf_bench::harness::{black_box, format_nanos, measure, BenchRecord};
-use zeroconf_cost::kernel::ColumnKernel;
+use zeroconf_cost::kernel::{ColumnBlockKernel, ColumnKernel};
 use zeroconf_cost::{cost, paper};
 use zeroconf_engine::{Engine, EngineConfig, GridSpec, Pipeline, PipelineConfig, SweepRequest};
 
@@ -46,6 +46,7 @@ fn config(workers: usize) -> EngineConfig {
         // Room for every r column, so the warm runs never evict.
         cache_tables: R_POINTS.next_power_of_two(),
         cache_dir: None,
+        ..EngineConfig::default()
     }
 }
 
@@ -65,6 +66,58 @@ fn warm(threads: usize, samples: usize, request: &SweepRequest) -> BenchRecord {
     engine.evaluate(request).expect("priming sweep evaluates");
     measure(&format!("engine/warm/threads={threads}"), samples, || {
         engine.evaluate(request).expect("sweep evaluates")
+    })
+}
+
+/// Cache-warm sweep served from spill-file mappings: a writer engine
+/// spills every π-table to disk, then a *fresh* engine with
+/// `mmap_spills` maps them all on its priming pass (zero recomputation,
+/// asserted) and the timed passes serve every table from those read-only
+/// mappings. The target: within noise of the plain in-memory warm row —
+/// a mapped slab costs the same to read as an owned one.
+fn warm_mmap(samples: usize, request: &SweepRequest) -> BenchRecord {
+    let dir = std::env::temp_dir().join(format!("zeroconf-bench-mmap-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let writer = Engine::new(EngineConfig {
+            cache_dir: Some(dir.clone()),
+            ..config(1)
+        });
+        writer.evaluate(request).expect("spill sweep evaluates");
+    }
+    let engine = Engine::new(EngineConfig {
+        cache_dir: Some(dir.clone()),
+        mmap_spills: true,
+        ..config(1)
+    });
+    engine.evaluate(request).expect("priming sweep evaluates");
+    assert_eq!(
+        engine.stats().cache_misses,
+        0,
+        "every table must be served from a spill mapping, not recomputed"
+    );
+    let record = measure("engine/warm-mmap/threads=1", samples, || {
+        engine.evaluate(request).expect("sweep evaluates")
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    record
+}
+
+/// Blocked batch kernel, cold: each iteration batch-computes every
+/// π-table ([`ColumnBlockKernel::pi_tables`], with the zero-tail cutoff)
+/// and then evaluates the whole grid in one r-major block pass. This is
+/// the engine's cold path without pool or cache overhead.
+fn block_columns(samples: usize, request: &SweepRequest) -> BenchRecord {
+    let block = ColumnBlockKernel::new(&request.scenario);
+    let rs = request.grid.r_values.clone();
+    let mut costs = vec![0.0f64; GRID_CELLS];
+    let mut errors = vec![0.0f64; GRID_CELLS];
+    measure("kernel/block/columns", samples, move || {
+        let tables = block.pi_tables(N_MAX, &rs).expect("pi tables compute");
+        block
+            .evaluate(N_MAX, &rs, &tables, Some(&mut costs), Some(&mut errors))
+            .expect("block evaluates");
+        black_box((costs.last().copied(), errors.last().copied()))
     })
 }
 
@@ -269,8 +322,10 @@ fn main() {
         (cold(pool, samples, &request), pool, "cold"),
         (warm(1, samples, &request), 1, "warm"),
         (warm(pool, samples, &request), pool, "warm"),
+        (warm_mmap(samples, &request), 1, "warm-mmap"),
     ];
     let kernel_runs = [
+        (block_columns(samples, &request), 1, "cold"),
         (kernel_columns(samples, &request), 1, "warm"),
         (legacy_columns(samples, &request), 1, "warm"),
     ];
@@ -319,8 +374,16 @@ fn main() {
         speedup(&grid_runs[2].0, &grid_runs[3].0)
     );
     println!(
+        "  warm mmap (1 thread) vs warm in-memory: {:.2}x",
+        speedup(&grid_runs[2].0, &grid_runs[4].0)
+    );
+    println!(
+        "  block kernel (incl. pi) vs cold engine (1 thread): {:.2}x",
+        speedup(&grid_runs[0].0, &kernel_runs[0].0)
+    );
+    println!(
         "  single-pass kernel vs legacy per-n columns: {:.2}x",
-        speedup(&kernel_runs[1].0, &kernel_runs[0].0)
+        speedup(&kernel_runs[2].0, &kernel_runs[1].0)
     );
     println!(
         "  pipelined session (depth {depth}) vs serial: {:.2}x over {} requests",

@@ -1,5 +1,6 @@
 //! Figures 1 – 6: the paper's evaluation plots, regenerated.
 
+use zeroconf_cost::kernel::ScenarioFactors;
 use zeroconf_cost::optimize::{self, OptimizeConfig};
 use zeroconf_cost::{drm, paper, Scenario};
 use zeroconf_engine::{Engine, EngineConfig, GridSpec, Metric, SweepRequest, SweepResponse};
@@ -56,11 +57,12 @@ fn engine_row(response: &SweepResponse) -> String {
 pub fn fig1() -> Result<ExperimentOutput, HarnessError> {
     let scenario = figure2_scenario()?;
     let model = drm::build(&scenario, 4, 2.0).map_err(harness_err("fig1"))?;
+    // The same shared hoist the kernels use; the header thereby prints
+    // exactly the constants the arithmetic ran with.
+    let factors = ScenarioFactors::new(&scenario);
     let mut rows = vec![format!(
         "DRM for n = 4, r = 2 (q = {:.6}, c = {}, E = {:e}):",
-        scenario.occupancy(),
-        scenario.probe_cost(),
-        scenario.error_cost()
+        factors.q, factors.probe_cost, factors.error_cost
     )];
     rows.extend(model.chain.to_string().lines().map(str::to_owned));
     Ok(ExperimentOutput {

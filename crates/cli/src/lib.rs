@@ -160,27 +160,33 @@ struct EngineOptions {
     workers: usize,
     cache_tables: usize,
     cache_dir: Option<std::path::PathBuf>,
+    mmap_spills: bool,
     inflight: usize,
     emit_stats: bool,
 }
 
 fn engine_options(args: &[String]) -> Result<EngineOptions, CliError> {
-    // `--stats` is a bare switch; strip it before the value-flag parser.
+    // `--stats` and `--mmap` are bare switches; strip them before the
+    // value-flag parser.
     let mut emit_stats = false;
+    let mut mmap_spills = false;
     let positional: Vec<String> = args
         .iter()
-        .filter(|a| {
-            if a.as_str() == "--stats" {
+        .filter(|a| match a.as_str() {
+            "--stats" => {
                 emit_stats = true;
                 false
-            } else {
-                true
             }
+            "--mmap" => {
+                mmap_spills = true;
+                false
+            }
+            _ => true,
         })
         .cloned()
         .collect();
     let flags = Flags::parse(&positional)?;
-    let unknown = flags.unknown_flags(&["workers", "cache", "cache-dir", "inflight"]);
+    let unknown = flags.unknown_flags(&["workers", "cache", "cache-dir", "inflight", "mmap"]);
     if !unknown.is_empty() {
         return Err(err(format!("unknown flags: {}", unknown.join(", "))));
     }
@@ -193,6 +199,7 @@ fn engine_options(args: &[String]) -> Result<EngineOptions, CliError> {
             .number("cache")?
             .map_or(defaults.cache_tables, |c| c as usize),
         cache_dir: flags.get("cache-dir").map(std::path::PathBuf::from),
+        mmap_spills,
         inflight: flags.number("inflight")?.map_or(1, |n| n as usize),
         emit_stats,
     })
@@ -216,6 +223,8 @@ pub fn engine_process(input: &str, args: &[String]) -> Result<String, CliError> 
         workers: options.workers.max(1),
         cache_tables: options.cache_tables.max(1),
         cache_dir: options.cache_dir.clone(),
+        mmap_spills: options.mmap_spills,
+        ..zeroconf_engine::EngineConfig::default()
     });
     let mut out = String::new();
     let push = |lines: Vec<String>, out: &mut String| {
@@ -287,7 +296,8 @@ pub fn usage() -> String {
      \u{20}  frontier: [--budget P] [--n-max N]\n\
      \u{20}  calibrate: --target-probes N --target-listen R\n\
      \u{20}  optimize: [--n-max N] [--r-max R]\n\
-     \u{20}  engine: [--workers N] [--cache TABLES] [--cache-dir PATH] [--inflight N] [--stats]\n\
+     \u{20}  engine: [--workers N] [--cache TABLES] [--cache-dir PATH] [--mmap]\n\
+     \u{20}          [--inflight N] [--stats]\n\
      example:\n\
      \u{20}  zeroconf optimize --hosts 1000 --probe-cost 2 --error-cost 1e35 \\\n\
      \u{20}           --loss 1e-15 --rate 10 --delay 1"

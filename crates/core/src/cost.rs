@@ -3,6 +3,7 @@
 
 use zeroconf_dist::noanswer;
 
+use crate::kernel::ScenarioFactors;
 use crate::{CostError, Scenario};
 
 /// A breakdown of the mean total cost into its Eq. (3) ingredients, for
@@ -94,16 +95,17 @@ pub fn cost_components_from_pis(
     check_n(n)?;
     check_r(r)?;
     check_table(n, pis)?;
-    let q = scenario.occupancy();
-    let c = scenario.probe_cost();
-    let e = scenario.error_cost();
+    // The shared hoist: every factor below is the same expression the
+    // inline form computed (`1 − q`, `(r+c)·q` left-associated, `q·E`),
+    // so the components keep their exact bits.
+    let f = ScenarioFactors::new(scenario);
     let pi_n = pis[n as usize];
     let pi_prefix_sum: f64 = pis[..n as usize].iter().sum();
 
-    let free_address_probing = (r + c) * n as f64 * (1.0 - q);
-    let occupied_address_probing = (r + c) * q * pi_prefix_sum;
-    let collision_penalty = q * e * pi_n;
-    let denominator = 1.0 - q * (1.0 - pi_n);
+    let free_address_probing = (r + f.probe_cost) * n as f64 * f.one_minus_q;
+    let occupied_address_probing = (r + f.probe_cost) * f.q * pi_prefix_sum;
+    let collision_penalty = f.q_error_cost * pi_n;
+    let denominator = 1.0 - f.q * (1.0 - pi_n);
     let total = (free_address_probing + occupied_address_probing + collision_penalty) / denominator;
     Ok(CostComponents {
         free_address_probing,
@@ -162,9 +164,9 @@ pub fn error_probability_from_pis(
 ) -> Result<f64, CostError> {
     check_n(n)?;
     check_table(n, pis)?;
-    let q = scenario.occupancy();
+    let f = ScenarioFactors::new(scenario);
     let pi_n = pis[n as usize];
-    Ok(q * pi_n / (1.0 - q * (1.0 - pi_n)))
+    Ok(f.q * pi_n / (1.0 - f.q * (1.0 - pi_n)))
 }
 
 /// The asymptote `A_n(r)` that `C_n(r)` approaches as `r → ∞`

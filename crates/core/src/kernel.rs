@@ -31,8 +31,47 @@
 //! assert this with [`f64::to_bits`] comparisons across scenarios, grids
 //! including `r = 0` and subnormal-adjacent `r`, and `n_max` up to 256.
 
+use zeroconf_dist::noanswer;
+
 use crate::cost::{self, check_n, check_r};
 use crate::{CostError, Scenario};
+
+/// The scenario-constant factors of Eq. (3)/(4), hoisted once.
+///
+/// Every evaluator of the closed forms needs the same four products of
+/// scenario parameters; this is the *single* place they are computed, so
+/// the column kernel, the legacy per-`n` `*_from_pis` evaluators and the
+/// reporting code share one hoist instead of three copies. Each field is
+/// exactly the expression the per-`n` arithmetic evaluates inline
+/// (`1 − q`, `q·E`), so routing through the struct changes no bits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioFactors {
+    /// Occupancy `q`.
+    pub q: f64,
+    /// `1 − q`, the free-address weight of Eq. (3)'s numerator.
+    pub one_minus_q: f64,
+    /// `q·E`, the collision-penalty factor (left-associated `q·E·π_n`).
+    pub q_error_cost: f64,
+    /// Probe postage `c` (joins `r` per column as `r + c`).
+    pub probe_cost: f64,
+    /// Collision penalty `E` alone (reporting, asymptotes).
+    pub error_cost: f64,
+}
+
+impl ScenarioFactors {
+    /// Hoists `q`, `1 − q`, `q·E`, `c` and `E` from the scenario.
+    #[must_use]
+    pub fn new(scenario: &Scenario) -> ScenarioFactors {
+        let q = scenario.occupancy();
+        ScenarioFactors {
+            q,
+            one_minus_q: 1.0 - q,
+            q_error_cost: q * scenario.error_cost(),
+            probe_cost: scenario.probe_cost(),
+            error_cost: scenario.error_cost(),
+        }
+    }
+}
 
 /// A reusable evaluator for one scenario's Eq. (3)/(4) columns.
 ///
@@ -61,26 +100,17 @@ use crate::{CostError, Scenario};
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ColumnKernel {
-    /// Occupancy `q`.
-    q: f64,
-    /// `1 − q`, the free-address weight of Eq. (3)'s numerator.
-    one_minus_q: f64,
-    /// `q·E`, the collision-penalty factor.
-    q_error_cost: f64,
-    /// Probe postage `c` (joins `r` per column as `r + c`).
-    probe_cost: f64,
+    /// The shared scenario-constant hoist.
+    factors: ScenarioFactors,
 }
 
 impl ColumnKernel {
-    /// Hoists the scenario constants `q`, `1 − q`, `q·E` and `c`.
+    /// Hoists the scenario constants `q`, `1 − q`, `q·E` and `c` (via
+    /// the shared [`ScenarioFactors`]).
     #[must_use]
     pub fn new(scenario: &Scenario) -> ColumnKernel {
-        let q = scenario.occupancy();
         ColumnKernel {
-            q,
-            one_minus_q: 1.0 - q,
-            q_error_cost: q * scenario.error_cost(),
-            probe_cost: scenario.probe_cost(),
+            factors: ScenarioFactors::new(scenario),
         }
     }
 
@@ -129,24 +159,25 @@ impl ColumnKernel {
 
         // Per-column constants of Eq. (3): `r + c` and `(r + c)·q`,
         // grouped exactly as the per-n path groups them.
-        let r_plus_c = r + self.probe_cost;
-        let r_plus_c_q = r_plus_c * self.q;
+        let f = &self.factors;
+        let r_plus_c = r + f.probe_cost;
+        let r_plus_c_q = r_plus_c * f.q;
         // Running Σ_{i<n} π_i(r); starts at 0.0 like `iter().sum()`.
         let mut pi_prefix_sum = 0.0f64;
         for n in 1..=n_max {
             pi_prefix_sum += pis[n - 1];
             let pi_n = pis[n];
-            let denominator = 1.0 - self.q * (1.0 - pi_n);
+            let denominator = 1.0 - f.q * (1.0 - pi_n);
             if let Some(costs) = costs.as_deref_mut() {
-                let free_address_probing = r_plus_c * n as f64 * self.one_minus_q;
+                let free_address_probing = r_plus_c * n as f64 * f.one_minus_q;
                 let occupied_address_probing = r_plus_c_q * pi_prefix_sum;
-                let collision_penalty = self.q_error_cost * pi_n;
+                let collision_penalty = f.q_error_cost * pi_n;
                 costs[n - 1] =
                     (free_address_probing + occupied_address_probing + collision_penalty)
                         / denominator;
             }
             if let Some(errors) = errors.as_deref_mut() {
-                errors[n - 1] = self.q * pi_n / denominator;
+                errors[n - 1] = f.q * pi_n / denominator;
             }
         }
         Ok(())
@@ -172,6 +203,156 @@ pub fn evaluate_column(
     let mut errors = vec![0.0; n_max as usize];
     ColumnKernel::new(scenario).evaluate(n_max, r, &pis, Some(&mut costs), Some(&mut errors))?;
     Ok((costs, errors))
+}
+
+/// A blocked evaluator: B `r`-columns per pass.
+///
+/// [`ColumnKernel`] removed the per-cell arithmetic; what remains of the
+/// cold path is building π-tables column by column — one virtual
+/// `survival` call per (round, column) cell plus the telescoped division
+/// and clamp. `ColumnBlockKernel` turns that inside out: it walks probe
+/// rounds `i = 1..=n_max` *across a whole block of columns*, calling
+/// [`noanswer::p_i_batch`] once per round so the reply-time distribution
+/// evaluates its closed form over the block with hoisted constants and a
+/// single virtual dispatch.
+///
+/// # The zero-tail cutoff
+///
+/// The running product `π_i(r) = π_{i−1}(r)·p_i(r)` underflows to exactly
+/// `+0.0` within a few dozen rounds on realistic grids (the paper's
+/// figure-2 scenario reaches `π ≈ 1e−309` by round ~25 at `r = 1`). Once
+/// it does, every later entry of that column is exactly `+0.0` too —
+/// `p_i ∈ [0, 1]` is clamped and never NaN, and IEEE `+0.0 · p` is
+/// `+0.0` — so the scalar recurrence can be *replayed without evaluating
+/// it*: the block builder drops the column from the active set and leaves
+/// the pre-zeroed tail in place. This skips the dominant `exp` work for
+/// most of each column while remaining bit-identical to
+/// [`cost::pi_table`], which the golden and property suites assert with
+/// [`f64::to_bits`].
+#[derive(Debug, Clone)]
+pub struct ColumnBlockKernel {
+    scenario: Scenario,
+    kernel: ColumnKernel,
+}
+
+impl ColumnBlockKernel {
+    /// Hoists the scenario constants and keeps the scenario for π-table
+    /// construction.
+    #[must_use]
+    pub fn new(scenario: &Scenario) -> ColumnBlockKernel {
+        ColumnBlockKernel {
+            scenario: scenario.clone(),
+            kernel: ColumnKernel::new(scenario),
+        }
+    }
+
+    /// The per-column kernel this block kernel evaluates with.
+    #[must_use]
+    pub fn kernel(&self) -> &ColumnKernel {
+        &self.kernel
+    }
+
+    /// Builds the π-tables for a whole block of listening periods,
+    /// i-major with the zero-tail cutoff. Each returned table is
+    /// bit-identical to `cost::pi_table(scenario, n_max, rs[j])`.
+    ///
+    /// # Errors
+    ///
+    /// [`CostError::InvalidListeningPeriod`] for any negative or
+    /// non-finite `r` in the block.
+    pub fn pi_tables(&self, n_max: u32, rs: &[f64]) -> Result<Vec<Vec<f64>>, CostError> {
+        for &r in rs {
+            check_r(r)?;
+        }
+        let n = n_max as usize;
+        let dist = self.scenario.reply_time();
+        let mut tables: Vec<Vec<f64>> = rs
+            .iter()
+            .map(|_| {
+                let mut table = vec![0.0f64; n + 1];
+                table[0] = 1.0;
+                table
+            })
+            .collect();
+        // Columns whose running product is still nonzero, compacted in
+        // place so `p_i_batch` always sees a dense block.
+        let mut active: Vec<usize> = (0..rs.len()).collect();
+        let mut rs_active: Vec<f64> = rs.to_vec();
+        let mut p_row: Vec<f64> = vec![0.0f64; rs.len()];
+        for i in 1..=n {
+            if active.is_empty() {
+                break;
+            }
+            let width = active.len();
+            noanswer::p_i_batch(dist, &rs_active[..width], i, &mut p_row[..width])?;
+            let mut kept = 0;
+            for slot in 0..width {
+                let column = active[slot];
+                // Replays `running *= p_i` for this column exactly.
+                let next = tables[column][i - 1] * p_row[slot];
+                tables[column][i] = next;
+                if next != 0.0 {
+                    active[kept] = column;
+                    rs_active[kept] = rs_active[slot];
+                    kept += 1;
+                }
+                // A column that reached +0.0 keeps its pre-zeroed tail:
+                // the scalar recurrence would only ever produce +0.0·p =
+                // +0.0 from here on (p is clamped to [0, 1], never NaN).
+            }
+            active.truncate(kept);
+            rs_active.truncate(kept);
+        }
+        Ok(tables)
+    }
+
+    /// Evaluates a block of columns against their π-tables, writing
+    /// r-major results: column `j` lands in `out[j·n_max .. (j+1)·n_max]`.
+    /// Each column is evaluated by [`ColumnKernel::evaluate`], so results
+    /// are bit-identical per column by construction. Either output may be
+    /// `None`; provided slices must hold exactly `rs.len()·n_max` values.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ColumnKernel::evaluate`], per column.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tables` does not hold one π-table per column or a
+    /// provided output slice is not exactly `rs.len()·n_max` long.
+    pub fn evaluate<T: AsRef<[f64]>>(
+        &self,
+        n_max: u32,
+        rs: &[f64],
+        tables: &[T],
+        mut costs: Option<&mut [f64]>,
+        mut errors: Option<&mut [f64]>,
+    ) -> Result<(), CostError> {
+        assert_eq!(
+            rs.len(),
+            tables.len(),
+            "block evaluation needs one π-table per column"
+        );
+        let cells = rs.len() * n_max as usize;
+        if let Some(costs) = costs.as_deref() {
+            assert_eq!(costs.len(), cells, "cost block must hold rs.len()*n_max");
+        }
+        if let Some(errors) = errors.as_deref() {
+            assert_eq!(errors.len(), cells, "error block must hold rs.len()*n_max");
+        }
+        let column = n_max as usize;
+        for (j, (&r, table)) in rs.iter().zip(tables).enumerate() {
+            let span = j * column..(j + 1) * column;
+            self.kernel.evaluate(
+                n_max,
+                r,
+                table.as_ref(),
+                costs.as_deref_mut().map(|c| &mut c[span.clone()]),
+                errors.as_deref_mut().map(|e| &mut e[span.clone()]),
+            )?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -288,5 +469,95 @@ mod tests {
         let pis = cost::pi_table(&s, 4, 1.0).unwrap();
         let mut costs = vec![0.0; 3];
         let _ = ColumnKernel::new(&s).evaluate(4, 1.0, &pis, Some(&mut costs), None);
+    }
+
+    /// The blocked π builder must replay `cost::pi_table` bit for bit on
+    /// a grid whose columns underflow to +0.0 at different rounds — the
+    /// zero-tail cutoff has to hand back exactly the scalar tails.
+    #[test]
+    fn block_pi_tables_are_bit_identical_to_per_column_tables() {
+        let s = figure2();
+        let n_max = 200;
+        let rs: Vec<f64> = (0..40).map(|k| 0.1 + k as f64 * 0.75).collect();
+        let block = ColumnBlockKernel::new(&s);
+        let tables = block.pi_tables(n_max, &rs).unwrap();
+        for (j, &r) in rs.iter().enumerate() {
+            let scalar = cost::pi_table(&s, n_max, r).unwrap();
+            assert_eq!(tables[j].len(), scalar.len(), "r = {r}");
+            for (i, (a, b)) in tables[j].iter().zip(&scalar).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "π_{i}({r})");
+            }
+        }
+    }
+
+    /// Step distributions drive π to an exact 0.0 without underflow;
+    /// mixtures exercise the default (scalar-loop) batch survival.
+    #[test]
+    fn block_pi_tables_handle_exact_zeros_and_mixtures() {
+        use zeroconf_dist::{DefectiveDeterministic, Mixture, ReplyTimeDistribution};
+        let step = Scenario::builder()
+            .hosts(1000)
+            .unwrap()
+            .probe_cost(2.0)
+            .error_cost(1e6)
+            .reply_time(Arc::new(DefectiveDeterministic::new(1.0, 1.0).unwrap()))
+            .build()
+            .unwrap();
+        let a: Arc<dyn ReplyTimeDistribution> =
+            Arc::new(DefectiveExponential::new(0.9, 10.0, 1.0).unwrap());
+        let b: Arc<dyn ReplyTimeDistribution> =
+            Arc::new(DefectiveDeterministic::new(0.5, 2.0).unwrap());
+        let mixed = Scenario::builder()
+            .hosts(1000)
+            .unwrap()
+            .probe_cost(2.0)
+            .error_cost(1e6)
+            .reply_time(Arc::new(Mixture::new(vec![(0.5, a), (0.5, b)]).unwrap()))
+            .build()
+            .unwrap();
+        let rs = [0.0, 0.25, 0.5, 1.0, 2.0];
+        for scenario in [&step, &mixed] {
+            let tables = ColumnBlockKernel::new(scenario).pi_tables(16, &rs).unwrap();
+            for (j, &r) in rs.iter().enumerate() {
+                let scalar = cost::pi_table(scenario, 16, r).unwrap();
+                for (i, (x, y)) in tables[j].iter().zip(&scalar).enumerate() {
+                    assert_eq!(x.to_bits(), y.to_bits(), "π_{i}({r})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_evaluate_matches_the_column_kernel_r_major() {
+        let s = figure2();
+        let n_max = 32u32;
+        let rs = [0.0, 0.4, 2.0, 9.5];
+        let block = ColumnBlockKernel::new(&s);
+        let tables = block.pi_tables(n_max, &rs).unwrap();
+        let cells = rs.len() * n_max as usize;
+        let mut costs = vec![0.0; cells];
+        let mut errors = vec![0.0; cells];
+        block
+            .evaluate(n_max, &rs, &tables, Some(&mut costs), Some(&mut errors))
+            .unwrap();
+        for (j, &r) in rs.iter().enumerate() {
+            let (column_costs, column_errors) = evaluate_column(&s, n_max, r).unwrap();
+            let span = j * n_max as usize..(j + 1) * n_max as usize;
+            for (a, b) in costs[span.clone()].iter().zip(&column_costs) {
+                assert_eq!(a.to_bits(), b.to_bits(), "C column at r = {r}");
+            }
+            for (a, b) in errors[span].iter().zip(&column_errors) {
+                assert_eq!(a.to_bits(), b.to_bits(), "E column at r = {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_rejects_invalid_listening_periods() {
+        let s = figure2();
+        let block = ColumnBlockKernel::new(&s);
+        assert!(block.pi_tables(8, &[1.0, -2.0]).is_err());
+        assert!(block.pi_tables(8, &[f64::INFINITY]).is_err());
+        assert!(block.pi_tables(8, &[]).unwrap().is_empty());
     }
 }

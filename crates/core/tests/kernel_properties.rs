@@ -15,7 +15,7 @@
 use std::sync::Arc;
 
 use proptest::prelude::*;
-use zeroconf_cost::kernel::ColumnKernel;
+use zeroconf_cost::kernel::{ColumnBlockKernel, ColumnKernel};
 use zeroconf_cost::{cost, Scenario};
 use zeroconf_dist::DefectiveExponential;
 
@@ -107,6 +107,52 @@ proptest! {
         kernel.evaluate(n_max, r, &oversized, Some(&mut from_oversized), None).unwrap();
         for (a, b) in from_exact.iter().zip(&from_oversized) {
             prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn block_kernel_matches_per_column_paths_bitwise(
+        scenario in scenario(),
+        n_max in 1u32..=96,
+        rs in proptest::collection::vec(listening_period(), 1..10),
+    ) {
+        // The blocked batch path — batched π-tables (with the zero-tail
+        // cutoff) plus the r-major block evaluation — must reproduce the
+        // per-column `pi_table` + `ColumnKernel` results float for float.
+        let block = ColumnBlockKernel::new(&scenario);
+        let tables = block.pi_tables(n_max, &rs).unwrap();
+        for (j, &r) in rs.iter().enumerate() {
+            let reference = cost::pi_table(&scenario, n_max, r).unwrap();
+            prop_assert_eq!(tables[j].len(), reference.len());
+            for (i, (a, b)) in tables[j].iter().zip(&reference).enumerate() {
+                prop_assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "pi[{}](r = {}) diverges: block {} vs reference {}",
+                    i, r, a, b
+                );
+            }
+        }
+        let cells = rs.len() * n_max as usize;
+        let mut costs = vec![0.0f64; cells];
+        let mut errors = vec![0.0f64; cells];
+        block
+            .evaluate(n_max, &rs, &tables, Some(&mut costs), Some(&mut errors))
+            .unwrap();
+        let kernel = ColumnKernel::new(&scenario);
+        for (j, &r) in rs.iter().enumerate() {
+            let mut column_costs = vec![0.0f64; n_max as usize];
+            let mut column_errors = vec![0.0f64; n_max as usize];
+            kernel
+                .evaluate(n_max, r, &tables[j], Some(&mut column_costs), Some(&mut column_errors))
+                .unwrap();
+            let span = j * n_max as usize..(j + 1) * n_max as usize;
+            for (a, b) in costs[span.clone()].iter().zip(&column_costs) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for (a, b) in errors[span].iter().zip(&column_errors) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
         }
     }
 }

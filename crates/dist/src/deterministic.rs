@@ -80,6 +80,16 @@ impl ReplyTimeDistribution for DefectiveDeterministic {
         }
     }
 
+    fn survival_batch(&self, ts: &mut [f64]) {
+        // `1 − mass` is the only arithmetic; hoisting it is trivially
+        // bit-identical to the scalar branch.
+        let delay = self.delay;
+        let survived = 1.0 - self.mass;
+        for t in ts {
+            *t = if *t >= delay { survived } else { 1.0 };
+        }
+    }
+
     fn sample(&self, rng: &mut dyn RngCore) -> Option<f64> {
         let u: f64 = zeroconf_rng::Rng::gen(rng);
         if u < self.mass {

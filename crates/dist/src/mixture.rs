@@ -102,6 +102,23 @@ impl ReplyTimeDistribution for Mixture {
         self.components.iter().map(|(w, c)| w * c.survival(t)).sum()
     }
 
+    fn survival_batch(&self, ts: &mut [f64]) {
+        // Replays the scalar weighted sum per element — `sum()` folds
+        // left from 0.0 in component order, and the accumulator below
+        // adds `w·sⱼ` in exactly that order — while letting every
+        // component batch its own survival evaluation.
+        let mut acc = vec![0.0f64; ts.len()];
+        let mut scratch = vec![0.0f64; ts.len()];
+        for (w, c) in &self.components {
+            scratch.copy_from_slice(ts);
+            c.survival_batch(&mut scratch);
+            for (a, s) in acc.iter_mut().zip(&scratch) {
+                *a += w * s;
+            }
+        }
+        ts.copy_from_slice(&acc);
+    }
+
     fn sample(&self, rng: &mut dyn RngCore) -> Option<f64> {
         let mut u: f64 = zeroconf_rng::Rng::gen(rng);
         let last = self.components.len() - 1;

@@ -142,6 +142,70 @@ pub fn pi_sequence<D: ReplyTimeDistribution + ?Sized>(
     Ok(out)
 }
 
+/// Batch form of [`no_answer_probability`]: `p_i(r)` for one probe round
+/// `i` across a whole block of listening periods, written into `out`.
+///
+/// `out` must have the same length as `rs`. Each element is **bit-identical**
+/// to `no_answer_probability(dist, i, rs[j])`: the same telescoped
+/// `survival(i·r) / survival(0)` is evaluated with the same association,
+/// via [`ReplyTimeDistribution::survival_batch`] so distributions hoist
+/// their loop-invariant constants and pay one virtual dispatch per block
+/// instead of one per element. When `survival(0) == 1.0` exactly (every
+/// vendored distribution with a positive delay), the division is skipped —
+/// `x / 1.0` is the identity on bits — but the clamp is kept, because a
+/// defective survival may round a hair above one.
+///
+/// This is the entry point the blocked column kernel
+/// (`zeroconf_cost::kernel::ColumnBlockKernel`) builds π-tables with.
+///
+/// # Errors
+///
+/// Returns [`DistError::InvalidQuery`] for any non-finite or negative `r`;
+/// `out` is unspecified (partially written) on error.
+///
+/// # Panics
+///
+/// Panics if `rs` and `out` differ in length.
+pub fn p_i_batch<D: ReplyTimeDistribution + ?Sized>(
+    dist: &D,
+    rs: &[f64],
+    i: usize,
+    out: &mut [f64],
+) -> Result<(), DistError> {
+    assert_eq!(
+        rs.len(),
+        out.len(),
+        "p_i_batch output must hold one f64 per listening period"
+    );
+    for &r in rs {
+        check_r(r)?;
+    }
+    if i == 0 {
+        out.fill(1.0);
+        return Ok(());
+    }
+    let base = dist.survival(0.0);
+    if base <= 0.0 {
+        out.fill(0.0);
+        return Ok(());
+    }
+    let round = i as f64;
+    for (t, &r) in out.iter_mut().zip(rs) {
+        *t = round * r;
+    }
+    dist.survival_batch(out);
+    if base == 1.0 {
+        for p in out.iter_mut() {
+            *p = clamp_probability(*p);
+        }
+    } else {
+        for p in out.iter_mut() {
+            *p = clamp_probability(*p / base);
+        }
+    }
+    Ok(())
+}
+
 /// `π_n(r)` alone (the tail product the reliability formula needs).
 ///
 /// # Errors
@@ -314,5 +378,66 @@ mod tests {
         let fx: Box<dyn ReplyTimeDistribution> = Box::new(paper_fx());
         let p = no_answer_probability(fx.as_ref(), 2, 2.0).unwrap();
         assert!(p > 0.0 && p < 1.0);
+    }
+
+    /// `p_i_batch` must replay the scalar path bit for bit on every
+    /// vendored distribution family, including ones that keep the
+    /// default `survival_batch` (mixture, empirical) and ones whose
+    /// `survival(0)` is not exactly one (zero-delay exponential).
+    #[test]
+    fn p_i_batch_is_bit_identical_to_scalar_for_every_family() {
+        use std::sync::Arc;
+
+        use crate::{DefectiveUniform, DefectiveWeibull, Empirical, Mixture};
+
+        let exp_delayed = Arc::new(paper_fx());
+        let exp_zero_delay = Arc::new(DefectiveExponential::new(0.9, 3.0, 0.0).unwrap());
+        let mixture = Mixture::new(vec![
+            (0.6, exp_delayed.clone() as Arc<dyn ReplyTimeDistribution>),
+            (
+                0.4,
+                exp_zero_delay.clone() as Arc<dyn ReplyTimeDistribution>,
+            ),
+        ])
+        .unwrap();
+        let empirical =
+            Empirical::from_observations(vec![Some(0.4), Some(1.1), None, Some(2.5)]).unwrap();
+        let dists: Vec<Box<dyn ReplyTimeDistribution>> = vec![
+            Box::new(paper_fx()),
+            Box::new(DefectiveExponential::new(0.9, 3.0, 0.0).unwrap()),
+            Box::new(DefectiveDeterministic::new(0.7, 1.25).unwrap()),
+            Box::new(DefectiveUniform::new(0.8, 0.5, 2.5).unwrap()),
+            Box::new(DefectiveWeibull::new(0.9, 1.7, 1.3, 0.4).unwrap()),
+            Box::new(mixture),
+            Box::new(empirical),
+        ];
+        let rs = [0.0, 0.1, 0.5, 1.0, 1.25, 2.0, 7.5, 30.0];
+        let mut out = [0.0f64; 8];
+        for dist in &dists {
+            for i in 0..=6usize {
+                p_i_batch(dist.as_ref(), &rs, i, &mut out).unwrap();
+                for (j, &r) in rs.iter().enumerate() {
+                    let scalar = no_answer_probability(dist.as_ref(), i, r).unwrap();
+                    assert_eq!(
+                        out[j].to_bits(),
+                        scalar.to_bits(),
+                        "{dist:?}: i = {i}, r = {r}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn p_i_batch_rejects_bad_r_and_mismatched_lengths() {
+        let fx = paper_fx();
+        let mut out = [0.0f64; 2];
+        assert!(p_i_batch(&fx, &[1.0, -1.0], 1, &mut out).is_err());
+        assert!(p_i_batch(&fx, &[f64::NAN, 1.0], 1, &mut out).is_err());
+        let result = std::panic::catch_unwind(|| {
+            let mut short = [0.0f64; 1];
+            let _ = p_i_batch(&paper_fx(), &[1.0, 2.0], 1, &mut short);
+        });
+        assert!(result.is_err(), "length mismatch must panic");
     }
 }

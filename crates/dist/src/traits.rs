@@ -107,6 +107,30 @@ pub trait ReplyTimeDistribution: fmt::Debug + Send + Sync {
     /// Survival `1 − cdf(t)`, computed without cancellation.
     fn survival(&self, t: f64) -> f64;
 
+    /// In-place batch survival: replaces every time `ts[j]` with
+    /// `survival(ts[j])`.
+    ///
+    /// This is the batch entry point behind `noanswer::p_i_batch` — the
+    /// engine's blocked column kernel evaluates one probe round `i`
+    /// across a whole block of listening periods with a single virtual
+    /// call, and distributions override this method to hoist their
+    /// loop-invariant constants out of the per-element closed form.
+    ///
+    /// # Contract
+    ///
+    /// Overrides must be **bit-identical** to the scalar path: for every
+    /// element, `survival_batch` must produce exactly
+    /// `self.survival(t).to_bits()`. Hoisting is therefore restricted to
+    /// factors the scalar form computes identically per call (e.g.
+    /// `1 − mass`, `−rate`); reassociating or strength-reducing the
+    /// arithmetic is not allowed. The `zeroconf_proptest`-gated property
+    /// suite asserts this contract for every vendored distribution.
+    fn survival_batch(&self, ts: &mut [f64]) {
+        for t in ts {
+            *t = self.survival(*t);
+        }
+    }
+
     /// Draws a reply time; `None` means the reply is lost forever.
     fn sample(&self, rng: &mut dyn RngCore) -> Option<f64>;
 
@@ -153,6 +177,9 @@ impl<T: ReplyTimeDistribution + ?Sized> ReplyTimeDistribution for &T {
     fn survival(&self, t: f64) -> f64 {
         (**self).survival(t)
     }
+    fn survival_batch(&self, ts: &mut [f64]) {
+        (**self).survival_batch(ts);
+    }
     fn sample(&self, rng: &mut dyn RngCore) -> Option<f64> {
         (**self).sample(rng)
     }
@@ -179,6 +206,9 @@ impl<T: ReplyTimeDistribution + ?Sized> ReplyTimeDistribution for std::sync::Arc
     }
     fn survival(&self, t: f64) -> f64 {
         (**self).survival(t)
+    }
+    fn survival_batch(&self, ts: &mut [f64]) {
+        (**self).survival_batch(ts);
     }
     fn sample(&self, rng: &mut dyn RngCore) -> Option<f64> {
         (**self).sample(rng)

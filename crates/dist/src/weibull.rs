@@ -106,6 +106,25 @@ impl ReplyTimeDistribution for DefectiveWeibull {
         }
     }
 
+    fn survival_batch(&self, ts: &mut [f64]) {
+        // Hoists `1 − mass` and the field reads; the hazard exponent
+        // `((t − d)/s)^k` stays per-element with the scalar association,
+        // so results are bit-identical to `survival`.
+        let delay = self.delay;
+        let scale = self.scale;
+        let shape = self.shape;
+        let mass = self.mass;
+        let survived = 1.0 - self.mass;
+        for t in ts {
+            *t = if *t < delay {
+                1.0
+            } else {
+                let hazard = ((*t - delay) / scale).powf(shape);
+                survived + mass * (-hazard).exp()
+            };
+        }
+    }
+
     fn sample(&self, rng: &mut dyn RngCore) -> Option<f64> {
         let u: f64 = zeroconf_rng::Rng::gen(rng);
         if u >= self.mass {

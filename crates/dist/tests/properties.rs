@@ -5,9 +5,12 @@
 #![cfg(zeroconf_proptest)]
 //! Property-based tests for the reply-time distributions and Eq. (1).
 
+use std::sync::Arc;
+
 use proptest::prelude::*;
 use zeroconf_dist::{
-    noanswer, DefectiveExponential, DefectiveUniform, DefectiveWeibull, ReplyTimeDistribution,
+    noanswer, DefectiveDeterministic, DefectiveExponential, DefectiveUniform, DefectiveWeibull,
+    Empirical, Mixture, ReplyTimeDistribution,
 };
 
 fn exponential() -> impl Strategy<Value = DefectiveExponential> {
@@ -23,6 +26,68 @@ fn weibull() -> impl Strategy<Value = DefectiveWeibull> {
 fn uniform() -> impl Strategy<Value = DefectiveUniform> {
     (0.0f64..=1.0, 0.0f64..3.0, 0.01f64..4.0)
         .prop_map(|(m, lo, width)| DefectiveUniform::new(m, lo, lo + width).unwrap())
+}
+
+fn deterministic() -> impl Strategy<Value = DefectiveDeterministic> {
+    (0.0f64..=1.0, 0.0f64..5.0).prop_map(|(m, d)| DefectiveDeterministic::new(m, d).unwrap())
+}
+
+fn mixture() -> impl Strategy<Value = Mixture> {
+    (exponential(), weibull(), 0.05f64..0.95).prop_map(|(e, w, split)| {
+        Mixture::new(vec![
+            (split, Arc::new(e) as Arc<dyn ReplyTimeDistribution>),
+            (1.0 - split, Arc::new(w)),
+        ])
+        .unwrap()
+    })
+}
+
+fn empirical() -> impl Strategy<Value = Empirical> {
+    (proptest::collection::vec(proptest::option::of(0.0f64..8.0), 3..40))
+        .prop_filter("needs at least one observed reply", |obs| {
+            obs.iter().any(Option::is_some)
+        })
+        .prop_map(|obs| Empirical::from_observations(obs).unwrap())
+}
+
+/// `p_i_batch` must agree with the scalar `no_answer_probability` down to
+/// the last bit at every index of the batch — the blocked kernel's
+/// correctness rests on this.
+fn check_batch_bit_identity<D: ReplyTimeDistribution>(
+    d: &D,
+    rs: &[f64],
+) -> Result<(), TestCaseError> {
+    let mut batch = vec![0.0f64; rs.len()];
+    for i in 0..8usize {
+        noanswer::p_i_batch(d, rs, i, &mut batch).unwrap();
+        for (j, &r) in rs.iter().enumerate() {
+            let scalar = noanswer::no_answer_probability(d, i, r).unwrap();
+            prop_assert_eq!(
+                batch[j].to_bits(),
+                scalar.to_bits(),
+                "i = {}, r = {}: batch {} vs scalar {}",
+                i,
+                r,
+                batch[j],
+                scalar
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Listening periods spanning the interesting regimes, including the
+/// degenerate and subnormal edges.
+fn listening_periods() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just(0.0f64),
+            Just(f64::MIN_POSITIVE),
+            Just(5e-324f64),
+            0.001f64..50.0,
+        ],
+        1..12,
+    )
 }
 
 /// Shared contract checks for any distribution.
@@ -112,6 +177,36 @@ proptest! {
         for (i, &p) in pis.iter().enumerate() {
             prop_assert!(p >= noanswer::pi_limit(&d, i) * (1.0 - 1e-12));
         }
+    }
+
+    #[test]
+    fn batch_p_i_is_bit_identical_for_exponential(d in exponential(), rs in listening_periods()) {
+        check_batch_bit_identity(&d, &rs)?;
+    }
+
+    #[test]
+    fn batch_p_i_is_bit_identical_for_weibull(d in weibull(), rs in listening_periods()) {
+        check_batch_bit_identity(&d, &rs)?;
+    }
+
+    #[test]
+    fn batch_p_i_is_bit_identical_for_uniform(d in uniform(), rs in listening_periods()) {
+        check_batch_bit_identity(&d, &rs)?;
+    }
+
+    #[test]
+    fn batch_p_i_is_bit_identical_for_deterministic(d in deterministic(), rs in listening_periods()) {
+        check_batch_bit_identity(&d, &rs)?;
+    }
+
+    #[test]
+    fn batch_p_i_is_bit_identical_for_mixture(d in mixture(), rs in listening_periods()) {
+        check_batch_bit_identity(&d, &rs)?;
+    }
+
+    #[test]
+    fn batch_p_i_is_bit_identical_for_empirical(d in empirical(), rs in listening_periods()) {
+        check_batch_bit_identity(&d, &rs)?;
     }
 
     #[test]

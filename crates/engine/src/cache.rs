@@ -1,4 +1,5 @@
-//! The bounded π-table cache, with optional cross-process persistence.
+//! The bounded π-table cache, with optional cross-process persistence
+//! and an mmap-served warm tier.
 //!
 //! Eq. (1)'s running products `π_0(r) … π_{n_max}(r)` depend only on the
 //! reply-time distribution and `r` — not on the economic parameters `q`,
@@ -13,6 +14,18 @@
 //! re-walking the same grid skips the π recomputation too. Disk traffic
 //! is strictly best effort: unreadable, truncated or corrupt files are
 //! ordinary misses and failed writes lose nothing but the spill.
+//!
+//! # Zero-copy warm hits
+//!
+//! Resident tables are handed out as [`PiTableRef`]s — either an owned
+//! slab behind an `Arc` or, with `mmap_spills` enabled, a read-only
+//! memory mapping of the spill file itself. The v2 spill layout keeps the
+//! f64 slab 8-aligned at a fixed offset, so a warm hit from disk costs
+//! one `mmap` and zero copies: the kernel reads the page cache directly.
+//! Writers never truncate in place — upgrades go through a same-directory
+//! temp file plus atomic rename — so live mappings stay valid (the old
+//! inode survives until the last mapping drops) and a reader can hold a
+//! shorter mapped table across a concurrent longest-wins upgrade.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -28,8 +41,56 @@ pub(crate) fn r_key(r: f64) -> u64 {
     if r == 0.0 { 0.0f64 } else { r }.to_bits()
 }
 
+/// A shared, immutable π-table: owned or served straight from a spill
+/// mapping. Cloning is an `Arc` bump either way — never a slab copy.
+#[derive(Debug, Clone)]
+pub(crate) enum PiTableRef {
+    /// A table computed (or read) into process memory.
+    Owned(Arc<[f64]>),
+    /// A table served from a read-only mapping of its spill file.
+    Mapped(Arc<disk::MmapSlab>),
+}
+
+impl PiTableRef {
+    pub(crate) fn from_vec(table: Vec<f64>) -> PiTableRef {
+        PiTableRef::Owned(Arc::from(table))
+    }
+
+    pub(crate) fn as_slice(&self) -> &[f64] {
+        match self {
+            PiTableRef::Owned(table) => table,
+            PiTableRef::Mapped(slab) => slab.as_slice(),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether this table is served from a spill mapping (the zero-copy
+    /// tier) rather than an owned slab.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn is_mapped(&self) -> bool {
+        matches!(self, PiTableRef::Mapped(_))
+    }
+}
+
+impl std::ops::Deref for PiTableRef {
+    type Target = [f64];
+
+    fn deref(&self) -> &[f64] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[f64]> for PiTableRef {
+    fn as_ref(&self) -> &[f64] {
+        self.as_slice()
+    }
+}
+
 struct Entry {
-    table: Arc<Vec<f64>>,
+    table: PiTableRef,
     stamp: u64,
 }
 
@@ -56,7 +117,7 @@ impl PiCache {
     /// A cached table covering at least `n_max + 1` entries, bumping its
     /// recency. A resident but too-short table counts as a miss (the
     /// caller recomputes at the larger `n_max` and re-inserts).
-    fn lookup(&mut self, key: (u64, u64), n_max: u32) -> Option<Arc<Vec<f64>>> {
+    fn lookup(&mut self, key: (u64, u64), n_max: u32) -> Option<PiTableRef> {
         self.clock += 1;
         let clock = self.clock;
         let entry = self.entries.get_mut(&key)?;
@@ -64,10 +125,18 @@ impl PiCache {
             return None;
         }
         entry.stamp = clock;
-        Some(Arc::clone(&entry.table))
+        Some(entry.table.clone())
     }
 
-    fn insert(&mut self, key: (u64, u64), table: Arc<Vec<f64>>) {
+    /// Like `lookup`, but without bumping recency or cloning — used by
+    /// the scheduler to estimate how much of a sweep is already warm.
+    fn peek(&self, key: (u64, u64), n_max: u32) -> bool {
+        self.entries
+            .get(&key)
+            .is_some_and(|entry| entry.table.len() > n_max as usize)
+    }
+
+    fn insert(&mut self, key: (u64, u64), table: PiTableRef) {
         self.clock += 1;
         let stamp = self.clock;
         if let Some(existing) = self.entries.get_mut(&key) {
@@ -98,32 +167,57 @@ impl PiCache {
     }
 }
 
-/// On-disk spill format: `"ZCPITAB1"` magic, little-endian `u64` entry
-/// count, then that many little-endian `f64`s. Tables are bit-exact
-/// across processes because the bytes *are* the `f64` bit patterns.
-mod disk {
+/// On-disk spill format, version 2 — fixed-width and alignment-safe:
+///
+/// ```text
+/// offset  size  field
+///      0     8  magic "ZCPITAB2" (format version in the final byte)
+///      8     8  distribution fingerprint, u64 LE
+///     16     8  r bit pattern (−0.0 canonicalized), u64 LE
+///     24     8  entry count N = stored n_max + 1, u64 LE
+///     32   8·N  π entries, f64 LE
+/// ```
+///
+/// The 32-byte header is a multiple of 8, so in a page-aligned mapping
+/// the slab is naturally f64-aligned and can be served in place. The
+/// fingerprint and r bits are repeated inside the file so a renamed or
+/// misplaced spill can never masquerade as another table. Tables are
+/// bit-exact across processes because the bytes *are* the f64 bit
+/// patterns (spills are only written and mapped on little-endian hosts).
+/// Version-1 files (`ZCPITAB1`) fail the magic check: a miss, upgraded
+/// in place by the next recompute.
+pub(crate) mod disk {
     use std::fs;
     use std::io::Read;
     use std::path::{Path, PathBuf};
 
-    const MAGIC: &[u8; 8] = b"ZCPITAB1";
-    const HEADER: usize = 16;
+    const MAGIC: &[u8; 8] = b"ZCPITAB2";
+    pub(super) const HEADER: usize = 32;
 
     pub(super) fn table_path(dir: &Path, fingerprint: u64, r_bits: u64) -> PathBuf {
         dir.join(format!("pi-{fingerprint:016x}-{r_bits:016x}.tbl"))
     }
 
-    /// Loads a spilled table covering at least `n_max + 1` entries.
-    /// Absent, truncated, corrupt and too-short files are all `None` —
-    /// a miss, never an error.
-    pub(super) fn load(path: &Path, n_max: u32) -> Option<Vec<f64>> {
-        let bytes = fs::read(path).ok()?;
+    /// Validates a v2 header against the expected identity and returns
+    /// the entry count. `None` for anything malformed or mismatched.
+    fn parse_header(bytes: &[u8], fingerprint: u64, r_bits: u64) -> Option<usize> {
         if bytes.len() < HEADER || &bytes[..8] != MAGIC {
             return None;
         }
-        let count = u64::from_le_bytes(bytes[8..16].try_into().ok()?);
-        let count = usize::try_from(count).ok()?;
-        if count <= n_max as usize || bytes.len() != HEADER + count.checked_mul(8)? {
+        let field = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().expect("sized"));
+        if field(8) != fingerprint || field(16) != r_bits {
+            return None;
+        }
+        usize::try_from(field(24)).ok()
+    }
+
+    /// Loads a spilled table covering at least `n_max + 1` entries into
+    /// an owned buffer. Absent, truncated, corrupt, mismatched and
+    /// too-short files are all `None` — a miss, never an error.
+    pub(super) fn load(path: &Path, fingerprint: u64, r_bits: u64, n_max: u32) -> Option<Vec<f64>> {
+        let bytes = fs::read(path).ok()?;
+        let count = parse_header(&bytes, fingerprint, r_bits)?;
+        if count <= n_max as usize || bytes.len() != HEADER.checked_add(count.checked_mul(8)?)? {
             return None;
         }
         Some(
@@ -137,13 +231,17 @@ mod disk {
     /// Spills `table`, best effort. Longest wins here too: a valid
     /// resident file covering at least as many entries is left alone, and
     /// the write goes through a same-directory temp file plus rename so a
-    /// concurrent reader never sees a partial table.
-    pub(super) fn store(path: &Path, table: &[f64]) {
-        if stored_len(path).is_some_and(|existing| existing >= table.len()) {
+    /// concurrent reader never sees a partial table — and a concurrent
+    /// *mapping* of the old file stays valid, because the rename replaces
+    /// the directory entry while the mapped inode lives on.
+    pub(super) fn store(path: &Path, fingerprint: u64, r_bits: u64, table: &[f64]) {
+        if stored_len(path, fingerprint, r_bits).is_some_and(|existing| existing >= table.len()) {
             return;
         }
         let mut bytes = Vec::with_capacity(HEADER + table.len() * 8);
         bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&fingerprint.to_le_bytes());
+        bytes.extend_from_slice(&r_bits.to_le_bytes());
         bytes.extend_from_slice(&(table.len() as u64).to_le_bytes());
         for value in table {
             bytes.extend_from_slice(&value.to_le_bytes());
@@ -158,19 +256,157 @@ mod disk {
 
     /// Entry count of a *valid* resident file; `None` for anything
     /// malformed so a broken file never suppresses a spill.
-    fn stored_len(path: &Path) -> Option<usize> {
+    fn stored_len(path: &Path, fingerprint: u64, r_bits: u64) -> Option<usize> {
         let mut file = fs::File::open(path).ok()?;
         let mut header = [0u8; HEADER];
         file.read_exact(&mut header).ok()?;
-        if &header[..8] != MAGIC {
-            return None;
-        }
-        let count = usize::try_from(u64::from_le_bytes(
-            header[8..16].try_into().expect("sized header"),
-        ))
-        .ok()?;
+        let count = parse_header(&header, fingerprint, r_bits)?;
         let expected = (HEADER).checked_add(count.checked_mul(8)?)? as u64;
         (file.metadata().ok()?.len() == expected).then_some(count)
+    }
+
+    /// The platforms where spills can be served by mapping: `mmap` FFI
+    /// (std already links libc there) and a little-endian f64 layout that
+    /// matches the on-disk LE slab byte for byte.
+    #[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+    mod sys {
+        use std::ffi::c_void;
+
+        pub(super) const PROT_READ: i32 = 0x1;
+        pub(super) const MAP_PRIVATE: i32 = 0x2;
+
+        pub(super) fn map_failed() -> *mut c_void {
+            usize::MAX as *mut c_void
+        }
+
+        extern "C" {
+            pub(super) fn mmap(
+                addr: *mut c_void,
+                len: usize,
+                prot: i32,
+                flags: i32,
+                fd: i32,
+                offset: i64,
+            ) -> *mut c_void;
+            pub(super) fn munmap(addr: *mut c_void, len: usize) -> i32;
+        }
+    }
+
+    /// A read-only memory mapping of one spill file, serving its f64
+    /// slab in place.
+    ///
+    /// The mapping is private and never written, so sharing it across
+    /// threads is sound; the slab pointer is `base + HEADER`, 8-aligned
+    /// because mappings are page-aligned and the header is 32 bytes.
+    /// Unmapped on drop. `SIGBUS` on a truncated-under-us file is not a
+    /// concern in practice: writers in this codebase never truncate a
+    /// spill in place (temp file + rename only).
+    #[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+    pub(crate) struct MmapSlab {
+        base: *mut u8,
+        mapped: usize,
+        count: usize,
+    }
+
+    #[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+    unsafe impl Send for MmapSlab {}
+    #[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+    unsafe impl Sync for MmapSlab {}
+
+    #[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+    impl MmapSlab {
+        pub(crate) fn as_slice(&self) -> &[f64] {
+            let slab = unsafe { self.base.add(HEADER) };
+            debug_assert_eq!(slab.align_offset(std::mem::align_of::<f64>()), 0);
+            // Sound: the constructor validated `mapped == HEADER + count·8`,
+            // the mapping is read-only and private, and it lives until drop.
+            unsafe { std::slice::from_raw_parts(slab.cast::<f64>(), self.count) }
+        }
+    }
+
+    #[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+    impl Drop for MmapSlab {
+        fn drop(&mut self) {
+            // Failure leaks the mapping, which is harmless.
+            unsafe {
+                sys::munmap(self.base.cast(), self.mapped);
+            }
+        }
+    }
+
+    #[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+    impl std::fmt::Debug for MmapSlab {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("MmapSlab")
+                .field("count", &self.count)
+                .finish()
+        }
+    }
+
+    /// Maps a spilled table covering at least `n_max + 1` entries,
+    /// read-only and zero-copy. Same miss semantics as [`load`].
+    #[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+    pub(super) fn map(path: &Path, fingerprint: u64, r_bits: u64, n_max: u32) -> Option<MmapSlab> {
+        use std::os::unix::io::AsRawFd;
+
+        let file = fs::File::open(path).ok()?;
+        let len = usize::try_from(file.metadata().ok()?.len()).ok()?;
+        if len < HEADER || !(len - HEADER).is_multiple_of(8) {
+            return None;
+        }
+        let base = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if base.is_null() || base == sys::map_failed() {
+            return None;
+        }
+        // The slab owns the mapping from here: any early return unmaps.
+        let mut slab = MmapSlab {
+            base: base.cast::<u8>(),
+            mapped: len,
+            count: 0,
+        };
+        let header = unsafe { std::slice::from_raw_parts(slab.base, HEADER) };
+        let count = parse_header(header, fingerprint, r_bits)?;
+        if count <= n_max as usize || len != HEADER.checked_add(count.checked_mul(8)?)? {
+            return None;
+        }
+        slab.count = count;
+        Some(slab)
+    }
+
+    /// Mapping is unavailable here (non-unix, big-endian or 32-bit):
+    /// every map attempt is a miss and the owned loader takes over. The
+    /// slab type still exists so [`super::PiTableRef`] compiles, but it
+    /// can never be constructed.
+    #[cfg(not(all(unix, target_endian = "little", target_pointer_width = "64")))]
+    #[derive(Debug)]
+    pub(crate) struct MmapSlab {
+        never: std::convert::Infallible,
+    }
+
+    #[cfg(not(all(unix, target_endian = "little", target_pointer_width = "64")))]
+    impl MmapSlab {
+        pub(crate) fn as_slice(&self) -> &[f64] {
+            match self.never {}
+        }
+    }
+
+    #[cfg(not(all(unix, target_endian = "little", target_pointer_width = "64")))]
+    pub(super) fn map(
+        _path: &Path,
+        _fingerprint: u64,
+        _r_bits: u64,
+        _n_max: u32,
+    ) -> Option<MmapSlab> {
+        None
     }
 }
 
@@ -180,12 +416,14 @@ pub(crate) struct SharedCache {
     inner: Mutex<PiCache>,
     /// Spill directory for cross-process persistence; `None` disables it.
     dir: Option<PathBuf>,
+    /// Serve warm disk hits from read-only mappings instead of copying.
+    mmap_spills: bool,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
 impl SharedCache {
-    pub(crate) fn new(capacity: usize, dir: Option<PathBuf>) -> SharedCache {
+    pub(crate) fn new(capacity: usize, dir: Option<PathBuf>, mmap_spills: bool) -> SharedCache {
         if let Some(dir) = &dir {
             // Best effort, like all spill IO: an uncreatable directory
             // just means every disk probe misses.
@@ -194,6 +432,7 @@ impl SharedCache {
         SharedCache {
             inner: Mutex::new(PiCache::new(capacity)),
             dir,
+            mmap_spills,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -205,43 +444,122 @@ impl SharedCache {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// The spill tier's answer for one key: a zero-copy mapping when
+    /// enabled and possible, an owned read otherwise.
+    fn load_spill(&self, key: (u64, u64), n_max: u32) -> Option<PiTableRef> {
+        let dir = self.dir.as_ref()?;
+        let path = disk::table_path(dir, key.0, key.1);
+        if self.mmap_spills {
+            if let Some(slab) = disk::map(&path, key.0, key.1, n_max) {
+                return Some(PiTableRef::Mapped(Arc::new(slab)));
+            }
+        }
+        disk::load(&path, key.0, key.1, n_max).map(PiTableRef::from_vec)
+    }
+
     /// Fetches the table for `(fingerprint, r)` covering `n_max`, or
     /// computes and caches it. Returns the table and whether it was a hit.
     /// A table served from the spill directory counts as a hit — no π was
-    /// recomputed.
-    ///
-    /// The compute runs *outside* the lock so a slow table never
-    /// serializes other workers; if two threads race on the same key the
-    /// table is computed twice and inserted twice — wasteful but correct
-    /// (insert keeps the longer table), and impossible within one sweep
-    /// (each `r` belongs to one work chunk).
+    /// recomputed. (The engine's hot path goes through the block variant;
+    /// this single-key form serves the cache's own tests and any future
+    /// point lookups.)
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn get_or_compute<E>(
         &self,
         fingerprint: u64,
         r: f64,
         n_max: u32,
         compute: impl FnOnce() -> Result<Vec<f64>, E>,
-    ) -> Result<(Arc<Vec<f64>>, bool), E> {
-        let key = (fingerprint, r_key(r));
-        if let Some(table) = self.lock().lookup(key, n_max) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((table, true));
-        }
-        if let Some(dir) = &self.dir {
-            if let Some(table) = disk::load(&disk::table_path(dir, key.0, key.1), n_max) {
-                let table = Arc::new(table);
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                self.lock().insert(key, Arc::clone(&table));
-                return Ok((table, true));
+    ) -> Result<(PiTableRef, bool), E> {
+        let (mut tables, _, misses) =
+            self.get_or_compute_block(fingerprint, std::slice::from_ref(&r), n_max, |_| {
+                Ok(vec![compute()?])
+            })?;
+        Ok((tables.pop().expect("one table per r"), misses == 0))
+    }
+
+    /// Block fetch: the tables for a whole slice of listening periods,
+    /// with one lock round-trip for the memory tier and one `compute`
+    /// call for *all* misses together — this is what lets the engine
+    /// build missing π-tables with the blocked batch kernel.
+    ///
+    /// `compute` receives the missing `r`s (in `rs` order) and must
+    /// return one table per entry. Returns the tables in `rs` order plus
+    /// the block's (hits, misses). Disk-served tables count as hits.
+    ///
+    /// The compute runs *outside* the lock so a slow block never
+    /// serializes other workers; if two threads race on the same key the
+    /// table is computed twice and inserted twice — wasteful but correct
+    /// (insert keeps the longer table), and impossible within one sweep
+    /// (each `r` belongs to one work chunk).
+    pub(crate) fn get_or_compute_block<E>(
+        &self,
+        fingerprint: u64,
+        rs: &[f64],
+        n_max: u32,
+        compute: impl FnOnce(&[f64]) -> Result<Vec<Vec<f64>>, E>,
+    ) -> Result<(Vec<PiTableRef>, u64, u64), E> {
+        let mut tables: Vec<Option<PiTableRef>> = vec![None; rs.len()];
+        let mut missing: Vec<usize> = Vec::new();
+        {
+            let mut cache = self.lock();
+            for (j, &r) in rs.iter().enumerate() {
+                match cache.lookup((fingerprint, r_key(r)), n_max) {
+                    Some(table) => tables[j] = Some(table),
+                    None => missing.push(j),
+                }
             }
         }
-        let table = Arc::new(compute()?);
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        if let Some(dir) = &self.dir {
-            disk::store(&disk::table_path(dir, key.0, key.1), &table);
+        let mut hits = (rs.len() - missing.len()) as u64;
+        missing.retain(|&j| {
+            let key = (fingerprint, r_key(rs[j]));
+            match self.load_spill(key, n_max) {
+                Some(table) => {
+                    self.lock().insert(key, table.clone());
+                    tables[j] = Some(table);
+                    hits += 1;
+                    false
+                }
+                None => true,
+            }
+        });
+        let misses = missing.len() as u64;
+        if !missing.is_empty() {
+            let missing_rs: Vec<f64> = missing.iter().map(|&j| rs[j]).collect();
+            let computed = compute(&missing_rs)?;
+            assert_eq!(
+                computed.len(),
+                missing.len(),
+                "block compute must return one table per missing r"
+            );
+            for (&j, table) in missing.iter().zip(computed) {
+                let key = (fingerprint, r_key(rs[j]));
+                if let Some(dir) = &self.dir {
+                    disk::store(&disk::table_path(dir, key.0, key.1), key.0, key.1, &table);
+                }
+                let table = PiTableRef::from_vec(table);
+                self.lock().insert(key, table.clone());
+                tables[j] = Some(table);
+            }
         }
-        self.lock().insert(key, Arc::clone(&table));
-        Ok((table, false))
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        self.misses.fetch_add(misses, Ordering::Relaxed);
+        let tables = tables
+            .into_iter()
+            .map(|t| t.expect("every r resolved to a table"))
+            .collect();
+        Ok((tables, hits, misses))
+    }
+
+    /// How many of `rs` are already resident in memory (covering
+    /// `n_max`), without touching recency or the hit counters. The
+    /// scheduler uses this to cost a sweep before deciding whether to
+    /// fan it out.
+    pub(crate) fn count_resident(&self, fingerprint: u64, rs: &[f64], n_max: u32) -> usize {
+        let cache = self.lock();
+        rs.iter()
+            .filter(|&&r| cache.peek((fingerprint, r_key(r)), n_max))
+            .count()
     }
 
     pub(crate) fn hits(&self) -> u64 {
@@ -277,21 +595,26 @@ mod tests {
         ))
     }
 
+    /// Whether the two refs serve the same underlying slab (zero copy).
+    fn same_slab(a: &PiTableRef, b: &PiTableRef) -> bool {
+        std::ptr::eq(a.as_slice().as_ptr(), b.as_slice().as_ptr())
+    }
+
     #[test]
     fn second_lookup_hits() {
-        let cache = SharedCache::new(8, None);
+        let cache = SharedCache::new(8, None, false);
         let (t1, hit1) = cache.get_or_compute(7, 2.0, 4, || table(4)).unwrap();
         let (t2, hit2) = cache.get_or_compute(7, 2.0, 4, || table(4)).unwrap();
         assert!(!hit1);
         assert!(hit2);
-        assert!(Arc::ptr_eq(&t1, &t2));
+        assert!(same_slab(&t1, &t2), "warm hit must not copy the slab");
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 1);
     }
 
     #[test]
     fn different_r_or_fingerprint_misses() {
-        let cache = SharedCache::new(8, None);
+        let cache = SharedCache::new(8, None, false);
         cache.get_or_compute(7, 2.0, 4, || table(4)).unwrap();
         let (_, hit) = cache.get_or_compute(7, 3.0, 4, || table(4)).unwrap();
         assert!(!hit);
@@ -301,7 +624,7 @@ mod tests {
 
     #[test]
     fn short_table_is_a_miss_and_longer_replaces_it() {
-        let cache = SharedCache::new(8, None);
+        let cache = SharedCache::new(8, None, false);
         cache.get_or_compute(1, 1.0, 4, || table(4)).unwrap();
         // Needs n = 9, resident table only covers 4: recompute.
         let (t, hit) = cache.get_or_compute(1, 1.0, 9, || table(9)).unwrap();
@@ -321,20 +644,20 @@ mod tests {
         // later lookups to misses. Replay the race's insert order.
         let mut cache = PiCache::new(8);
         let key = (1, r_key(1.0));
-        cache.insert(key, Arc::new(table(9).unwrap()));
-        cache.insert(key, Arc::new(table(4).unwrap()));
+        cache.insert(key, PiTableRef::from_vec(table(9).unwrap()));
+        cache.insert(key, PiTableRef::from_vec(table(4).unwrap()));
         let resident = cache.lookup(key, 9).expect("longer table survived");
         assert_eq!(resident.len(), 10);
         // The raced insert still refreshed recency, and a genuinely
         // longer insert still replaces.
-        cache.insert(key, Arc::new(table(12).unwrap()));
+        cache.insert(key, PiTableRef::from_vec(table(12).unwrap()));
         assert_eq!(cache.lookup(key, 12).unwrap().len(), 13);
         assert_eq!(cache.len(), 1);
     }
 
     #[test]
     fn eviction_drops_least_recently_used() {
-        let cache = SharedCache::new(2, None);
+        let cache = SharedCache::new(2, None, false);
         cache.get_or_compute(1, 1.0, 2, || table(2)).unwrap();
         cache.get_or_compute(2, 1.0, 2, || table(2)).unwrap();
         // Touch key 1 so key 2 is the LRU.
@@ -355,26 +678,60 @@ mod tests {
 
     #[test]
     fn compute_errors_propagate_and_cache_nothing() {
-        let cache = SharedCache::new(4, None);
-        let r: Result<(Arc<Vec<f64>>, bool), &str> =
-            cache.get_or_compute(5, 1.0, 2, || Err("boom"));
+        let cache = SharedCache::new(4, None, false);
+        let r: Result<(PiTableRef, bool), &str> = cache.get_or_compute(5, 1.0, 2, || Err("boom"));
         assert_eq!(r.unwrap_err(), "boom");
         assert_eq!(cache.len(), 0);
         assert_eq!(cache.misses(), 0);
     }
 
     #[test]
+    fn block_fetch_computes_only_the_missing_columns() {
+        let cache = SharedCache::new(16, None, false);
+        cache.get_or_compute(9, 2.0, 4, || table(4)).unwrap();
+        let rs = [1.0, 2.0, 3.0];
+        let (tables, hits, misses) = cache
+            .get_or_compute_block(9, &rs, 4, |missing| {
+                assert_eq!(missing, &[1.0, 3.0], "2.0 is already resident");
+                Ok::<_, ()>(missing.iter().map(|_| table(4).unwrap()).collect())
+            })
+            .unwrap();
+        assert_eq!((hits, misses), (1, 2));
+        assert_eq!(tables.len(), 3);
+        for t in &tables {
+            assert_eq!(t.len(), 5);
+        }
+        // Everything is resident now: a second block is all hits.
+        let (_, hits, misses) = cache
+            .get_or_compute_block(9, &rs, 4, |_| -> Result<_, ()> {
+                panic!("warm block must not compute")
+            })
+            .unwrap();
+        assert_eq!((hits, misses), (3, 0));
+    }
+
+    #[test]
+    fn count_resident_does_not_disturb_recency_or_counters() {
+        let cache = SharedCache::new(8, None, false);
+        cache.get_or_compute(3, 1.0, 4, || table(4)).unwrap();
+        let (hits, misses) = (cache.hits(), cache.misses());
+        assert_eq!(cache.count_resident(3, &[1.0, 2.0], 4), 1);
+        assert_eq!(cache.count_resident(3, &[1.0], 9), 0, "table too short");
+        assert_eq!((cache.hits(), cache.misses()), (hits, misses));
+    }
+
+    #[test]
     fn spilled_table_survives_a_cache_rebuild() {
         let dir = scratch("spill");
-        let reference = Arc::new(table(4).unwrap());
+        let reference = table(4).unwrap();
         {
-            let cache = SharedCache::new(8, Some(dir.clone()));
+            let cache = SharedCache::new(8, Some(dir.clone()), false);
             let (_, hit) = cache.get_or_compute(7, 2.0, 4, || table(4)).unwrap();
             assert!(!hit);
         }
         // A fresh cache (new process, in spirit) loads from disk: a hit,
         // with bit-identical floats and no compute.
-        let cache = SharedCache::new(8, Some(dir.clone()));
+        let cache = SharedCache::new(8, Some(dir.clone()), false);
         let (t, hit) = cache
             .get_or_compute(7, 2.0, 4, || -> Result<Vec<f64>, ()> {
                 panic!("disk hit must not recompute")
@@ -390,27 +747,175 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    /// With `mmap_spills` the disk hit is served from a read-only
+    /// mapping: no slab copy on the load, and warm memory hits keep
+    /// handing out the same mapped slab.
     #[test]
-    fn corrupt_and_truncated_spills_are_misses() {
+    #[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+    fn mmap_spill_hits_are_zero_copy() {
+        let dir = scratch("mmap");
+        let reference = table(6).unwrap();
+        {
+            let cache = SharedCache::new(8, Some(dir.clone()), true);
+            cache.get_or_compute(7, 2.0, 6, || table(6)).unwrap();
+        }
+        let cache = SharedCache::new(8, Some(dir.clone()), true);
+        let (t, hit) = cache
+            .get_or_compute(7, 2.0, 6, || -> Result<Vec<f64>, ()> {
+                panic!("mapped hit must not recompute")
+            })
+            .unwrap();
+        assert!(hit);
+        assert!(t.is_mapped(), "disk hit must be served from the mapping");
+        for (a, b) in t.iter().zip(reference.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // The warm memory hit serves the very same mapping: zero copies.
+        let (t2, hit2) = cache
+            .get_or_compute(7, 2.0, 6, || -> Result<Vec<f64>, ()> {
+                panic!("warm hit must not recompute")
+            })
+            .unwrap();
+        assert!(hit2);
+        assert!(t2.is_mapped());
+        assert!(same_slab(&t, &t2), "warm mmap hit copied the slab");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A held mapping must survive a concurrent longest-wins upgrade of
+    /// its spill file: the rename replaces the directory entry, not the
+    /// mapped inode, and later lookups see the longer table.
+    #[test]
+    #[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
+    fn longest_wins_upgrade_is_safe_while_a_shorter_table_is_mapped() {
+        let dir = scratch("upgrade-mapped");
+        {
+            let cache = SharedCache::new(8, Some(dir.clone()), true);
+            cache.get_or_compute(7, 2.0, 4, || table(4)).unwrap();
+        }
+        let cache = SharedCache::new(8, Some(dir.clone()), true);
+        let (short, hit) = cache
+            .get_or_compute(7, 2.0, 4, || -> Result<Vec<f64>, ()> { unreachable!() })
+            .unwrap();
+        assert!(hit && short.is_mapped());
+        let before: Vec<u64> = short.iter().map(|v| v.to_bits()).collect();
+        // Another cache (another process, in spirit) upgrades the spill
+        // while `short` is still mapped.
+        {
+            let other = SharedCache::new(8, Some(dir.clone()), true);
+            let (long, hit) = other.get_or_compute(7, 2.0, 9, || table(9)).unwrap();
+            assert!(!hit, "short spill cannot serve n_max = 9");
+            assert_eq!(long.len(), 10);
+        }
+        // The held mapping still reads the old inode, bit for bit.
+        let after: Vec<u64> = short.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(before, after, "held mapping changed under an upgrade");
+        // A fresh lookup (the resident 5-entry table is too short) maps
+        // the upgraded file.
+        let (long, hit) = cache
+            .get_or_compute(7, 2.0, 9, || -> Result<Vec<f64>, ()> {
+                panic!("upgraded spill must serve this")
+            })
+            .unwrap();
+        assert!(hit && long.is_mapped());
+        assert_eq!(long.len(), 10);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_truncated_and_version_mismatched_spills_are_misses() {
         let dir = scratch("corrupt");
         std::fs::create_dir_all(&dir).unwrap();
         let key_r = r_key(2.0);
         let path = dir.join(format!("pi-{:016x}-{key_r:016x}.tbl", 7u64));
-        for bytes in [
-            b"garbage!".to_vec(),                       // bad magic
-            b"ZCPITAB1\x05\0\0\0\0\0\0\0\x01".to_vec(), // truncated body
-            Vec::new(),                                 // empty file
+        // A well-formed v2 header for fingerprint 7 / r = 2.0 claiming 5
+        // entries, used to build the truncated and mismatched variants.
+        let mut valid_header = Vec::new();
+        valid_header.extend_from_slice(b"ZCPITAB2");
+        valid_header.extend_from_slice(&7u64.to_le_bytes());
+        valid_header.extend_from_slice(&key_r.to_le_bytes());
+        valid_header.extend_from_slice(&5u64.to_le_bytes());
+        let mut truncated = valid_header.clone();
+        truncated.extend_from_slice(&1.0f64.to_le_bytes()); // 1 of 5 entries
+        let mut wrong_fingerprint = valid_header.clone();
+        wrong_fingerprint[8] ^= 0xff;
+        wrong_fingerprint.extend_from_slice(&[0u8; 40]);
+        let mut v1_format = b"ZCPITAB1".to_vec(); // previous layout
+        v1_format.extend_from_slice(&5u64.to_le_bytes());
+        v1_format.extend_from_slice(&[0u8; 40]);
+        for (what, bytes) in [
+            ("bad magic", b"garbage!".to_vec()),
+            ("truncated body", truncated),
+            ("empty file", Vec::new()),
+            ("foreign fingerprint", wrong_fingerprint),
+            ("version mismatch", v1_format),
         ] {
             std::fs::write(&path, &bytes).unwrap();
-            let cache = SharedCache::new(8, Some(dir.clone()));
-            let (t, hit) = cache.get_or_compute(7, 2.0, 4, || table(4)).unwrap();
-            assert!(!hit, "malformed spill must be a miss: {bytes:?}");
-            assert_eq!(t.len(), 5);
+            for mmap_spills in [false, true] {
+                let cache = SharedCache::new(8, Some(dir.clone()), mmap_spills);
+                let (t, hit) = cache.get_or_compute(7, 2.0, 4, || table(4)).unwrap();
+                assert!(!hit, "{what} must be a miss (mmap = {mmap_spills})");
+                assert_eq!(t.len(), 5);
+                // The recompute upgraded the file in place; reset it for
+                // the next variant.
+                std::fs::write(&path, &bytes).unwrap();
+            }
         }
-        // The last recompute replaced the corrupt file with a valid one.
-        let cache = SharedCache::new(8, Some(dir.clone()));
+        // The recompute path replaces a corrupt file with a valid one.
+        std::fs::write(&path, b"garbage!").unwrap();
+        {
+            let cache = SharedCache::new(8, Some(dir.clone()), true);
+            cache.get_or_compute(7, 2.0, 4, || table(4)).unwrap();
+        }
+        let cache = SharedCache::new(8, Some(dir.clone()), true);
         let (_, hit) = cache.get_or_compute(7, 2.0, 4, || table(4)).unwrap();
-        assert!(hit);
+        assert!(hit, "recompute upgraded the corrupt spill");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Fuzz-ish round trip: flipping any single byte of a valid spill
+    /// must never panic a loader — the mutation either still parses
+    /// (slab bytes are arbitrary f64 bit patterns) or is a clean miss.
+    #[test]
+    fn mutated_spill_bytes_never_panic_the_loaders() {
+        let dir = scratch("fuzz");
+        let key_r = r_key(3.5);
+        {
+            let cache = SharedCache::new(8, Some(dir.clone()), false);
+            cache.get_or_compute(11, 3.5, 7, || table(7)).unwrap();
+        }
+        let path = dir.join(format!("pi-{:016x}-{key_r:016x}.tbl", 11u64));
+        let pristine = std::fs::read(&path).unwrap();
+        // Deterministic xorshift so the byte/bit choices are reproducible.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..200 {
+            let mut mutated = pristine.clone();
+            let at = (next() as usize) % mutated.len();
+            let bit = 1u8 << (next() % 8);
+            mutated[at] ^= bit;
+            std::fs::write(&path, &mutated).unwrap();
+            for mmap_spills in [false, true] {
+                let cache = SharedCache::new(8, Some(dir.clone()), mmap_spills);
+                // Must not panic; hit or miss are both acceptable.
+                let (t, _) = cache.get_or_compute(11, 3.5, 7, || table(7)).unwrap();
+                assert!(t.len() >= 8);
+            }
+            // Truncations of the mutant must not panic either.
+            let cut = (next() as usize) % mutated.len();
+            std::fs::write(&path, &mutated[..cut]).unwrap();
+            let cache = SharedCache::new(8, Some(dir.clone()), true);
+            let (t, _) = cache.get_or_compute(11, 3.5, 7, || table(7)).unwrap();
+            assert!(t.len() >= 8);
+            // Restore the valid spill for the next round (the recompute
+            // above may already have upgraded it; overwrite regardless).
+            std::fs::write(&path, &pristine).unwrap();
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -418,13 +923,13 @@ mod tests {
     fn too_short_spill_is_recomputed_and_upgraded() {
         let dir = scratch("upgrade");
         {
-            let cache = SharedCache::new(8, Some(dir.clone()));
+            let cache = SharedCache::new(8, Some(dir.clone()), false);
             cache.get_or_compute(7, 2.0, 4, || table(4)).unwrap();
         }
         // A bigger sweep can't use the 5-entry spill: recompute, and the
         // longer table replaces the file.
         {
-            let cache = SharedCache::new(8, Some(dir.clone()));
+            let cache = SharedCache::new(8, Some(dir.clone()), false);
             let (t, hit) = cache.get_or_compute(7, 2.0, 9, || table(9)).unwrap();
             assert!(!hit);
             assert_eq!(t.len(), 10);
@@ -432,7 +937,7 @@ mod tests {
         // A later *small* sweep must still find the long table — the
         // shorter spill never clobbers it (longest wins on disk too).
         {
-            let cache = SharedCache::new(8, Some(dir.clone()));
+            let cache = SharedCache::new(8, Some(dir.clone()), false);
             let (t, hit) = cache.get_or_compute(7, 2.0, 4, || table(4)).unwrap();
             assert!(hit);
             assert_eq!(t.len(), 10, "disk kept the longer table");
@@ -445,7 +950,7 @@ mod tests {
         // A path that cannot be a directory (it's a file) must not error.
         let dir = scratch("notadir");
         std::fs::write(&dir, b"occupied").unwrap();
-        let cache = SharedCache::new(8, Some(dir.clone()));
+        let cache = SharedCache::new(8, Some(dir.clone()), true);
         let (_, hit) = cache.get_or_compute(7, 2.0, 4, || table(4)).unwrap();
         assert!(!hit);
         let (_, hit) = cache.get_or_compute(7, 2.0, 4, || table(4)).unwrap();

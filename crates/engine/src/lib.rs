@@ -63,6 +63,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use zeroconf_cost::CostError;
+use zeroconf_dist::ReplyTimeDistribution;
 
 pub use pipeline::{Completion, Pipeline, PipelineConfig, PipelineStats, RequestId};
 pub use request::{
@@ -88,6 +89,20 @@ pub struct EngineConfig {
     /// silently treated as misses, never as errors). `None` disables
     /// persistence.
     pub cache_dir: Option<PathBuf>,
+    /// Serve warm spill hits from read-only memory mappings of the spill
+    /// files (zero-copy) instead of reading them into owned buffers.
+    /// Only meaningful with `cache_dir` set; on platforms without the
+    /// mapping fast path (non-unix, big-endian, 32-bit) the engine
+    /// silently falls back to owned reads. Spill files themselves are
+    /// identical either way.
+    pub mmap_spills: bool,
+    /// Sweeps estimated below this many equivalent warm cells run on the
+    /// calling thread alone: fan-out overhead (broadcast, cursor and
+    /// latch traffic, cache-line ping-pong) exceeds the parallel win for
+    /// small or fully-warm grids. Missing π-tables weigh extra via a
+    /// measured cost ratio, so a *cold* sweep of the same grid can still
+    /// fan out.
+    pub small_sweep_cells: usize,
 }
 
 impl Default for EngineConfig {
@@ -98,6 +113,8 @@ impl Default for EngineConfig {
                 .unwrap_or(4),
             cache_tables: 1024,
             cache_dir: None,
+            mmap_spills: false,
+            small_sweep_cells: 65_536,
         }
     }
 }
@@ -191,10 +208,70 @@ impl CancelToken {
 pub struct Engine {
     pool: WorkerPool,
     cache: Arc<SharedCache>,
+    small_sweep_cells: usize,
+    /// EWMA of warm per-cell kernel cost in nanoseconds, stored as f64
+    /// bits (0 = no measurement yet). Fed by fully-warm sweeps.
+    ewma_cell_nanos: AtomicU64,
+    /// EWMA of the cost of one π-table *cell* relative to one kernel
+    /// cell, stored as f64 bits (0 = no measurement yet). Fed by sweeps
+    /// with misses once a warm baseline exists.
+    ewma_pi_ratio: AtomicU64,
     requests: AtomicU64,
     cells: AtomicU64,
     wall_nanos: Mutex<u128>,
     cells_per_worker: Vec<AtomicU64>,
+}
+
+/// How many chunks each participant should get on average; more than one
+/// so uneven cells rebalance, not so many that cursor traffic dominates.
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// A chunk should cost at least this long to evaluate, so the shared
+/// cursor fetch, cache lock round-trip and latch update stay amortized.
+const MIN_CHUNK_NANOS: f64 = 20_000.0;
+
+/// Scheduler priors used until the EWMAs have real measurements: a warm
+/// cell costs a few nanoseconds, and a π cell costs several times that
+/// (one `survival` evaluation per cell versus pure arithmetic).
+const DEFAULT_CELL_NANOS: f64 = 5.0;
+const DEFAULT_PI_RATIO: f64 = 8.0;
+
+/// How a sweep will be executed: how many threads participate and how
+/// many consecutive `r` columns one claimed chunk spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SweepPlan {
+    participants: usize,
+    chunk: usize,
+}
+
+/// An EWMA cell stored as f64 bits in an `AtomicU64`; all-zero bits mean
+/// "no measurement yet" (the all-zero pattern is `+0.0`, which no clamp
+/// range below ever produces, so the sentinel is unambiguous).
+fn ewma_get(cell: &AtomicU64, default: f64) -> f64 {
+    let bits = cell.load(Ordering::Relaxed);
+    if bits == 0 {
+        default
+    } else {
+        f64::from_bits(bits)
+    }
+}
+
+fn ewma_update(cell: &AtomicU64, measured: f64, lo: f64, hi: f64) {
+    if !measured.is_finite() {
+        return;
+    }
+    let measured = measured.clamp(lo, hi);
+    let bits = cell.load(Ordering::Relaxed);
+    let next = if bits == 0 {
+        measured
+    } else {
+        // α = 0.25: reactive enough to track a machine warming up,
+        // damped enough that one noisy sweep cannot flip the plan.
+        let old = f64::from_bits(bits);
+        old + 0.25 * (measured - old)
+    };
+    // A racing store loses one sample; the estimate converges anyway.
+    cell.store(next.to_bits(), Ordering::Relaxed);
 }
 
 impl std::fmt::Debug for Engine {
@@ -213,7 +290,14 @@ impl Engine {
         let workers = config.workers.max(1);
         Engine {
             pool: WorkerPool::new(workers - 1),
-            cache: Arc::new(SharedCache::new(config.cache_tables, config.cache_dir)),
+            cache: Arc::new(SharedCache::new(
+                config.cache_tables,
+                config.cache_dir,
+                config.mmap_spills,
+            )),
+            small_sweep_cells: config.small_sweep_cells.max(1),
+            ewma_cell_nanos: AtomicU64::new(0),
+            ewma_pi_ratio: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             cells: AtomicU64::new(0),
             wall_nanos: Mutex::new(0),
@@ -225,6 +309,80 @@ impl Engine {
     #[must_use]
     pub fn workers(&self) -> usize {
         self.pool.background_workers() + 1
+    }
+
+    /// Decides how a sweep will run, from measured costs rather than
+    /// fixed rules:
+    ///
+    /// - The sweep's cost is estimated in *equivalent warm cells*:
+    ///   `cells + missing_tables · n_max · π-ratio`, where residency
+    ///   comes from a recency-neutral cache probe and the π-ratio from
+    ///   the EWMA. Below [`EngineConfig::small_sweep_cells`] the sweep
+    ///   stays on the calling thread — fan-out overhead would dominate
+    ///   (this is what keeps a warm re-sweep from running *slower* with
+    ///   two threads than with one).
+    /// - The chunk size balances load (`CHUNKS_PER_WORKER` chunks per
+    ///   participant) but never drops below the size whose estimated
+    ///   runtime amortizes the per-chunk cursor/cache/latch traffic
+    ///   ([`MIN_CHUNK_NANOS`]).
+    fn plan(&self, request: &SweepRequest) -> SweepPlan {
+        let r_count = request.grid.r_values.len().max(1);
+        let n_max = request.grid.n_max.max(1) as usize;
+        let cells = r_count * n_max;
+        let workers = self.workers();
+        let cell_nanos = ewma_get(&self.ewma_cell_nanos, DEFAULT_CELL_NANOS);
+        let pi_ratio = ewma_get(&self.ewma_pi_ratio, DEFAULT_PI_RATIO);
+        let resident = self.cache.count_resident(
+            request.scenario.reply_time().fingerprint(),
+            &request.grid.r_values,
+            request.grid.n_max,
+        );
+        let missing = request.grid.r_values.len() - resident;
+        let effective = cells as f64 + (missing * n_max) as f64 * pi_ratio;
+        let participants = if workers == 1 || effective < self.small_sweep_cells as f64 {
+            1
+        } else {
+            workers
+        };
+        let balance = (r_count / (participants * CHUNKS_PER_WORKER)).max(1);
+        let column_nanos =
+            cell_nanos * n_max as f64 * (1.0 + pi_ratio * missing as f64 / r_count as f64);
+        let min_chunk = (MIN_CHUNK_NANOS / column_nanos.max(1.0)).ceil() as usize;
+        SweepPlan {
+            participants,
+            chunk: balance.max(min_chunk).min(r_count),
+        }
+    }
+
+    /// Feeds a finished sweep back into the scheduler's cost model.
+    /// Fully-warm sweeps calibrate the per-cell nanoseconds; sweeps with
+    /// misses calibrate how much dearer a π cell is than a kernel cell.
+    /// Both are heuristics only — they steer scheduling, never results.
+    fn observe_sweep(&self, stats: &BatchStats, participants: usize, n_max: u32) {
+        if stats.cells == 0 || stats.wall_nanos == 0 {
+            return;
+        }
+        let cpu_nanos = stats.wall_nanos as f64 * participants as f64;
+        if stats.cache_misses == 0 {
+            ewma_update(
+                &self.ewma_cell_nanos,
+                cpu_nanos / stats.cells as f64,
+                0.05,
+                1e4,
+            );
+        } else {
+            let cell_nanos = ewma_get(&self.ewma_cell_nanos, DEFAULT_CELL_NANOS);
+            let pi_cells = (stats.cache_misses * u64::from(n_max.max(1))) as f64;
+            let surplus = cpu_nanos - stats.cells as f64 * cell_nanos;
+            if surplus > 0.0 {
+                ewma_update(
+                    &self.ewma_pi_ratio,
+                    surplus / (pi_cells * cell_nanos),
+                    1.0,
+                    64.0,
+                );
+            }
+        }
     }
 
     /// Evaluates one sweep. Cells come back in deterministic `r`-major
@@ -253,14 +411,18 @@ impl Engine {
         cancel: &CancelToken,
     ) -> Result<SweepResponse, EngineError> {
         request.validate()?;
+        let plan = self.plan(request);
         let start = Instant::now();
         let job = Arc::new(Job::new(
             request,
             Arc::clone(&self.cache),
-            self.workers(),
+            plan.participants,
+            plan.chunk,
             cancel.clone(),
         ));
-        self.pool.broadcast(&job);
+        if plan.participants > 1 {
+            self.pool.broadcast(&job);
+        }
         job.run(0);
         let (costs, errors) = job.wait()?;
         let landscape = Landscape::new(
@@ -282,6 +444,7 @@ impl Engine {
             cells: landscape.len() as u64,
             workers: self.workers(),
         };
+        self.observe_sweep(&stats, plan.participants, request.grid.n_max);
         self.requests.fetch_add(1, Ordering::Relaxed);
         self.cells.fetch_add(stats.cells, Ordering::Relaxed);
         *self.wall_nanos.lock().unwrap_or_else(|e| e.into_inner()) += wall_nanos;
@@ -371,6 +534,7 @@ mod tests {
             workers,
             cache_tables: 64,
             cache_dir: None,
+            ..EngineConfig::default()
         })
     }
 

@@ -477,6 +477,7 @@ mod tests {
             workers: 1,
             cache_tables: 64,
             cache_dir: None,
+            ..EngineConfig::default()
         }));
         Pipeline::new(engine, PipelineConfig::with_depth(depth))
     }

@@ -1,21 +1,30 @@
 //! The persistent worker pool and the per-sweep job it executes.
 //!
 //! One sweep becomes one [`Job`]: the `r` grid is the work list, and the
-//! unit of work is a single `r` (one π-table lookup plus one
-//! [`ColumnKernel`] pass over `n = 1..=n_max`). Workers claim *chunks* of
-//! consecutive `r` indices from a shared atomic cursor — self-scheduling
-//! ("work-stealing from a common pile"), so a worker that lands on cheap
-//! cells simply comes back for more instead of idling behind a static
-//! partition. The calling thread participates as worker 0, so an engine
-//! configured with one worker runs entirely in the caller with no
-//! cross-thread traffic.
+//! unit of work is a *chunk* of consecutive `r` indices. Workers claim
+//! chunks from a shared atomic cursor — self-scheduling ("work-stealing
+//! from a common pile"), so a worker that lands on cheap cells simply
+//! comes back for more instead of idling behind a static partition. The
+//! calling thread participates as worker 0, so an engine that plans a
+//! sweep single-threaded runs entirely in the caller with no cross-thread
+//! traffic. Chunk size and participant count come from the engine's
+//! adaptive scheduler ([`crate::Engine`]) — the job just executes the
+//! plan.
+//!
+//! Each claimed chunk is evaluated *as a block*: one
+//! [`SharedCache::get_or_compute_block`] round-trip fetches (or batch
+//! computes, via [`ColumnBlockKernel::pi_tables`]) every π-table of the
+//! chunk, then one [`ColumnBlockKernel::evaluate`] pass writes the
+//! chunk's contiguous `r`-major span of the flat result buffers.
 //!
 //! Results land in preallocated flat structure-of-arrays buffers
 //! ([`SoaBuffer`], one `f64` slab per requested metric, `r`-major): each
-//! claimed `r` index owns the disjoint column
-//! `[index·n_max, (index+1)·n_max)` of every buffer, the kernel writes it
+//! claimed chunk owns the disjoint span
+//! `[start·n_max, end·n_max)` of every buffer, the kernel writes it
 //! by slice index with no per-cell allocation, and the completion latch is
-//! decremented once per claimed *chunk* rather than once per `r` index.
+//! decremented once per claimed chunk rather than once per `r` index.
+//! Cancellation is checked at chunk boundaries and between the π and
+//! kernel phases of a chunk.
 
 use std::mem::ManuallyDrop;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -23,17 +32,12 @@ use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
-use zeroconf_cost::kernel::ColumnKernel;
-use zeroconf_cost::{cost, Scenario};
+use zeroconf_cost::kernel::ColumnBlockKernel;
 use zeroconf_dist::ReplyTimeDistribution;
 
 use crate::cache::SharedCache;
 use crate::request::{Metric, SweepRequest};
 use crate::{CancelToken, EngineError};
-
-/// How many chunks each participant should get on average; more than one
-/// so uneven cells rebalance, not so many that cursor traffic dominates.
-const CHUNKS_PER_WORKER: usize = 4;
 
 /// The filled metric buffers a finished job hands back: `(costs, errors)`,
 /// `r`-major, `None` per unrequested metric.
@@ -109,8 +113,7 @@ impl Drop for SoaBuffer {
 /// One sweep's shared state: inputs, the claim cursor, the flat result
 /// buffers and the completion latch.
 pub(crate) struct Job {
-    scenario: Scenario,
-    kernel: ColumnKernel,
+    block: ColumnBlockKernel,
     fingerprint: u64,
     n_max: u32,
     r_values: Vec<f64>,
@@ -127,9 +130,10 @@ pub(crate) struct Job {
     /// `r` indices not yet finished; the caller waits for zero.
     pending: Mutex<usize>,
     done: Condvar,
-    /// Cooperative cancellation, checked at every `r` boundary. A
-    /// cancelled job still drains its work list (each claimed index is
-    /// marked done without evaluating) so the latch always releases.
+    /// Cooperative cancellation, checked at every chunk boundary and
+    /// between a chunk's π and kernel phases. A cancelled job still
+    /// drains its work list (each claimed chunk is marked done without
+    /// evaluating) so the latch always releases.
     cancel: CancelToken,
     /// Cells evaluated per participant (0 = caller, `1..` = pool workers).
     cells_by_worker: Vec<AtomicU64>,
@@ -147,17 +151,17 @@ impl Job {
         request: &SweepRequest,
         cache: Arc<SharedCache>,
         participants: usize,
+        chunk: usize,
         cancel: CancelToken,
     ) -> Job {
         let r_count = request.grid.r_values.len();
         let cells = r_count * request.grid.n_max as usize;
         Job {
-            scenario: request.scenario.clone(),
-            kernel: ColumnKernel::new(&request.scenario),
+            block: ColumnBlockKernel::new(&request.scenario),
             fingerprint: request.scenario.reply_time().fingerprint(),
             n_max: request.grid.n_max,
             r_values: request.grid.r_values.clone(),
-            chunk: (r_count / (participants * CHUNKS_PER_WORKER)).max(1),
+            chunk: chunk.clamp(1, r_count.max(1)),
             cursor: AtomicUsize::new(0),
             cache,
             costs: request
@@ -185,12 +189,10 @@ impl Job {
                 return;
             }
             let end = (start + self.chunk).min(self.r_values.len());
-            for index in start..end {
-                if self.cancel.is_cancelled() {
-                    lock(&self.failure).get_or_insert(EngineError::Cancelled);
-                } else if let Err(e) = self.evaluate_r(index, worker) {
-                    lock(&self.failure).get_or_insert(e);
-                }
+            if self.cancel.is_cancelled() {
+                lock(&self.failure).get_or_insert(EngineError::Cancelled);
+            } else if let Err(e) = self.evaluate_chunk(start, end, worker) {
+                lock(&self.failure).get_or_insert(e);
             }
             // One latch update per claimed chunk, not per r index.
             let mut pending = lock(&self.pending);
@@ -201,36 +203,44 @@ impl Job {
         }
     }
 
-    /// All cells at one `r`: one cache round-trip, then a single
-    /// [`ColumnKernel`] pass writing the column's slices of the flat
-    /// buffers — bit-identical to the per-`n` `*_from_pis` arithmetic.
-    fn evaluate_r(&self, index: usize, worker: usize) -> Result<(), EngineError> {
-        let r = self.r_values[index];
-        let (table, hit) = self
-            .cache
-            .get_or_compute(self.fingerprint, r, self.n_max, || {
-                cost::pi_table(&self.scenario, self.n_max, r).map_err(EngineError::Cost)
-            })?;
-        if hit {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+    /// All cells of one claimed chunk `[start, end)` of `r` indices: one
+    /// block cache round-trip (misses are batch-computed by
+    /// [`ColumnBlockKernel::pi_tables`]), then a single
+    /// [`ColumnBlockKernel::evaluate`] pass writing the chunk's
+    /// contiguous span of the flat buffers — bit-identical to the
+    /// per-`n` `*_from_pis` arithmetic.
+    fn evaluate_chunk(&self, start: usize, end: usize, worker: usize) -> Result<(), EngineError> {
+        let rs = &self.r_values[start..end];
+        let (tables, hits, misses) =
+            self.cache
+                .get_or_compute_block(self.fingerprint, rs, self.n_max, |missing| {
+                    self.block
+                        .pi_tables(self.n_max, missing)
+                        .map_err(EngineError::Cost)
+                })?;
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        self.misses.fetch_add(misses, Ordering::Relaxed);
+        if self.cancel.is_cancelled() {
+            return Err(EngineError::Cancelled);
         }
         let n_max = self.n_max as usize;
-        let column = index * n_max;
-        // SAFETY: `index` was claimed by exactly one worker via the atomic
-        // cursor, so these column slices are unaliased; `index` is within
-        // the r grid, so the columns are in bounds.
+        let offset = start * n_max;
+        let cells = (end - start) * n_max;
+        // SAFETY: the chunk `[start, end)` was claimed by exactly one
+        // worker via the atomic cursor, so this contiguous r-major span
+        // is unaliased; the chunk is within the r grid, so it is in
+        // bounds.
         let costs = self
             .costs
             .as_ref()
-            .map(|b| unsafe { b.column(column, n_max) });
+            .map(|b| unsafe { b.column(offset, cells) });
         let errors = self
             .errors
             .as_ref()
-            .map(|b| unsafe { b.column(column, n_max) });
-        self.kernel.evaluate(self.n_max, r, &table, costs, errors)?;
-        self.cells_by_worker[worker].fetch_add(self.n_max as u64, Ordering::Relaxed);
+            .map(|b| unsafe { b.column(offset, cells) });
+        self.block
+            .evaluate(self.n_max, rs, &tables, costs, errors)?;
+        self.cells_by_worker[worker].fetch_add(cells as u64, Ordering::Relaxed);
         Ok(())
     }
 

@@ -1037,6 +1037,7 @@ mod tests {
             workers: 2,
             cache_tables: 64,
             cache_dir: None,
+            ..EngineConfig::default()
         }));
         let first = session.handle_line(&sweep_line("s1")).unwrap();
         assert!(first.contains("\"id\":\"s1\""), "{first}");
@@ -1062,6 +1063,7 @@ mod tests {
             workers: 1,
             cache_tables: 8,
             cache_dir: None,
+            ..EngineConfig::default()
         }));
         assert!(session.handle_line("   ").is_none());
         let bad = session.handle_line("not json").unwrap();
@@ -1083,6 +1085,7 @@ mod tests {
             workers: 1,
             cache_tables: 8,
             cache_dir: None,
+            ..EngineConfig::default()
         }));
         let line = session.handle_line(&sweep_line("s1")).unwrap();
         let parsed = parse_json(&line).unwrap();

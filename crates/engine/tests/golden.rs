@@ -39,6 +39,7 @@ fn cold_cache_matches_direct_evaluation_bitwise() {
         workers: 1,
         cache_tables: 256,
         cache_dir: None,
+        ..EngineConfig::default()
     });
     let request = SweepRequest::new(scenario, figure2_grid());
     assert_bit_identical(&engine, &request);
@@ -54,6 +55,7 @@ fn warm_cache_matches_direct_evaluation_bitwise() {
         workers: 2,
         cache_tables: 256,
         cache_dir: None,
+        ..EngineConfig::default()
     });
     let request = SweepRequest::new(scenario, figure2_grid());
     // First pass fills the cache; the second serves entirely from it.
@@ -71,6 +73,7 @@ fn multi_threaded_sweep_matches_direct_evaluation_bitwise() {
         workers: 4,
         cache_tables: 256,
         cache_dir: None,
+        ..EngineConfig::default()
     });
     let request = SweepRequest::new(scenario, figure2_grid());
     assert_bit_identical(&engine, &request);
@@ -83,6 +86,7 @@ fn rescore_is_bit_identical_and_recomputes_no_pi() {
         workers: 2,
         cache_tables: 256,
         cache_dir: None,
+        ..EngineConfig::default()
     });
     let base = SweepRequest::new(scenario, figure2_grid());
     engine.evaluate(&base).unwrap();
@@ -118,6 +122,7 @@ fn tiny_cache_still_gives_exact_results() {
         workers: 3,
         cache_tables: 4,
         cache_dir: None,
+        ..EngineConfig::default()
     });
     let request = SweepRequest::new(scenario, figure2_grid());
     assert_bit_identical(&engine, &request);

@@ -29,6 +29,7 @@ fn engine(workers: usize) -> Arc<Engine> {
         workers,
         cache_tables: 4096,
         cache_dir: None,
+        ..EngineConfig::default()
     }))
 }
 
@@ -126,6 +127,7 @@ fn pipelined_wire_lines_are_bit_identical_to_direct_encoding() {
             workers: 2,
             cache_tables: 64,
             cache_dir: None,
+            ..EngineConfig::default()
         }),
         PipelineConfig::with_depth(3),
     );
@@ -190,6 +192,7 @@ fn pipelined_session_emits_responses_in_completion_order() {
             workers: 2,
             cache_tables: 4096,
             cache_dir: None,
+            ..EngineConfig::default()
         }),
         PipelineConfig::with_depth(5),
     );
@@ -280,6 +283,7 @@ fn wire_cancel_withdraws_an_in_flight_request() {
             workers: 1,
             cache_tables: 4096,
             cache_dir: None,
+            ..EngineConfig::default()
         }),
         PipelineConfig {
             depth: 3,
@@ -355,6 +359,7 @@ fn pipelined_session_drain_answers_every_wire_id() {
             workers: 2,
             cache_tables: 4096,
             cache_dir: None,
+            ..EngineConfig::default()
         }),
         PipelineConfig::with_depth(4),
     );
@@ -406,6 +411,7 @@ fn blocking_session_still_answers_line_for_line() {
         workers: 1,
         cache_tables: 16,
         cache_dir: None,
+        ..EngineConfig::default()
     }));
     let sweep = "{\"v\":1,\"id\":\"a\",\"scenario\":{\"q\":0.5,\"probe_cost\":2.0,\
         \"error_cost\":1e6,\"reply_time\":{\"kind\":\"exponential\",\"loss\":1e-6,\
@@ -426,6 +432,7 @@ fn unknown_protocol_version_is_a_structured_error() {
         workers: 1,
         cache_tables: 16,
         cache_dir: None,
+        ..EngineConfig::default()
     }));
     let line = "{\"v\":2,\"id\":\"x\",\"scenario\":{\"q\":0.5,\"probe_cost\":2.0,\
         \"error_cost\":1e6,\"reply_time\":{\"kind\":\"exponential\",\"loss\":1e-6,\

@@ -11,6 +11,7 @@ fn chained_rescore_on_invalid_held_rescore_is_answered() {
             workers: 1,
             cache_tables: 4096,
             cache_dir: None,
+            ..EngineConfig::default()
         }),
         PipelineConfig {
             depth: 3,
