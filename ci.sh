@@ -14,6 +14,15 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> zeroconf audit --deny-warnings"
+# The workspace static-analysis gate (crates/audit): unsafe-code audit,
+# panic freedom, wire-format constant drift and the lockfile check. Runs
+# before the test suite so policy violations fail fast. The bare
+# `cargo build --release` above only builds the root package, so build
+# the CLI explicitly before invoking it.
+cargo build --release -p zeroconf-cli
+./target/release/zeroconf audit --deny-warnings
+
 echo "==> cargo test -q"
 cargo test -q
 

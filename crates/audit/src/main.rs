@@ -1,0 +1,80 @@
+//! The `zeroconf-audit` binary: run the workspace static-analysis gate.
+//!
+//! ```text
+//! zeroconf-audit [--deny-warnings] [--json] [--root PATH]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings (under the active warning policy),
+//! 2 the audit itself could not run. The same gate is reachable as
+//! `zeroconf audit` from the main CLI.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut deny_warnings = false;
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--deny-warnings" => deny_warnings = true,
+            "--json" => json = true,
+            "--root" => match iter.next() {
+                Some(path) => root = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("zeroconf-audit: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: zeroconf-audit [--deny-warnings] [--json] [--root PATH]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("zeroconf-audit: unknown flag '{other}'");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root {
+        Some(root) => root,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(cwd) => cwd,
+                Err(e) => {
+                    eprintln!("zeroconf-audit: cannot determine working directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match zeroconf_audit::find_workspace_root(&cwd) {
+                Ok(root) => root,
+                Err(e) => {
+                    eprintln!("zeroconf-audit: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    match zeroconf_audit::audit_workspace(&root) {
+        Ok(report) => {
+            if json {
+                println!("{}", report.to_json());
+            } else {
+                println!("{}", report.to_text());
+            }
+            if report.fails(deny_warnings) {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("zeroconf-audit: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

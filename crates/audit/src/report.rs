@@ -1,0 +1,229 @@
+//! The machine-readable finding format and the deterministic report.
+//!
+//! Every rule emits [`Finding`]s; the [`Report`] sorts them by
+//! `(rule, path, line, message)` so two runs over the same tree produce
+//! byte-identical output — a requirement for the CI gate, whose failure
+//! diffs must be stable. JSON rendering is hand-rolled (the offline
+//! workspace has no serde) and escapes exactly what RFC 8259 requires.
+
+use std::fmt;
+
+/// How fatal a finding is: `Deny` findings always fail the audit, `Warn`
+/// findings fail it only under `--deny-warnings` (the CI configuration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Deny,
+    Warn,
+}
+
+impl Severity {
+    fn as_str(self) -> &'static str {
+        match self {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+        }
+    }
+}
+
+/// One rule violation, anchored to a workspace-relative path and line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule identifier, e.g. `no-panic` or `unsafe-allowlist`.
+    pub rule: &'static str,
+    pub severity: Severity,
+    pub path: String,
+    /// 1-based line, or 0 when the finding concerns the file as a whole.
+    pub line: u32,
+    pub message: String,
+}
+
+impl Finding {
+    pub fn deny(rule: &'static str, path: &str, line: u32, message: String) -> Finding {
+        Finding {
+            rule,
+            severity: Severity::Deny,
+            path: path.to_owned(),
+            line,
+            message,
+        }
+    }
+
+    pub fn warn(rule: &'static str, path: &str, line: u32, message: String) -> Finding {
+        Finding {
+            rule,
+            severity: Severity::Warn,
+            path: path.to_owned(),
+            line,
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: [{}] {}:{}: {}",
+            self.severity.as_str(),
+            self.rule,
+            self.path,
+            self.line,
+            self.message
+        )
+    }
+}
+
+/// The sorted, deterministic result of one audit run.
+#[derive(Debug)]
+pub struct Report {
+    findings: Vec<Finding>,
+}
+
+impl Report {
+    pub fn new(mut findings: Vec<Finding>) -> Report {
+        findings.sort_by(|a, b| {
+            (a.rule, &a.path, a.line, &a.message).cmp(&(b.rule, &b.path, b.line, &b.message))
+        });
+        findings.dedup();
+        Report { findings }
+    }
+
+    pub fn findings(&self) -> &[Finding] {
+        &self.findings
+    }
+
+    pub fn deny_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Deny)
+            .count()
+    }
+
+    pub fn warn_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warn)
+            .count()
+    }
+
+    /// Whether the audit fails under the given warning policy.
+    pub fn fails(&self, deny_warnings: bool) -> bool {
+        self.deny_count() > 0 || (deny_warnings && !self.findings.is_empty())
+    }
+
+    /// Human-readable report: one line per finding plus a summary line.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for finding in &self.findings {
+            out.push_str(&finding.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "zeroconf-audit: {} finding(s) ({} deny, {} warn)",
+            self.findings.len(),
+            self.deny_count(),
+            self.warn_count()
+        ));
+        out
+    }
+
+    /// The findings as a JSON array, one object per finding, sorted.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n  {{\"rule\":\"{}\",\"severity\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+                json_escape(f.rule),
+                f.severity.as_str(),
+                json_escape(&f.path),
+                f.line,
+                json_escape(&f.message)
+            ));
+        }
+        if !self.findings.is_empty() {
+            out.push('\n');
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_sorts_and_dedups_findings() {
+        let report = Report::new(vec![
+            Finding::deny("z-rule", "b.rs", 9, "late".to_owned()),
+            Finding::deny("a-rule", "b.rs", 2, "dup".to_owned()),
+            Finding::deny("a-rule", "a.rs", 5, "first".to_owned()),
+            Finding::deny("a-rule", "b.rs", 2, "dup".to_owned()),
+        ]);
+        let order: Vec<(&str, &str, u32)> = report
+            .findings()
+            .iter()
+            .map(|f| (f.rule, f.path.as_str(), f.line))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                ("a-rule", "a.rs", 5),
+                ("a-rule", "b.rs", 2),
+                ("z-rule", "b.rs", 9)
+            ]
+        );
+    }
+
+    #[test]
+    fn failure_policy_honours_deny_warnings() {
+        let clean = Report::new(Vec::new());
+        assert!(!clean.fails(true));
+        let warn_only = Report::new(vec![Finding::warn("r", "a.rs", 1, "w".to_owned())]);
+        assert!(!warn_only.fails(false));
+        assert!(warn_only.fails(true));
+        let denied = Report::new(vec![Finding::deny("r", "a.rs", 1, "d".to_owned())]);
+        assert!(denied.fails(false));
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_control_characters() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn json_report_is_a_valid_array_shape() {
+        let report = Report::new(vec![Finding::deny(
+            "no-panic",
+            "x.rs",
+            3,
+            "boom".to_owned(),
+        )]);
+        let json = report.to_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"rule\":\"no-panic\""));
+        assert!(json.contains("\"line\":3"));
+        assert_eq!(Report::new(Vec::new()).to_json(), "[]");
+    }
+}

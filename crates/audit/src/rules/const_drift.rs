@@ -1,0 +1,304 @@
+//! Rule 3 — wire-format constants have exactly one source of truth.
+//!
+//! Two formats cross process (and machine) boundaries: the JSON-lines
+//! protocol version (`"v":1`, [`zeroconf_engine::wire::WIRE_VERSION`])
+//! and the π-table spill header (`ZCPITAB2` magic + 32-byte header,
+//! `SPILL_MAGIC` / `SPILL_HEADER_LEN` in `engine/cache.rs`). A literal
+//! copy of either that drifts from the constant corrupts data silently —
+//! a reader accepts a header the writer never produced, or a response
+//! claims a version the codec does not speak. This rule pins each
+//! constant to one definition site and bans literal copies elsewhere:
+//!
+//! - the named constants must each be defined exactly once, in their
+//!   designated file;
+//! - the `ZCPITAB` magic may appear in exactly one non-test string
+//!   literal (the definition itself);
+//! - no non-test string literal may hardcode a `"v":<digit>` version —
+//!   JSON templates must interpolate `WIRE_VERSION`.
+//!
+//! Test code is exempt: fixture literals that deliberately spell out the
+//! bytes are how drift *tests* work (see `crates/engine/tests/
+//! spill_format.rs`, this rule's runtime twin).
+
+use crate::report::Finding;
+use crate::scan::{ScannedFile, TokenKind};
+
+/// The single-source-of-truth constants: `(name, defining file)`.
+pub const PINNED_CONSTS: &[(&str, &str)] = &[
+    ("SPILL_MAGIC", "crates/engine/src/cache.rs"),
+    ("SPILL_HEADER_LEN", "crates/engine/src/cache.rs"),
+    ("WIRE_VERSION", "crates/engine/src/wire.rs"),
+];
+
+/// The spill magic prefix that may appear in exactly one non-test literal.
+pub const MAGIC_PREFIX: &str = "ZCPITAB";
+
+/// The audit's own sources are exempt from the literal scans: the rule
+/// definitions (this file's [`MAGIC_PREFIX`] among them) necessarily
+/// name the bytes they hunt for.
+fn self_exempt(path: &str) -> bool {
+    path.starts_with("crates/audit/")
+}
+
+pub fn check(files: &[ScannedFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // Magic literal: exactly one occurrence, in the defining file.
+    let magic_home = PINNED_CONSTS[0].1;
+    let mut magic_sites: Vec<(&str, u32)> = Vec::new();
+    for file in files {
+        if self_exempt(&file.path) {
+            continue;
+        }
+        for t in &file.tokens {
+            if t.kind == TokenKind::Literal
+                && t.text.contains(MAGIC_PREFIX)
+                && !file.in_test_region(t.line)
+            {
+                magic_sites.push((&file.path, t.line));
+            }
+        }
+    }
+    match magic_sites.as_slice() {
+        [] => findings.push(Finding::deny(
+            "const-drift",
+            magic_home,
+            0,
+            format!("the `{MAGIC_PREFIX}…` spill magic literal (const SPILL_MAGIC) is missing"),
+        )),
+        [(path, line)] if *path != magic_home => findings.push(Finding::deny(
+            "const-drift",
+            path,
+            *line,
+            format!("the `{MAGIC_PREFIX}…` magic literal belongs in {magic_home} alone"),
+        )),
+        [_] => {}
+        sites => {
+            for &(path, line) in sites {
+                if !(path == magic_home
+                    && sites.iter().filter(|(p, _)| *p == magic_home).count() == 1)
+                {
+                    findings.push(Finding::deny(
+                        "const-drift",
+                        path,
+                        line,
+                        format!(
+                            "duplicate `{MAGIC_PREFIX}…` magic literal — reference \
+                             `SPILL_MAGIC` from {magic_home} instead"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // Pinned constants: defined exactly once, in the designated file.
+    for &(name, home) in PINNED_CONSTS {
+        let mut sites: Vec<(&str, u32)> = Vec::new();
+        for file in files {
+            let toks = file.code_tokens();
+            for i in 1..toks.len() {
+                if toks[i].kind == TokenKind::Ident
+                    && toks[i].text == name
+                    && toks[i - 1].text == "const"
+                    && !file.in_test_region(toks[i].line)
+                {
+                    sites.push((&file.path, toks[i].line));
+                }
+            }
+        }
+        match sites.as_slice() {
+            [] => findings.push(Finding::deny(
+                "const-drift",
+                home,
+                0,
+                format!("`const {name}` is missing — it must be defined (once) in {home}"),
+            )),
+            [(path, line)] if *path != home => findings.push(Finding::deny(
+                "const-drift",
+                path,
+                *line,
+                format!("`const {name}` must live in {home}, its single source of truth"),
+            )),
+            [_] => {}
+            sites => {
+                for &(path, line) in sites.iter().filter(|(p, _)| *p != home) {
+                    findings.push(Finding::deny(
+                        "const-drift",
+                        path,
+                        line,
+                        format!("`const {name}` redefined — the single source of truth is {home}"),
+                    ));
+                }
+                let in_home = sites.iter().filter(|(p, _)| *p == home).count();
+                if in_home > 1 {
+                    for &(path, line) in sites.iter().filter(|(p, _)| *p == home).skip(1) {
+                        findings.push(Finding::deny(
+                            "const-drift",
+                            path,
+                            line,
+                            format!("`const {name}` defined twice in its own module"),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // Hardcoded protocol versions in JSON templates.
+    for file in files {
+        if self_exempt(&file.path) {
+            continue;
+        }
+        for t in &file.tokens {
+            if t.kind != TokenKind::Literal || file.in_test_region(t.line) {
+                continue;
+            }
+            if has_hardcoded_version(&t.text) {
+                findings.push(Finding::deny(
+                    "const-drift",
+                    &file.path,
+                    t.line,
+                    "string literal hardcodes the wire version (`\"v\":<digit>`) — \
+                     interpolate `WIRE_VERSION` instead"
+                        .to_owned(),
+                ));
+            }
+        }
+    }
+
+    findings
+}
+
+/// Whether a literal's raw source text contains `"v":` (escaped or raw)
+/// followed directly by a digit.
+fn has_hardcoded_version(raw: &str) -> bool {
+    for marker in ["\\\"v\\\":", "\"v\":"] {
+        let mut rest = raw;
+        while let Some(at) = rest.find(marker) {
+            let after = &rest[at + marker.len()..];
+            if after.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                return true;
+            }
+            rest = after;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal tree where every pinned constant is correctly defined.
+    fn healthy() -> Vec<ScannedFile> {
+        vec![
+            ScannedFile::new(
+                "crates/engine/src/cache.rs",
+                "pub const SPILL_MAGIC: &[u8; 8] = b\"ZCPITAB2\";\n\
+                 pub const SPILL_HEADER_LEN: usize = 32;\n",
+            ),
+            ScannedFile::new(
+                "crates/engine/src/wire.rs",
+                "pub const WIRE_VERSION: u64 = 1;\n\
+                 fn emit(out: &mut String) { out.push_str(&format!(\"{{\\\"v\\\":{WIRE_VERSION}}}\")); }\n",
+            ),
+        ]
+    }
+
+    #[test]
+    fn a_healthy_tree_is_clean() {
+        assert!(check(&healthy()).is_empty());
+    }
+
+    #[test]
+    fn a_second_magic_literal_is_denied() {
+        let mut files = healthy();
+        files.push(ScannedFile::new(
+            "crates/engine/src/pool.rs",
+            "fn sniff(h: &[u8]) -> bool { h.starts_with(b\"ZCPITAB2\") }\n",
+        ));
+        let findings = check(&files);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].path, "crates/engine/src/pool.rs");
+        assert!(findings[0].message.contains("duplicate"));
+    }
+
+    #[test]
+    fn magic_literals_in_test_modules_are_exempt() {
+        let mut files = healthy();
+        files.push(ScannedFile::new(
+            "crates/engine/src/other.rs",
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    const M: &[u8] = b\"ZCPITAB2\";\n}\n",
+        ));
+        assert!(check(&files).is_empty());
+    }
+
+    #[test]
+    fn a_redefined_constant_is_denied() {
+        let mut files = healthy();
+        files.push(ScannedFile::new(
+            "crates/cli/src/lib.rs",
+            "const WIRE_VERSION: u64 = 2;\n",
+        ));
+        let findings = check(&files);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("redefined"));
+        assert_eq!(findings[0].path, "crates/cli/src/lib.rs");
+    }
+
+    #[test]
+    fn a_missing_constant_is_denied() {
+        let files = vec![ScannedFile::new(
+            "crates/engine/src/cache.rs",
+            "pub const SPILL_MAGIC: &[u8; 8] = b\"ZCPITAB2\";\n",
+        )];
+        let findings = check(&files);
+        assert!(findings
+            .iter()
+            .any(|f| f.message.contains("SPILL_HEADER_LEN") && f.message.contains("missing")));
+        assert!(findings
+            .iter()
+            .any(|f| f.message.contains("WIRE_VERSION") && f.message.contains("missing")));
+    }
+
+    #[test]
+    fn hardcoded_wire_versions_in_json_templates_are_denied() {
+        let mut files = healthy();
+        files.push(ScannedFile::new(
+            "crates/engine/src/pipeline.rs",
+            "fn emit(out: &mut String) { out.push_str(\"{\\\"v\\\":1,\\\"id\\\":\\\"x\\\"}\"); }\n",
+        ));
+        let findings = check(&files);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("WIRE_VERSION"));
+    }
+
+    #[test]
+    fn interpolated_wire_versions_pass() {
+        // `"v":{WIRE_VERSION}` has `{`, not a digit, after the colon.
+        assert!(!has_hardcoded_version("\"{\\\"v\\\":{WIRE_VERSION}}\""));
+        assert!(has_hardcoded_version("\"{\\\"v\\\":1}\""));
+        assert!(has_hardcoded_version("r#\"{\"v\":2}\"#"));
+    }
+
+    #[test]
+    fn the_audit_crates_own_rule_sources_are_exempt() {
+        let mut files = healthy();
+        files.push(ScannedFile::new(
+            "crates/audit/src/rules/const_drift.rs",
+            "pub const MAGIC_PREFIX: &str = \"ZCPITAB\";\n",
+        ));
+        assert!(check(&files).is_empty());
+    }
+
+    #[test]
+    fn hardcoded_versions_in_test_fixtures_are_exempt() {
+        let mut files = healthy();
+        files.push(ScannedFile::new(
+            "crates/engine/src/session.rs",
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    const REQ: &str = \"{\\\"v\\\":1}\";\n}\n",
+        ));
+        assert!(check(&files).is_empty());
+    }
+}

@@ -1,0 +1,12 @@
+//! The audit rule set, one module per rule.
+//!
+//! Each rule is a pure function from scanned input to a list of
+//! [`crate::report::Finding`]s, so the unit tests seed violations in
+//! fixture strings and assert they are caught without touching the real
+//! tree; the workspace walk in [`crate::audit_workspace`] is the only
+//! place the filesystem is read.
+
+pub mod const_drift;
+pub mod lockfile;
+pub mod no_panic;
+pub mod unsafe_code;

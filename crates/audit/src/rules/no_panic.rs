@@ -1,0 +1,268 @@
+//! Rule 2 — panic-freedom of library code.
+//!
+//! Library code (everything under a crate's `src/`, outside
+//! `#[cfg(test)]`-gated items) must not contain `.unwrap()`, `.expect(…)`,
+//! `panic!`, `todo!` or `unimplemented!`. The engine serves long-lived
+//! sessions; a panic in a worker poisons the job it was evaluating, and a
+//! panic in a library consumer's thread is their outage, not ours — error
+//! paths must be `Result`s.
+//!
+//! `expect` alone is allowlistable: some expects assert genuinely
+//! infallible invariants (a `chunks_exact(8)` chunk *is* 8 bytes long)
+//! where a `Result` path would be noise. The allowlist lives at
+//! [`ALLOWLIST_PATH`], one entry per line:
+//!
+//! ```text
+//! <workspace-relative path> | <expect message, verbatim> | <justification>
+//! ```
+//!
+//! Entries are matched on `(path, message)`, so moving or rewording an
+//! expect invalidates its entry; `unwrap` carries no message and is
+//! therefore never allowlistable. Unused entries are findings themselves
+//! (warnings — fatal under `--deny-warnings`), keeping the list from
+//! accreting stale exemptions.
+
+use crate::report::Finding;
+use crate::scan::{ScannedFile, TokenKind};
+
+/// Workspace-relative path of the expect allowlist.
+pub const ALLOWLIST_PATH: &str = "crates/audit/no-panic-allowlist.txt";
+
+/// The banned macro names (each a finding when invoked as `name!`).
+const BANNED_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    pub path: String,
+    pub message: String,
+    pub justification: String,
+    /// 1-based line in the allowlist file, for findings about the entry.
+    pub line: u32,
+}
+
+/// Parses the allowlist text. Malformed lines become findings rather
+/// than being silently dropped.
+pub fn parse_allowlist(text: &str) -> (Vec<AllowEntry>, Vec<Finding>) {
+    let mut entries = Vec::new();
+    let mut findings = Vec::new();
+    for (index, line) in text.lines().enumerate() {
+        let line_no = index as u32 + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split('|').map(str::trim).collect();
+        match fields.as_slice() {
+            [path, message, justification] if !justification.is_empty() => {
+                entries.push(AllowEntry {
+                    path: (*path).to_owned(),
+                    message: (*message).to_owned(),
+                    justification: (*justification).to_owned(),
+                    line: line_no,
+                });
+            }
+            [_, _, _] => findings.push(Finding::deny(
+                "no-panic",
+                ALLOWLIST_PATH,
+                line_no,
+                "allowlist entry has an empty justification — say why the expect \
+                 is infallible or remove it"
+                    .to_owned(),
+            )),
+            _ => findings.push(Finding::deny(
+                "no-panic",
+                ALLOWLIST_PATH,
+                line_no,
+                "malformed allowlist entry; expected `path | expect message | justification`"
+                    .to_owned(),
+            )),
+        }
+    }
+    (entries, findings)
+}
+
+/// Runs the no-panic rule over the scanned sources against `allowlist`.
+pub fn check(files: &[ScannedFile], allowlist: &[AllowEntry]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut used = vec![false; allowlist.len()];
+    for file in files {
+        let toks = file.code_tokens();
+        for i in 0..toks.len() {
+            let t = toks[i];
+            if t.kind != TokenKind::Ident || file.in_test_region(t.line) {
+                continue;
+            }
+            // `name!(…)` macro invocations.
+            if BANNED_MACROS.contains(&t.text.as_str())
+                && toks.get(i + 1).is_some_and(|n| n.text == "!")
+            {
+                findings.push(Finding::deny(
+                    "no-panic",
+                    &file.path,
+                    t.line,
+                    format!(
+                        "`{}!` in library code — return an error instead of aborting \
+                         the caller's thread",
+                        t.text
+                    ),
+                ));
+                continue;
+            }
+            // `.unwrap(` / `.expect(` method calls.
+            let is_call =
+                i > 0 && toks[i - 1].text == "." && toks.get(i + 1).is_some_and(|n| n.text == "(");
+            if !is_call {
+                continue;
+            }
+            match t.text.as_str() {
+                "unwrap" => findings.push(Finding::deny(
+                    "no-panic",
+                    &file.path,
+                    t.line,
+                    "`.unwrap()` in library code — handle the failure or use `.expect(…)` \
+                     with an allowlisted justification"
+                        .to_owned(),
+                )),
+                "expect" => {
+                    let message = toks
+                        .get(i + 2)
+                        .filter(|m| m.kind == TokenKind::Literal)
+                        .map(|m| m.text.trim_matches('"').to_owned());
+                    let allowed = message.as_ref().and_then(|msg| {
+                        allowlist
+                            .iter()
+                            .position(|e| e.path == file.path && &e.message == msg)
+                    });
+                    match allowed {
+                        Some(index) => used[index] = true,
+                        None => findings.push(Finding::deny(
+                            "no-panic",
+                            &file.path,
+                            t.line,
+                            format!(
+                                "`.expect({})` in library code without an allowlist entry — \
+                                 return an error, or add `{} | {} | <why it is infallible>` \
+                                 to {}",
+                                message.as_deref().unwrap_or("…"),
+                                file.path,
+                                message.as_deref().unwrap_or("<literal message>"),
+                                ALLOWLIST_PATH
+                            ),
+                        )),
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    for (entry, used) in allowlist.iter().zip(used) {
+        if !used {
+            findings.push(Finding::warn(
+                "no-panic",
+                ALLOWLIST_PATH,
+                entry.line,
+                format!(
+                    "unused allowlist entry for {} (`{}`) — the expect is gone; remove \
+                     the entry",
+                    entry.path, entry.message
+                ),
+            ));
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib(src: &str) -> Vec<ScannedFile> {
+        vec![ScannedFile::new("crates/sim/src/stats.rs", src)]
+    }
+
+    #[test]
+    fn unwrap_in_library_code_is_denied() {
+        let findings = check(&lib("fn f() { x.unwrap(); }\n"), &[]);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("unwrap"));
+    }
+
+    #[test]
+    fn unwrap_inside_cfg_test_is_exempt() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        assert!(check(&lib(src), &[]).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_strings_and_comments_is_not_a_call() {
+        let src = "fn f() { let s = \"x.unwrap()\"; } // .unwrap() here too\n";
+        assert!(check(&lib(src), &[]).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_unwrap() {
+        let src = "fn f() { m.lock().unwrap_or_else(|e| e.into_inner()); }\n";
+        assert!(check(&lib(src), &[]).is_empty());
+    }
+
+    #[test]
+    fn banned_macros_are_denied_but_assert_is_not() {
+        let src = "fn f() { assert!(ok); panic!(\"boom\"); }\nfn g() { todo!() }\n";
+        let findings = check(&lib(src), &[]);
+        assert_eq!(findings.len(), 2);
+        assert!(findings[0].message.contains("panic!"));
+        assert!(findings[1].message.contains("todo!"));
+    }
+
+    #[test]
+    fn should_panic_attribute_is_not_a_panic_call() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n    #[should_panic(expected = \"x\")]\n    fn t() {}\n}\n";
+        assert!(check(&lib(src), &[]).is_empty());
+    }
+
+    #[test]
+    fn expect_needs_a_matching_allowlist_entry() {
+        let src =
+            "fn f() { samples.sort_by(|a, b| a.partial_cmp(b).expect(\"finite samples\")); }\n";
+        let findings = check(&lib(src), &[]);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("allowlist"));
+
+        let (entries, parse_findings) = parse_allowlist(
+            "# comment\n\
+             crates/sim/src/stats.rs | finite samples | inputs validated finite at construction\n",
+        );
+        assert!(parse_findings.is_empty());
+        assert!(check(&lib(src), &entries).is_empty());
+    }
+
+    #[test]
+    fn allowlist_match_is_per_path_and_message() {
+        let (entries, _) =
+            parse_allowlist("crates/sim/src/other.rs | finite samples | justified\n");
+        let src = "fn f() { x.expect(\"finite samples\"); }\n";
+        let findings = check(&lib(src), &entries);
+        // Wrong path: the expect is denied AND the entry is unused.
+        assert_eq!(findings.len(), 2);
+        assert!(findings.iter().any(|f| f.message.contains("unused")));
+    }
+
+    #[test]
+    fn non_literal_expect_messages_cannot_be_allowlisted() {
+        let (entries, _) = parse_allowlist("crates/sim/src/stats.rs | msg | justified\n");
+        let src = "fn f() { x.expect(&format!(\"msg {y}\")); }\n";
+        let findings = check(&lib(src), &entries);
+        assert!(findings.iter().any(|f| f.rule == "no-panic" && f.line == 1));
+    }
+
+    #[test]
+    fn malformed_and_unjustified_entries_are_findings() {
+        let (entries, findings) = parse_allowlist("just-one-field\na | b |\n");
+        assert!(entries.is_empty());
+        assert_eq!(findings.len(), 2);
+        assert!(findings[0].message.contains("malformed"));
+        assert!(findings[1].message.contains("empty justification"));
+    }
+}

@@ -1,0 +1,304 @@
+//! Rule 1 — the unsafe-code audit.
+//!
+//! Three checks, mirroring the workspace's unsafe policy:
+//!
+//! 1. **Allowlist**: the `unsafe` keyword may appear only in the two
+//!    engine modules whose invariants are documented in DESIGN.md
+//!    ("Unsafe inventory & invariants"): `engine/pool.rs` (disjoint
+//!    shared-slab column writes) and `engine/cache.rs` (mmap-served spill
+//!    tier). Anywhere else it is a finding — new unsafe code must either
+//!    move there or extend this allowlist *and* the design doc.
+//! 2. **Adjacent justification**: every `unsafe` occurrence in the
+//!    allowlisted modules must sit within a few lines of a comment
+//!    carrying `SAFETY` (block form) or a `# Safety` doc section
+//!    (`unsafe fn` contract form), so the invariant is argued where it is
+//!    relied upon.
+//! 3. **Crate headers**: every crate root except the engine's must carry
+//!    `#![forbid(unsafe_code)]`, and the engine's must carry
+//!    `#![deny(unsafe_op_in_unsafe_fn)]` so each unsafe operation inside
+//!    an `unsafe fn` needs its own block (and hence its own SAFETY
+//!    comment).
+
+use crate::report::Finding;
+use crate::scan::{ScannedFile, TokenKind};
+
+/// The modules in which `unsafe` is permitted (workspace-relative paths).
+pub const UNSAFE_ALLOWED: &[&str] = &["crates/engine/src/pool.rs", "crates/engine/src/cache.rs"];
+
+/// The one crate allowed to contain unsafe code.
+pub const UNSAFE_CRATE: &str = "zeroconf-engine";
+
+/// How many lines above an `unsafe` token a SAFETY comment may end and
+/// still count as adjacent (attributes or a signature may intervene).
+const SAFETY_WINDOW: u32 = 4;
+
+/// A crate-root file (`src/lib.rs` or `src/main.rs`) and the crate it
+/// roots, for the header check.
+#[derive(Debug, Clone)]
+pub struct CrateRoot {
+    pub crate_name: String,
+    pub path: String,
+}
+
+/// Runs the keyword-level checks (allowlist + SAFETY adjacency) over the
+/// scanned sources.
+pub fn check_sources(files: &[ScannedFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        let allowlisted = UNSAFE_ALLOWED.contains(&file.path.as_str());
+        for token in &file.tokens {
+            if token.kind != TokenKind::Ident || token.text != "unsafe" {
+                continue;
+            }
+            if !allowlisted {
+                findings.push(Finding::deny(
+                    "unsafe-allowlist",
+                    &file.path,
+                    token.line,
+                    format!(
+                        "`unsafe` is only permitted in {}; move this code or extend \
+                         the audit allowlist and the DESIGN.md unsafe inventory",
+                        UNSAFE_ALLOWED.join(", ")
+                    ),
+                ));
+                continue;
+            }
+            if !has_adjacent_safety_comment(file, token.line) {
+                findings.push(Finding::deny(
+                    "safety-comment",
+                    &file.path,
+                    token.line,
+                    "`unsafe` without an adjacent `// SAFETY:` comment (or `# Safety` \
+                     doc section) stating the invariant it relies on"
+                        .to_owned(),
+                ));
+            }
+        }
+    }
+    findings
+}
+
+/// Whether a SAFETY-bearing comment block ends on `line` or within
+/// [`SAFETY_WINDOW`] lines above it.
+///
+/// Consecutive `//` lines are one logical block: the `SAFETY:` marker is
+/// on the first line but the justification may run on for several more,
+/// and it is the *block's* end that must sit next to the `unsafe`.
+fn has_adjacent_safety_comment(file: &ScannedFile, line: u32) -> bool {
+    let mut block_end = 0u32;
+    let mut block_has_safety = false;
+    for t in &file.tokens {
+        if t.kind != TokenKind::Comment {
+            continue;
+        }
+        if t.line > block_end + 1 {
+            // A gap: this comment starts a new block.
+            block_has_safety = false;
+        }
+        block_has_safety |= t.text.contains("SAFETY") || t.text.contains("# Safety");
+        block_end = t.end_line;
+        if block_has_safety && block_end <= line && line - block_end <= SAFETY_WINDOW {
+            return true;
+        }
+    }
+    false
+}
+
+/// Runs the crate-header check: `forbid(unsafe_code)` everywhere except
+/// the engine, which needs `deny(unsafe_op_in_unsafe_fn)` instead.
+pub fn check_crate_roots(roots: &[CrateRoot], files: &[ScannedFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for root in roots {
+        let Some(file) = files.iter().find(|f| f.path == root.path) else {
+            findings.push(Finding::deny(
+                "unsafe-header",
+                &root.path,
+                0,
+                format!("crate root of {} was not scanned", root.crate_name),
+            ));
+            continue;
+        };
+        let attrs = inner_lint_attributes(file);
+        let has = |attr: &str, lint: &str| {
+            attrs
+                .iter()
+                .any(|(a, lints)| a == attr && lints.iter().any(|l| l == lint))
+        };
+        if root.crate_name == UNSAFE_CRATE {
+            if !has("deny", "unsafe_op_in_unsafe_fn") {
+                findings.push(Finding::deny(
+                    "unsafe-header",
+                    &root.path,
+                    1,
+                    format!(
+                        "{} is the unsafe-bearing crate and must carry \
+                         `#![deny(unsafe_op_in_unsafe_fn)]`",
+                        root.crate_name
+                    ),
+                ));
+            }
+            if has("forbid", "unsafe_code") {
+                findings.push(Finding::deny(
+                    "unsafe-header",
+                    &root.path,
+                    1,
+                    format!(
+                        "{} carries `#![forbid(unsafe_code)]` but is the designated \
+                         unsafe-bearing crate — its unsafe modules would not compile",
+                        root.crate_name
+                    ),
+                ));
+            }
+        } else if !has("forbid", "unsafe_code") {
+            findings.push(Finding::deny(
+                "unsafe-header",
+                &root.path,
+                1,
+                format!(
+                    "{} must carry `#![forbid(unsafe_code)]` (only {} may hold \
+                     unsafe code)",
+                    root.crate_name, UNSAFE_CRATE
+                ),
+            ));
+        }
+    }
+    findings
+}
+
+/// The crate-level lint attributes `#![attr(lint, …)]` of a file, as
+/// `(attr, lints)` pairs — e.g. `("forbid", ["unsafe_code"])`.
+fn inner_lint_attributes(file: &ScannedFile) -> Vec<(String, Vec<String>)> {
+    let toks = file.code_tokens();
+    let mut attrs = Vec::new();
+    let mut i = 0;
+    while i + 3 < toks.len() {
+        if toks[i].text == "#" && toks[i + 1].text == "!" && toks[i + 2].text == "[" {
+            let name = toks[i + 3].text.clone();
+            let mut lints = Vec::new();
+            let mut depth = 1i64;
+            let mut j = i + 3;
+            while j < toks.len() && depth > 0 {
+                match toks[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => depth -= 1,
+                    _ => {
+                        if toks[j].kind == TokenKind::Ident && j > i + 3 {
+                            lints.push(toks[j].text.clone());
+                        }
+                    }
+                }
+                j += 1;
+            }
+            attrs.push((name, lints));
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    attrs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scanned(path: &str, src: &str) -> ScannedFile {
+        ScannedFile::new(path, src)
+    }
+
+    #[test]
+    fn unsafe_outside_the_allowlist_is_denied() {
+        let files = vec![scanned(
+            "crates/sim/src/events.rs",
+            "fn f() { unsafe { fast_path() } }\n",
+        )];
+        let findings = check_sources(&files);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "unsafe-allowlist");
+        assert_eq!(findings[0].line, 1);
+    }
+
+    #[test]
+    fn unsafe_in_an_allowlisted_module_needs_a_safety_comment() {
+        let bare = scanned(
+            "crates/engine/src/pool.rs",
+            "fn f() {\n    unsafe { write() }\n}\n",
+        );
+        let findings = check_sources(&[bare]);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "safety-comment");
+
+        let justified = scanned(
+            "crates/engine/src/pool.rs",
+            "fn f() {\n    // SAFETY: the cursor hands out disjoint ranges.\n    unsafe { write() }\n}\n",
+        );
+        assert!(check_sources(&[justified]).is_empty());
+    }
+
+    #[test]
+    fn safety_doc_section_counts_for_unsafe_fns() {
+        let file = scanned(
+            "crates/engine/src/cache.rs",
+            "/// Maps the file.\n///\n/// # Safety\n///\n/// Caller must keep `fd` open.\nunsafe fn map_it() {}\n",
+        );
+        assert!(check_sources(&[file]).is_empty());
+    }
+
+    #[test]
+    fn a_distant_safety_comment_does_not_count() {
+        let file = scanned(
+            "crates/engine/src/pool.rs",
+            "// SAFETY: stale justification far above.\n\n\n\n\n\n\nfn f() { unsafe { w() } }\n",
+        );
+        let findings = check_sources(&[file]);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "safety-comment");
+    }
+
+    #[test]
+    fn the_word_unsafe_in_strings_and_comments_is_ignored() {
+        let file = scanned(
+            "crates/sim/src/events.rs",
+            "// this is unsafe to do\nfn f() { let s = \"unsafe\"; }\n",
+        );
+        assert!(check_sources(&[file]).is_empty());
+    }
+
+    #[test]
+    fn crate_roots_must_forbid_unsafe_code() {
+        let roots = vec![CrateRoot {
+            crate_name: "zeroconf-sim".to_owned(),
+            path: "crates/sim/src/lib.rs".to_owned(),
+        }];
+        let missing = vec![scanned("crates/sim/src/lib.rs", "//! Sim crate.\n")];
+        let findings = check_crate_roots(&roots, &missing);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "unsafe-header");
+
+        let present = vec![scanned(
+            "crates/sim/src/lib.rs",
+            "//! Sim crate.\n#![forbid(unsafe_code)]\n",
+        )];
+        assert!(check_crate_roots(&roots, &present).is_empty());
+    }
+
+    #[test]
+    fn the_engine_must_deny_unsafe_op_in_unsafe_fn_not_forbid_unsafe() {
+        let roots = vec![CrateRoot {
+            crate_name: UNSAFE_CRATE.to_owned(),
+            path: "crates/engine/src/lib.rs".to_owned(),
+        }];
+        let wrong = vec![scanned(
+            "crates/engine/src/lib.rs",
+            "#![forbid(unsafe_code)]\n",
+        )];
+        let findings = check_crate_roots(&roots, &wrong);
+        assert_eq!(findings.len(), 2, "missing deny + forbidden forbid");
+
+        let right = vec![scanned(
+            "crates/engine/src/lib.rs",
+            "#![deny(unsafe_op_in_unsafe_fn)]\n",
+        )];
+        assert!(check_crate_roots(&roots, &right).is_empty());
+    }
+}

@@ -1,0 +1,595 @@
+//! Token-level scanning of Rust source text.
+//!
+//! The audit rules need just enough lexical structure to tell *code*
+//! apart from *comments* and *string literals*: a `.unwrap()` inside a
+//! doc example or a fixture string is not a violation, and a `SAFETY:`
+//! justification lives in a comment. A full parser would be overkill (and
+//! would drag in a dependency the offline build cannot have), so this
+//! module implements a small hand-rolled lexer producing a flat token
+//! stream with line numbers, plus a pass that recovers the line spans of
+//! `#[cfg(test)]`-gated items so rules can exempt test code.
+//!
+//! The lexer understands line and nested block comments, string / raw
+//! string / byte-string / char literals, lifetimes, numbers and
+//! identifiers; everything else is single-character punctuation. It is
+//! intentionally forgiving: unterminated constructs extend to the end of
+//! the file rather than erroring, because the audit must never be the
+//! thing that panics on weird input.
+
+/// The lexical class of one [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (including raw `r#ident` forms).
+    Ident,
+    /// A single punctuation character.
+    Punct,
+    /// A string, raw-string, byte-string or character literal. `text`
+    /// keeps the raw source spelling, quotes and escapes included.
+    Literal,
+    /// A numeric literal (integer or float, suffix included).
+    Number,
+    /// A line or block comment, comment markers included.
+    Comment,
+    /// A lifetime such as `'a`.
+    Lifetime,
+}
+
+/// One lexed token with its (1-based) source line span.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+    pub end_line: u32,
+}
+
+/// Lexes `source` into a flat token stream.
+pub fn tokenize(source: &str) -> Vec<Token> {
+    Lexer {
+        bytes: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphabetic()
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ if b.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'r' | b'b' if self.string_prefix_len().is_some() => {
+                    let skip = self.string_prefix_len().unwrap_or(0);
+                    self.raw_or_prefixed_string(skip);
+                }
+                b'"' => self.string_literal(),
+                b'\'' => self.char_or_lifetime(),
+                _ if b.is_ascii_digit() => self.number(),
+                _ if is_ident_start(b) => self.ident(),
+                _ => {
+                    self.push(TokenKind::Punct, self.pos, self.pos + 1, self.line);
+                    self.pos += 1;
+                }
+            }
+        }
+        self.tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, end: usize, start_line: u32) {
+        let text = String::from_utf8_lossy(&self.bytes[start..end]).into_owned();
+        self.tokens.push(Token {
+            kind,
+            text,
+            line: start_line,
+            end_line: self.line,
+        });
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        self.push(TokenKind::Comment, start, self.pos, self.line);
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        let start_line = self.line;
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            match self.bytes[self.pos] {
+                b'\n' => self.line += 1,
+                b'/' if self.peek(1) == Some(b'*') => {
+                    depth += 1;
+                    self.pos += 1;
+                }
+                b'*' if self.peek(1) == Some(b'/') => {
+                    depth -= 1;
+                    self.pos += 1;
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+        self.push(TokenKind::Comment, start, self.pos, start_line);
+    }
+
+    /// If the cursor sits on a string prefix (`r"`, `r#"`, `b"`, `b'`,
+    /// `br"`, `br#"`), the number of prefix bytes before the hashes /
+    /// quote; `None` when this is an ordinary identifier.
+    fn string_prefix_len(&self) -> Option<usize> {
+        let rest = &self.bytes[self.pos..];
+        let after = |n: usize| -> &[u8] { rest.get(n..).unwrap_or(&[]) };
+        let starts_raw = |tail: &[u8]| -> bool {
+            let hashes = tail.iter().take_while(|&&b| b == b'#').count();
+            // `r#ident` has an identifier, not a quote, after the hash.
+            tail.get(hashes) == Some(&b'"')
+        };
+        match rest {
+            [b'r', ..] if starts_raw(after(1)) => Some(1),
+            [b'b', b'r', ..] if starts_raw(after(2)) => Some(2),
+            [b'b', b'"', ..] => Some(1),
+            [b'b', b'\'', ..] => Some(1),
+            _ => None,
+        }
+    }
+
+    /// A string with a prefix: raw (`r`/`br`, hash-delimited), byte
+    /// (`b"..."`, escape rules like a normal string) or byte char
+    /// (`b'.'`).
+    fn raw_or_prefixed_string(&mut self, prefix: usize) {
+        let start = self.pos;
+        let start_line = self.line;
+        self.pos += prefix;
+        if self.bytes.get(self.pos) == Some(&b'\'') {
+            // b'x' byte char: delegate to the escape-aware scanner.
+            self.pos += 1;
+            self.quoted(b'\'');
+            self.push(TokenKind::Literal, start, self.pos, start_line);
+            return;
+        }
+        let hashes = self.bytes[self.pos..]
+            .iter()
+            .take_while(|&&b| b == b'#')
+            .count();
+        self.pos += hashes;
+        if hashes == 0 {
+            // b"..." — escapes apply.
+            self.pos += 1;
+            self.quoted(b'"');
+        } else {
+            // r#"..."# — no escapes; ends at `"` + same number of hashes.
+            self.pos += 1; // opening quote
+            while self.pos < self.bytes.len() {
+                let b = self.bytes[self.pos];
+                if b == b'\n' {
+                    self.line += 1;
+                } else if b == b'"'
+                    && self.bytes[self.pos + 1..]
+                        .iter()
+                        .take(hashes)
+                        .filter(|&&h| h == b'#')
+                        .count()
+                        == hashes
+                {
+                    self.pos += 1 + hashes;
+                    break;
+                }
+                self.pos += 1;
+            }
+        }
+        self.push(TokenKind::Literal, start, self.pos, start_line);
+    }
+
+    fn string_literal(&mut self) {
+        let start = self.pos;
+        let start_line = self.line;
+        self.pos += 1;
+        self.quoted(b'"');
+        self.push(TokenKind::Literal, start, self.pos, start_line);
+    }
+
+    /// Advances past the body and closing delimiter of an escape-aware
+    /// quoted literal; the opening delimiter is already consumed.
+    fn quoted(&mut self, close: u8) {
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b'\\' => self.pos += 2,
+                b if b == close => {
+                    self.pos += 1;
+                    return;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let start = self.pos;
+        let start_line = self.line;
+        if let Some(next) = self.peek(1) {
+            if is_ident_start(next) {
+                // `'a'` is a char literal; `'a` (no closing quote after
+                // the ident run) is a lifetime.
+                let mut end = self.pos + 2;
+                while self.bytes.get(end).copied().is_some_and(is_ident_continue) {
+                    end += 1;
+                }
+                if self.bytes.get(end) == Some(&b'\'') {
+                    self.pos = end + 1;
+                    self.push(TokenKind::Literal, start, self.pos, start_line);
+                } else {
+                    self.pos = end;
+                    self.push(TokenKind::Lifetime, start, self.pos, start_line);
+                }
+                return;
+            }
+        }
+        // Escape or symbol char literal: '\n', '\'', '{', …
+        self.pos += 1;
+        self.quoted(b'\'');
+        self.push(TokenKind::Literal, start, self.pos, start_line);
+    }
+
+    fn number(&mut self) {
+        let start = self.pos;
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            let previous = self.bytes[self.pos - 1];
+            if is_ident_continue(b) {
+                self.pos += 1;
+            } else if b == b'.' && self.peek(1).is_some_and(|n| n.is_ascii_digit()) {
+                // `1.5` continues the number; `1..n` does not.
+                self.pos += 1;
+            } else if (b == b'+' || b == b'-') && (previous == b'e' || previous == b'E') {
+                // The sign of an exponent: `1.5e-3`.
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Number, start, self.pos, self.line);
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .copied()
+            .is_some_and(is_ident_continue)
+        {
+            self.pos += 1;
+        }
+        self.push(TokenKind::Ident, start, self.pos, self.line);
+    }
+}
+
+/// One scanned source file: workspace-relative path, token stream and the
+/// line spans of its `#[cfg(test)]`-gated items.
+#[derive(Debug)]
+pub struct ScannedFile {
+    pub path: String,
+    pub tokens: Vec<Token>,
+    pub test_regions: Vec<(u32, u32)>,
+}
+
+impl ScannedFile {
+    pub fn new(path: impl Into<String>, source: &str) -> ScannedFile {
+        let tokens = tokenize(source);
+        let test_regions = test_regions(&tokens);
+        ScannedFile {
+            path: path.into(),
+            tokens,
+            test_regions,
+        }
+    }
+
+    /// Whether `line` falls inside a `#[cfg(test)]`-gated item.
+    pub fn in_test_region(&self, line: u32) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(start, end)| (start..=end).contains(&line))
+    }
+
+    /// The code tokens (comments stripped), for rules that match on
+    /// syntax rather than commentary.
+    pub fn code_tokens(&self) -> Vec<&Token> {
+        self.tokens
+            .iter()
+            .filter(|t| t.kind != TokenKind::Comment)
+            .collect()
+    }
+}
+
+/// The line spans of `#[cfg(test)]`-gated items: from the attribute to
+/// the closing brace (or semicolon) of the item it gates.
+///
+/// An attribute counts as test-gating when it is `cfg(…)` with a `test`
+/// predicate and no `not(…)` — `#[cfg(not(test))]` gates *non*-test code
+/// and `#[cfg_attr(…)]` gates nothing.
+pub fn test_regions(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let toks: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| t.kind != TokenKind::Comment)
+        .collect();
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let Some((idents, after_attr)) = attribute_at(&toks, i) else {
+            i += 1;
+            continue;
+        };
+        let is_test = idents.first().map(String::as_str) == Some("cfg")
+            && idents.iter().any(|id| id == "test")
+            && !idents.iter().any(|id| id == "not");
+        if !is_test {
+            i = after_attr;
+            continue;
+        }
+        let start_line = toks[i].line;
+        // Skip any further attributes between the cfg and the item.
+        let mut k = after_attr;
+        while let Some((_, next)) = attribute_at(&toks, k) {
+            k = next;
+        }
+        // The item body: everything to the first top-level `{ … }` block
+        // or, for brace-free items like `mod tests;`, the semicolon.
+        let mut paren_depth = 0i64;
+        let mut end_line = toks.get(k.saturating_sub(1)).map_or(start_line, |t| t.line);
+        while k < toks.len() {
+            let t = toks[k];
+            end_line = t.end_line;
+            match t.text.as_str() {
+                "(" | "[" => paren_depth += 1,
+                ")" | "]" => paren_depth -= 1,
+                ";" if paren_depth == 0 => break,
+                "{" if paren_depth == 0 => {
+                    let mut brace_depth = 0i64;
+                    while k < toks.len() {
+                        match toks[k].text.as_str() {
+                            "{" => brace_depth += 1,
+                            "}" => {
+                                brace_depth -= 1;
+                                if brace_depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        end_line = toks[k].end_line;
+                        k += 1;
+                    }
+                    end_line = toks.get(k).map_or(end_line, |t| t.end_line);
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        regions.push((start_line, end_line));
+        i = k + 1;
+    }
+    regions
+}
+
+/// If `toks[i]` starts an outer attribute `#[…]`, the identifiers inside
+/// it and the index just past the closing `]`.
+fn attribute_at(toks: &[&Token], i: usize) -> Option<(Vec<String>, usize)> {
+    if toks.get(i)?.text != "#" || toks.get(i + 1)?.text != "[" {
+        return None;
+    }
+    let mut idents = Vec::new();
+    let mut depth = 0i64;
+    let mut j = i + 1;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((idents, j + 1));
+                }
+            }
+            _ if toks[j].kind == TokenKind::Ident => idents.push(toks[j].text.clone()),
+            _ => {}
+        }
+        j += 1;
+    }
+    // Unterminated attribute: treat as consuming the rest of the file.
+    Some((idents, toks.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<(TokenKind, String)> {
+        tokenize(source)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_single_tokens() {
+        let toks = kinds("let x = \"a.unwrap()\"; // panic!\n/* unsafe */ y");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "let".to_owned()),
+                (TokenKind::Ident, "x".to_owned()),
+                (TokenKind::Punct, "=".to_owned()),
+                (TokenKind::Literal, "\"a.unwrap()\"".to_owned()),
+                (TokenKind::Punct, ";".to_owned()),
+                (TokenKind::Comment, "// panic!".to_owned()),
+                (TokenKind::Comment, "/* unsafe */".to_owned()),
+                (TokenKind::Ident, "y".to_owned()),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_and_byte_strings_lex_as_literals() {
+        let toks = kinds(r##"a b"bytes" r"raw" r#"ra"w"# br#"braw"# b'x' c"##);
+        let literals: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Literal)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(
+            literals,
+            vec![
+                "b\"bytes\"",
+                "r\"raw\"",
+                "r#\"ra\"w\"#",
+                "br#\"braw\"#",
+                "b'x'"
+            ]
+        );
+        assert_eq!(toks.last().map(|(_, t)| t.as_str()), Some("c"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_strings() {
+        let toks = kinds("r#type = 1");
+        assert_eq!(toks[0], (TokenKind::Ident, "r".to_owned()));
+        // `r#type` lexes as r + # + type — good enough: nothing here is
+        // mistaken for a string literal.
+        assert!(toks.iter().all(|(k, _)| *k != TokenKind::Literal));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'y'; let n = '\\n'; }");
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        let chars: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Literal)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(chars, vec!["'y'", "'\\n'"]);
+    }
+
+    #[test]
+    fn multiline_strings_track_line_numbers() {
+        let toks = tokenize("let s = \"one\n  two\";\nnext");
+        let next = toks.iter().find(|t| t.text == "next").expect("next token");
+        assert_eq!(next.line, 3);
+        let s = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::Literal)
+            .expect("string");
+        assert_eq!((s.line, s.end_line), (1, 2));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let toks = kinds("for i in 0..n_max { let x = 1.5e-3f64; }");
+        assert!(toks.contains(&(TokenKind::Number, "0".to_owned())));
+        assert!(toks.contains(&(TokenKind::Number, "1.5e-3f64".to_owned())));
+    }
+
+    #[test]
+    fn cfg_test_mod_region_covers_the_block() {
+        let src = "\
+fn live() {}\n\
+#[cfg(test)]\n\
+mod tests {\n\
+    #[test]\n\
+    fn t() { x.unwrap(); }\n\
+}\n\
+fn live_too() {}\n";
+        let file = ScannedFile::new("x.rs", src);
+        assert_eq!(file.test_regions, vec![(2, 6)]);
+        assert!(!file.in_test_region(1));
+        assert!(file.in_test_region(5));
+        assert!(!file.in_test_region(7));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nfn shipping() { x.unwrap(); }\n";
+        let file = ScannedFile::new("x.rs", src);
+        assert!(file.test_regions.is_empty());
+    }
+
+    #[test]
+    fn cfg_attr_is_not_a_test_region() {
+        let src = "#[cfg_attr(not(test), allow(dead_code))]\nfn f() {}\n";
+        let file = ScannedFile::new("x.rs", src);
+        assert!(file.test_regions.is_empty());
+    }
+
+    #[test]
+    fn cfg_test_semicolon_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nmod fixtures;\nfn live() {}\n";
+        let file = ScannedFile::new("x.rs", src);
+        assert_eq!(file.test_regions, vec![(1, 2)]);
+        assert!(!file.in_test_region(3));
+    }
+
+    #[test]
+    fn stacked_attributes_still_find_the_item_body() {
+        let src = "\
+#[cfg(test)]\n\
+#[allow(clippy::unwrap_used)]\n\
+mod tests {\n\
+    fn t() {}\n\
+}\n";
+        let file = ScannedFile::new("x.rs", src);
+        assert_eq!(file.test_regions, vec![(1, 5)]);
+    }
+
+    #[test]
+    fn braces_inside_strings_do_not_confuse_regions() {
+        let src = "\
+#[cfg(test)]\n\
+mod tests {\n\
+    const S: &str = \"}\";\n\
+    fn t() {}\n\
+}\n\
+fn live() {}\n";
+        let file = ScannedFile::new("x.rs", src);
+        assert_eq!(file.test_regions, vec![(1, 5)]);
+        assert!(!file.in_test_region(6));
+    }
+}

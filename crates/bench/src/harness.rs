@@ -64,7 +64,7 @@ pub fn measure<T>(id: &str, samples: usize, mut f: impl FnMut() -> T) -> BenchRe
         }
         per_iter.push(start.elapsed().as_nanos() as f64 / iters as f64);
     }
-    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    per_iter.sort_by(f64::total_cmp);
     let median = per_iter[per_iter.len() / 2];
     let min = per_iter[0];
     let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;

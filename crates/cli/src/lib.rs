@@ -12,12 +12,15 @@
 //! zeroconf simulate  <scenario flags> --probes 4 --listen 2 --trials 100000 --seed 7
 //! zeroconf engine    [--workers N] [--cache N] [--cache-dir PATH] [--inflight N] [--stats]
 //!                    # JSON-lines on stdin/stdout
+//! zeroconf audit     [--deny-warnings] [--json] [--root PATH]
 //! ```
 //!
 //! All commands share the scenario flags (`--hosts` or `--occupancy`,
 //! `--probe-cost`, `--error-cost`, `--loss`, `--rate`, `--delay`). The
 //! library half of the crate (this module) does the parsing and rendering
 //! and is fully unit-tested; `main.rs` is a two-line shim.
+
+#![forbid(unsafe_code)]
 
 use std::sync::Arc;
 
@@ -149,6 +152,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "calibrate" => cmd_calibrate(&Flags::parse(rest)?),
         "simulate" => cmd_simulate(&Flags::parse(rest)?),
         "engine" => cmd_engine(rest),
+        "audit" => cmd_audit(rest),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(err(format!("unknown command '{other}'\n{}", usage()))),
     }
@@ -277,6 +281,47 @@ fn cmd_engine(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// The `audit` subcommand: the workspace static-analysis gate, run in
+/// process (the same engine as the standalone `zeroconf-audit` binary).
+/// Findings come back as the error so the process exits non-zero.
+fn cmd_audit(args: &[String]) -> Result<String, CliError> {
+    let mut deny_warnings = false;
+    let mut json = false;
+    let mut root: Option<std::path::PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--deny-warnings" => deny_warnings = true,
+            "--json" => json = true,
+            "--root" => {
+                root = Some(std::path::PathBuf::from(
+                    iter.next().ok_or_else(|| err("--root requires a path"))?,
+                ));
+            }
+            other => return Err(err(format!("unknown audit flag '{other}'"))),
+        }
+    }
+    let root = match root {
+        Some(root) => root,
+        None => {
+            let cwd = std::env::current_dir()
+                .map_err(|e| err(format!("cannot determine working directory: {e}")))?;
+            zeroconf_audit::find_workspace_root(&cwd).map_err(|e| err(e.to_string()))?
+        }
+    };
+    let report = zeroconf_audit::audit_workspace(&root).map_err(|e| err(e.to_string()))?;
+    let rendered = if json {
+        report.to_json()
+    } else {
+        report.to_text()
+    };
+    if report.fails(deny_warnings) {
+        Err(CliError(rendered))
+    } else {
+        Ok(rendered)
+    }
+}
+
 /// The usage text.
 pub fn usage() -> String {
     "usage: zeroconf <command> [flags]\n\
@@ -287,6 +332,7 @@ pub fn usage() -> String {
      \u{20}  calibrate  solve for (E, c) making a target (n, r) optimal\n\
      \u{20}  simulate   Monte-Carlo protocol runs with latency percentiles\n\
      \u{20}  engine     batched JSON-lines grid evaluation on stdin/stdout\n\
+     \u{20}  audit      workspace static-analysis gate (unsafe, panics, invariants)\n\
      scenario flags (all commands):\n\
      \u{20}  --hosts N | --occupancy Q, --probe-cost C, --error-cost E,\n\
      \u{20}  --loss P, --rate LAMBDA, --delay D\n\
@@ -298,6 +344,7 @@ pub fn usage() -> String {
      \u{20}  optimize: [--n-max N] [--r-max R]\n\
      \u{20}  engine: [--workers N] [--cache TABLES] [--cache-dir PATH] [--mmap]\n\
      \u{20}          [--inflight N] [--stats]\n\
+     \u{20}  audit: [--deny-warnings] [--json] [--root PATH]\n\
      example:\n\
      \u{20}  zeroconf optimize --hosts 1000 --probe-cost 2 --error-cost 1e35 \\\n\
      \u{20}           --loss 1e-15 --rate 10 --delay 1"
@@ -502,6 +549,27 @@ mod tests {
         let out = run(&args("help")).unwrap();
         assert!(out.contains("usage"));
         assert!(out.contains("optimize"));
+        assert!(out.contains("audit"));
+    }
+
+    #[test]
+    fn audit_passes_on_the_workspace_tree() {
+        let out = run(&args("audit --deny-warnings")).unwrap();
+        assert!(out.contains("0 finding(s)"), "{out}");
+    }
+
+    #[test]
+    fn audit_rejects_unknown_flags_and_missing_root_values() {
+        let e = run(&args("audit --fix")).unwrap_err();
+        assert!(e.0.contains("unknown audit flag"));
+        let e = run(&args("audit --root")).unwrap_err();
+        assert!(e.0.contains("--root requires a path"));
+    }
+
+    #[test]
+    fn audit_json_renders_an_array() {
+        let out = run(&args("audit --json")).unwrap();
+        assert_eq!(out, "[]", "a clean tree renders an empty JSON array");
     }
 
     #[test]

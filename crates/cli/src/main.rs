@@ -1,6 +1,8 @@
 //! The `zeroconf` binary: see [`zeroconf_cli::usage`] or run
 //! `zeroconf help`.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 fn main() -> ExitCode {

@@ -48,6 +48,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod calibrate;
 pub mod cost;
 pub mod drm;

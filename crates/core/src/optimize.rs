@@ -115,18 +115,18 @@ pub fn optimal_probe_count(
             what: "n_max must be at least 1",
         });
     }
-    let mut best: Option<OptimalListening> = None;
-    for n in 1..=config.n_max {
+    let mut best = OptimalListening {
+        n: 1,
+        r,
+        cost: cost::mean_cost(scenario, 1, r)?,
+    };
+    for n in 2..=config.n_max {
         let c = cost::mean_cost(scenario, n, r)?;
-        let better = match &best {
-            None => true,
-            Some(b) => c < b.cost,
-        };
-        if better {
-            best = Some(OptimalListening { n, r, cost: c });
+        if c < best.cost {
+            best = OptimalListening { n, r, cost: c };
         }
     }
-    Ok(best.expect("n_max >= 1 guarantees at least one candidate"))
+    Ok(best)
 }
 
 /// `C_min(r) = C(N(r), r)`: the lower envelope of all cost curves
@@ -159,26 +159,22 @@ pub fn joint_optimum(
     config: &OptimizeConfig,
 ) -> Result<JointOptimum, CostError> {
     check_config(config)?;
-    let mut per_probe_count = Vec::new();
-    let mut best: Option<OptimalListening> = None;
+    let mut best = optimal_listening(scenario, 1, config)?;
+    let mut per_probe_count = vec![best];
     let mut worsening_streak = 0;
-    for n in 1..=config.n_max {
+    for n in 2..=config.n_max {
         let candidate = optimal_listening(scenario, n, config)?;
         per_probe_count.push(candidate);
-        match &best {
-            Some(incumbent) if candidate.cost >= incumbent.cost => {
-                worsening_streak += 1;
-                if worsening_streak >= 4 {
-                    break;
-                }
+        if candidate.cost >= best.cost {
+            worsening_streak += 1;
+            if worsening_streak >= 4 {
+                break;
             }
-            _ => {
-                worsening_streak = 0;
-                best = Some(candidate);
-            }
+        } else {
+            worsening_streak = 0;
+            best = candidate;
         }
     }
-    let best = best.expect("loop runs at least once");
     Ok(JointOptimum {
         n: best.n,
         r: best.r,

@@ -93,11 +93,9 @@ pub fn pareto_frontier(
 #[must_use]
 pub fn frontier_from_candidates(mut candidates: Vec<ParetoPoint>) -> Vec<ParetoPoint> {
     candidates.sort_by(|a, b| {
-        a.cost.partial_cmp(&b.cost).expect("costs are finite").then(
-            a.error_probability
-                .partial_cmp(&b.error_probability)
-                .expect("probabilities are finite"),
-        )
+        a.cost
+            .total_cmp(&b.cost)
+            .then(a.error_probability.total_cmp(&b.error_probability))
     });
     let mut frontier: Vec<ParetoPoint> = Vec::new();
     let mut best_error = f64::INFINITY;

@@ -56,7 +56,7 @@ impl Empirical {
                 times.push(t);
             }
         }
-        times.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        times.sort_by(f64::total_cmp);
         Ok(Empirical { times, total })
     }
 

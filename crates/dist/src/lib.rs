@@ -46,6 +46,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod deterministic;
 mod empirical;
 mod error;

@@ -43,6 +43,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod absorbing;
 mod builder;
 mod chain;

@@ -191,24 +191,49 @@ pub(crate) mod disk {
     use std::io::Read;
     use std::path::{Path, PathBuf};
 
-    const MAGIC: &[u8; 8] = b"ZCPITAB2";
-    pub(super) const HEADER: usize = 32;
+    /// The spill-format magic: file format v2. The single source of
+    /// truth for these bytes — everything else (including the audit's
+    /// const-drift rule and the `spill_format` integration test) must
+    /// reference this constant.
+    pub const SPILL_MAGIC: &[u8; 8] = b"ZCPITAB2";
+    /// Spill header width in bytes: magic, fingerprint, r bits, count —
+    /// four 8-byte fields, so a page-aligned mapping keeps the slab
+    /// f64-aligned.
+    pub const SPILL_HEADER_LEN: usize = 32;
 
     pub(super) fn table_path(dir: &Path, fingerprint: u64, r_bits: u64) -> PathBuf {
         dir.join(format!("pi-{fingerprint:016x}-{r_bits:016x}.tbl"))
     }
 
+    /// Reads the little-endian u64 field at byte offset `at`. Callers
+    /// have already checked `bytes` is at least `at + 8` long.
+    fn le_u64(bytes: &[u8], at: usize) -> u64 {
+        let mut field = [0u8; 8];
+        field.copy_from_slice(&bytes[at..at + 8]);
+        u64::from_le_bytes(field)
+    }
+
+    /// Encodes a v2 spill header for a table of `count` entries with the
+    /// given identity. [`parse_header`] is its exact inverse.
+    pub fn encode_header(fingerprint: u64, r_bits: u64, count: u64) -> [u8; SPILL_HEADER_LEN] {
+        let mut header = [0u8; SPILL_HEADER_LEN];
+        header[..8].copy_from_slice(SPILL_MAGIC);
+        header[8..16].copy_from_slice(&fingerprint.to_le_bytes());
+        header[16..24].copy_from_slice(&r_bits.to_le_bytes());
+        header[24..32].copy_from_slice(&count.to_le_bytes());
+        header
+    }
+
     /// Validates a v2 header against the expected identity and returns
     /// the entry count. `None` for anything malformed or mismatched.
-    fn parse_header(bytes: &[u8], fingerprint: u64, r_bits: u64) -> Option<usize> {
-        if bytes.len() < HEADER || &bytes[..8] != MAGIC {
+    pub fn parse_header(bytes: &[u8], fingerprint: u64, r_bits: u64) -> Option<usize> {
+        if bytes.len() < SPILL_HEADER_LEN || &bytes[..8] != SPILL_MAGIC {
             return None;
         }
-        let field = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().expect("sized"));
-        if field(8) != fingerprint || field(16) != r_bits {
+        if le_u64(bytes, 8) != fingerprint || le_u64(bytes, 16) != r_bits {
             return None;
         }
-        usize::try_from(field(24)).ok()
+        usize::try_from(le_u64(bytes, 24)).ok()
     }
 
     /// Loads a spilled table covering at least `n_max + 1` entries into
@@ -217,15 +242,24 @@ pub(crate) mod disk {
     pub(super) fn load(path: &Path, fingerprint: u64, r_bits: u64, n_max: u32) -> Option<Vec<f64>> {
         let bytes = fs::read(path).ok()?;
         let count = parse_header(&bytes, fingerprint, r_bits)?;
-        if count <= n_max as usize || bytes.len() != HEADER.checked_add(count.checked_mul(8)?)? {
+        if count <= n_max as usize
+            || bytes.len() != SPILL_HEADER_LEN.checked_add(count.checked_mul(8)?)?
+        {
             return None;
         }
         Some(
-            bytes[HEADER..]
+            bytes[SPILL_HEADER_LEN..]
                 .chunks_exact(8)
-                .map(|chunk| f64::from_le_bytes(chunk.try_into().expect("exact chunks")))
+                .map(|chunk| f64::from_le_bytes(le_f64_bytes(chunk)))
                 .collect(),
         )
+    }
+
+    /// Copies one 8-byte chunk (from `chunks_exact(8)`) into an array.
+    fn le_f64_bytes(chunk: &[u8]) -> [u8; 8] {
+        let mut le = [0u8; 8];
+        le.copy_from_slice(chunk);
+        le
     }
 
     /// Spills `table`, best effort. Longest wins here too: a valid
@@ -238,11 +272,8 @@ pub(crate) mod disk {
         if stored_len(path, fingerprint, r_bits).is_some_and(|existing| existing >= table.len()) {
             return;
         }
-        let mut bytes = Vec::with_capacity(HEADER + table.len() * 8);
-        bytes.extend_from_slice(MAGIC);
-        bytes.extend_from_slice(&fingerprint.to_le_bytes());
-        bytes.extend_from_slice(&r_bits.to_le_bytes());
-        bytes.extend_from_slice(&(table.len() as u64).to_le_bytes());
+        let mut bytes = Vec::with_capacity(SPILL_HEADER_LEN + table.len() * 8);
+        bytes.extend_from_slice(&encode_header(fingerprint, r_bits, table.len() as u64));
         for value in table {
             bytes.extend_from_slice(&value.to_le_bytes());
         }
@@ -258,10 +289,10 @@ pub(crate) mod disk {
     /// malformed so a broken file never suppresses a spill.
     fn stored_len(path: &Path, fingerprint: u64, r_bits: u64) -> Option<usize> {
         let mut file = fs::File::open(path).ok()?;
-        let mut header = [0u8; HEADER];
+        let mut header = [0u8; SPILL_HEADER_LEN];
         file.read_exact(&mut header).ok()?;
         let count = parse_header(&header, fingerprint, r_bits)?;
-        let expected = (HEADER).checked_add(count.checked_mul(8)?)? as u64;
+        let expected = (SPILL_HEADER_LEN).checked_add(count.checked_mul(8)?)? as u64;
         (file.metadata().ok()?.len() == expected).then_some(count)
     }
 
@@ -296,7 +327,8 @@ pub(crate) mod disk {
     /// slab in place.
     ///
     /// The mapping is private and never written, so sharing it across
-    /// threads is sound; the slab pointer is `base + HEADER`, 8-aligned
+    /// threads is sound; the slab pointer is `base + SPILL_HEADER_LEN`,
+    /// 8-aligned
     /// because mappings are page-aligned and the header is 32 bytes.
     /// Unmapped on drop. `SIGBUS` on a truncated-under-us file is not a
     /// concern in practice: writers in this codebase never truncate a
@@ -308,18 +340,27 @@ pub(crate) mod disk {
         count: usize,
     }
 
+    // SAFETY: the mapping is private, read-only and never mutated after
+    // construction, so references to it can move between threads freely.
     #[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
     unsafe impl Send for MmapSlab {}
+    // SAFETY: same invariant — a read-only mapping is trivially
+    // data-race-free under shared access.
     #[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
     unsafe impl Sync for MmapSlab {}
 
     #[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
     impl MmapSlab {
         pub(crate) fn as_slice(&self) -> &[f64] {
-            let slab = unsafe { self.base.add(HEADER) };
+            // SAFETY: the constructor validated `mapped >= SPILL_HEADER_LEN`,
+            // so `base + SPILL_HEADER_LEN` stays inside the mapping.
+            let slab = unsafe { self.base.add(SPILL_HEADER_LEN) };
             debug_assert_eq!(slab.align_offset(std::mem::align_of::<f64>()), 0);
-            // Sound: the constructor validated `mapped == HEADER + count·8`,
-            // the mapping is read-only and private, and it lives until drop.
+            // SAFETY: the constructor validated
+            // `mapped == SPILL_HEADER_LEN + count·8`, the slab pointer is
+            // 8-aligned (page-aligned mapping + 32-byte header), and the
+            // read-only private mapping lives until drop, outliving the
+            // returned borrow of `self`.
             unsafe { std::slice::from_raw_parts(slab.cast::<f64>(), self.count) }
         }
     }
@@ -327,7 +368,9 @@ pub(crate) mod disk {
     #[cfg(all(unix, target_endian = "little", target_pointer_width = "64"))]
     impl Drop for MmapSlab {
         fn drop(&mut self) {
-            // Failure leaks the mapping, which is harmless.
+            // SAFETY: `base`/`mapped` are exactly the address and length
+            // mmap returned, unmapped exactly once (here); failure leaks
+            // the mapping, which is harmless.
             unsafe {
                 sys::munmap(self.base.cast(), self.mapped);
             }
@@ -351,9 +394,13 @@ pub(crate) mod disk {
 
         let file = fs::File::open(path).ok()?;
         let len = usize::try_from(file.metadata().ok()?.len()).ok()?;
-        if len < HEADER || !(len - HEADER).is_multiple_of(8) {
+        if len < SPILL_HEADER_LEN || !(len - SPILL_HEADER_LEN).is_multiple_of(8) {
             return None;
         }
+        // SAFETY: plain read-only private mapping of an open fd with the
+        // file's exact length; no requested address, zero offset. The fd
+        // stays open across the call and may close after — the mapping
+        // keeps the inode alive on its own.
         let base = unsafe {
             sys::mmap(
                 std::ptr::null_mut(),
@@ -373,9 +420,12 @@ pub(crate) mod disk {
             mapped: len,
             count: 0,
         };
-        let header = unsafe { std::slice::from_raw_parts(slab.base, HEADER) };
+        // SAFETY: `len >= SPILL_HEADER_LEN` was checked above, so the
+        // first header's worth of mapped bytes is readable; u8 has no
+        // alignment requirement.
+        let header = unsafe { std::slice::from_raw_parts(slab.base, SPILL_HEADER_LEN) };
         let count = parse_header(header, fingerprint, r_bits)?;
-        if count <= n_max as usize || len != HEADER.checked_add(count.checked_mul(8)?)? {
+        if count <= n_max as usize || len != SPILL_HEADER_LEN.checked_add(count.checked_mul(8)?)? {
             return None;
         }
         slab.count = count;

@@ -51,11 +51,23 @@
 //! # }
 //! ```
 
+// The engine is the workspace's one unsafe-bearing crate (see
+// `zeroconf-audit`): every unsafe operation inside an `unsafe fn` must
+// sit in its own block with its own SAFETY comment.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 mod cache;
 pub mod pipeline;
 mod pool;
 mod request;
 pub mod wire;
+
+/// The π-table spill-format constants and header codec, re-exported so
+/// format tests and tooling reference the single source of truth in
+/// `cache.rs` instead of respelling the bytes.
+pub mod spill {
+    pub use crate::cache::disk::{encode_header, parse_header, SPILL_HEADER_LEN, SPILL_MAGIC};
+}
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};

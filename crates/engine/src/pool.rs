@@ -57,6 +57,12 @@ struct SoaBuffer {
     len: usize,
     capacity: usize,
     taken: AtomicBool,
+    /// Debug-build ledger of handed-out column ranges: `column` asserts
+    /// each new claim is disjoint from every earlier one, turning a
+    /// scheduler bug (double-claimed chunk) into a panic instead of a
+    /// silent aliased write.
+    #[cfg(debug_assertions)]
+    claimed: Mutex<Vec<(usize, usize)>>,
 }
 
 // SAFETY: the raw pointer is only dereferenced through `column` (disjoint
@@ -73,6 +79,8 @@ impl SoaBuffer {
             len,
             capacity: slab.capacity(),
             taken: AtomicBool::new(false),
+            #[cfg(debug_assertions)]
+            claimed: Mutex::new(Vec::new()),
         }
     }
 
@@ -86,7 +94,23 @@ impl SoaBuffer {
     #[allow(clippy::mut_from_ref)]
     unsafe fn column(&self, start: usize, len: usize) -> &mut [f64] {
         debug_assert!(start + len <= self.len, "column outside the buffer");
-        std::slice::from_raw_parts_mut(self.base.add(start), len)
+        #[cfg(debug_assertions)]
+        {
+            let mut claimed = lock(&self.claimed);
+            for &(s, l) in claimed.iter() {
+                debug_assert!(
+                    start + len <= s || s + l <= start,
+                    "overlapping column claim: [{start}, {}) vs [{s}, {})",
+                    start + len,
+                    s + l
+                );
+            }
+            claimed.push((start, len));
+        }
+        // SAFETY: the caller upholds the contract above — in bounds and
+        // claimed by exactly one live caller — so this slice aliases no
+        // other reference to the slab.
+        unsafe { std::slice::from_raw_parts_mut(self.base.add(start), len) }
     }
 
     /// Reassembles the slab into an owned `Vec<f64>`. Must only be called
@@ -228,12 +252,14 @@ impl Job {
         let cells = (end - start) * n_max;
         // SAFETY: the chunk `[start, end)` was claimed by exactly one
         // worker via the atomic cursor, so this contiguous r-major span
-        // is unaliased; the chunk is within the r grid, so it is in
-        // bounds.
+        // of the costs buffer is unaliased; the chunk is within the r
+        // grid, so it is in bounds.
         let costs = self
             .costs
             .as_ref()
             .map(|b| unsafe { b.column(offset, cells) });
+        // SAFETY: same claim — the errors buffer's span for this chunk is
+        // equally unaliased and in bounds.
         let errors = self
             .errors
             .as_ref()
@@ -346,6 +372,20 @@ mod tests {
         let buffer = SoaBuffer::new(2);
         let _first = buffer.take();
         let _second = buffer.take();
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "overlapping column claim")]
+    fn overlapping_column_claims_panic_in_debug_builds() {
+        let buffer = SoaBuffer::new(6);
+        // SAFETY: deliberately violates the disjointness contract; the
+        // debug ledger must catch the second claim before any aliased
+        // slice is created.
+        unsafe {
+            let _a = buffer.column(0, 4);
+            let _b = buffer.column(2, 4);
+        }
     }
 
     #[test]

@@ -73,10 +73,11 @@ impl SweepRequest {
     /// at construction.
     #[must_use]
     pub fn new(scenario: Scenario, grid: GridSpec) -> SweepRequest {
-        SweepRequestBuilder::new()
-            .scenario(scenario)
-            .grid(grid)
-            .into_unvalidated()
+        SweepRequest {
+            scenario,
+            grid,
+            metrics: vec![Metric::MeanCost, Metric::ErrorProbability],
+        }
     }
 
     /// Starts a [`SweepRequestBuilder`] — the recommended way to construct
@@ -211,35 +212,28 @@ impl SweepRequestBuilder {
     /// missing, or when [`SweepRequest::validate`] rejects the grid or
     /// metric selection.
     pub fn build(self) -> Result<SweepRequest, EngineError> {
-        if self.scenario.is_none() {
+        let Some(scenario) = self.scenario else {
             return Err(EngineError::InvalidRequest {
                 what: "builder needs a scenario".to_owned(),
             });
-        }
-        if self.grid.is_none() {
+        };
+        let Some(grid) = self.grid else {
             return Err(EngineError::InvalidRequest {
                 what: "builder needs a grid".to_owned(),
             });
-        }
-        let request = self.into_unvalidated();
-        request.validate()?;
-        Ok(request)
-    }
-
-    /// The shared assembly step behind `build()` and the unvalidated
-    /// [`SweepRequest::new`] shim. Missing parts become zero-size
-    /// placeholders that `validate()` rejects.
-    fn into_unvalidated(self) -> SweepRequest {
+        };
         let metrics = if self.metrics.is_empty() {
             vec![Metric::MeanCost, Metric::ErrorProbability]
         } else {
             self.metrics
         };
-        SweepRequest {
-            scenario: self.scenario.expect("scenario set by every caller"),
-            grid: self.grid.expect("grid set by every caller"),
+        let request = SweepRequest {
+            scenario,
+            grid,
             metrics,
-        }
+        };
+        request.validate()?;
+        Ok(request)
     }
 }
 

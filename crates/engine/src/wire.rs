@@ -559,7 +559,7 @@ pub fn parse_request_line(line: &str) -> Result<WireRequest, WireError> {
 #[must_use]
 pub fn response_line(id: &str, response: &SweepResponse) -> String {
     let mut out = String::with_capacity(64 + response.landscape.len() * 64);
-    out.push_str("{\"v\":1,\"id\":\"");
+    out.push_str(&format!("{{\"v\":{WIRE_VERSION},\"id\":\""));
     out.push_str(&escape(id));
     out.push_str("\",\"cells\":[");
     for (i, cell) in response.landscape.iter().enumerate() {
@@ -589,7 +589,7 @@ pub fn response_line(id: &str, response: &SweepResponse) -> String {
 #[must_use]
 pub fn error_line(id: &str, error: &EngineError) -> String {
     format!(
-        "{{\"v\":1,\"id\":\"{}\",\"error\":\"{}\"}}",
+        "{{\"v\":{WIRE_VERSION},\"id\":\"{}\",\"error\":\"{}\"}}",
         escape(id),
         escape(&error.to_string())
     )
@@ -600,7 +600,7 @@ pub fn error_line(id: &str, error: &EngineError) -> String {
 #[must_use]
 pub fn cancel_line(id: &str, of: &str) -> String {
     format!(
-        "{{\"v\":1,\"id\":\"{}\",\"cancelled\":\"{}\"}}",
+        "{{\"v\":{WIRE_VERSION},\"id\":\"{}\",\"cancelled\":\"{}\"}}",
         escape(id),
         escape(of)
     )
@@ -745,7 +745,7 @@ impl PipelinedSession {
             .collect::<Vec<String>>()
             .join(",");
         format!(
-            "{{\"v\":1,\"stats\":{{\"requests\":{},\"cells\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_len\":{},\"cells_per_worker\":[{}],\"wall_ns\":{},\
+            "{{\"v\":{WIRE_VERSION},\"stats\":{{\"requests\":{},\"cells\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_len\":{},\"cells_per_worker\":[{}],\"wall_ns\":{},\
              \"pipeline\":{{\"depth\":{},\"submitted\":{},\"completed\":{},\"cancelled\":{},\"failed\":{},\
              \"queue_ns_total\":{},\"queue_ns_max\":{},\"service_ns_total\":{},\"service_ns_max\":{}}}}}}}",
             s.requests,

@@ -1,0 +1,99 @@
+//! The runtime twin of the audit's const-drift rule: the `ZCPITAB2`
+//! spill header round-trips through the single-source-of-truth constants
+//! re-exported in [`zeroconf_engine::spill`], and the header of a *real*
+//! engine spill is byte-for-byte what the public codec encodes.
+//!
+//! The fixture literals below are deliberate: if the constants in
+//! `engine/cache.rs` ever change, this test is what notices that the
+//! on-disk format changed with them.
+
+use std::path::PathBuf;
+
+use zeroconf_cost::paper;
+use zeroconf_engine::spill::{encode_header, parse_header, SPILL_HEADER_LEN, SPILL_MAGIC};
+use zeroconf_engine::{Engine, EngineConfig, GridSpec, SweepRequest};
+
+#[test]
+fn the_spill_constants_pin_the_on_disk_format() {
+    assert_eq!(SPILL_MAGIC, b"ZCPITAB2");
+    assert_eq!(SPILL_HEADER_LEN, 32);
+}
+
+#[test]
+fn headers_round_trip_through_the_codec() {
+    let header = encode_header(0xDEAD_BEEF_0123_4567, 0x3FF0_0000_0000_0000, 42);
+    assert_eq!(header.len(), SPILL_HEADER_LEN);
+    assert_eq!(&header[..8], SPILL_MAGIC);
+    assert_eq!(
+        parse_header(&header, 0xDEAD_BEEF_0123_4567, 0x3FF0_0000_0000_0000),
+        Some(42)
+    );
+}
+
+#[test]
+fn mismatched_identity_is_rejected() {
+    let header = encode_header(1, 2, 3);
+    assert_eq!(parse_header(&header, 9, 2), None, "wrong fingerprint");
+    assert_eq!(parse_header(&header, 1, 9), None, "wrong r bits");
+}
+
+#[test]
+fn malformed_headers_are_rejected() {
+    let good = encode_header(1, 2, 3);
+    assert_eq!(
+        parse_header(&good[..SPILL_HEADER_LEN - 1], 1, 2),
+        None,
+        "truncated header"
+    );
+    let mut old_version = good;
+    old_version[7] = b'1'; // a ZCPITAB1 file: upgraded, never read
+    assert_eq!(parse_header(&old_version, 1, 2), None, "v1 magic");
+}
+
+#[test]
+fn a_real_engine_spill_starts_with_the_encoded_header() {
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("zeroconf-spill-format-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let scenario = paper::figure2_scenario().unwrap();
+    let fingerprint = scenario.reply_time().fingerprint();
+    let n_max = 6;
+    let engine = Engine::new(EngineConfig {
+        workers: 1,
+        cache_dir: Some(dir.clone()),
+        ..EngineConfig::default()
+    });
+    let request = SweepRequest::new(scenario, GridSpec::linspace(n_max, 0.5, 2.0, 3));
+    engine.evaluate(&request).unwrap();
+
+    let mut spills = 0;
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        // File names carry the identity: pi-<fingerprint>-<r bits>.tbl.
+        let mut parts = name
+            .strip_prefix("pi-")
+            .unwrap()
+            .strip_suffix(".tbl")
+            .unwrap()
+            .split('-');
+        let file_fingerprint = u64::from_str_radix(parts.next().unwrap(), 16).unwrap();
+        let r_bits = u64::from_str_radix(parts.next().unwrap(), 16).unwrap();
+        assert_eq!(file_fingerprint, fingerprint);
+
+        let bytes = std::fs::read(&path).unwrap();
+        let count = parse_header(&bytes, fingerprint, r_bits)
+            .expect("every spill the engine writes parses with the public codec");
+        assert!(count > n_max as usize, "table covers the sweep's n range");
+        assert_eq!(bytes.len(), SPILL_HEADER_LEN + count * 8);
+        // The header is byte-for-byte what encode_header produces.
+        assert_eq!(
+            &bytes[..SPILL_HEADER_LEN],
+            &encode_header(fingerprint, r_bits, count as u64)
+        );
+        spills += 1;
+    }
+    assert_eq!(spills, 3, "one spill per r column");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -30,6 +30,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod ascii;
 mod chart;
 pub mod csv;

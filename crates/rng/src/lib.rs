@@ -34,6 +34,8 @@
 //! assert!(k < 10);
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::ops::Range;
 
 /// An object-safe source of random 64-bit words.

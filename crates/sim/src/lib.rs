@@ -56,6 +56,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod address;
 mod error;
 pub mod events;

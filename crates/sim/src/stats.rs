@@ -293,8 +293,7 @@ impl Quantiles {
             return None;
         }
         if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            self.samples.sort_by(f64::total_cmp);
             self.sorted = true;
         }
         let idx =

@@ -54,10 +54,9 @@ impl PartialOrd for SimTime {
 
 impl Ord for SimTime {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Invariant: both values are finite, so partial_cmp never fails.
-        self.0
-            .partial_cmp(&other.0)
-            .expect("SimTime values are always finite")
+        // Both values are finite (enforced by the constructor), so the
+        // IEEE total order coincides with the numeric order.
+        self.0.total_cmp(&other.0)
     }
 }
 

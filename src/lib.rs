@@ -39,6 +39,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use zeroconf_cost as cost;
 pub use zeroconf_dist as dist;
 pub use zeroconf_dtmc as dtmc;
