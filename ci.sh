@@ -133,4 +133,114 @@ for path in sys.argv[1:]:
 print("ci: bench reports validated:", ", ".join(sys.argv[1:]))
 PY
 
+echo "==> zeroconf serve smoke test (unix socket, two clients, mid-flight disconnect, SIGTERM drain)"
+# The daemon on a Unix socket, driven by two concurrent clients with
+# interleaved pipelined sweeps and rescores. One client disconnects with
+# work still in flight (its requests must be withdrawn, nobody else's);
+# the survivor keeps pipelining across a SIGTERM, which must drain every
+# in-flight response losslessly, unlink the socket and exit 0.
+SERVE_SOCK="$PWD/target/ci-serve.sock"
+SERVE_LOG="$PWD/target/ci-serve.log"
+rm -f "$SERVE_SOCK" "$SERVE_LOG"
+./target/release/zeroconf serve --unix "$SERVE_SOCK" --workers 2 --inflight 4 \
+  >"$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+python3 - "$SERVE_SOCK" "$SERVE_PID" <<'PY'
+import json, os, signal, socket, sys, time
+
+sock_path, pid = sys.argv[1], int(sys.argv[2])
+
+deadline = time.time() + 10
+while not os.path.exists(sock_path):
+    if time.time() > deadline:
+        sys.exit("ci: serve daemon never created its socket")
+    time.sleep(0.05)
+
+SCENARIO = {
+    "q": 0.5,
+    "probe_cost": 2.0,
+    "error_cost": 1e6,
+    "reply_time": {"kind": "exponential", "loss": 1e-6, "rate": 10.0, "delay": 1.0},
+}
+
+def connect():
+    c = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    c.connect(sock_path)
+    c.settimeout(0.2)
+    return c
+
+def send(c, frame):
+    c.sendall((json.dumps(frame) + "\n").encode())
+
+def sweep(rid, n_max, r_points):
+    grid = {"n_max": n_max, "r_min": 0.1, "r_max": 30.0, "r_points": r_points}
+    return {"v": 1, "id": rid, "scenario": SCENARIO, "grid": grid}
+
+def rescore(rid, of):
+    return {"v": 1, "id": rid, "rescore": {"of": of, "error_cost": 1e9}}
+
+def read_ids(c, wanted, deadline_s=60):
+    buf, seen = b"", {}
+    end = time.time() + deadline_s
+    while set(wanted) - set(seen):
+        try:
+            chunk = c.recv(65536)
+        except socket.timeout:
+            if time.time() > end:
+                sys.exit(f"ci: serve drain never answered {set(wanted) - set(seen)}")
+            continue
+        if not chunk:
+            sys.exit(f"ci: serve closed before answering {set(wanted) - set(seen)}")
+        buf += chunk
+        while b"\n" in buf:
+            line, buf = buf.split(b"\n", 1)
+            row = json.loads(line)
+            if row.get("id") in wanted:
+                seen[row["id"]] = row
+    return seen
+
+survivor, victim = connect(), connect()
+# Interleaved pipelined load on both connections: sweeps with a rescore
+# of an in-flight base riding behind each.
+send(victim, sweep("v1", 64, 4000))
+send(victim, rescore("v2", "v1"))
+send(survivor, sweep("a1", 64, 4000))
+send(survivor, rescore("a2", "a1"))
+send(survivor, sweep("a3", 4, 60))
+time.sleep(0.15)
+# Mid-flight disconnect: the victim vanishes without reading anything.
+victim.close()
+time.sleep(0.1)
+# SIGTERM with the survivor's pipeline still loaded: lossless drain.
+os.kill(pid, signal.SIGTERM)
+rows = read_ids(survivor, {"a1", "a2", "a3"})
+for rid in ("a1", "a2", "a3"):
+    if "cells" not in rows[rid]:
+        sys.exit(f"ci: serve response for {rid} carries no landscape: {rows[rid]}")
+survivor.close()
+print("ci: serve answered the survivor's pipeline across disconnect and SIGTERM")
+PY
+SERVE_STATUS=0
+wait "$SERVE_PID" || SERVE_STATUS=$?
+if [[ "$SERVE_STATUS" != 0 ]]; then
+  echo "ci: serve daemon exited $SERVE_STATUS instead of draining cleanly" >&2
+  cat "$SERVE_LOG" >&2
+  exit 1
+fi
+grep -q "drained cleanly" "$SERVE_LOG" || {
+  echo "ci: serve daemon summary lacks the drain line" >&2
+  cat "$SERVE_LOG" >&2
+  exit 1
+}
+grep -q "withdrawn at disconnect" "$SERVE_LOG" || {
+  echo "ci: serve daemon summary lacks the withdrawal count" >&2
+  cat "$SERVE_LOG" >&2
+  exit 1
+}
+if [[ -e "$SERVE_SOCK" ]]; then
+  echo "ci: serve daemon left its socket file behind" >&2
+  exit 1
+fi
+rm -f "$SERVE_LOG"
+
 echo "ci: all gates passed"

@@ -15,11 +15,13 @@
 //! - [`rules::no_panic`] — no `unwrap`/`expect`/`panic!`/`todo!` in
 //!   library code outside `#[cfg(test)]`, with a justification-carrying
 //!   allowlist for the genuinely infallible expects;
-//! - [`rules::const_drift`] — the wire version and the `ZCPITAB2` spill
-//!   magic/header width each have exactly one definition, and no literal
-//!   copies drift elsewhere;
+//! - [`rules::const_drift`] — the wire version, the `ZCPITAB2` spill
+//!   magic/header width and the `BENCH_engine.json` row schema each have
+//!   exactly one definition, and no literal copies drift elsewhere;
 //! - [`rules::lockfile`] — `Cargo.lock` holds no duplicate versions and
-//!   no non-vendored sources, parsed fully offline.
+//!   no non-vendored sources, and its package set matches the reviewed
+//!   dependency manifest (`crates/audit/deps-manifest.txt`) — all parsed
+//!   fully offline.
 //!
 //! Scanning is token-level ([`scan`]): comments and string literals are
 //! real tokens, so a `.unwrap()` in a doc example is not a violation and
@@ -135,10 +137,27 @@ pub fn audit_workspace(root: &Path) -> Result<Report, AuditError> {
     // Rule 3: wire-format constant drift.
     findings.extend(rules::const_drift::check(&files));
 
-    // Rule 4: lockfile audit.
+    // Rule 4: lockfile audit, including the reviewed-manifest diff.
     let lock_path = root.join(rules::lockfile::LOCKFILE_PATH);
     match fs::read_to_string(&lock_path) {
-        Ok(lock) => findings.extend(rules::lockfile::check(&lock)),
+        Ok(lock) => {
+            findings.extend(rules::lockfile::check(&lock));
+            let manifest_path = root.join(rules::lockfile::MANIFEST_PATH);
+            match fs::read_to_string(&manifest_path) {
+                Ok(manifest) => {
+                    findings.extend(rules::lockfile::check_manifest(&lock, &manifest));
+                }
+                Err(e) => findings.push(Finding::deny(
+                    "lockfile",
+                    rules::lockfile::MANIFEST_PATH,
+                    0,
+                    format!(
+                        "the reviewed dependency manifest is unreadable ({e}) — \
+                         every lockfile package counts as unreviewed"
+                    ),
+                )),
+            }
+        }
         Err(e) => findings.push(Finding::deny(
             "lockfile",
             rules::lockfile::LOCKFILE_PATH,

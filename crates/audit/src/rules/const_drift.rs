@@ -1,18 +1,22 @@
-//! Rule 3 — wire-format constants have exactly one source of truth.
+//! Rule 3 — cross-boundary constants have exactly one source of truth.
 //!
-//! Two formats cross process (and machine) boundaries: the JSON-lines
-//! protocol version (`"v":1`, [`zeroconf_engine::wire::WIRE_VERSION`])
-//! and the π-table spill header (`ZCPITAB2` magic + 32-byte header,
-//! `SPILL_MAGIC` / `SPILL_HEADER_LEN` in `engine/cache.rs`). A literal
-//! copy of either that drifts from the constant corrupts data silently —
-//! a reader accepts a header the writer never produced, or a response
-//! claims a version the codec does not speak. This rule pins each
-//! constant to one definition site and bans literal copies elsewhere:
+//! Three formats cross process (and machine) boundaries: the JSON-lines
+//! protocol version (`"v":1`, [`zeroconf_engine::wire::WIRE_VERSION`]),
+//! the π-table spill header (`ZCPITAB2` magic + 32-byte header,
+//! `SPILL_MAGIC` / `SPILL_HEADER_LEN` in `engine/cache.rs`), and the
+//! `BENCH_engine.json` row schema (row labels and field names in
+//! `bench/schema.rs`, keyed on by trend tooling). A literal copy of any
+//! of these that drifts from the constant corrupts data silently — a
+//! reader accepts a header the writer never produced, a response claims
+//! a version the codec does not speak, a renamed bench row vanishes from
+//! a trend chart. This rule pins each constant to one definition site
+//! and bans literal copies elsewhere:
 //!
 //! - the named constants must each be defined exactly once, in their
 //!   designated file;
-//! - the `ZCPITAB` magic may appear in exactly one non-test string
-//!   literal (the definition itself);
+//! - each pinned literal (the `ZCPITAB` magic, the fixed bench row
+//!   labels, the distinctive bench field names) may appear in exactly
+//!   one non-test string literal — its own definition;
 //! - no non-test string literal may hardcode a `"v":<digit>` version —
 //!   JSON templates must interpolate `WIRE_VERSION`.
 //!
@@ -28,6 +32,55 @@ pub const PINNED_CONSTS: &[(&str, &str)] = &[
     ("SPILL_MAGIC", "crates/engine/src/cache.rs"),
     ("SPILL_HEADER_LEN", "crates/engine/src/cache.rs"),
     ("WIRE_VERSION", "crates/engine/src/wire.rs"),
+    ("ROW_KERNEL_BLOCK", BENCH_SCHEMA),
+    ("ROW_KERNEL_SINGLE_PASS", BENCH_SCHEMA),
+    ("ROW_KERNEL_LEGACY", BENCH_SCHEMA),
+    ("ROW_ENGINE_WARM_MMAP", BENCH_SCHEMA),
+    ("ROW_STEM_ENGINE", BENCH_SCHEMA),
+    ("ROW_STEM_SESSION", BENCH_SCHEMA),
+    ("FIELD_ID", BENCH_SCHEMA),
+    ("FIELD_CACHE", BENCH_SCHEMA),
+    ("FIELD_THREADS", BENCH_SCHEMA),
+    ("FIELD_N_MAX", BENCH_SCHEMA),
+    ("FIELD_R_POINTS", BENCH_SCHEMA),
+    ("FIELD_MEDIAN_NS", BENCH_SCHEMA),
+    ("FIELD_MIN_NS", BENCH_SCHEMA),
+    ("FIELD_MEAN_NS", BENCH_SCHEMA),
+    ("FIELD_CELLS_PER_SEC", BENCH_SCHEMA),
+    ("FIELD_SAMPLES", BENCH_SCHEMA),
+    ("FIELD_ITERS_PER_SAMPLE", BENCH_SCHEMA),
+    ("FIELD_NOTE", BENCH_SCHEMA),
+];
+
+/// Home of the `BENCH_engine.json` row-schema constants.
+pub const BENCH_SCHEMA: &str = "crates/bench/src/schema.rs";
+
+/// Literals that may appear in exactly one non-test string literal —
+/// their own definition: `(needle, const name, defining file)`. Only
+/// needles distinctive enough not to occur in unrelated literals belong
+/// here (`"id"` would match every wire template; `"cells_per_sec"`
+/// matches nothing else).
+pub const PINNED_LITERALS: &[(&str, &str, &str)] = &[
+    (MAGIC_PREFIX, "SPILL_MAGIC", "crates/engine/src/cache.rs"),
+    ("kernel/block/columns", "ROW_KERNEL_BLOCK", BENCH_SCHEMA),
+    (
+        "kernel/single-pass/columns",
+        "ROW_KERNEL_SINGLE_PASS",
+        BENCH_SCHEMA,
+    ),
+    (
+        "kernel/legacy-per-n/columns",
+        "ROW_KERNEL_LEGACY",
+        BENCH_SCHEMA,
+    ),
+    (
+        "engine/warm-mmap/threads=1",
+        "ROW_ENGINE_WARM_MMAP",
+        BENCH_SCHEMA,
+    ),
+    ("cells_per_sec", "FIELD_CELLS_PER_SEC", BENCH_SCHEMA),
+    ("iters_per_sample", "FIELD_ITERS_PER_SAMPLE", BENCH_SCHEMA),
+    ("median_ns", "FIELD_MEDIAN_NS", BENCH_SCHEMA),
 ];
 
 /// The spill magic prefix that may appear in exactly one non-test literal.
@@ -43,50 +96,49 @@ fn self_exempt(path: &str) -> bool {
 pub fn check(files: &[ScannedFile]) -> Vec<Finding> {
     let mut findings = Vec::new();
 
-    // Magic literal: exactly one occurrence, in the defining file.
-    let magic_home = PINNED_CONSTS[0].1;
-    let mut magic_sites: Vec<(&str, u32)> = Vec::new();
-    for file in files {
-        if self_exempt(&file.path) {
-            continue;
-        }
-        for t in &file.tokens {
-            if t.kind == TokenKind::Literal
-                && t.text.contains(MAGIC_PREFIX)
-                && !file.in_test_region(t.line)
-            {
-                magic_sites.push((&file.path, t.line));
+    // Pinned literals: exactly one occurrence each, in the defining file.
+    for &(needle, const_name, home) in PINNED_LITERALS {
+        let mut sites: Vec<(&str, u32)> = Vec::new();
+        for file in files {
+            if self_exempt(&file.path) {
+                continue;
+            }
+            for t in &file.tokens {
+                if t.kind == TokenKind::Literal
+                    && t.text.contains(needle)
+                    && !file.in_test_region(t.line)
+                {
+                    sites.push((&file.path, t.line));
+                }
             }
         }
-    }
-    match magic_sites.as_slice() {
-        [] => findings.push(Finding::deny(
-            "const-drift",
-            magic_home,
-            0,
-            format!("the `{MAGIC_PREFIX}…` spill magic literal (const SPILL_MAGIC) is missing"),
-        )),
-        [(path, line)] if *path != magic_home => findings.push(Finding::deny(
-            "const-drift",
-            path,
-            *line,
-            format!("the `{MAGIC_PREFIX}…` magic literal belongs in {magic_home} alone"),
-        )),
-        [_] => {}
-        sites => {
-            for &(path, line) in sites {
-                if !(path == magic_home
-                    && sites.iter().filter(|(p, _)| *p == magic_home).count() == 1)
-                {
-                    findings.push(Finding::deny(
-                        "const-drift",
-                        path,
-                        line,
-                        format!(
-                            "duplicate `{MAGIC_PREFIX}…` magic literal — reference \
-                             `SPILL_MAGIC` from {magic_home} instead"
-                        ),
-                    ));
+        match sites.as_slice() {
+            [] => findings.push(Finding::deny(
+                "const-drift",
+                home,
+                0,
+                format!("the `{needle}…` literal (const {const_name}) is missing"),
+            )),
+            [(path, line)] if *path != home => findings.push(Finding::deny(
+                "const-drift",
+                path,
+                *line,
+                format!("the `{needle}…` literal belongs in {home} alone"),
+            )),
+            [_] => {}
+            sites => {
+                for &(path, line) in sites {
+                    if !(path == home && sites.iter().filter(|(p, _)| *p == home).count() == 1) {
+                        findings.push(Finding::deny(
+                            "const-drift",
+                            path,
+                            line,
+                            format!(
+                                "duplicate `{needle}…` literal — reference \
+                                 `{const_name}` from {home} instead"
+                            ),
+                        ));
+                    }
                 }
             }
         }
@@ -203,6 +255,27 @@ mod tests {
                 "pub const WIRE_VERSION: u64 = 1;\n\
                  fn emit(out: &mut String) { out.push_str(&format!(\"{{\\\"v\\\":{WIRE_VERSION}}}\")); }\n",
             ),
+            ScannedFile::new(
+                BENCH_SCHEMA,
+                "pub const ROW_KERNEL_BLOCK: &str = \"kernel/block/columns\";\n\
+                 pub const ROW_KERNEL_SINGLE_PASS: &str = \"kernel/single-pass/columns\";\n\
+                 pub const ROW_KERNEL_LEGACY: &str = \"kernel/legacy-per-n/columns\";\n\
+                 pub const ROW_ENGINE_WARM_MMAP: &str = \"engine/warm-mmap/threads=1\";\n\
+                 pub const ROW_STEM_ENGINE: &str = \"engine\";\n\
+                 pub const ROW_STEM_SESSION: &str = \"engine/session\";\n\
+                 pub const FIELD_ID: &str = \"id\";\n\
+                 pub const FIELD_CACHE: &str = \"cache\";\n\
+                 pub const FIELD_THREADS: &str = \"threads\";\n\
+                 pub const FIELD_N_MAX: &str = \"n_max\";\n\
+                 pub const FIELD_R_POINTS: &str = \"r_points\";\n\
+                 pub const FIELD_MEDIAN_NS: &str = \"median_ns\";\n\
+                 pub const FIELD_MIN_NS: &str = \"min_ns\";\n\
+                 pub const FIELD_MEAN_NS: &str = \"mean_ns\";\n\
+                 pub const FIELD_CELLS_PER_SEC: &str = \"cells_per_sec\";\n\
+                 pub const FIELD_SAMPLES: &str = \"samples\";\n\
+                 pub const FIELD_ITERS_PER_SAMPLE: &str = \"iters_per_sample\";\n\
+                 pub const FIELD_NOTE: &str = \"note\";\n",
+            ),
         ]
     }
 
@@ -260,6 +333,45 @@ mod tests {
         assert!(findings
             .iter()
             .any(|f| f.message.contains("WIRE_VERSION") && f.message.contains("missing")));
+    }
+
+    #[test]
+    fn a_stray_bench_row_label_literal_is_denied() {
+        let mut files = healthy();
+        files.push(ScannedFile::new(
+            "crates/cli/src/lib.rs",
+            "fn trend(row: &str) -> bool { row == \"kernel/single-pass/columns\" }\n",
+        ));
+        let findings = check(&files);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].path, "crates/cli/src/lib.rs");
+        assert!(findings[0].message.contains("ROW_KERNEL_SINGLE_PASS"));
+    }
+
+    #[test]
+    fn a_stray_bench_field_name_literal_is_denied() {
+        let mut files = healthy();
+        files.push(ScannedFile::new(
+            "crates/plot/src/lib.rs",
+            "fn key() -> &'static str { \"cells_per_sec\" }\n",
+        ));
+        let findings = check(&files);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("FIELD_CELLS_PER_SEC"));
+    }
+
+    #[test]
+    fn a_missing_bench_schema_names_every_lost_constant() {
+        let mut files = healthy();
+        files.retain(|f| f.path != BENCH_SCHEMA);
+        let findings = check(&files);
+        assert!(findings
+            .iter()
+            .any(|f| f.message.contains("ROW_ENGINE_WARM_MMAP") && f.message.contains("missing")));
+        assert!(findings
+            .iter()
+            .any(|f| f.message.contains("FIELD_MEDIAN_NS") && f.message.contains("missing")));
+        assert!(findings.iter().all(|f| f.path == BENCH_SCHEMA));
     }
 
     #[test]

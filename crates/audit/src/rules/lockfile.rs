@@ -10,12 +10,22 @@
 //!   one version (a dependency split — two copies compiled in);
 //! - **non-vendored sources**: any package carrying a `source` key.
 //!   Path dependencies have none; a registry or git source means the
-//!   build is no longer hermetic.
+//!   build is no longer hermetic;
+//! - **manifest drift** ([`check_manifest`]): the lockfile's package set
+//!   must match the reviewed list in `crates/audit/deps-manifest.txt`
+//!   (`name version` per line, `#` comments). A package in the lock but
+//!   not the manifest is an unreviewed dependency; a manifest entry with
+//!   no lock package is stale; a version difference is an unreviewed
+//!   bump. Growing the workspace therefore always carries a visible,
+//!   reviewable diff to the manifest.
 
 use crate::report::Finding;
 
 /// The lockfile's workspace-relative path (the finding anchor).
 pub const LOCKFILE_PATH: &str = "Cargo.lock";
+
+/// The reviewed dependency manifest's workspace-relative path.
+pub const MANIFEST_PATH: &str = "crates/audit/deps-manifest.txt";
 
 #[derive(Debug, Default)]
 struct Package {
@@ -25,7 +35,7 @@ struct Package {
     line: u32,
 }
 
-pub fn check(lock_text: &str) -> Vec<Finding> {
+fn parse_packages(lock_text: &str) -> Vec<Package> {
     let mut packages: Vec<Package> = Vec::new();
     let mut current: Option<Package> = None;
     for (index, raw) in lock_text.lines().enumerate() {
@@ -58,7 +68,11 @@ pub fn check(lock_text: &str) -> Vec<Finding> {
     if let Some(done) = current.take() {
         packages.push(done);
     }
+    packages
+}
 
+pub fn check(lock_text: &str) -> Vec<Finding> {
+    let packages = parse_packages(lock_text);
     let mut findings = Vec::new();
     for package in &packages {
         if let Some(source) = &package.source {
@@ -91,6 +105,76 @@ pub fn check(lock_text: &str) -> Vec<Finding> {
                      split compiles multiple copies",
                     versions.len(),
                     listed.join(", ")
+                ),
+            ));
+        }
+    }
+    findings
+}
+
+/// Diffs the lockfile's package set against the reviewed dependency
+/// manifest (`name version` per line, `#`-comments and blanks ignored).
+pub fn check_manifest(lock_text: &str, manifest_text: &str) -> Vec<Finding> {
+    let packages = parse_packages(lock_text);
+    let mut findings = Vec::new();
+
+    // `(name, version, manifest line)` of every reviewed entry.
+    let mut reviewed: Vec<(&str, &str, u32)> = Vec::new();
+    for (index, raw) in manifest_text.lines().enumerate() {
+        let line_no = index as u32 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match line.split_once(' ') {
+            Some((name, version)) if !version.trim().is_empty() => {
+                reviewed.push((name.trim(), version.trim(), line_no));
+            }
+            _ => findings.push(Finding::deny(
+                "lockfile",
+                MANIFEST_PATH,
+                line_no,
+                format!("malformed manifest line {line:?} — expected `name version`"),
+            )),
+        }
+    }
+
+    for package in &packages {
+        match reviewed.iter().find(|(name, _, _)| *name == package.name) {
+            None => findings.push(Finding::deny(
+                "lockfile",
+                LOCKFILE_PATH,
+                package.line,
+                format!(
+                    "package `{} {}` is not in the reviewed dependency manifest — \
+                     add it to {MANIFEST_PATH} as part of the change that introduces it",
+                    package.name, package.version
+                ),
+            )),
+            Some((_, version, _)) if *version != package.version => {
+                findings.push(Finding::deny(
+                    "lockfile",
+                    LOCKFILE_PATH,
+                    package.line,
+                    format!(
+                        "package `{}` is locked at {} but reviewed at {version} — \
+                         update {MANIFEST_PATH} alongside the version bump",
+                        package.name, package.version
+                    ),
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    for &(name, version, line) in &reviewed {
+        if !packages.iter().any(|p| p.name == name) {
+            findings.push(Finding::deny(
+                "lockfile",
+                MANIFEST_PATH,
+                line,
+                format!(
+                    "manifest entry `{name} {version}` has no package in Cargo.lock — \
+                     remove the stale line"
                 ),
             ));
         }
@@ -162,5 +246,53 @@ source = \"git+https://example.invalid/dep.git\"\n";
     fn trailing_tables_do_not_leak_into_packages() {
         let lock = format!("{CLEAN}\n[metadata]\nsource = \"bogus\"\n");
         assert!(check(&lock).is_empty());
+    }
+
+    const MANIFEST: &str = "\
+# reviewed dependencies\n\
+zeroconf-engine 0.1.0\n\
+zeroconf-cost 0.1.0\n";
+
+    #[test]
+    fn a_matching_manifest_is_clean() {
+        assert!(check_manifest(CLEAN, MANIFEST).is_empty());
+    }
+
+    #[test]
+    fn an_unreviewed_package_is_denied() {
+        let lock = format!("{CLEAN}\n[[package]]\nname = \"serde\"\nversion = \"1.0.200\"\n");
+        let findings = check_manifest(&lock, MANIFEST);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].path, LOCKFILE_PATH);
+        assert!(findings[0].message.contains("serde"));
+        assert!(findings[0].message.contains("not in the reviewed"));
+    }
+
+    #[test]
+    fn an_unreviewed_version_bump_is_denied() {
+        let manifest = "zeroconf-engine 0.1.0\nzeroconf-cost 0.2.0\n";
+        let findings = check_manifest(CLEAN, manifest);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("zeroconf-cost"));
+        assert!(findings[0].message.contains("locked at 0.1.0"));
+        assert!(findings[0].message.contains("reviewed at 0.2.0"));
+    }
+
+    #[test]
+    fn a_stale_manifest_entry_is_denied() {
+        let manifest = format!("{MANIFEST}zeroconf-gone 0.1.0\n");
+        let findings = check_manifest(CLEAN, &manifest);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].path, MANIFEST_PATH);
+        assert_eq!(findings[0].line, 4);
+        assert!(findings[0].message.contains("stale"));
+    }
+
+    #[test]
+    fn a_malformed_manifest_line_is_denied() {
+        let manifest = format!("{MANIFEST}just-a-name\n");
+        let findings = check_manifest(CLEAN, &manifest);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("malformed"));
     }
 }

@@ -2,12 +2,14 @@
 //!
 //! Three checks, mirroring the workspace's unsafe policy:
 //!
-//! 1. **Allowlist**: the `unsafe` keyword may appear only in the two
+//! 1. **Allowlist**: the `unsafe` keyword may appear only in the three
 //!    engine modules whose invariants are documented in DESIGN.md
 //!    ("Unsafe inventory & invariants"): `engine/pool.rs` (disjoint
-//!    shared-slab column writes) and `engine/cache.rs` (mmap-served spill
-//!    tier). Anywhere else it is a finding — new unsafe code must either
-//!    move there or extend this allowlist *and* the design doc.
+//!    shared-slab column writes), `engine/cache.rs` (mmap-served spill
+//!    tier) and `engine/signal.rs` (the `signal(2)` handler the serve
+//!    daemon's SIGTERM drain polls). Anywhere else it is a finding — new
+//!    unsafe code must either move there or extend this allowlist *and*
+//!    the design doc.
 //! 2. **Adjacent justification**: every `unsafe` occurrence in the
 //!    allowlisted modules must sit within a few lines of a comment
 //!    carrying `SAFETY` (block form) or a `# Safety` doc section
@@ -23,7 +25,11 @@ use crate::report::Finding;
 use crate::scan::{ScannedFile, TokenKind};
 
 /// The modules in which `unsafe` is permitted (workspace-relative paths).
-pub const UNSAFE_ALLOWED: &[&str] = &["crates/engine/src/pool.rs", "crates/engine/src/cache.rs"];
+pub const UNSAFE_ALLOWED: &[&str] = &[
+    "crates/engine/src/pool.rs",
+    "crates/engine/src/cache.rs",
+    "crates/engine/src/signal.rs",
+];
 
 /// The one crate allowed to contain unsafe code.
 pub const UNSAFE_CRATE: &str = "zeroconf-engine";

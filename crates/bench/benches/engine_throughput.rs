@@ -25,6 +25,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use zeroconf_bench::harness::{black_box, format_nanos, measure, BenchRecord};
+use zeroconf_bench::schema;
 use zeroconf_cost::kernel::{ColumnBlockKernel, ColumnKernel};
 use zeroconf_cost::{cost, paper};
 use zeroconf_engine::{Engine, EngineConfig, GridSpec, Pipeline, PipelineConfig, SweepRequest};
@@ -53,7 +54,7 @@ fn config(workers: usize) -> EngineConfig {
 /// Cache-cold sweep: a fresh engine per iteration, so every π-table is
 /// computed. Pool spawn cost is included — it is part of the cold path.
 fn cold(threads: usize, samples: usize, request: &SweepRequest) -> BenchRecord {
-    measure(&format!("engine/cold/threads={threads}"), samples, || {
+    measure(&schema::row_engine("cold", threads), samples, || {
         let engine = Engine::new(config(threads));
         engine.evaluate(request).expect("sweep evaluates")
     })
@@ -64,7 +65,7 @@ fn cold(threads: usize, samples: usize, request: &SweepRequest) -> BenchRecord {
 fn warm(threads: usize, samples: usize, request: &SweepRequest) -> BenchRecord {
     let engine = Engine::new(config(threads));
     engine.evaluate(request).expect("priming sweep evaluates");
-    measure(&format!("engine/warm/threads={threads}"), samples, || {
+    measure(&schema::row_engine("warm", threads), samples, || {
         engine.evaluate(request).expect("sweep evaluates")
     })
 }
@@ -96,7 +97,7 @@ fn warm_mmap(samples: usize, request: &SweepRequest) -> BenchRecord {
         0,
         "every table must be served from a spill mapping, not recomputed"
     );
-    let record = measure("engine/warm-mmap/threads=1", samples, || {
+    let record = measure(schema::ROW_ENGINE_WARM_MMAP, samples, || {
         engine.evaluate(request).expect("sweep evaluates")
     });
     let _ = std::fs::remove_dir_all(&dir);
@@ -112,7 +113,7 @@ fn block_columns(samples: usize, request: &SweepRequest) -> BenchRecord {
     let rs = request.grid.r_values.clone();
     let mut costs = vec![0.0f64; GRID_CELLS];
     let mut errors = vec![0.0f64; GRID_CELLS];
-    measure("kernel/block/columns", samples, move || {
+    measure(schema::ROW_KERNEL_BLOCK, samples, move || {
         let tables = block.pi_tables(N_MAX, &rs).expect("pi tables compute");
         block
             .evaluate(N_MAX, &rs, &tables, Some(&mut costs), Some(&mut errors))
@@ -133,7 +134,7 @@ fn kernel_columns(samples: usize, request: &SweepRequest) -> BenchRecord {
         .collect();
     let mut costs = vec![0.0f64; N_MAX as usize];
     let mut errors = vec![0.0f64; N_MAX as usize];
-    measure("kernel/single-pass/columns", samples, move || {
+    measure(schema::ROW_KERNEL_SINGLE_PASS, samples, move || {
         for (r, pis) in request.grid.r_values.iter().zip(&tables) {
             kernel
                 .evaluate(N_MAX, *r, pis, Some(&mut costs), Some(&mut errors))
@@ -154,7 +155,7 @@ fn legacy_columns(samples: usize, request: &SweepRequest) -> BenchRecord {
         .collect();
     let mut costs = vec![0.0f64; N_MAX as usize];
     let mut errors = vec![0.0f64; N_MAX as usize];
-    measure("kernel/legacy-per-n/columns", samples, move || {
+    measure(schema::ROW_KERNEL_LEGACY, samples, move || {
         for (r, pis) in request.grid.r_values.iter().zip(&tables) {
             for n in 1..=N_MAX {
                 costs[n as usize - 1] = cost::mean_cost_from_pis(&request.scenario, n, *r, pis)
@@ -190,23 +191,19 @@ fn session_requests() -> Vec<SweepRequest> {
 /// Baseline session: the requests evaluated one at a time on a fresh
 /// engine — the old blocking `Session` dispatch pattern.
 fn serial_session(threads: usize, samples: usize, requests: &[SweepRequest]) -> BenchRecord {
-    measure(
-        &format!("engine/session/serial/threads={threads}"),
-        samples,
-        || {
-            let engine = Engine::new(config(threads));
-            requests
-                .iter()
-                .map(|request| {
-                    engine
-                        .evaluate(request)
-                        .expect("sweep evaluates")
-                        .landscape
-                        .len()
-                })
-                .sum::<usize>()
-        },
-    )
+    measure(&schema::row_session_serial(threads), samples, || {
+        let engine = Engine::new(config(threads));
+        requests
+            .iter()
+            .map(|request| {
+                engine
+                    .evaluate(request)
+                    .expect("sweep evaluates")
+                    .landscape
+                    .len()
+            })
+            .sum::<usize>()
+    })
 }
 
 /// The same requests streamed through a `Pipeline` with `depth` in
@@ -220,7 +217,7 @@ fn pipelined_session(
     requests: &[SweepRequest],
 ) -> BenchRecord {
     measure(
-        &format!("engine/session/pipelined/depth={depth}/threads={threads}"),
+        &schema::row_session_pipelined(depth, threads),
         samples,
         || {
             let engine = Arc::new(Engine::new(config(threads)));
@@ -230,41 +227,6 @@ fn pipelined_session(
             }
             pipeline.drain().len()
         },
-    )
-}
-
-/// One JSON report row. `cells` is the number of `(n, r)` evaluations a
-/// single iteration performs, so `cells_per_sec = cells / median`.
-fn record_json(
-    record: &BenchRecord,
-    threads: usize,
-    cache: &str,
-    n_max: u32,
-    r_points: usize,
-    cells: usize,
-    note: Option<&str>,
-) -> String {
-    let cells_per_sec = cells as f64 * 1e9 / record.median_ns;
-    let note_field = match note {
-        Some(note) => format!(",\"note\":{note:?}"),
-        None => String::new(),
-    };
-    format!(
-        "{{\"id\":{:?},\"cache\":{:?},\"threads\":{},\"n_max\":{},\"r_points\":{},\
-         \"median_ns\":{},\"min_ns\":{},\"mean_ns\":{},\"cells_per_sec\":{:.1},\
-         \"samples\":{},\"iters_per_sample\":{}{}}}",
-        record.id,
-        cache,
-        threads,
-        n_max,
-        r_points,
-        record.median_ns,
-        record.min_ns,
-        record.mean_ns,
-        cells_per_sec,
-        record.samples,
-        record.iters_per_sample,
-        note_field
     )
 }
 
@@ -401,11 +363,11 @@ fn main() {
         .iter()
         .chain(&kernel_runs)
         .map(|(record, threads, cache)| {
-            record_json(record, *threads, cache, N_MAX, R_POINTS, GRID_CELLS, None)
+            schema::row_json(record, *threads, cache, N_MAX, R_POINTS, GRID_CELLS, None)
         })
         .collect();
     lines.extend(session_runs.iter().map(|(record, threads, cache, note)| {
-        record_json(
+        schema::row_json(
             record,
             *threads,
             cache,

@@ -12,6 +12,8 @@
 //! zeroconf simulate  <scenario flags> --probes 4 --listen 2 --trials 100000 --seed 7
 //! zeroconf engine    [--workers N] [--cache N] [--cache-dir PATH] [--inflight N] [--stats]
 //!                    # JSON-lines on stdin/stdout
+//! zeroconf serve     (--tcp ADDR | --unix PATH)... [--inflight N] [--max-conns N]
+//!                    # socket daemon: many clients, one shared engine
 //! zeroconf audit     [--deny-warnings] [--json] [--root PATH]
 //! ```
 //!
@@ -152,6 +154,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "calibrate" => cmd_calibrate(&Flags::parse(rest)?),
         "simulate" => cmd_simulate(&Flags::parse(rest)?),
         "engine" => cmd_engine(rest),
+        "serve" => cmd_serve(rest),
         "audit" => cmd_audit(rest),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(err(format!("unknown command '{other}'\n{}", usage()))),
@@ -281,6 +284,15 @@ fn cmd_engine(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// The `serve` subcommand: the socket daemon, run in process. Blocks
+/// until SIGTERM/SIGINT drains it; the returned summary is printed on
+/// exit. Startup `listening <scheme:addr>` lines go to stdout directly
+/// so clients can connect while the command is still running.
+fn cmd_serve(args: &[String]) -> Result<String, CliError> {
+    let mut stdout = std::io::stdout();
+    zeroconf_serve::run_cli(args, &mut stdout).map_err(|e| err(e.to_string()))
+}
+
 /// The `audit` subcommand: the workspace static-analysis gate, run in
 /// process (the same engine as the standalone `zeroconf-audit` binary).
 /// Findings come back as the error so the process exits non-zero.
@@ -332,6 +344,7 @@ pub fn usage() -> String {
      \u{20}  calibrate  solve for (E, c) making a target (n, r) optimal\n\
      \u{20}  simulate   Monte-Carlo protocol runs with latency percentiles\n\
      \u{20}  engine     batched JSON-lines grid evaluation on stdin/stdout\n\
+     \u{20}  serve      socket daemon: many clients, one shared engine and cache\n\
      \u{20}  audit      workspace static-analysis gate (unsafe, panics, invariants)\n\
      scenario flags (all commands):\n\
      \u{20}  --hosts N | --occupancy Q, --probe-cost C, --error-cost E,\n\
@@ -344,6 +357,8 @@ pub fn usage() -> String {
      \u{20}  optimize: [--n-max N] [--r-max R]\n\
      \u{20}  engine: [--workers N] [--cache TABLES] [--cache-dir PATH] [--mmap]\n\
      \u{20}          [--inflight N] [--stats]\n\
+     \u{20}  serve: (--tcp ADDR | --unix PATH)... [--workers N] [--cache TABLES]\n\
+     \u{20}         [--cache-dir PATH] [--mmap] [--inflight N] [--max-conns N]\n\
      \u{20}  audit: [--deny-warnings] [--json] [--root PATH]\n\
      example:\n\
      \u{20}  zeroconf optimize --hosts 1000 --probe-cost 2 --error-cost 1e35 \\\n\

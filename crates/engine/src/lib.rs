@@ -60,6 +60,8 @@ mod cache;
 pub mod pipeline;
 mod pool;
 mod request;
+pub mod signal;
+pub mod testkit;
 pub mod wire;
 
 /// The π-table spill-format constants and header codec, re-exported so

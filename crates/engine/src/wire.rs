@@ -516,6 +516,22 @@ pub fn decode_request(value: &Json) -> Result<WireRequest, WireError> {
         };
         return Ok(WireRequest::Rescore { id, of, delta });
     }
+    if value.get("scenario").is_none() {
+        // Not a cancel, rescore or sweep: name the stray key so clients
+        // speaking a newer (or wrong) verb set get a pointed diagnostic
+        // instead of a misleading "needs `scenario`".
+        if let Json::Obj(members) = value {
+            const KNOWN_KEYS: [&str; 7] = [
+                "v", "id", "cancel", "rescore", "scenario", "grid", "metrics",
+            ];
+            if let Some((key, _)) = members
+                .iter()
+                .find(|(key, _)| !KNOWN_KEYS.contains(&key.as_str()))
+            {
+                return Err(err(format!("unknown request verb `{key}`")));
+            }
+        }
+    }
     let scenario = decode_scenario(
         value
             .get("scenario")
@@ -652,17 +668,61 @@ pub struct PipelinedSession {
 }
 
 impl PipelinedSession {
-    /// Starts a pipelined session around `engine`.
+    /// Starts a pipelined session around an engine owned by this session
+    /// alone. Multi-session fronts (one session per client connection of
+    /// `zeroconf serve`) share one engine via
+    /// [`PipelinedSession::with_engine`] instead.
     #[must_use]
     pub fn new(engine: Engine, config: PipelineConfig) -> PipelinedSession {
+        PipelinedSession::with_engine(Arc::new(engine), config)
+    }
+
+    /// Starts a pipelined session over a *shared* engine: the session
+    /// owns its pipeline (in-flight bookkeeping, executors, rescore
+    /// hold-back state) but the engine — worker pool, π-table cache,
+    /// lifetime counters — is common to every session holding the `Arc`.
+    /// A sweep completed through one session warms the cache for all.
+    #[must_use]
+    pub fn with_engine(engine: Arc<Engine>, config: PipelineConfig) -> PipelinedSession {
         PipelinedSession {
-            pipeline: Pipeline::new(Arc::new(engine), config),
+            pipeline: Pipeline::new(engine, config),
             sweeps: HashMap::new(),
             in_flight: HashMap::new(),
             by_wire_id: HashMap::new(),
             waiting: HashMap::new(),
             pending_ids: HashSet::new(),
         }
+    }
+
+    /// Unanswered requests: submitted or held back, response not yet
+    /// emitted. Connection handlers use this to bound per-connection
+    /// admission and to decide when a drain is complete.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.pending_ids.len()
+    }
+
+    /// Withdraws every unanswered request in the session: in-flight
+    /// pipeline requests are flagged for cancellation (their
+    /// [`EngineError::Cancelled`] responses arrive through
+    /// [`PipelinedSession::poll_responses`] / [`PipelinedSession::drain`]
+    /// as usual), and held-back rescores — which never reached the
+    /// pipeline — are answered right here with the returned error lines.
+    /// This is the connection-drop path of `zeroconf serve`: a client
+    /// that vanishes takes only its own requests down.
+    pub fn cancel_all(&mut self) -> Vec<String> {
+        for pipeline_id in self.by_wire_id.values() {
+            self.pipeline.cancel(*pipeline_id);
+        }
+        let waiting = std::mem::take(&mut self.waiting);
+        let mut out = Vec::new();
+        for (_, dependents) in waiting {
+            for (rescore_id, _) in dependents {
+                self.pending_ids.remove(&rescore_id);
+                out.push(error_line(&rescore_id, &EngineError::Cancelled));
+            }
+        }
+        out
     }
 
     /// Decodes and enqueues one input line. Returns the response lines

@@ -1,0 +1,132 @@
+//! Wire error paths under pipelining: malformed frames mid-stream,
+//! unknown verbs, version skew, drain under load, and whole-session
+//! withdrawal. Driven through the same [`zeroconf_engine::testkit`]
+//! builders the `zeroconf serve` socket harness uses, so the daemon and
+//! the in-process session exercise identical frames.
+
+use zeroconf_engine::testkit;
+use zeroconf_engine::wire::PipelinedSession;
+use zeroconf_engine::{Engine, EngineConfig, PipelineConfig};
+
+fn session(depth: usize) -> PipelinedSession {
+    let engine = Engine::new(EngineConfig {
+        workers: 2,
+        ..EngineConfig::default()
+    });
+    PipelinedSession::new(engine, PipelineConfig::with_depth(depth))
+}
+
+#[test]
+fn malformed_frame_mid_stream_keeps_the_session_alive() {
+    let mut s = session(4);
+    // A healthy sweep, then a truncated frame, then another sweep: the
+    // broken frame answers immediately with an error and the requests
+    // around it still complete.
+    let first = s.submit_line(&testkit::sweep_line("s1", 4, &[1.0, 2.0]));
+    assert!(first.is_empty(), "sweeps answer via poll/drain: {first:?}");
+    let broken = s.submit_line(testkit::MALFORMED_FRAME);
+    assert_eq!(broken.len(), 1, "one immediate error line");
+    assert!(broken[0].contains("\"error\""), "{}", broken[0]);
+    let second = s.submit_line(&testkit::sweep_line("s2", 4, &[1.0, 2.0]));
+    assert!(second.is_empty(), "{second:?}");
+    let answers = s.drain();
+    assert_eq!(answers.len(), 2, "{answers:?}");
+    for id in ["s1", "s2"] {
+        let hits = answers
+            .iter()
+            .filter(|l| l.contains(&format!("\"id\":\"{id}\"")))
+            .count();
+        assert_eq!(hits, 1, "exactly one answer for {id}: {answers:?}");
+    }
+    assert!(
+        answers.iter().all(|l| l.contains("\"cells\"")),
+        "{answers:?}"
+    );
+}
+
+#[test]
+fn unknown_verbs_and_version_skew_answer_with_structured_errors() {
+    let mut s = session(2);
+    let unknown = s.submit_line(&testkit::unknown_verb_line("u1"));
+    assert_eq!(unknown.len(), 1);
+    assert!(unknown[0].contains("\"id\":\"u1\""), "{}", unknown[0]);
+    assert!(
+        unknown[0].contains("unknown request verb"),
+        "{}",
+        unknown[0]
+    );
+    let skewed = s.submit_line(&testkit::unsupported_version_line("v1"));
+    assert_eq!(skewed.len(), 1);
+    assert!(skewed[0].contains("\"id\":\"v1\""), "{}", skewed[0]);
+    assert!(
+        skewed[0].contains("unsupported protocol version"),
+        "{}",
+        skewed[0]
+    );
+    assert_eq!(s.pending(), 0, "error frames never enter the pipeline");
+}
+
+#[test]
+fn drain_under_load_answers_every_id_with_at_least_four_in_flight() {
+    let mut s = session(6);
+    let ids = ["d1", "d2", "d3", "d4", "d5"];
+    for id in ids {
+        let immediate = s.submit_line(&testkit::heavy_sweep_line(id, 16, 120));
+        assert!(immediate.is_empty(), "{immediate:?}");
+    }
+    assert!(
+        s.pending() >= 4,
+        "drain must start with >=4 requests in flight, saw {}",
+        s.pending()
+    );
+    let answers = s.drain();
+    assert_eq!(answers.len(), ids.len(), "{answers:?}");
+    for id in ids {
+        let hits = answers
+            .iter()
+            .filter(|l| l.contains(&format!("\"id\":\"{id}\"")))
+            .count();
+        assert_eq!(hits, 1, "exactly one answer for {id}");
+    }
+    assert_eq!(s.pending(), 0);
+}
+
+#[test]
+fn cancel_all_withdraws_in_flight_work_and_held_back_rescores() {
+    let mut s = session(4);
+    let immediate = s.submit_line(&testkit::heavy_sweep_line("base", 32, 2000));
+    assert!(immediate.is_empty(), "{immediate:?}");
+    // A rescore of an in-flight base is held back, not yet submitted.
+    let held = s.submit_line(&testkit::rescore_line("follow", "base", 1e9));
+    assert!(held.is_empty(), "{held:?}");
+    assert_eq!(s.pending(), 2);
+
+    let withdrawn = s.cancel_all();
+    assert_eq!(withdrawn.len(), 1, "held-back rescore answers here");
+    assert!(
+        withdrawn[0].contains("\"id\":\"follow\""),
+        "{}",
+        withdrawn[0]
+    );
+    assert!(withdrawn[0].contains("cancel"), "{}", withdrawn[0]);
+
+    let drained = s.drain();
+    assert_eq!(drained.len(), 1, "the flagged base completes cancelled");
+    assert!(drained[0].contains("\"id\":\"base\""), "{}", drained[0]);
+    assert!(drained[0].contains("cancel"), "{}", drained[0]);
+    assert_eq!(s.pending(), 0);
+}
+
+#[test]
+fn cancel_verb_for_an_in_flight_sweep_is_acknowledged() {
+    let mut s = session(4);
+    let immediate = s.submit_line(&testkit::heavy_sweep_line("big", 32, 2000));
+    assert!(immediate.is_empty(), "{immediate:?}");
+    let ack = s.submit_line(&testkit::cancel_request_line("c1", "big"));
+    assert_eq!(ack.len(), 1);
+    assert!(ack[0].contains("\"cancelled\":\"big\""), "{}", ack[0]);
+    let drained = s.drain();
+    assert_eq!(drained.len(), 1);
+    assert!(drained[0].contains("\"id\":\"big\""), "{}", drained[0]);
+    assert!(drained[0].contains("cancel"), "{}", drained[0]);
+}

@@ -1,0 +1,192 @@
+//! Cross-connection admission: a global in-flight budget split fairly.
+//!
+//! Every sweep or rescore admitted into the shared engine consumes one
+//! permit from a single server-wide pool; a connection that wants to
+//! admit work joins a FIFO queue of *connections* and is only granted a
+//! permit when it reaches the front. Because a connection re-enters the
+//! queue at the back for every new request, grants rotate round-robin
+//! across the connections that are actively asking — a client that
+//! pipelines hundreds of sweeps cannot starve one that sends a single
+//! request, no matter how the permits are sized.
+//!
+//! The queue holds at most one entry per connection (each connection is
+//! served by exactly one handler thread, and [`FairBudget::acquire_for`]
+//! is synchronous), so "front of the queue" is well-defined per client.
+//! Waiting is bounded: `acquire_for` returns after a timeout *without
+//! giving up the queue position*, letting the handler poll its own
+//! completions — which is what releases permits — between attempts. This
+//! is also what makes the scheme deadlock-free: a connection whose own
+//! pending requests hold every permit keeps cycling between a timed-out
+//! acquire and a poll that frees slots.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// The shared permit pool plus the connection admission queue.
+pub struct FairBudget {
+    state: Mutex<State>,
+    changed: Condvar,
+    capacity: usize,
+}
+
+struct State {
+    /// Permits not currently held by an admitted request.
+    available: usize,
+    /// Connections waiting for a permit, oldest first.
+    queue: VecDeque<u64>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl FairBudget {
+    /// A budget of `capacity` permits (clamped to at least one).
+    #[must_use]
+    pub fn new(capacity: usize) -> FairBudget {
+        let capacity = capacity.max(1);
+        FairBudget {
+            state: Mutex::new(State {
+                available: capacity,
+                queue: VecDeque::new(),
+            }),
+            changed: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The total number of permits.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Permits currently available (observability only — racy by nature).
+    #[must_use]
+    pub fn available(&self) -> usize {
+        lock(&self.state).available
+    }
+
+    /// Tries to acquire one permit for `conn`, waiting at most `timeout`.
+    ///
+    /// The connection is enqueued on first call and **stays enqueued
+    /// across timeouts**, keeping its position while the caller goes off
+    /// to poll completions; a later call resumes the same wait. Returns
+    /// `true` when a permit was granted (the connection leaves the
+    /// queue), `false` on timeout.
+    pub fn acquire_for(&self, conn: u64, timeout: Duration) -> bool {
+        let mut state = lock(&self.state);
+        if !state.queue.contains(&conn) {
+            state.queue.push_back(conn);
+        }
+        let mut remaining = timeout;
+        loop {
+            if state.queue.front() == Some(&conn) && state.available > 0 {
+                state.available -= 1;
+                state.queue.pop_front();
+                // The next queued connection may now be at the front.
+                self.changed.notify_all();
+                return true;
+            }
+            if remaining.is_zero() {
+                return false;
+            }
+            let wait = remaining.min(Duration::from_millis(20));
+            remaining = remaining.saturating_sub(wait);
+            state = self
+                .changed
+                .wait_timeout(state, wait)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+    }
+
+    /// Returns one permit to the pool.
+    pub fn release(&self) {
+        self.release_many(1);
+    }
+
+    /// Returns `n` permits to the pool (capped at capacity — releasing
+    /// more than was acquired is an accounting bug upstream, contained
+    /// here rather than inflating the pool).
+    pub fn release_many(&self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        let mut state = lock(&self.state);
+        state.available = (state.available + n).min(self.capacity);
+        self.changed.notify_all();
+    }
+
+    /// Removes `conn` from the admission queue (connection teardown, or
+    /// a refusal during drain). Idempotent.
+    pub fn leave(&self, conn: u64) {
+        let mut state = lock(&self.state);
+        state.queue.retain(|&c| c != conn);
+        self.changed.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TICK: Duration = Duration::from_millis(5);
+
+    #[test]
+    fn permits_are_granted_up_to_capacity() {
+        let budget = FairBudget::new(2);
+        assert!(budget.acquire_for(1, TICK));
+        assert!(budget.acquire_for(1, TICK));
+        assert!(!budget.acquire_for(1, TICK), "third permit must time out");
+        budget.release();
+        assert!(budget.acquire_for(1, TICK));
+        budget.release_many(2);
+        assert_eq!(budget.available(), 2);
+    }
+
+    #[test]
+    fn front_of_queue_goes_first() {
+        let budget = FairBudget::new(1);
+        assert!(budget.acquire_for(1, TICK));
+        // Both wait; conn 2 queued first, so after a release conn 2 wins
+        // even when conn 3 retries first.
+        assert!(!budget.acquire_for(2, TICK));
+        assert!(!budget.acquire_for(3, TICK));
+        budget.release();
+        assert!(!budget.acquire_for(3, TICK), "conn 3 is behind conn 2");
+        assert!(budget.acquire_for(2, TICK));
+        budget.release();
+        assert!(budget.acquire_for(3, TICK));
+    }
+
+    #[test]
+    fn leaving_the_queue_unblocks_the_next_connection() {
+        let budget = FairBudget::new(1);
+        assert!(budget.acquire_for(1, TICK));
+        assert!(!budget.acquire_for(2, TICK));
+        assert!(!budget.acquire_for(3, TICK));
+        budget.leave(2);
+        budget.release();
+        assert!(budget.acquire_for(3, TICK), "conn 3 moves up when 2 leaves");
+    }
+
+    #[test]
+    fn release_is_capped_at_capacity() {
+        let budget = FairBudget::new(2);
+        budget.release_many(10);
+        assert_eq!(budget.available(), 2);
+    }
+
+    #[test]
+    fn cross_thread_handoff_wakes_a_waiter() {
+        let budget = std::sync::Arc::new(FairBudget::new(1));
+        assert!(budget.acquire_for(1, TICK));
+        let clone = std::sync::Arc::clone(&budget);
+        let waiter = std::thread::spawn(move || clone.acquire_for(2, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        budget.release();
+        assert!(waiter.join().unwrap(), "waiter granted after release");
+    }
+}

@@ -1,0 +1,349 @@
+//! One client connection: a pipelined session over a shared engine.
+//!
+//! Each accepted socket gets one handler thread running
+//! [`run_connection`]. The handler owns a [`PipelinedSession`] built over
+//! the server's shared [`Engine`](zeroconf_engine::Engine) `Arc`, so
+//! π-tables computed for one client are warm for every other, while all
+//! in-flight bookkeeping (ids, held-back rescores, completions) stays
+//! private to the connection — which is also what makes client-chosen
+//! request ids collision-free across connections: the server-side
+//! identity of a request is the pair `conn_id:wire_id`.
+//!
+//! The loop is single-threaded and poll-based over a blocking socket
+//! with a short read timeout: read a chunk, split it into lines, admit
+//! each line (taking a permit from the [`FairBudget`] when it adds
+//! engine work), then write whatever completed. Timeouts are not errors
+//! — they are the tick that lets responses flow while the client is
+//! quiet.
+//!
+//! End-of-stream semantics are deliberate: a client that wants its
+//! answers keeps the connection open until it has read them, so **EOF
+//! means the client is gone** — every unanswered request of that
+//! connection (and only that connection) is withdrawn, its permits
+//! return to the pool, and nothing is written. Server drain
+//! ([`Shutdown`]) is the opposite: stop *reading*, finish everything
+//! in flight, flush every response, then close.
+
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+use std::time::Duration;
+
+use zeroconf_engine::wire::{self, Json, PipelinedSession};
+use zeroconf_engine::{EngineError, PipelineConfig};
+
+use crate::metrics::{stats_response_line, ConnMetrics, StatsSnapshot};
+use crate::ServerShared;
+
+/// The read-timeout tick of the handler loop.
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+/// Socket abstraction the handler needs beyond `Read + Write`: a read
+/// timeout, so the loop can interleave reading and response polling.
+/// Implemented for [`std::net::TcpStream`] and (on unix)
+/// `std::os::unix::net::UnixStream`.
+pub trait ClientStream: Read + Write + Send {
+    /// Arms a read timeout; subsequent reads fail with
+    /// [`io::ErrorKind::WouldBlock`] / [`io::ErrorKind::TimedOut`]
+    /// instead of blocking forever.
+    fn set_read_timeout(&self, timeout: Duration) -> io::Result<()>;
+}
+
+impl ClientStream for std::net::TcpStream {
+    fn set_read_timeout(&self, timeout: Duration) -> io::Result<()> {
+        std::net::TcpStream::set_read_timeout(self, Some(timeout))
+    }
+}
+
+#[cfg(unix)]
+impl ClientStream for std::os::unix::net::UnixStream {
+    fn set_read_timeout(&self, timeout: Duration) -> io::Result<()> {
+        std::os::unix::net::UnixStream::set_read_timeout(self, Some(timeout))
+    }
+}
+
+/// How a connection ended.
+enum Ending {
+    /// Client closed or broke the stream: withdraw its unanswered work.
+    ClientGone,
+    /// Server drain: answer everything, flush, close.
+    Drain,
+}
+
+/// Serves one client connection to completion. Never panics; every IO
+/// failure is a normal connection ending.
+pub fn run_connection(stream: Box<dyn ClientStream>, shared: &Arc<ServerShared>, conn_id: u64) {
+    let mut conn = Conn {
+        stream,
+        session: PipelinedSession::with_engine(
+            Arc::clone(&shared.engine),
+            PipelineConfig {
+                depth: shared.budget.capacity(),
+                executors: shared.budget.capacity().min(4),
+            },
+        ),
+        shared: Arc::clone(shared),
+        conn_id,
+        metrics: ConnMetrics::default(),
+        permits: 0,
+        write_failed: false,
+    };
+    let ending = conn.serve_lines();
+    match ending {
+        Ending::ClientGone => conn.withdraw(),
+        Ending::Drain => conn.drain(),
+    }
+    conn.shared.budget.leave(conn_id);
+    conn.shared
+        .metrics
+        .connections_closed
+        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+}
+
+struct Conn {
+    stream: Box<dyn ClientStream>,
+    session: PipelinedSession,
+    shared: Arc<ServerShared>,
+    conn_id: u64,
+    metrics: ConnMetrics,
+    /// Budget permits currently held; kept equal to `session.pending()`
+    /// by [`Conn::sync_permits`].
+    permits: usize,
+    /// A response write failed: the client cannot receive answers any
+    /// more, so the connection counts as gone even if reads still work.
+    write_failed: bool,
+}
+
+impl Conn {
+    /// The read/admit/write loop. Returns how the connection ended.
+    fn serve_lines(&mut self) -> Ending {
+        if self.stream.set_read_timeout(POLL_INTERVAL).is_err() {
+            return Ending::ClientGone;
+        }
+        let mut chunk = [0_u8; 4096];
+        let mut pending_input: Vec<u8> = Vec::new();
+        loop {
+            if self.shared.shutdown.is_triggered() {
+                return Ending::Drain;
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Ending::ClientGone,
+                Ok(n) => {
+                    self.metrics.bytes_in += n as u64;
+                    pending_input.extend_from_slice(&chunk[..n]);
+                    for line in take_lines(&mut pending_input) {
+                        self.handle_line(&line);
+                        if self.shared.shutdown.is_triggered() {
+                            return Ending::Drain;
+                        }
+                    }
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock
+                            | io::ErrorKind::TimedOut
+                            | io::ErrorKind::Interrupted
+                    ) => {}
+                Err(_) => return Ending::ClientGone,
+            }
+            let ready = self.session.poll_responses();
+            // Permits return as soon as completions are polled — before
+            // the write, which can stall on a client that is not reading.
+            // A slow reader therefore blocks only its own handler, never
+            // the shared budget.
+            self.sync_permits();
+            self.write_lines(&ready);
+            if self.write_failed {
+                return Ending::ClientGone;
+            }
+        }
+    }
+
+    /// Admits one request line: serve-level `stats` verbs are answered
+    /// here; everything else goes through the session, taking a fairness
+    /// permit first when it adds engine work.
+    fn handle_line(&mut self, line: &str) {
+        let line = line.trim();
+        if line.is_empty() {
+            return;
+        }
+        self.metrics.requests += 1;
+        self.shared
+            .metrics
+            .requests
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let parsed = wire::parse_json(line).ok();
+        if let Some(value) = &parsed {
+            if value.get("stats").is_some() {
+                let id = str_member(value, "id").unwrap_or_default().to_owned();
+                let stats_line = stats_response_line(&id, &self.snapshot());
+                self.write_lines(&[stats_line]);
+                return;
+            }
+            if value.get("cancel").is_some() {
+                self.metrics.cancellations += 1;
+            }
+        }
+        let adds_work = parsed
+            .as_ref()
+            .is_some_and(|v| v.get("scenario").is_some() || v.get("rescore").is_some());
+        if adds_work && !self.admit() {
+            // Shutdown fired while waiting for a permit: refuse the
+            // request instead of admitting work past the drain point.
+            let id = parsed
+                .as_ref()
+                .and_then(|v| str_member(v, "id"))
+                .unwrap_or_default()
+                .to_owned();
+            let refusal = wire::error_line(&id, &EngineError::Cancelled);
+            self.write_lines(&[refusal]);
+            return;
+        }
+        let immediate = self.session.submit_line(line);
+        self.sync_permits();
+        self.write_lines(&immediate);
+    }
+
+    /// Waits for a fairness permit, polling and writing this
+    /// connection's own completions between attempts (which is what
+    /// frees permits when this connection holds them all). Returns
+    /// `false` when shutdown is triggered or the client stops receiving
+    /// before a permit is granted.
+    fn admit(&mut self) -> bool {
+        loop {
+            if self.shared.budget.acquire_for(self.conn_id, POLL_INTERVAL) {
+                self.permits += 1;
+                return true;
+            }
+            if self.shared.shutdown.is_triggered() || self.write_failed {
+                self.shared.budget.leave(self.conn_id);
+                return false;
+            }
+            let ready = self.session.poll_responses();
+            self.sync_permits();
+            if !ready.is_empty() {
+                // Writing can stall indefinitely on a client that is not
+                // reading its answers. Step out of the admission queue
+                // first, so a stalled write never parks this connection
+                // at the queue head while permits sit free — the
+                // position is given up, not held hostage.
+                self.shared.budget.leave(self.conn_id);
+                self.write_lines(&ready);
+            }
+        }
+    }
+
+    /// Releases permits for requests that are no longer pending, keeping
+    /// `permits == session.pending()`.
+    fn sync_permits(&mut self) {
+        let pending = self.session.pending();
+        if self.permits > pending {
+            self.shared.budget.release_many(self.permits - pending);
+            self.permits = pending;
+        }
+    }
+
+    /// Writes response lines; failures latch `write_failed` (checked by
+    /// the loop) rather than aborting mid-batch bookkeeping.
+    fn write_lines(&mut self, lines: &[String]) {
+        for line in lines {
+            self.metrics.responses += 1;
+            self.shared
+                .metrics
+                .responses
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if self.write_failed {
+                continue;
+            }
+            if self
+                .stream
+                .write_all(line.as_bytes())
+                .and_then(|()| self.stream.write_all(b"\n"))
+                .is_err()
+            {
+                self.write_failed = true;
+            } else {
+                self.metrics.bytes_out += line.len() as u64 + 1;
+            }
+        }
+        if !lines.is_empty() && !self.write_failed && self.stream.flush().is_err() {
+            self.write_failed = true;
+        }
+    }
+
+    /// The client-gone path: withdraw every unanswered request of this
+    /// connection, discard the resulting response lines, return permits.
+    fn withdraw(&mut self) {
+        let abandoned = self.session.pending() as u64;
+        self.metrics.cancellations += abandoned;
+        self.shared
+            .metrics
+            .cancelled_on_disconnect
+            .fetch_add(abandoned, std::sync::atomic::Ordering::Relaxed);
+        let _ = self.session.cancel_all();
+        let _ = self.session.drain();
+        self.sync_permits();
+    }
+
+    /// The server-drain path: stop reading, answer everything in flight,
+    /// flush, close.
+    fn drain(&mut self) {
+        let remaining = self.session.drain();
+        self.sync_permits();
+        self.write_lines(&remaining);
+    }
+
+    fn snapshot(&self) -> StatsSnapshot<'_> {
+        StatsSnapshot {
+            conn_id: self.conn_id,
+            conn: self.metrics,
+            pending: self.session.pending(),
+            pipeline: self.session.pipeline_stats(),
+            server: &self.shared.metrics,
+            budget_capacity: self.shared.budget.capacity(),
+            engine: self.session.stats(),
+        }
+    }
+}
+
+/// Splits complete `\n`-terminated lines off the front of `buf`,
+/// leaving any trailing partial line in place for the next read.
+fn take_lines(buf: &mut Vec<u8>) -> Vec<String> {
+    let mut lines = Vec::new();
+    while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+        let rest = buf.split_off(pos + 1);
+        let mut line = std::mem::replace(buf, rest);
+        line.pop();
+        lines.push(String::from_utf8_lossy(&line).into_owned());
+    }
+    lines
+}
+
+fn str_member<'j>(value: &'j Json, key: &str) -> Option<&'j str> {
+    match value.get(key) {
+        Some(Json::Str(s)) => Some(s),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_lines_keeps_partial_tail() {
+        let mut buf = b"one\ntwo\nthr".to_vec();
+        assert_eq!(take_lines(&mut buf), vec!["one", "two"]);
+        assert_eq!(buf, b"thr");
+        buf.extend_from_slice(b"ee\n");
+        assert_eq!(take_lines(&mut buf), vec!["three"]);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn take_lines_handles_empty_and_blank_lines() {
+        let mut buf = b"\n\nx\n".to_vec();
+        assert_eq!(take_lines(&mut buf), vec!["", "", "x"]);
+        assert!(buf.is_empty());
+    }
+}

@@ -1,0 +1,390 @@
+//! `zeroconf serve` — a multi-client socket daemon over one shared engine.
+//!
+//! The cost model earns its keep when many operators query landscapes,
+//! rescores and optimal-`(n, r)` answers against one *warm* π-table
+//! cache; a per-invocation CLI pays process startup and cold caches every
+//! time. This crate turns the engine's JSON-lines wire protocol
+//! ([`zeroconf_engine::wire`]) into a resident service:
+//!
+//! - **Listeners**: any number of TCP and Unix-domain sockets
+//!   ([`Endpoint`]), each with its own supervisor thread and a bounded
+//!   accept loop (`--max-conns`; excess connections receive one refusal
+//!   line and are closed).
+//! - **Sessions**: every connection gets its own
+//!   [`PipelinedSession`](zeroconf_engine::wire::PipelinedSession) over
+//!   the one shared [`Engine`](zeroconf_engine::Engine) `Arc` — π-tables
+//!   computed for one client are warm for all, while request ids stay
+//!   session-scoped (the server-side identity of a request is
+//!   `conn_id:wire_id`, so client-chosen ids can never collide across
+//!   connections).
+//! - **Fairness**: admission into the engine is governed by a global
+//!   in-flight budget ([`FairBudget`], `--inflight`) granted round-robin
+//!   across asking connections — a client that pipelines hundreds of
+//!   sweeps cannot starve one that sends a single request.
+//! - **Observability**: the serve-level `stats` wire verb
+//!   (`{"v":1,"id":"…","stats":true}`) answers with per-connection,
+//!   server-wide and shared-engine counters.
+//! - **Lifecycle**: a client disconnect withdraws that connection's
+//!   unanswered requests (and only those); `SIGTERM`/`SIGINT` (via
+//!   [`zeroconf_engine::signal`]) or a programmatic [`Shutdown`] trigger
+//!   drains the whole server — stop accepting, stop reading, answer
+//!   everything in flight, flush, exit cleanly.
+//!
+//! See DESIGN.md ("Serving architecture") for the connection lifecycle
+//! and the fairness/drain semantics in detail.
+
+#![forbid(unsafe_code)]
+
+mod budget;
+mod conn;
+mod listener;
+mod metrics;
+
+pub use budget::FairBudget;
+pub use conn::ClientStream;
+pub use listener::Endpoint;
+pub use metrics::{
+    capacity_refusal_line, stats_response_line, ConnMetrics, ServerMetrics, StatsSnapshot,
+};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use zeroconf_engine::{Engine, EngineConfig};
+
+/// How often the run loop checks for shutdown.
+const SHUTDOWN_POLL: Duration = Duration::from_millis(25);
+
+/// A fatal serve error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeError(pub String);
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// The server's stop signal: a local flag (for tests and embedders)
+/// optionally combined with the process-wide termination flag raised by
+/// `SIGTERM`/`SIGINT` handlers ([`zeroconf_engine::signal`]).
+#[derive(Clone)]
+pub struct Shutdown {
+    local: Arc<AtomicBool>,
+    follow_process_signal: bool,
+}
+
+impl Shutdown {
+    fn new(follow_process_signal: bool) -> Shutdown {
+        Shutdown {
+            local: Arc::new(AtomicBool::new(false)),
+            follow_process_signal,
+        }
+    }
+
+    /// Triggers the drain programmatically. Idempotent.
+    pub fn trigger(&self) {
+        self.local.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the server should drain: locally triggered, or (when
+    /// following process signals) a `SIGTERM`/`SIGINT` arrived.
+    #[must_use]
+    pub fn is_triggered(&self) -> bool {
+        self.local.load(Ordering::Relaxed)
+            || (self.follow_process_signal && zeroconf_engine::signal::termination_requested())
+    }
+}
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Addresses to listen on (at least one).
+    pub endpoints: Vec<Endpoint>,
+    /// The shared engine's configuration (workers, cache, spill dir).
+    pub engine: EngineConfig,
+    /// The global in-flight budget shared fairly across connections.
+    pub inflight: usize,
+    /// Maximum concurrently served connections.
+    pub max_connections: usize,
+    /// Whether the server drains on process `SIGTERM`/`SIGINT` (the
+    /// daemon path). Embedded/test servers keep this off and use
+    /// [`Server::shutdown_handle`] instead.
+    pub follow_process_signals: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            endpoints: Vec::new(),
+            engine: EngineConfig::default(),
+            inflight: 8,
+            max_connections: 64,
+            follow_process_signals: false,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Parses daemon flags: repeatable `--tcp ADDR` / `--unix PATH`
+    /// endpoints plus `--workers N`, `--cache TABLES`, `--cache-dir
+    /// PATH`, `--mmap`, `--inflight N` and `--max-conns N`. The parsed
+    /// config follows process signals (it is the daemon entry path).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError`] for unknown flags, malformed values or a missing
+    /// endpoint.
+    pub fn from_args(args: &[String]) -> Result<ServeConfig, ServeError> {
+        let mut config = ServeConfig {
+            follow_process_signals: true,
+            ..ServeConfig::default()
+        };
+        let mut iter = args.iter();
+        while let Some(flag) = iter.next() {
+            let mut value_of = |name: &str| {
+                iter.next()
+                    .cloned()
+                    .ok_or_else(|| ServeError(format!("--{name} requires a value")))
+            };
+            match flag.as_str() {
+                "--tcp" => config.endpoints.push(Endpoint::Tcp(value_of("tcp")?)),
+                "--unix" => config
+                    .endpoints
+                    .push(Endpoint::Unix(std::path::PathBuf::from(value_of("unix")?))),
+                "--workers" => {
+                    config.engine.workers = parse_count("workers", &value_of("workers")?)?
+                }
+                "--cache" => {
+                    config.engine.cache_tables = parse_count("cache", &value_of("cache")?)?
+                }
+                "--cache-dir" => {
+                    config.engine.cache_dir =
+                        Some(std::path::PathBuf::from(value_of("cache-dir")?));
+                }
+                "--mmap" => config.engine.mmap_spills = true,
+                "--inflight" => config.inflight = parse_count("inflight", &value_of("inflight")?)?,
+                "--max-conns" => {
+                    config.max_connections = parse_count("max-conns", &value_of("max-conns")?)?;
+                }
+                other => {
+                    return Err(ServeError(format!(
+                        "unknown serve flag '{other}'\n{}",
+                        serve_usage()
+                    )))
+                }
+            }
+        }
+        if config.endpoints.is_empty() {
+            return Err(ServeError(format!(
+                "serve needs at least one --tcp ADDR or --unix PATH endpoint\n{}",
+                serve_usage()
+            )));
+        }
+        Ok(config)
+    }
+}
+
+fn parse_count(name: &str, raw: &str) -> Result<usize, ServeError> {
+    raw.parse::<usize>()
+        .ok()
+        .filter(|n| *n > 0)
+        .ok_or_else(|| ServeError(format!("--{name} expects a positive integer, got '{raw}'")))
+}
+
+/// The serve flag summary (shared by the bin and the `zeroconf` CLI).
+#[must_use]
+pub fn serve_usage() -> String {
+    "usage: zeroconf serve (--tcp ADDR | --unix PATH)... [--workers N] [--cache TABLES]\n\
+     \u{20}      [--cache-dir PATH] [--mmap] [--inflight N] [--max-conns N]"
+        .to_owned()
+}
+
+/// State shared by the accept loops and every connection handler.
+pub(crate) struct ServerShared {
+    pub(crate) engine: Arc<Engine>,
+    pub(crate) budget: FairBudget,
+    pub(crate) shutdown: Shutdown,
+    pub(crate) metrics: ServerMetrics,
+    pub(crate) max_connections: usize,
+}
+
+/// A bound (but not yet running) server: sockets are listening, so
+/// clients can connect the moment [`Server::run`] starts accepting.
+pub struct Server {
+    shared: Arc<ServerShared>,
+    listeners: Vec<listener::BoundListener>,
+}
+
+impl Server {
+    /// Binds every configured endpoint and builds the shared engine.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError`] when an endpoint cannot be bound or the config has
+    /// no endpoints.
+    pub fn bind(config: ServeConfig) -> Result<Server, ServeError> {
+        if config.endpoints.is_empty() {
+            return Err(ServeError("serve needs at least one endpoint".to_owned()));
+        }
+        let mut listeners = Vec::with_capacity(config.endpoints.len());
+        for endpoint in &config.endpoints {
+            listeners.push(listener::BoundListener::bind(endpoint)?);
+        }
+        let shared = Arc::new(ServerShared {
+            engine: Arc::new(Engine::new(config.engine)),
+            budget: FairBudget::new(config.inflight),
+            shutdown: Shutdown::new(config.follow_process_signals),
+            metrics: ServerMetrics::default(),
+            max_connections: config.max_connections.max(1),
+        });
+        Ok(Server { shared, listeners })
+    }
+
+    /// `scheme:address` descriptions of the bound sockets, in endpoint
+    /// order. TCP entries report the actual local address, so binding
+    /// port `0` reveals the OS-picked port here.
+    #[must_use]
+    pub fn endpoints(&self) -> Vec<String> {
+        self.listeners
+            .iter()
+            .map(listener::BoundListener::description)
+            .collect()
+    }
+
+    /// A handle that triggers this server's graceful drain.
+    #[must_use]
+    pub fn shutdown_handle(&self) -> Shutdown {
+        self.shared.shutdown.clone()
+    }
+
+    /// Serves until shutdown, then drains: accept loops stop, every
+    /// connection answers its in-flight work and flushes, handler
+    /// threads are joined, Unix socket files are removed. Returns a
+    /// one-line summary.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError`] when a supervisor thread cannot be spawned.
+    pub fn run(self) -> Result<String, ServeError> {
+        let mut supervisors = Vec::with_capacity(self.listeners.len());
+        for (index, bound) in self.listeners.into_iter().enumerate() {
+            let shared = Arc::clone(&self.shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("zeroconf-accept-{index}"))
+                .spawn(move || listener::accept_loop(&bound, &shared))
+                .map_err(|e| ServeError(format!("spawning accept loop: {e}")))?;
+            supervisors.push(handle);
+        }
+        while !self.shared.shutdown.is_triggered() {
+            std::thread::sleep(SHUTDOWN_POLL);
+        }
+        for handle in supervisors {
+            let _ = handle.join();
+        }
+        let m = &self.shared.metrics;
+        Ok(format!(
+            "drained cleanly: {} connection(s) served, {} request(s), {} response(s), \
+             {} withdrawn at disconnect",
+            m.connections_opened.load(Ordering::Relaxed),
+            m.requests.load(Ordering::Relaxed),
+            m.responses.load(Ordering::Relaxed),
+            m.cancelled_on_disconnect.load(Ordering::Relaxed),
+        ))
+    }
+}
+
+/// The daemon entry path shared by the `zeroconf-serve` bin and the
+/// `zeroconf serve` subcommand: parse flags, install the termination
+/// handlers, bind, announce each endpoint as a `listening <scheme:addr>`
+/// line on `out`, serve until SIGTERM/SIGINT, drain, return the summary.
+///
+/// # Errors
+///
+/// [`ServeError`] for flag, bind or spawn failures.
+pub fn run_cli(args: &[String], out: &mut dyn std::io::Write) -> Result<String, ServeError> {
+    let config = ServeConfig::from_args(args)?;
+    if config.follow_process_signals {
+        let _ = zeroconf_engine::signal::install_termination_handler();
+    }
+    let server = Server::bind(config)?;
+    for endpoint in server.endpoints() {
+        writeln!(out, "listening {endpoint}")
+            .map_err(|e| ServeError(format!("writing startup line: {e}")))?;
+    }
+    out.flush()
+        .map_err(|e| ServeError(format!("flushing startup lines: {e}")))?;
+    server.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn from_args_parses_endpoints_and_tuning() {
+        let config = ServeConfig::from_args(&args(
+            "--tcp 127.0.0.1:0 --unix /tmp/z.sock --workers 2 --cache 64 \
+             --mmap --inflight 6 --max-conns 9",
+        ))
+        .unwrap();
+        assert_eq!(config.endpoints.len(), 2);
+        assert_eq!(config.endpoints[0], Endpoint::Tcp("127.0.0.1:0".into()));
+        assert_eq!(
+            config.endpoints[1],
+            Endpoint::Unix(std::path::PathBuf::from("/tmp/z.sock"))
+        );
+        assert_eq!(config.engine.workers, 2);
+        assert_eq!(config.engine.cache_tables, 64);
+        assert!(config.engine.mmap_spills);
+        assert_eq!(config.inflight, 6);
+        assert_eq!(config.max_connections, 9);
+        assert!(config.follow_process_signals);
+    }
+
+    #[test]
+    fn from_args_requires_an_endpoint_and_rejects_junk() {
+        let e = ServeConfig::from_args(&args("--workers 2")).unwrap_err();
+        assert!(e.0.contains("at least one"), "{e}");
+        let e = ServeConfig::from_args(&args("--bogus 1")).unwrap_err();
+        assert!(e.0.contains("unknown serve flag"), "{e}");
+        let e = ServeConfig::from_args(&args("--tcp")).unwrap_err();
+        assert!(e.0.contains("requires a value"), "{e}");
+        let e = ServeConfig::from_args(&args("--tcp x --inflight zero")).unwrap_err();
+        assert!(e.0.contains("positive integer"), "{e}");
+        let e = ServeConfig::from_args(&args("--tcp x --inflight 0")).unwrap_err();
+        assert!(e.0.contains("positive integer"), "{e}");
+    }
+
+    #[test]
+    fn shutdown_handle_triggers_locally() {
+        let shutdown = Shutdown::new(false);
+        assert!(!shutdown.is_triggered());
+        shutdown.clone().trigger();
+        assert!(shutdown.is_triggered());
+    }
+
+    #[test]
+    fn binding_port_zero_reports_the_real_port() {
+        let server = Server::bind(ServeConfig {
+            endpoints: vec![Endpoint::Tcp("127.0.0.1:0".into())],
+            engine: EngineConfig {
+                workers: 1,
+                ..EngineConfig::default()
+            },
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let endpoints = server.endpoints();
+        assert_eq!(endpoints.len(), 1);
+        assert!(endpoints[0].starts_with("tcp:127.0.0.1:"), "{endpoints:?}");
+        assert!(!endpoints[0].ends_with(":0"), "{endpoints:?}");
+    }
+}

@@ -1,0 +1,174 @@
+//! Listening endpoints and their accept loops.
+//!
+//! One supervisor thread per bound socket runs [`accept_loop`]:
+//! non-blocking accepts polled on a short tick (so the loop notices
+//! shutdown promptly), a connection-count bound enforced *before* a
+//! handler thread is spawned (excess connections get one refusal line
+//! and are closed), and a join of every handler it spawned once
+//! shutdown triggers — which is what makes SIGTERM drain lossless: the
+//! server process only exits after every connection has flushed its
+//! in-flight responses.
+//!
+//! Unix-domain sockets are bound fresh: a stale socket file from a
+//! previous process is removed before binding, and the file is unlinked
+//! again when the loop ends.
+
+use std::io::Write;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::conn::{run_connection, ClientStream};
+use crate::metrics::capacity_refusal_line;
+use crate::{ServeError, ServerShared};
+
+/// How long the accept loop sleeps when nothing is pending.
+const ACCEPT_IDLE: Duration = Duration::from_millis(10);
+
+/// One address the server listens on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A TCP address, e.g. `127.0.0.1:7373` (port `0` picks one).
+    Tcp(String),
+    /// A Unix-domain socket path (unix targets only).
+    Unix(PathBuf),
+}
+
+/// A bound, non-blocking listening socket.
+pub(crate) enum BoundListener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixListener, PathBuf),
+}
+
+impl BoundListener {
+    /// Binds `endpoint`, configuring the socket for non-blocking
+    /// accepts. Stale Unix socket files are replaced.
+    pub(crate) fn bind(endpoint: &Endpoint) -> Result<BoundListener, ServeError> {
+        match endpoint {
+            Endpoint::Tcp(addr) => {
+                let listener = TcpListener::bind(addr)
+                    .map_err(|e| ServeError(format!("binding tcp {addr}: {e}")))?;
+                listener
+                    .set_nonblocking(true)
+                    .map_err(|e| ServeError(format!("configuring tcp {addr}: {e}")))?;
+                Ok(BoundListener::Tcp(listener))
+            }
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                if path.exists() {
+                    std::fs::remove_file(path).map_err(|e| {
+                        ServeError(format!("removing stale socket {}: {e}", path.display()))
+                    })?;
+                }
+                let listener = std::os::unix::net::UnixListener::bind(path)
+                    .map_err(|e| ServeError(format!("binding unix {}: {e}", path.display())))?;
+                listener
+                    .set_nonblocking(true)
+                    .map_err(|e| ServeError(format!("configuring unix {}: {e}", path.display())))?;
+                Ok(BoundListener::Unix(listener, path.clone()))
+            }
+            #[cfg(not(unix))]
+            Endpoint::Unix(path) => Err(ServeError(format!(
+                "unix-domain sockets are not supported on this platform ({})",
+                path.display()
+            ))),
+        }
+    }
+
+    /// A printable `scheme:address` description of the *bound* socket —
+    /// for TCP this is the actual local address, so binding port `0`
+    /// reports the ephemeral port picked by the OS.
+    pub(crate) fn description(&self) -> String {
+        match self {
+            BoundListener::Tcp(listener) => match listener.local_addr() {
+                Ok(addr) => format!("tcp:{addr}"),
+                Err(_) => "tcp:<unknown>".to_owned(),
+            },
+            #[cfg(unix)]
+            BoundListener::Unix(_, path) => format!("unix:{}", path.display()),
+        }
+    }
+
+    /// One non-blocking accept: `Ok(Some(stream))` for a new (blocking,
+    /// read-timeout-capable) client stream, `Ok(None)` when nothing is
+    /// pending.
+    fn accept(&self) -> std::io::Result<Option<Box<dyn ClientStream>>> {
+        match self {
+            BoundListener::Tcp(listener) => match listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false)?;
+                    Ok(Some(Box::new(stream)))
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+            #[cfg(unix)]
+            BoundListener::Unix(listener, _) => match listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false)?;
+                    Ok(Some(Box::new(stream)))
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+        }
+    }
+
+    /// Removes the socket file of a Unix listener (no-op for TCP).
+    fn cleanup(&self) {
+        #[cfg(unix)]
+        if let BoundListener::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// The supervisor loop for one listening socket: accept until shutdown,
+/// then join every handler thread this socket spawned.
+pub(crate) fn accept_loop(listener: &BoundListener, shared: &Arc<ServerShared>) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.is_triggered() {
+        match listener.accept() {
+            Ok(Some(mut stream)) => {
+                handlers.retain(|h| !h.is_finished());
+                if shared.metrics.open_connections() >= shared.max_connections as u64 {
+                    shared
+                        .metrics
+                        .connections_rejected
+                        .fetch_add(1, Ordering::Relaxed);
+                    let refusal = capacity_refusal_line();
+                    let _ = stream
+                        .write_all(refusal.as_bytes())
+                        .and_then(|()| stream.write_all(b"\n"))
+                        .and_then(|()| stream.flush());
+                    continue;
+                }
+                let conn_id = shared.metrics.next_connection_id();
+                let conn_shared = Arc::clone(shared);
+                let spawned = std::thread::Builder::new()
+                    .name(format!("zeroconf-conn-{conn_id}"))
+                    .spawn(move || run_connection(stream, &conn_shared, conn_id));
+                match spawned {
+                    Ok(handle) => handlers.push(handle),
+                    Err(_) => {
+                        // The connection was counted opened; count it
+                        // closed so the open-connection gauge stays true.
+                        shared
+                            .metrics
+                            .connections_closed
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Ok(None) | Err(_) => std::thread::sleep(ACCEPT_IDLE),
+        }
+    }
+    for handle in handlers {
+        let _ = handle.join();
+    }
+    listener.cleanup();
+}

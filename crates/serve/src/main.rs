@@ -1,0 +1,21 @@
+//! The `zeroconf-serve` daemon binary: bind, announce, serve, drain.
+//!
+//! Exit status 0 after a clean drain (SIGTERM/SIGINT), 2 on startup or
+//! flag errors. The library half ([`zeroconf_serve`]) does all the work;
+//! this shim exists so the daemon can be spawned directly — by init
+//! systems, by `ci.sh`, and by the integration tests that need a real
+//! process to signal.
+
+#![forbid(unsafe_code)]
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout();
+    match zeroconf_serve::run_cli(&args, &mut stdout) {
+        Ok(summary) => println!("{summary}"),
+        Err(error) => {
+            eprintln!("zeroconf-serve: {error}");
+            std::process::exit(2);
+        }
+    }
+}

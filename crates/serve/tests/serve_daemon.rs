@@ -1,0 +1,471 @@
+//! Integration tests for the `zeroconf serve` daemon: real sockets,
+//! concurrent clients, one shared engine.
+//!
+//! The in-process tests bind a [`Server`] on an ephemeral TCP port and
+//! drive it with blocking socket clients; the signal test spawns the
+//! actual `zeroconf-serve` binary on a Unix socket and delivers a real
+//! `SIGTERM`. Request frames come from [`zeroconf_engine::testkit`] —
+//! the same builders the engine's own wire-error suite uses.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use zeroconf_engine::wire::{parse_json, Json};
+use zeroconf_engine::{testkit, EngineConfig};
+use zeroconf_serve::{Endpoint, ServeConfig, ServeError, Server, Shutdown};
+
+const DEADLINE: Duration = Duration::from_secs(60);
+
+/// An in-process server on an ephemeral TCP port.
+struct TestServer {
+    addr: String,
+    shutdown: Shutdown,
+    thread: Option<std::thread::JoinHandle<Result<String, ServeError>>>,
+}
+
+impl TestServer {
+    fn start(inflight: usize, max_connections: usize) -> TestServer {
+        let server = Server::bind(ServeConfig {
+            endpoints: vec![Endpoint::Tcp("127.0.0.1:0".into())],
+            engine: EngineConfig {
+                workers: 2,
+                ..EngineConfig::default()
+            },
+            inflight,
+            max_connections,
+            follow_process_signals: false,
+        })
+        .expect("bind test server");
+        let addr = server.endpoints()[0]
+            .strip_prefix("tcp:")
+            .expect("tcp endpoint description")
+            .to_owned();
+        let shutdown = server.shutdown_handle();
+        let thread = std::thread::spawn(move || server.run());
+        TestServer {
+            addr,
+            shutdown,
+            thread: Some(thread),
+        }
+    }
+
+    fn stop(mut self) -> String {
+        self.shutdown.trigger();
+        self.thread
+            .take()
+            .expect("server thread present")
+            .join()
+            .expect("server thread joins")
+            .expect("server drains cleanly")
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        self.shutdown.trigger();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// A blocking line-oriented client over TCP.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to test server");
+        stream
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .expect("arm read timeout");
+        let reader = BufReader::new(stream.try_clone().expect("clone client stream"));
+        Client {
+            reader,
+            writer: stream,
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush())
+            .expect("send request line");
+    }
+
+    /// The next full response line, waiting up to `deadline` across read
+    /// timeouts. Panics (fails the test) when nothing arrives in time.
+    fn next_line(&mut self, deadline: Duration) -> String {
+        let end = Instant::now() + deadline;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match self.reader.read_line(&mut line) {
+                Ok(0) => panic!("server closed the connection while awaiting a response"),
+                Ok(_) => return line.trim_end().to_owned(),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    assert!(
+                        Instant::now() < end,
+                        "timed out waiting for a response line"
+                    );
+                }
+                Err(e) => panic!("reading response line: {e}"),
+            }
+        }
+    }
+
+    /// Reads lines until the response carrying `id` appears; returns it.
+    fn response_for(&mut self, id: &str) -> String {
+        let needle = format!("\"id\":\"{id}\"");
+        let end = Instant::now() + DEADLINE;
+        loop {
+            let line = self.next_line(DEADLINE);
+            if line.contains(&needle) {
+                return line;
+            }
+            assert!(Instant::now() < end, "no response for {id}");
+        }
+    }
+
+    /// Reads lines until every id in `ids` has appeared; responses may
+    /// complete in any order. Returns the matched lines, in `ids` order.
+    fn responses_for_all(&mut self, ids: &[&str]) -> Vec<String> {
+        let mut found: Vec<Option<String>> = vec![None; ids.len()];
+        while found.iter().any(Option::is_none) {
+            let line = self.next_line(DEADLINE);
+            for (slot, id) in found.iter_mut().zip(ids) {
+                if slot.is_none() && line.contains(&format!("\"id\":\"{id}\"")) {
+                    *slot = Some(line.clone());
+                }
+            }
+        }
+        found.into_iter().flatten().collect()
+    }
+
+    /// Issues a `stats` verb and returns the parsed response.
+    fn stats(&mut self, id: &str) -> Json {
+        self.send(&format!(
+            "{{\"v\":{},\"id\":\"{id}\",\"stats\":true}}",
+            zeroconf_engine::wire::WIRE_VERSION
+        ));
+        let line = self.response_for(id);
+        parse_json(&line).expect("stats response parses")
+    }
+}
+
+fn number(value: &Json, path: &[&str]) -> f64 {
+    let mut cursor = value;
+    for key in path {
+        cursor = cursor
+            .get(key)
+            .unwrap_or_else(|| panic!("missing {key} in {value:?}"));
+    }
+    match cursor {
+        Json::Num(x) => *x,
+        other => panic!("expected a number at {path:?}, got {other:?}"),
+    }
+}
+
+#[test]
+fn four_concurrent_clients_share_one_warm_engine() {
+    let server = TestServer::start(8, 16);
+    let addr = server.addr.clone();
+
+    // Client 0 warms the cache: its identical-shape sweep misses all
+    // three pi-tables.
+    let mut warmer = Client::connect(&addr);
+    warmer.send(&testkit::sweep_line("warm", 6, &[0.5, 1.0, 1.5]));
+    let cold = warmer.response_for("warm");
+    assert!(cold.contains("\"cache_misses\":3"), "{cold}");
+
+    // Four more clients, concurrently, all issuing the identical sweep:
+    // every one is served from the warm shared cache.
+    let workers: Vec<_> = (0..4)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr);
+                let id = format!("c{i}");
+                client.send(&testkit::sweep_line(&id, 6, &[0.5, 1.0, 1.5]));
+                client.response_for(&id)
+            })
+        })
+        .collect();
+    for worker in workers {
+        let response = worker.join().expect("client thread joins");
+        assert!(response.contains("\"cells\""), "{response}");
+        assert!(
+            response.contains("\"cache_misses\":0"),
+            "a later client must hit the cache another client warmed: {response}"
+        );
+    }
+
+    // The shared-engine block of `stats` shows the cross-client hits.
+    let stats = warmer.stats("st");
+    assert!(
+        number(&stats, &["stats", "engine", "cache_hits"]) >= 12.0,
+        "{stats:?}"
+    );
+    assert_eq!(number(&stats, &["stats", "engine", "cache_misses"]), 3.0);
+    assert!(number(&stats, &["stats", "server", "connections_total"]) >= 5.0);
+    assert_eq!(number(&stats, &["stats", "conn", "id"]), 1.0);
+
+    let summary = server.stop();
+    assert!(summary.contains("drained cleanly"), "{summary}");
+}
+
+#[test]
+fn mid_flight_disconnect_cancels_only_that_connection() {
+    let server = TestServer::start(4, 16);
+    let addr = server.addr.clone();
+
+    // The victim pipelines a long sweep plus a rescore held back behind
+    // it, then vanishes without reading anything.
+    let mut victim = Client::connect(&addr);
+    victim.send(&testkit::heavy_sweep_line("doomed", 64, 8000));
+    victim.send(&testkit::rescore_line("follow", "doomed", 1e9));
+    std::thread::sleep(Duration::from_millis(300));
+    drop(victim);
+
+    // A survivor connected to the same engine still gets its answer.
+    let mut survivor = Client::connect(&addr);
+    survivor.send(&testkit::sweep_line("ok", 4, &[1.0, 2.0]));
+    let response = survivor.response_for("ok");
+    assert!(response.contains("\"cells\""), "{response}");
+
+    // Both of the victim's requests — the in-flight sweep and the
+    // held-back rescore — are withdrawn; the survivor's are not.
+    let end = Instant::now() + DEADLINE;
+    loop {
+        let stats = survivor.stats("st");
+        let withdrawn = number(&stats, &["stats", "server", "cancelled_on_disconnect"]);
+        if withdrawn >= 2.0 {
+            assert_eq!(number(&stats, &["stats", "conn", "cancellations"]), 0.0);
+            break;
+        }
+        assert!(
+            Instant::now() < end,
+            "disconnect never cancelled the victim's requests: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    let summary = server.stop();
+    assert!(summary.contains("2 withdrawn at disconnect"), "{summary}");
+}
+
+#[test]
+fn wire_errors_and_capacity_refusals_over_a_real_socket() {
+    let server = TestServer::start(4, 1);
+    let addr = server.addr.clone();
+    let mut client = Client::connect(&addr);
+
+    // Malformed frame mid-stream: an error line, session stays alive.
+    client.send(&testkit::sweep_line("s1", 4, &[1.0, 2.0]));
+    client.response_for("s1");
+    client.send(testkit::MALFORMED_FRAME);
+    let broken = client.next_line(DEADLINE);
+    assert!(broken.contains("\"error\""), "{broken}");
+    client.send(&testkit::unknown_verb_line("u1"));
+    let unknown = client.response_for("u1");
+    assert!(unknown.contains("unknown request verb"), "{unknown}");
+    client.send(&testkit::sweep_line("s2", 4, &[1.0, 2.0]));
+    let alive = client.response_for("s2");
+    assert!(alive.contains("\"cells\""), "{alive}");
+
+    // The server is at --max-conns 1: a second connection is refused
+    // with one error line and closed.
+    let mut refused = TcpStream::connect(&addr).expect("connect refused client");
+    refused
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("arm read timeout");
+    let mut text = String::new();
+    refused
+        .read_to_string(&mut text)
+        .expect("read refusal then EOF");
+    assert!(text.contains("server at connection capacity"), "{text}");
+
+    let stats = client.stats("st");
+    assert_eq!(
+        number(&stats, &["stats", "server", "connections_rejected"]),
+        1.0
+    );
+
+    let summary = server.stop();
+    assert!(summary.contains("drained cleanly"), "{summary}");
+}
+
+#[test]
+fn programmatic_drain_answers_everything_in_flight() {
+    let server = TestServer::start(8, 8);
+    let addr = server.addr.clone();
+    let mut client = Client::connect(&addr);
+    let ids = ["q1", "q2", "q3", "q4"];
+    for id in ids {
+        client.send(&testkit::heavy_sweep_line(id, 32, 1200));
+    }
+    // Let the daemon admit the pipeline, then drain under load.
+    std::thread::sleep(Duration::from_millis(200));
+    server.shutdown.trigger();
+    for (id, response) in ids.iter().zip(client.responses_for_all(&ids)) {
+        assert!(
+            response.contains("\"cells\""),
+            "lossy drain for {id}: {response}"
+        );
+    }
+    let summary = server.stop();
+    assert!(summary.contains("4 request(s)"), "{summary}");
+}
+
+#[test]
+fn one_greedy_pipeliner_cannot_monopolize_the_budget() {
+    // Budget of 2 permits; a greedy client floods 8 sweeps *without
+    // reading any responses* while a modest client asks for one. The
+    // greedy handler stalls writing into a full socket buffer, so this
+    // only terminates if (a) admission rotates round-robin and (b)
+    // permits return when completions are polled, not when the write
+    // lands — i.e. a non-reading flooder cannot hold the budget.
+    let server = TestServer::start(2, 8);
+    let addr = server.addr.clone();
+
+    let mut greedy = Client::connect(&addr);
+    for i in 0..8 {
+        greedy.send(&testkit::heavy_sweep_line(&format!("g{i}"), 24, 600));
+    }
+    std::thread::sleep(Duration::from_millis(100));
+    let mut modest = Client::connect(&addr);
+    modest.send(&testkit::sweep_line("m", 4, &[1.0, 2.0]));
+    let response = modest.response_for("m");
+    assert!(response.contains("\"cells\""), "{response}");
+    let greedy_ids: Vec<String> = (0..8).map(|i| format!("g{i}")).collect();
+    let greedy_refs: Vec<&str> = greedy_ids.iter().map(String::as_str).collect();
+    for response in greedy.responses_for_all(&greedy_refs) {
+        assert!(response.contains("\"cells\""), "{response}");
+    }
+    let summary = server.stop();
+    assert!(summary.contains("drained cleanly"), "{summary}");
+}
+
+/// The real daemon under a real `SIGTERM`: spawned binary, Unix socket,
+/// two clients with work in flight, lossless drain, exit status 0.
+#[cfg(unix)]
+#[test]
+fn sigterm_drains_the_spawned_daemon_losslessly() {
+    use std::os::unix::net::UnixStream;
+
+    let socket =
+        std::env::temp_dir().join(format!("zeroconf-serve-test-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&socket);
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_zeroconf-serve"))
+        .args([
+            "--unix",
+            &socket.display().to_string(),
+            "--workers",
+            "2",
+            "--inflight",
+            "4",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn zeroconf-serve");
+
+    struct Reap(std::process::Child);
+    impl Drop for Reap {
+        fn drop(&mut self) {
+            let _ = self.0.kill();
+            let _ = self.0.wait();
+        }
+    }
+    let mut child_stdout = BufReader::new(child.stdout.take().expect("capture child stdout"));
+    let mut reap = Reap(child);
+
+    let mut announce = String::new();
+    child_stdout
+        .read_line(&mut announce)
+        .expect("read listening line");
+    assert!(announce.starts_with("listening unix:"), "{announce}");
+
+    let connect = || {
+        let stream = UnixStream::connect(&socket).expect("connect unix client");
+        stream
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .expect("arm read timeout");
+        (
+            BufReader::new(stream.try_clone().expect("clone unix stream")),
+            stream,
+        )
+    };
+    let send = |stream: &mut UnixStream, line: &str| {
+        stream
+            .write_all(line.as_bytes())
+            .and_then(|()| stream.write_all(b"\n"))
+            .expect("send over unix socket");
+    };
+    let (mut reader_a, mut writer_a) = connect();
+    let (mut reader_b, mut writer_b) = connect();
+    send(&mut writer_a, &testkit::heavy_sweep_line("a1", 32, 2000));
+    send(&mut writer_a, &testkit::sweep_line("a2", 4, &[1.0, 2.0]));
+    send(&mut writer_b, &testkit::heavy_sweep_line("b1", 32, 2000));
+    send(&mut writer_b, &testkit::sweep_line("b2", 4, &[1.5, 2.5]));
+    std::thread::sleep(Duration::from_millis(200));
+
+    let status = std::process::Command::new("sh")
+        .args(["-c", &format!("kill -TERM {}", reap.0.id())])
+        .status()
+        .expect("deliver SIGTERM");
+    assert!(status.success(), "kill -TERM failed");
+
+    // Every request sent before the signal is answered during the drain.
+    let read_all = |reader: &mut BufReader<UnixStream>, ids: [&str; 2]| {
+        let mut seen = Vec::new();
+        let end = Instant::now() + DEADLINE;
+        while seen.len() < ids.len() {
+            let mut line = String::new();
+            match reader.read_line(&mut line) {
+                Ok(0) => panic!("daemon closed before answering {ids:?}, saw {seen:?}"),
+                Ok(_) => {
+                    for id in ids {
+                        if line.contains(&format!("\"id\":\"{id}\"")) {
+                            assert!(line.contains("\"cells\""), "{line}");
+                            seen.push(id.to_owned());
+                        }
+                    }
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    assert!(Instant::now() < end, "drain never answered {ids:?}");
+                }
+                Err(e) => panic!("reading drained response: {e}"),
+            }
+        }
+    };
+    read_all(&mut reader_a, ["a1", "a2"]);
+    read_all(&mut reader_b, ["b1", "b2"]);
+    drop(writer_a);
+    drop(writer_b);
+
+    let status = reap.0.wait().expect("daemon exits");
+    assert!(
+        status.success(),
+        "SIGTERM drain must exit 0, got {status:?}"
+    );
+    let mut rest = String::new();
+    child_stdout
+        .read_to_string(&mut rest)
+        .expect("read daemon summary");
+    assert!(rest.contains("drained cleanly"), "{rest}");
+    assert!(!socket.exists(), "socket file must be unlinked on drain");
+}
