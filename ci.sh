@@ -49,6 +49,33 @@ grep -q '"pipeline":{"depth":3' <<<"$SMOKE_OUT" || {
   exit 1
 }
 
+echo "==> engine parametric verbs smoke test (calibrate + frontier)"
+# A sweep with a calibrate and a frontier riding behind it, all three
+# streamed before the sweep completes. Both parametric answers must
+# reuse the sweep's sufficient statistic: zero π-tables recomputed.
+PARAM_OUT="$(printf '%s\n' \
+  '{"v":1,"id":"s","scenario":{"q":0.5,"probe_cost":2.0,"error_cost":1e6,"reply_time":{"kind":"exponential","loss":1e-6,"rate":10.0,"delay":1.0}},"grid":{"n_max":3,"r":[0.5,1.0,2.0]}}' \
+  '{"v":1,"id":"k","calibrate":{"of":"s","n":2,"r":1.0}}' \
+  '{"v":1,"id":"f","frontier":{"of":"s","x":{"axis":"error_cost","values":[1e3,1e6]},"y":{"axis":"probe_cost","values":[1.0,2.0]}}}' \
+  | ./target/release/zeroconf engine --inflight 3)"
+grep -q '"id":"k","calibrate":{"error_cost":' <<<"$PARAM_OUT" || {
+  echo "ci: calibrate smoke answer lacks the recovered error cost" >&2
+  echo "$PARAM_OUT" >&2
+  exit 1
+}
+grep -q '"id":"f","frontier":{"candidates":4,"points":\[' <<<"$PARAM_OUT" || {
+  echo "ci: frontier smoke answer lacks the Pareto points" >&2
+  echo "$PARAM_OUT" >&2
+  exit 1
+}
+for id in k f; do
+  if ! grep "\"id\":\"$id\"" <<<"$PARAM_OUT" | grep -q '"cache_misses":0'; then
+    echo "ci: parametric verb '$id' recomputed π-tables instead of reusing the statistic" >&2
+    echo "$PARAM_OUT" >&2
+    exit 1
+  fi
+done
+
 echo "==> engine session smoke test (--mmap spill tier)"
 # Same request twice against a spill directory with the mmap tier on:
 # the second process must answer identically while serving its π-tables
@@ -101,12 +128,29 @@ for path in sys.argv[1:]:
         "kernel/legacy-per-n/columns",
         "kernel/block/columns",
         "engine/warm-mmap/threads=1",
+        "engine/frontier/warm",
+        "engine/frontier/per-point-recompute",
+        "engine/calibrate/warm",
     ):
         if needed not in ids:
             sys.exit(f"ci: {path} is missing the '{needed}' row")
     for row in rows:
         if row.get("cells_per_sec", 0) <= 0:
             sys.exit(f"ci: {path} row {row['id']} lacks a positive cells_per_sec")
+    # The parametric-layer acceptance bar: answering the frontier from
+    # the cached sufficient statistic must beat a cold sweep per
+    # parameter point by >= 20x in parameter-cell throughput (both rows
+    # normalize cells to candidates x grid cells). Measured headroom is
+    # ~10x above this gate, so smoke noise cannot trip it.
+    by_id2 = {row["id"]: row for row in rows}
+    warm_frontier = by_id2["engine/frontier/warm"]
+    recompute = by_id2["engine/frontier/per-point-recompute"]
+    ratio = warm_frontier["cells_per_sec"] / recompute["cells_per_sec"]
+    if ratio < 20.0:
+        sys.exit(
+            f"ci: {path} warm frontier is only {ratio:.1f}x the per-point "
+            "recompute baseline (acceptance floor is 20x)"
+        )
     # Small-sweep cutoff regression check: with the adaptive scheduler a
     # warm re-sweep must not get *slower* when the pool has threads. A
     # 2-sample smoke is noisy, so gate loosely (>= 0.75x) and only when
@@ -207,18 +251,41 @@ send(victim, rescore("v2", "v1"))
 send(survivor, sweep("a1", 64, 4000))
 send(survivor, rescore("a2", "a1"))
 send(survivor, sweep("a3", 4, 60))
+# The parametric verbs over the socket: a frontier referencing the
+# in-flight a3 sweep (held back until its statistic is warm) and an
+# inline calibrate carrying its own scenario and grid.
+send(survivor, {
+    "v": 1, "id": "a4",
+    "frontier": {
+        "of": "a3",
+        "x": {"axis": "error_cost", "values": [1e3, 1e6]},
+        "y": {"axis": "probe_cost", "values": [1.0, 2.0]},
+    },
+})
+send(survivor, {
+    "v": 1, "id": "a5",
+    "scenario": SCENARIO,
+    "grid": {"n_max": 3, "r": [0.5, 1.0, 2.0]},
+    "calibrate": {"n": 2, "r": 1.0},
+})
 time.sleep(0.15)
 # Mid-flight disconnect: the victim vanishes without reading anything.
 victim.close()
 time.sleep(0.1)
 # SIGTERM with the survivor's pipeline still loaded: lossless drain.
 os.kill(pid, signal.SIGTERM)
-rows = read_ids(survivor, {"a1", "a2", "a3"})
+rows = read_ids(survivor, {"a1", "a2", "a3", "a4", "a5"})
 for rid in ("a1", "a2", "a3"):
     if "cells" not in rows[rid]:
         sys.exit(f"ci: serve response for {rid} carries no landscape: {rows[rid]}")
+if rows["a4"].get("frontier", {}).get("candidates") != 4:
+    sys.exit(f"ci: serve frontier answer is malformed: {rows['a4']}")
+if not rows["a4"]["frontier"]["points"]:
+    sys.exit(f"ci: serve frontier answer has no Pareto points: {rows['a4']}")
+if rows["a5"].get("calibrate", {}).get("error_cost", 0) <= 0:
+    sys.exit(f"ci: serve calibrate answer lacks a positive error cost: {rows['a5']}")
 survivor.close()
-print("ci: serve answered the survivor's pipeline across disconnect and SIGTERM")
+print("ci: serve answered sweeps, rescores, frontier and calibrate across disconnect and SIGTERM")
 PY
 SERVE_STATUS=0
 wait "$SERVE_PID" || SERVE_STATUS=$?

@@ -32,10 +32,15 @@ pub const PINNED_CONSTS: &[(&str, &str)] = &[
     ("SPILL_MAGIC", "crates/engine/src/cache.rs"),
     ("SPILL_HEADER_LEN", "crates/engine/src/cache.rs"),
     ("WIRE_VERSION", "crates/engine/src/wire.rs"),
+    ("VERB_CALIBRATE", "crates/engine/src/wire.rs"),
+    ("VERB_FRONTIER", "crates/engine/src/wire.rs"),
     ("ROW_KERNEL_BLOCK", BENCH_SCHEMA),
     ("ROW_KERNEL_SINGLE_PASS", BENCH_SCHEMA),
     ("ROW_KERNEL_LEGACY", BENCH_SCHEMA),
     ("ROW_ENGINE_WARM_MMAP", BENCH_SCHEMA),
+    ("ROW_FRONTIER_WARM", BENCH_SCHEMA),
+    ("ROW_FRONTIER_RECOMPUTE", BENCH_SCHEMA),
+    ("ROW_CALIBRATE_WARM", BENCH_SCHEMA),
     ("ROW_STEM_ENGINE", BENCH_SCHEMA),
     ("ROW_STEM_SESSION", BENCH_SCHEMA),
     ("FIELD_ID", BENCH_SCHEMA),
@@ -78,6 +83,13 @@ pub const PINNED_LITERALS: &[(&str, &str, &str)] = &[
         "ROW_ENGINE_WARM_MMAP",
         BENCH_SCHEMA,
     ),
+    ("engine/frontier/warm", "ROW_FRONTIER_WARM", BENCH_SCHEMA),
+    (
+        "engine/frontier/per-point-recompute",
+        "ROW_FRONTIER_RECOMPUTE",
+        BENCH_SCHEMA,
+    ),
+    ("engine/calibrate/warm", "ROW_CALIBRATE_WARM", BENCH_SCHEMA),
     ("cells_per_sec", "FIELD_CELLS_PER_SEC", BENCH_SCHEMA),
     ("iters_per_sample", "FIELD_ITERS_PER_SAMPLE", BENCH_SCHEMA),
     ("median_ns", "FIELD_MEDIAN_NS", BENCH_SCHEMA),
@@ -253,11 +265,16 @@ mod tests {
             ScannedFile::new(
                 "crates/engine/src/wire.rs",
                 "pub const WIRE_VERSION: u64 = 1;\n\
+                 pub const VERB_CALIBRATE: &str = \"calibrate\";\n\
+                 pub const VERB_FRONTIER: &str = \"frontier\";\n\
                  fn emit(out: &mut String) { out.push_str(&format!(\"{{\\\"v\\\":{WIRE_VERSION}}}\")); }\n",
             ),
             ScannedFile::new(
                 BENCH_SCHEMA,
-                "pub const ROW_KERNEL_BLOCK: &str = \"kernel/block/columns\";\n\
+                "pub const ROW_FRONTIER_WARM: &str = \"engine/frontier/warm\";\n\
+                 pub const ROW_FRONTIER_RECOMPUTE: &str = \"engine/frontier/per-point-recompute\";\n\
+                 pub const ROW_CALIBRATE_WARM: &str = \"engine/calibrate/warm\";\n\
+                 pub const ROW_KERNEL_BLOCK: &str = \"kernel/block/columns\";\n\
                  pub const ROW_KERNEL_SINGLE_PASS: &str = \"kernel/single-pass/columns\";\n\
                  pub const ROW_KERNEL_LEGACY: &str = \"kernel/legacy-per-n/columns\";\n\
                  pub const ROW_ENGINE_WARM_MMAP: &str = \"engine/warm-mmap/threads=1\";\n\

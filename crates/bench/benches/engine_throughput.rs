@@ -28,7 +28,10 @@ use zeroconf_bench::harness::{black_box, format_nanos, measure, BenchRecord};
 use zeroconf_bench::schema;
 use zeroconf_cost::kernel::{ColumnBlockKernel, ColumnKernel};
 use zeroconf_cost::{cost, paper};
-use zeroconf_engine::{Engine, EngineConfig, GridSpec, Pipeline, PipelineConfig, SweepRequest};
+use zeroconf_engine::{
+    CalibrateRequest, Engine, EngineConfig, FrontierRequest, GridSpec, ParamAxis, Pipeline,
+    PipelineConfig, SweepRequest,
+};
 
 /// Grid size: 200 probe counts × 200 listening periods = 40 000 cells.
 const N_MAX: u32 = 200;
@@ -230,6 +233,123 @@ fn pipelined_session(
     )
 }
 
+/// Parametric-verb shape: a 32 × 40 scenario grid swept by a 64 × 64
+/// `(E, c)` parameter grid — the frontier acceptance geometry.
+const PARAM_N_MAX: u32 = 32;
+const PARAM_R_POINTS: usize = 40;
+const PARAM_AXIS_POINTS: usize = 64;
+/// Stride of the per-point-recompute baseline: an 8 × 8 subsample of the
+/// same axes, because a cold sweep per parameter point is orders of
+/// magnitude slower than the statistic scan. Rows are normalized to
+/// parameter-cell evaluations (`candidates × grid cells`), so
+/// `cells_per_sec` stays directly comparable across the two.
+const RECOMPUTE_STRIDE: usize = 8;
+
+fn param_grid() -> GridSpec {
+    GridSpec::linspace(PARAM_N_MAX, 0.1, 30.0, PARAM_R_POINTS)
+}
+
+/// Log-spaced collision costs and linear probe costs for the frontier.
+fn frontier_axes() -> (Vec<f64>, Vec<f64>) {
+    let span = (PARAM_AXIS_POINTS - 1) as f64;
+    let error_costs = (0..PARAM_AXIS_POINTS)
+        .map(|i| 10f64.powf(10.0 + 25.0 * i as f64 / span))
+        .collect();
+    let probe_costs = (0..PARAM_AXIS_POINTS)
+        .map(|i| 0.5 + 3.5 * i as f64 / span)
+        .collect();
+    (error_costs, probe_costs)
+}
+
+fn frontier_request() -> FrontierRequest {
+    let scenario = paper::figure2_scenario().expect("paper scenario is valid");
+    let (error_costs, probe_costs) = frontier_axes();
+    FrontierRequest::builder()
+        .scenario(scenario)
+        .grid(param_grid())
+        .x(ParamAxis::ErrorCost, error_costs)
+        .y(ParamAxis::ProbeCost, probe_costs)
+        .build()
+        .expect("frontier request is valid")
+}
+
+/// Warm frontier: the first call builds the sufficient-statistic
+/// landscape (and the π-tables under it); every timed pass answers the
+/// full 64 × 64 parameter grid from the cached statistic with zero π
+/// work, as asserted each iteration.
+fn frontier_warm(samples: usize) -> BenchRecord {
+    let engine = Engine::new(config(1));
+    let request = frontier_request();
+    let primed = engine
+        .frontier(&request)
+        .expect("priming frontier evaluates");
+    assert!(!primed.points.is_empty());
+    measure(schema::ROW_FRONTIER_WARM, samples, move || {
+        let response = engine.frontier(&request).expect("frontier evaluates");
+        assert_eq!(
+            response.stats.cache_misses, 0,
+            "warm frontier must not recompute π-tables"
+        );
+        black_box(response.points.len())
+    })
+}
+
+/// The naive baseline the frontier verb replaces: per parameter point, a
+/// cold engine (pool spawn included, as in the cold row) recomputes every
+/// π-table, sweeps the grid, and scans for the cheapest cell.
+fn frontier_recompute(samples: usize) -> BenchRecord {
+    let scenario = paper::figure2_scenario().expect("paper scenario is valid");
+    let (error_costs, probe_costs) = frontier_axes();
+    let grid = param_grid();
+    measure(schema::ROW_FRONTIER_RECOMPUTE, samples, move || {
+        let mut finite = 0_usize;
+        for &error_cost in error_costs.iter().step_by(RECOMPUTE_STRIDE) {
+            for &probe_cost in probe_costs.iter().step_by(RECOMPUTE_STRIDE) {
+                let point = ParamAxis::ErrorCost
+                    .apply(&scenario, error_cost)
+                    .and_then(|s| ParamAxis::ProbeCost.apply(&s, probe_cost))
+                    .expect("axis values are valid");
+                let engine = Engine::new(config(1));
+                let response = engine
+                    .evaluate(&SweepRequest::new(point, grid.clone()))
+                    .expect("sweep evaluates");
+                let best = response
+                    .landscape
+                    .iter()
+                    .filter(|cell| cell.mean_cost.is_some_and(f64::is_finite))
+                    .min_by(|a, b| a.mean_cost.partial_cmp(&b.mean_cost).expect("finite costs"));
+                finite += usize::from(best.is_some());
+            }
+        }
+        black_box(finite)
+    })
+}
+
+/// Closed-form `E*` calibration against the warm statistic: after the
+/// priming call the engine's landscape slot answers without touching a
+/// single π-table.
+fn calibrate_warm(samples: usize) -> BenchRecord {
+    let engine = Engine::new(config(1));
+    let grid = param_grid();
+    // An interior target in the regime where π_n is still representable:
+    // at larger r the n-probe no-answer probability underflows to zero
+    // and no finite collision cost can make the cell optimal.
+    let target_r = grid.r_values[5];
+    let request = CalibrateRequest::builder()
+        .scenario(paper::figure2_scenario().expect("paper scenario is valid"))
+        .grid(grid)
+        .target(4, target_r)
+        .build()
+        .expect("calibrate request is valid");
+    engine
+        .calibrate(&request)
+        .expect("priming calibration evaluates");
+    measure(schema::ROW_CALIBRATE_WARM, samples, move || {
+        let response = engine.calibrate(&request).expect("calibration evaluates");
+        black_box(response.error_cost)
+    })
+}
+
 struct Options {
     samples: usize,
     out: PathBuf,
@@ -291,6 +411,36 @@ fn main() {
         (kernel_columns(samples, &request), 1, "warm"),
         (legacy_columns(samples, &request), 1, "warm"),
     ];
+    // Parametric verbs: one candidate costs `grid cells` reconstruction
+    // work, so rows are normalized to parameter-cell evaluations and
+    // `cells_per_sec` compares the statistic scan against the naive
+    // per-point recompute directly.
+    let param_cells = PARAM_N_MAX as usize * PARAM_R_POINTS;
+    let frontier_candidates = PARAM_AXIS_POINTS * PARAM_AXIS_POINTS;
+    let recompute_candidates = frontier_candidates / (RECOMPUTE_STRIDE * RECOMPUTE_STRIDE);
+    let recompute_note = format!(
+        "{}x{} subsample of the {}x{} parameter grid; cells count \
+         parameter-cell evaluations",
+        PARAM_AXIS_POINTS / RECOMPUTE_STRIDE,
+        PARAM_AXIS_POINTS / RECOMPUTE_STRIDE,
+        PARAM_AXIS_POINTS,
+        PARAM_AXIS_POINTS
+    );
+    let param_runs = [
+        (
+            frontier_warm(samples),
+            "warm",
+            frontier_candidates * param_cells,
+            None,
+        ),
+        (
+            frontier_recompute(samples),
+            "cold",
+            recompute_candidates * param_cells,
+            Some(recompute_note.as_str()),
+        ),
+        (calibrate_warm(samples), "warm", param_cells, None),
+    ];
     let requests = session_requests();
     let session_cells = SESSION_REQUESTS * SESSION_N_MAX as usize * SESSION_R_POINTS;
     let depth = SESSION_REQUESTS.min(4);
@@ -312,6 +462,15 @@ fn main() {
         ),
     ];
     for (record, _, _) in grid_runs.iter().chain(&kernel_runs) {
+        println!(
+            "  {:<36} median {:>10}/run (min {}, {} samples)",
+            record.id,
+            format_nanos(record.median_ns),
+            format_nanos(record.min_ns),
+            record.samples
+        );
+    }
+    for (record, _, _, _) in &param_runs {
         println!(
             "  {:<36} median {:>10}/run (min {}, {} samples)",
             record.id,
@@ -352,6 +511,13 @@ fn main() {
         speedup(&session_runs[0].0, &session_runs[1].0),
         SESSION_REQUESTS
     );
+    // Throughput ratio in parameter-cell evaluations per second: the warm
+    // statistic scan against the per-point cold recompute.
+    let per_cell = |run: &(BenchRecord, &str, usize, Option<&str>)| run.2 as f64 / run.0.median_ns;
+    println!(
+        "  warm frontier vs per-point recompute: {:.0}x parameter-cell throughput",
+        per_cell(&param_runs[0]) / per_cell(&param_runs[1])
+    );
     if single_cpu {
         println!(
             "  note: host exposes a single CPU, so the {pool}-thread and pipelined \
@@ -366,6 +532,9 @@ fn main() {
             schema::row_json(record, *threads, cache, N_MAX, R_POINTS, GRID_CELLS, None)
         })
         .collect();
+    lines.extend(param_runs.iter().map(|(record, cache, cells, note)| {
+        schema::row_json(record, 1, cache, PARAM_N_MAX, PARAM_R_POINTS, *cells, *note)
+    }));
     lines.extend(session_runs.iter().map(|(record, threads, cache, note)| {
         schema::row_json(
             record,

@@ -27,6 +27,15 @@ pub const ROW_KERNEL_SINGLE_PASS: &str = "kernel/single-pass/columns";
 pub const ROW_KERNEL_LEGACY: &str = "kernel/legacy-per-n/columns";
 /// Row label: the warm sweep served entirely from mmap'd spill files.
 pub const ROW_ENGINE_WARM_MMAP: &str = "engine/warm-mmap/threads=1";
+/// Row label: a 64×64 `(E, c)` Pareto frontier against the warm
+/// sufficient-statistic cache (zero π recomputation).
+pub const ROW_FRONTIER_WARM: &str = "engine/frontier/warm";
+/// Row label: the same frontier evaluated the naive way — a full
+/// π-table + grid recomputation per parameter point.
+pub const ROW_FRONTIER_RECOMPUTE: &str = "engine/frontier/per-point-recompute";
+/// Row label: closed-form `E*` calibration against the warm
+/// sufficient-statistic cache.
+pub const ROW_CALIBRATE_WARM: &str = "engine/calibrate/warm";
 
 /// Stem of the parameterized cold/warm engine rows
 /// (`engine/<cache>/threads=<k>`).
@@ -174,5 +183,8 @@ mod tests {
             "engine/session/pipelined/depth=4/threads=2"
         );
         assert!(ROW_ENGINE_WARM_MMAP.starts_with(ROW_STEM_ENGINE));
+        assert!(ROW_FRONTIER_WARM.starts_with(ROW_STEM_ENGINE));
+        assert!(ROW_FRONTIER_RECOMPUTE.starts_with(ROW_STEM_ENGINE));
+        assert!(ROW_CALIBRATE_WARM.starts_with(ROW_STEM_ENGINE));
     }
 }

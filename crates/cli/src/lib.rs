@@ -240,32 +240,27 @@ pub fn engine_process(input: &str, args: &[String]) -> Result<String, CliError> 
             out.push('\n');
         }
     };
+    let mut session = zeroconf_engine::wire::PipelinedSession::new(
+        engine,
+        zeroconf_engine::PipelineConfig::with_depth(options.inflight.max(1)),
+    );
     if options.inflight > 1 {
-        let mut session = zeroconf_engine::wire::PipelinedSession::new(
-            engine,
-            zeroconf_engine::PipelineConfig::with_depth(options.inflight),
-        );
         for line in input.lines() {
             push(session.submit_line(line), &mut out);
             push(session.poll_responses(), &mut out);
         }
         push(session.drain(), &mut out);
-        if options.emit_stats {
-            out.push_str(&session.stats_line());
-            out.push('\n');
-        }
     } else {
-        let mut session = zeroconf_engine::wire::Session::new(engine);
+        // Depth 1, drained per line: in-order blocking, one response per
+        // request line — what the deprecated `Session` shim provided.
         for line in input.lines() {
-            if let Some(response) = session.handle_line(line) {
-                out.push_str(&response);
-                out.push('\n');
-            }
+            push(session.submit_line(line), &mut out);
+            push(session.drain(), &mut out);
         }
-        if options.emit_stats {
-            out.push_str(&session.stats_line());
-            out.push('\n');
-        }
+    }
+    if options.emit_stats {
+        out.push_str(&session.stats_line());
+        out.push('\n');
     }
     Ok(out)
 }
@@ -343,7 +338,8 @@ pub fn usage() -> String {
      \u{20}  frontier   print the cost/reliability Pareto frontier\n\
      \u{20}  calibrate  solve for (E, c) making a target (n, r) optimal\n\
      \u{20}  simulate   Monte-Carlo protocol runs with latency percentiles\n\
-     \u{20}  engine     batched JSON-lines grid evaluation on stdin/stdout\n\
+     \u{20}  engine     JSON-lines verbs on stdin/stdout: sweep, rescore,\n\
+     \u{20}             calibrate and frontier over one warm statistic cache\n\
      \u{20}  serve      socket daemon: many clients, one shared engine and cache\n\
      \u{20}  audit      workspace static-analysis gate (unsafe, panics, invariants)\n\
      scenario flags (all commands):\n\

@@ -27,7 +27,9 @@
 use zeroconf_numopt::{invert_monotone, Tolerance};
 
 use crate::cost::{check_n, check_r};
+use crate::kernel::ScenarioFactors;
 use crate::optimize::{self, OptimizeConfig};
+use crate::param::ParamLandscape;
 use crate::{CostError, Scenario};
 
 /// Result of a calibration run.
@@ -109,6 +111,74 @@ pub fn calibrate_error_cost(
         }
     })?;
     Ok(10f64.powf(root.argument))
+}
+
+/// Closed-form variant of [`calibrate_error_cost`], exploiting that
+/// Eq. (3) is **linear in `E`**: `C_n(r; E) = α_n(r) + E·Err_n(r)`,
+/// where `α_n` is the mean cost at `E = 0` and `Err_n` the Eq. (4)
+/// collision probability. At an interior optimum of `C_n(·; E)` the `r`
+/// derivative vanishes, so the unique stationarity-realizing collision
+/// cost is
+///
+/// ```text
+/// E* = −α_n'(r) / Err_n'(r)
+/// ```
+///
+/// Both derivatives are estimated by a central difference over the
+/// sufficient statistic at `r·(1 ± h)` — two π columns, evaluated once;
+/// everything else is the rational-function reconstruction of
+/// [`ParamLandscape`]. No optimizer runs and no bracket search: this is
+/// the closed-form inverse the iterative [`calibrate_error_cost`]
+/// cross-checks (and vice versa — the golden suite asserts their
+/// agreement on the paper's `(4, 2)` and `(4, 0.2)` cases).
+///
+/// `relative_step` is the derivative step `h` (e.g. `1e-3`), validated
+/// like the sensitivity module's elasticity step.
+///
+/// # Errors
+///
+/// - Argument validation as in [`Scenario::mean_cost`]; `r` must be
+///   strictly positive (an interior optimum) and `relative_step` in
+///   `(0, 0.5)`.
+/// - [`CostError::CalibrationFailed`] when the stationarity condition
+///   yields no positive finite `E` (e.g. `Err_n` is flat at `r`, so no
+///   collision cost makes `r` optimal).
+pub fn calibrate_error_cost_closed_form(
+    scenario: &Scenario,
+    n: u32,
+    r: f64,
+    relative_step: f64,
+) -> Result<f64, CostError> {
+    check_n(n)?;
+    check_r(r)?;
+    if r == 0.0 {
+        return Err(CostError::CalibrationFailed {
+            what: "the closed-form inverse needs an interior target r > 0".to_owned(),
+        });
+    }
+    if !relative_step.is_finite() || relative_step <= 0.0 || relative_step >= 0.5 {
+        return Err(CostError::InvalidParameter {
+            parameter: "relative step h",
+            value: relative_step,
+        });
+    }
+    let rs = [r * (1.0 - relative_step), r * (1.0 + relative_step)];
+    let landscape = ParamLandscape::build(scenario, n, &rs)?;
+    // α is the E = 0 slice of the linear-in-E cost; Err never depends on
+    // E at all, so the scenario's own placeholder E is irrelevant here.
+    let zero_e = ScenarioFactors::new(&scenario.with_error_cost(0.0)?);
+    let d_alpha = landscape.cost_at(&zero_e, 1, n) - landscape.cost_at(&zero_e, 0, n);
+    let d_err = landscape.error_at(&zero_e, 1, n) - landscape.error_at(&zero_e, 0, n);
+    let error_cost = -d_alpha / d_err;
+    if !error_cost.is_finite() || error_cost <= 0.0 {
+        return Err(CostError::CalibrationFailed {
+            what: format!(
+                "stationarity at (n = {n}, r = {r}) gives E = {error_cost:e}; \
+                 no positive collision cost makes r optimal"
+            ),
+        });
+    }
+    Ok(error_cost)
 }
 
 /// Full Section 4.5 calibration: find `(E, c)` such that `(n, r)` is the
@@ -206,6 +276,63 @@ mod tests {
             "calibrated E = {e:e} gives r_opt = {}",
             check.r
         );
+    }
+
+    #[test]
+    fn closed_form_e_inverse_agrees_with_invert_monotone_on_the_paper_cases() {
+        // The paper's two calibration settings: unreliable link with the
+        // draft target (n = 4, r = 2) at c = 3.5, and reliable link with
+        // (4, 0.2) at c = 0.5. The closed-form stationarity inverse and
+        // the iterative r_opt inversion must land on the same E up to the
+        // optimizer's grid tolerance (compared in log10 space, where the
+        // paper itself quotes the answers).
+        let cfg = quick_config();
+        let cases = [
+            (paper::calibration_unreliable_scenario(), 2.0, 3.5),
+            (paper::calibration_reliable_scenario(), 0.2, 0.5),
+        ];
+        for (scenario, r, c) in cases {
+            let s = scenario.unwrap().with_probe_cost(c).unwrap();
+            let closed = calibrate_error_cost_closed_form(&s, 4, r, 1e-3).unwrap();
+            let iterative = calibrate_error_cost(&s, 4, r, &cfg).unwrap();
+            assert!(
+                (closed.log10() - iterative.log10()).abs() < 0.1,
+                "r = {r}: closed-form E = {closed:e} vs iterative E = {iterative:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn closed_form_e_inverse_reproduces_section_4_5_magnitudes() {
+        // Section 4.5 reports E_{r=2} = 5e20 and E_{r=0.2} = 1e35.
+        let unreliable = paper::calibration_unreliable_scenario()
+            .unwrap()
+            .with_probe_cost(paper::CALIBRATED_UNRELIABLE.1)
+            .unwrap();
+        let e = calibrate_error_cost_closed_form(&unreliable, 4, 2.0, 1e-3).unwrap();
+        assert!(
+            (e.log10() - paper::CALIBRATED_UNRELIABLE.0.log10()).abs() < 1.0,
+            "E_r=2 = {e:e}"
+        );
+        let reliable = paper::calibration_reliable_scenario()
+            .unwrap()
+            .with_probe_cost(paper::CALIBRATED_RELIABLE.1)
+            .unwrap();
+        let e = calibrate_error_cost_closed_form(&reliable, 4, 0.2, 1e-3).unwrap();
+        assert!(
+            (e.log10() - paper::CALIBRATED_RELIABLE.0.log10()).abs() < 1.0,
+            "E_r=0.2 = {e:e}"
+        );
+    }
+
+    #[test]
+    fn closed_form_e_inverse_validates_arguments() {
+        let s = paper::calibration_unreliable_scenario().unwrap();
+        assert!(calibrate_error_cost_closed_form(&s, 0, 2.0, 1e-3).is_err());
+        assert!(calibrate_error_cost_closed_form(&s, 4, -1.0, 1e-3).is_err());
+        assert!(calibrate_error_cost_closed_form(&s, 4, 0.0, 1e-3).is_err());
+        assert!(calibrate_error_cost_closed_form(&s, 4, 2.0, 0.0).is_err());
+        assert!(calibrate_error_cost_closed_form(&s, 4, 2.0, 0.9).is_err());
     }
 
     #[test]

@@ -138,8 +138,40 @@ impl ColumnKernel {
         n_max: u32,
         r: f64,
         pis: &[f64],
+        costs: Option<&mut [f64]>,
+        errors: Option<&mut [f64]>,
+    ) -> Result<(), CostError> {
+        self.evaluate_with_statistic(n_max, r, pis, costs, errors, None, None)
+    }
+
+    /// [`ColumnKernel::evaluate`], additionally emitting the per-cell
+    /// sufficient statistic `(Σ_{i<n} π_i(r), π_n(r))` into `pi_prefix`
+    /// and `pi_n` — the inputs of the parametric reconstruction layer
+    /// ([`crate::param::ParamLandscape`]). The statistic is the kernel's
+    /// *own* running state, captured mid-loop, so reconstructing `C` and
+    /// `Err` from it replays bit-identical floats.
+    ///
+    /// All four outputs are optional; provided slices must have exactly
+    /// `n_max` entries.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ColumnKernel::evaluate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when a provided output slice is not exactly `n_max` long —
+    /// a caller-side sizing bug, not a data-dependent condition.
+    #[allow(clippy::too_many_arguments)]
+    pub fn evaluate_with_statistic(
+        &self,
+        n_max: u32,
+        r: f64,
+        pis: &[f64],
         mut costs: Option<&mut [f64]>,
         mut errors: Option<&mut [f64]>,
+        mut pi_prefix: Option<&mut [f64]>,
+        mut pi_n_out: Option<&mut [f64]>,
     ) -> Result<(), CostError> {
         check_n(n_max)?;
         check_r(r)?;
@@ -150,11 +182,15 @@ impl ColumnKernel {
                 len: pis.len(),
             });
         }
-        if let Some(costs) = costs.as_deref() {
-            assert_eq!(costs.len(), n_max, "cost slice must hold one f64 per n");
-        }
-        if let Some(errors) = errors.as_deref() {
-            assert_eq!(errors.len(), n_max, "error slice must hold one f64 per n");
+        for (slice, what) in [
+            (costs.as_deref(), "cost"),
+            (errors.as_deref(), "error"),
+            (pi_prefix.as_deref(), "π-prefix"),
+            (pi_n_out.as_deref(), "π_n"),
+        ] {
+            if let Some(slice) = slice {
+                assert_eq!(slice.len(), n_max, "{what} slice must hold one f64 per n");
+            }
         }
 
         // Per-column constants of Eq. (3): `r + c` and `(r + c)·q`,
@@ -178,6 +214,12 @@ impl ColumnKernel {
             }
             if let Some(errors) = errors.as_deref_mut() {
                 errors[n - 1] = f.q * pi_n / denominator;
+            }
+            if let Some(prefix) = pi_prefix.as_deref_mut() {
+                prefix[n - 1] = pi_prefix_sum;
+            }
+            if let Some(tail) = pi_n_out.as_deref_mut() {
+                tail[n - 1] = pi_n;
             }
         }
         Ok(())
@@ -325,8 +367,37 @@ impl ColumnBlockKernel {
         n_max: u32,
         rs: &[f64],
         tables: &[T],
+        costs: Option<&mut [f64]>,
+        errors: Option<&mut [f64]>,
+    ) -> Result<(), CostError> {
+        self.evaluate_with_statistic(n_max, rs, tables, costs, errors, None, None)
+    }
+
+    /// [`ColumnBlockKernel::evaluate`], additionally emitting the r-major
+    /// sufficient-statistic slabs `(Σ_{i<n} π_i, π_n)` — the storage the
+    /// parametric layer ([`crate::param::ParamLandscape`]) wraps. All
+    /// four outputs are optional; provided slices must hold exactly
+    /// `rs.len()·n_max` values, and column `j` lands in
+    /// `out[j·n_max .. (j+1)·n_max]` in every slab.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ColumnKernel::evaluate`], per column.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tables` does not hold one π-table per column or a
+    /// provided output slice is not exactly `rs.len()·n_max` long.
+    #[allow(clippy::too_many_arguments)]
+    pub fn evaluate_with_statistic<T: AsRef<[f64]>>(
+        &self,
+        n_max: u32,
+        rs: &[f64],
+        tables: &[T],
         mut costs: Option<&mut [f64]>,
         mut errors: Option<&mut [f64]>,
+        mut pi_prefix: Option<&mut [f64]>,
+        mut pi_n: Option<&mut [f64]>,
     ) -> Result<(), CostError> {
         assert_eq!(
             rs.len(),
@@ -334,24 +405,66 @@ impl ColumnBlockKernel {
             "block evaluation needs one π-table per column"
         );
         let cells = rs.len() * n_max as usize;
-        if let Some(costs) = costs.as_deref() {
-            assert_eq!(costs.len(), cells, "cost block must hold rs.len()*n_max");
-        }
-        if let Some(errors) = errors.as_deref() {
-            assert_eq!(errors.len(), cells, "error block must hold rs.len()*n_max");
+        for (slice, what) in [
+            (costs.as_deref(), "cost"),
+            (errors.as_deref(), "error"),
+            (pi_prefix.as_deref(), "π-prefix"),
+            (pi_n.as_deref(), "π_n"),
+        ] {
+            if let Some(slice) = slice {
+                assert_eq!(slice.len(), cells, "{what} block must hold rs.len()*n_max");
+            }
         }
         let column = n_max as usize;
         for (j, (&r, table)) in rs.iter().zip(tables).enumerate() {
             let span = j * column..(j + 1) * column;
-            self.kernel.evaluate(
+            self.kernel.evaluate_with_statistic(
                 n_max,
                 r,
                 table.as_ref(),
                 costs.as_deref_mut().map(|c| &mut c[span.clone()]),
                 errors.as_deref_mut().map(|e| &mut e[span.clone()]),
+                pi_prefix.as_deref_mut().map(|p| &mut p[span.clone()]),
+                pi_n.as_deref_mut().map(|p| &mut p[span.clone()]),
             )?;
         }
         Ok(())
+    }
+
+    /// Builds the full sufficient-statistic landscape for an `(n, r)`
+    /// grid: π-tables via [`ColumnBlockKernel::pi_tables`] (blocked,
+    /// zero-tail cutoff), then one statistic pass — after which every
+    /// re-evaluation under changed `(q, E, c)` is pure arithmetic.
+    ///
+    /// # Errors
+    ///
+    /// - [`CostError::InvalidProbeCount`] when `n_max == 0`.
+    /// - Same conditions as [`ColumnBlockKernel::pi_tables`].
+    pub fn param_landscape(
+        &self,
+        n_max: u32,
+        rs: &[f64],
+    ) -> Result<crate::param::ParamLandscape, CostError> {
+        check_n(n_max)?;
+        let tables = self.pi_tables(n_max, rs)?;
+        let cells = rs.len() * n_max as usize;
+        let mut pi_prefix = vec![0.0f64; cells];
+        let mut pi_n = vec![0.0f64; cells];
+        self.evaluate_with_statistic(
+            n_max,
+            rs,
+            &tables,
+            None,
+            None,
+            Some(&mut pi_prefix),
+            Some(&mut pi_n),
+        )?;
+        Ok(crate::param::ParamLandscape::from_parts(
+            n_max,
+            rs.to_vec(),
+            pi_prefix,
+            pi_n,
+        ))
     }
 }
 

@@ -28,6 +28,9 @@
 //!   envelope `C_min(r)` and the joint optimum `(n*, r*)`;
 //! - [`calibrate`] — the Section 4.5 inverse problem: which `(E, c)` make
 //!   the draft-recommended `(n = 4, r = 2)` (or `(4, 0.2)`) cost-optimal;
+//! - [`param`] — the parametric sufficient-statistic layer: per-cell
+//!   `(Σπ, π_n)` slabs from which `C` and `Err` are rational functions of
+//!   `(q, E, c)`, reconstructed bit-identically without distribution math;
 //! - [`sensitivity`] — elasticities and parameter sweeps;
 //! - [`paper`] — the exact parameter sets behind every figure and number
 //!   in the paper's evaluation.
@@ -58,6 +61,7 @@ pub mod kernel;
 pub mod metrics;
 pub mod optimize;
 pub mod paper;
+pub mod param;
 mod scenario;
 pub mod schedule;
 pub mod sensitivity;

@@ -2,7 +2,9 @@
 //! application-specific parameters (the "standard exercise" of
 //! Section 4.2, which the paper defers and this reproduction carries out).
 
-use crate::{cost, CostError, Scenario};
+use crate::kernel::ScenarioFactors;
+use crate::param::ParamLandscape;
+use crate::{CostError, Scenario};
 
 /// One sweep sample: a parameter value with the model outputs at that
 /// value.
@@ -39,14 +41,20 @@ pub fn sweep(
     n: u32,
     r: f64,
 ) -> Result<Vec<SweepPoint>, CostError> {
+    // The swept parameters (q, c, E) never touch the reply-time
+    // distribution, so the sufficient statistic is computed once and
+    // every sample is a pure-arithmetic reconstruction — bit-identical
+    // to evaluating `cost::mean_cost` per varied scenario.
+    let landscape = ParamLandscape::build(scenario, n, &[r])?;
     values
         .iter()
         .map(|&v| {
             let varied = apply(scenario, parameter, v)?;
+            let factors = ScenarioFactors::new(&varied);
             Ok(SweepPoint {
                 parameter: v,
-                cost: cost::mean_cost(&varied, n, r)?,
-                error_probability: cost::error_probability(&varied, n, r)?,
+                cost: landscape.cost_at(&factors, 0, n),
+                error_probability: landscape.error_at(&factors, 0, n),
             })
         })
         .collect()
@@ -78,9 +86,11 @@ pub fn cost_elasticity(
     let p0 = current(scenario, parameter);
     let up = apply(scenario, parameter, p0 * (1.0 + h))?;
     let down = apply(scenario, parameter, p0 * (1.0 - h))?;
-    let c0 = cost::mean_cost(scenario, n, r)?;
-    let c_up = cost::mean_cost(&up, n, r)?;
-    let c_down = cost::mean_cost(&down, n, r)?;
+    // One statistic serves the center and both perturbed economies.
+    let landscape = ParamLandscape::build(scenario, n, &[r])?;
+    let c0 = landscape.cost_at(&ScenarioFactors::new(scenario), 0, n);
+    let c_up = landscape.cost_at(&ScenarioFactors::new(&up), 0, n);
+    let c_down = landscape.cost_at(&ScenarioFactors::new(&down), 0, n);
     Ok((c_up - c_down) / (2.0 * h * p0) * (p0 / c0))
 }
 

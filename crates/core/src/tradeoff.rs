@@ -9,7 +9,8 @@
 //! objectives and strictly better in one; the frontier is exactly the menu
 //! of rational designs a manufacturer can pick from.
 
-use crate::cost;
+use crate::kernel::ScenarioFactors;
+use crate::param::ParamLandscape;
 use crate::{CostError, Scenario};
 
 /// One Pareto-optimal configuration.
@@ -68,15 +69,24 @@ pub fn pareto_frontier(
             what: "tradeoff grid needs n_max >= 1, r_points >= 2 and an ordered finite r range",
         });
     }
+    // One sufficient-statistic landscape for the whole grid: the
+    // reply-time distribution is consulted once per (n, r) column, and
+    // every candidate below is reconstructed by pure arithmetic —
+    // bit-identical to per-cell `cost::mean_cost`/`error_probability`
+    // (the reconstruction replays the exact Eq. (3)/(4) float sequence).
+    let rs: Vec<f64> = (0..config.r_points)
+        .map(|k| r_lo + (r_hi - r_lo) * k as f64 / (config.r_points - 1) as f64)
+        .collect();
+    let landscape = ParamLandscape::build(scenario, config.n_max, &rs)?;
+    let factors = ScenarioFactors::new(scenario);
     let mut candidates = Vec::with_capacity(config.n_max as usize * config.r_points);
     for n in 1..=config.n_max {
-        for k in 0..config.r_points {
-            let r = r_lo + (r_hi - r_lo) * k as f64 / (config.r_points - 1) as f64;
+        for (j, &r) in rs.iter().enumerate() {
             candidates.push(ParetoPoint {
                 n,
                 r,
-                cost: cost::mean_cost(scenario, n, r)?,
-                error_probability: cost::error_probability(scenario, n, r)?,
+                cost: landscape.cost_at(&factors, j, n),
+                error_probability: landscape.error_at(&factors, j, n),
             });
         }
     }
@@ -91,18 +101,37 @@ pub fn pareto_frontier(
 /// callers that evaluate the grid elsewhere — the batched evaluation
 /// engine in particular — can reuse the exact same dominance logic.
 #[must_use]
-pub fn frontier_from_candidates(mut candidates: Vec<ParetoPoint>) -> Vec<ParetoPoint> {
-    candidates.sort_by(|a, b| {
-        a.cost
-            .total_cmp(&b.cost)
-            .then(a.error_probability.total_cmp(&b.error_probability))
+pub fn frontier_from_candidates(candidates: Vec<ParetoPoint>) -> Vec<ParetoPoint> {
+    frontier_indices(&candidates, |p| p.cost, |p| p.error_probability)
+        .into_iter()
+        .map(|i| candidates[i])
+        .collect()
+}
+
+/// Generic two-objective Pareto reduction: indices of the items on the
+/// `(cost, error)` frontier, in increasing-cost order. Items are sorted
+/// by cost (`total_cmp`, ties broken by error) and swept keeping strictly
+/// improving error — the exact dominance logic of
+/// [`frontier_from_candidates`], exposed generically so the engine's
+/// parameter-grid frontier verb shares it rather than re-deriving it.
+#[must_use]
+pub fn frontier_indices<T>(
+    items: &[T],
+    cost_of: impl Fn(&T) -> f64,
+    error_of: impl Fn(&T) -> f64,
+) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by(|&a, &b| {
+        cost_of(&items[a])
+            .total_cmp(&cost_of(&items[b]))
+            .then(error_of(&items[a]).total_cmp(&error_of(&items[b])))
     });
-    let mut frontier: Vec<ParetoPoint> = Vec::new();
+    let mut frontier = Vec::new();
     let mut best_error = f64::INFINITY;
-    for point in candidates {
-        if point.error_probability < best_error {
-            best_error = point.error_probability;
-            frontier.push(point);
+    for i in order {
+        if error_of(&items[i]) < best_error {
+            best_error = error_of(&items[i]);
+            frontier.push(i);
         }
     }
     frontier

@@ -1,0 +1,156 @@
+// Property tests built on the external `proptest` crate, which is not
+// resolvable in the hermetic (offline) build. Compile them in with
+//     RUSTFLAGS="--cfg zeroconf_proptest" cargo test
+// after adding `proptest` to this package's dev-dependencies.
+#![cfg(zeroconf_proptest)]
+//! Property-based bit-identity of the parametric reconstruction layer.
+//!
+//! Random scenarios across all six reply-time distribution families,
+//! random grids (including the `r = 0` boundary), and random
+//! re-parameterized economics: the `C`/`Err` values reconstructed from
+//! the sufficient statistic `(Σπ, π_n)` must match the kernel and the
+//! per-`n` closed forms float for float.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use zeroconf_cost::kernel::ScenarioFactors;
+use zeroconf_cost::param::ParamLandscape;
+use zeroconf_cost::{cost, Scenario};
+use zeroconf_dist::{
+    DefectiveDeterministic, DefectiveExponential, DefectiveUniform, DefectiveWeibull, Empirical,
+    Mixture, ReplyTimeDistribution,
+};
+
+fn reply_time() -> impl Strategy<Value = Arc<dyn ReplyTimeDistribution>> {
+    let exponential = (0.0f64..=0.5, 0.1f64..50.0, 0.0f64..5.0).prop_map(|(loss, rate, delay)| {
+        Arc::new(DefectiveExponential::from_loss(loss, rate, delay).unwrap())
+            as Arc<dyn ReplyTimeDistribution>
+    });
+    let deterministic = (0.5f64..=1.0, 0.0f64..5.0).prop_map(|(mass, delay)| {
+        Arc::new(DefectiveDeterministic::new(mass, delay).unwrap())
+            as Arc<dyn ReplyTimeDistribution>
+    });
+    let uniform = (0.5f64..=1.0, 0.0f64..2.0, 0.1f64..5.0).prop_map(|(mass, lo, width)| {
+        Arc::new(DefectiveUniform::new(mass, lo, lo + width).unwrap())
+            as Arc<dyn ReplyTimeDistribution>
+    });
+    let weibull =
+        (0.5f64..=1.0, 0.5f64..3.0, 0.1f64..3.0, 0.0f64..2.0).prop_map(|(mass, k, scale, d)| {
+            Arc::new(DefectiveWeibull::new(mass, k, scale, d).unwrap())
+                as Arc<dyn ReplyTimeDistribution>
+        });
+    let empirical = proptest::collection::vec(
+        prop_oneof![(0.01f64..10.0).prop_map(Some), Just(None)],
+        2..30,
+    )
+    .prop_filter_map("needs at least one arrival", |obs| {
+        Empirical::from_observations(obs)
+            .ok()
+            .map(|e| Arc::new(e) as Arc<dyn ReplyTimeDistribution>)
+    });
+    let mixture = (
+        (0.0f64..=0.5, 0.1f64..50.0, 0.0f64..5.0),
+        (0.5f64..=1.0, 0.0f64..5.0),
+        0.1f64..0.9,
+    )
+        .prop_map(|((loss, rate, delay), (mass, det_delay), w)| {
+            let a: Arc<dyn ReplyTimeDistribution> =
+                Arc::new(DefectiveExponential::from_loss(loss, rate, delay).unwrap());
+            let b: Arc<dyn ReplyTimeDistribution> =
+                Arc::new(DefectiveDeterministic::new(mass, det_delay).unwrap());
+            Arc::new(Mixture::new(vec![(w, a), (1.0 - w, b)]).unwrap())
+                as Arc<dyn ReplyTimeDistribution>
+        });
+    prop_oneof![
+        exponential,
+        deterministic,
+        uniform,
+        weibull,
+        empirical,
+        mixture
+    ]
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (1e-6f64..=0.999, 0.0f64..100.0, 0.0f64..1e36, reply_time()).prop_map(|(q, c, e, dist)| {
+        Scenario::builder()
+            .occupancy(q)
+            .probe_cost(c)
+            .error_cost(e)
+            .reply_time(dist)
+            .build()
+            .unwrap()
+    })
+}
+
+fn listening_period() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(0.0f64),
+        Just(f64::MIN_POSITIVE),
+        1e-12f64..1e-6,
+        0.0f64..60.0,
+        60.0f64..1e4,
+    ]
+}
+
+proptest! {
+    #[test]
+    fn reconstruction_matches_closed_forms_bitwise(
+        scenario in scenario(),
+        n_max in 1u32..=96,
+        rs in proptest::collection::vec(listening_period(), 1..8),
+    ) {
+        let landscape = ParamLandscape::build(&scenario, n_max, &rs).unwrap();
+        let factors = ScenarioFactors::new(&scenario);
+        for (j, &r) in rs.iter().enumerate() {
+            for n in 1..=n_max {
+                let direct = cost::mean_cost(&scenario, n, r).unwrap();
+                prop_assert_eq!(
+                    landscape.cost_at(&factors, j, n).to_bits(),
+                    direct.to_bits(),
+                    "C(n = {}, r = {}) diverges: reconstructed {} vs direct {}",
+                    n, r, landscape.cost_at(&factors, j, n), direct
+                );
+                let direct_err = cost::error_probability(&scenario, n, r).unwrap();
+                prop_assert_eq!(
+                    landscape.error_at(&factors, j, n).to_bits(),
+                    direct_err.to_bits(),
+                    "Err(n = {}, r = {}) diverges: reconstructed {} vs direct {}",
+                    n, r, landscape.error_at(&factors, j, n), direct_err
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reparameterization_matches_fresh_evaluation_bitwise(
+        scenario in scenario(),
+        q in 1e-6f64..=0.999,
+        c in 0.0f64..100.0,
+        e in 0.0f64..1e36,
+        n_max in 1u32..=48,
+        rs in proptest::collection::vec(listening_period(), 1..6),
+    ) {
+        let landscape = ParamLandscape::build(&scenario, n_max, &rs).unwrap();
+        let varied = scenario
+            .with_occupancy(q).unwrap()
+            .with_probe_cost(c).unwrap()
+            .with_error_cost(e).unwrap();
+        let factors = ScenarioFactors::new(&varied);
+        for (j, &r) in rs.iter().enumerate() {
+            for n in 1..=n_max {
+                let direct = cost::mean_cost(&varied, n, r).unwrap();
+                prop_assert_eq!(
+                    landscape.cost_at(&factors, j, n).to_bits(),
+                    direct.to_bits()
+                );
+                let direct_err = cost::error_probability(&varied, n, r).unwrap();
+                prop_assert_eq!(
+                    landscape.error_at(&factors, j, n).to_bits(),
+                    direct_err.to_bits()
+                );
+            }
+        }
+    }
+}

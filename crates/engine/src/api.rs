@@ -1,0 +1,35 @@
+//! The stable public surface of the engine, re-exported in one place.
+//!
+//! Downstream code (`zeroconf-cli`, `zeroconf-serve`, external embedders)
+//! should import from `zeroconf_engine::api` rather than from the
+//! individual modules: this module is the compatibility contract of the
+//! crate, and everything in it follows builder-first construction —
+//! requests are validated at `build()`, before they reach an engine or a
+//! pipeline queue.
+//!
+//! The three engine verbs and their types:
+//!
+//! - **sweep** — [`SweepRequest`] / [`SweepResponse`]: evaluate `C`/`Err`
+//!   over an `(n, r)` grid.
+//! - **calibrate** — [`CalibrateRequest`] / [`CalibrateResponse`]:
+//!   recover the collision cost `E*` that makes a target `(n, r)`
+//!   optimal, in closed form against the cached sufficient statistic.
+//! - **frontier** — [`FrontierRequest`] / [`FrontierResponse`]: the
+//!   Pareto frontier of `(cost, error)` over a 2-D parameter grid.
+//!
+//! All three travel through the same [`Pipeline`] (as [`WorkRequest`] /
+//! [`WorkResponse`]) and the same wire protocol
+//! ([`PipelinedSession`]).
+
+pub use crate::pipeline::{Completion, Pipeline, PipelineConfig, PipelineStats, RequestId};
+pub use crate::request::{
+    AxisSpec, BatchStats, CalibrateRequest, CalibrateRequestBuilder, CalibrateResponse, Cell,
+    EngineStats, FrontierPoint, FrontierRequest, FrontierRequestBuilder, FrontierResponse,
+    GridSpec, Landscape, Metric, ParamAxis, RescoreDelta, SweepRequest, SweepRequestBuilder,
+    SweepResponse, WorkRequest, WorkResponse,
+};
+pub use crate::wire::{
+    PipelinedSession, WireError, WireRequest, WireResponse, WorkTarget, VERB_CALIBRATE,
+    VERB_FRONTIER, WIRE_VERSION,
+};
+pub use crate::{CancelToken, Engine, EngineConfig, EngineError};

@@ -56,6 +56,7 @@
 // sit in its own block with its own SAFETY comment.
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod api;
 mod cache;
 pub mod pipeline;
 mod pool;
@@ -76,13 +77,17 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use zeroconf_cost::CostError;
+use zeroconf_cost::kernel::ScenarioFactors;
+use zeroconf_cost::param::ParamLandscape;
+use zeroconf_cost::{tradeoff, CostError, Scenario};
 use zeroconf_dist::ReplyTimeDistribution;
 
 pub use pipeline::{Completion, Pipeline, PipelineConfig, PipelineStats, RequestId};
 pub use request::{
-    BatchStats, Cell, EngineStats, GridSpec, Landscape, Metric, RescoreDelta, SweepRequest,
-    SweepRequestBuilder, SweepResponse,
+    AxisSpec, BatchStats, CalibrateRequest, CalibrateRequestBuilder, CalibrateResponse, Cell,
+    EngineStats, FrontierPoint, FrontierRequest, FrontierRequestBuilder, FrontierResponse,
+    GridSpec, Landscape, Metric, ParamAxis, RescoreDelta, SweepRequest, SweepRequestBuilder,
+    SweepResponse, WorkRequest, WorkResponse,
 };
 pub use wire::WireError;
 
@@ -223,6 +228,12 @@ pub struct Engine {
     pool: WorkerPool,
     cache: Arc<SharedCache>,
     small_sweep_cells: usize,
+    /// Single-slot cache of the most recent sufficient-statistic
+    /// landscape, keyed by distribution fingerprint (the grid is compared
+    /// against the landscape itself). A warm parametric verb skips even
+    /// the statistic pass; a cold one still recomputes no π when the
+    /// π-table cache is warm.
+    landscape: Mutex<Option<LandscapeSlot>>,
     /// EWMA of warm per-cell kernel cost in nanoseconds, stored as f64
     /// bits (0 = no measurement yet). Fed by fully-warm sweeps.
     ewma_cell_nanos: AtomicU64,
@@ -256,6 +267,12 @@ const DEFAULT_PI_RATIO: f64 = 8.0;
 struct SweepPlan {
     participants: usize,
     chunk: usize,
+}
+
+/// The engine's cached sufficient-statistic landscape and its key.
+struct LandscapeSlot {
+    fingerprint: u64,
+    landscape: Arc<ParamLandscape>,
 }
 
 /// An EWMA cell stored as f64 bits in an `AtomicU64`; all-zero bits mean
@@ -310,6 +327,7 @@ impl Engine {
                 config.mmap_spills,
             )),
             small_sweep_cells: config.small_sweep_cells.max(1),
+            landscape: Mutex::new(None),
             ewma_cell_nanos: AtomicU64::new(0),
             ewma_pi_ratio: AtomicU64::new(0),
             requests: AtomicU64::new(0),
@@ -433,17 +451,18 @@ impl Engine {
             plan.participants,
             plan.chunk,
             cancel.clone(),
+            false,
         ));
         if plan.participants > 1 {
             self.pool.broadcast(&job);
         }
         job.run(0);
-        let (costs, errors) = job.wait()?;
+        let buffers = job.wait()?;
         let landscape = Landscape::new(
             request.grid.n_max,
             request.grid.r_values.clone(),
-            costs,
-            errors,
+            buffers.costs,
+            buffers.errors,
         );
 
         let wall_nanos = start.elapsed().as_nanos();
@@ -501,6 +520,244 @@ impl Engine {
         rescored.scenario = delta.apply(&base.scenario)?;
         let response = self.evaluate(&rescored)?;
         Ok((rescored, response))
+    }
+
+    /// The sufficient-statistic landscape for `(scenario, grid)`: served
+    /// from the engine's single-slot landscape cache when the fingerprint
+    /// and grid match (zero work), otherwise built through the pool — one
+    /// π-table per `r` from the shared cache (zero *misses* when warm),
+    /// one statistic pass, no cost/error arithmetic.
+    fn param_landscape_cancellable(
+        &self,
+        scenario: &Scenario,
+        grid: &GridSpec,
+        cancel: &CancelToken,
+    ) -> Result<(Arc<ParamLandscape>, BatchStats), EngineError> {
+        let fingerprint = scenario.reply_time().fingerprint();
+        {
+            let slot = self.landscape.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(cached) = slot.as_ref() {
+                let same_grid = cached.fingerprint == fingerprint
+                    && cached.landscape.n_max() == grid.n_max
+                    && cached.landscape.r_values().len() == grid.r_values.len()
+                    && cached
+                        .landscape
+                        .r_values()
+                        .iter()
+                        .zip(&grid.r_values)
+                        .all(|(a, b)| a.to_bits() == b.to_bits());
+                if same_grid {
+                    return Ok((
+                        Arc::clone(&cached.landscape),
+                        BatchStats {
+                            workers: self.workers(),
+                            ..BatchStats::default()
+                        },
+                    ));
+                }
+            }
+        }
+        // The statistic ignores the metric selection, so the synthetic
+        // request carries none (the job allocates no metric slabs).
+        let request = SweepRequest {
+            scenario: scenario.clone(),
+            grid: grid.clone(),
+            metrics: Vec::new(),
+        };
+        let plan = self.plan(&request);
+        let start = Instant::now();
+        let job = Arc::new(Job::new(
+            &request,
+            Arc::clone(&self.cache),
+            plan.participants,
+            plan.chunk,
+            cancel.clone(),
+            true,
+        ));
+        if plan.participants > 1 {
+            self.pool.broadcast(&job);
+        }
+        job.run(0);
+        let buffers = job.wait()?;
+        let landscape = Arc::new(ParamLandscape::from_parts(
+            grid.n_max,
+            grid.r_values.clone(),
+            buffers
+                .pi_prefix
+                .expect("statistic job fills the π-prefix slab"),
+            buffers.pi_n.expect("statistic job fills the π_n slab"),
+        ));
+        let by_worker = job.cells_per_worker();
+        for (total, done) in self.cells_per_worker.iter().zip(&by_worker) {
+            total.fetch_add(*done, Ordering::Relaxed);
+        }
+        let stats = BatchStats {
+            wall_nanos: start.elapsed().as_nanos(),
+            cache_hits: job.hits.load(Ordering::Relaxed),
+            cache_misses: job.misses.load(Ordering::Relaxed),
+            cells: landscape.len() as u64,
+            workers: self.workers(),
+        };
+        self.observe_sweep(&stats, plan.participants, grid.n_max);
+        *self.landscape.lock().unwrap_or_else(|e| e.into_inner()) = Some(LandscapeSlot {
+            fingerprint,
+            landscape: Arc::clone(&landscape),
+        });
+        Ok((landscape, stats))
+    }
+
+    /// Folds one parametric verb's work into the lifetime counters.
+    fn observe_verb(&self, stats: &BatchStats) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.cells.fetch_add(stats.cells, Ordering::Relaxed);
+        *self.wall_nanos.lock().unwrap_or_else(|e| e.into_inner()) += stats.wall_nanos;
+    }
+
+    /// Recovers the collision cost `E*` that makes the request's target
+    /// `(n, r)` cost-optimal — the paper's Section 4.5 question, answered
+    /// in closed form against the cached sufficient statistic.
+    ///
+    /// `C_n(r; E) = α_n(r) + E·Err_n(r)` is linear in `E`; stationarity
+    /// at the target `r` gives `E* = −α_n′(r) / Err_n′(r)`, with both
+    /// derivatives taken as central differences over the target's grid
+    /// neighbors. After a sweep (or earlier parametric verb) over the
+    /// same grid, a calibration recomputes **zero** π-tables
+    /// (`stats.cache_misses == 0`).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidRequest`] for malformed requests,
+    /// [`EngineError::Cost`] when the inverse yields no positive finite
+    /// `E` (the target admits no calibration), plus propagated evaluation
+    /// failures.
+    pub fn calibrate(&self, request: &CalibrateRequest) -> Result<CalibrateResponse, EngineError> {
+        self.calibrate_cancellable(request, &CancelToken::new())
+    }
+
+    /// Like [`Engine::calibrate`], observing `cancel` during the
+    /// landscape build.
+    ///
+    /// # Errors
+    ///
+    /// The [`Engine::calibrate`] conditions plus
+    /// [`EngineError::Cancelled`].
+    pub fn calibrate_cancellable(
+        &self,
+        request: &CalibrateRequest,
+        cancel: &CancelToken,
+    ) -> Result<CalibrateResponse, EngineError> {
+        request.validate()?;
+        let start = Instant::now();
+        let (landscape, build) =
+            self.param_landscape_cancellable(&request.scenario, &request.grid, cancel)?;
+        let k = request
+            .target_index()
+            .expect("validate() established the target r is a grid member");
+        let n = request.target_n;
+        // α is the cost at E = 0; Err never depends on E, so the zero-E
+        // factors serve both difference quotients.
+        let zero_e = ScenarioFactors::new(&request.scenario.with_error_cost(0.0)?);
+        let d_alpha = landscape.cost_at(&zero_e, k + 1, n) - landscape.cost_at(&zero_e, k - 1, n);
+        let d_err = landscape.error_at(&zero_e, k + 1, n) - landscape.error_at(&zero_e, k - 1, n);
+        let error_cost = -d_alpha / d_err;
+        if !error_cost.is_finite() || error_cost <= 0.0 {
+            return Err(EngineError::Cost(CostError::CalibrationFailed {
+                what: format!(
+                    "the closed-form inverse gives E = {error_cost} at (n = {n}, r = {}); \
+                     no positive collision cost makes that configuration optimal",
+                    request.target_r
+                ),
+            }));
+        }
+        let calibrated = ScenarioFactors::new(&request.scenario.with_error_cost(error_cost)?);
+        let stats = BatchStats {
+            wall_nanos: start.elapsed().as_nanos(),
+            ..build
+        };
+        self.observe_verb(&stats);
+        Ok(CalibrateResponse {
+            error_cost,
+            n,
+            r: request.target_r,
+            cost: landscape.cost_at(&calibrated, k, n),
+            error_probability: landscape.error_at(&calibrated, k, n),
+            stats,
+        })
+    }
+
+    /// The Pareto frontier of `(cost, collision probability)` over a 2-D
+    /// parameter grid (e.g. `(E, c)` or `(q, E)`): every parameter point
+    /// re-scores the cached sufficient statistic by pure arithmetic, its
+    /// cost-minimal `(n, r)` cell becomes a candidate, and the candidates
+    /// are reduced with the tradeoff module's exact dominance logic.
+    /// After warm-up over the same `(scenario, grid)`, the whole verb
+    /// recomputes **zero** π-tables (`stats.cache_misses == 0`).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidRequest`] for malformed requests,
+    /// [`EngineError::Cost`] when an axis value leaves its parameter's
+    /// domain, plus propagated evaluation failures.
+    pub fn frontier(&self, request: &FrontierRequest) -> Result<FrontierResponse, EngineError> {
+        self.frontier_cancellable(request, &CancelToken::new())
+    }
+
+    /// Like [`Engine::frontier`], observing `cancel` between parameter
+    /// columns and during the landscape build.
+    ///
+    /// # Errors
+    ///
+    /// The [`Engine::frontier`] conditions plus
+    /// [`EngineError::Cancelled`].
+    pub fn frontier_cancellable(
+        &self,
+        request: &FrontierRequest,
+        cancel: &CancelToken,
+    ) -> Result<FrontierResponse, EngineError> {
+        request.validate()?;
+        let start = Instant::now();
+        let (landscape, build) =
+            self.param_landscape_cancellable(&request.scenario, &request.grid, cancel)?;
+        let mut candidates = Vec::with_capacity(request.candidates());
+        for &xv in &request.x.values {
+            if cancel.is_cancelled() {
+                return Err(EngineError::Cancelled);
+            }
+            let on_x = request.x.axis.apply(&request.scenario, xv)?;
+            for &yv in &request.y.values {
+                let varied = request.y.axis.apply(&on_x, yv)?;
+                let factors = ScenarioFactors::new(&varied);
+                // Parameter points whose every cell is non-finite (cost
+                // overflow) yield no candidate; they still count toward
+                // `candidates` so the reduction ratio stays honest.
+                if let Some((r_index, n, cost, error_probability)) =
+                    landscape.min_cost_cell(&factors)
+                {
+                    candidates.push(FrontierPoint {
+                        x: xv,
+                        y: yv,
+                        n,
+                        r: landscape.r_values()[r_index],
+                        cost,
+                        error_probability,
+                    });
+                }
+            }
+        }
+        let points = tradeoff::frontier_indices(&candidates, |p| p.cost, |p| p.error_probability)
+            .into_iter()
+            .map(|i| candidates[i])
+            .collect();
+        let stats = BatchStats {
+            wall_nanos: start.elapsed().as_nanos(),
+            ..build
+        };
+        self.observe_verb(&stats);
+        Ok(FrontierResponse {
+            points,
+            candidates: request.candidates(),
+            stats,
+        })
     }
 
     /// A snapshot of the engine-lifetime counters.

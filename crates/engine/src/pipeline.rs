@@ -8,9 +8,11 @@
 //! provides exactly that without an async runtime:
 //!
 //! - [`Pipeline::submit`] enqueues a validated [`SweepRequest`] and
-//!   returns a [`RequestId`] immediately. The queue depth is bounded:
-//!   once `depth` requests are in flight, `submit` **blocks** until one
-//!   completes (backpressure, not unbounded buffering).
+//!   returns a [`RequestId`] immediately ([`Pipeline::submit_work`] does
+//!   the same for any [`WorkRequest`] verb — sweep, calibrate or
+//!   frontier). The queue depth is bounded: once `depth` requests are in
+//!   flight, `submit` **blocks** until one completes (backpressure, not
+//!   unbounded buffering).
 //! - A small team of executor threads pulls tickets off the queue and
 //!   evaluates them on the shared engine — so the engine's work-stealing
 //!   pool and π-table cache are common to every in-flight request, and a
@@ -39,7 +41,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use crate::{CancelToken, Engine, EngineError, SweepRequest, SweepResponse};
+use crate::{CancelToken, Engine, EngineError, SweepRequest, WorkRequest, WorkResponse};
 
 /// Pipeline construction parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,9 +92,10 @@ impl std::fmt::Display for RequestId {
 pub struct Completion {
     /// The id `submit` returned.
     pub id: RequestId,
-    /// The evaluated response, or why there is none ([`EngineError::Cancelled`]
-    /// for cancelled requests).
-    pub result: Result<SweepResponse, EngineError>,
+    /// The evaluated response — same [`WorkResponse`] variant as the
+    /// submitted [`WorkRequest`] — or why there is none
+    /// ([`EngineError::Cancelled`] for cancelled requests).
+    pub result: Result<WorkResponse, EngineError>,
     /// Nanoseconds spent queued before an executor picked the request up.
     pub queue_nanos: u64,
     /// Nanoseconds spent evaluating (zero when cancelled while queued).
@@ -124,7 +127,7 @@ pub struct PipelineStats {
 /// One queued request.
 struct Ticket {
     id: RequestId,
-    request: SweepRequest,
+    request: WorkRequest,
     token: CancelToken,
     submitted: Instant,
 }
@@ -178,7 +181,7 @@ struct Counters {
 }
 
 impl Counters {
-    fn record(&self, result: &Result<SweepResponse, EngineError>, queue_ns: u64, service_ns: u64) {
+    fn record(&self, result: &Result<WorkResponse, EngineError>, queue_ns: u64, service_ns: u64) {
         match result {
             Ok(_) => &self.completed,
             Err(EngineError::Cancelled) => &self.cancelled,
@@ -308,6 +311,19 @@ impl Pipeline {
     /// [`EngineError::InvalidRequest`] for malformed requests — rejected
     /// eagerly, before consuming an in-flight slot.
     pub fn submit(&mut self, request: SweepRequest) -> Result<RequestId, EngineError> {
+        self.submit_work(WorkRequest::Sweep(request))
+    }
+
+    /// Validates and enqueues any engine verb — sweep, calibrate or
+    /// frontier — returning its id immediately. Blocks while `depth`
+    /// requests are already in flight. The completion carries the
+    /// matching [`WorkResponse`] variant.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidRequest`] for malformed requests — rejected
+    /// eagerly, before consuming an in-flight slot.
+    pub fn submit_work(&mut self, request: WorkRequest) -> Result<RequestId, EngineError> {
         request.validate()?;
         self.gate.acquire(self.depth);
         self.outstanding += 1;
@@ -431,7 +447,17 @@ fn executor_loop(
             (Err(EngineError::Cancelled), 0)
         } else {
             let started = Instant::now();
-            let result = engine.evaluate_cancellable(&ticket.request, &ticket.token);
+            let result = match &ticket.request {
+                WorkRequest::Sweep(request) => engine
+                    .evaluate_cancellable(request, &ticket.token)
+                    .map(WorkResponse::Sweep),
+                WorkRequest::Calibrate(request) => engine
+                    .calibrate_cancellable(request, &ticket.token)
+                    .map(WorkResponse::Calibrate),
+                WorkRequest::Frontier(request) => engine
+                    .frontier_cancellable(request, &ticket.token)
+                    .map(WorkResponse::Frontier),
+            };
             let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
             (result, nanos)
         };
@@ -497,7 +523,10 @@ mod tests {
         assert_eq!(p.in_flight(), 0);
         for completion in &done {
             let response = completion.result.as_ref().unwrap();
-            assert!(!response.landscape.is_empty());
+            let sweep = response
+                .as_sweep()
+                .expect("sweep submissions complete as sweeps");
+            assert!(!sweep.landscape.is_empty());
         }
         let stats = p.stats();
         assert_eq!(stats.submitted, 2);

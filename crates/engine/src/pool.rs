@@ -39,9 +39,16 @@ use crate::cache::SharedCache;
 use crate::request::{Metric, SweepRequest};
 use crate::{CancelToken, EngineError};
 
-/// The filled metric buffers a finished job hands back: `(costs, errors)`,
-/// `r`-major, `None` per unrequested metric.
-pub(crate) type MetricBuffers = (Option<Vec<f64>>, Option<Vec<f64>>);
+/// The filled `r`-major buffers a finished job hands back; each slab is
+/// `None` when it was not requested. Metric slabs come from ordinary
+/// sweeps; the statistic slabs come from parametric-landscape builds
+/// ([`Job::new`] with `statistic = true`).
+pub(crate) struct JobBuffers {
+    pub(crate) costs: Option<Vec<f64>>,
+    pub(crate) errors: Option<Vec<f64>>,
+    pub(crate) pi_prefix: Option<Vec<f64>>,
+    pub(crate) pi_n: Option<Vec<f64>>,
+}
 
 /// A preallocated flat `f64` slab written concurrently through disjoint
 /// column slices, then taken back as a `Vec<f64>` when the job completes.
@@ -148,6 +155,11 @@ pub(crate) struct Job {
     /// requested. Each claimed `r` index writes its own disjoint column.
     costs: Option<SoaBuffer>,
     errors: Option<SoaBuffer>,
+    /// Flat `r`-major sufficient-statistic slabs (`Σ_{i<n} π_i` and
+    /// `π_n`), present only for statistic jobs — the storage behind
+    /// [`zeroconf_cost::param::ParamLandscape`].
+    pi_prefix: Option<SoaBuffer>,
+    pi_n: Option<SoaBuffer>,
     /// First evaluation error, if any; the sweep still drains so the
     /// latch always releases.
     failure: Mutex<Option<EngineError>>,
@@ -171,12 +183,17 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 impl Job {
+    /// Builds one sweep job. With `statistic = false` the job fills one
+    /// metric slab per requested metric; with `statistic = true` it
+    /// ignores the metric selection and fills the two sufficient-statistic
+    /// slabs instead (same π pipeline, same chunking, same cache).
     pub(crate) fn new(
         request: &SweepRequest,
         cache: Arc<SharedCache>,
         participants: usize,
         chunk: usize,
         cancel: CancelToken,
+        statistic: bool,
     ) -> Job {
         let r_count = request.grid.r_values.len();
         let cells = r_count * request.grid.n_max as usize;
@@ -188,12 +205,11 @@ impl Job {
             chunk: chunk.clamp(1, r_count.max(1)),
             cursor: AtomicUsize::new(0),
             cache,
-            costs: request
-                .wants(Metric::MeanCost)
+            costs: (!statistic && request.wants(Metric::MeanCost)).then(|| SoaBuffer::new(cells)),
+            errors: (!statistic && request.wants(Metric::ErrorProbability))
                 .then(|| SoaBuffer::new(cells)),
-            errors: request
-                .wants(Metric::ErrorProbability)
-                .then(|| SoaBuffer::new(cells)),
+            pi_prefix: statistic.then(|| SoaBuffer::new(cells)),
+            pi_n: statistic.then(|| SoaBuffer::new(cells)),
             failure: Mutex::new(None),
             pending: Mutex::new(r_count),
             done: Condvar::new(),
@@ -264,16 +280,26 @@ impl Job {
             .errors
             .as_ref()
             .map(|b| unsafe { b.column(offset, cells) });
+        // SAFETY: same claim, for each statistic slab.
+        let pi_prefix = self
+            .pi_prefix
+            .as_ref()
+            .map(|b| unsafe { b.column(offset, cells) });
+        // SAFETY: same claim.
+        let pi_n = self
+            .pi_n
+            .as_ref()
+            .map(|b| unsafe { b.column(offset, cells) });
         self.block
-            .evaluate(self.n_max, rs, &tables, costs, errors)?;
+            .evaluate_with_statistic(self.n_max, rs, &tables, costs, errors, pi_prefix, pi_n)?;
         self.cells_by_worker[worker].fetch_add(cells as u64, Ordering::Relaxed);
         Ok(())
     }
 
     /// Blocks until every `r` index is finished, then hands back the
-    /// filled metric buffers (`r`-major; `None` per unrequested metric)
-    /// or the first failure.
-    pub(crate) fn wait(&self) -> Result<MetricBuffers, EngineError> {
+    /// filled buffers (`r`-major; `None` per unrequested slab) or the
+    /// first failure.
+    pub(crate) fn wait(&self) -> Result<JobBuffers, EngineError> {
         let mut pending = lock(&self.pending);
         while *pending > 0 {
             pending = self.done.wait(pending).unwrap_or_else(|e| e.into_inner());
@@ -282,10 +308,12 @@ impl Job {
         if let Some(e) = lock(&self.failure).take() {
             return Err(e);
         }
-        Ok((
-            self.costs.as_ref().map(SoaBuffer::take),
-            self.errors.as_ref().map(SoaBuffer::take),
-        ))
+        Ok(JobBuffers {
+            costs: self.costs.as_ref().map(SoaBuffer::take),
+            errors: self.errors.as_ref().map(SoaBuffer::take),
+            pi_prefix: self.pi_prefix.as_ref().map(SoaBuffer::take),
+            pi_n: self.pi_n.as_ref().map(SoaBuffer::take),
+        })
     }
 
     pub(crate) fn cells_per_worker(&self) -> Vec<u64> {

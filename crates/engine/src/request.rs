@@ -96,26 +96,7 @@ impl SweepRequest {
     /// `n_max`, an empty or non-finite/negative `r` grid, or an empty
     /// metric list.
     pub fn validate(&self) -> Result<(), EngineError> {
-        if self.grid.n_max == 0 {
-            return Err(EngineError::InvalidRequest {
-                what: "grid needs n_max >= 1".to_owned(),
-            });
-        }
-        if self.grid.r_values.is_empty() {
-            return Err(EngineError::InvalidRequest {
-                what: "grid needs at least one r value".to_owned(),
-            });
-        }
-        if let Some(bad) = self
-            .grid
-            .r_values
-            .iter()
-            .find(|r| !r.is_finite() || **r < 0.0)
-        {
-            return Err(EngineError::InvalidRequest {
-                what: format!("r = {bad} must be nonnegative and finite"),
-            });
-        }
+        validate_grid(&self.grid)?;
         if self.metrics.is_empty() {
             return Err(EngineError::InvalidRequest {
                 what: "at least one metric must be requested".to_owned(),
@@ -237,6 +218,31 @@ impl SweepRequestBuilder {
     }
 }
 
+/// Validates one `(n, r)` grid: `n_max >= 1`, a non-empty `r` list, every
+/// `r` finite and nonnegative. Shared by every grid-carrying request.
+///
+/// # Errors
+///
+/// [`EngineError::InvalidRequest`] naming the first problem.
+pub(crate) fn validate_grid(grid: &GridSpec) -> Result<(), EngineError> {
+    if grid.n_max == 0 {
+        return Err(EngineError::InvalidRequest {
+            what: "grid needs n_max >= 1".to_owned(),
+        });
+    }
+    if grid.r_values.is_empty() {
+        return Err(EngineError::InvalidRequest {
+            what: "grid needs at least one r value".to_owned(),
+        });
+    }
+    if let Some(bad) = grid.r_values.iter().find(|r| !r.is_finite() || **r < 0.0) {
+        return Err(EngineError::InvalidRequest {
+            what: format!("r = {bad} must be nonnegative and finite"),
+        });
+    }
+    Ok(())
+}
+
 /// A change to the economic scenario parameters — the inputs Eq. (3)/(4)
 /// consume *besides* the π-table. Applying a delta never changes the
 /// reply-time distribution, so every π-table cached for the base request
@@ -276,6 +282,510 @@ impl RescoreDelta {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         *self == RescoreDelta::default()
+    }
+}
+
+/// An economic scenario parameter addressable by the parametric verbs —
+/// exactly the inputs a [`RescoreDelta`] can change, because they are the
+/// inputs of Eq. (3)/(4) that do *not* touch the reply-time distribution
+/// (and therefore never invalidate a cached π-table or statistic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParamAxis {
+    /// The occupancy probability `q` (wire name `q`).
+    Occupancy,
+    /// The per-probe postage `c` (wire name `probe_cost`).
+    ProbeCost,
+    /// The collision cost `E` (wire name `error_cost`).
+    ErrorCost,
+}
+
+impl ParamAxis {
+    /// The wire/field name of this axis — the same spelling a rescore
+    /// delta uses.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ParamAxis::Occupancy => "q",
+            ParamAxis::ProbeCost => "probe_cost",
+            ParamAxis::ErrorCost => "error_cost",
+        }
+    }
+
+    /// Parses a wire/field name back into an axis.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<ParamAxis> {
+        match name {
+            "q" => Some(ParamAxis::Occupancy),
+            "probe_cost" => Some(ParamAxis::ProbeCost),
+            "error_cost" => Some(ParamAxis::ErrorCost),
+            _ => None,
+        }
+    }
+
+    /// Applies `value` on this axis to `scenario`, validating the domain.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CostError::InvalidParameter`] from the scenario
+    /// mutators.
+    pub fn apply(self, scenario: &Scenario, value: f64) -> Result<Scenario, CostError> {
+        match self {
+            ParamAxis::Occupancy => scenario.with_occupancy(value),
+            ParamAxis::ProbeCost => scenario.with_probe_cost(value),
+            ParamAxis::ErrorCost => scenario.with_error_cost(value),
+        }
+    }
+}
+
+/// One axis of a parameter grid: which scenario parameter to vary and the
+/// explicit values to visit (caller-controlled floats, like `GridSpec`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AxisSpec {
+    /// The varied parameter.
+    pub axis: ParamAxis,
+    /// The values to visit, in output order.
+    pub values: Vec<f64>,
+}
+
+impl AxisSpec {
+    /// An axis visiting `values` on `axis`.
+    #[must_use]
+    pub fn new(axis: ParamAxis, values: Vec<f64>) -> AxisSpec {
+        AxisSpec { axis, values }
+    }
+
+    fn validate(&self, role: &str) -> Result<(), EngineError> {
+        if self.values.is_empty() {
+            return Err(EngineError::InvalidRequest {
+                what: format!("{role} axis needs at least one value"),
+            });
+        }
+        if let Some(bad) = self.values.iter().find(|v| !v.is_finite()) {
+            return Err(EngineError::InvalidRequest {
+                what: format!("{role} axis value {bad} must be finite"),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A calibration request: recover the collision cost `E` that makes the
+/// configuration `(target_n, target_r)` cost-optimal in `r` — the paper's
+/// Section 4.5 inverse question, answered in closed form.
+///
+/// `C_n(r; E) = α_n(r) + E·Err_n(r)` is linear in `E`, so stationarity at
+/// the target `r` gives `E* = −α_n′(r) / Err_n′(r)`; both derivatives are
+/// central differences over the target's *grid neighbors*, evaluated
+/// against the cached sufficient statistic — a warm calibration recomputes
+/// no π at all. `target_r` must therefore be an interior grid point
+/// (bit-exact member of `grid.r_values` with a neighbor on each side).
+#[derive(Debug, Clone)]
+pub struct CalibrateRequest {
+    /// The scenario whose economics are being calibrated (its `error_cost`
+    /// is ignored by the inverse — `E` is the unknown).
+    pub scenario: Scenario,
+    /// The `(n, r)` grid the statistic is built over.
+    pub grid: GridSpec,
+    /// The probe count of the target configuration.
+    pub target_n: u32,
+    /// The listening period of the target configuration; must be an
+    /// interior member of `grid.r_values` (bit-exact).
+    pub target_r: f64,
+}
+
+impl CalibrateRequest {
+    /// Starts a [`CalibrateRequestBuilder`].
+    #[must_use]
+    pub fn builder() -> CalibrateRequestBuilder {
+        CalibrateRequestBuilder::default()
+    }
+
+    /// Index of `target_r` in the grid, when present (bit-exact match).
+    #[must_use]
+    pub fn target_index(&self) -> Option<usize> {
+        self.grid
+            .r_values
+            .iter()
+            .position(|r| r.to_bits() == self.target_r.to_bits())
+    }
+
+    /// Validates the grid and the target configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidRequest`] naming the first problem: a bad
+    /// grid, `target_n` outside `1..=n_max`, or a `target_r` that is not
+    /// an interior grid member.
+    pub fn validate(&self) -> Result<(), EngineError> {
+        validate_grid(&self.grid)?;
+        if self.target_n == 0 || self.target_n > self.grid.n_max {
+            return Err(EngineError::InvalidRequest {
+                what: format!(
+                    "calibrate target n = {} outside the grid's 1..={}",
+                    self.target_n, self.grid.n_max
+                ),
+            });
+        }
+        match self.target_index() {
+            None => Err(EngineError::InvalidRequest {
+                what: format!(
+                    "calibrate target r = {} is not a grid member",
+                    self.target_r
+                ),
+            }),
+            Some(k) if k == 0 || k + 1 >= self.grid.r_values.len() => {
+                Err(EngineError::InvalidRequest {
+                    what: format!(
+                        "calibrate target r = {} needs a grid neighbor on each side",
+                        self.target_r
+                    ),
+                })
+            }
+            Some(_) => Ok(()),
+        }
+    }
+}
+
+/// Builder-first construction of a [`CalibrateRequest`], mirroring
+/// [`SweepRequestBuilder`]: `build()` validates, so a malformed request is
+/// rejected before it reaches an engine or pipeline queue.
+#[derive(Debug, Clone, Default)]
+pub struct CalibrateRequestBuilder {
+    scenario: Option<Scenario>,
+    grid: Option<GridSpec>,
+    target: Option<(u32, f64)>,
+}
+
+impl CalibrateRequestBuilder {
+    /// Sets the scenario under calibration (required).
+    #[must_use]
+    pub fn scenario(mut self, scenario: Scenario) -> CalibrateRequestBuilder {
+        self.scenario = Some(scenario);
+        self
+    }
+
+    /// Sets the `(n, r)` grid (required, unless [`Self::linspace`] is
+    /// used).
+    #[must_use]
+    pub fn grid(mut self, grid: GridSpec) -> CalibrateRequestBuilder {
+        self.grid = Some(grid);
+        self
+    }
+
+    /// Convenience for [`Self::grid`] with an evenly spaced `r` range.
+    #[must_use]
+    pub fn linspace(
+        self,
+        n_max: u32,
+        r_lo: f64,
+        r_hi: f64,
+        points: usize,
+    ) -> CalibrateRequestBuilder {
+        self.grid(GridSpec::linspace(n_max, r_lo, r_hi, points))
+    }
+
+    /// Sets the target configuration `(n, r)` the calibrated `E` must
+    /// make optimal (required).
+    #[must_use]
+    pub fn target(mut self, n: u32, r: f64) -> CalibrateRequestBuilder {
+        self.target = Some((n, r));
+        self
+    }
+
+    /// Builds and validates the request.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidRequest`] when a required field is missing or
+    /// [`CalibrateRequest::validate`] rejects the combination.
+    pub fn build(self) -> Result<CalibrateRequest, EngineError> {
+        let Some(scenario) = self.scenario else {
+            return Err(EngineError::InvalidRequest {
+                what: "builder needs a scenario".to_owned(),
+            });
+        };
+        let Some(grid) = self.grid else {
+            return Err(EngineError::InvalidRequest {
+                what: "builder needs a grid".to_owned(),
+            });
+        };
+        let Some((target_n, target_r)) = self.target else {
+            return Err(EngineError::InvalidRequest {
+                what: "builder needs a target (n, r)".to_owned(),
+            });
+        };
+        let request = CalibrateRequest {
+            scenario,
+            grid,
+            target_n,
+            target_r,
+        };
+        request.validate()?;
+        Ok(request)
+    }
+}
+
+/// The answer to a [`CalibrateRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrateResponse {
+    /// The recovered collision cost `E*`.
+    pub error_cost: f64,
+    /// The target probe count, echoed.
+    pub n: u32,
+    /// The target listening period, echoed.
+    pub r: f64,
+    /// Mean cost `C(n, r)` under the calibrated `E*`.
+    pub cost: f64,
+    /// Collision probability `Err(n, r)` (independent of `E`).
+    pub error_probability: f64,
+    /// Work counters for this request.
+    pub stats: BatchStats,
+}
+
+/// A frontier request: the Pareto frontier of `(cost, collision
+/// probability)` over a 2-D *parameter* grid — e.g. `(E, c)` or `(q, E)`.
+///
+/// Every parameter point re-scores the cached sufficient statistic (zero
+/// π work when warm), takes its cost-minimal `(n, r)` cell, and the
+/// resulting candidates are reduced to their Pareto frontier with the
+/// exact dominance logic of the tradeoff module.
+#[derive(Debug, Clone)]
+pub struct FrontierRequest {
+    /// The base scenario; axis values override its parameters pointwise.
+    pub scenario: Scenario,
+    /// The `(n, r)` grid the statistic is built over.
+    pub grid: GridSpec,
+    /// The first varied parameter.
+    pub x: AxisSpec,
+    /// The second varied parameter; must differ from `x.axis`.
+    pub y: AxisSpec,
+}
+
+impl FrontierRequest {
+    /// Starts a [`FrontierRequestBuilder`].
+    #[must_use]
+    pub fn builder() -> FrontierRequestBuilder {
+        FrontierRequestBuilder::default()
+    }
+
+    /// Number of parameter points on the 2-D grid.
+    #[must_use]
+    pub fn candidates(&self) -> usize {
+        self.x.values.len() * self.y.values.len()
+    }
+
+    /// Validates the grid and both axes.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidRequest`] naming the first problem: a bad
+    /// grid, an empty or non-finite axis, or two axes varying the same
+    /// parameter.
+    pub fn validate(&self) -> Result<(), EngineError> {
+        validate_grid(&self.grid)?;
+        self.x.validate("x")?;
+        self.y.validate("y")?;
+        if self.x.axis == self.y.axis {
+            return Err(EngineError::InvalidRequest {
+                what: format!(
+                    "frontier axes must differ; both vary `{}`",
+                    self.x.axis.name()
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Builder-first construction of a [`FrontierRequest`], mirroring
+/// [`SweepRequestBuilder`]: `build()` validates.
+#[derive(Debug, Clone, Default)]
+pub struct FrontierRequestBuilder {
+    scenario: Option<Scenario>,
+    grid: Option<GridSpec>,
+    x: Option<AxisSpec>,
+    y: Option<AxisSpec>,
+}
+
+impl FrontierRequestBuilder {
+    /// Sets the base scenario (required).
+    #[must_use]
+    pub fn scenario(mut self, scenario: Scenario) -> FrontierRequestBuilder {
+        self.scenario = Some(scenario);
+        self
+    }
+
+    /// Sets the `(n, r)` grid (required, unless [`Self::linspace`] is
+    /// used).
+    #[must_use]
+    pub fn grid(mut self, grid: GridSpec) -> FrontierRequestBuilder {
+        self.grid = Some(grid);
+        self
+    }
+
+    /// Convenience for [`Self::grid`] with an evenly spaced `r` range.
+    #[must_use]
+    pub fn linspace(
+        self,
+        n_max: u32,
+        r_lo: f64,
+        r_hi: f64,
+        points: usize,
+    ) -> FrontierRequestBuilder {
+        self.grid(GridSpec::linspace(n_max, r_lo, r_hi, points))
+    }
+
+    /// Sets the first varied parameter (required).
+    #[must_use]
+    pub fn x(mut self, axis: ParamAxis, values: Vec<f64>) -> FrontierRequestBuilder {
+        self.x = Some(AxisSpec::new(axis, values));
+        self
+    }
+
+    /// Sets the second varied parameter (required).
+    #[must_use]
+    pub fn y(mut self, axis: ParamAxis, values: Vec<f64>) -> FrontierRequestBuilder {
+        self.y = Some(AxisSpec::new(axis, values));
+        self
+    }
+
+    /// Builds and validates the request.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidRequest`] when a required field is missing or
+    /// [`FrontierRequest::validate`] rejects the combination.
+    pub fn build(self) -> Result<FrontierRequest, EngineError> {
+        let Some(scenario) = self.scenario else {
+            return Err(EngineError::InvalidRequest {
+                what: "builder needs a scenario".to_owned(),
+            });
+        };
+        let Some(grid) = self.grid else {
+            return Err(EngineError::InvalidRequest {
+                what: "builder needs a grid".to_owned(),
+            });
+        };
+        let Some(x) = self.x else {
+            return Err(EngineError::InvalidRequest {
+                what: "builder needs an x axis".to_owned(),
+            });
+        };
+        let Some(y) = self.y else {
+            return Err(EngineError::InvalidRequest {
+                what: "builder needs a y axis".to_owned(),
+            });
+        };
+        let request = FrontierRequest {
+            scenario,
+            grid,
+            x,
+            y,
+        };
+        request.validate()?;
+        Ok(request)
+    }
+}
+
+/// One Pareto-optimal parameter point: where it sits on the parameter
+/// grid, which configuration is optimal there, and at what cost/risk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrontierPoint {
+    /// The `x`-axis parameter value.
+    pub x: f64,
+    /// The `y`-axis parameter value.
+    pub y: f64,
+    /// The cost-minimal probe count at this parameter point.
+    pub n: u32,
+    /// The cost-minimal listening period at this parameter point.
+    pub r: f64,
+    /// Mean cost of that configuration.
+    pub cost: f64,
+    /// Collision probability of that configuration.
+    pub error_probability: f64,
+}
+
+/// The answer to a [`FrontierRequest`]: the Pareto-optimal parameter
+/// points in increasing-cost order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierResponse {
+    /// The frontier, sorted by increasing cost (and therefore strictly
+    /// decreasing collision probability).
+    pub points: Vec<FrontierPoint>,
+    /// Parameter points examined (the full 2-D grid, including dominated
+    /// and non-finite ones).
+    pub candidates: usize,
+    /// Work counters for this request.
+    pub stats: BatchStats,
+}
+
+/// One unit of engine work a pipeline can carry: the closed set of verbs
+/// the wire protocol speaks. [`Pipeline::submit`](crate::Pipeline::submit)
+/// wraps a sweep; [`Pipeline::submit_work`](crate::Pipeline::submit_work)
+/// accepts any verb.
+#[derive(Debug, Clone)]
+pub enum WorkRequest {
+    /// A grid sweep ([`crate::Engine::evaluate`]).
+    Sweep(SweepRequest),
+    /// A closed-form `E` calibration ([`crate::Engine::calibrate`]).
+    Calibrate(CalibrateRequest),
+    /// A parameter-grid Pareto frontier ([`crate::Engine::frontier`]).
+    Frontier(FrontierRequest),
+}
+
+impl WorkRequest {
+    /// Validates the inner request.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidRequest`] from the inner `validate`.
+    pub fn validate(&self) -> Result<(), EngineError> {
+        match self {
+            WorkRequest::Sweep(r) => r.validate(),
+            WorkRequest::Calibrate(r) => r.validate(),
+            WorkRequest::Frontier(r) => r.validate(),
+        }
+    }
+}
+
+/// The answer to one [`WorkRequest`], same variant as the request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkResponse {
+    /// A sweep's evaluated landscape.
+    Sweep(SweepResponse),
+    /// A calibration's recovered `E*`.
+    Calibrate(CalibrateResponse),
+    /// A frontier's Pareto points.
+    Frontier(FrontierResponse),
+}
+
+impl WorkResponse {
+    /// The work counters, whatever the verb.
+    #[must_use]
+    pub fn stats(&self) -> &BatchStats {
+        match self {
+            WorkResponse::Sweep(r) => &r.stats,
+            WorkResponse::Calibrate(r) => &r.stats,
+            WorkResponse::Frontier(r) => &r.stats,
+        }
+    }
+
+    /// The sweep response, when this is one.
+    #[must_use]
+    pub fn as_sweep(&self) -> Option<&SweepResponse> {
+        match self {
+            WorkResponse::Sweep(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Consumes into the sweep response, when this is one.
+    #[must_use]
+    pub fn into_sweep(self) -> Option<SweepResponse> {
+        match self {
+            WorkResponse::Sweep(r) => Some(r),
+            _ => None,
+        }
     }
 }
 

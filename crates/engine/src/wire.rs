@@ -24,6 +24,20 @@
 //! {"v":1,"id":"c1","cancel":"s2"}
 //! ```
 //!
+//! The parametric verbs ride the same versioned envelope. A `calibrate`
+//! recovers the collision cost `E*` that makes a target `(n, r)` optimal;
+//! a `frontier` sweeps a 2-D parameter grid and returns the Pareto
+//! frontier of `(cost, error)`. Both either reference a completed sweep
+//! by id (`"of"`, reusing its scenario and grid — and its warm statistic)
+//! or carry inline `scenario`/`grid` like a sweep:
+//!
+//! ```json
+//! {"v":1,"id":"k1","calibrate":{"of":"s1","n":4,"r":2.0}}
+//! {"v":1,"id":"f1","frontier":{"of":"s1",
+//!   "x":{"axis":"error_cost","values":[1e20,1e30]},
+//!   "y":{"axis":"probe_cost","values":[0.5,2.0]}}}
+//! ```
+//!
 //! Responses carry the cells in `r`-major order plus per-request counters
 //! (`{"v":1,"id":"s1","cells":[{"n":1,"r":0.1,"mean_cost":…,"error_probability":…},…],
 //! "stats":{"wall_ns":…,"cache_hits":…,"cache_misses":…,"cells":…,"workers":…}}`);
@@ -55,12 +69,23 @@ use zeroconf_dist::{
 };
 
 use crate::pipeline::{Completion, Pipeline, PipelineConfig, PipelineStats, RequestId};
-use crate::{Engine, EngineError, GridSpec, Metric, RescoreDelta, SweepRequest, SweepResponse};
+use crate::request::BatchStats;
+use crate::{
+    AxisSpec, CalibrateRequest, CalibrateResponse, Engine, EngineError, EngineStats,
+    FrontierRequest, FrontierResponse, GridSpec, Metric, ParamAxis, RescoreDelta, SweepRequest,
+    SweepResponse, WorkRequest, WorkResponse,
+};
 
 /// The wire-protocol version this build speaks. Requests without a `"v"`
 /// field are treated as this version; any other value is rejected with a
 /// structured error line.
 pub const WIRE_VERSION: u64 = 1;
+
+/// The wire verb (request key) of a calibration.
+pub const VERB_CALIBRATE: &str = "calibrate";
+
+/// The wire verb (request key) of a parameter-grid frontier.
+pub const VERB_FRONTIER: &str = "frontier";
 
 /// A wire-protocol failure: parse errors and semantic errors, rendered
 /// into the `error` response field.
@@ -326,6 +351,22 @@ fn escape(s: &str) -> String {
 // Request decoding
 // ---------------------------------------------------------------------------
 
+/// What a parametric verb evaluates against: a completed sweep referenced
+/// by id (reusing its scenario, grid and warm statistic) or an inline
+/// scenario/grid pair carried by the request itself.
+#[derive(Debug, Clone)]
+pub enum WorkTarget {
+    /// `"of"`: the wire id of an earlier sweep.
+    Base(String),
+    /// Top-level `scenario` and `grid` fields, as in a sweep line.
+    Inline {
+        /// The decoded scenario.
+        scenario: Scenario,
+        /// The decoded grid.
+        grid: GridSpec,
+    },
+}
+
 /// A decoded request line.
 #[derive(Debug, Clone)]
 pub enum WireRequest {
@@ -345,6 +386,28 @@ pub enum WireRequest {
         of: String,
         /// The economic changes.
         delta: RescoreDelta,
+    },
+    /// A closed-form `E` calibration for a target configuration.
+    Calibrate {
+        /// Id of this request.
+        id: String,
+        /// Scenario/grid source.
+        target: WorkTarget,
+        /// Target probe count.
+        n: u32,
+        /// Target listening period (must be an interior grid member).
+        r: f64,
+    },
+    /// A Pareto frontier over a 2-D parameter grid.
+    Frontier {
+        /// Id of this request.
+        id: String,
+        /// Scenario/grid source.
+        target: WorkTarget,
+        /// The first varied parameter.
+        x: AxisSpec,
+        /// The second varied parameter.
+        y: AxisSpec,
     },
     /// Cancellation of an in-flight request.
     Cancel {
@@ -485,6 +548,60 @@ pub fn check_version(value: &Json) -> Result<(), WireError> {
     }
 }
 
+/// Decodes the scenario/grid source of a parametric verb: `"of"` inside
+/// the verb object, or top-level `scenario`/`grid` like a sweep.
+fn decode_target(value: &Json, verb: &Json, name: &str) -> Result<WorkTarget, WireError> {
+    if let Some(of) = verb.get("of") {
+        let of = of
+            .str()
+            .ok_or_else(|| {
+                err(format!(
+                    "{name} `of` must be the base sweep's id as a string"
+                ))
+            })?
+            .to_owned();
+        return Ok(WorkTarget::Base(of));
+    }
+    let scenario = decode_scenario(
+        value
+            .get("scenario")
+            .ok_or_else(|| err(format!("{name} needs `of` or an inline `scenario`")))?,
+    )?;
+    let grid = decode_grid(
+        value
+            .get("grid")
+            .ok_or_else(|| err(format!("{name} needs `of` or an inline `grid`")))?,
+    )?;
+    Ok(WorkTarget::Inline { scenario, grid })
+}
+
+/// Decodes one frontier axis: `{"axis":"error_cost","values":[…]}`.
+fn decode_axis(verb: &Json, role: &str) -> Result<AxisSpec, WireError> {
+    let spec = verb
+        .get(role)
+        .ok_or_else(|| err(format!("frontier needs `{role}`")))?;
+    let name = spec
+        .get("axis")
+        .and_then(Json::str)
+        .ok_or_else(|| err(format!("frontier `{role}` needs a string `axis`")))?;
+    let axis = ParamAxis::from_name(name).ok_or_else(|| {
+        err(format!(
+            "unknown frontier axis `{name}` (expected `q`, `probe_cost` or `error_cost`)"
+        ))
+    })?;
+    let Some(Json::Arr(items)) = spec.get("values") else {
+        return Err(err(format!("frontier `{role}` needs a `values` array")));
+    };
+    let values = items
+        .iter()
+        .map(|v| {
+            v.num()
+                .ok_or_else(|| err(format!("frontier `{role}` values must be numeric")))
+        })
+        .collect::<Result<Vec<f64>, WireError>>()?;
+    Ok(AxisSpec::new(axis, values))
+}
+
 /// Decodes one parsed request object (version already checked).
 ///
 /// # Errors
@@ -516,13 +633,33 @@ pub fn decode_request(value: &Json) -> Result<WireRequest, WireError> {
         };
         return Ok(WireRequest::Rescore { id, of, delta });
     }
+    if let Some(calibrate) = value.get(VERB_CALIBRATE) {
+        let target = decode_target(value, calibrate, VERB_CALIBRATE)?;
+        let n = field_f64(calibrate, "n")? as u32;
+        let r = field_f64(calibrate, "r")?;
+        return Ok(WireRequest::Calibrate { id, target, n, r });
+    }
+    if let Some(frontier) = value.get(VERB_FRONTIER) {
+        let target = decode_target(value, frontier, VERB_FRONTIER)?;
+        let x = decode_axis(frontier, "x")?;
+        let y = decode_axis(frontier, "y")?;
+        return Ok(WireRequest::Frontier { id, target, x, y });
+    }
     if value.get("scenario").is_none() {
-        // Not a cancel, rescore or sweep: name the stray key so clients
+        // Not a known verb and not a sweep: name the stray key so clients
         // speaking a newer (or wrong) verb set get a pointed diagnostic
         // instead of a misleading "needs `scenario`".
         if let Json::Obj(members) = value {
-            const KNOWN_KEYS: [&str; 7] = [
-                "v", "id", "cancel", "rescore", "scenario", "grid", "metrics",
+            const KNOWN_KEYS: [&str; 9] = [
+                "v",
+                "id",
+                "cancel",
+                "rescore",
+                VERB_CALIBRATE,
+                VERB_FRONTIER,
+                "scenario",
+                "grid",
+                "metrics",
             ];
             if let Some((key, _)) = members
                 .iter()
@@ -568,58 +705,231 @@ pub fn parse_request_line(line: &str) -> Result<WireRequest, WireError> {
 // Response encoding
 // ---------------------------------------------------------------------------
 
-/// Encodes a successful response line. The wire keeps the per-cell
-/// object shape; `Cell`s are materialized lazily from the response's flat
-/// [`Landscape`](crate::Landscape) buffers right here, at the
-/// serialization boundary.
-#[must_use]
-pub fn response_line(id: &str, response: &SweepResponse) -> String {
-    let mut out = String::with_capacity(64 + response.landscape.len() * 64);
-    out.push_str(&format!("{{\"v\":{WIRE_VERSION},\"id\":\""));
-    out.push_str(&escape(id));
-    out.push_str("\",\"cells\":[");
-    for (i, cell) in response.landscape.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str(&format!("{{\"n\":{},\"r\":{}", cell.n, write_f64(cell.r)));
-        if let Some(c) = cell.mean_cost {
-            out.push_str(&format!(",\"mean_cost\":{}", write_f64(c)));
-        }
-        if let Some(e) = cell.error_probability {
-            out.push_str(&format!(",\"error_probability\":{}", write_f64(e)));
-        }
-        out.push('}');
-    }
-    let s = &response.stats;
+/// Writes the per-request `"stats"` member shared by every verb's
+/// response line.
+fn push_stats(out: &mut String, s: &BatchStats) {
     out.push_str(&format!(
-        "],\"stats\":{{\"wall_ns\":{},\"cache_hits\":{},\"cache_misses\":{},\"cells\":{},\"workers\":{}}}}}",
+        "\"stats\":{{\"wall_ns\":{},\"cache_hits\":{},\"cache_misses\":{},\"cells\":{},\"workers\":{}}}",
         s.wall_nanos, s.cache_hits, s.cache_misses, s.cells, s.workers
     ));
-    out
 }
 
-/// Encodes a failure response line. Takes the unified [`EngineError`] so
-/// every failure path — parse, validation, evaluation, cancellation —
-/// stringifies exactly once, here.
-#[must_use]
-pub fn error_line(id: &str, error: &EngineError) -> String {
-    format!(
-        "{{\"v\":{WIRE_VERSION},\"id\":\"{}\",\"error\":\"{}\"}}",
-        escape(id),
-        escape(&error.to_string())
-    )
+/// A typed response line: every line the protocol can emit, in one closed
+/// set, serialized by exactly one function ([`WireResponse::to_line`]).
+///
+/// Sessions and servers construct values of this type and stringify them
+/// at the output boundary — there is no other JSON writer for responses,
+/// so the wire format cannot drift between call sites.
+#[derive(Debug, Clone)]
+pub enum WireResponse {
+    /// A completed sweep: `{"v":…,"id":…,"cells":[…],"stats":{…}}`.
+    Sweep {
+        /// The caller's request id, echoed.
+        id: String,
+        /// The evaluated landscape and counters.
+        response: SweepResponse,
+    },
+    /// A completed calibration:
+    /// `{"v":…,"id":…,"calibrate":{…},"stats":{…}}`.
+    Calibrate {
+        /// The caller's request id, echoed.
+        id: String,
+        /// The recovered `E*` and the target's cost/risk under it.
+        response: CalibrateResponse,
+    },
+    /// A completed frontier:
+    /// `{"v":…,"id":…,"frontier":{"candidates":…,"points":[…]},"stats":{…}}`.
+    Frontier {
+        /// The caller's request id, echoed.
+        id: String,
+        /// The Pareto points and counters.
+        response: FrontierResponse,
+    },
+    /// Acknowledgement of a `cancel` request:
+    /// `{"v":…,"id":…,"cancelled":…}`.
+    Cancelled {
+        /// The cancel request's own id.
+        id: String,
+        /// The id of the request it withdrew.
+        of: String,
+    },
+    /// Any failure — parse, validation, evaluation, cancellation:
+    /// `{"v":…,"id":…,"error":…}`.
+    Error {
+        /// The failing request's id (empty when the line had none).
+        id: String,
+        /// The stringified failure.
+        message: String,
+    },
+    /// A session stats snapshot: `{"v":…,"stats":{…}}`.
+    Stats {
+        /// The engine's cumulative counters.
+        engine: EngineStats,
+        /// The pipeline's cumulative counters.
+        pipeline: PipelineStats,
+        /// The pipeline's configured depth bound.
+        depth: usize,
+    },
 }
 
-/// Encodes the acknowledgement of a `cancel` request: `id` is the cancel
-/// request's own id, `of` the request it withdrew.
-#[must_use]
-pub fn cancel_line(id: &str, of: &str) -> String {
-    format!(
-        "{{\"v\":{WIRE_VERSION},\"id\":\"{}\",\"cancelled\":\"{}\"}}",
-        escape(id),
-        escape(of)
-    )
+impl WireResponse {
+    /// An [`WireResponse::Error`] from the unified [`EngineError`], so
+    /// every failure path stringifies exactly once, here.
+    #[must_use]
+    pub fn error(id: &str, error: &EngineError) -> WireResponse {
+        WireResponse::Error {
+            id: id.to_owned(),
+            message: error.to_string(),
+        }
+    }
+
+    /// Wraps one pipeline outcome — success of any verb, or failure —
+    /// into the matching response.
+    #[must_use]
+    pub fn from_result(id: &str, result: Result<WorkResponse, EngineError>) -> WireResponse {
+        match result {
+            Ok(WorkResponse::Sweep(response)) => WireResponse::Sweep {
+                id: id.to_owned(),
+                response,
+            },
+            Ok(WorkResponse::Calibrate(response)) => WireResponse::Calibrate {
+                id: id.to_owned(),
+                response,
+            },
+            Ok(WorkResponse::Frontier(response)) => WireResponse::Frontier {
+                id: id.to_owned(),
+                response,
+            },
+            Err(e) => WireResponse::error(id, &e),
+        }
+    }
+
+    /// Serializes this response as one JSON line (no trailing newline).
+    /// The single writer of the response wire format.
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        match self {
+            WireResponse::Sweep { id, response } => {
+                // The wire keeps the per-cell object shape; `Cell`s are
+                // materialized lazily from the response's flat
+                // [`Landscape`](crate::Landscape) buffers right here, at
+                // the serialization boundary.
+                let mut out = String::with_capacity(64 + response.landscape.len() * 64);
+                out.push_str(&format!("{{\"v\":{WIRE_VERSION},\"id\":\""));
+                out.push_str(&escape(id));
+                out.push_str("\",\"cells\":[");
+                for (i, cell) in response.landscape.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("{{\"n\":{},\"r\":{}", cell.n, write_f64(cell.r)));
+                    if let Some(c) = cell.mean_cost {
+                        out.push_str(&format!(",\"mean_cost\":{}", write_f64(c)));
+                    }
+                    if let Some(e) = cell.error_probability {
+                        out.push_str(&format!(",\"error_probability\":{}", write_f64(e)));
+                    }
+                    out.push('}');
+                }
+                out.push_str("],");
+                push_stats(&mut out, &response.stats);
+                out.push('}');
+                out
+            }
+            WireResponse::Calibrate { id, response } => {
+                let mut out = format!(
+                    "{{\"v\":{WIRE_VERSION},\"id\":\"{}\",\"{VERB_CALIBRATE}\":{{\"error_cost\":{},\"n\":{},\"r\":{},\"mean_cost\":{},\"error_probability\":{}}},",
+                    escape(id),
+                    write_f64(response.error_cost),
+                    response.n,
+                    write_f64(response.r),
+                    write_f64(response.cost),
+                    write_f64(response.error_probability),
+                );
+                push_stats(&mut out, &response.stats);
+                out.push('}');
+                out
+            }
+            WireResponse::Frontier { id, response } => {
+                let mut out = String::with_capacity(96 + response.points.len() * 96);
+                out.push_str(&format!(
+                    "{{\"v\":{WIRE_VERSION},\"id\":\"{}\",\"{VERB_FRONTIER}\":{{\"candidates\":{},\"points\":[",
+                    escape(id),
+                    response.candidates
+                ));
+                for (i, p) in response.points.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!(
+                        "{{\"x\":{},\"y\":{},\"n\":{},\"r\":{},\"mean_cost\":{},\"error_probability\":{}}}",
+                        write_f64(p.x),
+                        write_f64(p.y),
+                        p.n,
+                        write_f64(p.r),
+                        write_f64(p.cost),
+                        write_f64(p.error_probability),
+                    ));
+                }
+                out.push_str("]},");
+                push_stats(&mut out, &response.stats);
+                out.push('}');
+                out
+            }
+            WireResponse::Cancelled { id, of } => {
+                format!(
+                    "{{\"v\":{WIRE_VERSION},\"id\":\"{}\",\"cancelled\":\"{}\"}}",
+                    escape(id),
+                    escape(of)
+                )
+            }
+            WireResponse::Error { id, message } => {
+                format!(
+                    "{{\"v\":{WIRE_VERSION},\"id\":\"{}\",\"error\":\"{}\"}}",
+                    escape(id),
+                    escape(message)
+                )
+            }
+            WireResponse::Stats {
+                engine: s,
+                pipeline: p,
+                depth,
+            } => {
+                let per_worker = s
+                    .cells_per_worker
+                    .iter()
+                    .map(u64::to_string)
+                    .collect::<Vec<String>>()
+                    .join(",");
+                format!(
+                    "{{\"v\":{WIRE_VERSION},\"stats\":{{\"requests\":{},\"cells\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_len\":{},\"cells_per_worker\":[{}],\"wall_ns\":{},\
+                     \"pipeline\":{{\"depth\":{},\"submitted\":{},\"completed\":{},\"cancelled\":{},\"failed\":{},\
+                     \"queue_ns_total\":{},\"queue_ns_max\":{},\"service_ns_total\":{},\"service_ns_max\":{}}}}}}}",
+                    s.requests,
+                    s.cells,
+                    s.cache_hits,
+                    s.cache_misses,
+                    s.cache_len,
+                    per_worker,
+                    s.wall_nanos,
+                    depth,
+                    p.submitted,
+                    p.completed,
+                    p.cancelled,
+                    p.failed,
+                    p.queue_nanos_total,
+                    p.queue_nanos_max,
+                    p.service_nanos_total,
+                    p.service_nanos_max,
+                )
+            }
+        }
+    }
+}
+
+/// Shorthand for an [`WireResponse::Error`] line.
+fn error_line(id: &str, error: &EngineError) -> String {
+    WireResponse::error(id, error).to_line()
 }
 
 fn invalid(what: impl Into<String>) -> EngineError {
@@ -633,7 +943,57 @@ fn invalid(what: impl Into<String>) -> EngineError {
 /// One wire request currently inside the pipeline.
 struct InFlight {
     wire_id: String,
-    request: SweepRequest,
+    request: WorkRequest,
+}
+
+/// Work held back because its base sweep is still in flight: everything
+/// needed to build the real [`WorkRequest`] once the base's scenario and
+/// grid become available.
+enum PendingWork {
+    /// A rescore's economic delta.
+    Rescore(RescoreDelta),
+    /// A calibration's target configuration.
+    Calibrate {
+        /// Target probe count.
+        n: u32,
+        /// Target listening period.
+        r: f64,
+    },
+    /// A frontier's parameter axes.
+    Frontier {
+        /// The first varied parameter.
+        x: AxisSpec,
+        /// The second varied parameter.
+        y: AxisSpec,
+    },
+}
+
+impl PendingWork {
+    /// Builds the concrete request against the completed base sweep.
+    fn into_request(self, base: &SweepRequest) -> Result<WorkRequest, EngineError> {
+        match self {
+            PendingWork::Rescore(delta) => {
+                let scenario = delta.apply(&base.scenario)?;
+                Ok(WorkRequest::Sweep(SweepRequest {
+                    scenario,
+                    grid: base.grid.clone(),
+                    metrics: base.metrics.clone(),
+                }))
+            }
+            PendingWork::Calibrate { n, r } => Ok(WorkRequest::Calibrate(CalibrateRequest {
+                scenario: base.scenario.clone(),
+                grid: base.grid.clone(),
+                target_n: n,
+                target_r: r,
+            })),
+            PendingWork::Frontier { x, y } => Ok(WorkRequest::Frontier(FrontierRequest {
+                scenario: base.scenario.clone(),
+                grid: base.grid.clone(),
+                x,
+                y,
+            })),
+        }
+    }
 }
 
 /// A pipelined JSON-lines session: a thin codec over
@@ -647,22 +1007,24 @@ struct InFlight {
 /// **completion order**, keyed by the caller's `id` field, not in input
 /// order.
 ///
-/// Rescore lines whose base sweep is still in flight are *held back* and
-/// submitted automatically the moment the base completes, so a pipelined
-/// client may stream `sweep s1` / `rescore s2 of s1` back-to-back without
-/// waiting. Every non-empty input line produces exactly one output line,
-/// pipelined or not.
+/// Rescore, calibrate and frontier lines whose base sweep is still in
+/// flight are *held back* and submitted automatically the moment the base
+/// completes, so a pipelined client may stream `sweep s1` / `rescore s2
+/// of s1` / `calibrate k1 of s1` back-to-back without waiting. Every
+/// non-empty input line produces exactly one output line, pipelined or
+/// not.
 pub struct PipelinedSession {
     pipeline: Pipeline,
-    /// Completed sweeps by wire id, referencable by later rescores.
+    /// Completed sweeps by wire id, referencable by later rescores,
+    /// calibrations and frontiers.
     sweeps: HashMap<String, SweepRequest>,
     /// Requests inside the pipeline, keyed by pipeline id.
     in_flight: HashMap<RequestId, InFlight>,
     /// Live wire id → pipeline id (for `cancel` lines).
     by_wire_id: HashMap<String, RequestId>,
-    /// Rescores waiting for their base to complete: base wire id → list
-    /// of (rescore wire id, delta).
-    waiting: HashMap<String, Vec<(String, RescoreDelta)>>,
+    /// Dependent work waiting for its base to complete: base wire id →
+    /// list of (dependent wire id, pending work).
+    waiting: HashMap<String, Vec<(String, PendingWork)>>,
     /// Wire ids submitted or waiting whose response has not been emitted.
     pending_ids: HashSet<String>,
 }
@@ -750,8 +1112,40 @@ impl PipelinedSession {
         }
         match decode_request(&value) {
             Err(e) => vec![error_line(&id, &e.into())],
-            Ok(WireRequest::Sweep { id, request }) => self.submit_sweep(id, request),
-            Ok(WireRequest::Rescore { id, of, delta }) => self.submit_rescore(id, &of, delta),
+            Ok(WireRequest::Sweep { id, request }) => {
+                self.submit_work(id, WorkRequest::Sweep(request))
+            }
+            Ok(WireRequest::Rescore { id, of, delta }) => {
+                self.submit_dependent(id, &of, PendingWork::Rescore(delta))
+            }
+            Ok(WireRequest::Calibrate { id, target, n, r }) => match target {
+                WorkTarget::Base(of) => {
+                    self.submit_dependent(id, &of, PendingWork::Calibrate { n, r })
+                }
+                WorkTarget::Inline { scenario, grid } => self.submit_work(
+                    id,
+                    WorkRequest::Calibrate(CalibrateRequest {
+                        scenario,
+                        grid,
+                        target_n: n,
+                        target_r: r,
+                    }),
+                ),
+            },
+            Ok(WireRequest::Frontier { id, target, x, y }) => match target {
+                WorkTarget::Base(of) => {
+                    self.submit_dependent(id, &of, PendingWork::Frontier { x, y })
+                }
+                WorkTarget::Inline { scenario, grid } => self.submit_work(
+                    id,
+                    WorkRequest::Frontier(FrontierRequest {
+                        scenario,
+                        grid,
+                        x,
+                        y,
+                    }),
+                ),
+            },
             Ok(WireRequest::Cancel { id, of }) => self.submit_cancel(&id, &of),
         }
     }
@@ -796,41 +1190,18 @@ impl PipelinedSession {
     /// Renders the engine and pipeline stats as one JSON line.
     #[must_use]
     pub fn stats_line(&self) -> String {
-        let s = self.stats();
-        let p = self.pipeline_stats();
-        let per_worker = s
-            .cells_per_worker
-            .iter()
-            .map(u64::to_string)
-            .collect::<Vec<String>>()
-            .join(",");
-        format!(
-            "{{\"v\":{WIRE_VERSION},\"stats\":{{\"requests\":{},\"cells\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_len\":{},\"cells_per_worker\":[{}],\"wall_ns\":{},\
-             \"pipeline\":{{\"depth\":{},\"submitted\":{},\"completed\":{},\"cancelled\":{},\"failed\":{},\
-             \"queue_ns_total\":{},\"queue_ns_max\":{},\"service_ns_total\":{},\"service_ns_max\":{}}}}}}}",
-            s.requests,
-            s.cells,
-            s.cache_hits,
-            s.cache_misses,
-            s.cache_len,
-            per_worker,
-            s.wall_nanos,
-            self.pipeline.depth(),
-            p.submitted,
-            p.completed,
-            p.cancelled,
-            p.failed,
-            p.queue_nanos_total,
-            p.queue_nanos_max,
-            p.service_nanos_total,
-            p.service_nanos_max,
-        )
+        WireResponse::Stats {
+            engine: self.stats(),
+            pipeline: self.pipeline_stats(),
+            depth: self.pipeline.depth(),
+        }
+        .to_line()
     }
 
-    /// Submits one decoded sweep; an immediate error line when the
-    /// pipeline rejects it.
-    fn submit_sweep(&mut self, wire_id: String, request: SweepRequest) -> Vec<String> {
-        match self.pipeline.submit(request.clone()) {
+    /// Submits one decoded work request of any verb; an immediate error
+    /// line when the pipeline rejects it.
+    fn submit_work(&mut self, wire_id: String, request: WorkRequest) -> Vec<String> {
+        match self.pipeline.submit_work(request.clone()) {
             Ok(pipeline_id) => {
                 self.pending_ids.insert(wire_id.clone());
                 self.by_wire_id.insert(wire_id.clone(), pipeline_id);
@@ -846,24 +1217,18 @@ impl PipelinedSession {
         }
     }
 
-    /// Routes one rescore: straight into the pipeline when the base has
+    /// Routes one base-referencing request (rescore, calibrate or
+    /// frontier): straight into the pipeline when the base sweep has
     /// completed, held back when the base is pending, an error otherwise.
-    fn submit_rescore(&mut self, wire_id: String, of: &str, delta: RescoreDelta) -> Vec<String> {
+    fn submit_dependent(&mut self, wire_id: String, of: &str, work: PendingWork) -> Vec<String> {
         if let Some(base) = self.sweeps.get(of) {
-            return match delta.apply(&base.scenario) {
-                Ok(scenario) => {
-                    let request = SweepRequest {
-                        scenario,
-                        grid: base.grid.clone(),
-                        metrics: base.metrics.clone(),
-                    };
-                    self.submit_sweep(wire_id, request)
-                }
+            return match work.into_request(base) {
+                Ok(request) => self.submit_work(wire_id, request),
                 Err(e) => {
-                    // A delta that fails at dispatch time must still fail
-                    // everything chained on this rescore, or held-back
-                    // dependents are stranded forever.
-                    let mut out = vec![error_line(&wire_id, &e.into())];
+                    // Work that fails at dispatch time must still fail
+                    // everything chained on it, or held-back dependents
+                    // are stranded forever.
+                    let mut out = vec![error_line(&wire_id, &e)];
                     out.extend(self.fail_dependents(&wire_id));
                     out
                 }
@@ -874,7 +1239,7 @@ impl PipelinedSession {
             self.waiting
                 .entry(of.to_owned())
                 .or_default()
-                .push((wire_id, delta));
+                .push((wire_id, work));
             return Vec::new();
         }
         vec![error_line(
@@ -890,10 +1255,14 @@ impl PipelinedSession {
             // In the pipeline: the cancelled completion arrives (and is
             // encoded) through the normal completion path.
             self.pipeline.cancel(*pipeline_id);
-            return vec![cancel_line(wire_id, of)];
+            return vec![WireResponse::Cancelled {
+                id: wire_id.to_owned(),
+                of: of.to_owned(),
+            }
+            .to_line()];
         }
-        // A held-back rescore never reached the pipeline; answer for it
-        // here and fail anything chained on it.
+        // Held-back work never reached the pipeline; answer for it here
+        // and fail anything chained on it.
         let held = self
             .waiting
             .values_mut()
@@ -905,7 +1274,11 @@ impl PipelinedSession {
             self.waiting.retain(|_, deps| !deps.is_empty());
             self.pending_ids.remove(of);
             let mut out = vec![
-                cancel_line(wire_id, of),
+                WireResponse::Cancelled {
+                    id: wire_id.to_owned(),
+                    of: of.to_owned(),
+                }
+                .to_line(),
                 error_line(of, &EngineError::Cancelled),
             ];
             out.extend(self.fail_dependents(of));
@@ -917,7 +1290,7 @@ impl PipelinedSession {
         )]
     }
 
-    /// Encodes one completion and dispatches any rescores that were
+    /// Encodes one completion and dispatches any dependent work that was
     /// waiting on it.
     fn finish(&mut self, completion: Completion) -> Vec<String> {
         let Some(InFlight { wire_id, request }) = self.in_flight.remove(&completion.id) else {
@@ -926,37 +1299,39 @@ impl PipelinedSession {
         };
         self.by_wire_id.remove(&wire_id);
         self.pending_ids.remove(&wire_id);
-        match completion.result {
-            Ok(response) => {
-                let mut out = vec![response_line(&wire_id, &response)];
-                self.sweeps.insert(wire_id.clone(), request);
-                for (rescore_id, delta) in self.waiting.remove(&wire_id).unwrap_or_default() {
-                    self.pending_ids.remove(&rescore_id);
-                    out.extend(self.submit_rescore(rescore_id, &wire_id, delta));
-                }
-                out
-            }
-            Err(e) => {
-                let mut out = vec![error_line(&wire_id, &e)];
-                out.extend(self.fail_dependents(&wire_id));
-                out
+        let succeeded = completion.result.is_ok();
+        if succeeded {
+            // Only a sweep establishes a base that dependents (rescore,
+            // calibrate, frontier) can reference.
+            if let WorkRequest::Sweep(sweep) = request {
+                self.sweeps.insert(wire_id.clone(), sweep);
             }
         }
+        let mut out = vec![WireResponse::from_result(&wire_id, completion.result).to_line()];
+        if succeeded {
+            for (dependent_id, work) in self.waiting.remove(&wire_id).unwrap_or_default() {
+                self.pending_ids.remove(&dependent_id);
+                out.extend(self.submit_dependent(dependent_id, &wire_id, work));
+            }
+        } else {
+            out.extend(self.fail_dependents(&wire_id));
+        }
+        out
     }
 
-    /// Answers (with an error) every rescore waiting on `base`, and
+    /// Answers (with an error) every dependent waiting on `base`, and
     /// transitively everything waiting on those.
     fn fail_dependents(&mut self, base: &str) -> Vec<String> {
         let mut out = Vec::new();
         let mut stack = vec![base.to_owned()];
         while let Some(failed) = stack.pop() {
-            for (rescore_id, _) in self.waiting.remove(&failed).unwrap_or_default() {
-                self.pending_ids.remove(&rescore_id);
+            for (dependent_id, _) in self.waiting.remove(&failed).unwrap_or_default() {
+                self.pending_ids.remove(&dependent_id);
                 out.push(error_line(
-                    &rescore_id,
+                    &dependent_id,
                     &invalid(format!("base sweep `{failed}` did not complete")),
                 ));
-                stack.push(rescore_id);
+                stack.push(dependent_id);
             }
         }
         out
@@ -965,13 +1340,19 @@ impl PipelinedSession {
 
 /// The historical blocking JSON-lines session, kept as a **depth-1 shim**
 /// over [`PipelinedSession`]: one request in flight at a time, one
-/// response line per input line, in input order. New code that wants
-/// concurrency should hold a `PipelinedSession` (or a raw
-/// [`Pipeline`](crate::Pipeline)) instead.
+/// response line per input line, in input order. New code — even
+/// strictly sequential code — should hold a [`PipelinedSession`]
+/// (`submit_line` + `drain` per line gives the same blocking behavior)
+/// or a raw [`Pipeline`](crate::Pipeline) instead.
+#[deprecated(
+    since = "0.6.0",
+    note = "blocking depth-1 shim; use PipelinedSession (submit_line + drain) instead"
+)]
 pub struct Session {
     inner: PipelinedSession,
 }
 
+#[allow(deprecated)]
 impl Session {
     /// Starts a blocking session around `engine`.
     #[must_use]
@@ -1021,6 +1402,23 @@ mod tests {
              \"reply_time\":{{\"kind\":\"exponential\",\"loss\":1e-6,\"rate\":10.0,\"delay\":1.0}}}},\
              \"grid\":{{\"n_max\":3,\"r\":[0.5,1.0,2.0]}}}}"
         )
+    }
+
+    fn engine(workers: usize) -> Engine {
+        Engine::new(EngineConfig {
+            workers,
+            cache_tables: 64,
+            cache_dir: None,
+            ..EngineConfig::default()
+        })
+    }
+
+    /// Blocking one-line-in/one-line-out over a pipelined session — what
+    /// the deprecated `Session` shim used to provide.
+    fn handle(session: &mut PipelinedSession, line: &str) -> Option<String> {
+        let mut lines = session.submit_line(line);
+        lines.extend(session.drain());
+        lines.into_iter().next()
     }
 
     #[test]
@@ -1092,13 +1490,11 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn session_answers_sweep_then_miss_free_rescore() {
-        let mut session = Session::new(Engine::new(EngineConfig {
-            workers: 2,
-            cache_tables: 64,
-            cache_dir: None,
-            ..EngineConfig::default()
-        }));
+        // Exercises the deprecated depth-1 shim on purpose: it must stay
+        // behaviorally identical to PipelinedSession until removal.
+        let mut session = Session::new(engine(2));
         let first = session.handle_line(&sweep_line("s1")).unwrap();
         assert!(first.contains("\"id\":\"s1\""), "{first}");
         assert!(first.contains("\"cache_misses\":3"), "{first}");
@@ -1119,35 +1515,26 @@ mod tests {
 
     #[test]
     fn session_reports_errors_without_dying() {
-        let mut session = Session::new(Engine::new(EngineConfig {
-            workers: 1,
-            cache_tables: 8,
-            cache_dir: None,
-            ..EngineConfig::default()
-        }));
-        assert!(session.handle_line("   ").is_none());
-        let bad = session.handle_line("not json").unwrap();
+        let mut session = PipelinedSession::new(engine(1), PipelineConfig::with_depth(1));
+        assert!(handle(&mut session, "   ").is_none());
+        let bad = handle(&mut session, "not json").unwrap();
         assert!(bad.contains("\"error\""), "{bad}");
-        let unknown = session
-            .handle_line("{\"id\":\"r\",\"rescore\":{\"of\":\"ghost\"}}")
-            .unwrap();
+        let unknown = handle(
+            &mut session,
+            "{\"id\":\"r\",\"rescore\":{\"of\":\"ghost\"}}",
+        )
+        .unwrap();
         assert!(unknown.contains("no sweep with id"), "{unknown}");
         // The session still works afterwards.
-        assert!(session
-            .handle_line(&sweep_line("ok"))
+        assert!(handle(&mut session, &sweep_line("ok"))
             .unwrap()
             .contains("\"cells\""));
     }
 
     #[test]
     fn response_line_parses_back_with_exact_floats() {
-        let mut session = Session::new(Engine::new(EngineConfig {
-            workers: 1,
-            cache_tables: 8,
-            cache_dir: None,
-            ..EngineConfig::default()
-        }));
-        let line = session.handle_line(&sweep_line("s1")).unwrap();
+        let mut session = PipelinedSession::new(engine(1), PipelineConfig::with_depth(1));
+        let line = handle(&mut session, &sweep_line("s1")).unwrap();
         let parsed = parse_json(&line).unwrap();
         let Some(Json::Arr(cells)) = parsed.get("cells") else {
             panic!("no cells in {line}");
@@ -1161,5 +1548,110 @@ mod tests {
         let direct = zeroconf_cost::cost::mean_cost(&request.scenario, 1, 0.5).unwrap();
         let wire = cells[0].get("mean_cost").and_then(Json::num).unwrap();
         assert_eq!(direct.to_bits(), wire.to_bits());
+    }
+
+    #[test]
+    fn calibrate_and_frontier_lines_decode() {
+        let calibrate =
+            parse_request_line("{\"id\":\"k1\",\"calibrate\":{\"of\":\"s1\",\"n\":2,\"r\":1.0}}")
+                .unwrap();
+        let WireRequest::Calibrate { id, target, n, r } = calibrate else {
+            panic!("expected calibrate");
+        };
+        assert_eq!(id, "k1");
+        assert!(matches!(target, WorkTarget::Base(of) if of == "s1"));
+        assert_eq!((n, r), (2, 1.0));
+        let frontier = parse_request_line(
+            "{\"id\":\"f1\",\"frontier\":{\"of\":\"s1\",\
+             \"x\":{\"axis\":\"error_cost\",\"values\":[1e3,1e6]},\
+             \"y\":{\"axis\":\"probe_cost\",\"values\":[1.0,2.0]}}}",
+        )
+        .unwrap();
+        let WireRequest::Frontier { target, x, y, .. } = frontier else {
+            panic!("expected frontier");
+        };
+        assert!(matches!(target, WorkTarget::Base(_)));
+        assert_eq!(x.axis, ParamAxis::ErrorCost);
+        assert_eq!(y.values, vec![1.0, 2.0]);
+        // Unknown axis and missing target are named in the error.
+        let bad = parse_request_line(
+            "{\"id\":\"f2\",\"frontier\":{\"of\":\"s1\",\
+             \"x\":{\"axis\":\"rate\",\"values\":[1.0]},\
+             \"y\":{\"axis\":\"q\",\"values\":[0.5]}}}",
+        );
+        assert!(bad.unwrap_err().message.contains("unknown frontier axis"));
+        let bare = parse_request_line("{\"id\":\"k2\",\"calibrate\":{\"n\":2,\"r\":1.0}}");
+        assert!(bare
+            .unwrap_err()
+            .message
+            .contains("needs `of` or an inline `scenario`"));
+    }
+
+    #[test]
+    fn pipelined_calibrate_of_pending_base_is_held_back_and_warm() {
+        let mut session = PipelinedSession::new(engine(2), PipelineConfig::with_depth(4));
+        // Sweep and dependent calibrate/frontier streamed back-to-back,
+        // before the base completes.
+        let mut out = session.submit_line(&sweep_line("s1"));
+        out.extend(
+            session.submit_line("{\"id\":\"k1\",\"calibrate\":{\"of\":\"s1\",\"n\":2,\"r\":1.0}}"),
+        );
+        out.extend(session.submit_line(
+            "{\"id\":\"f1\",\"frontier\":{\"of\":\"s1\",\
+             \"x\":{\"axis\":\"error_cost\",\"values\":[1e3,1e9]},\
+             \"y\":{\"axis\":\"probe_cost\",\"values\":[0.5,2.0]}}}",
+        ));
+        assert!(out.is_empty(), "nothing answers before the base: {out:?}");
+        assert_eq!(session.pending(), 3);
+        let lines = session.drain();
+        assert_eq!(lines.len(), 3, "{lines:?}");
+        let calibrate = lines.iter().find(|l| l.contains("\"id\":\"k1\"")).unwrap();
+        assert!(
+            calibrate.contains("\"calibrate\":{\"error_cost\":"),
+            "{calibrate}"
+        );
+        // The base sweep warmed the π cache; the statistic build misses
+        // zero tables, and the frontier reuses the statistic outright.
+        assert!(calibrate.contains("\"cache_misses\":0"), "{calibrate}");
+        let frontier = lines.iter().find(|l| l.contains("\"id\":\"f1\"")).unwrap();
+        assert!(
+            frontier.contains("\"frontier\":{\"candidates\":4,\"points\":["),
+            "{frontier}"
+        );
+        assert!(frontier.contains("\"cache_misses\":0"), "{frontier}");
+    }
+
+    #[test]
+    fn inline_calibrate_answers_without_a_base() {
+        let mut session = PipelinedSession::new(engine(1), PipelineConfig::with_depth(1));
+        let line = handle(
+            &mut session,
+            "{\"id\":\"k1\",\"calibrate\":{\"n\":2,\"r\":1.0},\
+             \"scenario\":{\"q\":0.5,\"probe_cost\":2.0,\"error_cost\":1e6,\
+             \"reply_time\":{\"kind\":\"exponential\",\"loss\":1e-6,\"rate\":10.0,\"delay\":1.0}},\
+             \"grid\":{\"n_max\":3,\"r\":[0.5,1.0,2.0]}}",
+        )
+        .unwrap();
+        assert!(line.contains("\"id\":\"k1\""), "{line}");
+        assert!(line.contains("\"calibrate\":{\"error_cost\":"), "{line}");
+        let parsed = parse_json(&line).unwrap();
+        let e_star = parsed
+            .get("calibrate")
+            .and_then(|c| c.get("error_cost"))
+            .and_then(Json::num)
+            .unwrap();
+        assert!(e_star.is_finite() && e_star > 0.0, "{line}");
+    }
+
+    #[test]
+    fn dependents_of_a_non_sweep_base_are_refused() {
+        let mut session = PipelinedSession::new(engine(1), PipelineConfig::with_depth(4));
+        session.submit_line(&sweep_line("s1"));
+        session.submit_line("{\"id\":\"k1\",\"calibrate\":{\"of\":\"s1\",\"n\":2,\"r\":1.0}}");
+        // Chained on the *calibration*, which never becomes a sweep base.
+        session.submit_line("{\"id\":\"r1\",\"rescore\":{\"of\":\"k1\",\"error_cost\":1e9}}");
+        let lines = session.drain();
+        let refused = lines.iter().find(|l| l.contains("\"id\":\"r1\"")).unwrap();
+        assert!(refused.contains("no sweep with id `k1`"), "{refused}");
     }
 }

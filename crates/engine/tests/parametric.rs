@@ -1,0 +1,220 @@
+//! The parametric verbs end-to-end: calibrate and frontier against the
+//! engine's cached sufficient statistic, including the warm-path
+//! guarantee — after a sweep over the same `(scenario, grid)`, a 64×64
+//! parameter-grid frontier recomputes **zero** π-tables.
+
+use std::sync::Arc;
+
+use zeroconf_cost::Scenario;
+use zeroconf_dist::DefectiveExponential;
+use zeroconf_engine::{
+    CalibrateRequest, Engine, EngineConfig, FrontierRequest, GridSpec, ParamAxis, Pipeline,
+    PipelineConfig, SweepRequest, WorkRequest, WorkResponse,
+};
+
+fn scenario() -> Scenario {
+    Scenario::builder()
+        .occupancy(0.5)
+        .probe_cost(2.0)
+        .error_cost(1e6)
+        .reply_time(Arc::new(
+            DefectiveExponential::from_loss(1e-6, 10.0, 1.0).unwrap(),
+        ))
+        .build()
+        .unwrap()
+}
+
+fn engine(workers: usize) -> Engine {
+    Engine::new(EngineConfig {
+        workers,
+        cache_tables: 4096,
+        cache_dir: None,
+        ..EngineConfig::default()
+    })
+}
+
+fn grid() -> GridSpec {
+    GridSpec::linspace(12, 0.25, 10.0, 40)
+}
+
+/// 64 log-spaced collision costs and 64 linear probe costs: the
+/// acceptance-grade (E, c) parameter grid.
+fn axes_64x64() -> (Vec<f64>, Vec<f64>) {
+    let error_costs = (0..64)
+        .map(|i| 10f64.powf(2.0 + 10.0 * i as f64 / 63.0))
+        .collect();
+    let probe_costs = (0..64).map(|i| 0.5 + 3.5 * i as f64 / 63.0).collect();
+    (error_costs, probe_costs)
+}
+
+#[test]
+fn warm_frontier_64x64_recomputes_no_pi_tables() {
+    let engine = engine(2);
+    let grid = grid();
+    // Warm-up: an ordinary sweep computes every π-table the grid needs.
+    let sweep = engine
+        .evaluate(&SweepRequest::new(scenario(), grid.clone()))
+        .unwrap();
+    assert_eq!(sweep.stats.cache_misses as usize, grid.r_values.len());
+
+    let (error_costs, probe_costs) = axes_64x64();
+    let request = FrontierRequest::builder()
+        .scenario(scenario())
+        .grid(grid)
+        .x(ParamAxis::ErrorCost, error_costs)
+        .y(ParamAxis::ProbeCost, probe_costs)
+        .build()
+        .unwrap();
+    let response = engine.frontier(&request).unwrap();
+
+    // The acceptance criterion: 4096 parameter points against a warm
+    // π-table cache, zero π recomputation.
+    assert_eq!(response.candidates, 64 * 64);
+    assert_eq!(
+        response.stats.cache_misses, 0,
+        "warm frontier must not recompute π-tables"
+    );
+    assert!(!response.points.is_empty());
+
+    // The frontier is Pareto: non-decreasing cost, strictly decreasing
+    // collision probability.
+    for pair in response.points.windows(2) {
+        assert!(pair[1].cost >= pair[0].cost, "{pair:?}");
+        assert!(
+            pair[1].error_probability < pair[0].error_probability,
+            "{pair:?}"
+        );
+    }
+
+    // A second identical frontier hits the engine's single-slot landscape
+    // cache: not even π-table *lookups* happen.
+    let again = engine.frontier(&request).unwrap();
+    assert_eq!(again.stats.cache_hits, 0);
+    assert_eq!(again.stats.cache_misses, 0);
+    assert_eq!(again.points, response.points);
+}
+
+#[test]
+fn calibrated_error_cost_makes_the_target_optimal() {
+    let engine = engine(1);
+    let grid = grid();
+    let k = 20;
+    let target_r = grid.r_values[k];
+    let request = CalibrateRequest::builder()
+        .scenario(scenario())
+        .grid(grid.clone())
+        .target(4, target_r)
+        .build()
+        .unwrap();
+    let response = engine.calibrate(&request).unwrap();
+    assert!(response.error_cost.is_finite() && response.error_cost > 0.0);
+    assert_eq!(response.n, 4);
+    assert_eq!(response.r.to_bits(), target_r.to_bits());
+
+    // Under the recovered E*, the target r beats its grid neighbors at
+    // n = 4 (stationarity of the calibrated cost curve).
+    let calibrated = scenario().with_error_cost(response.error_cost).unwrap();
+    let at = |r: f64| zeroconf_cost::cost::mean_cost(&calibrated, 4, r).unwrap();
+    let target_cost = at(target_r);
+    // Central differencing makes the target optimal up to the grid's
+    // curvature; allow one part in 1e6 of slack against the neighbors.
+    let slack = 1.0 + 1e-6;
+    assert!(
+        target_cost <= at(grid.r_values[k - 1]) * slack,
+        "left neighbor beats the calibrated target"
+    );
+    assert!(
+        target_cost <= at(grid.r_values[k + 1]) * slack,
+        "right neighbor beats the calibrated target"
+    );
+    assert_eq!(target_cost.to_bits(), response.cost.to_bits());
+
+    // Warm path: a second calibration over the same grid does zero π
+    // work of any kind (landscape slot hit).
+    let warm = engine.calibrate(&request).unwrap();
+    assert_eq!(warm.stats.cache_hits, 0);
+    assert_eq!(warm.stats.cache_misses, 0);
+    assert_eq!(warm.error_cost.to_bits(), response.error_cost.to_bits());
+}
+
+#[test]
+fn parametric_verbs_flow_through_the_pipeline() {
+    let grid = grid();
+    let mut pipeline = Pipeline::new(Arc::new(engine(2)), PipelineConfig::with_depth(3));
+    let sweep_id = pipeline
+        .submit(SweepRequest::new(scenario(), grid.clone()))
+        .unwrap();
+    let calibrate_id = pipeline
+        .submit_work(WorkRequest::Calibrate(
+            CalibrateRequest::builder()
+                .scenario(scenario())
+                .grid(grid.clone())
+                .target(4, grid.r_values[20])
+                .build()
+                .unwrap(),
+        ))
+        .unwrap();
+    let frontier_id = pipeline
+        .submit_work(WorkRequest::Frontier(
+            FrontierRequest::builder()
+                .scenario(scenario())
+                .grid(grid)
+                .x(ParamAxis::ErrorCost, vec![1e3, 1e6, 1e9])
+                .y(ParamAxis::Occupancy, vec![0.25, 0.5])
+                .build()
+                .unwrap(),
+        ))
+        .unwrap();
+    let completions = pipeline.drain();
+    assert_eq!(completions.len(), 3);
+    for completion in completions {
+        let response = completion.result.unwrap();
+        if completion.id == sweep_id {
+            assert!(matches!(response, WorkResponse::Sweep(_)));
+        } else if completion.id == calibrate_id {
+            let WorkResponse::Calibrate(calibrate) = response else {
+                panic!("calibrate submissions complete as calibrations");
+            };
+            assert!(calibrate.error_cost > 0.0);
+        } else {
+            assert_eq!(completion.id, frontier_id);
+            let WorkResponse::Frontier(frontier) = response else {
+                panic!("frontier submissions complete as frontiers");
+            };
+            assert_eq!(frontier.candidates, 6);
+        }
+    }
+}
+
+#[test]
+fn invalid_parametric_requests_are_rejected_with_pointed_errors() {
+    let engine = engine(1);
+    let grid = grid();
+    // Target r off the grid.
+    let off_grid = CalibrateRequest {
+        scenario: scenario(),
+        grid: grid.clone(),
+        target_n: 4,
+        target_r: 0.3,
+    };
+    let e = engine.calibrate(&off_grid).unwrap_err();
+    assert!(e.to_string().contains("not a grid member"), "{e}");
+    // Target r on the boundary (no neighbor on each side).
+    let boundary = CalibrateRequest {
+        scenario: scenario(),
+        grid: grid.clone(),
+        target_n: 4,
+        target_r: grid.r_values[0],
+    };
+    let e = engine.calibrate(&boundary).unwrap_err();
+    assert!(e.to_string().contains("grid neighbor"), "{e}");
+    // Frontier axes must differ.
+    let e = FrontierRequest::builder()
+        .scenario(scenario())
+        .grid(grid)
+        .x(ParamAxis::ErrorCost, vec![1e3])
+        .y(ParamAxis::ErrorCost, vec![1e6])
+        .build()
+        .unwrap_err();
+    assert!(e.to_string().contains("axes must differ"), "{e}");
+}

@@ -7,7 +7,11 @@ use std::sync::Arc;
 
 use zeroconf_cost::Scenario;
 use zeroconf_dist::DefectiveExponential;
-use zeroconf_engine::wire::{self, PipelinedSession, Session};
+use zeroconf_engine::wire::{self, PipelinedSession};
+// The blocking shim is deprecated but must stay behaviorally pinned until
+// removal; two tests below exercise it on purpose.
+#[allow(deprecated)]
+use zeroconf_engine::wire::Session;
 use zeroconf_engine::{
     Engine, EngineConfig, EngineError, GridSpec, Pipeline, PipelineConfig, SweepRequest,
 };
@@ -86,7 +90,12 @@ fn pipelined_payloads_are_bit_identical_to_direct_evaluation() {
 
     for ((completion, id), direct_response) in completions.iter().zip(&ids).zip(&direct) {
         assert_eq!(completion.id, *id, "submission order is id order");
-        let response = completion.result.as_ref().unwrap();
+        let response = completion
+            .result
+            .as_ref()
+            .unwrap()
+            .as_sweep()
+            .expect("sweep submissions complete as sweeps");
         assert_eq!(response.landscape.len(), direct_response.landscape.len());
         for (cell, direct_cell) in response
             .landscape
@@ -120,7 +129,11 @@ fn pipelined_wire_lines_are_bit_identical_to_direct_encoding() {
     // cell (the stats object differs, so compare the cells payload).
     let request = SweepRequest::new(scenario(), GridSpec::linspace(4, 0.25, 8.0, 30));
     let direct = engine(1).evaluate(&request).unwrap();
-    let direct_line = wire::response_line("g1", &direct);
+    let direct_line = wire::WireResponse::Sweep {
+        id: "g1".to_owned(),
+        response: direct,
+    }
+    .to_line();
 
     let mut session = PipelinedSession::new(
         Engine::new(EngineConfig {
@@ -406,6 +419,7 @@ fn pipelined_session_drain_answers_every_wire_id() {
 // ---------------------------------------------------------------------------
 
 #[test]
+#[allow(deprecated)]
 fn blocking_session_still_answers_line_for_line() {
     let mut session = Session::new(Engine::new(EngineConfig {
         workers: 1,
@@ -427,6 +441,7 @@ fn blocking_session_still_answers_line_for_line() {
 }
 
 #[test]
+#[allow(deprecated)]
 fn unknown_protocol_version_is_a_structured_error() {
     let mut session = Session::new(Engine::new(EngineConfig {
         workers: 1,

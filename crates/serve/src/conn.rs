@@ -184,9 +184,12 @@ impl Conn {
                 self.metrics.cancellations += 1;
             }
         }
-        let adds_work = parsed
-            .as_ref()
-            .is_some_and(|v| v.get("scenario").is_some() || v.get("rescore").is_some());
+        let adds_work = parsed.as_ref().is_some_and(|v| {
+            v.get("scenario").is_some()
+                || v.get("rescore").is_some()
+                || v.get(wire::VERB_CALIBRATE).is_some()
+                || v.get(wire::VERB_FRONTIER).is_some()
+        });
         if adds_work && !self.admit() {
             // Shutdown fired while waiting for a permit: refuse the
             // request instead of admitting work past the drain point.
@@ -195,7 +198,7 @@ impl Conn {
                 .and_then(|v| str_member(v, "id"))
                 .unwrap_or_default()
                 .to_owned();
-            let refusal = wire::error_line(&id, &EngineError::Cancelled);
+            let refusal = wire::WireResponse::error(&id, &EngineError::Cancelled).to_line();
             self.write_lines(&[refusal]);
             return;
         }

@@ -8,15 +8,18 @@
 //! batched evaluation engine, reads the cost-optimal configuration off the
 //! grid, then rescores the same landscape under a cheaper collision
 //! penalty — without recomputing a single π-table, as the printed cache
-//! counters show. Finishes by streaming a burst of narrower sweeps through
-//! the pipelined session layer, where completions arrive out of submission
-//! order.
+//! counters show. Then streams a burst of narrower sweeps through the
+//! pipelined session layer, where completions arrive out of submission
+//! order, and finishes with the parametric verbs — a closed-form `E`
+//! calibration and a 64×64 `(E, c)` Pareto frontier — both running
+//! against the warm sufficient-statistic cache with zero π recomputation.
 
 use std::sync::Arc;
 
 use zeroconf_repro::cost::paper;
 use zeroconf_repro::engine::{
-    Engine, EngineConfig, Pipeline, PipelineConfig, RescoreDelta, SweepRequest,
+    CalibrateRequest, Engine, EngineConfig, FrontierRequest, GridSpec, ParamAxis, Pipeline,
+    PipelineConfig, RescoreDelta, SweepRequest,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -101,7 +104,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         pipeline.submit(slice)?;
     }
     for done in pipeline.drain() {
-        let response = done.result?;
+        let response = done
+            .result?
+            .into_sweep()
+            .expect("sweeps complete as sweeps");
         println!(
             "pipelined {}: {} cells (queued {:.2} ms, evaluated {:.2} ms)",
             done.id,
@@ -117,5 +123,52 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         pstats.completed,
         pstats.service_nanos_max as f64 / 1e6
     );
+
+    // Parametric finale over the warm cache. The n = 8 slice above
+    // computed every pi-table this grid needs, so both verbs below report
+    // cache_misses: 0 — calibration and a 4096-point frontier without a
+    // single pi recomputation.
+    let grid = GridSpec::linspace(8, 0.1, 30.0, 240);
+    let target_r = grid.r_values[60];
+    let calibrate = CalibrateRequest::builder()
+        .scenario(scenario.clone())
+        .grid(grid.clone())
+        .target(4, target_r)
+        .build()?;
+    let calibrated = pipeline.engine().calibrate(&calibrate)?;
+    println!(
+        "calibrate: E* = {:.3e} makes (n = 4, r = {:.3}) optimal \
+         (cache_misses: {})",
+        calibrated.error_cost, calibrated.r, calibrated.stats.cache_misses
+    );
+
+    let error_costs: Vec<f64> = (0..64)
+        .map(|i| 10f64.powf(10.0 + 25.0 * i as f64 / 63.0))
+        .collect();
+    let probe_costs: Vec<f64> = (0..64).map(|i| 0.5 + 3.5 * i as f64 / 63.0).collect();
+    let frontier = FrontierRequest::builder()
+        .scenario(scenario)
+        .grid(grid)
+        .x(ParamAxis::ErrorCost, error_costs)
+        .y(ParamAxis::ProbeCost, probe_costs)
+        .build()?;
+    let front = pipeline.engine().frontier(&frontier)?;
+    println!(
+        "frontier: {} Pareto points from {} (E, c) candidates \
+         (cache_misses: {})",
+        front.points.len(),
+        front.candidates,
+        front.stats.cache_misses
+    );
+    if let (Some(cheap), Some(safe)) = (front.points.first(), front.points.last()) {
+        println!(
+            "  cheapest end: n = {}, r = {:.3}, C = {:.4}, Err = {:.3e}",
+            cheap.n, cheap.r, cheap.cost, cheap.error_probability
+        );
+        println!(
+            "  safest end:   n = {}, r = {:.3}, C = {:.4}, Err = {:.3e}",
+            safe.n, safe.r, safe.cost, safe.error_probability
+        );
+    }
     Ok(())
 }
