@@ -29,6 +29,21 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> kernel suites under both forced backends (ZEROCONF_KERNEL)"
+# The SIMD crates' parity tests iterate every tier the host supports;
+# this pass additionally forces the *engine default* (KernelChoice::Auto)
+# through both spellings of ZEROCONF_KERNEL, so the env-driven dispatch
+# path is exercised end to end. Without AVX2 the simd spelling would
+# just clamp to scalar, so it is skipped with a notice.
+ZEROCONF_KERNEL=scalar cargo test -q -p zeroconf-simd -p zeroconf-dist \
+  -p zeroconf-cost -p zeroconf-engine
+if grep -q avx2 /proc/cpuinfo 2>/dev/null; then
+  ZEROCONF_KERNEL=simd cargo test -q -p zeroconf-simd -p zeroconf-dist \
+    -p zeroconf-cost -p zeroconf-engine
+else
+  echo "ci: host lacks AVX2 — skipping the ZEROCONF_KERNEL=simd pass (would clamp to scalar)"
+fi
+
 echo "==> engine session smoke test (pipelined, 3 requests)"
 cargo build --release -p zeroconf-cli
 SMOKE_OUT="$(printf '%s\n' \
@@ -127,7 +142,9 @@ for path in sys.argv[1:]:
         "kernel/single-pass/columns",
         "kernel/legacy-per-n/columns",
         "kernel/block/columns",
+        "kernel/block/simd",
         "engine/warm-mmap/threads=1",
+        "engine/warm-mmap/populate",
         "engine/frontier/warm",
         "engine/frontier/per-point-recompute",
         "engine/calibrate/warm",

@@ -37,7 +37,9 @@ pub const PINNED_CONSTS: &[(&str, &str)] = &[
     ("ROW_KERNEL_BLOCK", BENCH_SCHEMA),
     ("ROW_KERNEL_SINGLE_PASS", BENCH_SCHEMA),
     ("ROW_KERNEL_LEGACY", BENCH_SCHEMA),
+    ("ROW_KERNEL_BLOCK_SIMD", BENCH_SCHEMA),
     ("ROW_ENGINE_WARM_MMAP", BENCH_SCHEMA),
+    ("ROW_ENGINE_WARM_MMAP_POPULATE", BENCH_SCHEMA),
     ("ROW_FRONTIER_WARM", BENCH_SCHEMA),
     ("ROW_FRONTIER_RECOMPUTE", BENCH_SCHEMA),
     ("ROW_CALIBRATE_WARM", BENCH_SCHEMA),
@@ -78,9 +80,15 @@ pub const PINNED_LITERALS: &[(&str, &str, &str)] = &[
         "ROW_KERNEL_LEGACY",
         BENCH_SCHEMA,
     ),
+    ("kernel/block/simd", "ROW_KERNEL_BLOCK_SIMD", BENCH_SCHEMA),
     (
         "engine/warm-mmap/threads=1",
         "ROW_ENGINE_WARM_MMAP",
+        BENCH_SCHEMA,
+    ),
+    (
+        "engine/warm-mmap/populate",
+        "ROW_ENGINE_WARM_MMAP_POPULATE",
         BENCH_SCHEMA,
     ),
     ("engine/frontier/warm", "ROW_FRONTIER_WARM", BENCH_SCHEMA),
@@ -277,7 +285,9 @@ mod tests {
                  pub const ROW_KERNEL_BLOCK: &str = \"kernel/block/columns\";\n\
                  pub const ROW_KERNEL_SINGLE_PASS: &str = \"kernel/single-pass/columns\";\n\
                  pub const ROW_KERNEL_LEGACY: &str = \"kernel/legacy-per-n/columns\";\n\
+                 pub const ROW_KERNEL_BLOCK_SIMD: &str = \"kernel/block/simd\";\n\
                  pub const ROW_ENGINE_WARM_MMAP: &str = \"engine/warm-mmap/threads=1\";\n\
+                 pub const ROW_ENGINE_WARM_MMAP_POPULATE: &str = \"engine/warm-mmap/populate\";\n\
                  pub const ROW_STEM_ENGINE: &str = \"engine\";\n\
                  pub const ROW_STEM_SESSION: &str = \"engine/session\";\n\
                  pub const FIELD_ID: &str = \"id\";\n\

@@ -2,21 +2,25 @@
 //!
 //! Three checks, mirroring the workspace's unsafe policy:
 //!
-//! 1. **Allowlist**: the `unsafe` keyword may appear only in the three
-//!    engine modules whose invariants are documented in DESIGN.md
-//!    ("Unsafe inventory & invariants"): `engine/pool.rs` (disjoint
-//!    shared-slab column writes), `engine/cache.rs` (mmap-served spill
-//!    tier) and `engine/signal.rs` (the `signal(2)` handler the serve
-//!    daemon's SIGTERM drain polls). Anywhere else it is a finding — new
-//!    unsafe code must either move there or extend this allowlist *and*
-//!    the design doc.
+//! 1. **Allowlist**: the `unsafe` keyword may appear only in the modules
+//!    whose invariants are documented in DESIGN.md ("Unsafe inventory &
+//!    invariants"): `engine/pool.rs` (disjoint shared-slab column writes
+//!    plus the `sched_setaffinity` NUMA-pinning FFI), `engine/cache.rs`
+//!    (mmap-served spill tier plus the `madvise` huge-page hints),
+//!    `engine/signal.rs` (the `signal(2)` handler the serve daemon's
+//!    SIGTERM drain polls), and the `zeroconf-simd` crate's two modules
+//!    (`simd/lib.rs` dispatch into `target_feature` wrappers,
+//!    `simd/lanes.rs` intrinsic lane kernels). Anywhere else it is a
+//!    finding — new unsafe code must either move there or extend this
+//!    allowlist *and* the design doc.
 //! 2. **Adjacent justification**: every `unsafe` occurrence in the
 //!    allowlisted modules must sit within a few lines of a comment
 //!    carrying `SAFETY` (block form) or a `# Safety` doc section
 //!    (`unsafe fn` contract form), so the invariant is argued where it is
 //!    relied upon.
-//! 3. **Crate headers**: every crate root except the engine's must carry
-//!    `#![forbid(unsafe_code)]`, and the engine's must carry
+//! 3. **Crate headers**: every crate root except those of the
+//!    unsafe-bearing crates must carry `#![forbid(unsafe_code)]`, and
+//!    each unsafe-bearing crate's must carry
 //!    `#![deny(unsafe_op_in_unsafe_fn)]` so each unsafe operation inside
 //!    an `unsafe fn` needs its own block (and hence its own SAFETY
 //!    comment).
@@ -29,10 +33,12 @@ pub const UNSAFE_ALLOWED: &[&str] = &[
     "crates/engine/src/pool.rs",
     "crates/engine/src/cache.rs",
     "crates/engine/src/signal.rs",
+    "crates/simd/src/lib.rs",
+    "crates/simd/src/lanes.rs",
 ];
 
-/// The one crate allowed to contain unsafe code.
-pub const UNSAFE_CRATE: &str = "zeroconf-engine";
+/// The crates allowed to contain unsafe code.
+pub const UNSAFE_CRATES: &[&str] = &["zeroconf-engine", "zeroconf-simd"];
 
 /// How many lines above an `unsafe` token a SAFETY comment may end and
 /// still count as adjacent (attributes or a signature may intervene).
@@ -111,7 +117,8 @@ fn has_adjacent_safety_comment(file: &ScannedFile, line: u32) -> bool {
 }
 
 /// Runs the crate-header check: `forbid(unsafe_code)` everywhere except
-/// the engine, which needs `deny(unsafe_op_in_unsafe_fn)` instead.
+/// the unsafe-bearing crates, which need `deny(unsafe_op_in_unsafe_fn)`
+/// instead.
 pub fn check_crate_roots(roots: &[CrateRoot], files: &[ScannedFile]) -> Vec<Finding> {
     let mut findings = Vec::new();
     for root in roots {
@@ -130,14 +137,14 @@ pub fn check_crate_roots(roots: &[CrateRoot], files: &[ScannedFile]) -> Vec<Find
                 .iter()
                 .any(|(a, lints)| a == attr && lints.iter().any(|l| l == lint))
         };
-        if root.crate_name == UNSAFE_CRATE {
+        if UNSAFE_CRATES.contains(&root.crate_name.as_str()) {
             if !has("deny", "unsafe_op_in_unsafe_fn") {
                 findings.push(Finding::deny(
                     "unsafe-header",
                     &root.path,
                     1,
                     format!(
-                        "{} is the unsafe-bearing crate and must carry \
+                        "{} is an unsafe-bearing crate and must carry \
                          `#![deny(unsafe_op_in_unsafe_fn)]`",
                         root.crate_name
                     ),
@@ -149,7 +156,7 @@ pub fn check_crate_roots(roots: &[CrateRoot], files: &[ScannedFile]) -> Vec<Find
                     &root.path,
                     1,
                     format!(
-                        "{} carries `#![forbid(unsafe_code)]` but is the designated \
+                        "{} carries `#![forbid(unsafe_code)]` but is a designated \
                          unsafe-bearing crate — its unsafe modules would not compile",
                         root.crate_name
                     ),
@@ -163,7 +170,8 @@ pub fn check_crate_roots(roots: &[CrateRoot], files: &[ScannedFile]) -> Vec<Find
                 format!(
                     "{} must carry `#![forbid(unsafe_code)]` (only {} may hold \
                      unsafe code)",
-                    root.crate_name, UNSAFE_CRATE
+                    root.crate_name,
+                    UNSAFE_CRATES.join(" and ")
                 ),
             ));
         }
@@ -289,22 +297,22 @@ mod tests {
     }
 
     #[test]
-    fn the_engine_must_deny_unsafe_op_in_unsafe_fn_not_forbid_unsafe() {
-        let roots = vec![CrateRoot {
-            crate_name: UNSAFE_CRATE.to_owned(),
-            path: "crates/engine/src/lib.rs".to_owned(),
-        }];
-        let wrong = vec![scanned(
-            "crates/engine/src/lib.rs",
-            "#![forbid(unsafe_code)]\n",
-        )];
-        let findings = check_crate_roots(&roots, &wrong);
-        assert_eq!(findings.len(), 2, "missing deny + forbidden forbid");
+    fn unsafe_crates_must_deny_unsafe_op_in_unsafe_fn_not_forbid_unsafe() {
+        for (crate_name, path) in [
+            ("zeroconf-engine", "crates/engine/src/lib.rs"),
+            ("zeroconf-simd", "crates/simd/src/lib.rs"),
+        ] {
+            assert!(UNSAFE_CRATES.contains(&crate_name));
+            let roots = vec![CrateRoot {
+                crate_name: crate_name.to_owned(),
+                path: path.to_owned(),
+            }];
+            let wrong = vec![scanned(path, "#![forbid(unsafe_code)]\n")];
+            let findings = check_crate_roots(&roots, &wrong);
+            assert_eq!(findings.len(), 2, "missing deny + forbidden forbid");
 
-        let right = vec![scanned(
-            "crates/engine/src/lib.rs",
-            "#![deny(unsafe_op_in_unsafe_fn)]\n",
-        )];
-        assert!(check_crate_roots(&roots, &right).is_empty());
+            let right = vec![scanned(path, "#![deny(unsafe_op_in_unsafe_fn)]\n")];
+            assert!(check_crate_roots(&roots, &right).is_empty());
+        }
     }
 }

@@ -26,7 +26,7 @@ use std::sync::Arc;
 
 use zeroconf_bench::harness::{black_box, format_nanos, measure, BenchRecord};
 use zeroconf_bench::schema;
-use zeroconf_cost::kernel::{ColumnBlockKernel, ColumnKernel};
+use zeroconf_cost::kernel::{Backend, ColumnBlockKernel, ColumnKernel, Mode};
 use zeroconf_cost::{cost, paper};
 use zeroconf_engine::{
     CalibrateRequest, Engine, EngineConfig, FrontierRequest, GridSpec, ParamAxis, Pipeline,
@@ -107,19 +107,85 @@ fn warm_mmap(samples: usize, request: &SweepRequest) -> BenchRecord {
     record
 }
 
+/// The mmap-served warm sweep with the `populate` knob on: spill mappings
+/// are created with `MAP_POPULATE` (pre-faulted at map time, outside the
+/// timed region on the priming pass) and carry `MADV_HUGEPAGE` advice.
+/// Same shape as [`warm_mmap`] otherwise, so the two rows isolate the
+/// memory-placement knobs.
+fn warm_mmap_populate(samples: usize, request: &SweepRequest) -> BenchRecord {
+    let dir = std::env::temp_dir().join(format!("zeroconf-bench-populate-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let writer = Engine::new(EngineConfig {
+            cache_dir: Some(dir.clone()),
+            ..config(1)
+        });
+        writer.evaluate(request).expect("spill sweep evaluates");
+    }
+    let engine = Engine::new(EngineConfig {
+        cache_dir: Some(dir.clone()),
+        mmap_spills: true,
+        populate: true,
+        ..config(1)
+    });
+    engine.evaluate(request).expect("priming sweep evaluates");
+    assert_eq!(
+        engine.stats().cache_misses,
+        0,
+        "every table must be served from a spill mapping, not recomputed"
+    );
+    let record = measure(schema::ROW_ENGINE_WARM_MMAP_POPULATE, samples, || {
+        engine.evaluate(request).expect("sweep evaluates")
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    record
+}
+
 /// Blocked batch kernel, cold: each iteration batch-computes every
-/// π-table ([`ColumnBlockKernel::pi_tables`], with the zero-tail cutoff)
-/// and then evaluates the whole grid in one r-major block pass. This is
-/// the engine's cold path without pool or cache overhead.
+/// π-table ([`ColumnBlockKernel::pi_table_block`], with the zero-tail
+/// cutoff, into one flat slab) and then evaluates the whole grid in one
+/// r-major block pass. This is the engine's cold path without pool or
+/// cache overhead.
 fn block_columns(samples: usize, request: &SweepRequest) -> BenchRecord {
     let block = ColumnBlockKernel::new(&request.scenario);
     let rs = request.grid.r_values.clone();
     let mut costs = vec![0.0f64; GRID_CELLS];
     let mut errors = vec![0.0f64; GRID_CELLS];
     measure(schema::ROW_KERNEL_BLOCK, samples, move || {
-        let tables = block.pi_tables(N_MAX, &rs).expect("pi tables compute");
+        let tables = block.pi_table_block(N_MAX, &rs).expect("pi tables compute");
         block
-            .evaluate(N_MAX, &rs, &tables, Some(&mut costs), Some(&mut errors))
+            .evaluate(
+                N_MAX,
+                &rs,
+                &tables.views(),
+                Some(&mut costs),
+                Some(&mut errors),
+            )
+            .expect("block evaluates");
+        black_box((costs.last().copied(), errors.last().copied()))
+    })
+}
+
+/// Blocked batch kernel on the widest SIMD tier the host supports, in
+/// exact mode (bit-identical results to [`block_columns`] — the parity
+/// suite proves it; this row measures what the identical bits cost).
+/// On a host without AVX2 the backend clamps to scalar and the row
+/// duplicates [`schema::ROW_KERNEL_BLOCK`], which the note records.
+fn block_simd(samples: usize, request: &SweepRequest) -> BenchRecord {
+    let block = ColumnBlockKernel::with_backend(&request.scenario, Backend::detect(), Mode::Exact);
+    let rs = request.grid.r_values.clone();
+    let mut costs = vec![0.0f64; GRID_CELLS];
+    let mut errors = vec![0.0f64; GRID_CELLS];
+    measure(schema::ROW_KERNEL_BLOCK_SIMD, samples, move || {
+        let tables = block.pi_table_block(N_MAX, &rs).expect("pi tables compute");
+        block
+            .evaluate(
+                N_MAX,
+                &rs,
+                &tables.views(),
+                Some(&mut costs),
+                Some(&mut errors),
+            )
             .expect("block evaluates");
         black_box((costs.last().copied(), errors.last().copied()))
     })
@@ -405,11 +471,21 @@ fn main() {
         (warm(1, samples, &request), 1, "warm"),
         (warm(pool, samples, &request), pool, "warm"),
         (warm_mmap(samples, &request), 1, "warm-mmap"),
+        (warm_mmap_populate(samples, &request), 1, "warm-mmap"),
     ];
+    // The SIMD row's note pins the dispatched backend, so a scalar-clamped
+    // run on a host without AVX2 is visible in the artifact.
+    let simd_note = format!("backend={}", Backend::detect().name());
     let kernel_runs = [
-        (block_columns(samples, &request), 1, "cold"),
-        (kernel_columns(samples, &request), 1, "warm"),
-        (legacy_columns(samples, &request), 1, "warm"),
+        (block_columns(samples, &request), 1, "cold", None),
+        (
+            block_simd(samples, &request),
+            1,
+            "cold",
+            Some(simd_note.as_str()),
+        ),
+        (kernel_columns(samples, &request), 1, "warm", None),
+        (legacy_columns(samples, &request), 1, "warm", None),
     ];
     // Parametric verbs: one candidate costs `grid cells` reconstruction
     // work, so rows are normalized to parameter-cell evaluations and
@@ -461,7 +537,16 @@ fn main() {
             pipelined_note,
         ),
     ];
-    for (record, _, _) in grid_runs.iter().chain(&kernel_runs) {
+    for (record, _, _) in &grid_runs {
+        println!(
+            "  {:<36} median {:>10}/run (min {}, {} samples)",
+            record.id,
+            format_nanos(record.median_ns),
+            format_nanos(record.min_ns),
+            record.samples
+        );
+    }
+    for (record, _, _, _) in &kernel_runs {
         println!(
             "  {:<36} median {:>10}/run (min {}, {} samples)",
             record.id,
@@ -499,12 +584,21 @@ fn main() {
         speedup(&grid_runs[2].0, &grid_runs[4].0)
     );
     println!(
+        "  warm mmap populated vs plain warm mmap: {:.2}x",
+        speedup(&grid_runs[4].0, &grid_runs[5].0)
+    );
+    println!(
         "  block kernel (incl. pi) vs cold engine (1 thread): {:.2}x",
         speedup(&grid_runs[0].0, &kernel_runs[0].0)
     );
     println!(
+        "  simd block kernel ({}) vs scalar block: {:.2}x",
+        Backend::detect().name(),
+        speedup(&kernel_runs[0].0, &kernel_runs[1].0)
+    );
+    println!(
         "  single-pass kernel vs legacy per-n columns: {:.2}x",
-        speedup(&kernel_runs[2].0, &kernel_runs[1].0)
+        speedup(&kernel_runs[3].0, &kernel_runs[2].0)
     );
     println!(
         "  pipelined session (depth {depth}) vs serial: {:.2}x over {} requests",
@@ -527,11 +621,13 @@ fn main() {
 
     let mut lines: Vec<String> = grid_runs
         .iter()
-        .chain(&kernel_runs)
         .map(|(record, threads, cache)| {
             schema::row_json(record, *threads, cache, N_MAX, R_POINTS, GRID_CELLS, None)
         })
         .collect();
+    lines.extend(kernel_runs.iter().map(|(record, threads, cache, note)| {
+        schema::row_json(record, *threads, cache, N_MAX, R_POINTS, GRID_CELLS, *note)
+    }));
     lines.extend(param_runs.iter().map(|(record, cache, cells, note)| {
         schema::row_json(record, 1, cache, PARAM_N_MAX, PARAM_R_POINTS, *cells, *note)
     }));

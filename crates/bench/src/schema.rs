@@ -25,8 +25,14 @@ pub const ROW_KERNEL_BLOCK: &str = "kernel/block/columns";
 pub const ROW_KERNEL_SINGLE_PASS: &str = "kernel/single-pass/columns";
 /// Row label: the legacy per-`n` closed forms over the same π-tables.
 pub const ROW_KERNEL_LEGACY: &str = "kernel/legacy-per-n/columns";
+/// Row label: the blocked batch kernel on the widest detected SIMD tier
+/// (exact mode — bit-identical to [`ROW_KERNEL_BLOCK`]'s results).
+pub const ROW_KERNEL_BLOCK_SIMD: &str = "kernel/block/simd";
 /// Row label: the warm sweep served entirely from mmap'd spill files.
 pub const ROW_ENGINE_WARM_MMAP: &str = "engine/warm-mmap/threads=1";
+/// Row label: the warm mmap sweep with `MAP_POPULATE` pre-faulting and
+/// huge-page advice on the mappings.
+pub const ROW_ENGINE_WARM_MMAP_POPULATE: &str = "engine/warm-mmap/populate";
 /// Row label: a 64×64 `(E, c)` Pareto frontier against the warm
 /// sufficient-statistic cache (zero π recomputation).
 pub const ROW_FRONTIER_WARM: &str = "engine/frontier/warm";
@@ -183,6 +189,8 @@ mod tests {
             "engine/session/pipelined/depth=4/threads=2"
         );
         assert!(ROW_ENGINE_WARM_MMAP.starts_with(ROW_STEM_ENGINE));
+        assert!(ROW_ENGINE_WARM_MMAP_POPULATE.starts_with(ROW_STEM_ENGINE));
+        assert!(ROW_KERNEL_BLOCK_SIMD.starts_with("kernel/block/"));
         assert!(ROW_FRONTIER_WARM.starts_with(ROW_STEM_ENGINE));
         assert!(ROW_FRONTIER_RECOMPUTE.starts_with(ROW_STEM_ENGINE));
         assert!(ROW_CALIBRATE_WARM.starts_with(ROW_STEM_ENGINE));

@@ -10,7 +10,8 @@
 //! zeroconf frontier  <scenario flags> [--budget 1e-40]
 //! zeroconf calibrate <network flags> --target-probes 4 --target-listen 2
 //! zeroconf simulate  <scenario flags> --probes 4 --listen 2 --trials 100000 --seed 7
-//! zeroconf engine    [--workers N] [--cache N] [--cache-dir PATH] [--inflight N] [--stats]
+//! zeroconf engine    [--workers N] [--cache N] [--cache-dir PATH] [--inflight N]
+//!                    [--kernel scalar|simd|auto] [--populate] [--stats]
 //!                    # JSON-lines on stdin/stdout
 //! zeroconf serve     (--tcp ADDR | --unix PATH)... [--inflight N] [--max-conns N]
 //!                    # socket daemon: many clients, one shared engine
@@ -168,15 +169,18 @@ struct EngineOptions {
     cache_tables: usize,
     cache_dir: Option<std::path::PathBuf>,
     mmap_spills: bool,
+    populate: bool,
+    kernel: zeroconf_engine::KernelChoice,
     inflight: usize,
     emit_stats: bool,
 }
 
 fn engine_options(args: &[String]) -> Result<EngineOptions, CliError> {
-    // `--stats` and `--mmap` are bare switches; strip them before the
-    // value-flag parser.
+    // `--stats`, `--mmap` and `--populate` are bare switches; strip them
+    // before the value-flag parser.
     let mut emit_stats = false;
     let mut mmap_spills = false;
+    let mut populate = false;
     let positional: Vec<String> = args
         .iter()
         .filter(|a| match a.as_str() {
@@ -188,12 +192,23 @@ fn engine_options(args: &[String]) -> Result<EngineOptions, CliError> {
                 mmap_spills = true;
                 false
             }
+            "--populate" => {
+                populate = true;
+                false
+            }
             _ => true,
         })
         .cloned()
         .collect();
     let flags = Flags::parse(&positional)?;
-    let unknown = flags.unknown_flags(&["workers", "cache", "cache-dir", "inflight", "mmap"]);
+    let unknown = flags.unknown_flags(&[
+        "workers",
+        "cache",
+        "cache-dir",
+        "inflight",
+        "mmap",
+        "kernel",
+    ]);
     if !unknown.is_empty() {
         return Err(err(format!("unknown flags: {}", unknown.join(", "))));
     }
@@ -207,9 +222,23 @@ fn engine_options(args: &[String]) -> Result<EngineOptions, CliError> {
             .map_or(defaults.cache_tables, |c| c as usize),
         cache_dir: flags.get("cache-dir").map(std::path::PathBuf::from),
         mmap_spills,
+        populate,
+        kernel: parse_kernel_flag(flags.get("kernel"))?,
         inflight: flags.number("inflight")?.map_or(1, |n| n as usize),
         emit_stats,
     })
+}
+
+/// Parses `--kernel scalar|simd|auto` (default `auto`).
+fn parse_kernel_flag(value: Option<&str>) -> Result<zeroconf_engine::KernelChoice, CliError> {
+    match value {
+        None => Ok(zeroconf_engine::KernelChoice::default()),
+        Some(raw) => zeroconf_engine::KernelChoice::parse(raw).ok_or_else(|| {
+            err(format!(
+                "--kernel must be scalar, simd or auto (got '{raw}')"
+            ))
+        }),
+    }
 }
 
 /// Runs a JSON-lines engine session over `input`, one response line per
@@ -231,6 +260,8 @@ pub fn engine_process(input: &str, args: &[String]) -> Result<String, CliError> 
         cache_tables: options.cache_tables.max(1),
         cache_dir: options.cache_dir.clone(),
         mmap_spills: options.mmap_spills,
+        populate: options.populate,
+        kernel: options.kernel,
         ..zeroconf_engine::EngineConfig::default()
     });
     let mut out = String::new();
@@ -352,9 +383,10 @@ pub fn usage() -> String {
      \u{20}  calibrate: --target-probes N --target-listen R\n\
      \u{20}  optimize: [--n-max N] [--r-max R]\n\
      \u{20}  engine: [--workers N] [--cache TABLES] [--cache-dir PATH] [--mmap]\n\
-     \u{20}          [--inflight N] [--stats]\n\
+     \u{20}          [--populate] [--kernel scalar|simd|auto] [--inflight N] [--stats]\n\
      \u{20}  serve: (--tcp ADDR | --unix PATH)... [--workers N] [--cache TABLES]\n\
-     \u{20}         [--cache-dir PATH] [--mmap] [--inflight N] [--max-conns N]\n\
+     \u{20}         [--cache-dir PATH] [--mmap] [--populate] [--kernel scalar|simd|auto]\n\
+     \u{20}         [--inflight N] [--max-conns N]\n\
      \u{20}  audit: [--deny-warnings] [--json] [--root PATH]\n\
      example:\n\
      \u{20}  zeroconf optimize --hosts 1000 --probe-cost 2 --error-cost 1e35 \\\n\

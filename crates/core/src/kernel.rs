@@ -31,7 +31,11 @@
 //! assert this with [`f64::to_bits`] comparisons across scenarios, grids
 //! including `r = 0` and subnormal-adjacent `r`, and `n_max` up to 256.
 
+use std::sync::atomic::{AtomicU8, Ordering};
+
 use zeroconf_dist::noanswer;
+pub use zeroconf_simd::{Backend, Mode};
+use zeroconf_simd::{BlockTerms, ColumnTerms};
 
 use crate::cost::{self, check_n, check_r};
 use crate::{CostError, Scenario};
@@ -102,16 +106,45 @@ impl ScenarioFactors {
 pub struct ColumnKernel {
     /// The shared scenario-constant hoist.
     factors: ScenarioFactors,
+    /// SIMD tier for the cost/error pass (requests are clamped to the CPU's
+    /// actual capabilities at dispatch).
+    backend: Backend,
+    /// Rounding discipline for the cost/error pass.
+    mode: Mode,
 }
 
 impl ColumnKernel {
     /// Hoists the scenario constants `q`, `1 − q`, `q·E` and `c` (via
-    /// the shared [`ScenarioFactors`]).
+    /// the shared [`ScenarioFactors`]). Uses the scalar reference kernel;
+    /// see [`ColumnKernel::with_backend`] for the vectorized tiers.
     #[must_use]
     pub fn new(scenario: &Scenario) -> ColumnKernel {
+        Self::with_backend(scenario, Backend::Scalar, Mode::Exact)
+    }
+
+    /// [`ColumnKernel::new`] with an explicit SIMD backend and rounding
+    /// mode for the cost/error pass. [`Mode::Exact`] keeps every output
+    /// `to_bits`-identical to the scalar kernel on all backends;
+    /// [`Mode::Fast`] trades that for fused/reassociated arithmetic.
+    #[must_use]
+    pub fn with_backend(scenario: &Scenario, backend: Backend, mode: Mode) -> ColumnKernel {
         ColumnKernel {
             factors: ScenarioFactors::new(scenario),
+            backend,
+            mode,
         }
+    }
+
+    /// The SIMD tier this kernel dispatches its cost/error pass to.
+    #[must_use]
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The rounding discipline of the cost/error pass.
+    #[must_use]
+    pub fn mode(&self) -> Mode {
+        self.mode
     }
 
     /// Evaluates one `r` column in a single pass, writing `C(n, r)` into
@@ -198,6 +231,11 @@ impl ColumnKernel {
         let f = &self.factors;
         let r_plus_c = r + f.probe_cost;
         let r_plus_c_q = r_plus_c * f.q;
+        if self.backend != Backend::Scalar {
+            return self.evaluate_vectorized(
+                n_max, pis, r_plus_c, r_plus_c_q, costs, errors, pi_prefix, pi_n_out,
+            );
+        }
         // Running Σ_{i<n} π_i(r); starts at 0.0 like `iter().sum()`.
         let mut pi_prefix_sum = 0.0f64;
         for n in 1..=n_max {
@@ -221,6 +259,64 @@ impl ColumnKernel {
             if let Some(tail) = pi_n_out.as_deref_mut() {
                 tail[n - 1] = pi_n;
             }
+        }
+        Ok(())
+    }
+
+    /// The SIMD split of the column pass: a scalar prefix scan (serial by
+    /// nature, and the *same* left fold as the reference loop, so the
+    /// statistic keeps its bits) feeding the lane-dispatched cost/error
+    /// pass of `zeroconf_simd::cost_pass`. In [`Mode::Exact`] the lane
+    /// kernel keeps the scalar association, so this whole path stays
+    /// `to_bits`-identical to the reference loop.
+    #[allow(clippy::too_many_arguments)]
+    fn evaluate_vectorized(
+        &self,
+        n_max: usize,
+        pis: &[f64],
+        r_plus_c: f64,
+        r_plus_c_q: f64,
+        costs: Option<&mut [f64]>,
+        errors: Option<&mut [f64]>,
+        pi_prefix: Option<&mut [f64]>,
+        pi_n_out: Option<&mut [f64]>,
+    ) -> Result<(), CostError> {
+        thread_local! {
+            // Prefix scratch for calls that don't request the statistic
+            // slab; reused across columns so the hot path never allocates.
+            static PREFIX_SCRATCH: std::cell::RefCell<Vec<f64>> =
+                const { std::cell::RefCell::new(Vec::new()) };
+        }
+        let f = &self.factors;
+        // π_n for n = 1..=n_max is a contiguous view of the table.
+        let tail = &pis[1..=n_max];
+        if let Some(out) = pi_n_out {
+            out.copy_from_slice(tail);
+        }
+        let terms = ColumnTerms {
+            q: f.q,
+            one_minus_q: f.one_minus_q,
+            q_error_cost: f.q_error_cost,
+            r_plus_c,
+            r_plus_c_q,
+        };
+        let scan_and_pass = |prefix: &mut [f64]| {
+            // The same left fold as the reference loop: starts at 0.0 and
+            // adds π_{n−1} on the step that evaluates n.
+            let mut pi_prefix_sum = 0.0f64;
+            for (n, slot) in prefix.iter_mut().enumerate() {
+                pi_prefix_sum += pis[n];
+                *slot = pi_prefix_sum;
+            }
+            zeroconf_simd::cost_pass(self.backend, self.mode, terms, prefix, tail, costs, errors);
+        };
+        match pi_prefix {
+            Some(prefix) => scan_and_pass(prefix),
+            None => PREFIX_SCRATCH.with(|scratch| {
+                let mut scratch = scratch.borrow_mut();
+                scratch.resize(n_max, 0.0);
+                scan_and_pass(&mut scratch[..n_max]);
+            }),
         }
         Ok(())
     }
@@ -271,20 +367,96 @@ pub fn evaluate_column(
 /// most of each column while remaining bit-identical to
 /// [`cost::pi_table`], which the golden and property suites assert with
 /// [`f64::to_bits`].
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ColumnBlockKernel {
     scenario: Scenario,
     kernel: ColumnKernel,
+    /// Weakest SIMD tier any distribution batch actually ran with
+    /// (`Backend` discriminant, folded with `fetch_min`). Starts at the
+    /// requested backend; a distribution without a vector override drags
+    /// it down to `Scalar`, which the engine surfaces in its stats.
+    dist_used: AtomicU8,
+}
+
+impl Clone for ColumnBlockKernel {
+    fn clone(&self) -> ColumnBlockKernel {
+        ColumnBlockKernel {
+            scenario: self.scenario.clone(),
+            kernel: self.kernel,
+            dist_used: AtomicU8::new(self.dist_used.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Probe rounds consumed per [`noanswer::p_rounds_batch_with`] call when
+/// building π-tables. Large enough to amortize per-call dispatch and
+/// pass setup across the shrinking zero-tail active set, small enough
+/// that a column underflowing mid-chunk discards only a few survival
+/// evaluations (live columns on realistic grids survive ~20+ rounds).
+const PI_ROUND_CHUNK: usize = 8;
+
+/// A block of π-tables in one flat slab: column `j` occupies
+/// `data[j·stride .. (j+1)·stride]` where `stride = n_max + 1`. Built by
+/// [`ColumnBlockKernel::pi_table_block`]; bit-identical per column to
+/// [`ColumnBlockKernel::pi_tables`] but with a single allocation, which
+/// matters on hot paths that rebuild every table per sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiTableBlock {
+    data: Vec<f64>,
+    stride: usize,
+}
+
+impl PiTableBlock {
+    /// Number of columns in the block.
+    #[must_use]
+    pub fn columns(&self) -> usize {
+        self.data.len() / self.stride
+    }
+
+    /// `true` when the block holds no columns.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Column `j`'s π-table: `n_max + 1` entries, `π_0 = 1.0` first.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `j` is out of range.
+    #[must_use]
+    pub fn column(&self, j: usize) -> &[f64] {
+        &self.data[j * self.stride..(j + 1) * self.stride]
+    }
+
+    /// Per-column views over the slab, in the same shape the blocked
+    /// evaluators accept (`&[T]` with `T: AsRef<[f64]>`).
+    #[must_use]
+    pub fn views(&self) -> Vec<&[f64]> {
+        self.data.chunks_exact(self.stride).collect()
+    }
 }
 
 impl ColumnBlockKernel {
     /// Hoists the scenario constants and keeps the scenario for π-table
-    /// construction.
+    /// construction. Uses the scalar reference kernel; see
+    /// [`ColumnBlockKernel::with_backend`] for the vectorized tiers.
     #[must_use]
     pub fn new(scenario: &Scenario) -> ColumnBlockKernel {
+        Self::with_backend(scenario, Backend::Scalar, Mode::Exact)
+    }
+
+    /// [`ColumnBlockKernel::new`] with an explicit SIMD backend and
+    /// cost-pass rounding mode. π-table construction is always
+    /// bit-exact regardless of `mode` (tables are cached and shared, so
+    /// they must be backend-invariant); `mode` only affects the
+    /// cost/error pass.
+    #[must_use]
+    pub fn with_backend(scenario: &Scenario, backend: Backend, mode: Mode) -> ColumnBlockKernel {
         ColumnBlockKernel {
             scenario: scenario.clone(),
-            kernel: ColumnKernel::new(scenario),
+            kernel: ColumnKernel::with_backend(scenario, backend, mode),
+            dist_used: AtomicU8::new(backend as u8),
         }
     }
 
@@ -292,6 +464,15 @@ impl ColumnBlockKernel {
     #[must_use]
     pub fn kernel(&self) -> &ColumnKernel {
         &self.kernel
+    }
+
+    /// The weakest SIMD tier any distribution batch observed so far —
+    /// [`ColumnKernel::backend`] if every batch vectorized as requested,
+    /// [`Backend::Scalar`] if any distribution fell back to the default
+    /// scalar loop.
+    #[must_use]
+    pub fn dist_backend_used(&self) -> Backend {
+        Backend::from_u8(self.dist_used.load(Ordering::Relaxed))
     }
 
     /// Builds the π-tables for a whole block of listening periods,
@@ -307,45 +488,115 @@ impl ColumnBlockKernel {
             check_r(r)?;
         }
         let n = n_max as usize;
+        let mut tables: Vec<Vec<f64>> = rs.iter().map(|_| vec![0.0f64; n + 1]).collect();
+        let mut columns: Vec<&mut [f64]> = tables.iter_mut().map(Vec::as_mut_slice).collect();
+        self.build_pi_columns(n, rs, &mut columns)?;
+        Ok(tables)
+    }
+
+    /// [`ColumnBlockKernel::pi_tables`] into a single flat slab instead of
+    /// one heap table per column. Column `j`'s table is bit-identical to
+    /// `pi_tables(n_max, rs)[j]` — both run the same construction loop —
+    /// but the slab costs one allocation and one zero-fill where the
+    /// per-column layout pays `rs.len()` small allocator round-trips (on
+    /// the figure-2 bench grid that churn outweighs the `exp` work
+    /// itself). This is the layout the throughput-critical blocked paths
+    /// use; [`ColumnBlockKernel::pi_tables`] remains for callers that
+    /// need individually owned tables, like the engine's per-column cache.
+    ///
+    /// # Errors
+    ///
+    /// [`CostError::InvalidListeningPeriod`] for any negative or
+    /// non-finite `r` in the block.
+    pub fn pi_table_block(&self, n_max: u32, rs: &[f64]) -> Result<PiTableBlock, CostError> {
+        for &r in rs {
+            check_r(r)?;
+        }
+        let n = n_max as usize;
+        let stride = n + 1;
+        let mut data = vec![0.0f64; rs.len() * stride];
+        let mut columns: Vec<&mut [f64]> = data.chunks_exact_mut(stride).collect();
+        self.build_pi_columns(n, rs, &mut columns)?;
+        Ok(PiTableBlock { data, stride })
+    }
+
+    /// The i-major π construction loop shared by both table layouts: each
+    /// `columns[j]` is a pre-zeroed slice of `n + 1` entries that receives
+    /// column `j`'s table in place. Keeping one loop for both storage
+    /// shapes is what makes the slab bit-exactness a structural fact
+    /// rather than a parallel-implementation promise.
+    ///
+    /// Probe rounds are consumed [`PI_ROUND_CHUNK`] at a time through
+    /// [`noanswer::p_rounds_batch_with`]: one scaling fill, one batch
+    /// survival, and one clamp per *chunk* of rounds instead of per round.
+    /// The zero-tail active set still compacts, just at chunk granularity
+    /// — a column that underflows mid-chunk wastes at most
+    /// `PI_ROUND_CHUNK − 1` discarded survival evaluations, a small price
+    /// against the per-call overhead this amortizes (the cutoff shrinks
+    /// batches until dispatch cost rivals the survival work itself).
+    /// Replay stays exact: each written entry is the same
+    /// `running *= p_i` fold over the same batch-computed factors.
+    fn build_pi_columns(
+        &self,
+        n: usize,
+        rs: &[f64],
+        columns: &mut [&mut [f64]],
+    ) -> Result<(), CostError> {
         let dist = self.scenario.reply_time();
-        let mut tables: Vec<Vec<f64>> = rs
-            .iter()
-            .map(|_| {
-                let mut table = vec![0.0f64; n + 1];
-                table[0] = 1.0;
-                table
-            })
-            .collect();
+        for column in columns.iter_mut() {
+            column[0] = 1.0;
+        }
         // Columns whose running product is still nonzero, compacted in
-        // place so `p_i_batch` always sees a dense block.
+        // place so the round batches always see a dense block.
         let mut active: Vec<usize> = (0..rs.len()).collect();
         let mut rs_active: Vec<f64> = rs.to_vec();
-        let mut p_row: Vec<f64> = vec![0.0f64; rs.len()];
-        for i in 1..=n {
+        let mut p_rows: Vec<f64> = vec![0.0f64; rs.len() * PI_ROUND_CHUNK];
+        let mut i = 1;
+        while i <= n {
             if active.is_empty() {
                 break;
             }
+            let rounds = PI_ROUND_CHUNK.min(n - i + 1);
             let width = active.len();
-            noanswer::p_i_batch(dist, &rs_active[..width], i, &mut p_row[..width])?;
+            let used = noanswer::p_rounds_batch_with(
+                dist,
+                self.kernel.backend(),
+                &rs_active[..width],
+                i,
+                rounds,
+                &mut p_rows[..rounds * width],
+            )?;
+            self.dist_used.fetch_min(used as u8, Ordering::Relaxed);
+            for (k, p_row) in p_rows[..rounds * width].chunks_exact(width).enumerate() {
+                for (slot, &p) in p_row.iter().enumerate() {
+                    let column = &mut *columns[active[slot]];
+                    let previous = column[i + k - 1];
+                    if previous != 0.0 {
+                        // Replays `running *= p_i` for this column exactly.
+                        column[i + k] = previous * p;
+                    }
+                    // A column that reached +0.0 keeps its pre-zeroed
+                    // tail: the scalar recurrence would only ever produce
+                    // +0.0·p = +0.0 from here on (p is clamped to [0, 1],
+                    // never NaN); its later factors this chunk computed
+                    // are simply discarded.
+                }
+            }
+            let last = i + rounds - 1;
             let mut kept = 0;
             for slot in 0..width {
                 let column = active[slot];
-                // Replays `running *= p_i` for this column exactly.
-                let next = tables[column][i - 1] * p_row[slot];
-                tables[column][i] = next;
-                if next != 0.0 {
+                if columns[column][last] != 0.0 {
                     active[kept] = column;
                     rs_active[kept] = rs_active[slot];
                     kept += 1;
                 }
-                // A column that reached +0.0 keeps its pre-zeroed tail:
-                // the scalar recurrence would only ever produce +0.0·p =
-                // +0.0 from here on (p is clamped to [0, 1], never NaN).
             }
             active.truncate(kept);
             rs_active.truncate(kept);
+            i += rounds;
         }
-        Ok(tables)
+        Ok(())
     }
 
     /// Evaluates a block of columns against their π-tables, writing
@@ -416,6 +667,10 @@ impl ColumnBlockKernel {
             }
         }
         let column = n_max as usize;
+        if self.kernel.backend() != Backend::Scalar {
+            return self
+                .evaluate_block_vectorized(n_max, rs, tables, costs, errors, pi_prefix, pi_n);
+        }
         for (j, (&r, table)) in rs.iter().zip(tables).enumerate() {
             let span = j * column..(j + 1) * column;
             self.kernel.evaluate_with_statistic(
@@ -428,6 +683,64 @@ impl ColumnBlockKernel {
                 pi_n.as_deref_mut().map(|p| &mut p[span.clone()]),
             )?;
         }
+        Ok(())
+    }
+
+    /// The column-parallel SIMD path of the block pass: one
+    /// [`zeroconf_simd::cost_block_pass`] call over the whole block, with
+    /// `LANES` columns advancing in lockstep so their serially-dependent π
+    /// prefix folds retire concurrently. Each lane replays the scalar
+    /// per-column program exactly (same left fold, same association), so
+    /// exact mode stays `to_bits`-identical to the per-column loop above —
+    /// asserted by the cross-backend parity suite. Argument validation
+    /// mirrors [`ColumnKernel::evaluate_with_statistic`] per column.
+    #[allow(clippy::too_many_arguments)]
+    fn evaluate_block_vectorized<T: AsRef<[f64]>>(
+        &self,
+        n_max: u32,
+        rs: &[f64],
+        tables: &[T],
+        costs: Option<&mut [f64]>,
+        errors: Option<&mut [f64]>,
+        pi_prefix: Option<&mut [f64]>,
+        pi_n: Option<&mut [f64]>,
+    ) -> Result<(), CostError> {
+        check_n(n_max)?;
+        let column = n_max as usize;
+        let mut views: Vec<&[f64]> = Vec::with_capacity(rs.len());
+        for (&r, table) in rs.iter().zip(tables) {
+            check_r(r)?;
+            let table = table.as_ref();
+            if table.len() < column + 1 {
+                return Err(CostError::PiTableTooShort {
+                    needed: column + 1,
+                    len: table.len(),
+                });
+            }
+            views.push(table);
+        }
+        let f = &self.kernel.factors;
+        // The same per-column hoists as the scalar path, column-major:
+        // `r + c` and `(r + c)·q`, grouped exactly as the per-n arithmetic.
+        let r_plus_c: Vec<f64> = rs.iter().map(|&r| r + f.probe_cost).collect();
+        let r_plus_c_q: Vec<f64> = r_plus_c.iter().map(|&rc| rc * f.q).collect();
+        zeroconf_simd::cost_block_pass(
+            self.kernel.backend(),
+            self.kernel.mode(),
+            BlockTerms {
+                q: f.q,
+                one_minus_q: f.one_minus_q,
+                q_error_cost: f.q_error_cost,
+            },
+            &r_plus_c,
+            &r_plus_c_q,
+            column,
+            &views,
+            costs,
+            errors,
+            pi_prefix,
+            pi_n,
+        );
         Ok(())
     }
 
@@ -672,5 +985,40 @@ mod tests {
         assert!(block.pi_tables(8, &[1.0, -2.0]).is_err());
         assert!(block.pi_tables(8, &[f64::INFINITY]).is_err());
         assert!(block.pi_tables(8, &[]).unwrap().is_empty());
+        assert!(block.pi_table_block(8, &[1.0, -2.0]).is_err());
+        assert!(block.pi_table_block(8, &[f64::NAN]).is_err());
+        assert!(block.pi_table_block(8, &[]).unwrap().is_empty());
+    }
+
+    /// The flat-slab layout carries exactly the per-column tables: same
+    /// bits, same column extents, and views that feed straight into the
+    /// blocked evaluator.
+    #[test]
+    fn pi_table_block_matches_per_column_tables_bit_for_bit() {
+        let s = figure2();
+        let n_max = 200;
+        let rs: Vec<f64> = (0..40).map(|k| 0.1 + k as f64 * 0.75).collect();
+        let block = ColumnBlockKernel::new(&s);
+        let tables = block.pi_tables(n_max, &rs).unwrap();
+        let slab = block.pi_table_block(n_max, &rs).unwrap();
+        assert_eq!(slab.columns(), rs.len());
+        for (j, table) in tables.iter().enumerate() {
+            let column = slab.column(j);
+            assert_eq!(column.len(), table.len(), "column {j}");
+            for (i, (a, b)) in column.iter().zip(table).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "π_{i} of column {j}");
+            }
+        }
+        let cells = rs.len() * n_max as usize;
+        let (mut from_vecs, mut from_slab) = (vec![0.0; cells], vec![0.0; cells]);
+        block
+            .evaluate(n_max, &rs, &tables, Some(&mut from_vecs), None)
+            .unwrap();
+        block
+            .evaluate(n_max, &rs, &slab.views(), Some(&mut from_slab), None)
+            .unwrap();
+        for (k, (a, b)) in from_vecs.iter().zip(&from_slab).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "cost cell {k}");
+        }
     }
 }

@@ -36,6 +36,8 @@
 //!
 //! [`ColumnKernel::evaluate`]: crate::kernel::ColumnKernel::evaluate
 
+use zeroconf_simd::{Backend, ColumnTerms, Mode};
+
 use crate::kernel::ScenarioFactors;
 use crate::{CostError, Scenario};
 
@@ -218,6 +220,54 @@ impl ParamLandscape {
         }
     }
 
+    /// [`ParamLandscape::reconstruct`] with an explicit SIMD backend and
+    /// rounding mode: each column's cost/error pass dispatches through
+    /// `zeroconf_simd::cost_pass`. With [`Mode::Exact`] the output is
+    /// `to_bits`-identical to [`ParamLandscape::reconstruct`] on every
+    /// backend; [`Mode::Fast`] fuses and reassociates (ULP-bounded, see
+    /// the golden tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a provided output slice is not exactly `len()` long.
+    pub fn reconstruct_with(
+        &self,
+        factors: &ScenarioFactors,
+        backend: Backend,
+        mode: Mode,
+        mut costs: Option<&mut [f64]>,
+        mut errors: Option<&mut [f64]>,
+    ) {
+        if let Some(costs) = costs.as_deref() {
+            assert_eq!(costs.len(), self.len(), "cost slab must hold every cell");
+        }
+        if let Some(errors) = errors.as_deref() {
+            assert_eq!(errors.len(), self.len(), "error slab must hold every cell");
+        }
+        let n_max = self.n_max as usize;
+        for (j, &r) in self.r_values.iter().enumerate() {
+            let r_plus_c = r + factors.probe_cost;
+            let r_plus_c_q = r_plus_c * factors.q;
+            let terms = ColumnTerms {
+                q: factors.q,
+                one_minus_q: factors.one_minus_q,
+                q_error_cost: factors.q_error_cost,
+                r_plus_c,
+                r_plus_c_q,
+            };
+            let span = j * n_max..(j + 1) * n_max;
+            zeroconf_simd::cost_pass(
+                backend,
+                mode,
+                terms,
+                &self.pi_prefix[span.clone()],
+                &self.pi_n[span.clone()],
+                costs.as_deref_mut().map(|c| &mut c[span.clone()]),
+                errors.as_deref_mut().map(|e| &mut e[span.clone()]),
+            );
+        }
+    }
+
     /// The cheapest finite-cost cell under the given economics:
     /// `(r_index, n, cost, error_probability)`. `None` when no cell has a
     /// finite cost (empty grid or overflowed economics).
@@ -259,6 +309,53 @@ impl ParamLandscape {
                         best = Some((j, n as u32));
                     }
                 }
+            }
+        }
+        best.map(|(j, n)| {
+            let at = j * n_max + (n as usize - 1);
+            let pi_n = self.pi_n[at];
+            let denominator = 1.0 - factors.q * (1.0 - pi_n);
+            let error = factors.q * pi_n / denominator;
+            (j, n, incumbent, error)
+        })
+    }
+
+    /// [`ParamLandscape::min_cost_cell`] with an explicit SIMD backend:
+    /// each column scan dispatches through `zeroconf_simd::min_cost_scan`,
+    /// whose vector pass only *filters* chunks against the incumbent and
+    /// replays candidates with the scalar program — so the selected cell,
+    /// cost, and error are identical to [`ParamLandscape::min_cost_cell`]
+    /// on every backend (there is no `fast` variant of selection).
+    #[must_use]
+    pub fn min_cost_cell_with(
+        &self,
+        factors: &ScenarioFactors,
+        backend: Backend,
+    ) -> Option<(usize, u32, f64, f64)> {
+        let mut best: Option<(usize, u32)> = None;
+        let mut incumbent = f64::INFINITY;
+        let n_max = self.n_max as usize;
+        for (j, &r) in self.r_values.iter().enumerate() {
+            let r_plus_c = r + factors.probe_cost;
+            let r_plus_c_q = r_plus_c * factors.q;
+            let terms = ColumnTerms {
+                q: factors.q,
+                one_minus_q: factors.one_minus_q,
+                q_error_cost: factors.q_error_cost,
+                r_plus_c,
+                r_plus_c_q,
+            };
+            let span = j * n_max..(j + 1) * n_max;
+            let (won, next_incumbent) = zeroconf_simd::min_cost_scan(
+                backend,
+                terms,
+                &self.pi_prefix[span.clone()],
+                &self.pi_n[span],
+                incumbent,
+            );
+            incumbent = next_incumbent;
+            if let Some(k) = won {
+                best = Some((j, (k + 1) as u32));
             }
         }
         best.map(|(j, n)| {

@@ -1,0 +1,375 @@
+//! Cross-backend parity for the column kernels and the parametric layer.
+//!
+//! The exact-mode contract: every SIMD tier the host supports computes
+//! `to_bits`-identical results to the scalar reference kernels —
+//! π-tables, the blocked cost/error pass, statistic capture, parametric
+//! reconstruction, and the `min_cost_cell` selection. Grid extents run
+//! `1..=17` (full 4- and 8-lane chunks plus every remainder), across all
+//! six reply-time families. Fast mode is covered by ULP-bounded goldens:
+//! fused/reassociated arithmetic may drift a few ULP from exact but no
+//! further, and π-tables stay bit-identical even in fast mode.
+
+use std::sync::Arc;
+
+use zeroconf_cost::kernel::{Backend, ColumnBlockKernel, ColumnKernel, Mode, ScenarioFactors};
+use zeroconf_cost::param::ParamLandscape;
+use zeroconf_cost::{cost, Scenario};
+use zeroconf_dist::{
+    DefectiveDeterministic, DefectiveExponential, DefectiveUniform, DefectiveWeibull, Empirical,
+    Mixture, ReplyTimeDistribution,
+};
+
+/// One scenario per reply-time distribution family.
+fn scenarios() -> Vec<(&'static str, Scenario)> {
+    let exponential: Arc<dyn ReplyTimeDistribution> =
+        Arc::new(DefectiveExponential::from_loss(1e-6, 10.0, 1.0).unwrap());
+    let deterministic: Arc<dyn ReplyTimeDistribution> =
+        Arc::new(DefectiveDeterministic::new(0.999, 1.0).unwrap());
+    let uniform: Arc<dyn ReplyTimeDistribution> =
+        Arc::new(DefectiveUniform::new(0.99, 0.5, 2.5).unwrap());
+    let weibull: Arc<dyn ReplyTimeDistribution> =
+        Arc::new(DefectiveWeibull::new(0.995, 1.7, 1.2, 0.3).unwrap());
+    let mixture: Arc<dyn ReplyTimeDistribution> = Arc::new(
+        Mixture::new(vec![
+            (0.7, Arc::clone(&exponential)),
+            (0.3, Arc::clone(&deterministic)),
+        ])
+        .unwrap(),
+    );
+    let empirical: Arc<dyn ReplyTimeDistribution> = Arc::new(
+        Empirical::from_observations(vec![
+            Some(0.4),
+            Some(0.9),
+            Some(1.1),
+            Some(1.6),
+            Some(2.2),
+            None,
+        ])
+        .unwrap(),
+    );
+    [
+        ("exponential", exponential),
+        ("deterministic", deterministic),
+        ("uniform", uniform),
+        ("weibull", weibull),
+        ("mixture", mixture),
+        ("empirical", empirical),
+    ]
+    .into_iter()
+    .map(|(name, dist)| {
+        (
+            name,
+            Scenario::builder()
+                .hosts(1000)
+                .unwrap()
+                .probe_cost(2.0)
+                .error_cost(1e12)
+                .reply_time(dist)
+                .build()
+                .unwrap(),
+        )
+    })
+    .collect()
+}
+
+fn backends() -> Vec<Backend> {
+    let mut tiers = vec![Backend::Scalar];
+    if Backend::detect() >= Backend::Avx2 {
+        tiers.push(Backend::Avx2);
+    }
+    if Backend::detect() >= Backend::Avx512 {
+        tiers.push(Backend::Avx512);
+    }
+    tiers
+}
+
+/// An r-grid of `len` columns including the `r = 0` boundary.
+fn r_grid(len: usize) -> Vec<f64> {
+    (0..len).map(|j| 0.45 * j as f64).collect()
+}
+
+fn assert_bits_eq(context: &str, expected: &[f64], got: &[f64]) {
+    assert_eq!(expected.len(), got.len(), "{context}: lengths differ");
+    for (k, (e, g)) in expected.iter().zip(got).enumerate() {
+        assert!(
+            e.to_bits() == g.to_bits(),
+            "{context}, element {k}: expected {e:?} ({:#018x}), got {g:?} ({:#018x})",
+            e.to_bits(),
+            g.to_bits()
+        );
+    }
+}
+
+/// Distance in units-in-the-last-place between two finite f64s of the
+/// same sign (the monotone bit-pattern trick).
+fn ulp_distance(a: f64, b: f64) -> u64 {
+    let (ia, ib) = (a.to_bits() as i64, b.to_bits() as i64);
+    ia.abs_diff(ib)
+}
+
+/// The full blocked kernel — π-table build plus the cost/error pass and
+/// the sufficient-statistic slabs — is bit-identical to the scalar
+/// construction on every backend, for every lane-remainder extent along
+/// *both* axes: probe counts (the per-column loop length) and columns
+/// (the lane dimension of the column-parallel block pass — widths up to
+/// 2·8+1 cover full 4- and 8-lane chunks plus every remainder).
+#[test]
+fn blocked_kernel_exact_mode_is_bit_identical_across_backends() {
+    for (name, scenario) in scenarios() {
+        let scalar = ColumnBlockKernel::new(&scenario);
+        for backend in backends() {
+            let kernel = ColumnBlockKernel::with_backend(&scenario, backend, Mode::Exact);
+            for (n_max, width) in [
+                (1u32, 5usize),
+                (3, 17),
+                (4, 9),
+                (5, 1),
+                (8, 8),
+                (9, 4),
+                (16, 17),
+                (17, 12),
+            ] {
+                let rs = r_grid(width);
+                let cells = n_max as usize * rs.len();
+                let tables = scalar.pi_tables(n_max, &rs).unwrap();
+                let simd_tables = kernel.pi_tables(n_max, &rs).unwrap();
+                for (j, (t, s)) in tables.iter().zip(&simd_tables).enumerate() {
+                    assert_bits_eq(&format!("{name} {backend:?} π column {j}"), t, s);
+                }
+                let slab = kernel.pi_table_block(n_max, &rs).unwrap();
+                for (j, t) in tables.iter().enumerate() {
+                    assert_bits_eq(
+                        &format!("{name} {backend:?} slab π column {j}"),
+                        t,
+                        slab.column(j),
+                    );
+                }
+                let mut want = BlockOutputs::new(cells);
+                scalar
+                    .evaluate_with_statistic(
+                        n_max,
+                        &rs,
+                        &tables,
+                        Some(&mut want.costs),
+                        Some(&mut want.errors),
+                        Some(&mut want.pi_prefix),
+                        Some(&mut want.pi_n),
+                    )
+                    .unwrap();
+                let mut got = BlockOutputs::new(cells);
+                kernel
+                    .evaluate_with_statistic(
+                        n_max,
+                        &rs,
+                        &simd_tables,
+                        Some(&mut got.costs),
+                        Some(&mut got.errors),
+                        Some(&mut got.pi_prefix),
+                        Some(&mut got.pi_n),
+                    )
+                    .unwrap();
+                let context = format!("{name} {backend:?} n_max={n_max} width={width}");
+                assert_bits_eq(&format!("{context} costs"), &want.costs, &got.costs);
+                assert_bits_eq(&format!("{context} errors"), &want.errors, &got.errors);
+                assert_bits_eq(
+                    &format!("{context} π-prefix"),
+                    &want.pi_prefix,
+                    &got.pi_prefix,
+                );
+                assert_bits_eq(&format!("{context} π_n"), &want.pi_n, &got.pi_n);
+            }
+        }
+    }
+}
+
+/// The four r-major output slabs of the blocked statistic pass.
+struct BlockOutputs {
+    costs: Vec<f64>,
+    errors: Vec<f64>,
+    pi_prefix: Vec<f64>,
+    pi_n: Vec<f64>,
+}
+
+impl BlockOutputs {
+    fn new(cells: usize) -> BlockOutputs {
+        BlockOutputs {
+            costs: vec![0.0; cells],
+            errors: vec![0.0; cells],
+            pi_prefix: vec![0.0; cells],
+            pi_n: vec![0.0; cells],
+        }
+    }
+}
+
+/// The single-column kernel with statistic capture matches the scalar
+/// path bit for bit, statistic included, on every backend.
+#[test]
+fn column_kernel_statistic_capture_is_bit_identical_across_backends() {
+    for (name, scenario) in scenarios() {
+        let scalar = ColumnKernel::new(&scenario);
+        for backend in backends() {
+            let kernel = ColumnKernel::with_backend(&scenario, backend, Mode::Exact);
+            for n_max in 1..=17u32 {
+                let r = 1.3;
+                let pis = cost::pi_table(&scenario, n_max, r).unwrap();
+                let len = n_max as usize;
+                let mut want = (
+                    vec![0.0; len],
+                    vec![0.0; len],
+                    vec![0.0; len],
+                    vec![0.0; len],
+                );
+                scalar
+                    .evaluate_with_statistic(
+                        n_max,
+                        r,
+                        &pis,
+                        Some(&mut want.0),
+                        Some(&mut want.1),
+                        Some(&mut want.2),
+                        Some(&mut want.3),
+                    )
+                    .unwrap();
+                let mut got = (
+                    vec![0.0; len],
+                    vec![0.0; len],
+                    vec![0.0; len],
+                    vec![0.0; len],
+                );
+                kernel
+                    .evaluate_with_statistic(
+                        n_max,
+                        r,
+                        &pis,
+                        Some(&mut got.0),
+                        Some(&mut got.1),
+                        Some(&mut got.2),
+                        Some(&mut got.3),
+                    )
+                    .unwrap();
+                let context = format!("{name} {backend:?} n_max={n_max}");
+                assert_bits_eq(&format!("{context} costs"), &want.0, &got.0);
+                assert_bits_eq(&format!("{context} errors"), &want.1, &got.1);
+                assert_bits_eq(&format!("{context} π-prefix"), &want.2, &got.2);
+                assert_bits_eq(&format!("{context} π_n"), &want.3, &got.3);
+            }
+        }
+    }
+}
+
+/// Parametric reconstruction and the min-cost selection dispatch match
+/// their scalar twins exactly on every backend, including under
+/// re-parameterized economics.
+#[test]
+fn param_layer_reconstruction_and_selection_are_backend_invariant() {
+    let economies = [
+        (0.05f64, 3.5f64, 5e20f64),
+        (0.4, 0.5, 1e35),
+        (0.9, 0.0, 0.0),
+    ];
+    for (name, scenario) in scenarios() {
+        for n_max in [1u32, 4, 7, 16, 17] {
+            let rs = r_grid(9);
+            let landscape = ParamLandscape::build(&scenario, n_max, &rs).unwrap();
+            for (q, c, e) in economies {
+                let varied = scenario
+                    .with_occupancy(q)
+                    .unwrap()
+                    .with_probe_cost(c)
+                    .unwrap()
+                    .with_error_cost(e)
+                    .unwrap();
+                let factors = ScenarioFactors::new(&varied);
+                let mut want_costs = vec![0.0f64; landscape.len()];
+                let mut want_errors = vec![0.0f64; landscape.len()];
+                landscape.reconstruct(&factors, Some(&mut want_costs), Some(&mut want_errors));
+                let want_cell = landscape.min_cost_cell(&factors);
+                for backend in backends() {
+                    let mut costs = vec![0.0f64; landscape.len()];
+                    let mut errors = vec![0.0f64; landscape.len()];
+                    landscape.reconstruct_with(
+                        &factors,
+                        backend,
+                        Mode::Exact,
+                        Some(&mut costs),
+                        Some(&mut errors),
+                    );
+                    let context = format!("{name} {backend:?} n_max={n_max} q={q} c={c} E={e}");
+                    assert_bits_eq(&format!("{context} costs"), &want_costs, &costs);
+                    assert_bits_eq(&format!("{context} errors"), &want_errors, &errors);
+
+                    let cell = landscape.min_cost_cell_with(&factors, backend);
+                    match (want_cell, cell) {
+                        (None, None) => {}
+                        (Some((wj, wn, wc, we)), Some((j, n, cost, err))) => {
+                            assert_eq!((wj, wn), (j, n), "{context} selected cell");
+                            assert_eq!(wc.to_bits(), cost.to_bits(), "{context} cost bits");
+                            assert_eq!(we.to_bits(), err.to_bits(), "{context} error bits");
+                        }
+                        other => panic!("{context}: selection diverged: {other:?}"),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Fast mode trades bit identity for fused arithmetic; the divergence
+/// from exact must stay within a few ULP on finite cells, and π-tables
+/// must remain bit-identical (they are cached and shared, so they are
+/// never mode-dependent).
+#[test]
+fn fast_mode_stays_within_ulp_bounds_of_exact() {
+    const MAX_ULP: u64 = 8;
+    for (name, scenario) in scenarios() {
+        for backend in backends() {
+            let exact = ColumnBlockKernel::with_backend(&scenario, backend, Mode::Exact);
+            let fast = ColumnBlockKernel::with_backend(&scenario, backend, Mode::Fast);
+            let n_max = 17u32;
+            let rs = r_grid(17);
+            let cells = n_max as usize * rs.len();
+            let tables = exact.pi_tables(n_max, &rs).unwrap();
+            let fast_tables = fast.pi_tables(n_max, &rs).unwrap();
+            for (j, (t, s)) in tables.iter().zip(&fast_tables).enumerate() {
+                assert_bits_eq(&format!("{name} {backend:?} fast π column {j}"), t, s);
+            }
+            let mut exact_costs = vec![0.0f64; cells];
+            let mut exact_errors = vec![0.0f64; cells];
+            exact
+                .evaluate(
+                    n_max,
+                    &rs,
+                    &tables,
+                    Some(&mut exact_costs),
+                    Some(&mut exact_errors),
+                )
+                .unwrap();
+            let mut fast_costs = vec![0.0f64; cells];
+            let mut fast_errors = vec![0.0f64; cells];
+            fast.evaluate(
+                n_max,
+                &rs,
+                &tables,
+                Some(&mut fast_costs),
+                Some(&mut fast_errors),
+            )
+            .unwrap();
+            for (k, (e, f)) in exact_costs.iter().zip(&fast_costs).enumerate() {
+                if e.is_finite() || f.is_finite() {
+                    assert!(
+                        ulp_distance(*e, *f) <= MAX_ULP,
+                        "{name} {backend:?} cost cell {k}: exact {e:?} vs fast {f:?}"
+                    );
+                }
+            }
+            for (k, (e, f)) in exact_errors.iter().zip(&fast_errors).enumerate() {
+                if e.is_finite() || f.is_finite() {
+                    assert!(
+                        ulp_distance(*e, *f) <= MAX_ULP,
+                        "{name} {backend:?} error cell {k}: exact {e:?} vs fast {f:?}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -90,6 +90,16 @@ impl ReplyTimeDistribution for DefectiveDeterministic {
         }
     }
 
+    fn survival_batch_with(
+        &self,
+        backend: zeroconf_simd::Backend,
+        ts: &mut [f64],
+    ) -> zeroconf_simd::Backend {
+        // The lane kernel's `select_ge` mirrors the `>=` branch (NaN picks
+        // the 1.0 arm), so every backend is bit-identical.
+        zeroconf_simd::survival_deterministic(backend, self.delay, 1.0 - self.mass, ts)
+    }
+
     fn sample(&self, rng: &mut dyn RngCore) -> Option<f64> {
         let u: f64 = zeroconf_rng::Rng::gen(rng);
         if u < self.mass {

@@ -153,6 +153,24 @@ impl ReplyTimeDistribution for DefectiveExponential {
         }
     }
 
+    fn survival_batch_with(
+        &self,
+        backend: zeroconf_simd::Backend,
+        ts: &mut [f64],
+    ) -> zeroconf_simd::Backend {
+        // Same hoists as `survival_batch`; the lane kernel keeps the scalar
+        // association (and evaluates `exp` scalar per lane), so every backend
+        // is bit-identical.
+        zeroconf_simd::survival_exponential(
+            backend,
+            self.delay,
+            self.loss,
+            1.0 - self.loss,
+            -self.rate,
+            ts,
+        )
+    }
+
     fn sample(&self, rng: &mut dyn RngCore) -> Option<f64> {
         let u = zeroconf_rng::Rng::gen::<f64>(rng);
         if u < self.loss {

@@ -66,3 +66,4 @@ pub use mixture::Mixture;
 pub use traits::{Fingerprint, ReplyTimeDistribution};
 pub use uniform::DefectiveUniform;
 pub use weibull::DefectiveWeibull;
+pub use zeroconf_simd::Backend;

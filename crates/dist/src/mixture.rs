@@ -119,6 +119,29 @@ impl ReplyTimeDistribution for Mixture {
         ts.copy_from_slice(&acc);
     }
 
+    fn survival_batch_with(
+        &self,
+        backend: zeroconf_simd::Backend,
+        ts: &mut [f64],
+    ) -> zeroconf_simd::Backend {
+        // Same accumulation order as `survival_batch` with the inner loops
+        // vectorized. The reported backend is the *weakest* tier any
+        // component ran — a mixture is only as vectorized as its slowest
+        // member (e.g. one wrapping an `Empirical` stays scalar).
+        let mut acc = vec![0.0f64; ts.len()];
+        let mut scratch = vec![0.0f64; ts.len()];
+        let mut used = backend;
+        for (w, c) in &self.components {
+            scratch.copy_from_slice(ts);
+            used = used.min(c.survival_batch_with(backend, &mut scratch));
+            used = used.min(zeroconf_simd::weighted_accumulate(
+                backend, *w, &scratch, &mut acc,
+            ));
+        }
+        ts.copy_from_slice(&acc);
+        used
+    }
+
     fn sample(&self, rng: &mut dyn RngCore) -> Option<f64> {
         let mut u: f64 = zeroconf_rng::Rng::gen(rng);
         let last = self.components.len() - 1;

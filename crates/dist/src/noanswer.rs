@@ -29,7 +29,7 @@
 //! literal form exists to validate the algebra and to quantify its
 //! numerical inferiority in the `pi_literal_vs_telescoped` benchmark.
 
-use crate::{DistError, ReplyTimeDistribution};
+use crate::{Backend, DistError, ReplyTimeDistribution};
 
 /// `p_i(r)`: probability of no reply during the `i`-th listening period
 /// given none arrived earlier (telescoped form of Eq. 1).
@@ -204,6 +204,131 @@ pub fn p_i_batch<D: ReplyTimeDistribution + ?Sized>(
         }
     }
     Ok(())
+}
+
+/// Backend-aware [`p_i_batch`]: the same computation with the scaling fill,
+/// batch survival, and clamp pass dispatched to the requested SIMD backend.
+///
+/// Returns the backend that actually ran, which is the *minimum* over the
+/// constituent kernels — in practice the distribution's
+/// [`survival_batch_with`](ReplyTimeDistribution::survival_batch_with), since
+/// the fill and clamp always vectorize. A distribution without a vector
+/// override (e.g. [`Empirical`](crate::Empirical)) honestly reports
+/// [`Backend::Scalar`], and the engine surfaces that in its stats block.
+///
+/// Results are `to_bits`-identical to [`p_i_batch`] on every backend.
+///
+/// # Errors
+///
+/// Returns [`DistError::InvalidQuery`] for a non-finite or negative `r`
+/// (exactly as [`p_i_batch`] does).
+///
+/// # Panics
+///
+/// When `rs` and `out` differ in length.
+pub fn p_i_batch_with<D: ReplyTimeDistribution + ?Sized>(
+    dist: &D,
+    backend: Backend,
+    rs: &[f64],
+    i: usize,
+    out: &mut [f64],
+) -> Result<Backend, DistError> {
+    assert_eq!(
+        rs.len(),
+        out.len(),
+        "p_i_batch output must hold one f64 per listening period"
+    );
+    for &r in rs {
+        check_r(r)?;
+    }
+    if i == 0 {
+        out.fill(1.0);
+        return Ok(backend.min(zeroconf_simd::Backend::detect()));
+    }
+    let base = dist.survival(0.0);
+    if base <= 0.0 {
+        out.fill(0.0);
+        return Ok(backend.min(zeroconf_simd::Backend::detect()));
+    }
+    let mut used = zeroconf_simd::fill_scaled(backend, i as f64, rs, out);
+    used = used.min(dist.survival_batch_with(backend, out));
+    used = used.min(if base == 1.0 {
+        zeroconf_simd::clamp_unit(backend, out)
+    } else {
+        zeroconf_simd::div_clamp_unit(backend, base, out)
+    });
+    Ok(used)
+}
+
+/// Multi-round form of [`p_i_batch_with`]: `p_i(r)` for `rounds`
+/// consecutive probe rounds `first_round, first_round + 1, …` across one
+/// block of listening periods, written round-major into `out` (round `k`'s
+/// row occupies `out[k·w .. (k+1)·w]` for `w = rs.len()`).
+///
+/// Every element is **bit-identical** to
+/// `no_answer_probability(dist, first_round + k, rs[j])`: the scaling
+/// fill, the survival evaluation, and the clamp are the same elementwise
+/// operations [`p_i_batch_with`] performs — they are simply applied to
+/// `rounds` rows per virtual dispatch instead of one, which is what the
+/// blocked π builder wants: its per-round batches shrink with the
+/// zero-tail cutoff until call overhead rivals the survival work itself.
+///
+/// # Errors
+///
+/// Returns [`DistError::InvalidQuery`] for any non-finite or negative `r`;
+/// `out` is unspecified (partially written) on error.
+///
+/// # Panics
+///
+/// Panics when `out.len() != rounds * rs.len()`, when `rounds` is zero,
+/// or when `first_round` is zero (round 0 is the `p_0 = 1` convention,
+/// which a multi-round batch has no business evaluating).
+pub fn p_rounds_batch_with<D: ReplyTimeDistribution + ?Sized>(
+    dist: &D,
+    backend: Backend,
+    rs: &[f64],
+    first_round: usize,
+    rounds: usize,
+    out: &mut [f64],
+) -> Result<Backend, DistError> {
+    assert!(rounds > 0, "p_rounds_batch_with needs at least one round");
+    assert!(
+        first_round > 0,
+        "p_rounds_batch_with starts at round 1 (p_0 = 1 by convention)"
+    );
+    assert_eq!(
+        out.len(),
+        rounds * rs.len(),
+        "p_rounds_batch_with output must hold rounds x listening periods"
+    );
+    for &r in rs {
+        check_r(r)?;
+    }
+    if rs.is_empty() {
+        return Ok(backend.min(zeroconf_simd::Backend::detect()));
+    }
+    let base = dist.survival(0.0);
+    if base <= 0.0 {
+        out.fill(0.0);
+        return Ok(backend.min(zeroconf_simd::Backend::detect()));
+    }
+    let width = rs.len();
+    let mut used = backend.min(zeroconf_simd::Backend::detect());
+    for (k, row) in out.chunks_exact_mut(width).enumerate() {
+        used = used.min(zeroconf_simd::fill_scaled(
+            backend,
+            (first_round + k) as f64,
+            rs,
+            row,
+        ));
+    }
+    used = used.min(dist.survival_batch_with(backend, out));
+    used = used.min(if base == 1.0 {
+        zeroconf_simd::clamp_unit(backend, out)
+    } else {
+        zeroconf_simd::div_clamp_unit(backend, base, out)
+    });
+    Ok(used)
 }
 
 /// `π_n(r)` alone (the tail product the reliability formula needs).

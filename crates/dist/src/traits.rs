@@ -3,6 +3,7 @@
 use std::fmt;
 
 use zeroconf_rng::RngCore;
+use zeroconf_simd::Backend;
 
 /// An FNV-1a accumulator for building
 /// [`ReplyTimeDistribution::fingerprint`] values.
@@ -131,6 +132,32 @@ pub trait ReplyTimeDistribution: fmt::Debug + Send + Sync {
         }
     }
 
+    /// Backend-aware batch survival: like [`survival_batch`], but the caller
+    /// names the SIMD [`Backend`] it wants and the distribution reports the
+    /// backend it *actually* ran.
+    ///
+    /// The default falls back to [`survival_batch`] and honestly returns
+    /// [`Backend::Scalar`] — a distribution that forgets to override this
+    /// method cannot silently masquerade as vectorized. The engine folds the
+    /// returned values into its stats block (`dist_backend`), so a scalar
+    /// straggler in a SIMD run is visible, and the parity suites assert that
+    /// every vendored family reports the backend it was asked for.
+    ///
+    /// # Contract
+    ///
+    /// Results must be `to_bits`-identical to [`survival_batch`] on every
+    /// backend — vector overrides keep the scalar operation order (see
+    /// `zeroconf_simd`'s lane kernels for the arrangement rules).
+    ///
+    /// [`survival_batch`]: ReplyTimeDistribution::survival_batch
+    /// [`Backend`]: zeroconf_simd::Backend
+    /// [`Backend::Scalar`]: zeroconf_simd::Backend::Scalar
+    fn survival_batch_with(&self, backend: Backend, ts: &mut [f64]) -> Backend {
+        let _ = backend;
+        self.survival_batch(ts);
+        Backend::Scalar
+    }
+
     /// Draws a reply time; `None` means the reply is lost forever.
     fn sample(&self, rng: &mut dyn RngCore) -> Option<f64>;
 
@@ -180,6 +207,9 @@ impl<T: ReplyTimeDistribution + ?Sized> ReplyTimeDistribution for &T {
     fn survival_batch(&self, ts: &mut [f64]) {
         (**self).survival_batch(ts);
     }
+    fn survival_batch_with(&self, backend: Backend, ts: &mut [f64]) -> Backend {
+        (**self).survival_batch_with(backend, ts)
+    }
     fn sample(&self, rng: &mut dyn RngCore) -> Option<f64> {
         (**self).sample(rng)
     }
@@ -209,6 +239,9 @@ impl<T: ReplyTimeDistribution + ?Sized> ReplyTimeDistribution for std::sync::Arc
     }
     fn survival_batch(&self, ts: &mut [f64]) {
         (**self).survival_batch(ts);
+    }
+    fn survival_batch_with(&self, backend: Backend, ts: &mut [f64]) -> Backend {
+        (**self).survival_batch_with(backend, ts)
     }
     fn sample(&self, rng: &mut dyn RngCore) -> Option<f64> {
         (**self).sample(rng)

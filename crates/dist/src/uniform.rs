@@ -114,6 +114,25 @@ impl ReplyTimeDistribution for DefectiveUniform {
         }
     }
 
+    fn survival_batch_with(
+        &self,
+        backend: zeroconf_simd::Backend,
+        ts: &mut [f64],
+    ) -> zeroconf_simd::Backend {
+        // Same hoists as `survival_batch`; the lane kernel composes the
+        // branch chain from quiet-ordered selects, so every backend is
+        // bit-identical.
+        zeroconf_simd::survival_uniform(
+            backend,
+            self.lo,
+            self.hi,
+            self.mass,
+            1.0 - self.mass,
+            self.hi - self.lo,
+            ts,
+        )
+    }
+
     fn sample(&self, rng: &mut dyn RngCore) -> Option<f64> {
         let u: f64 = zeroconf_rng::Rng::gen(rng);
         if u >= self.mass {

@@ -125,6 +125,24 @@ impl ReplyTimeDistribution for DefectiveWeibull {
         }
     }
 
+    fn survival_batch_with(
+        &self,
+        backend: zeroconf_simd::Backend,
+        ts: &mut [f64],
+    ) -> zeroconf_simd::Backend {
+        // Same hoists as `survival_batch`; `powf`/`exp` run scalar per lane
+        // inside the kernel, so every backend is bit-identical.
+        zeroconf_simd::survival_weibull(
+            backend,
+            self.delay,
+            self.scale,
+            self.shape,
+            self.mass,
+            1.0 - self.mass,
+            ts,
+        )
+    }
+
     fn sample(&self, rng: &mut dyn RngCore) -> Option<f64> {
         let u: f64 = zeroconf_rng::Rng::gen(rng);
         if u >= self.mass {

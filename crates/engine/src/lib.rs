@@ -73,7 +73,7 @@ pub mod spill {
 }
 
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -81,6 +81,9 @@ use zeroconf_cost::kernel::ScenarioFactors;
 use zeroconf_cost::param::ParamLandscape;
 use zeroconf_cost::{tradeoff, CostError, Scenario};
 use zeroconf_dist::ReplyTimeDistribution;
+use zeroconf_simd::Backend;
+
+pub use zeroconf_simd::KernelChoice;
 
 pub use pipeline::{Completion, Pipeline, PipelineConfig, PipelineStats, RequestId};
 pub use request::{
@@ -122,6 +125,18 @@ pub struct EngineConfig {
     /// measured cost ratio, so a *cold* sweep of the same grid can still
     /// fan out.
     pub small_sweep_cells: usize,
+    /// Which column-kernel backend the engine runs: forced scalar, forced
+    /// SIMD (clamped to what the CPU actually supports), or `Auto` — the
+    /// best detected tier, overridable via the `ZEROCONF_KERNEL`
+    /// environment variable. Results are bit-identical across choices;
+    /// this is purely a speed/diagnostics knob.
+    pub kernel: KernelChoice,
+    /// Pre-fault and huge-page-hint the warm memory path: spill-file
+    /// mappings are created with `MAP_POPULATE` and advised
+    /// `MADV_HUGEPAGE`, and the sufficient-statistic slabs behind
+    /// parametric verbs get the same huge-page advice. Off by default;
+    /// a silent no-op on platforms without those hints.
+    pub populate: bool,
 }
 
 impl Default for EngineConfig {
@@ -134,6 +149,8 @@ impl Default for EngineConfig {
             cache_dir: None,
             mmap_spills: false,
             small_sweep_cells: 65_536,
+            kernel: KernelChoice::Auto,
+            populate: false,
         }
     }
 }
@@ -228,6 +245,16 @@ pub struct Engine {
     pool: WorkerPool,
     cache: Arc<SharedCache>,
     small_sweep_cells: usize,
+    /// The resolved column-kernel backend every job runs with.
+    backend: Backend,
+    /// The weakest distribution-batch tier observed so far, as a
+    /// [`Backend`] discriminant folded with `fetch_min` — starts at
+    /// `backend` and can only go down (a distribution without a
+    /// vectorized batch honestly reports scalar).
+    dist_floor: AtomicU8,
+    /// Whether sufficient-statistic slabs get huge-page advice
+    /// ([`EngineConfig::populate`]).
+    populate: bool,
     /// Single-slot cache of the most recent sufficient-statistic
     /// landscape, keyed by distribution fingerprint (the grid is compared
     /// against the landscape itself). A warm parametric verb skips even
@@ -319,14 +346,19 @@ impl Engine {
     #[must_use]
     pub fn new(config: EngineConfig) -> Engine {
         let workers = config.workers.max(1);
+        let backend = config.kernel.resolve();
         Engine {
             pool: WorkerPool::new(workers - 1),
             cache: Arc::new(SharedCache::new(
                 config.cache_tables,
                 config.cache_dir,
                 config.mmap_spills,
+                config.populate,
             )),
             small_sweep_cells: config.small_sweep_cells.max(1),
+            backend,
+            dist_floor: AtomicU8::new(backend as u8),
+            populate: config.populate,
             landscape: Mutex::new(None),
             ewma_cell_nanos: AtomicU64::new(0),
             ewma_pi_ratio: AtomicU64::new(0),
@@ -448,6 +480,7 @@ impl Engine {
         let job = Arc::new(Job::new(
             request,
             Arc::clone(&self.cache),
+            self.backend,
             plan.participants,
             plan.chunk,
             cancel.clone(),
@@ -458,6 +491,8 @@ impl Engine {
         }
         job.run(0);
         let buffers = job.wait()?;
+        self.dist_floor
+            .fetch_min(job.dist_backend_used() as u8, Ordering::Relaxed);
         let landscape = Landscape::new(
             request.grid.n_max,
             request.grid.r_values.clone(),
@@ -569,6 +604,7 @@ impl Engine {
         let job = Arc::new(Job::new(
             &request,
             Arc::clone(&self.cache),
+            self.backend,
             plan.participants,
             plan.chunk,
             cancel.clone(),
@@ -579,13 +615,25 @@ impl Engine {
         }
         job.run(0);
         let buffers = job.wait()?;
+        self.dist_floor
+            .fetch_min(job.dist_backend_used() as u8, Ordering::Relaxed);
+        let pi_prefix = buffers
+            .pi_prefix
+            .expect("statistic job fills the π-prefix slab");
+        let pi_n = buffers.pi_n.expect("statistic job fills the π_n slab");
+        if self.populate {
+            // The statistic slabs are re-scanned by every parametric verb
+            // over their whole length; huge pages cut the TLB cost of
+            // those scans. Advice only — placement already happened at
+            // first touch.
+            cache::advise_huge_f64(&pi_prefix);
+            cache::advise_huge_f64(&pi_n);
+        }
         let landscape = Arc::new(ParamLandscape::from_parts(
             grid.n_max,
             grid.r_values.clone(),
-            buffers
-                .pi_prefix
-                .expect("statistic job fills the π-prefix slab"),
-            buffers.pi_n.expect("statistic job fills the π_n slab"),
+            pi_prefix,
+            pi_n,
         ));
         let by_worker = job.cells_per_worker();
         for (total, done) in self.cells_per_worker.iter().zip(&by_worker) {
@@ -731,7 +779,7 @@ impl Engine {
                 // overflow) yield no candidate; they still count toward
                 // `candidates` so the reduction ratio stays honest.
                 if let Some((r_index, n, cost, error_probability)) =
-                    landscape.min_cost_cell(&factors)
+                    landscape.min_cost_cell_with(&factors, self.backend)
                 {
                     candidates.push(FrontierPoint {
                         x: xv,
@@ -775,7 +823,15 @@ impl Engine {
                 .map(|c| c.load(Ordering::Relaxed))
                 .collect(),
             wall_nanos: *self.wall_nanos.lock().unwrap_or_else(|e| e.into_inner()),
+            kernel_backend: self.backend.name(),
+            dist_backend: Backend::from_u8(self.dist_floor.load(Ordering::Relaxed)).name(),
         }
+    }
+
+    /// The column-kernel backend this engine resolved at construction.
+    #[must_use]
+    pub fn kernel_backend(&self) -> &'static str {
+        self.backend.name()
     }
 }
 
@@ -784,7 +840,7 @@ mod tests {
     use std::sync::Arc;
 
     use zeroconf_cost::Scenario;
-    use zeroconf_dist::DefectiveExponential;
+    use zeroconf_dist::{DefectiveExponential, Empirical};
 
     use super::*;
 
@@ -915,6 +971,53 @@ mod tests {
         assert_eq!(stats.cache_len, 6);
         assert_eq!(stats.cells_per_worker.len(), 2);
         assert_eq!(stats.cells_per_worker.iter().sum::<u64>(), 36);
+    }
+
+    #[test]
+    fn stats_report_the_kernel_tier_and_surface_scalar_dist_fallbacks() {
+        let simd = Backend::detect();
+        let engine_with = |kernel| {
+            Engine::new(EngineConfig {
+                workers: 1,
+                cache_tables: 64,
+                cache_dir: None,
+                kernel,
+                ..EngineConfig::default()
+            })
+        };
+        let grid = GridSpec::linspace(3, 0.5, 2.0, 4);
+
+        // A vectorized family keeps the dist floor at the kernel tier.
+        let e = engine_with(KernelChoice::Simd);
+        assert_eq!(e.stats().kernel_backend, simd.name());
+        e.evaluate(&SweepRequest::new(scenario(), grid.clone()))
+            .unwrap();
+        assert_eq!(e.stats().dist_backend, simd.name());
+
+        // Empirical has no vector override: its π builds honestly report
+        // scalar, the floor drops, and the stats block shows the gap
+        // between the kernel tier and the weakest distribution tier.
+        let empirical = Scenario::builder()
+            .occupancy(0.5)
+            .probe_cost(2.0)
+            .error_cost(1e6)
+            .reply_time(Arc::new(
+                Empirical::from_observations(vec![Some(0.4), Some(1.2), None]).unwrap(),
+            ))
+            .build()
+            .unwrap();
+        let e = engine_with(KernelChoice::Simd);
+        e.evaluate(&SweepRequest::new(empirical, grid.clone()))
+            .unwrap();
+        let stats = e.stats();
+        assert_eq!(stats.kernel_backend, simd.name());
+        assert_eq!(stats.dist_backend, "scalar");
+
+        // Forcing scalar pins both fields to scalar.
+        let e = engine_with(KernelChoice::Scalar);
+        e.evaluate(&SweepRequest::new(scenario(), grid)).unwrap();
+        assert_eq!(e.stats().kernel_backend, "scalar");
+        assert_eq!(e.stats().dist_backend, "scalar");
     }
 
     #[test]

@@ -1016,6 +1016,16 @@ pub struct EngineStats {
     pub cells_per_worker: Vec<u64>,
     /// Total wall-clock nanoseconds spent inside `evaluate`.
     pub wall_nanos: u128,
+    /// The SIMD tier the column kernel ran at (`"scalar"`, `"avx2"` or
+    /// `"avx512"`), resolved once at engine construction.
+    pub kernel_backend: &'static str,
+    /// The *weakest* SIMD tier any distribution's survival batch actually
+    /// ran at across the engine's lifetime. A distribution without a
+    /// vectorized `survival_batch_with` override honestly reports scalar,
+    /// so this field surfaces a silent scalar fallback that the kernel
+    /// tier alone would hide. Equals `kernel_backend` until a request has
+    /// built at least one π-table.
+    pub dist_backend: &'static str,
 }
 
 #[cfg(test)]

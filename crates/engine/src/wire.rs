@@ -903,6 +903,7 @@ impl WireResponse {
                     .join(",");
                 format!(
                     "{{\"v\":{WIRE_VERSION},\"stats\":{{\"requests\":{},\"cells\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_len\":{},\"cells_per_worker\":[{}],\"wall_ns\":{},\
+                     \"kernel_backend\":\"{}\",\"dist_backend\":\"{}\",\
                      \"pipeline\":{{\"depth\":{},\"submitted\":{},\"completed\":{},\"cancelled\":{},\"failed\":{},\
                      \"queue_ns_total\":{},\"queue_ns_max\":{},\"service_ns_total\":{},\"service_ns_max\":{}}}}}}}",
                     s.requests,
@@ -912,6 +913,8 @@ impl WireResponse {
                     s.cache_len,
                     per_worker,
                     s.wall_nanos,
+                    s.kernel_backend,
+                    s.dist_backend,
                     depth,
                     p.submitted,
                     p.completed,
@@ -1511,6 +1514,24 @@ mod tests {
         assert!(third.contains("\"cache_misses\":0"), "{third}");
         let stats = session.stats_line();
         assert!(stats.contains("\"requests\":3"), "{stats}");
+        // The stats block names the kernel tier it ran and the weakest
+        // distribution-batch tier observed — both drawn from the single
+        // `Backend::name` vocabulary.
+        let engine_stats = session.stats();
+        assert!(
+            stats.contains(&format!(
+                "\"kernel_backend\":\"{}\"",
+                engine_stats.kernel_backend
+            )),
+            "{stats}"
+        );
+        assert!(
+            stats.contains(&format!(
+                "\"dist_backend\":\"{}\"",
+                engine_stats.dist_backend
+            )),
+            "{stats}"
+        );
     }
 
     #[test]

@@ -131,8 +131,9 @@ impl Default for ServeConfig {
 impl ServeConfig {
     /// Parses daemon flags: repeatable `--tcp ADDR` / `--unix PATH`
     /// endpoints plus `--workers N`, `--cache TABLES`, `--cache-dir
-    /// PATH`, `--mmap`, `--inflight N` and `--max-conns N`. The parsed
-    /// config follows process signals (it is the daemon entry path).
+    /// PATH`, `--mmap`, `--populate`, `--kernel scalar|simd|auto`,
+    /// `--inflight N` and `--max-conns N`. The parsed config follows
+    /// process signals (it is the daemon entry path).
     ///
     /// # Errors
     ///
@@ -166,6 +167,16 @@ impl ServeConfig {
                         Some(std::path::PathBuf::from(value_of("cache-dir")?));
                 }
                 "--mmap" => config.engine.mmap_spills = true,
+                "--populate" => config.engine.populate = true,
+                "--kernel" => {
+                    let raw = value_of("kernel")?;
+                    config.engine.kernel =
+                        zeroconf_engine::KernelChoice::parse(&raw).ok_or_else(|| {
+                            ServeError(format!(
+                                "--kernel must be scalar, simd or auto (got '{raw}')"
+                            ))
+                        })?;
+                }
                 "--inflight" => config.inflight = parse_count("inflight", &value_of("inflight")?)?,
                 "--max-conns" => {
                     config.max_connections = parse_count("max-conns", &value_of("max-conns")?)?;
@@ -199,7 +210,8 @@ fn parse_count(name: &str, raw: &str) -> Result<usize, ServeError> {
 #[must_use]
 pub fn serve_usage() -> String {
     "usage: zeroconf serve (--tcp ADDR | --unix PATH)... [--workers N] [--cache TABLES]\n\
-     \u{20}      [--cache-dir PATH] [--mmap] [--inflight N] [--max-conns N]"
+     \u{20}      [--cache-dir PATH] [--mmap] [--populate] [--kernel scalar|simd|auto]\n\
+     \u{20}      [--inflight N] [--max-conns N]"
         .to_owned()
 }
 
@@ -332,7 +344,7 @@ mod tests {
     fn from_args_parses_endpoints_and_tuning() {
         let config = ServeConfig::from_args(&args(
             "--tcp 127.0.0.1:0 --unix /tmp/z.sock --workers 2 --cache 64 \
-             --mmap --inflight 6 --max-conns 9",
+             --mmap --populate --kernel scalar --inflight 6 --max-conns 9",
         ))
         .unwrap();
         assert_eq!(config.endpoints.len(), 2);
@@ -344,6 +356,8 @@ mod tests {
         assert_eq!(config.engine.workers, 2);
         assert_eq!(config.engine.cache_tables, 64);
         assert!(config.engine.mmap_spills);
+        assert!(config.engine.populate);
+        assert_eq!(config.engine.kernel, zeroconf_engine::KernelChoice::Scalar);
         assert_eq!(config.inflight, 6);
         assert_eq!(config.max_connections, 9);
         assert!(config.follow_process_signals);
@@ -351,6 +365,8 @@ mod tests {
 
     #[test]
     fn from_args_requires_an_endpoint_and_rejects_junk() {
+        let e = ServeConfig::from_args(&args("--tcp x --kernel turbo")).unwrap_err();
+        assert!(e.0.contains("--kernel must be"), "{e}");
         let e = ServeConfig::from_args(&args("--workers 2")).unwrap_err();
         assert!(e.0.contains("at least one"), "{e}");
         let e = ServeConfig::from_args(&args("--bogus 1")).unwrap_err();

@@ -121,7 +121,8 @@ pub fn stats_response_line(id: &str, snapshot: &StatsSnapshot<'_>) -> String {
          \"queue_ns_total\":{},\"queue_ns_max\":{},\"service_ns_total\":{},\"service_ns_max\":{}}},\
          \"server\":{{\"connections_open\":{},\"connections_total\":{},\"connections_rejected\":{},\
          \"requests\":{},\"responses\":{},\"cancelled_on_disconnect\":{},\"inflight_budget\":{}}},\
-         \"engine\":{{\"requests\":{},\"cells\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_len\":{}}}}}}}",
+         \"engine\":{{\"requests\":{},\"cells\":{},\"cache_hits\":{},\"cache_misses\":{},\"cache_len\":{},\
+         \"kernel_backend\":\"{}\",\"dist_backend\":\"{}\"}}}}}}",
         escape(id),
         snapshot.conn_id,
         c.requests,
@@ -146,6 +147,8 @@ pub fn stats_response_line(id: &str, snapshot: &StatsSnapshot<'_>) -> String {
         e.cache_hits,
         e.cache_misses,
         e.cache_len,
+        e.kernel_backend,
+        e.dist_backend,
     )
 }
 
@@ -182,6 +185,8 @@ mod tests {
                 cache_len: 2,
                 cells_per_worker: vec![84],
                 wall_nanos: 1,
+                kernel_backend: "scalar",
+                dist_backend: "scalar",
             },
         }
     }
