@@ -128,6 +128,10 @@ SMOKE_BENCH="$PWD/target/BENCH_engine.smoke.json"
 ZEROCONF_BENCH_THREADS="${ZEROCONF_BENCH_THREADS:-2}" \
   cargo bench -q -p zeroconf-bench --bench engine_throughput -- \
   --samples 2 --out "$SMOKE_BENCH"
+# The serve bench merges its socket-measured rows into the same report
+# (engine_throughput rewrites the file, so it must run first).
+cargo bench -q -p zeroconf-bench --bench serve_throughput -- \
+  --samples 2 --out "$SMOKE_BENCH"
 # BENCH_engine.json (the full-sample report) is generated, not committed;
 # validate it too when a prior `cargo bench` left one behind.
 BENCH_REPORTS=("$SMOKE_BENCH")
@@ -148,6 +152,10 @@ for path in sys.argv[1:]:
         "engine/frontier/warm",
         "engine/frontier/per-point-recompute",
         "engine/calibrate/warm",
+        "engine/serve/conns=1",
+        "engine/serve/conns=4",
+        "engine/serve/conns=64",
+        "engine/serve/overload/max-conns",
     ):
         if needed not in ids:
             sys.exit(f"ci: {path} is missing the '{needed}' row")
@@ -194,137 +202,73 @@ for path in sys.argv[1:]:
 print("ci: bench reports validated:", ", ".join(sys.argv[1:]))
 PY
 
-echo "==> zeroconf serve smoke test (unix socket, two clients, mid-flight disconnect, SIGTERM drain)"
-# The daemon on a Unix socket, driven by two concurrent clients with
-# interleaved pipelined sweeps and rescores. One client disconnects with
-# work still in flight (its requests must be withdrawn, nobody else's);
-# the survivor keeps pipelining across a SIGTERM, which must drain every
-# in-flight response losslessly, unlink the socket and exit 0.
+# --- serve gates: both drive the daemon with the zeroconf-client binary,
+# --- the same typed client the integration tests and serve benches use.
+cargo build --release -p zeroconf-client
+
+# Spawns the daemon on $SERVE_SOCK logging to $SERVE_LOG, waits for the
+# socket, and leaves the pid in $SERVE_PID.
+serve_spawn() {
+  rm -f "$SERVE_SOCK" "$SERVE_LOG"
+  ./target/release/zeroconf serve --unix "$SERVE_SOCK" --workers 2 --inflight 4 \
+    >"$SERVE_LOG" 2>&1 &
+  SERVE_PID=$!
+  for _ in $(seq 1 200); do
+    [[ -S "$SERVE_SOCK" ]] && return 0
+    sleep 0.05
+  done
+  echo "ci: serve daemon never created its socket" >&2
+  cat "$SERVE_LOG" >&2
+  exit 1
+}
+
+# Waits for the daemon to exit 0 and checks the drain summary + socket
+# cleanup. $1 names the gate for diagnostics.
+serve_reap() {
+  local status=0
+  wait "$SERVE_PID" || status=$?
+  if [[ "$status" != 0 ]]; then
+    echo "ci: serve daemon exited $status instead of draining cleanly ($1)" >&2
+    cat "$SERVE_LOG" >&2
+    exit 1
+  fi
+  grep -q "drained cleanly" "$SERVE_LOG" || {
+    echo "ci: serve daemon summary lacks the drain line ($1)" >&2
+    cat "$SERVE_LOG" >&2
+    exit 1
+  }
+  # Both gates disconnect clients mid-flight, so the daemon summary must
+  # report the withdrawn requests.
+  grep -q "withdrawn at disconnect" "$SERVE_LOG" || {
+    echo "ci: serve daemon summary lacks the withdrawal count ($1)" >&2
+    cat "$SERVE_LOG" >&2
+    exit 1
+  }
+  if [[ -e "$SERVE_SOCK" ]]; then
+    echo "ci: serve daemon left its socket file behind ($1)" >&2
+    exit 1
+  fi
+  rm -f "$SERVE_LOG"
+}
+
+echo "==> zeroconf serve smoke test (unix socket, mid-flight disconnect, SIGTERM drain)"
+# A victim connection pipelines expensive work and vanishes mid-flight
+# (its requests must be withdrawn, nobody else's); a survivor pipelines a
+# sweep, a rescore, a frontier and an inline calibration across a SIGTERM,
+# and every one of them must be answered before the daemon exits 0.
 SERVE_SOCK="$PWD/target/ci-serve.sock"
 SERVE_LOG="$PWD/target/ci-serve.log"
-rm -f "$SERVE_SOCK" "$SERVE_LOG"
-./target/release/zeroconf serve --unix "$SERVE_SOCK" --workers 2 --inflight 4 \
-  >"$SERVE_LOG" 2>&1 &
-SERVE_PID=$!
-python3 - "$SERVE_SOCK" "$SERVE_PID" <<'PY'
-import json, os, signal, socket, sys, time
+serve_spawn
+./target/release/zeroconf-client smoke --unix "$SERVE_SOCK" --pid "$SERVE_PID"
+serve_reap "smoke"
 
-sock_path, pid = sys.argv[1], int(sys.argv[2])
-
-deadline = time.time() + 10
-while not os.path.exists(sock_path):
-    if time.time() > deadline:
-        sys.exit("ci: serve daemon never created its socket")
-    time.sleep(0.05)
-
-SCENARIO = {
-    "q": 0.5,
-    "probe_cost": 2.0,
-    "error_cost": 1e6,
-    "reply_time": {"kind": "exponential", "loss": 1e-6, "rate": 10.0, "delay": 1.0},
-}
-
-def connect():
-    c = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-    c.connect(sock_path)
-    c.settimeout(0.2)
-    return c
-
-def send(c, frame):
-    c.sendall((json.dumps(frame) + "\n").encode())
-
-def sweep(rid, n_max, r_points):
-    grid = {"n_max": n_max, "r_min": 0.1, "r_max": 30.0, "r_points": r_points}
-    return {"v": 1, "id": rid, "scenario": SCENARIO, "grid": grid}
-
-def rescore(rid, of):
-    return {"v": 1, "id": rid, "rescore": {"of": of, "error_cost": 1e9}}
-
-def read_ids(c, wanted, deadline_s=60):
-    buf, seen = b"", {}
-    end = time.time() + deadline_s
-    while set(wanted) - set(seen):
-        try:
-            chunk = c.recv(65536)
-        except socket.timeout:
-            if time.time() > end:
-                sys.exit(f"ci: serve drain never answered {set(wanted) - set(seen)}")
-            continue
-        if not chunk:
-            sys.exit(f"ci: serve closed before answering {set(wanted) - set(seen)}")
-        buf += chunk
-        while b"\n" in buf:
-            line, buf = buf.split(b"\n", 1)
-            row = json.loads(line)
-            if row.get("id") in wanted:
-                seen[row["id"]] = row
-    return seen
-
-survivor, victim = connect(), connect()
-# Interleaved pipelined load on both connections: sweeps with a rescore
-# of an in-flight base riding behind each.
-send(victim, sweep("v1", 64, 4000))
-send(victim, rescore("v2", "v1"))
-send(survivor, sweep("a1", 64, 4000))
-send(survivor, rescore("a2", "a1"))
-send(survivor, sweep("a3", 4, 60))
-# The parametric verbs over the socket: a frontier referencing the
-# in-flight a3 sweep (held back until its statistic is warm) and an
-# inline calibrate carrying its own scenario and grid.
-send(survivor, {
-    "v": 1, "id": "a4",
-    "frontier": {
-        "of": "a3",
-        "x": {"axis": "error_cost", "values": [1e3, 1e6]},
-        "y": {"axis": "probe_cost", "values": [1.0, 2.0]},
-    },
-})
-send(survivor, {
-    "v": 1, "id": "a5",
-    "scenario": SCENARIO,
-    "grid": {"n_max": 3, "r": [0.5, 1.0, 2.0]},
-    "calibrate": {"n": 2, "r": 1.0},
-})
-time.sleep(0.15)
-# Mid-flight disconnect: the victim vanishes without reading anything.
-victim.close()
-time.sleep(0.1)
-# SIGTERM with the survivor's pipeline still loaded: lossless drain.
-os.kill(pid, signal.SIGTERM)
-rows = read_ids(survivor, {"a1", "a2", "a3", "a4", "a5"})
-for rid in ("a1", "a2", "a3"):
-    if "cells" not in rows[rid]:
-        sys.exit(f"ci: serve response for {rid} carries no landscape: {rows[rid]}")
-if rows["a4"].get("frontier", {}).get("candidates") != 4:
-    sys.exit(f"ci: serve frontier answer is malformed: {rows['a4']}")
-if not rows["a4"]["frontier"]["points"]:
-    sys.exit(f"ci: serve frontier answer has no Pareto points: {rows['a4']}")
-if rows["a5"].get("calibrate", {}).get("error_cost", 0) <= 0:
-    sys.exit(f"ci: serve calibrate answer lacks a positive error cost: {rows['a5']}")
-survivor.close()
-print("ci: serve answered sweeps, rescores, frontier and calibrate across disconnect and SIGTERM")
-PY
-SERVE_STATUS=0
-wait "$SERVE_PID" || SERVE_STATUS=$?
-if [[ "$SERVE_STATUS" != 0 ]]; then
-  echo "ci: serve daemon exited $SERVE_STATUS instead of draining cleanly" >&2
-  cat "$SERVE_LOG" >&2
-  exit 1
-fi
-grep -q "drained cleanly" "$SERVE_LOG" || {
-  echo "ci: serve daemon summary lacks the drain line" >&2
-  cat "$SERVE_LOG" >&2
-  exit 1
-}
-grep -q "withdrawn at disconnect" "$SERVE_LOG" || {
-  echo "ci: serve daemon summary lacks the withdrawal count" >&2
-  cat "$SERVE_LOG" >&2
-  exit 1
-}
-if [[ -e "$SERVE_SOCK" ]]; then
-  echo "ci: serve daemon left its socket file behind" >&2
-  exit 1
-fi
-rm -f "$SERVE_LOG"
+echo "==> zeroconf serve flood gate (64 pipelined clients, mid-flight disconnects, SIGTERM drain)"
+# The reactor scale gate: 64 concurrent clients pipeline 8 sweeps each on
+# one event-loop thread, every eighth disconnecting with work in flight;
+# a straggler must still be answered across the SIGTERM drain.
+serve_spawn
+./target/release/zeroconf-client flood --unix "$SERVE_SOCK" --pid "$SERVE_PID" \
+  --clients 64 --requests 8
+serve_reap "flood"
 
 echo "ci: all gates passed"

@@ -1,0 +1,294 @@
+//! Socket-measured throughput of the `zeroconf serve` reactor.
+//!
+//! Every other engine bench times library calls in-process; these rows
+//! time the full daemon path — wire encode on the client, a loopback TCP
+//! socket, the reactor's readiness loop, the shared engine, and the
+//! response frame back out — using [`zeroconf_client::Client`], the same
+//! typed client the integration tests and `ci.sh` drive the daemon with.
+//!
+//! Rows (merged into `BENCH_engine.json`, foreign rows preserved):
+//!
+//! * `engine/serve/conns={1,4,64}` — `k` persistent connections each
+//!   round-trip one warm sweep per iteration, pipelined across
+//!   connections so the reactor multiplexes them on one event-loop
+//!   thread.
+//! * `engine/serve/overload/max-conns` — a server capped at a small
+//!   `--max-conns` admits a full house, refuses a surplus crowd, and the
+//!   admitted connections each answer one sweep; per iteration the whole
+//!   house is torn down and re-admitted, so structured refusal and
+//!   post-overload recovery are inside the timed path.
+//!
+//! Knobs match `engine_throughput`: `--samples N` (CI smoke uses 2) and
+//! `--out PATH`.
+
+use std::path::{Path, PathBuf};
+
+use zeroconf_bench::harness::{format_nanos, measure, BenchRecord};
+use zeroconf_bench::schema;
+use zeroconf_client::{Client, ClientError, Grid, Scenario};
+use zeroconf_engine::EngineConfig;
+use zeroconf_serve::{Endpoint, ServeConfig, Server, Shutdown};
+
+/// Grid size per sweep: 16 probe counts × 50 listening periods.
+const N_MAX: u32 = 16;
+const R_POINTS: usize = 50;
+const SWEEP_CELLS: usize = N_MAX as usize * R_POINTS;
+const DEFAULT_SAMPLES: usize = 7;
+/// Connection counts for the `engine/serve/conns=<k>` rows.
+const CONN_COUNTS: [usize; 3] = [1, 4, 64];
+/// The overload row's admission ceiling and surplus crowd.
+const OVERLOAD_CAP: usize = 16;
+const OVERLOAD_SURPLUS: usize = 8;
+/// Engine worker threads behind the daemon (matches the CI smoke).
+const WORKERS: usize = 2;
+
+fn grid() -> Grid {
+    Grid::Linspace {
+        n_max: N_MAX,
+        r_min: 0.1,
+        r_max: 30.0,
+        r_points: R_POINTS,
+    }
+}
+
+/// An in-process daemon on an ephemeral loopback TCP port.
+struct BenchServer {
+    addr: String,
+    shutdown: Shutdown,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl BenchServer {
+    fn start(max_connections: usize) -> BenchServer {
+        let server = Server::bind(ServeConfig {
+            endpoints: vec![Endpoint::Tcp("127.0.0.1:0".into())],
+            engine: EngineConfig {
+                workers: WORKERS,
+                ..EngineConfig::default()
+            },
+            inflight: 4,
+            max_connections,
+            follow_process_signals: false,
+        })
+        .expect("bind bench server");
+        let addr = server.endpoints()[0]
+            .strip_prefix("tcp:")
+            .expect("tcp endpoint description")
+            .to_owned();
+        let shutdown = server.shutdown_handle();
+        let thread = std::thread::spawn(move || {
+            server.run().expect("bench server drains cleanly");
+        });
+        BenchServer {
+            addr,
+            shutdown,
+            thread: Some(thread),
+        }
+    }
+
+    fn connect(&self) -> Client {
+        Client::connect_tcp(&self.addr).expect("connect to bench server")
+    }
+}
+
+impl Drop for BenchServer {
+    fn drop(&mut self) {
+        self.shutdown.trigger();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// One round: every connection sends its sweep, then all responses are
+/// collected — pipelined across connections, one in flight per
+/// connection.
+fn round(clients: &mut [Client], scenario: &Scenario, grid: &Grid) {
+    for client in clients.iter_mut() {
+        client.sweep("s", scenario, grid).expect("send sweep");
+    }
+    for client in clients.iter_mut() {
+        let response = client.wait("s").expect("sweep answered");
+        assert!(response.has_cells(), "sweep response carries a landscape");
+    }
+}
+
+/// `conns` persistent connections each round-trip one warm sweep per
+/// iteration.
+fn serve_conns(server: &BenchServer, conns: usize, samples: usize) -> BenchRecord {
+    let scenario = Scenario::fixture();
+    let grid = grid();
+    let mut clients: Vec<Client> = (0..conns).map(|_| server.connect()).collect();
+    // Prime the shared engine so every timed sweep is cache-warm.
+    round(&mut clients[..1], &scenario, &grid);
+    measure(&schema::row_serve_conns(conns), samples, || {
+        round(&mut clients, &scenario, &grid);
+    })
+}
+
+/// Connects until the server *admits* the connection (confirmed by a
+/// completed round trip). A connect that lands while the previous
+/// iteration's teardown is still settling gets refused and is retried.
+fn admit(server: &BenchServer, scenario: &Scenario, grid: &Grid) -> Client {
+    for _ in 0..1000 {
+        let mut client = server.connect();
+        if client.sweep("adm", scenario, grid).is_err() {
+            continue;
+        }
+        match client.wait("adm") {
+            Ok(_) => return client,
+            Err(ClientError::Disconnected(_) | ClientError::Io(_)) => continue,
+            Err(e) => panic!("admission handshake failed: {e}"),
+        }
+    }
+    panic!("server kept refusing admission after 1000 attempts");
+}
+
+/// A full house at the `--max-conns` ceiling answering one sweep each
+/// while a surplus crowd is structurally refused, torn down and
+/// re-admitted every iteration.
+fn serve_overload(server: &BenchServer, samples: usize) -> BenchRecord {
+    let scenario = Scenario::fixture();
+    let sweep_grid = grid();
+    let handshake_grid = Grid::Explicit {
+        n_max: 2,
+        r: vec![1.0],
+    };
+    // Prime the engine caches for both grids before timing.
+    drop(admit(server, &scenario, &sweep_grid));
+    measure(schema::ROW_SERVE_OVERLOAD, samples, || {
+        let mut house: Vec<Client> = (0..OVERLOAD_CAP)
+            .map(|_| admit(server, &scenario, &handshake_grid))
+            .collect();
+        // The surplus crowd: every slot is taken, so each of these gets
+        // the structured capacity refusal (or a reset once the server
+        // closes); either way the line read observes the rejection.
+        for _ in 0..OVERLOAD_SURPLUS {
+            let mut crowd = server.connect();
+            let _ = crowd.next_line();
+        }
+        round(&mut house, &scenario, &sweep_grid);
+        house.clear();
+    })
+}
+
+struct Options {
+    samples: usize,
+    out: PathBuf,
+}
+
+fn parse_options() -> Options {
+    let mut samples = DEFAULT_SAMPLES;
+    let mut out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_engine.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--samples" => {
+                let value = args.next().expect("--samples takes a count");
+                samples = value.parse().expect("--samples takes an integer");
+            }
+            "--out" => {
+                out = PathBuf::from(args.next().expect("--out takes a path"));
+            }
+            // `cargo bench` forwards its own flags (e.g. `--bench`);
+            // ignore anything unrecognised rather than failing the run.
+            _ => {}
+        }
+    }
+    Options { samples, out }
+}
+
+/// Merges the serve rows into an existing report: foreign rows are
+/// preserved, stale serve rows replaced. The report is this workspace's
+/// own pretty-printed one-row-per-line format.
+fn merge_report(out: &Path, serve_rows: &[String]) -> String {
+    let serve_id_prefix = format!("\"{}\":\"{}/", schema::FIELD_ID, schema::ROW_STEM_SERVE);
+    let mut lines: Vec<String> = Vec::new();
+    if let Ok(existing) = std::fs::read_to_string(out) {
+        for line in existing.lines() {
+            let row = line.trim().trim_end_matches(',');
+            if row.starts_with('{') && !row.contains(&serve_id_prefix) {
+                lines.push(row.to_owned());
+            }
+        }
+    }
+    lines.extend(serve_rows.iter().cloned());
+    format!("[\n  {}\n]\n", lines.join(",\n  "))
+}
+
+fn main() {
+    let options = parse_options();
+    let samples = options.samples;
+    println!(
+        "serve reactor throughput over loopback TCP ({N_MAX} x {R_POINTS} sweep, \
+         {samples} samples):"
+    );
+
+    let server = BenchServer::start(100_000);
+    let conn_note = "round trips over loopback TCP; cells count landscape \
+                     cells per full round of sweeps";
+    let mut runs: Vec<(BenchRecord, usize)> = CONN_COUNTS
+        .iter()
+        .map(|&conns| (serve_conns(&server, conns, samples), conns))
+        .collect();
+    drop(server);
+
+    let overload_server = BenchServer::start(OVERLOAD_CAP);
+    let overload = serve_overload(&overload_server, samples);
+    drop(overload_server);
+
+    for (record, _) in &runs {
+        println!(
+            "  {:<36} median {:>10}/round (min {}, {} samples)",
+            record.id,
+            format_nanos(record.median_ns),
+            format_nanos(record.min_ns),
+            record.samples
+        );
+    }
+    println!(
+        "  {:<36} median {:>10}/round (min {}, {} samples)",
+        overload.id,
+        format_nanos(overload.median_ns),
+        format_nanos(overload.min_ns),
+        overload.samples
+    );
+    let per_conn = |run: &(BenchRecord, usize)| run.0.median_ns / run.1 as f64;
+    println!(
+        "  64-conn round-trip cost vs single-conn: {:.2}x per connection",
+        per_conn(&runs[2]) / per_conn(&runs[0])
+    );
+
+    let overload_note = format!(
+        "{OVERLOAD_CAP} admitted + {OVERLOAD_SURPLUS} refused per iteration; \
+         admission, refusal and teardown are inside the timed path"
+    );
+    let mut rows: Vec<String> = runs
+        .drain(..)
+        .map(|(record, conns)| {
+            schema::row_json(
+                &record,
+                WORKERS,
+                "warm",
+                N_MAX,
+                R_POINTS,
+                conns * SWEEP_CELLS,
+                Some(conn_note),
+            )
+        })
+        .collect();
+    rows.push(schema::row_json(
+        &overload,
+        WORKERS,
+        "warm",
+        N_MAX,
+        R_POINTS,
+        OVERLOAD_CAP * SWEEP_CELLS,
+        Some(overload_note.as_str()),
+    ));
+    let json = merge_report(&options.out, &rows);
+    match std::fs::write(&options.out, json) {
+        Ok(()) => println!("  merged serve rows into {}", options.out.display()),
+        Err(e) => eprintln!("  could not write {}: {e}", options.out.display()),
+    }
+}

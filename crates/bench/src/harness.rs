@@ -43,6 +43,10 @@ pub struct BenchRecord {
     pub samples: usize,
     /// Iterations per sample after calibration.
     pub iters_per_sample: u64,
+    /// Wall time of the very first (calibration) iteration. One-off
+    /// costs — first-touch page faults of a fresh mapping, cold branch
+    /// predictors — land here instead of skewing the timed samples.
+    pub first_iter_ns: f64,
 }
 
 /// Times `f`, first calibrating iterations-per-sample, then collecting
@@ -58,6 +62,12 @@ pub fn measure<T>(id: &str, samples: usize, mut f: impl FnMut() -> T) -> BenchRe
 
     let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
     for _ in 0..samples.max(1) {
+        // One discarded warmup iteration per sample: the timed loop then
+        // starts from warm caches and TLBs, so low-iteration rows (e.g.
+        // `engine/warm-mmap/populate`, where calibration picks a handful
+        // of iterations) report steady-state throughput instead of
+        // averaging a cold first iteration into every sample.
+        black_box(f());
         let start = Instant::now();
         for _ in 0..iters {
             black_box(f());
@@ -75,6 +85,7 @@ pub fn measure<T>(id: &str, samples: usize, mut f: impl FnMut() -> T) -> BenchRe
         mean_ns: mean,
         samples: per_iter.len(),
         iters_per_sample: iters,
+        first_iter_ns: first,
     }
 }
 
@@ -132,13 +143,15 @@ impl Criterion {
             mean_ns: f64::NAN,
             samples: 0,
             iters_per_sample: 0,
+            first_iter_ns: f64::NAN,
         });
         println!(
-            "  {:<44} median {:>10}/iter  (min {}, mean {}, {} samples x {} iters)",
+            "  {:<44} median {:>10}/iter  (min {}, mean {}, first {}, {} samples x {} iters)",
             record.id,
             format_nanos(record.median_ns),
             format_nanos(record.min_ns),
             format_nanos(record.mean_ns),
+            format_nanos(record.first_iter_ns),
             record.samples,
             record.iters_per_sample,
         );
@@ -245,6 +258,7 @@ mod tests {
         assert!(record.min_ns <= record.median_ns);
         assert_eq!(record.samples, 5);
         assert!(record.iters_per_sample >= 1);
+        assert!(record.first_iter_ns > 0.0);
     }
 
     #[test]

@@ -85,7 +85,9 @@ use zeroconf_simd::Backend;
 
 pub use zeroconf_simd::KernelChoice;
 
-pub use pipeline::{Completion, Pipeline, PipelineConfig, PipelineStats, RequestId};
+pub use pipeline::{
+    Completion, CompletionNotifier, Pipeline, PipelineConfig, PipelineStats, RequestId,
+};
 pub use request::{
     AxisSpec, BatchStats, CalibrateRequest, CalibrateRequestBuilder, CalibrateResponse, Cell,
     EngineStats, FrontierPoint, FrontierRequest, FrontierRequestBuilder, FrontierResponse,

@@ -76,6 +76,14 @@ impl PipelineConfig {
     }
 }
 
+/// A callback executor threads invoke right after a [`Completion`] lands
+/// in the channel. Readiness-driven consumers (the `zeroconf serve`
+/// reactor) register one to get woken — typically by writing to an
+/// eventfd or self-pipe — instead of polling the pipeline on a timer.
+/// The callback runs on an executor thread, so it must be cheap and
+/// must never block on the consumer side.
+pub type CompletionNotifier = Arc<dyn Fn() + Send + Sync>;
+
 /// Identifier of one submitted request, unique within its [`Pipeline`].
 /// Completions are keyed by it; submission order is `id` order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -226,6 +234,7 @@ pub struct Pipeline {
     gate: Arc<Gate>,
     tokens: Arc<Mutex<HashMap<RequestId, CancelToken>>>,
     counters: Arc<Counters>,
+    notifier: Arc<Mutex<Option<CompletionNotifier>>>,
     executors: Vec<JoinHandle<()>>,
 }
 
@@ -253,6 +262,7 @@ impl Pipeline {
         let tokens: Arc<Mutex<HashMap<RequestId, CancelToken>>> =
             Arc::new(Mutex::new(HashMap::new()));
         let counters = Arc::new(Counters::default());
+        let notifier: Arc<Mutex<Option<CompletionNotifier>>> = Arc::new(Mutex::new(None));
         let executors = (0..executor_count)
             .map(|i| {
                 let queue_rx = Arc::clone(&queue_rx);
@@ -261,10 +271,13 @@ impl Pipeline {
                 let gate = Arc::clone(&gate);
                 let tokens = Arc::clone(&tokens);
                 let counters = Arc::clone(&counters);
+                let notifier = Arc::clone(&notifier);
                 std::thread::Builder::new()
                     .name(format!("zeroconf-pipeline-{i}"))
                     .spawn(move || {
-                        executor_loop(&queue_rx, &engine, &done_tx, &gate, &tokens, &counters);
+                        executor_loop(
+                            &queue_rx, &engine, &done_tx, &gate, &tokens, &counters, &notifier,
+                        );
                     })
                     .expect("spawning a pipeline executor thread")
             })
@@ -279,8 +292,16 @@ impl Pipeline {
             gate,
             tokens,
             counters,
+            notifier,
             executors,
         }
+    }
+
+    /// Registers `notifier`, to be invoked by an executor thread each time
+    /// a completion becomes pollable (replacing any previous notifier).
+    /// See [`CompletionNotifier`] for the contract.
+    pub fn set_completion_notifier(&self, notifier: CompletionNotifier) {
+        *lock(&self.notifier) = Some(notifier);
     }
 
     /// The engine shared by every request of this pipeline.
@@ -431,6 +452,7 @@ fn executor_loop(
     gate: &Gate,
     tokens: &Mutex<HashMap<RequestId, CancelToken>>,
     counters: &Counters,
+    notifier: &Mutex<Option<CompletionNotifier>>,
 ) {
     loop {
         // Only the receive is serialized (std mpsc receivers are
@@ -469,6 +491,11 @@ fn executor_loop(
             queue_nanos,
             service_nanos,
         });
+        // Wake a readiness-driven consumer strictly after the send, so a
+        // woken poller always finds the completion already in the channel.
+        if let Some(notify) = lock(notifier).as_ref() {
+            notify();
+        }
         // Release strictly after the send, so a submitter unblocked by
         // the freed slot can never observe a depth-exceeding channel.
         gate.release();
@@ -565,6 +592,34 @@ mod tests {
         p.submit(request(2, 2)).unwrap();
         assert!(p.next_completion().is_some());
         assert!(p.next_completion().is_none());
+    }
+
+    #[test]
+    fn completion_notifier_fires_once_per_completion() {
+        use std::sync::atomic::AtomicUsize;
+        let mut p = pipeline(2);
+        let fired = Arc::new(AtomicUsize::new(0));
+        let observer = Arc::clone(&fired);
+        p.set_completion_notifier(Arc::new(move || {
+            observer.fetch_add(1, Ordering::SeqCst);
+        }));
+        p.submit(request(3, 4)).unwrap();
+        p.submit(request(2, 3)).unwrap();
+        let done = p.drain();
+        assert_eq!(done.len(), 2);
+        // The notifier runs after each completion is sent, so drain can
+        // observe the second completion a moment before its notify lands
+        // — wait for it rather than racing the executor thread.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while fired.load(Ordering::SeqCst) < 2 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "notifier fired {} of 2 times",
+                fired.load(Ordering::SeqCst)
+            );
+            std::thread::yield_now();
+        }
+        assert_eq!(fired.load(Ordering::SeqCst), 2);
     }
 
     #[test]

@@ -258,13 +258,18 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, WireError> {
                 *pos += 1;
             }
             Some(_) => {
-                // Consume one UTF-8 scalar (multi-byte sequences pass
-                // through unchanged).
-                let rest = std::str::from_utf8(&bytes[*pos..])
+                // Consume the whole run of plain characters up to the
+                // next quote or backslash in one step, validating UTF-8
+                // once per run. (Per-character validation of the entire
+                // remaining input made string parsing quadratic — fatal
+                // on multi-megabyte response lines.)
+                let start = *pos;
+                while *pos < bytes.len() && !matches!(bytes[*pos], b'"' | b'\\') {
+                    *pos += 1;
+                }
+                let run = std::str::from_utf8(&bytes[start..*pos])
                     .map_err(|_| err("invalid UTF-8 in string"))?;
-                let ch = rest.chars().next().expect("non-empty remainder");
-                out.push(ch);
-                *pos += ch.len_utf8();
+                out.push_str(run);
             }
         }
     }
@@ -1057,6 +1062,16 @@ impl PipelinedSession {
             waiting: HashMap::new(),
             pending_ids: HashSet::new(),
         }
+    }
+
+    /// Registers a [`CompletionNotifier`](crate::CompletionNotifier) on
+    /// the session's pipeline: an executor thread invokes it each time a
+    /// completion becomes pollable, so a readiness-driven front-end
+    /// (the `zeroconf serve` reactor) can sleep in `epoll_wait` and be
+    /// woken instead of polling [`PipelinedSession::poll_responses`] on
+    /// a timer.
+    pub fn set_completion_notifier(&self, notifier: crate::CompletionNotifier) {
+        self.pipeline.set_completion_notifier(notifier);
     }
 
     /// Unanswered requests: submitted or held back, response not yet

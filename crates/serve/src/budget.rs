@@ -102,6 +102,17 @@ impl FairBudget {
         }
     }
 
+    /// Non-blocking admission for readiness-driven callers: the serve
+    /// reactor runs every connection on one event-loop thread and must
+    /// never sleep on the budget. Enqueues `conn` on first call and
+    /// grants a permit only when `conn` is at the queue front with a
+    /// permit free; on `false` the connection **stays queued**, keeping
+    /// its round-robin position for the next loop iteration (permits are
+    /// released from the same loop, so a retry follows promptly).
+    pub fn try_acquire(&self, conn: u64) -> bool {
+        self.acquire_for(conn, Duration::ZERO)
+    }
+
     /// Returns one permit to the pool.
     pub fn release(&self) {
         self.release_many(1);
@@ -120,7 +131,7 @@ impl FairBudget {
     }
 
     /// Removes `conn` from the admission queue (connection teardown, or
-    /// a refusal during drain). Idempotent.
+    /// stepping out while output backpressure gates admission). Idempotent.
     pub fn leave(&self, conn: u64) {
         let mut state = lock(&self.state);
         state.queue.retain(|&c| c != conn);
@@ -170,6 +181,20 @@ mod tests {
         budget.leave(2);
         budget.release();
         assert!(budget.acquire_for(3, TICK), "conn 3 moves up when 2 leaves");
+    }
+
+    #[test]
+    fn try_acquire_never_blocks_and_keeps_queue_position() {
+        let budget = FairBudget::new(1);
+        assert!(budget.try_acquire(1));
+        // Pool empty: both fail instantly but stay queued in ask order.
+        assert!(!budget.try_acquire(2));
+        assert!(!budget.try_acquire(3));
+        budget.release();
+        assert!(!budget.try_acquire(3), "conn 3 is behind conn 2");
+        assert!(budget.try_acquire(2));
+        budget.release();
+        assert!(budget.try_acquire(3));
     }
 
     #[test]

@@ -1,310 +1,597 @@
-//! One client connection: a pipelined session over a shared engine.
+//! One client connection as a readiness-driven state machine.
 //!
-//! Each accepted socket gets one handler thread running
-//! [`run_connection`]. The handler owns a [`PipelinedSession`] built over
-//! the server's shared [`Engine`](zeroconf_engine::Engine) `Arc`, so
-//! π-tables computed for one client are warm for every other, while all
-//! in-flight bookkeeping (ids, held-back rescores, completions) stays
-//! private to the connection — which is also what makes client-chosen
-//! request ids collision-free across connections: the server-side
-//! identity of a request is the pair `conn_id:wire_id`.
+//! Connections no longer own a thread: the endpoint's event loop
+//! ([`crate::listener::EndpointLoop`]) drives every [`Connection`]
+//! through nonblocking reads, incremental JSON-line framing, fair
+//! admission, and coalesced vectored writes. A connection therefore
+//! *never blocks* — every method here either makes progress with the
+//! bytes and permits available right now or records what it is waiting
+//! for in its [`Interest`].
 //!
-//! The loop is single-threaded and poll-based over a blocking socket
-//! with a short read timeout: read a chunk, split it into lines, admit
-//! each line (taking a permit from the [`FairBudget`] when it adds
-//! engine work), then write whatever completed. Timeouts are not errors
-//! — they are the tick that lets responses flow while the client is
-//! quiet.
+//! The per-connection pipeline ([`PipelinedSession`] over the server's
+//! shared [`Engine`](zeroconf_engine::Engine) `Arc`) is created lazily
+//! on the first request line, so a thousand idle connections cost a
+//! socket and a few buffers each, not executor threads. Request-id
+//! namespacing is unchanged from the threaded server: the server-side
+//! identity of a request is `conn_id:wire_id`.
 //!
-//! End-of-stream semantics are deliberate: a client that wants its
-//! answers keeps the connection open until it has read them, so **EOF
-//! means the client is gone** — every unanswered request of that
-//! connection (and only that connection) is withdrawn, its permits
-//! return to the pool, and nothing is written. Server drain
-//! ([`Shutdown`]) is the opposite: stop *reading*, finish everything
-//! in flight, flush every response, then close.
+//! **Backpressure** is the load-bearing invariant. Completions are
+//! *always* polled — a permit returns to the [`FairBudget`] the moment
+//! its response is polled out of the pipeline, never later — so a slow
+//! reader can never pin a permit (PR 6's poll-time-release rule,
+//! extended to the reactor). What a slow reader *does* stall is its own
+//! intake: once the connection's output buffer crosses
+//! [`OUT_HIGH_WATER`] (or too many lines are parked waiting for
+//! permits), the loop stops reading from that socket and stops admitting
+//! its parked lines — stepping out of the budget queue rather than
+//! camping at its head — so buffered output stays bounded by the high
+//! water mark plus the responses already admitted, and kernel TCP
+//! backpressure propagates to the client.
+//!
+//! End-of-stream semantics are those of the threaded server: **EOF (or
+//! any read/write failure) means the client is gone** — the socket is
+//! torn down immediately, unanswered requests are cancelled, and the
+//! connection lingers as a socketless "zombie" only until the engine
+//! confirms those cancellations, at which point its permits are all
+//! home. Server drain is the opposite: stop reading, then answer
+//! everything already received — parked lines trickle through the
+//! fair budget as permits free, exactly as they would have without
+//! the drain — flush, close.
 
-use std::io::{self, Read, Write};
+use std::collections::VecDeque;
+use std::io::{self, IoSlice, Read, Write};
+use std::net::TcpStream;
 use std::sync::Arc;
-use std::time::Duration;
 
 use zeroconf_engine::wire::{self, Json, PipelinedSession};
-use zeroconf_engine::{EngineError, PipelineConfig};
+use zeroconf_engine::PipelineConfig;
 
 use crate::metrics::{stats_response_line, ConnMetrics, StatsSnapshot};
+use crate::reactor::{Interest, WakeHandle};
 use crate::ServerShared;
 
-/// The read-timeout tick of the handler loop.
-const POLL_INTERVAL: Duration = Duration::from_millis(20);
+/// Buffered-output bound (bytes) above which the connection stops
+/// reading and admitting: the client must drain what it already has
+/// coming before it can cause more to exist.
+const OUT_HIGH_WATER: usize = 256 * 1024;
 
-/// Socket abstraction the handler needs beyond `Read + Write`: a read
-/// timeout, so the loop can interleave reading and response polling.
-/// Implemented for [`std::net::TcpStream`] and (on unix)
-/// `std::os::unix::net::UnixStream`.
-pub trait ClientStream: Read + Write + Send {
-    /// Arms a read timeout; subsequent reads fail with
-    /// [`io::ErrorKind::WouldBlock`] / [`io::ErrorKind::TimedOut`]
-    /// instead of blocking forever.
-    fn set_read_timeout(&self, timeout: Duration) -> io::Result<()>;
+/// Parked-line bound with the same role on the input side: a client
+/// that floods requests faster than the budget admits them is left in
+/// the kernel socket buffer, not in server memory.
+const MAX_PARKED: usize = 1024;
+
+/// Read chunk size, and (via [`MAX_READ_CHUNKS`]) the per-event read
+/// bound that keeps one chatty connection from starving the loop.
+const READ_CHUNK: usize = 4096;
+const MAX_READ_CHUNKS: usize = 16;
+
+/// A connected client socket. The reactor needs concrete types (for
+/// `as_raw_fd`), not the old `ClientStream` trait object.
+pub(crate) enum ClientSocket {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixStream),
 }
 
-impl ClientStream for std::net::TcpStream {
-    fn set_read_timeout(&self, timeout: Duration) -> io::Result<()> {
-        std::net::TcpStream::set_read_timeout(self, Some(timeout))
-    }
-}
-
-#[cfg(unix)]
-impl ClientStream for std::os::unix::net::UnixStream {
-    fn set_read_timeout(&self, timeout: Duration) -> io::Result<()> {
-        std::os::unix::net::UnixStream::set_read_timeout(self, Some(timeout))
-    }
-}
-
-/// How a connection ended.
-enum Ending {
-    /// Client closed or broke the stream: withdraw its unanswered work.
-    ClientGone,
-    /// Server drain: answer everything, flush, close.
-    Drain,
-}
-
-/// Serves one client connection to completion. Never panics; every IO
-/// failure is a normal connection ending.
-pub fn run_connection(stream: Box<dyn ClientStream>, shared: &Arc<ServerShared>, conn_id: u64) {
-    let mut conn = Conn {
-        stream,
-        session: PipelinedSession::with_engine(
-            Arc::clone(&shared.engine),
-            PipelineConfig {
-                depth: shared.budget.capacity(),
-                executors: shared.budget.capacity().min(4),
-            },
-        ),
-        shared: Arc::clone(shared),
-        conn_id,
-        metrics: ConnMetrics::default(),
-        permits: 0,
-        write_failed: false,
-    };
-    let ending = conn.serve_lines();
-    match ending {
-        Ending::ClientGone => conn.withdraw(),
-        Ending::Drain => conn.drain(),
-    }
-    conn.shared.budget.leave(conn_id);
-    conn.shared
-        .metrics
-        .connections_closed
-        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-}
-
-struct Conn {
-    stream: Box<dyn ClientStream>,
-    session: PipelinedSession,
-    shared: Arc<ServerShared>,
-    conn_id: u64,
-    metrics: ConnMetrics,
-    /// Budget permits currently held; kept equal to `session.pending()`
-    /// by [`Conn::sync_permits`].
-    permits: usize,
-    /// A response write failed: the client cannot receive answers any
-    /// more, so the connection counts as gone even if reads still work.
-    write_failed: bool,
-}
-
-impl Conn {
-    /// The read/admit/write loop. Returns how the connection ended.
-    fn serve_lines(&mut self) -> Ending {
-        if self.stream.set_read_timeout(POLL_INTERVAL).is_err() {
-            return Ending::ClientGone;
+impl ClientSocket {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            ClientSocket::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            ClientSocket::Unix(s) => s.read(buf),
         }
-        let mut chunk = [0_u8; 4096];
-        let mut pending_input: Vec<u8> = Vec::new();
-        loop {
-            if self.shared.shutdown.is_triggered() {
-                return Ending::Drain;
+    }
+
+    fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+        match self {
+            ClientSocket::Tcp(s) => s.write_vectored(bufs),
+            #[cfg(unix)]
+            ClientSocket::Unix(s) => s.write_vectored(bufs),
+        }
+    }
+
+    /// Best-effort blocking write of one refusal line (used on sockets
+    /// rejected at the connection cap, before they join the loop).
+    pub(crate) fn write_line_best_effort(&mut self, line: &str) {
+        let result = match self {
+            ClientSocket::Tcp(s) => s
+                .write_all(line.as_bytes())
+                .and_then(|()| s.write_all(b"\n"))
+                .and_then(|()| s.flush()),
+            #[cfg(unix)]
+            ClientSocket::Unix(s) => s
+                .write_all(line.as_bytes())
+                .and_then(|()| s.write_all(b"\n"))
+                .and_then(|()| s.flush()),
+        };
+        let _ = result;
+    }
+
+    #[cfg(unix)]
+    pub(crate) fn raw_fd(&self) -> crate::reactor::RawFd {
+        use std::os::unix::io::AsRawFd;
+        match self {
+            ClientSocket::Tcp(s) => s.as_raw_fd(),
+            ClientSocket::Unix(s) => s.as_raw_fd(),
+        }
+    }
+}
+
+/// The coalescing output buffer: response lines queue as byte chunks
+/// and leave through `writev`-style vectored writes, so a burst of
+/// completions costs one syscall, not one per line.
+#[derive(Default)]
+struct OutBuf {
+    chunks: VecDeque<Vec<u8>>,
+    /// Bytes of the front chunk already written.
+    head: usize,
+    /// Total unwritten bytes across all chunks.
+    len: usize,
+}
+
+/// At most this many `IoSlice`s per vectored write (the kernel caps at
+/// `IOV_MAX` anyway; 64 keeps the stack array small).
+const MAX_IOVECS: usize = 64;
+
+impl OutBuf {
+    fn push_line(&mut self, line: &str) {
+        let mut chunk = Vec::with_capacity(line.len() + 1);
+        chunk.extend_from_slice(line.as_bytes());
+        chunk.push(b'\n');
+        self.len += chunk.len();
+        self.chunks.push_back(chunk);
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn clear(&mut self) {
+        self.chunks.clear();
+        self.head = 0;
+        self.len = 0;
+    }
+
+    /// Writes as much as the socket will take. Returns the bytes moved;
+    /// `WouldBlock` is progress-so-far, any other error propagates.
+    fn write_to(&mut self, socket: &mut ClientSocket) -> io::Result<usize> {
+        let mut written_total = 0;
+        while !self.is_empty() {
+            let mut slices: Vec<IoSlice<'_>> =
+                Vec::with_capacity(MAX_IOVECS.min(self.chunks.len()));
+            for (i, chunk) in self.chunks.iter().take(MAX_IOVECS).enumerate() {
+                let start = if i == 0 { self.head } else { 0 };
+                slices.push(IoSlice::new(&chunk[start..]));
             }
-            match self.stream.read(&mut chunk) {
-                Ok(0) => return Ending::ClientGone,
-                Ok(n) => {
-                    self.metrics.bytes_in += n as u64;
-                    pending_input.extend_from_slice(&chunk[..n]);
-                    for line in take_lines(&mut pending_input) {
-                        self.handle_line(&line);
-                        if self.shared.shutdown.is_triggered() {
-                            return Ending::Drain;
+            match socket.write_vectored(&slices) {
+                Ok(0) => return Err(io::Error::from(io::ErrorKind::WriteZero)),
+                Ok(mut n) => {
+                    written_total += n;
+                    self.len -= n;
+                    while n > 0 {
+                        let Some(front) = self.chunks.front() else {
+                            break;
+                        };
+                        let remaining = front.len() - self.head;
+                        if n >= remaining {
+                            n -= remaining;
+                            self.head = 0;
+                            self.chunks.pop_front();
+                        } else {
+                            self.head += n;
+                            n = 0;
                         }
                     }
                 }
                 Err(e)
                     if matches!(
                         e.kind(),
-                        io::ErrorKind::WouldBlock
-                            | io::ErrorKind::TimedOut
-                            | io::ErrorKind::Interrupted
-                    ) => {}
-                Err(_) => return Ending::ClientGone,
+                        io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    break;
+                }
+                Err(e) => return Err(e),
             }
-            let ready = self.session.poll_responses();
-            // Permits return as soon as completions are polled — before
-            // the write, which can stall on a client that is not reading.
-            // A slow reader therefore blocks only its own handler, never
-            // the shared budget.
-            self.sync_permits();
-            self.write_lines(&ready);
-            if self.write_failed {
-                return Ending::ClientGone;
+        }
+        Ok(written_total)
+    }
+}
+
+/// One client connection, owned and driven by its endpoint's event loop.
+pub(crate) struct Connection {
+    /// `None` once the client is gone and the loop has dropped the fd.
+    socket: Option<ClientSocket>,
+    conn_id: u64,
+    shared: Arc<ServerShared>,
+    /// The loop's wakeup handle, cloned into the session's completion
+    /// notifier so engine executors can wake `epoll_wait`.
+    wake: WakeHandle,
+    /// Created on the first request line; idle connections stay cheap.
+    session: Option<PipelinedSession>,
+    /// Bytes read but not yet framed into a line.
+    inbuf: Vec<u8>,
+    /// Complete lines waiting for a budget permit (or behind one that
+    /// is): admission order is arrival order, always.
+    parked: VecDeque<String>,
+    out: OutBuf,
+    metrics: ConnMetrics,
+    /// Budget permits held; kept equal to the session's pending count.
+    permits: usize,
+    /// Client gone (EOF, read/write error, hangup): withdrawing.
+    gone: bool,
+    /// Server drain: no more reading; parked and in-flight work is
+    /// still answered, then the output is flushed and the conn closes.
+    draining: bool,
+}
+
+impl Connection {
+    pub(crate) fn new(
+        socket: ClientSocket,
+        conn_id: u64,
+        shared: Arc<ServerShared>,
+        wake: WakeHandle,
+    ) -> Connection {
+        Connection {
+            socket: Some(socket),
+            conn_id,
+            shared,
+            wake,
+            session: None,
+            inbuf: Vec::new(),
+            parked: VecDeque::new(),
+            out: OutBuf::default(),
+            metrics: ConnMetrics::default(),
+            permits: 0,
+            gone: false,
+            draining: false,
+        }
+    }
+
+    /// What this connection currently waits on. The event loop
+    /// reregisters the fd whenever this changes.
+    pub(crate) fn interest(&self) -> Interest {
+        Interest {
+            readable: !self.gone && !self.draining && !self.intake_gated(),
+            writable: !self.gone && !self.out.is_empty(),
+        }
+    }
+
+    /// Whether intake is paused by backpressure: the client has enough
+    /// output to drain (or enough lines parked) already.
+    fn intake_gated(&self) -> bool {
+        self.out.len() >= OUT_HIGH_WATER || self.parked.len() >= MAX_PARKED
+    }
+
+    /// The connection has nothing left to do and can be reaped.
+    pub(crate) fn finished(&self) -> bool {
+        let pending = self.pending();
+        if self.gone {
+            return pending == 0;
+        }
+        self.draining && pending == 0 && self.parked.is_empty() && self.out.is_empty()
+    }
+
+    pub(crate) fn is_gone(&self) -> bool {
+        self.gone
+    }
+
+    /// Takes the socket so the loop can deregister and drop the fd
+    /// (teardown order matters: deregister, then close).
+    pub(crate) fn take_socket(&mut self) -> Option<ClientSocket> {
+        self.socket.take()
+    }
+
+    #[cfg(unix)]
+    pub(crate) fn raw_fd(&self) -> Option<crate::reactor::RawFd> {
+        self.socket.as_ref().map(ClientSocket::raw_fd)
+    }
+
+    fn pending(&self) -> usize {
+        self.session.as_ref().map_or(0, PipelinedSession::pending)
+    }
+
+    /// Requests withdrawn because the client vanished (for the server
+    /// gauge, already counted — exposed for loop-side assertions only).
+    #[cfg(test)]
+    fn parked_len(&self) -> usize {
+        self.parked.len()
+    }
+
+    /// Readable readiness: read until `WouldBlock` (bounded per event),
+    /// frame complete lines, process or park each in arrival order.
+    pub(crate) fn on_readable(&mut self) {
+        if self.gone || self.draining {
+            return;
+        }
+        let mut chunk = [0_u8; READ_CHUNK];
+        for _ in 0..MAX_READ_CHUNKS {
+            if self.intake_gated() {
+                break;
+            }
+            let Some(socket) = &mut self.socket else {
+                return;
+            };
+            match socket.read(&mut chunk) {
+                Ok(0) => {
+                    self.become_gone();
+                    return;
+                }
+                Ok(n) => {
+                    self.metrics.bytes_in += n as u64;
+                    self.inbuf.extend_from_slice(&chunk[..n]);
+                    for line in take_lines(&mut self.inbuf) {
+                        // Once anything is parked, everything parks:
+                        // responses must come back in request order.
+                        if !self.parked.is_empty() || !self.try_process_line(&line) {
+                            self.parked.push_back(line);
+                        }
+                    }
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    break;
+                }
+                Err(_) => {
+                    self.become_gone();
+                    return;
+                }
             }
         }
     }
 
-    /// Admits one request line: serve-level `stats` verbs are answered
-    /// here; everything else goes through the session, taking a fairness
-    /// permit first when it adds engine work.
-    fn handle_line(&mut self, line: &str) {
-        let line = line.trim();
-        if line.is_empty() {
+    /// Hangup/error readiness: `EPOLLHUP`/`EPOLLERR` mean the peer is
+    /// unreachable in both directions (a half-close arrives as readable
+    /// EOF instead), so the client is gone no matter what state the
+    /// connection was in — including drain, where waiting to flush to a
+    /// dead socket would stall the whole shutdown.
+    pub(crate) fn on_hangup(&mut self) {
+        self.become_gone();
+    }
+
+    /// The per-tick pump: poll completions (always — this is what frees
+    /// permits), retry parked admissions, flush output.
+    pub(crate) fn pump(&mut self) {
+        let ready = match &mut self.session {
+            Some(session) => session.poll_responses(),
+            None => Vec::new(),
+        };
+        // Permits return the moment completions are polled — before any
+        // write, which can lag behind a slow reader. A slow reader
+        // therefore backpressures only itself, never the shared budget.
+        self.sync_permits();
+        if !self.gone {
+            for line in &ready {
+                self.push_out(line);
+            }
+            self.admit_parked();
+            self.flush();
+        }
+    }
+
+    /// Writable readiness: same flush the pump does, but driven by the
+    /// socket opening up rather than by new completions.
+    pub(crate) fn on_writable(&mut self) {
+        self.flush();
+    }
+
+    /// Enters drain mode: discard unframed input and stop reading.
+    /// Everything already framed — parked lines included — is still
+    /// answered: the pump keeps retrying [`Connection::admit_parked`],
+    /// so parked work flows through the fair budget as permits free,
+    /// then the flush empties `out`. The pre-reactor daemon answered
+    /// five pipelined requests against `--inflight 4` across a SIGTERM;
+    /// losing the parked fifth would regress that invariant.
+    pub(crate) fn begin_drain(&mut self) {
+        if self.draining || self.gone {
             return;
         }
-        self.metrics.requests += 1;
-        self.shared
-            .metrics
-            .requests
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let parsed = wire::parse_json(line).ok();
-        if let Some(value) = &parsed {
-            if value.get("stats").is_some() {
-                let id = str_member(value, "id").unwrap_or_default().to_owned();
-                let stats_line = stats_response_line(&id, &self.snapshot());
-                self.write_lines(&[stats_line]);
+        self.draining = true;
+        self.inbuf.clear();
+        self.admit_parked();
+    }
+
+    /// Admits parked lines in order until one must keep waiting. Under
+    /// backpressure the connection steps *out* of the budget queue —
+    /// holding the queue head while refusing to make progress would
+    /// starve every other connection.
+    fn admit_parked(&mut self) {
+        loop {
+            if self.parked.is_empty() {
                 return;
             }
-            if value.get("cancel").is_some() {
-                self.metrics.cancellations += 1;
+            if self.intake_gated_for_admission() {
+                self.shared.budget.leave(self.conn_id);
+                return;
+            }
+            let Some(line) = self.parked.pop_front() else {
+                return;
+            };
+            if !self.try_process_line(&line) {
+                self.parked.push_front(line);
+                return;
             }
         }
+    }
+
+    /// Admission backpressure: the output-side half of
+    /// [`Connection::intake_gated`]. Applies during drain too — a slow
+    /// reader's parked work admits only as it consumes its responses,
+    /// so even a draining connection never pins unbounded output.
+    fn intake_gated_for_admission(&self) -> bool {
+        self.out.len() >= OUT_HIGH_WATER
+    }
+
+    /// Attempts one request line. Returns `false` when the line needs a
+    /// budget permit that is not available right now (the caller parks
+    /// it; nothing has been counted or submitted).
+    fn try_process_line(&mut self, line: &str) -> bool {
+        let line = line.trim();
+        if line.is_empty() {
+            return true;
+        }
+        let parsed = wire::parse_json(line).ok();
         let adds_work = parsed.as_ref().is_some_and(|v| {
             v.get("scenario").is_some()
                 || v.get("rescore").is_some()
                 || v.get(wire::VERB_CALIBRATE).is_some()
                 || v.get(wire::VERB_FRONTIER).is_some()
         });
-        if adds_work && !self.admit() {
-            // Shutdown fired while waiting for a permit: refuse the
-            // request instead of admitting work past the drain point.
-            let id = parsed
-                .as_ref()
-                .and_then(|v| str_member(v, "id"))
-                .unwrap_or_default()
-                .to_owned();
-            let refusal = wire::WireResponse::error(&id, &EngineError::Cancelled).to_line();
-            self.write_lines(&[refusal]);
-            return;
+        if adds_work && !self.shared.budget.try_acquire(self.conn_id) {
+            return false;
         }
-        let immediate = self.session.submit_line(line);
-        self.sync_permits();
-        self.write_lines(&immediate);
-    }
-
-    /// Waits for a fairness permit, polling and writing this
-    /// connection's own completions between attempts (which is what
-    /// frees permits when this connection holds them all). Returns
-    /// `false` when shutdown is triggered or the client stops receiving
-    /// before a permit is granted.
-    fn admit(&mut self) -> bool {
-        loop {
-            if self.shared.budget.acquire_for(self.conn_id, POLL_INTERVAL) {
-                self.permits += 1;
+        // The line is being processed: count it exactly once.
+        self.metrics.requests += 1;
+        self.shared
+            .metrics
+            .requests
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if let Some(value) = &parsed {
+            if value.get("stats").is_some() {
+                let id = str_member(value, "id").unwrap_or_default().to_owned();
+                let stats_line = stats_response_line(&id, &self.snapshot());
+                self.push_out(&stats_line);
                 return true;
             }
-            if self.shared.shutdown.is_triggered() || self.write_failed {
-                self.shared.budget.leave(self.conn_id);
-                return false;
+            if value.get("cancel").is_some() {
+                self.metrics.cancellations += 1;
             }
-            let ready = self.session.poll_responses();
-            self.sync_permits();
-            if !ready.is_empty() {
-                // Writing can stall indefinitely on a client that is not
-                // reading its answers. Step out of the admission queue
-                // first, so a stalled write never parks this connection
-                // at the queue head while permits sit free — the
-                // position is given up, not held hostage.
-                self.shared.budget.leave(self.conn_id);
-                self.write_lines(&ready);
-            }
+        }
+        if adds_work {
+            self.permits += 1;
+        }
+        let immediate = self.session().submit_line(line);
+        for response in &immediate {
+            self.push_out(response);
+        }
+        self.sync_permits();
+        true
+    }
+
+    /// The lazily created pipelined session. Creating it spawns the
+    /// executor pool, so purely idle connections never pay for one; the
+    /// completion notifier is wired to the loop's wakeup handle here.
+    fn session(&mut self) -> &mut PipelinedSession {
+        if self.session.is_none() {
+            let capacity = self.shared.budget.capacity();
+            let session = PipelinedSession::with_engine(
+                Arc::clone(&self.shared.engine),
+                PipelineConfig {
+                    depth: capacity,
+                    executors: capacity.min(4),
+                },
+            );
+            let wake = self.wake.clone();
+            session.set_completion_notifier(Arc::new(move || wake.notify()));
+            self.session = Some(session);
+        }
+        // The arm above just filled the slot; this cannot recurse.
+        match &mut self.session {
+            Some(session) => session,
+            None => unreachable!("session was just created"),
         }
     }
 
-    /// Releases permits for requests that are no longer pending, keeping
+    /// Releases permits for requests no longer pending, keeping
     /// `permits == session.pending()`.
     fn sync_permits(&mut self) {
-        let pending = self.session.pending();
+        let pending = self.pending();
         if self.permits > pending {
             self.shared.budget.release_many(self.permits - pending);
             self.permits = pending;
         }
     }
 
-    /// Writes response lines; failures latch `write_failed` (checked by
-    /// the loop) rather than aborting mid-batch bookkeeping.
-    fn write_lines(&mut self, lines: &[String]) {
-        for line in lines {
-            self.metrics.responses += 1;
-            self.shared
-                .metrics
-                .responses
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            if self.write_failed {
-                continue;
-            }
-            if self
-                .stream
-                .write_all(line.as_bytes())
-                .and_then(|()| self.stream.write_all(b"\n"))
-                .is_err()
-            {
-                self.write_failed = true;
-            } else {
-                self.metrics.bytes_out += line.len() as u64 + 1;
-            }
+    /// Queues one response line (counted here, written by the flush).
+    fn push_out(&mut self, line: &str) {
+        self.metrics.responses += 1;
+        self.shared
+            .metrics
+            .responses
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.out.push_line(line);
+    }
+
+    /// Moves buffered output into the socket until it would block.
+    fn flush(&mut self) {
+        if self.gone || self.out.is_empty() {
+            return;
         }
-        if !lines.is_empty() && !self.write_failed && self.stream.flush().is_err() {
-            self.write_failed = true;
+        let Some(socket) = &mut self.socket else {
+            return;
+        };
+        match self.out.write_to(socket) {
+            Ok(n) => self.metrics.bytes_out += n as u64,
+            Err(_) => self.become_gone(),
         }
     }
 
-    /// The client-gone path: withdraw every unanswered request of this
-    /// connection, discard the resulting response lines, return permits.
-    fn withdraw(&mut self) {
-        let abandoned = self.session.pending() as u64;
+    /// The client-gone transition: cancel every unanswered request of
+    /// this connection (and only this one), discard everything buffered,
+    /// step out of the budget queue. Permits for in-flight work come
+    /// home as the engine confirms each cancellation (via the pump);
+    /// until then the connection lingers socketless in the loop's map.
+    fn become_gone(&mut self) {
+        if self.gone {
+            return;
+        }
+        self.gone = true;
+        let abandoned = self.pending() as u64;
         self.metrics.cancellations += abandoned;
         self.shared
             .metrics
             .cancelled_on_disconnect
             .fetch_add(abandoned, std::sync::atomic::Ordering::Relaxed);
-        let _ = self.session.cancel_all();
-        let _ = self.session.drain();
+        if let Some(session) = &mut self.session {
+            let _ = session.cancel_all();
+        }
         self.sync_permits();
+        self.inbuf.clear();
+        self.parked.clear();
+        self.out.clear();
+        self.shared.budget.leave(self.conn_id);
     }
 
-    /// The server-drain path: stop reading, answer everything in flight,
-    /// flush, close.
-    fn drain(&mut self) {
-        let remaining = self.session.drain();
+    /// Final accounting when the loop reaps this connection.
+    pub(crate) fn close(&mut self) {
         self.sync_permits();
-        self.write_lines(&remaining);
+        // A reaped connection must not leak permits even if a session
+        // invariant broke; the budget caps releases at capacity anyway.
+        if self.permits > 0 {
+            self.shared.budget.release_many(self.permits);
+            self.permits = 0;
+        }
+        self.shared.budget.leave(self.conn_id);
+        self.shared
+            .metrics
+            .connections_closed
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
 
     fn snapshot(&self) -> StatsSnapshot<'_> {
+        let (pipeline, engine) = match &self.session {
+            Some(session) => (session.pipeline_stats(), session.stats()),
+            None => (
+                zeroconf_engine::PipelineStats::default(),
+                self.shared.engine.stats(),
+            ),
+        };
         StatsSnapshot {
             conn_id: self.conn_id,
             conn: self.metrics,
-            pending: self.session.pending(),
-            pipeline: self.session.pipeline_stats(),
+            pending: self.pending(),
+            pipeline,
             server: &self.shared.metrics,
             budget_capacity: self.shared.budget.capacity(),
-            engine: self.session.stats(),
+            engine,
         }
     }
 }
@@ -348,5 +635,82 @@ mod tests {
         let mut buf = b"\n\nx\n".to_vec();
         assert_eq!(take_lines(&mut buf), vec!["", "", "x"]);
         assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn outbuf_tracks_partial_vectored_writes() {
+        // A socketpair via TcpStream would need a real fd; exercise the
+        // chunk bookkeeping directly instead.
+        let mut out = OutBuf::default();
+        out.push_line("hello");
+        out.push_line("world!");
+        assert_eq!(out.len(), 13);
+        assert!(!out.is_empty());
+        out.clear();
+        assert!(out.is_empty());
+        assert_eq!(out.len(), 0);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn outbuf_flushes_through_a_real_socket() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::net::TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        let mut socket = ClientSocket::Tcp(server);
+
+        let mut out = OutBuf::default();
+        out.push_line("alpha");
+        out.push_line("beta");
+        let written = out.write_to(&mut socket).unwrap();
+        assert_eq!(written, 11);
+        assert!(out.is_empty());
+
+        let mut reader = std::io::BufReader::new(client);
+        let mut got = String::new();
+        std::io::BufRead::read_line(&mut reader, &mut got).unwrap();
+        assert_eq!(got, "alpha\n");
+        got.clear();
+        std::io::BufRead::read_line(&mut reader, &mut got).unwrap();
+        assert_eq!(got, "beta\n");
+    }
+
+    #[test]
+    fn interest_reflects_backpressure_and_output() {
+        let shared = Arc::new(crate::ServerShared {
+            engine: Arc::new(zeroconf_engine::Engine::new(
+                zeroconf_engine::EngineConfig {
+                    workers: 1,
+                    ..zeroconf_engine::EngineConfig::default()
+                },
+            )),
+            budget: crate::FairBudget::new(2),
+            shutdown: crate::Shutdown::new(false),
+            metrics: crate::ServerMetrics::default(),
+            max_connections: 4,
+        });
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _client = std::net::TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        let wake = WakeHandle::new().unwrap();
+        let mut conn = Connection::new(ClientSocket::Tcp(server), 1, shared, wake);
+
+        // Fresh connection: read-only interest.
+        assert_eq!(conn.interest(), Interest::READ);
+
+        // Queued output adds write interest.
+        conn.push_out("pong");
+        assert!(conn.interest().writable);
+        assert!(conn.interest().readable);
+
+        // Crossing the high-water mark gates reading.
+        let big = "x".repeat(OUT_HIGH_WATER);
+        conn.push_out(&big);
+        assert!(!conn.interest().readable, "reads gate above high water");
+        assert!(conn.interest().writable);
+        assert_eq!(conn.parked_len(), 0);
     }
 }

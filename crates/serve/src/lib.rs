@@ -7,20 +7,31 @@
 //! ([`zeroconf_engine::wire`]) into a resident service:
 //!
 //! - **Listeners**: any number of TCP and Unix-domain sockets
-//!   ([`Endpoint`]), each with its own supervisor thread and a bounded
-//!   accept loop (`--max-conns`; excess connections receive one refusal
-//!   line and are closed).
+//!   ([`Endpoint`]), each driven by one readiness event loop — a
+//!   reactor thread multiplexing the nonblocking listener and every
+//!   accepted connection through a minimal vendored `epoll(7)` shim
+//!   (`poll(2)` fallback off Linux; see the `reactor` module), with a
+//!   connection bound enforced at accept time (`--max-conns`; excess
+//!   connections receive one refusal line and are closed).
 //! - **Sessions**: every connection gets its own
 //!   [`PipelinedSession`](zeroconf_engine::wire::PipelinedSession) over
 //!   the one shared [`Engine`](zeroconf_engine::Engine) `Arc` — π-tables
 //!   computed for one client are warm for all, while request ids stay
 //!   session-scoped (the server-side identity of a request is
 //!   `conn_id:wire_id`, so client-chosen ids can never collide across
-//!   connections).
-//! - **Fairness**: admission into the engine is governed by a global
-//!   in-flight budget ([`FairBudget`], `--inflight`) granted round-robin
-//!   across asking connections — a client that pipelines hundreds of
-//!   sweeps cannot starve one that sends a single request.
+//!   connections). Sessions are created lazily on the first request
+//!   line, so established-but-idle connections cost no executor
+//!   threads; engine completions wake the owning event loop through an
+//!   `eventfd`/self-pipe handle.
+//! - **Fairness and backpressure**: admission into the engine is
+//!   governed by a global in-flight budget ([`FairBudget`],
+//!   `--inflight`) granted round-robin across asking connections — a
+//!   client that pipelines hundreds of sweeps cannot starve one that
+//!   sends a single request. Completions are polled unconditionally, so
+//!   permits return the moment work finishes; a client that stops
+//!   *reading* instead has its own intake gated (reads and admissions
+//!   pause above the output high-water mark), so a slow reader can
+//!   never pin memory or a budget permit.
 //! - **Observability**: the serve-level `stats` wire verb
 //!   (`{"v":1,"id":"…","stats":true}`) answers with per-connection,
 //!   server-wide and shared-engine counters.
@@ -33,15 +44,18 @@
 //! See DESIGN.md ("Serving architecture") for the connection lifecycle
 //! and the fairness/drain semantics in detail.
 
-#![forbid(unsafe_code)]
+// The `reactor` module is this crate's only unsafe surface (vendored
+// epoll/poll FFI); everything else stays panic-free safe Rust, enforced
+// by `zeroconf audit`.
+#![deny(unsafe_op_in_unsafe_fn)]
 
 mod budget;
 mod conn;
 mod listener;
 mod metrics;
+mod reactor;
 
 pub use budget::FairBudget;
-pub use conn::ClientStream;
 pub use listener::Endpoint;
 pub use metrics::{
     capacity_refusal_line, stats_response_line, ConnMetrics, ServerMetrics, StatsSnapshot,
@@ -49,12 +63,8 @@ pub use metrics::{
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
 
 use zeroconf_engine::{Engine, EngineConfig};
-
-/// How often the run loop checks for shutdown.
-const SHUTDOWN_POLL: Duration = Duration::from_millis(25);
 
 /// A fatal serve error with a user-facing message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -215,7 +225,7 @@ pub fn serve_usage() -> String {
         .to_owned()
 }
 
-/// State shared by the accept loops and every connection handler.
+/// State shared by every endpoint event loop and connection.
 pub(crate) struct ServerShared {
     pub(crate) engine: Arc<Engine>,
     pub(crate) budget: FairBudget,
@@ -273,28 +283,47 @@ impl Server {
         self.shared.shutdown.clone()
     }
 
-    /// Serves until shutdown, then drains: accept loops stop, every
-    /// connection answers its in-flight work and flushes, handler
+    /// Serves until shutdown, then drains: accepting stops, every
+    /// connection answers its in-flight work and flushes, reactor
     /// threads are joined, Unix socket files are removed. Returns a
     /// one-line summary.
     ///
+    /// Each endpoint's event loop is constructed *here*, before its
+    /// thread spawns, so a reactor that cannot start (poller or wakeup
+    /// creation, registration) is a startup error rather than a silent
+    /// background failure.
+    ///
     /// # Errors
     ///
-    /// [`ServeError`] when a supervisor thread cannot be spawned.
+    /// [`ServeError`] when an event loop cannot be built or its thread
+    /// cannot be spawned.
     pub fn run(self) -> Result<String, ServeError> {
-        let mut supervisors = Vec::with_capacity(self.listeners.len());
-        for (index, bound) in self.listeners.into_iter().enumerate() {
-            let shared = Arc::clone(&self.shared);
-            let handle = std::thread::Builder::new()
-                .name(format!("zeroconf-accept-{index}"))
-                .spawn(move || listener::accept_loop(&bound, &shared))
-                .map_err(|e| ServeError(format!("spawning accept loop: {e}")))?;
-            supervisors.push(handle);
+        let mut loops = Vec::with_capacity(self.listeners.len());
+        for bound in self.listeners {
+            loops.push(listener::EndpointLoop::new(
+                bound,
+                Arc::clone(&self.shared),
+            )?);
         }
-        while !self.shared.shutdown.is_triggered() {
-            std::thread::sleep(SHUTDOWN_POLL);
+        let mut reactors = Vec::with_capacity(loops.len());
+        for (index, event_loop) in loops.into_iter().enumerate() {
+            let spawned = std::thread::Builder::new()
+                .name(format!("zeroconf-reactor-{index}"))
+                .spawn(move || event_loop.run());
+            match spawned {
+                Ok(handle) => reactors.push(handle),
+                Err(e) => {
+                    // Loops already running must drain before the error
+                    // returns, or their sockets would outlive the Server.
+                    self.shared.shutdown.trigger();
+                    for handle in reactors {
+                        let _ = handle.join();
+                    }
+                    return Err(ServeError(format!("spawning reactor loop: {e}")));
+                }
+            }
         }
-        for handle in supervisors {
+        for handle in reactors {
             let _ = handle.join();
         }
         let m = &self.shared.metrics;

@@ -1,32 +1,52 @@
-//! Listening endpoints and their accept loops.
+//! Listening endpoints and their readiness-driven event loops.
 //!
-//! One supervisor thread per bound socket runs [`accept_loop`]:
-//! non-blocking accepts polled on a short tick (so the loop notices
-//! shutdown promptly), a connection-count bound enforced *before* a
-//! handler thread is spawned (excess connections get one refusal line
-//! and are closed), and a join of every handler it spawned once
-//! shutdown triggers — which is what makes SIGTERM drain lossless: the
-//! server process only exits after every connection has flushed its
-//! in-flight responses.
+//! One reactor thread per bound socket runs [`EndpointLoop::run`]: a
+//! single `epoll`/`poll` wait ([`crate::reactor`]) multiplexes the
+//! nonblocking listener, every accepted connection, and the completion
+//! wakeup handle, so a thousand established connections cost file
+//! descriptors and buffers — not threads. The loop's tick is bounded
+//! ([`TICK`]) so shutdown and parked-admission retries are noticed
+//! promptly even with no readiness traffic.
+//!
+//! Token space: [`TOKEN_LISTENER`] is the accept socket, [`TOKEN_WAKE`]
+//! the engine-completion wakeup, and every connection is
+//! `TOKEN_CONN_BASE + conn_id` — connection ids are minted once and
+//! never reused, so a late event for a reaped connection simply finds
+//! no entry in the map.
+//!
+//! The connection-count bound is enforced at accept time (excess
+//! connections get one refusal line and are closed before they ever
+//! join the loop), and drain is loop-wide: stop accepting, switch every
+//! connection to drain mode, and exit once the map is empty — which is
+//! what makes SIGTERM lossless: the process only exits after every
+//! connection has flushed its in-flight responses.
 //!
 //! Unix-domain sockets are bound fresh: a stale socket file from a
 //! previous process is removed before binding, and the file is unlinked
 //! again when the loop ends.
 
-use std::io::Write;
+use std::collections::HashMap;
 use std::net::TcpListener;
 use std::path::PathBuf;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crate::conn::{run_connection, ClientStream};
+use crate::conn::{ClientSocket, Connection};
 use crate::metrics::capacity_refusal_line;
+use crate::reactor::{Event, Interest, Poller, WakeHandle};
 use crate::{ServeError, ServerShared};
 
-/// How long the accept loop sleeps when nothing is pending.
-const ACCEPT_IDLE: Duration = Duration::from_millis(10);
+/// The readiness token of the listening socket.
+pub(crate) const TOKEN_LISTENER: u64 = 0;
+/// The readiness token of the completion wakeup handle.
+pub(crate) const TOKEN_WAKE: u64 = 1;
+/// Connection tokens start here: `TOKEN_CONN_BASE + conn_id`.
+pub(crate) const TOKEN_CONN_BASE: u64 = 2;
+
+/// The bounded wait: how stale the loop's view of shutdown and parked
+/// admissions may get when no readiness event arrives first.
+const TICK: Duration = Duration::from_millis(10);
 
 /// One address the server listens on.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -93,28 +113,33 @@ impl BoundListener {
         }
     }
 
-    /// One non-blocking accept: `Ok(Some(stream))` for a new (blocking,
-    /// read-timeout-capable) client stream, `Ok(None)` when nothing is
-    /// pending.
-    fn accept(&self) -> std::io::Result<Option<Box<dyn ClientStream>>> {
+    /// One non-blocking accept: `Ok(Some(socket))` for a new client
+    /// (still in whatever blocking mode `accept(2)` hands out — the
+    /// loop makes it nonblocking once it is admitted), `Ok(None)` when
+    /// nothing is pending.
+    fn accept_socket(&self) -> std::io::Result<Option<ClientSocket>> {
         match self {
             BoundListener::Tcp(listener) => match listener.accept() {
-                Ok((stream, _)) => {
-                    stream.set_nonblocking(false)?;
-                    Ok(Some(Box::new(stream)))
-                }
+                Ok((stream, _)) => Ok(Some(ClientSocket::Tcp(stream))),
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
                 Err(e) => Err(e),
             },
             #[cfg(unix)]
             BoundListener::Unix(listener, _) => match listener.accept() {
-                Ok((stream, _)) => {
-                    stream.set_nonblocking(false)?;
-                    Ok(Some(Box::new(stream)))
-                }
+                Ok((stream, _)) => Ok(Some(ClientSocket::Unix(stream))),
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
                 Err(e) => Err(e),
             },
+        }
+    }
+
+    #[cfg(unix)]
+    fn raw_fd(&self) -> crate::reactor::RawFd {
+        use std::os::unix::io::AsRawFd;
+        match self {
+            BoundListener::Tcp(listener) => listener.as_raw_fd(),
+            #[cfg(unix)]
+            BoundListener::Unix(listener, _) => listener.as_raw_fd(),
         }
     }
 
@@ -127,48 +152,209 @@ impl BoundListener {
     }
 }
 
-/// The supervisor loop for one listening socket: accept until shutdown,
-/// then join every handler thread this socket spawned.
-pub(crate) fn accept_loop(listener: &BoundListener, shared: &Arc<ServerShared>) {
-    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
-    while !shared.shutdown.is_triggered() {
-        match listener.accept() {
-            Ok(Some(mut stream)) => {
-                handlers.retain(|h| !h.is_finished());
-                if shared.metrics.open_connections() >= shared.max_connections as u64 {
-                    shared
-                        .metrics
-                        .connections_rejected
-                        .fetch_add(1, Ordering::Relaxed);
-                    let refusal = capacity_refusal_line();
-                    let _ = stream
-                        .write_all(refusal.as_bytes())
-                        .and_then(|()| stream.write_all(b"\n"))
-                        .and_then(|()| stream.flush());
-                    continue;
-                }
-                let conn_id = shared.metrics.next_connection_id();
-                let conn_shared = Arc::clone(shared);
-                let spawned = std::thread::Builder::new()
-                    .name(format!("zeroconf-conn-{conn_id}"))
-                    .spawn(move || run_connection(stream, &conn_shared, conn_id));
-                match spawned {
-                    Ok(handle) => handlers.push(handle),
-                    Err(_) => {
-                        // The connection was counted opened; count it
-                        // closed so the open-connection gauge stays true.
-                        shared
-                            .metrics
-                            .connections_closed
-                            .fetch_add(1, Ordering::Relaxed);
+/// The event loop for one listening socket: owns the poller, the wakeup
+/// handle, and every connection accepted on this endpoint.
+pub(crate) struct EndpointLoop {
+    listener: BoundListener,
+    shared: Arc<ServerShared>,
+    poller: Poller,
+    wake: WakeHandle,
+    conns: HashMap<u64, Connection>,
+    /// The interest last registered per connection, to skip redundant
+    /// `epoll_ctl` calls when nothing changed.
+    registered: HashMap<u64, Interest>,
+    events: Vec<Event>,
+    drain_started: bool,
+}
+
+impl EndpointLoop {
+    /// Builds the loop: poller created, listener and wakeup registered.
+    /// Runs on the caller's thread of `Server::run` so a reactor that
+    /// cannot start is a bind-time error, not a background panic.
+    #[cfg(unix)]
+    pub(crate) fn new(
+        listener: BoundListener,
+        shared: Arc<ServerShared>,
+    ) -> Result<EndpointLoop, ServeError> {
+        let mut poller =
+            Poller::new().map_err(|e| ServeError(format!("creating readiness poller: {e}")))?;
+        let wake =
+            WakeHandle::new().map_err(|e| ServeError(format!("creating wakeup handle: {e}")))?;
+        poller
+            .register(listener.raw_fd(), TOKEN_LISTENER, Interest::READ)
+            .map_err(|e| ServeError(format!("registering listener: {e}")))?;
+        poller
+            .register(wake.raw_fd(), TOKEN_WAKE, Interest::READ)
+            .map_err(|e| ServeError(format!("registering wakeup handle: {e}")))?;
+        Ok(EndpointLoop {
+            listener,
+            shared,
+            poller,
+            wake,
+            conns: HashMap::new(),
+            registered: HashMap::new(),
+            events: Vec::new(),
+            drain_started: false,
+        })
+    }
+
+    #[cfg(not(unix))]
+    pub(crate) fn new(
+        _listener: BoundListener,
+        _shared: Arc<ServerShared>,
+    ) -> Result<EndpointLoop, ServeError> {
+        Err(ServeError(
+            "the serve reactor requires a unix platform (epoll/poll readiness)".to_owned(),
+        ))
+    }
+
+    /// Runs until the server drains and every connection has been
+    /// reaped, then removes any Unix socket file.
+    #[cfg(unix)]
+    pub(crate) fn run(mut self) {
+        loop {
+            if !self.drain_started && self.shared.shutdown.is_triggered() {
+                self.begin_drain();
+            }
+            if self.drain_started && self.conns.is_empty() {
+                break;
+            }
+            let mut events = std::mem::take(&mut self.events);
+            // A failed wait (EINTR under a signal, typically) is just a
+            // tick: the pump below still makes progress.
+            let _ = self.poller.wait(&mut events, TICK);
+            for event in &events {
+                match event.token {
+                    TOKEN_LISTENER => self.accept_burst(),
+                    TOKEN_WAKE => self.wake.drain(),
+                    token => {
+                        let Some(conn_id) = token.checked_sub(TOKEN_CONN_BASE) else {
+                            continue;
+                        };
+                        let Some(conn) = self.conns.get_mut(&conn_id) else {
+                            continue;
+                        };
+                        if event.ready.readable {
+                            conn.on_readable();
+                        }
+                        if event.ready.writable {
+                            conn.on_writable();
+                        }
+                        if event.ready.hangup && !event.ready.readable {
+                            conn.on_hangup();
+                        }
                     }
                 }
             }
-            Ok(None) | Err(_) => std::thread::sleep(ACCEPT_IDLE),
+            self.events = events;
+            self.pump_all();
+        }
+        self.listener.cleanup();
+    }
+
+    #[cfg(not(unix))]
+    pub(crate) fn run(self) {}
+
+    /// Accepts until the listener would block. Connections over the
+    /// `--max-conns` bound get one refusal line (written while the
+    /// socket is still blocking and its send buffer empty, so the
+    /// accept path never stalls) and are closed immediately.
+    #[cfg(unix)]
+    fn accept_burst(&mut self) {
+        if self.drain_started {
+            return;
+        }
+        // `Ok(None)` (would block) and `Err` both end the burst.
+        while let Ok(Some(mut socket)) = self.listener.accept_socket() {
+            let open = self.shared.metrics.open_connections();
+            if open >= self.shared.max_connections as u64 {
+                self.shared
+                    .metrics
+                    .connections_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                socket.write_line_best_effort(&capacity_refusal_line());
+                continue;
+            }
+            let conn_id = self.shared.metrics.next_connection_id();
+            let admitted = crate::reactor::set_nonblocking(socket.raw_fd()).is_ok()
+                && self
+                    .poller
+                    .register(socket.raw_fd(), TOKEN_CONN_BASE + conn_id, Interest::READ)
+                    .is_ok();
+            if !admitted {
+                // The connection was counted opened; count it
+                // closed so the open-connection gauge stays true.
+                self.shared
+                    .metrics
+                    .connections_closed
+                    .fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            self.registered.insert(conn_id, Interest::READ);
+            self.conns.insert(
+                conn_id,
+                Connection::new(socket, conn_id, Arc::clone(&self.shared), self.wake.clone()),
+            );
         }
     }
-    for handle in handlers {
-        let _ = handle.join();
+
+    /// Drives every connection one step: drain transitions, completion
+    /// polls (returning permits), parked admissions, flushes; then
+    /// tears down gone sockets, reaps finished connections, and
+    /// reconciles poller interest with what each connection now wants.
+    #[cfg(unix)]
+    fn pump_all(&mut self) {
+        let drain = self.drain_started;
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        for id in ids {
+            let Some(conn) = self.conns.get_mut(&id) else {
+                continue;
+            };
+            if drain {
+                conn.begin_drain();
+            }
+            conn.pump();
+            if conn.is_gone() {
+                // Teardown order: deregister, then close the fd (epoll
+                // auto-removal only applies to the final close).
+                if let Some(fd) = conn.raw_fd() {
+                    let _ = self.poller.deregister(fd);
+                }
+                drop(conn.take_socket());
+                self.registered.remove(&id);
+            }
+            if conn.finished() {
+                if let Some(mut reaped) = self.conns.remove(&id) {
+                    if let Some(fd) = reaped.raw_fd() {
+                        let _ = self.poller.deregister(fd);
+                        self.registered.remove(&id);
+                    }
+                    drop(reaped.take_socket());
+                    reaped.close();
+                }
+                continue;
+            }
+            let Some(conn) = self.conns.get_mut(&id) else {
+                continue;
+            };
+            let want = conn.interest();
+            let Some(fd) = conn.raw_fd() else { continue };
+            if self.registered.get(&id) != Some(&want)
+                && self
+                    .poller
+                    .reregister(fd, TOKEN_CONN_BASE + id, want)
+                    .is_ok()
+            {
+                self.registered.insert(id, want);
+            }
+        }
     }
-    listener.cleanup();
+
+    /// Enters drain: stop accepting (the listener leaves the poller);
+    /// connections are switched to drain mode by the next pump.
+    #[cfg(unix)]
+    fn begin_drain(&mut self) {
+        self.drain_started = true;
+        let _ = self.poller.deregister(self.listener.raw_fd());
+    }
 }

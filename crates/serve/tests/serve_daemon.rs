@@ -1,17 +1,18 @@
 //! Integration tests for the `zeroconf serve` daemon: real sockets,
-//! concurrent clients, one shared engine.
+//! concurrent clients, one shared engine, one reactor thread per
+//! endpoint.
 //!
 //! The in-process tests bind a [`Server`] on an ephemeral TCP port and
-//! drive it with blocking socket clients; the signal test spawns the
-//! actual `zeroconf-serve` binary on a Unix socket and delivers a real
+//! drive it with [`zeroconf_client::Client`] — the same typed blocking
+//! client `ci.sh` and the serve benches use, so there is exactly one
+//! frame reader in the workspace. The signal test spawns the actual
+//! `zeroconf-serve` binary on a Unix socket and delivers a real
 //! `SIGTERM`. Request frames come from [`zeroconf_engine::testkit`] —
 //! the same builders the engine's own wire-error suite uses.
 
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
-use zeroconf_engine::wire::{parse_json, Json};
+use zeroconf_client::{Client, Json, Response};
 use zeroconf_engine::{testkit, EngineConfig};
 use zeroconf_serve::{Endpoint, ServeConfig, ServeError, Server, Shutdown};
 
@@ -50,6 +51,10 @@ impl TestServer {
         }
     }
 
+    fn connect(&self) -> Client {
+        Client::connect_tcp(&self.addr).expect("connect to test server")
+    }
+
     fn stop(mut self) -> String {
         self.shutdown.trigger();
         self.thread
@@ -70,150 +75,59 @@ impl Drop for TestServer {
     }
 }
 
-/// A blocking line-oriented client over TCP.
-struct Client {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
-}
-
-impl Client {
-    fn connect(addr: &str) -> Client {
-        let stream = TcpStream::connect(addr).expect("connect to test server");
-        stream
-            .set_read_timeout(Some(Duration::from_millis(50)))
-            .expect("arm read timeout");
-        let reader = BufReader::new(stream.try_clone().expect("clone client stream"));
-        Client {
-            reader,
-            writer: stream,
-        }
-    }
-
-    fn send(&mut self, line: &str) {
-        self.writer
-            .write_all(line.as_bytes())
-            .and_then(|()| self.writer.write_all(b"\n"))
-            .and_then(|()| self.writer.flush())
-            .expect("send request line");
-    }
-
-    /// The next full response line, waiting up to `deadline` across read
-    /// timeouts. Panics (fails the test) when nothing arrives in time.
-    fn next_line(&mut self, deadline: Duration) -> String {
-        let end = Instant::now() + deadline;
-        let mut line = String::new();
-        loop {
-            line.clear();
-            match self.reader.read_line(&mut line) {
-                Ok(0) => panic!("server closed the connection while awaiting a response"),
-                Ok(_) => return line.trim_end().to_owned(),
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                    ) =>
-                {
-                    assert!(
-                        Instant::now() < end,
-                        "timed out waiting for a response line"
-                    );
-                }
-                Err(e) => panic!("reading response line: {e}"),
-            }
-        }
-    }
-
-    /// Reads lines until the response carrying `id` appears; returns it.
-    fn response_for(&mut self, id: &str) -> String {
-        let needle = format!("\"id\":\"{id}\"");
-        let end = Instant::now() + DEADLINE;
-        loop {
-            let line = self.next_line(DEADLINE);
-            if line.contains(&needle) {
-                return line;
-            }
-            assert!(Instant::now() < end, "no response for {id}");
-        }
-    }
-
-    /// Reads lines until every id in `ids` has appeared; responses may
-    /// complete in any order. Returns the matched lines, in `ids` order.
-    fn responses_for_all(&mut self, ids: &[&str]) -> Vec<String> {
-        let mut found: Vec<Option<String>> = vec![None; ids.len()];
-        while found.iter().any(Option::is_none) {
-            let line = self.next_line(DEADLINE);
-            for (slot, id) in found.iter_mut().zip(ids) {
-                if slot.is_none() && line.contains(&format!("\"id\":\"{id}\"")) {
-                    *slot = Some(line.clone());
-                }
-            }
-        }
-        found.into_iter().flatten().collect()
-    }
-
-    /// Issues a `stats` verb and returns the parsed response.
-    fn stats(&mut self, id: &str) -> Json {
-        self.send(&format!(
-            "{{\"v\":{},\"id\":\"{id}\",\"stats\":true}}",
-            zeroconf_engine::wire::WIRE_VERSION
-        ));
-        let line = self.response_for(id);
-        parse_json(&line).expect("stats response parses")
-    }
-}
-
-fn number(value: &Json, path: &[&str]) -> f64 {
-    let mut cursor = value;
-    for key in path {
-        cursor = cursor
-            .get(key)
-            .unwrap_or_else(|| panic!("missing {key} in {value:?}"));
-    }
-    match cursor {
-        Json::Num(x) => *x,
-        other => panic!("expected a number at {path:?}, got {other:?}"),
-    }
+/// Path lookup that fails the test (rather than returning `None`) when
+/// the member is missing — keeps assertion sites short.
+fn number(response: &Response, path: &[&str]) -> f64 {
+    response
+        .number(path)
+        .unwrap_or_else(|| panic!("missing number at {path:?} in {}", response.line))
 }
 
 #[test]
 fn four_concurrent_clients_share_one_warm_engine() {
     let server = TestServer::start(8, 16);
-    let addr = server.addr.clone();
 
     // Client 0 warms the cache: its identical-shape sweep misses all
     // three pi-tables.
-    let mut warmer = Client::connect(&addr);
-    warmer.send(&testkit::sweep_line("warm", 6, &[0.5, 1.0, 1.5]));
-    let cold = warmer.response_for("warm");
-    assert!(cold.contains("\"cache_misses\":3"), "{cold}");
+    let mut warmer = server.connect();
+    warmer
+        .send_raw(&testkit::sweep_line("warm", 6, &[0.5, 1.0, 1.5]))
+        .expect("send warm sweep");
+    let cold = warmer.wait("warm").expect("warm response");
+    assert!(cold.line.contains("\"cache_misses\":3"), "{}", cold.line);
 
     // Four more clients, concurrently, all issuing the identical sweep:
     // every one is served from the warm shared cache.
+    let addr = server.addr.clone();
     let workers: Vec<_> = (0..4)
         .map(|i| {
             let addr = addr.clone();
             std::thread::spawn(move || {
-                let mut client = Client::connect(&addr);
+                let mut client = Client::connect_tcp(&addr).expect("connect worker");
                 let id = format!("c{i}");
-                client.send(&testkit::sweep_line(&id, 6, &[0.5, 1.0, 1.5]));
-                client.response_for(&id)
+                client
+                    .send_raw(&testkit::sweep_line(&id, 6, &[0.5, 1.0, 1.5]))
+                    .expect("send worker sweep");
+                client.wait(&id).expect("worker response")
             })
         })
         .collect();
     for worker in workers {
         let response = worker.join().expect("client thread joins");
-        assert!(response.contains("\"cells\""), "{response}");
+        assert!(response.has_cells(), "{}", response.line);
         assert!(
-            response.contains("\"cache_misses\":0"),
-            "a later client must hit the cache another client warmed: {response}"
+            response.line.contains("\"cache_misses\":0"),
+            "a later client must hit the cache another client warmed: {}",
+            response.line
         );
     }
 
     // The shared-engine block of `stats` shows the cross-client hits.
-    let stats = warmer.stats("st");
+    let stats = warmer.stats("st").expect("stats response");
     assert!(
         number(&stats, &["stats", "engine", "cache_hits"]) >= 12.0,
-        "{stats:?}"
+        "{}",
+        stats.line
     );
     assert_eq!(number(&stats, &["stats", "engine", "cache_misses"]), 3.0);
     assert!(number(&stats, &["stats", "server", "connections_total"]) >= 5.0);
@@ -226,27 +140,32 @@ fn four_concurrent_clients_share_one_warm_engine() {
 #[test]
 fn mid_flight_disconnect_cancels_only_that_connection() {
     let server = TestServer::start(4, 16);
-    let addr = server.addr.clone();
 
     // The victim pipelines a long sweep plus a rescore held back behind
     // it, then vanishes without reading anything.
-    let mut victim = Client::connect(&addr);
-    victim.send(&testkit::heavy_sweep_line("doomed", 64, 8000));
-    victim.send(&testkit::rescore_line("follow", "doomed", 1e9));
+    let mut victim = server.connect();
+    victim
+        .send_raw(&testkit::heavy_sweep_line("doomed", 64, 8000))
+        .expect("send doomed sweep");
+    victim
+        .send_raw(&testkit::rescore_line("follow", "doomed", 1e9))
+        .expect("send follow rescore");
     std::thread::sleep(Duration::from_millis(300));
     drop(victim);
 
     // A survivor connected to the same engine still gets its answer.
-    let mut survivor = Client::connect(&addr);
-    survivor.send(&testkit::sweep_line("ok", 4, &[1.0, 2.0]));
-    let response = survivor.response_for("ok");
-    assert!(response.contains("\"cells\""), "{response}");
+    let mut survivor = server.connect();
+    survivor
+        .send_raw(&testkit::sweep_line("ok", 4, &[1.0, 2.0]))
+        .expect("send survivor sweep");
+    let response = survivor.wait("ok").expect("survivor response");
+    assert!(response.has_cells(), "{}", response.line);
 
     // Both of the victim's requests — the in-flight sweep and the
     // held-back rescore — are withdrawn; the survivor's are not.
     let end = Instant::now() + DEADLINE;
     loop {
-        let stats = survivor.stats("st");
+        let stats = survivor.stats("st").expect("stats response");
         let withdrawn = number(&stats, &["stats", "server", "cancelled_on_disconnect"]);
         if withdrawn >= 2.0 {
             assert_eq!(number(&stats, &["stats", "conn", "cancellations"]), 0.0);
@@ -254,7 +173,8 @@ fn mid_flight_disconnect_cancels_only_that_connection() {
         }
         assert!(
             Instant::now() < end,
-            "disconnect never cancelled the victim's requests: {stats:?}"
+            "disconnect never cancelled the victim's requests: {}",
+            stats.line
         );
         std::thread::sleep(Duration::from_millis(50));
     }
@@ -266,35 +186,58 @@ fn mid_flight_disconnect_cancels_only_that_connection() {
 #[test]
 fn wire_errors_and_capacity_refusals_over_a_real_socket() {
     let server = TestServer::start(4, 1);
-    let addr = server.addr.clone();
-    let mut client = Client::connect(&addr);
+    let mut client = server.connect();
 
     // Malformed frame mid-stream: an error line, session stays alive.
-    client.send(&testkit::sweep_line("s1", 4, &[1.0, 2.0]));
-    client.response_for("s1");
-    client.send(testkit::MALFORMED_FRAME);
-    let broken = client.next_line(DEADLINE);
+    client
+        .send_raw(&testkit::sweep_line("s1", 4, &[1.0, 2.0]))
+        .expect("send s1");
+    client.wait("s1").expect("s1 response");
+    client
+        .send_raw(testkit::MALFORMED_FRAME)
+        .expect("send malformed frame");
+    let broken = client
+        .next_line()
+        .expect("read error line")
+        .expect("error line before EOF");
     assert!(broken.contains("\"error\""), "{broken}");
-    client.send(&testkit::unknown_verb_line("u1"));
-    let unknown = client.response_for("u1");
-    assert!(unknown.contains("unknown request verb"), "{unknown}");
-    client.send(&testkit::sweep_line("s2", 4, &[1.0, 2.0]));
-    let alive = client.response_for("s2");
-    assert!(alive.contains("\"cells\""), "{alive}");
+    client
+        .send_raw(&testkit::unknown_verb_line("u1"))
+        .expect("send unknown verb");
+    let unknown = client.wait("u1").expect("u1 response");
+    assert!(
+        unknown
+            .error()
+            .is_some_and(|e| e.contains("unknown request verb")),
+        "{}",
+        unknown.line
+    );
+    client
+        .send_raw(&testkit::sweep_line("s2", 4, &[1.0, 2.0]))
+        .expect("send s2");
+    let alive = client.wait("s2").expect("s2 response");
+    assert!(alive.has_cells(), "{}", alive.line);
 
     // The server is at --max-conns 1: a second connection is refused
-    // with one error line and closed.
-    let mut refused = TcpStream::connect(&addr).expect("connect refused client");
-    refused
-        .set_read_timeout(Some(Duration::from_secs(30)))
-        .expect("arm read timeout");
-    let mut text = String::new();
-    refused
-        .read_to_string(&mut text)
-        .expect("read refusal then EOF");
-    assert!(text.contains("server at connection capacity"), "{text}");
+    // with one structured error line and closed.
+    let mut refused = server.connect();
+    let refusal = refused
+        .next_line()
+        .expect("read refusal line")
+        .expect("refusal line before EOF");
+    assert!(
+        refusal.contains("server at connection capacity"),
+        "{refusal}"
+    );
+    assert!(
+        refused
+            .next_line()
+            .expect("read post-refusal EOF")
+            .is_none(),
+        "refused connection must be closed after the refusal line"
+    );
 
-    let stats = client.stats("st");
+    let stats = client.stats("st").expect("stats response");
     assert_eq!(
         number(&stats, &["stats", "server", "connections_rejected"]),
         1.0
@@ -306,20 +249,31 @@ fn wire_errors_and_capacity_refusals_over_a_real_socket() {
 
 #[test]
 fn programmatic_drain_answers_everything_in_flight() {
-    let server = TestServer::start(8, 8);
-    let addr = server.addr.clone();
-    let mut client = Client::connect(&addr);
+    // Budget of 2 permits under 4 pipelined sweeps: when the drain
+    // lands, the tail of the pipeline is still *parked* waiting for a
+    // permit, not merely in flight. Parked work must drain losslessly
+    // too — the pre-reactor daemon answered a five-deep pipeline against
+    // `--inflight 4` across SIGTERM, and the ci smoke still does.
+    let server = TestServer::start(2, 8);
+    let mut client = server.connect();
     let ids = ["q1", "q2", "q3", "q4"];
     for id in ids {
-        client.send(&testkit::heavy_sweep_line(id, 32, 1200));
+        client
+            .send_raw(&testkit::heavy_sweep_line(id, 32, 1200))
+            .expect("send pipelined sweep");
     }
-    // Let the daemon admit the pipeline, then drain under load.
+    // Let the daemon admit the head of the pipeline, then drain under
+    // load with the tail parked.
     std::thread::sleep(Duration::from_millis(200));
     server.shutdown.trigger();
-    for (id, response) in ids.iter().zip(client.responses_for_all(&ids)) {
+    for (id, response) in ids
+        .iter()
+        .zip(client.wait_all(&ids).expect("drained responses"))
+    {
         assert!(
-            response.contains("\"cells\""),
-            "lossy drain for {id}: {response}"
+            response.has_cells(),
+            "lossy drain for {id}: {}",
+            response.line
         );
     }
     let summary = server.stop();
@@ -330,27 +284,272 @@ fn programmatic_drain_answers_everything_in_flight() {
 fn one_greedy_pipeliner_cannot_monopolize_the_budget() {
     // Budget of 2 permits; a greedy client floods 8 sweeps *without
     // reading any responses* while a modest client asks for one. The
-    // greedy handler stalls writing into a full socket buffer, so this
+    // greedy connection's output backs up in its write buffer, so this
     // only terminates if (a) admission rotates round-robin and (b)
     // permits return when completions are polled, not when the write
     // lands — i.e. a non-reading flooder cannot hold the budget.
     let server = TestServer::start(2, 8);
-    let addr = server.addr.clone();
 
-    let mut greedy = Client::connect(&addr);
+    let mut greedy = server.connect();
     for i in 0..8 {
-        greedy.send(&testkit::heavy_sweep_line(&format!("g{i}"), 24, 600));
+        greedy
+            .send_raw(&testkit::heavy_sweep_line(&format!("g{i}"), 24, 600))
+            .expect("send greedy sweep");
     }
     std::thread::sleep(Duration::from_millis(100));
-    let mut modest = Client::connect(&addr);
-    modest.send(&testkit::sweep_line("m", 4, &[1.0, 2.0]));
-    let response = modest.response_for("m");
-    assert!(response.contains("\"cells\""), "{response}");
+    let mut modest = server.connect();
+    modest
+        .send_raw(&testkit::sweep_line("m", 4, &[1.0, 2.0]))
+        .expect("send modest sweep");
+    let response = modest.wait("m").expect("modest response");
+    assert!(response.has_cells(), "{}", response.line);
     let greedy_ids: Vec<String> = (0..8).map(|i| format!("g{i}")).collect();
     let greedy_refs: Vec<&str> = greedy_ids.iter().map(String::as_str).collect();
-    for response in greedy.responses_for_all(&greedy_refs) {
-        assert!(response.contains("\"cells\""), "{response}");
+    for response in greedy.wait_all(&greedy_refs).expect("greedy responses") {
+        assert!(response.has_cells(), "{}", response.line);
     }
+    let summary = server.stop();
+    assert!(summary.contains("drained cleanly"), "{summary}");
+}
+
+#[test]
+fn overload_past_max_conns_refuses_structurally_and_recovers() {
+    // 300 clients against --max-conns 256: exactly 256 are admitted and
+    // answered, the other 44 get one structured refusal line and a
+    // close, the listener never stalls, and once the crowd leaves a
+    // fresh client is served normally.
+    const CAPACITY: usize = 256;
+    const CROWD: usize = 300;
+    let server = TestServer::start(8, CAPACITY);
+
+    let mut crowd: Vec<Client> = Vec::with_capacity(CROWD);
+    for i in 0..CROWD {
+        let mut client = server.connect();
+        // A past-capacity connection may already be refused and reset
+        // before this write lands; the read below classifies it either
+        // way, so a broken pipe here is just an early refusal.
+        match client.send_raw(&testkit::sweep_line(&format!("o{i}"), 2, &[1.0])) {
+            Ok(()) => {}
+            Err(zeroconf_client::ClientError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::BrokenPipe | std::io::ErrorKind::ConnectionReset
+                ) => {}
+            Err(e) => panic!("send overload sweep {i}: {e}"),
+        }
+        crowd.push(client);
+    }
+
+    // A refused connection gets one structured refusal line and a close.
+    // Because these clients already pipelined a sweep the server never
+    // reads, that close arrives as a TCP RST — which may reach the
+    // client before it reads the refusal and discard it. Either
+    // observation (the refusal line, or the reset) classifies the
+    // connection as refused; the deterministic assertion on the refusal
+    // line's exact shape lives in
+    // `wire_errors_and_capacity_refusals_over_a_real_socket`.
+    enum First {
+        Line(String),
+        Closed,
+    }
+    fn first_line(client: &mut Client) -> First {
+        match client.next_line() {
+            Ok(Some(line)) => First::Line(line),
+            Ok(None) => First::Closed,
+            Err(zeroconf_client::ClientError::Io(e))
+                if e.kind() == std::io::ErrorKind::ConnectionReset =>
+            {
+                First::Closed
+            }
+            Err(e) => panic!("reading overload response: {e}"),
+        }
+    }
+    let mut admitted = 0usize;
+    let mut refused = 0usize;
+    for client in &mut crowd {
+        match first_line(client) {
+            First::Line(line) if line.contains("server at connection capacity") => {
+                refused += 1;
+                assert!(
+                    matches!(first_line(client), First::Closed),
+                    "refused connection must be closed: {line}"
+                );
+            }
+            First::Line(line) => {
+                admitted += 1;
+                assert!(line.contains("\"cells\""), "{line}");
+            }
+            First::Closed => refused += 1,
+        }
+    }
+    assert_eq!(admitted, CAPACITY, "every slot under --max-conns is usable");
+    assert_eq!(refused, CROWD - CAPACITY, "every overflow is refused");
+
+    // Clean recovery: the crowd leaves, a fresh client gets a slot.
+    drop(crowd);
+    let end = Instant::now() + DEADLINE;
+    loop {
+        let mut fresh = server.connect();
+        fresh
+            .send_raw(&testkit::sweep_line("after", 2, &[1.0]))
+            .expect("send recovery sweep");
+        match first_line(&mut fresh) {
+            First::Line(line) if line.contains("\"cells\"") => {
+                let stats = fresh.stats("st").expect("stats response");
+                assert!(
+                    number(&stats, &["stats", "server", "connections_rejected"])
+                        >= (CROWD - CAPACITY) as f64,
+                    "{}",
+                    stats.line
+                );
+                break;
+            }
+            // The reactor may not have reaped the dropped crowd yet.
+            First::Line(line) => assert!(
+                line.contains("server at connection capacity"),
+                "unexpected recovery response: {line}"
+            ),
+            First::Closed => {}
+        }
+        assert!(
+            Instant::now() < end,
+            "capacity never recovered after the crowd left"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    let summary = server.stop();
+    assert!(summary.contains("drained cleanly"), "{summary}");
+}
+
+#[test]
+fn one_reactor_thread_holds_a_thousand_idle_conns_and_serves_64_pipeliners() {
+    use std::net::TcpStream;
+
+    // The acceptance bar for the reactor rewrite: >=1000 concurrent
+    // established connections on one event-loop thread while 64 clients
+    // actively pipeline. Idle connections must cost no executor threads
+    // (sessions spawn lazily on the first request line), so holding a
+    // thousand of them is cheap.
+    const IDLE: usize = 1000;
+    const ACTIVE: usize = 64;
+    const PIPELINE: usize = 8;
+    let server = TestServer::start(8, 2 * IDLE);
+
+    let idle: Vec<TcpStream> = (0..IDLE)
+        .map(|i| TcpStream::connect(&server.addr).unwrap_or_else(|e| panic!("idle conn {i}: {e}")))
+        .collect();
+
+    let addr = server.addr.clone();
+    let workers: Vec<_> = (0..ACTIVE)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect_tcp(&addr).expect("connect pipeliner");
+                let ids: Vec<String> = (0..PIPELINE).map(|j| format!("p{i}-{j}")).collect();
+                for id in &ids {
+                    client
+                        .send_raw(&testkit::sweep_line(id, 4, &[0.5, 1.0]))
+                        .expect("send pipelined sweep");
+                }
+                let refs: Vec<&str> = ids.iter().map(String::as_str).collect();
+                for response in client.wait_all(&refs).expect("pipelined responses") {
+                    assert!(response.has_cells(), "{}", response.line);
+                }
+                ids.len()
+            })
+        })
+        .collect();
+    let answered: usize = workers
+        .into_iter()
+        .map(|w| w.join().expect("pipeliner joins"))
+        .sum();
+    assert_eq!(answered, ACTIVE * PIPELINE);
+
+    // All thousand idle connections are still established alongside the
+    // pipeliners' — the reactor held every one of them concurrently.
+    let mut inspector = server.connect();
+    let stats = inspector.stats("st").expect("stats response");
+    assert!(
+        number(&stats, &["stats", "server", "connections_open"]) >= (IDLE + 1) as f64,
+        "{}",
+        stats.line
+    );
+    assert!(
+        number(&stats, &["stats", "server", "connections_total"]) >= (IDLE + ACTIVE + 1) as f64,
+        "{}",
+        stats.line
+    );
+
+    drop(idle);
+    let summary = server.stop();
+    assert!(summary.contains("drained cleanly"), "{summary}");
+}
+
+#[test]
+fn stats_wire_field_names_survive_the_reactor_rewrite() {
+    // The stats response is machine-consumed (dashboards, ci.sh, the
+    // serve bench): every field name below is wire contract. A rename
+    // breaks this test on purpose — bump consumers in the same change.
+    let server = TestServer::start(4, 8);
+    let mut client = server.connect();
+    client
+        .send_raw(&testkit::sweep_line("s1", 4, &[1.0, 2.0]))
+        .expect("send sweep");
+    client.wait("s1").expect("sweep response");
+    let stats = client.stats("st").expect("stats response");
+
+    for field in [
+        "id",
+        "requests",
+        "responses",
+        "cancellations",
+        "bytes_in",
+        "bytes_out",
+        "pending",
+        "queue_ns_total",
+        "queue_ns_max",
+        "service_ns_total",
+        "service_ns_max",
+    ] {
+        number(&stats, &["stats", "conn", field]);
+    }
+    for field in [
+        "connections_open",
+        "connections_total",
+        "connections_rejected",
+        "requests",
+        "responses",
+        "cancelled_on_disconnect",
+        "inflight_budget",
+    ] {
+        number(&stats, &["stats", "server", field]);
+    }
+    for field in [
+        "requests",
+        "cells",
+        "cache_hits",
+        "cache_misses",
+        "cache_len",
+    ] {
+        number(&stats, &["stats", "engine", field]);
+    }
+    // The engine block also names its dispatched backends — string
+    // fields, pinned since the SIMD/dispatch PR.
+    for field in ["kernel_backend", "dist_backend"] {
+        match stats.member(&["stats", "engine", field]) {
+            Some(Json::Str(name)) if !name.is_empty() => {}
+            other => panic!("stats.engine.{field} must be a nonempty string, got {other:?}"),
+        }
+    }
+
+    // And the counters in it must be live, not placeholders. The
+    // snapshot is taken before its own response line is counted, so it
+    // sees two requests (sweep + stats) but only the sweep's response.
+    assert_eq!(number(&stats, &["stats", "conn", "requests"]), 2.0);
+    assert_eq!(number(&stats, &["stats", "server", "responses"]), 1.0);
+    assert!(number(&stats, &["stats", "engine", "cells"]) >= 8.0);
+
     let summary = server.stop();
     assert!(summary.contains("drained cleanly"), "{summary}");
 }
@@ -360,7 +559,7 @@ fn one_greedy_pipeliner_cannot_monopolize_the_budget() {
 #[cfg(unix)]
 #[test]
 fn sigterm_drains_the_spawned_daemon_losslessly() {
-    use std::os::unix::net::UnixStream;
+    use std::io::{BufRead, BufReader, Read};
 
     let socket =
         std::env::temp_dir().join(format!("zeroconf-serve-test-{}.sock", std::process::id()));
@@ -394,28 +593,20 @@ fn sigterm_drains_the_spawned_daemon_losslessly() {
         .expect("read listening line");
     assert!(announce.starts_with("listening unix:"), "{announce}");
 
-    let connect = || {
-        let stream = UnixStream::connect(&socket).expect("connect unix client");
-        stream
-            .set_read_timeout(Some(Duration::from_millis(50)))
-            .expect("arm read timeout");
-        (
-            BufReader::new(stream.try_clone().expect("clone unix stream")),
-            stream,
-        )
-    };
-    let send = |stream: &mut UnixStream, line: &str| {
-        stream
-            .write_all(line.as_bytes())
-            .and_then(|()| stream.write_all(b"\n"))
-            .expect("send over unix socket");
-    };
-    let (mut reader_a, mut writer_a) = connect();
-    let (mut reader_b, mut writer_b) = connect();
-    send(&mut writer_a, &testkit::heavy_sweep_line("a1", 32, 2000));
-    send(&mut writer_a, &testkit::sweep_line("a2", 4, &[1.0, 2.0]));
-    send(&mut writer_b, &testkit::heavy_sweep_line("b1", 32, 2000));
-    send(&mut writer_b, &testkit::sweep_line("b2", 4, &[1.5, 2.5]));
+    let mut client_a = Client::connect_unix(&socket).expect("connect client a");
+    let mut client_b = Client::connect_unix(&socket).expect("connect client b");
+    client_a
+        .send_raw(&testkit::heavy_sweep_line("a1", 32, 2000))
+        .expect("send a1");
+    client_a
+        .send_raw(&testkit::sweep_line("a2", 4, &[1.0, 2.0]))
+        .expect("send a2");
+    client_b
+        .send_raw(&testkit::heavy_sweep_line("b1", 32, 2000))
+        .expect("send b1");
+    client_b
+        .send_raw(&testkit::sweep_line("b2", 4, &[1.5, 2.5]))
+        .expect("send b2");
     std::thread::sleep(Duration::from_millis(200));
 
     let status = std::process::Command::new("sh")
@@ -425,37 +616,14 @@ fn sigterm_drains_the_spawned_daemon_losslessly() {
     assert!(status.success(), "kill -TERM failed");
 
     // Every request sent before the signal is answered during the drain.
-    let read_all = |reader: &mut BufReader<UnixStream>, ids: [&str; 2]| {
-        let mut seen = Vec::new();
-        let end = Instant::now() + DEADLINE;
-        while seen.len() < ids.len() {
-            let mut line = String::new();
-            match reader.read_line(&mut line) {
-                Ok(0) => panic!("daemon closed before answering {ids:?}, saw {seen:?}"),
-                Ok(_) => {
-                    for id in ids {
-                        if line.contains(&format!("\"id\":\"{id}\"")) {
-                            assert!(line.contains("\"cells\""), "{line}");
-                            seen.push(id.to_owned());
-                        }
-                    }
-                }
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                    ) =>
-                {
-                    assert!(Instant::now() < end, "drain never answered {ids:?}");
-                }
-                Err(e) => panic!("reading drained response: {e}"),
-            }
-        }
-    };
-    read_all(&mut reader_a, ["a1", "a2"]);
-    read_all(&mut reader_b, ["b1", "b2"]);
-    drop(writer_a);
-    drop(writer_b);
+    for response in client_a.wait_all(&["a1", "a2"]).expect("client a drained") {
+        assert!(response.has_cells(), "{}", response.line);
+    }
+    for response in client_b.wait_all(&["b1", "b2"]).expect("client b drained") {
+        assert!(response.has_cells(), "{}", response.line);
+    }
+    drop(client_a);
+    drop(client_b);
 
     let status = reap.0.wait().expect("daemon exits");
     assert!(
