@@ -439,6 +439,21 @@ impl Connection {
             return true;
         }
         let parsed = wire::parse_json(line).ok();
+        // Stats lines are answered *before* admission — the threaded
+        // handler's ordering. They submit no engine work, so they must
+        // never consume a permit: admitting first would leak one on a
+        // crafted line carrying both "stats" and a work verb (acquired
+        // here, but never counted in `self.permits`, so `sync_permits`
+        // could never bring it home).
+        if let Some(value) = &parsed {
+            if value.get("stats").is_some() {
+                self.count_request();
+                let id = str_member(value, "id").unwrap_or_default().to_owned();
+                let stats_line = stats_response_line(&id, &self.snapshot());
+                self.push_out(&stats_line);
+                return true;
+            }
+        }
         let adds_work = parsed.as_ref().is_some_and(|v| {
             v.get("scenario").is_some()
                 || v.get("rescore").is_some()
@@ -448,19 +463,8 @@ impl Connection {
         if adds_work && !self.shared.budget.try_acquire(self.conn_id) {
             return false;
         }
-        // The line is being processed: count it exactly once.
-        self.metrics.requests += 1;
-        self.shared
-            .metrics
-            .requests
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.count_request();
         if let Some(value) = &parsed {
-            if value.get("stats").is_some() {
-                let id = str_member(value, "id").unwrap_or_default().to_owned();
-                let stats_line = stats_response_line(&id, &self.snapshot());
-                self.push_out(&stats_line);
-                return true;
-            }
             if value.get("cancel").is_some() {
                 self.metrics.cancellations += 1;
             }
@@ -474,6 +478,23 @@ impl Connection {
         }
         self.sync_permits();
         true
+    }
+
+    /// Test seam (listener drain tests): queues output exactly as a
+    /// polled completion would, without needing a live session.
+    #[cfg(test)]
+    pub(crate) fn test_push_out(&mut self, line: &str) {
+        self.push_out(line);
+    }
+
+    /// Counts one request as processed (exactly once per line, at the
+    /// point where the line can no longer be parked or refused).
+    fn count_request(&mut self) {
+        self.metrics.requests += 1;
+        self.shared
+            .metrics
+            .requests
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// The lazily created pipelined session. Creating it spawns the
@@ -677,26 +698,33 @@ mod tests {
         assert_eq!(got, "beta\n");
     }
 
-    #[test]
-    fn interest_reflects_backpressure_and_output() {
-        let shared = Arc::new(crate::ServerShared {
+    fn test_shared(inflight: usize) -> Arc<crate::ServerShared> {
+        Arc::new(crate::ServerShared {
             engine: Arc::new(zeroconf_engine::Engine::new(
                 zeroconf_engine::EngineConfig {
                     workers: 1,
                     ..zeroconf_engine::EngineConfig::default()
                 },
             )),
-            budget: crate::FairBudget::new(2),
+            budget: crate::FairBudget::new(inflight),
             shutdown: crate::Shutdown::new(false),
             metrics: crate::ServerMetrics::default(),
             max_connections: 4,
-        });
+        })
+    }
+
+    fn test_conn(shared: Arc<crate::ServerShared>) -> Connection {
         let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let _client = std::net::TcpStream::connect(addr).unwrap();
         let (server, _) = listener.accept().unwrap();
         let wake = WakeHandle::new().unwrap();
-        let mut conn = Connection::new(ClientSocket::Tcp(server), 1, shared, wake);
+        Connection::new(ClientSocket::Tcp(server), 1, shared, wake)
+    }
+
+    #[test]
+    fn interest_reflects_backpressure_and_output() {
+        let mut conn = test_conn(test_shared(2));
 
         // Fresh connection: read-only interest.
         assert_eq!(conn.interest(), Interest::READ);
@@ -712,5 +740,32 @@ mod tests {
         assert!(!conn.interest().readable, "reads gate above high water");
         assert!(conn.interest().writable);
         assert_eq!(conn.parked_len(), 0);
+    }
+
+    /// Regression: a crafted line carrying both `"stats"` and a work
+    /// verb must be answered as a stats request *without* touching the
+    /// budget. The ordering bug (admission before the stats
+    /// early-return) acquired a permit such a line never released,
+    /// permanently shrinking the shared pool.
+    #[test]
+    fn stats_line_with_work_verb_never_consumes_a_permit() {
+        let shared = test_shared(2);
+        let capacity = shared.budget.capacity();
+        let mut conn = test_conn(Arc::clone(&shared));
+
+        for line in [
+            r#"{"v":1,"id":"s","stats":true}"#,
+            r#"{"v":1,"id":"s","stats":true,"scenario":{"n":4}}"#,
+            r#"{"v":1,"id":"s","stats":true,"rescore":{}}"#,
+        ] {
+            assert!(conn.try_process_line(line), "stats lines never park");
+        }
+        assert_eq!(
+            shared.budget.available(),
+            capacity,
+            "stats lines must not acquire (or leak) budget permits"
+        );
+        assert_eq!(conn.permits, 0);
+        assert_eq!(conn.metrics.responses, 3, "each stats line is answered");
     }
 }

@@ -30,7 +30,7 @@ use std::net::TcpListener;
 use std::path::PathBuf;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::conn::{ClientSocket, Connection};
 use crate::metrics::capacity_refusal_line;
@@ -47,6 +47,25 @@ pub(crate) const TOKEN_CONN_BASE: u64 = 2;
 /// The bounded wait: how stale the loop's view of shutdown and parked
 /// admissions may get when no readiness event arrives first.
 const TICK: Duration = Duration::from_millis(10);
+
+/// How long a drain may wait for lingering connections before they are
+/// force-closed. Drain normally ends when every connection has answered
+/// and flushed; this deadline bounds shutdown when a client stops
+/// *reading* — its output buffer never empties, so without a deadline
+/// `SIGTERM` would hang forever on one unresponsive reader.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Backoff after a hard `accept(2)` failure (`EMFILE`/`ENFILE`, most
+/// likely). The pending connection keeps a level-triggered listener
+/// readable, so returning to the poller without a pause would spin
+/// accept/fail at full CPU for as long as the condition persists.
+const ACCEPT_ERROR_BACKOFF: Duration = Duration::from_millis(50);
+
+/// Consecutive poller-wait failures tolerated (with [`TICK`] backoff
+/// between attempts) before the endpoint loop gives up and tears down:
+/// a wait that fails persistently (not `EINTR`) means the reactor can
+/// no longer observe readiness at all.
+const MAX_WAIT_FAILURES: u32 = 64;
 
 /// One address the server listens on.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -165,6 +184,14 @@ pub(crate) struct EndpointLoop {
     registered: HashMap<u64, Interest>,
     events: Vec<Event>,
     drain_started: bool,
+    /// Set when drain begins: lingering connections are force-closed at
+    /// this instant so shutdown is bounded (see [`DRAIN_DEADLINE`]).
+    drain_deadline: Option<Instant>,
+    /// How long [`EndpointLoop::begin_drain`] allows before the
+    /// deadline; [`DRAIN_DEADLINE`] except in tests.
+    drain_timeout: Duration,
+    /// Consecutive failed poller waits (non-`EINTR`); reset on success.
+    wait_failures: u32,
 }
 
 impl EndpointLoop {
@@ -195,6 +222,9 @@ impl EndpointLoop {
             registered: HashMap::new(),
             events: Vec::new(),
             drain_started: false,
+            drain_deadline: None,
+            drain_timeout: DRAIN_DEADLINE,
+            wait_failures: 0,
         })
     }
 
@@ -220,9 +250,35 @@ impl EndpointLoop {
                 break;
             }
             let mut events = std::mem::take(&mut self.events);
-            // A failed wait (EINTR under a signal, typically) is just a
-            // tick: the pump below still makes progress.
-            let _ = self.poller.wait(&mut events, TICK);
+            match self.poller.wait(&mut events, TICK) {
+                Ok(()) => self.wait_failures = 0,
+                // EINTR under a signal is routine: an empty tick — the
+                // pump below still makes progress.
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => self.wait_failures = 0,
+                // Anything else (EBADF on a corrupted poller, say) would
+                // busy-spin the loop at zero timeout: back off a tick,
+                // and if the wait never recovers, tear the endpoint
+                // down rather than burn a core forever.
+                Err(e) => {
+                    self.wait_failures += 1;
+                    eprintln!(
+                        "zeroconf-serve: readiness wait failed ({e}); backing off \
+                         ({}/{MAX_WAIT_FAILURES})",
+                        self.wait_failures
+                    );
+                    if self.wait_failures >= MAX_WAIT_FAILURES {
+                        eprintln!(
+                            "zeroconf-serve: readiness wait failing persistently; \
+                             closing endpoint {}",
+                            self.listener.description()
+                        );
+                        self.force_close_all();
+                        self.events = events;
+                        break;
+                    }
+                    std::thread::sleep(TICK);
+                }
+            }
             for event in &events {
                 match event.token {
                     TOKEN_LISTENER => self.accept_burst(),
@@ -248,6 +304,20 @@ impl EndpointLoop {
             }
             self.events = events;
             self.pump_all();
+            // Bounded drain: a client that stops reading keeps its
+            // output buffer non-empty forever; past the deadline such
+            // lingerers are force-closed so `Server::run` returns.
+            if self.drain_started
+                && !self.conns.is_empty()
+                && self.drain_deadline.is_some_and(|d| Instant::now() >= d)
+            {
+                eprintln!(
+                    "zeroconf-serve: drain deadline reached; force-closing {} \
+                     lingering connection(s)",
+                    self.conns.len()
+                );
+                self.force_close_all();
+            }
         }
         self.listener.cleanup();
     }
@@ -264,8 +334,31 @@ impl EndpointLoop {
         if self.drain_started {
             return;
         }
-        // `Ok(None)` (would block) and `Err` both end the burst.
-        while let Ok(Some(mut socket)) = self.listener.accept_socket() {
+        loop {
+            let mut socket = match self.listener.accept_socket() {
+                Ok(Some(socket)) => socket,
+                Ok(None) => break,
+                // The aborted (or signal-interrupted) accept says nothing
+                // about the sockets still queued behind it.
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::ConnectionAborted | std::io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    continue
+                }
+                // EMFILE/ENFILE and friends: the unaccepted connection
+                // keeps the level-triggered listener readable, so the
+                // next wait returns immediately — pause before ending
+                // the burst or the loop spins accept/fail at full CPU
+                // until descriptors free up.
+                Err(e) => {
+                    eprintln!("zeroconf-serve: accept failed ({e}); backing off");
+                    std::thread::sleep(ACCEPT_ERROR_BACKOFF);
+                    break;
+                }
+            };
             let open = self.shared.metrics.open_connections();
             if open >= self.shared.max_connections as u64 {
                 self.shared
@@ -351,10 +444,91 @@ impl EndpointLoop {
     }
 
     /// Enters drain: stop accepting (the listener leaves the poller);
-    /// connections are switched to drain mode by the next pump.
+    /// connections are switched to drain mode by the next pump, and the
+    /// whole drain gets a deadline so one unresponsive reader cannot
+    /// hold shutdown hostage.
     #[cfg(unix)]
     fn begin_drain(&mut self) {
         self.drain_started = true;
+        self.drain_deadline = Some(Instant::now() + self.drain_timeout);
         let _ = self.poller.deregister(self.listener.raw_fd());
+    }
+
+    /// Force-closes every remaining connection (drain deadline expiry,
+    /// or a poller that can no longer wait): pending work is cancelled,
+    /// buffered output is discarded, sockets close, and each
+    /// connection's final accounting returns its permits to the budget.
+    #[cfg(unix)]
+    fn force_close_all(&mut self) {
+        for (id, mut conn) in self.conns.drain() {
+            conn.on_hangup();
+            if let Some(fd) = conn.raw_fd() {
+                let _ = self.poller.deregister(fd);
+            }
+            drop(conn.take_socket());
+            conn.close();
+            self.registered.remove(&id);
+        }
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+
+    fn test_shared() -> Arc<ServerShared> {
+        Arc::new(ServerShared {
+            engine: Arc::new(zeroconf_engine::Engine::new(
+                zeroconf_engine::EngineConfig {
+                    workers: 1,
+                    ..zeroconf_engine::EngineConfig::default()
+                },
+            )),
+            budget: crate::FairBudget::new(2),
+            shutdown: crate::Shutdown::new(false),
+            metrics: crate::ServerMetrics::default(),
+            max_connections: 4,
+        })
+    }
+
+    /// Regression: `SIGTERM` drain must be bounded even when a client
+    /// stops reading. Such a client's output buffer never empties, so
+    /// without the drain deadline `finished()` stays false and
+    /// `EndpointLoop::run` (and with it `Server::run`) never returns.
+    #[test]
+    fn drain_deadline_force_closes_unresponsive_readers() {
+        let shared = test_shared();
+        let bound = BoundListener::bind(&Endpoint::Tcp("127.0.0.1:0".into())).unwrap();
+        let addr = bound.description();
+        let addr = addr.strip_prefix("tcp:").unwrap().to_owned();
+        let mut event_loop = EndpointLoop::new(bound, Arc::clone(&shared)).unwrap();
+        event_loop.drain_timeout = Duration::ZERO;
+
+        // A connected client that will never read a byte.
+        let client = std::net::TcpStream::connect(&addr).unwrap();
+        event_loop.accept_burst();
+        assert_eq!(event_loop.conns.len(), 1);
+
+        // Far more output than the kernel will buffer, so the flush can
+        // never complete while the client refuses to read.
+        let big = "x".repeat(64 * 1024 * 1024);
+        event_loop
+            .conns
+            .values_mut()
+            .next()
+            .unwrap()
+            .test_push_out(&big);
+
+        shared.shutdown.trigger();
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        let runner = std::thread::spawn(move || {
+            event_loop.run();
+            let _ = done_tx.send(());
+        });
+        done_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("drain must be bounded by the deadline, not the client");
+        runner.join().unwrap();
+        drop(client);
     }
 }
