@@ -16,18 +16,53 @@ cargo build --release
 
 echo "==> zeroconf audit --deny-warnings"
 # The workspace static-analysis gate (crates/audit): unsafe-code audit,
-# panic freedom, wire-format constant drift and the lockfile check. Runs
-# before the test suite so policy violations fail fast. The bare
-# `cargo build --release` above only builds the root package, so build
-# the CLI explicitly before invoking it.
+# panic freedom, wire-format constant drift, the lockfile check, and the
+# concurrency-safety rules (atomic-ordering, lock-order, reactor
+# blocking-call reach, FFI surface). Runs before the test suite so
+# policy violations fail fast. The bare `cargo build --release` above
+# only builds the root package, so build the CLI explicitly before
+# invoking it. The audit is a pre-commit-speed gate: its wall time is
+# printed and must stay under 2 seconds.
 cargo build --release -p zeroconf-cli
+AUDIT_T0=$(date +%s%3N)
 ./target/release/zeroconf audit --deny-warnings
+AUDIT_MS=$(( $(date +%s%3N) - AUDIT_T0 ))
+echo "ci: audit completed in ${AUDIT_MS}ms"
+if (( AUDIT_MS >= 2000 )); then
+  echo "ci: audit took ${AUDIT_MS}ms — the gate must stay under 2000ms" >&2
+  exit 1
+fi
 
 echo "==> cargo test -q"
 cargo test -q
 
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
+
+echo "==> concurrency model tests (--cfg zeroconf_loom interleaving explorer)"
+# The vendored loom replacement (crates/serve/src/model_tests.rs):
+# exhaustive schedule enumeration over the FairBudget admission protocol
+# and the eventfd wakeup handshake. The cfg keeps the default test pass
+# fast; the lane always runs here since the explorer has no external
+# dependency.
+RUSTFLAGS="--cfg zeroconf_loom" cargo test -q -p zeroconf-serve --lib
+
+if [[ "${ZEROCONF_CI_SANITIZE:-}" == "thread" ]]; then
+  # -Zsanitizer is nightly-only; the pinned offline toolchain is stable,
+  # so the lane is opt-in and degrades to an explicit notice rather than
+  # a silent skip.
+  if rustup toolchain list 2>/dev/null | grep -q nightly; then
+    echo "==> ThreadSanitizer lane (ZEROCONF_CI_SANITIZE=thread, nightly)"
+    RUSTFLAGS="-Zsanitizer=thread" cargo +nightly test -q \
+      -p zeroconf-serve -p zeroconf-engine --lib \
+      --target x86_64-unknown-linux-gnu
+  else
+    echo "ci: ZEROCONF_CI_SANITIZE=thread requested but no nightly toolchain is installed"
+    echo "ci: skipping the ThreadSanitizer lane (-Zsanitizer=thread is nightly-only)"
+  fi
+else
+  echo "ci: sanitizer lane off (opt in with ZEROCONF_CI_SANITIZE=thread)"
+fi
 
 echo "==> kernel suites under both forced backends (ZEROCONF_KERNEL)"
 # The SIMD crates' parity tests iterate every tier the host supports;

@@ -5,7 +5,7 @@
 //! tier in `engine/cache.rs`) with correctness argued in prose. This crate
 //! is the machine-checked version of that prose — the same move the
 //! model-checking literature makes for the protocol itself: encode the
-//! invariants once, re-check them on every change. Four rules, each a
+//! invariants once, re-check them on every change. Eight rules, each a
 //! module under [`rules`]:
 //!
 //! - [`rules::unsafe_code`] — `unsafe` only in the allowlisted engine
@@ -21,7 +21,20 @@
 //! - [`rules::lockfile`] — `Cargo.lock` holds no duplicate versions and
 //!   no non-vendored sources, and its package set matches the reviewed
 //!   dependency manifest (`crates/audit/deps-manifest.txt`) — all parsed
-//!   fully offline.
+//!   fully offline;
+//! - [`rules::atomic_ordering`] — every `Ordering::…` choice carries an
+//!   adjacent `// ORDERING:` justification, and `Relaxed` on the
+//!   cross-thread hand-off sites pinned in `crates/audit/sync-sites.txt`
+//!   is denied outright;
+//! - [`rules::lock_order`] — observed `Mutex` nesting must match the
+//!   committed order manifest (`crates/audit/lock-order.txt`) and the
+//!   combined graph must be acyclic;
+//! - [`rules::reactor_blocking`] — no blocking call (`.lock()`,
+//!   `thread::sleep`, channel `recv`, …) is reachable from the serve
+//!   reactor's event-loop entry points, modulo the justified allowlist
+//!   in `crates/audit/reactor-allowlist.txt`;
+//! - [`rules::ffi_surface`] — every `extern "C"` function appears in
+//!   `crates/audit/ffi-manifest.txt` with its errno convention noted.
 //!
 //! Scanning is token-level ([`scan`]): comments and string literals are
 //! real tokens, so a `.unwrap()` in a doc example is not a violation and
@@ -163,6 +176,68 @@ pub fn audit_workspace(root: &Path) -> Result<Report, AuditError> {
             rules::lockfile::LOCKFILE_PATH,
             0,
             format!("Cargo.lock is unreadable ({e}) — the dependency audit cannot run"),
+        )),
+    }
+
+    // Rule 5: atomic-ordering justifications, against the sync-site
+    // manifest. A missing manifest is itself a denial: the rule's
+    // hand-off check is only as good as the committed site list.
+    match fs::read_to_string(root.join(rules::atomic_ordering::MANIFEST_PATH)) {
+        Ok(text) => {
+            let (sites, parse_findings) = rules::atomic_ordering::parse_manifest(&text);
+            findings.extend(parse_findings);
+            findings.extend(rules::atomic_ordering::check(&files, &sites));
+        }
+        Err(e) => findings.push(Finding::deny(
+            "atomic-ordering",
+            rules::atomic_ordering::MANIFEST_PATH,
+            0,
+            format!("the sync-site manifest is unreadable ({e}) — the hand-off check cannot run"),
+        )),
+    }
+
+    // Rule 6: lock-order, against the committed nesting manifest.
+    match fs::read_to_string(root.join(rules::lock_order::MANIFEST_PATH)) {
+        Ok(text) => {
+            let (edges, parse_findings) = rules::lock_order::parse_manifest(&text);
+            findings.extend(parse_findings);
+            findings.extend(rules::lock_order::check(&files, &edges));
+        }
+        Err(e) => findings.push(Finding::deny(
+            "lock-order",
+            rules::lock_order::MANIFEST_PATH,
+            0,
+            format!("the lock-order manifest is unreadable ({e}) — nesting cannot be checked"),
+        )),
+    }
+
+    // Rule 7: no blocking calls reachable from the reactor event loop.
+    match fs::read_to_string(root.join(rules::reactor_blocking::ALLOWLIST_PATH)) {
+        Ok(text) => {
+            let (entries, parse_findings) = rules::reactor_blocking::parse_allowlist(&text);
+            findings.extend(parse_findings);
+            findings.extend(rules::reactor_blocking::check(&files, &entries));
+        }
+        Err(e) => findings.push(Finding::deny(
+            "reactor-blocking",
+            rules::reactor_blocking::ALLOWLIST_PATH,
+            0,
+            format!("the reactor allowlist is unreadable ({e}) — blocking sites cannot be vetted"),
+        )),
+    }
+
+    // Rule 8: the vendored FFI surface matches its manifest.
+    match fs::read_to_string(root.join(rules::ffi_surface::MANIFEST_PATH)) {
+        Ok(text) => {
+            let (entries, parse_findings) = rules::ffi_surface::parse_manifest(&text);
+            findings.extend(parse_findings);
+            findings.extend(rules::ffi_surface::check(&files, &entries));
+        }
+        Err(e) => findings.push(Finding::deny(
+            "ffi-surface",
+            rules::ffi_surface::MANIFEST_PATH,
+            0,
+            format!("the FFI manifest is unreadable ({e}) — foreign signatures are unreviewed"),
         )),
     }
 

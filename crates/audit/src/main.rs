@@ -61,6 +61,9 @@ fn main() -> ExitCode {
     };
     match zeroconf_audit::audit_workspace(&root) {
         Ok(report) => {
+            // Under --deny-warnings every warning is a denial; render it
+            // as one so the output severity matches the exit code.
+            let report = report.promoted(deny_warnings);
             if json {
                 println!("{}", report.to_json());
             } else {

@@ -111,6 +111,20 @@ impl Report {
         self.deny_count() > 0 || (deny_warnings && !self.findings.is_empty())
     }
 
+    /// The report under the given warning policy: with `--deny-warnings`
+    /// every `Warn` finding (unused allowlist and manifest entries) is
+    /// promoted to `Deny`, so the rendered severity matches what actually
+    /// fails the run.
+    #[must_use]
+    pub fn promoted(mut self, deny_warnings: bool) -> Report {
+        if deny_warnings {
+            for finding in &mut self.findings {
+                finding.severity = Severity::Deny;
+            }
+        }
+        self
+    }
+
     /// Human-readable report: one line per finding plus a summary line.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
@@ -204,6 +218,20 @@ mod tests {
         assert!(warn_only.fails(true));
         let denied = Report::new(vec![Finding::deny("r", "a.rs", 1, "d".to_owned())]);
         assert!(denied.fails(false));
+    }
+
+    #[test]
+    fn deny_warnings_promotes_warnings_to_denials() {
+        let report = Report::new(vec![
+            Finding::warn("r", "a.rs", 1, "unused entry".to_owned()),
+            Finding::deny("r", "b.rs", 2, "real".to_owned()),
+        ]);
+        let promoted = report.promoted(true);
+        assert_eq!(promoted.deny_count(), 2);
+        assert_eq!(promoted.warn_count(), 0);
+
+        let kept = Report::new(vec![Finding::warn("r", "a.rs", 1, "w".to_owned())]).promoted(false);
+        assert_eq!(kept.warn_count(), 1);
     }
 
     #[test]

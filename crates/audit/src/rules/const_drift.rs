@@ -29,6 +29,7 @@ use crate::scan::{ScannedFile, TokenKind};
 
 /// The single-source-of-truth constants: `(name, defining file)`.
 pub const PINNED_CONSTS: &[(&str, &str)] = &[
+    ("RULE_CODES", "crates/audit/src/rules/mod.rs"),
     ("SPILL_MAGIC", "crates/engine/src/cache.rs"),
     ("SPILL_HEADER_LEN", "crates/engine/src/cache.rs"),
     ("WIRE_VERSION", "crates/engine/src/wire.rs"),
@@ -271,6 +272,10 @@ mod tests {
     /// A minimal tree where every pinned constant is correctly defined.
     fn healthy() -> Vec<ScannedFile> {
         vec![
+            ScannedFile::new(
+                "crates/audit/src/rules/mod.rs",
+                "pub const RULE_CODES: &[&str] = &[\"no-panic\"];\n",
+            ),
             ScannedFile::new(
                 "crates/engine/src/cache.rs",
                 "pub const SPILL_MAGIC: &[u8; 8] = b\"ZCPITAB2\";\n\

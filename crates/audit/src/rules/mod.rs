@@ -6,7 +6,62 @@
 //! tree; the workspace walk in [`crate::audit_workspace`] is the only
 //! place the filesystem is read.
 
+use crate::scan::ScannedFile;
+
+pub mod atomic_ordering;
 pub mod const_drift;
+pub mod ffi_surface;
+pub mod lock_order;
 pub mod lockfile;
 pub mod no_panic;
+pub mod reactor_blocking;
 pub mod unsafe_code;
+
+/// Every rule code a [`crate::report::Finding`] may carry, sorted. The
+/// `--json` schema exposes these verbatim, so tooling keys on them; the
+/// CLI integration test (`tests/cli.rs`) and the const-drift pin hold
+/// the set stable.
+pub const RULE_CODES: &[&str] = &[
+    "atomic-ordering",
+    "const-drift",
+    "ffi-surface",
+    "lock-order",
+    "lockfile",
+    "no-panic",
+    "reactor-blocking",
+    "safety-comment",
+    "unsafe-allowlist",
+    "unsafe-header",
+];
+
+/// Whether a comment block carrying one of `markers` ends on `line` or
+/// within `window` lines above it.
+///
+/// Consecutive `//` lines are one logical block: the marker is on the
+/// first line but the justification may run on for several more, and it
+/// is the *block's* end that must sit next to the checked token — the
+/// same adjacency contract for `// SAFETY:` and `// ORDERING:`.
+pub(crate) fn has_adjacent_marker(
+    file: &ScannedFile,
+    line: u32,
+    markers: &[&str],
+    window: u32,
+) -> bool {
+    let mut block_end = 0u32;
+    let mut block_has_marker = false;
+    for t in &file.tokens {
+        if t.kind != crate::scan::TokenKind::Comment {
+            continue;
+        }
+        if t.line > block_end + 1 {
+            // A gap: this comment starts a new block.
+            block_has_marker = false;
+        }
+        block_has_marker |= markers.iter().any(|m| t.text.contains(m));
+        block_end = t.end_line;
+        if block_has_marker && block_end <= line && line - block_end <= window {
+            return true;
+        }
+    }
+    false
+}

@@ -78,7 +78,8 @@ pub fn check_sources(files: &[ScannedFile]) -> Vec<Finding> {
                 ));
                 continue;
             }
-            if !has_adjacent_safety_comment(file, token.line) {
+            if !super::has_adjacent_marker(file, token.line, &["SAFETY", "# Safety"], SAFETY_WINDOW)
+            {
                 findings.push(Finding::deny(
                     "safety-comment",
                     &file.path,
@@ -91,32 +92,6 @@ pub fn check_sources(files: &[ScannedFile]) -> Vec<Finding> {
         }
     }
     findings
-}
-
-/// Whether a SAFETY-bearing comment block ends on `line` or within
-/// [`SAFETY_WINDOW`] lines above it.
-///
-/// Consecutive `//` lines are one logical block: the `SAFETY:` marker is
-/// on the first line but the justification may run on for several more,
-/// and it is the *block's* end that must sit next to the `unsafe`.
-fn has_adjacent_safety_comment(file: &ScannedFile, line: u32) -> bool {
-    let mut block_end = 0u32;
-    let mut block_has_safety = false;
-    for t in &file.tokens {
-        if t.kind != TokenKind::Comment {
-            continue;
-        }
-        if t.line > block_end + 1 {
-            // A gap: this comment starts a new block.
-            block_has_safety = false;
-        }
-        block_has_safety |= t.text.contains("SAFETY") || t.text.contains("# Safety");
-        block_end = t.end_line;
-        if block_has_safety && block_end <= line && line - block_end <= SAFETY_WINDOW {
-            return true;
-        }
-    }
-    false
 }
 
 /// Runs the crate-header check: `forbid(unsafe_code)` everywhere except

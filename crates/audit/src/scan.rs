@@ -163,12 +163,17 @@ impl Lexer<'_> {
         }
     }
 
-    /// A string with a prefix: raw (`r`/`br`, hash-delimited), byte
-    /// (`b"..."`, escape rules like a normal string) or byte char
-    /// (`b'.'`).
+    /// A string with a prefix: raw (`r`/`br`, escape-free whether or not
+    /// hash-delimited), byte (`b"..."`, escape rules like a normal
+    /// string) or byte char (`b'.'`).
     fn raw_or_prefixed_string(&mut self, prefix: usize) {
         let start = self.pos;
         let start_line = self.line;
+        // `r"…"`/`r#"…"#`/`br"…"` are raw: `\` is an ordinary byte, so the
+        // escape-aware scanner must never run on them (it would read
+        // `r"\"` past its closing quote and swallow real code into the
+        // literal). Only the bare `b"…"` byte string keeps escapes.
+        let raw = self.bytes[start] == b'r' || prefix == 2;
         self.pos += prefix;
         if self.bytes.get(self.pos) == Some(&b'\'') {
             // b'x' byte char: delegate to the escape-aware scanner.
@@ -182,12 +187,13 @@ impl Lexer<'_> {
             .take_while(|&&b| b == b'#')
             .count();
         self.pos += hashes;
-        if hashes == 0 {
+        if !raw {
             // b"..." — escapes apply.
             self.pos += 1;
             self.quoted(b'"');
         } else {
-            // r#"..."# — no escapes; ends at `"` + same number of hashes.
+            // r"..." / r#"..."# — no escapes; ends at `"` + the same
+            // number of hashes as the opener (zero included).
             self.pos += 1; // opening quote
             while self.pos < self.bytes.len() {
                 let b = self.bytes[self.pos];
@@ -333,6 +339,82 @@ impl ScannedFile {
             .filter(|t| t.kind != TokenKind::Comment)
             .collect()
     }
+
+    /// The `fn` items of this file, in source order. See [`FnSpan`].
+    pub fn fn_spans(&self) -> Vec<FnSpan> {
+        fn_spans(&self.code_tokens())
+    }
+}
+
+/// One `fn` item recovered from the token stream: its name, source line
+/// span, and the range of *code tokens* forming its body.
+///
+/// Nested items are attributed to every enclosing `fn` (an inner helper's
+/// tokens appear in its own span *and* its parent's) — the conservative
+/// direction for reachability rules. Bodiless declarations (trait
+/// methods, `extern` block symbols) produce no span.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Last line of the body block.
+    pub end_line: u32,
+    /// Half-open index range into [`ScannedFile::code_tokens`] covering
+    /// the body, outer braces included.
+    pub body: (usize, usize),
+}
+
+/// Extracts [`FnSpan`]s from a comment-stripped token slice.
+pub fn fn_spans(toks: &[&Token]) -> Vec<FnSpan> {
+    let mut spans = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].kind != TokenKind::Ident || toks[i].text != "fn" {
+            continue;
+        }
+        let Some(name) = toks
+            .get(i + 1)
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.clone())
+        else {
+            continue;
+        };
+        // The signature runs to the body's opening brace; a `;` first
+        // means a bodiless declaration. Signatures cannot contain braces
+        // or semicolons, so a flat scan suffices.
+        let mut j = i + 2;
+        let open = loop {
+            match toks.get(j).map(|t| t.text.as_str()) {
+                Some("{") => break Some(j),
+                Some(";") | None => break None,
+                _ => j += 1,
+            }
+        };
+        let Some(open) = open else { continue };
+        let mut depth = 0i64;
+        let mut k = open;
+        while k < toks.len() {
+            match toks[k].text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let last = k.min(toks.len() - 1);
+        spans.push(FnSpan {
+            name,
+            line: toks[i].line,
+            end_line: toks[last].end_line,
+            body: (open, (k + 1).min(toks.len())),
+        });
+    }
+    spans
 }
 
 /// The line spans of `#[cfg(test)]`-gated items: from the attribute to
@@ -484,6 +566,55 @@ mod tests {
     }
 
     #[test]
+    fn zero_hash_raw_strings_do_not_honor_escapes() {
+        // In `r"\"` the backslash is an ordinary byte and the quote
+        // terminates the literal. An escape-aware scan would run past it
+        // and swallow the `// unsafe` comment and the `.unwrap()` call
+        // into the literal — phantom (or, worse, *missing*) findings.
+        let toks = kinds("let re = r\"\\\"; // unsafe\nx.unwrap();\n");
+        assert!(toks.contains(&(TokenKind::Literal, "r\"\\\"".to_owned())));
+        assert!(toks.contains(&(TokenKind::Comment, "// unsafe".to_owned())));
+        assert!(toks.contains(&(TokenKind::Ident, "unwrap".to_owned())));
+    }
+
+    #[test]
+    fn comment_markers_inside_raw_strings_are_not_comments() {
+        let toks = kinds("let s = r#\"// not a comment, unsafe neither\"#; code");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Comment)
+                .count(),
+            0
+        );
+        assert!(toks.contains(&(TokenKind::Ident, "code".to_owned())));
+        assert!(!toks.contains(&(TokenKind::Ident, "unsafe".to_owned())));
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_matching_depth() {
+        let toks = kinds("/* outer /* inner */ still comment */ after");
+        assert_eq!(
+            toks,
+            vec![
+                (
+                    TokenKind::Comment,
+                    "/* outer /* inner */ still comment */".to_owned()
+                ),
+                (TokenKind::Ident, "after".to_owned()),
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_nested_block_comment_extends_to_eof() {
+        // `/*/` opens without closing: everything after is comment.
+        let toks = kinds("/*/ x.unwrap() */ trailing /* unclosed");
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k == TokenKind::Comment || t == "trailing"));
+    }
+
+    #[test]
     fn raw_identifiers_are_idents_not_strings() {
         let toks = kinds("r#type = 1");
         assert_eq!(toks[0], (TokenKind::Ident, "r".to_owned()));
@@ -577,6 +708,38 @@ mod tests {\n\
 }\n";
         let file = ScannedFile::new("x.rs", src);
         assert_eq!(file.test_regions, vec![(1, 5)]);
+    }
+
+    #[test]
+    fn fn_spans_cover_bodies_and_skip_bodiless_declarations() {
+        let src = "\
+extern \"C\" {\n\
+    fn read(fd: i32) -> isize;\n\
+}\n\
+fn outer(x: u32) -> u32 {\n\
+    helper(x)\n\
+}\n\
+fn helper(x: u32) -> u32 { x + 1 }\n";
+        let file = ScannedFile::new("x.rs", src);
+        let spans = file.fn_spans();
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        // `read` is bodiless (extern declaration) — no span.
+        assert_eq!(names, vec!["outer", "helper"]);
+        assert_eq!((spans[0].line, spans[0].end_line), (4, 6));
+        let toks = file.code_tokens();
+        let body: Vec<&str> = toks[spans[0].body.0..spans[0].body.1]
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(body, vec!["{", "helper", "(", "x", ")", "}"]);
+    }
+
+    #[test]
+    fn nested_fns_are_attributed_to_both_spans() {
+        let src = "fn outer() {\n    fn inner() { leaf(); }\n    inner();\n}\n";
+        let spans = ScannedFile::new("x.rs", src).fn_spans();
+        assert_eq!(spans.len(), 2);
+        assert!(spans[0].body.0 < spans[1].body.0 && spans[1].body.1 <= spans[0].body.1);
     }
 
     #[test]

@@ -383,6 +383,8 @@ impl Clone for ColumnBlockKernel {
         ColumnBlockKernel {
             scenario: self.scenario.clone(),
             kernel: self.kernel,
+            // ORDERING: a diagnostic low-water mark; cloning observes
+            // whatever tier happens to be recorded, no data hangs off it.
             dist_used: AtomicU8::new(self.dist_used.load(Ordering::Relaxed)),
         }
     }
@@ -472,6 +474,8 @@ impl ColumnBlockKernel {
     /// scalar loop.
     #[must_use]
     pub fn dist_backend_used(&self) -> Backend {
+        // ORDERING: diagnostic read of the SIMD-tier low-water mark; a
+        // momentarily stale tier only affects reporting, not results.
         Backend::from_u8(self.dist_used.load(Ordering::Relaxed))
     }
 
@@ -566,6 +570,8 @@ impl ColumnBlockKernel {
                 rounds,
                 &mut p_rows[..rounds * width],
             )?;
+            // ORDERING: monotonic min of a diagnostic tier marker; the
+            // fetch_min's atomicity alone keeps it a true low-water mark.
             self.dist_used.fetch_min(used as u8, Ordering::Relaxed);
             for (k, p_row) in p_rows[..rounds * width].chunks_exact(width).enumerate() {
                 for (slot, &p) in p_row.iter().enumerate() {

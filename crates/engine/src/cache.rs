@@ -705,6 +705,8 @@ impl SharedCache {
                 tables[j] = Some(table);
             }
         }
+        // ORDERING: hit/miss tallies are monotonic statistics; readers
+        // only report them, so no ordering with the table data is needed.
         self.hits.fetch_add(hits, Ordering::Relaxed);
         self.misses.fetch_add(misses, Ordering::Relaxed);
         let tables = tables
@@ -726,10 +728,12 @@ impl SharedCache {
     }
 
     pub(crate) fn hits(&self) -> u64 {
+        // ORDERING: statistics read; a slightly stale count is fine.
         self.hits.load(Ordering::Relaxed)
     }
 
     pub(crate) fn misses(&self) -> u64 {
+        // ORDERING: statistics read; a slightly stale count is fine.
         self.misses.load(Ordering::Relaxed)
     }
 

@@ -230,12 +230,16 @@ impl CancelToken {
 
     /// Requests cancellation. Idempotent.
     pub fn cancel(&self) {
+        // ORDERING: a standalone stop flag; workers poll it and only the
+        // flag itself matters, no other memory is published through it.
         self.0.store(true, Ordering::Relaxed);
     }
 
     /// Whether cancellation has been requested.
     #[must_use]
     pub fn is_cancelled(&self) -> bool {
+        // ORDERING: polling the stop flag; a late observation only delays
+        // cancellation by one check, it cannot corrupt anything.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -308,6 +312,8 @@ struct LandscapeSlot {
 /// "no measurement yet" (the all-zero pattern is `+0.0`, which no clamp
 /// range below ever produces, so the sentinel is unambiguous).
 fn ewma_get(cell: &AtomicU64, default: f64) -> f64 {
+    // ORDERING: the EWMA cell is a self-contained planning hint; any
+    // recent value is acceptable, so no cross-cell ordering is needed.
     let bits = cell.load(Ordering::Relaxed);
     if bits == 0 {
         default
@@ -321,6 +327,8 @@ fn ewma_update(cell: &AtomicU64, measured: f64, lo: f64, hi: f64) {
         return;
     }
     let measured = measured.clamp(lo, hi);
+    // ORDERING: read-modify-write race on a planning hint is benign (see
+    // the store below); relaxed keeps the hot path uncontended.
     let bits = cell.load(Ordering::Relaxed);
     let next = if bits == 0 {
         measured
@@ -330,7 +338,8 @@ fn ewma_update(cell: &AtomicU64, measured: f64, lo: f64, hi: f64) {
         let old = f64::from_bits(bits);
         old + 0.25 * (measured - old)
     };
-    // A racing store loses one sample; the estimate converges anyway.
+    // ORDERING: a racing store loses one sample; the estimate converges
+    // anyway, and nothing else is published through the cell.
     cell.store(next.to_bits(), Ordering::Relaxed);
 }
 
@@ -493,6 +502,8 @@ impl Engine {
         }
         job.run(0);
         let buffers = job.wait()?;
+        // ORDERING: monotonic min of a diagnostic SIMD-tier marker; the
+        // fetch_min's atomicity alone keeps it a true low-water mark.
         self.dist_floor
             .fetch_min(job.dist_backend_used() as u8, Ordering::Relaxed);
         let landscape = Landscape::new(
@@ -504,17 +515,23 @@ impl Engine {
 
         let wall_nanos = start.elapsed().as_nanos();
         let by_worker = job.cells_per_worker();
+        // ORDERING: lifetime statistics counters (cells, hits, misses,
+        // requests); they are reported, never synchronized on, so relaxed
+        // tallies suffice throughout this block.
         for (total, done) in self.cells_per_worker.iter().zip(&by_worker) {
             total.fetch_add(*done, Ordering::Relaxed);
         }
         let stats = BatchStats {
             wall_nanos,
+            // ORDERING: same statistics block — the job is already joined,
+            // so these reads race with nothing.
             cache_hits: job.hits.load(Ordering::Relaxed),
             cache_misses: job.misses.load(Ordering::Relaxed),
             cells: landscape.len() as u64,
             workers: self.workers(),
         };
         self.observe_sweep(&stats, plan.participants, request.grid.n_max);
+        // ORDERING: statistics tallies, as above.
         self.requests.fetch_add(1, Ordering::Relaxed);
         self.cells.fetch_add(stats.cells, Ordering::Relaxed);
         *self.wall_nanos.lock().unwrap_or_else(|e| e.into_inner()) += wall_nanos;
@@ -617,6 +634,8 @@ impl Engine {
         }
         job.run(0);
         let buffers = job.wait()?;
+        // ORDERING: monotonic min of a diagnostic SIMD-tier marker; the
+        // fetch_min's atomicity alone keeps it a true low-water mark.
         self.dist_floor
             .fetch_min(job.dist_backend_used() as u8, Ordering::Relaxed);
         let pi_prefix = buffers
@@ -638,11 +657,14 @@ impl Engine {
             pi_n,
         ));
         let by_worker = job.cells_per_worker();
+        // ORDERING: statistics tallies; the job is already joined, so
+        // these relaxed reads and adds race with nothing.
         for (total, done) in self.cells_per_worker.iter().zip(&by_worker) {
             total.fetch_add(*done, Ordering::Relaxed);
         }
         let stats = BatchStats {
             wall_nanos: start.elapsed().as_nanos(),
+            // ORDERING: same statistics block, job already joined.
             cache_hits: job.hits.load(Ordering::Relaxed),
             cache_misses: job.misses.load(Ordering::Relaxed),
             cells: landscape.len() as u64,
@@ -658,6 +680,8 @@ impl Engine {
 
     /// Folds one parametric verb's work into the lifetime counters.
     fn observe_verb(&self, stats: &BatchStats) {
+        // ORDERING: lifetime statistics tallies; reported, never
+        // synchronized on.
         self.requests.fetch_add(1, Ordering::Relaxed);
         self.cells.fetch_add(stats.cells, Ordering::Relaxed);
         *self.wall_nanos.lock().unwrap_or_else(|e| e.into_inner()) += stats.wall_nanos;
@@ -814,6 +838,9 @@ impl Engine {
     #[must_use]
     pub fn stats(&self) -> EngineStats {
         EngineStats {
+            // ORDERING: statistics snapshot; each counter is independently
+            // relaxed-read, a momentarily torn view across counters is
+            // acceptable for reporting.
             requests: self.requests.load(Ordering::Relaxed),
             cells: self.cells.load(Ordering::Relaxed),
             cache_hits: self.cache.hits(),
@@ -822,10 +849,13 @@ impl Engine {
             cells_per_worker: self
                 .cells_per_worker
                 .iter()
+                // ORDERING: same snapshot — per-worker tallies, reporting
+                // only.
                 .map(|c| c.load(Ordering::Relaxed))
                 .collect(),
             wall_nanos: *self.wall_nanos.lock().unwrap_or_else(|e| e.into_inner()),
             kernel_backend: self.backend.name(),
+            // ORDERING: diagnostic low-water mark read, reporting only.
             dist_backend: Backend::from_u8(self.dist_floor.load(Ordering::Relaxed)).name(),
         }
     }

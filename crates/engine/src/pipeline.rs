@@ -195,9 +195,12 @@ impl Counters {
             Err(EngineError::Cancelled) => &self.cancelled,
             Err(_) => &self.failed,
         }
+        // ORDERING: pipeline statistics tallies; each counter stands
+        // alone and is only ever reported, so relaxed add/max suffice.
         .fetch_add(1, Ordering::Relaxed);
         self.queue_total.fetch_add(queue_ns, Ordering::Relaxed);
         self.queue_max.fetch_max(queue_ns, Ordering::Relaxed);
+        // ORDERING: same statistics block.
         self.service_total.fetch_add(service_ns, Ordering::Relaxed);
         self.service_max.fetch_max(service_ns, Ordering::Relaxed);
     }
@@ -352,6 +355,8 @@ impl Pipeline {
         self.next_id += 1;
         let token = CancelToken::new();
         lock(&self.tokens).insert(id, token.clone());
+        // ORDERING: statistics tally; the ticket itself travels through
+        // the channel, which does the synchronizing.
         self.counters.submitted.fetch_add(1, Ordering::Relaxed);
         self.queue
             .as_ref()
@@ -422,10 +427,13 @@ impl Pipeline {
     pub fn stats(&self) -> PipelineStats {
         let c = &self.counters;
         PipelineStats {
+            // ORDERING: statistics snapshot; counters are independent and
+            // reporting tolerates a torn view across them.
             submitted: c.submitted.load(Ordering::Relaxed),
             completed: c.completed.load(Ordering::Relaxed),
             cancelled: c.cancelled.load(Ordering::Relaxed),
             failed: c.failed.load(Ordering::Relaxed),
+            // ORDERING: same snapshot.
             queue_nanos_total: c.queue_total.load(Ordering::Relaxed),
             queue_nanos_max: c.queue_max.load(Ordering::Relaxed),
             service_nanos_total: c.service_total.load(Ordering::Relaxed),

@@ -125,6 +125,10 @@ impl SoaBuffer {
     /// after the completion latch released (no writer can touch the slab
     /// again), and at most once.
     fn take(&self) -> Vec<f64> {
+        // ORDERING: AcqRel — this swap is the slab's hand-off point. The
+        // acquire half makes every worker's column writes visible to the
+        // taker; the release half publishes the claim so a second take
+        // trips the assert instead of racing (see sync-sites.txt).
         let already = self.taken.swap(true, Ordering::AcqRel);
         assert!(!already, "SoA buffer taken twice");
         // SAFETY: parts came from a leaked Vec<f64>; `taken` ensures
@@ -228,6 +232,9 @@ impl Job {
     /// by every participant, including the engine's own thread.
     pub(crate) fn run(&self, worker: usize) {
         loop {
+            // ORDERING: the cursor only partitions indices; each chunk's
+            // data flows through disjoint slab columns, and completion is
+            // published by the latch, not the cursor.
             let start = self.cursor.fetch_add(self.chunk, Ordering::Relaxed);
             if start >= self.r_values.len() {
                 return;
@@ -262,6 +269,8 @@ impl Job {
                         .pi_tables(self.n_max, missing)
                         .map_err(EngineError::Cost)
                 })?;
+        // ORDERING: per-job statistics tallies, read only after the job
+        // is joined.
         self.hits.fetch_add(hits, Ordering::Relaxed);
         self.misses.fetch_add(misses, Ordering::Relaxed);
         if self.cancel.is_cancelled() {
@@ -296,6 +305,7 @@ impl Job {
             .map(|b| unsafe { b.column(offset, cells) });
         self.block
             .evaluate_with_statistic(self.n_max, rs, &tables, costs, errors, pi_prefix, pi_n)?;
+        // ORDERING: per-worker statistics tally, read after join.
         self.cells_by_worker[worker].fetch_add(cells as u64, Ordering::Relaxed);
         Ok(())
     }
@@ -323,6 +333,8 @@ impl Job {
     pub(crate) fn cells_per_worker(&self) -> Vec<u64> {
         self.cells_by_worker
             .iter()
+            // ORDERING: statistics read; callers consult this after the
+            // completion latch, so the tallies are already final.
             .map(|c| c.load(Ordering::Relaxed))
             .collect()
     }

@@ -27,6 +27,8 @@ static INSTALLED: AtomicBool = AtomicBool::new(false);
 /// The flag is sticky: once raised it stays raised for process lifetime.
 #[must_use]
 pub fn termination_requested() -> bool {
+    // ORDERING: a sticky standalone flag polled by drain loops; only the
+    // flag's value matters, no other memory is published through it.
     TERMINATION.load(Ordering::Relaxed)
 }
 
@@ -34,6 +36,8 @@ pub fn termination_requested() -> bool {
 /// had arrived. Used by tests and by servers that want a programmatic
 /// shutdown path sharing the signal-drain machinery.
 pub fn raise_termination() {
+    // ORDERING: sets the standalone sticky flag; see
+    // termination_requested.
     TERMINATION.store(true, Ordering::Relaxed);
 }
 
@@ -61,6 +65,9 @@ mod sys {
     /// static `AtomicBool`, which is async-signal-safe (a plain aligned
     /// store, no allocation, no locks, no FFI back into the runtime).
     pub(super) extern "C" fn on_termination(_signum: c_int) {
+        // ORDERING: the handler may only perform async-signal-safe work;
+        // a relaxed store of the standalone flag is exactly that, and the
+        // polling reader needs no ordering beyond eventually seeing it.
         super::TERMINATION.store(true, std::sync::atomic::Ordering::Relaxed);
     }
 }
@@ -75,6 +82,9 @@ mod sys {
 pub fn install_termination_handler() -> bool {
     #[cfg(unix)]
     {
+        // ORDERING: SeqCst on the installation latch — installs are
+        // once-per-process and cold, so the strongest ordering costs
+        // nothing and makes the winner-installs reasoning trivial.
         if INSTALLED.swap(true, Ordering::SeqCst) {
             return true;
         }
@@ -94,6 +104,7 @@ pub fn install_termination_handler() -> bool {
     }
     #[cfg(not(unix))]
     {
+        // ORDERING: same once-per-process latch as the unix arm.
         let _ = INSTALLED.swap(true, Ordering::SeqCst);
         false
     }

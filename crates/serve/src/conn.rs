@@ -491,6 +491,7 @@ impl Connection {
     /// point where the line can no longer be parked or refused).
     fn count_request(&mut self) {
         self.metrics.requests += 1;
+        // ORDERING: server-wide statistics tally; readers only report it.
         self.shared
             .metrics
             .requests
@@ -534,6 +535,7 @@ impl Connection {
     /// Queues one response line (counted here, written by the flush).
     fn push_out(&mut self, line: &str) {
         self.metrics.responses += 1;
+        // ORDERING: server-wide statistics tally; readers only report it.
         self.shared
             .metrics
             .responses
@@ -567,6 +569,7 @@ impl Connection {
         self.gone = true;
         let abandoned = self.pending() as u64;
         self.metrics.cancellations += abandoned;
+        // ORDERING: server-wide statistics tally; readers only report it.
         self.shared
             .metrics
             .cancelled_on_disconnect
@@ -591,6 +594,8 @@ impl Connection {
             self.permits = 0;
         }
         self.shared.budget.leave(self.conn_id);
+        // ORDERING: statistics tally; the opened/closed pair is only a
+        // gauge, momentary skew between the two counters is acceptable.
         self.shared
             .metrics
             .connections_closed

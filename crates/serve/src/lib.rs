@@ -53,6 +53,10 @@ mod budget;
 mod conn;
 mod listener;
 mod metrics;
+// Exhaustive-interleaving model tests (the vendored loom replacement);
+// opt in with RUSTFLAGS="--cfg zeroconf_loom" — see ci.sh.
+#[cfg(all(test, zeroconf_loom))]
+mod model_tests;
 mod reactor;
 
 pub use budget::FairBudget;
@@ -97,6 +101,8 @@ impl Shutdown {
 
     /// Triggers the drain programmatically. Idempotent.
     pub fn trigger(&self) {
+        // ORDERING: standalone sticky drain flag; pollers need only
+        // eventually observe it, nothing else rides on the store.
         self.local.store(true, Ordering::Relaxed);
     }
 
@@ -104,6 +110,8 @@ impl Shutdown {
     /// following process signals) a `SIGTERM`/`SIGINT` arrived.
     #[must_use]
     pub fn is_triggered(&self) -> bool {
+        // ORDERING: polling the standalone drain flag; a late observation
+        // delays the drain by one loop tick at worst.
         self.local.load(Ordering::Relaxed)
             || (self.follow_process_signal && zeroconf_engine::signal::termination_requested())
     }
@@ -327,11 +335,14 @@ impl Server {
             let _ = handle.join();
         }
         let m = &self.shared.metrics;
+        // ORDERING: final statistics read; every reactor thread is joined
+        // above, so these relaxed loads race with nothing.
         Ok(format!(
             "drained cleanly: {} connection(s) served, {} request(s), {} response(s), \
              {} withdrawn at disconnect",
             m.connections_opened.load(Ordering::Relaxed),
             m.requests.load(Ordering::Relaxed),
+            // ORDERING: same post-join statistics read.
             m.responses.load(Ordering::Relaxed),
             m.cancelled_on_disconnect.load(Ordering::Relaxed),
         ))

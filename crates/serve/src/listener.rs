@@ -361,6 +361,7 @@ impl EndpointLoop {
             };
             let open = self.shared.metrics.open_connections();
             if open >= self.shared.max_connections as u64 {
+                // ORDERING: statistics tally; readers only report it.
                 self.shared
                     .metrics
                     .connections_rejected
@@ -375,8 +376,9 @@ impl EndpointLoop {
                     .register(socket.raw_fd(), TOKEN_CONN_BASE + conn_id, Interest::READ)
                     .is_ok();
             if !admitted {
-                // The connection was counted opened; count it
-                // closed so the open-connection gauge stays true.
+                // ORDERING: statistics tally. The connection was counted
+                // opened; count it closed so the open-connection gauge
+                // stays true.
                 self.shared
                     .metrics
                     .connections_closed

@@ -45,12 +45,17 @@ pub struct ServerMetrics {
 impl ServerMetrics {
     /// Mints the next connection id (1-based) and counts the accept.
     pub fn next_connection_id(&self) -> u64 {
+        // ORDERING: the fetch_add's atomicity alone makes ids unique;
+        // the counter doubles as a statistics tally.
         self.connections_opened.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Connections currently being served.
     #[must_use]
     pub fn open_connections(&self) -> u64 {
+        // ORDERING: a gauge derived from two independently updated
+        // tallies; momentary skew between them is acceptable (the
+        // capacity check tolerates off-by-a-few during churn).
         let opened = self.connections_opened.load(Ordering::Relaxed);
         let closed = self.connections_closed.load(Ordering::Relaxed);
         opened.saturating_sub(closed)
@@ -136,9 +141,13 @@ pub fn stats_response_line(id: &str, snapshot: &StatsSnapshot<'_>) -> String {
         p.service_nanos_total,
         p.service_nanos_max,
         s.open_connections(),
+        // ORDERING: statistics snapshot for the stats line; the counters
+        // are independent and a torn view across them is acceptable.
         s.connections_opened.load(Ordering::Relaxed),
         s.connections_rejected.load(Ordering::Relaxed),
         s.requests.load(Ordering::Relaxed),
+        // ORDERING: same snapshot (the block above is out of the
+        // adjacency window for these last two reads).
         s.responses.load(Ordering::Relaxed),
         s.cancelled_on_disconnect.load(Ordering::Relaxed),
         snapshot.budget_capacity,
